@@ -1,0 +1,306 @@
+//! The aggregation operators (paper Defs. 9 and 10).
+
+use crate::aggfn::AggregateFn;
+use crate::condition::Condition;
+use socialscope_graph::{Direction, FxHashMap, Link, NodeId, SocialGraph};
+
+/// Node Aggregation `γN⟨C,d,att,A⟩(G)` (Def. 9).
+///
+/// Produces a graph isomorphic to `G` in which every node `v` that is the
+/// `d` endpoint of at least one link satisfying `C` gains an attribute
+/// `att` whose value is `A` applied to the group of such links. The
+/// directionality parameter `d` acts as a group-by: all outgoing links of a
+/// node (d = src) or all incoming links (d = tgt) are grouped together.
+pub fn node_aggregate(
+    graph: &SocialGraph,
+    condition: &Condition,
+    d: Direction,
+    attr: &str,
+    agg: &AggregateFn,
+) -> SocialGraph {
+    let mut groups: FxHashMap<NodeId, Vec<&Link>> = FxHashMap::default();
+    for link in graph.links() {
+        if condition.satisfied_by_link(link) {
+            groups.entry(link.endpoint(d)).or_default().push(link);
+        }
+    }
+    let mut out = graph.clone();
+    for (node_id, links) in groups {
+        if let Some(node) = out.node_mut(node_id) {
+            node.attrs.set(attr, agg.eval(&links));
+        }
+    }
+    out
+}
+
+/// Link Aggregation `γL⟨C,att,A⟩(G)` (Def. 10), single destination
+/// attribute. See [`link_aggregate_multi`] for the variant that assigns
+/// several attributes from the same grouping (as Example 5 step 6 needs when
+/// it both sets `type='match'` and retains `sim`).
+pub fn link_aggregate(
+    graph: &SocialGraph,
+    condition: &Condition,
+    attr: &str,
+    agg: &AggregateFn,
+) -> SocialGraph {
+    link_aggregate_multi(graph, condition, &[(attr.to_string(), agg.clone())])
+}
+
+/// Link Aggregation assigning multiple destination attributes computed over
+/// the same `(src, tgt)` groups.
+///
+/// Links satisfying `C` are partitioned by `(src, tgt)`; each group is
+/// *replaced* by a single new link carrying the aggregated attributes.
+/// Links not satisfying `C` are left untouched. The new link is typed
+/// `aggregated` unless one of the destination attributes is `type`.
+pub fn link_aggregate_multi(
+    graph: &SocialGraph,
+    condition: &Condition,
+    aggs: &[(String, AggregateFn)],
+) -> SocialGraph {
+    // Partition matching links by (src, tgt).
+    let mut groups: FxHashMap<(NodeId, NodeId), Vec<&Link>> = FxHashMap::default();
+    for link in graph.links() {
+        if condition.satisfied_by_link(link) {
+            groups.entry((link.src, link.tgt)).or_default().push(link);
+        }
+    }
+
+    let mut out = graph.clone();
+    for ((src, tgt), links) in groups {
+        // Remove the group's links.
+        for l in &links {
+            out.remove_link(l.id);
+        }
+        // Create the replacement link.
+        let mut new_link =
+            Link::new(socialscope_graph::next_derived_link_id(), src, tgt, ["aggregated"]);
+        for (attr, agg) in aggs {
+            new_link.attrs.set(attr.clone(), agg.eval(&links));
+        }
+        out.add_link(new_link)
+            .expect("aggregated link endpoints exist in the input graph");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggfn::{value_as_sorted_texts, NafExpr};
+    use socialscope_graph::{GraphBuilder, HasAttrs, Value};
+
+    /// John tags two destinations, Mary tags one; John and Mary are friends.
+    fn site() -> (SocialGraph, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let john = b.add_user("John");
+        let mary = b.add_user("Mary");
+        let denver = b.add_item("Denver", &["destination"]);
+        let coors = b.add_item("Coors Field", &["destination"]);
+        b.befriend(john, mary);
+        let pete = denver_user_placeholder(&mut b);
+        b.befriend(john, pete);
+        b.tag(john, denver, &["rockies", "baseball"]);
+        b.tag(john, coors, &["baseball"]);
+        b.tag(mary, coors, &["stadium"]);
+        (b.build(), john, mary, denver, coors)
+    }
+
+    /// A second friend for John so friend counting is non-trivial.
+    fn denver_user_placeholder(b: &mut GraphBuilder) -> NodeId {
+        b.add_user("Pete")
+    }
+
+    #[test]
+    fn node_aggregation_counts_friends() {
+        // The paper's example: γN⟨type=friend, src, fnd_cnt, COUNT⟩ adds a
+        // fnd_cnt attribute to every node with outgoing friend links.
+        let (g, john, mary, ..) = site();
+        let out = node_aggregate(
+            &g,
+            &Condition::on_attr("type", "friend"),
+            Direction::Src,
+            "fnd_cnt",
+            &AggregateFn::Count,
+        );
+        assert_eq!(out.node(john).unwrap().attrs.get_f64("fnd_cnt"), Some(2.0));
+        // Mary has no outgoing friend links: attribute absent.
+        assert!(out.node(mary).unwrap().attrs.get("fnd_cnt").is_none());
+        // Output is isomorphic to the input: same nodes and links.
+        assert_eq!(out.node_count(), g.node_count());
+        assert_eq!(out.link_count(), g.link_count());
+    }
+
+    #[test]
+    fn node_aggregation_collects_tags_used() {
+        // "node aggregation can be used to assign an attribute tags_used to
+        //  every user node, whose values include all the tags used".
+        let (g, john, mary, ..) = site();
+        let out = node_aggregate(
+            &g,
+            &Condition::on_attr("type", "tag"),
+            Direction::Src,
+            "tags_used",
+            &AggregateFn::CollectSet("tags".into()),
+        );
+        let john_tags = out.node(john).unwrap().attrs.get("tags_used").unwrap();
+        assert_eq!(value_as_sorted_texts(john_tags), vec!["baseball", "rockies"]);
+        let mary_tags = out.node(mary).unwrap().attrs.get("tags_used").unwrap();
+        assert_eq!(value_as_sorted_texts(mary_tags), vec!["stadium"]);
+    }
+
+    #[test]
+    fn node_aggregation_collects_visited_destinations_via_tgt_pseudo_attr() {
+        // Example 5 step 2: collect the set of destinations John has visited
+        // (here: tagged) and store it as the `vst` attribute of John.
+        let (g, john, _, denver, coors) = site();
+        let out = node_aggregate(
+            &g,
+            &Condition::on_attr("type", "tag"),
+            Direction::Src,
+            "vst",
+            &AggregateFn::CollectSet("tgt".into()),
+        );
+        let vst = out.node(john).unwrap().attrs.get("vst").unwrap();
+        assert_eq!(vst.len(), 2);
+        assert!(vst.contains(&socialscope_graph::Scalar::Int(denver.raw() as i64)));
+        assert!(vst.contains(&socialscope_graph::Scalar::Int(coors.raw() as i64)));
+    }
+
+    #[test]
+    fn node_aggregation_by_target_groups_incoming_links() {
+        let (g, _, _, _, coors) = site();
+        let out = node_aggregate(
+            &g,
+            &Condition::on_attr("type", "tag"),
+            Direction::Tgt,
+            "tagger_count",
+            &AggregateFn::Count,
+        );
+        assert_eq!(
+            out.node(coors).unwrap().attrs.get_f64("tagger_count"),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn link_aggregation_replaces_parallel_links() {
+        // Build parallel links: two tag actions from John to the same item.
+        let mut b = GraphBuilder::new();
+        let john = b.add_user("John");
+        let denver = b.add_item("Denver", &["destination"]);
+        b.tag(john, denver, &["a"]);
+        b.tag(john, denver, &["b"]);
+        b.visit(john, denver);
+        let g = b.build();
+
+        let out = link_aggregate(
+            &g,
+            &Condition::on_attr("type", "tag"),
+            "tag_cnt",
+            &AggregateFn::Count,
+        );
+        // Two tag links collapsed into one; the visit link is untouched.
+        assert_eq!(out.link_count(), 2);
+        let agg_link = out
+            .links()
+            .find(|l| l.attrs.get("tag_cnt").is_some())
+            .unwrap();
+        assert_eq!(agg_link.attrs.get_f64("tag_cnt"), Some(2.0));
+        assert_eq!(agg_link.src, john);
+        assert_eq!(agg_link.tgt, denver);
+        assert!(agg_link.has_type("aggregated"));
+        assert!(out.links().any(|l| l.has_type("visit")));
+    }
+
+    #[test]
+    fn link_aggregation_multi_sets_type_and_retains_sim() {
+        // Example 5 step 6: replace parallel similarity links by one 'match'
+        // link retaining sim.
+        let mut b = GraphBuilder::new();
+        let john = b.add_user("John");
+        let mary = b.add_user("Mary");
+        let l1 = b.matches(john, mary, 0.8);
+        let l2 = b.matches(john, mary, 0.8);
+        let g = b.build();
+        assert!(g.has_link(l1) && g.has_link(l2));
+
+        let out = link_aggregate_multi(
+            &g,
+            &Condition::on_attr("type", "match"),
+            &[
+                ("type".to_string(), AggregateFn::ConstStr("match".into())),
+                ("sim".to_string(), AggregateFn::First("sim".into())),
+            ],
+        );
+        assert_eq!(out.link_count(), 1);
+        let l = out.links().next().unwrap();
+        assert!(l.has_type("match"));
+        assert!(!l.has_type("aggregated"));
+        assert_eq!(l.attrs.get_f64("sim"), Some(0.8));
+    }
+
+    #[test]
+    fn link_aggregation_average_score() {
+        // Example 5 step 9: average sim_sc per (John, destination) pair.
+        let mut b = GraphBuilder::new();
+        let john = b.add_user("John");
+        let coors = b.add_item("Coors Field", &["destination"]);
+        for sim in [0.6, 0.8, 1.0] {
+            b.add_link_with(
+                john,
+                coors,
+                ["recommendation"],
+                &[("sim_sc", Value::single(sim))],
+            );
+        }
+        let g = b.build();
+        let out = link_aggregate(
+            &g,
+            &Condition::on_attr("type", "recommendation"),
+            "score",
+            &AggregateFn::Avg("sim_sc".into()),
+        );
+        assert_eq!(out.link_count(), 1);
+        let score = out.links().next().unwrap().attrs.get_f64("score").unwrap();
+        assert!((score - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_aggregation_with_naf_expression() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_user("u");
+        let i = b.add_item("i", &["destination"]);
+        b.rate(u, i, 3.0);
+        b.rate(u, i, 5.0);
+        let g = b.build();
+        let out = link_aggregate(
+            &g,
+            &Condition::on_attr("type", "rating"),
+            "avg_rating",
+            &AggregateFn::Naf(NafExpr::avg("rating")),
+        );
+        let l = out.links().next().unwrap();
+        assert_eq!(l.attrs.get_f64("avg_rating"), Some(4.0));
+    }
+
+    #[test]
+    fn aggregation_with_no_matching_links_is_identity() {
+        let (g, ..) = site();
+        let out = node_aggregate(
+            &g,
+            &Condition::on_attr("type", "nonexistent"),
+            Direction::Src,
+            "x",
+            &AggregateFn::Count,
+        );
+        assert_eq!(out, g);
+        let out = link_aggregate(
+            &g,
+            &Condition::on_attr("type", "nonexistent"),
+            "x",
+            &AggregateFn::Count,
+        );
+        assert_eq!(out, g);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for algebra operations.
+
+use std::fmt;
+
+/// Errors raised while evaluating algebra operators or plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// An aggregation or composition function referenced an attribute that
+    /// is not present and has no default.
+    MissingAttribute(String),
+    /// A numerical aggregate expression could not be evaluated (e.g. a
+    /// division by zero, or a non-numeric attribute).
+    Numeric(String),
+    /// A plan referenced an input graph index that was not supplied.
+    MissingInput(usize),
+    /// A graph-level error bubbled up from the substrate.
+    Graph(socialscope_graph::GraphError),
+    /// The plan is malformed (e.g. an optimizer rewrite produced an
+    /// inconsistent tree).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::MissingAttribute(a) => write!(f, "missing attribute `{a}`"),
+            AlgebraError::Numeric(msg) => write!(f, "numeric aggregation error: {msg}"),
+            AlgebraError::MissingInput(i) => write!(f, "plan input #{i} was not supplied"),
+            AlgebraError::Graph(e) => write!(f, "graph error: {e}"),
+            AlgebraError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<socialscope_graph::GraphError> for AlgebraError {
+    fn from(e: socialscope_graph::GraphError) -> Self {
+        AlgebraError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AlgebraError::MissingAttribute("sim".into());
+        assert!(e.to_string().contains("sim"));
+        let g = AlgebraError::from(socialscope_graph::GraphError::MissingNode(
+            socialscope_graph::NodeId(1),
+        ));
+        assert!(std::error::Error::source(&g).is_some());
+    }
+}

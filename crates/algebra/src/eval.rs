@@ -1,0 +1,224 @@
+//! Plan evaluation.
+
+use crate::aggregate::{link_aggregate_multi, node_aggregate};
+use crate::compose::{compose, ComposeFn};
+use crate::pattern::pattern_aggregate;
+use crate::plan::{Plan, ScoringSpec};
+use crate::scoring::{AttributeScoring, ConstantScoring, DefaultScoring, Scoring, TfIdfScoring};
+use crate::select::{link_select, node_select};
+use crate::semijoin::semi_join;
+use crate::setops::{intersect, minus, minus_link_driven, union};
+use crate::Result;
+use socialscope_graph::SocialGraph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Evaluates logical plans against a base social content graph.
+///
+/// Shared sub-plans (the same `Arc<Plan>` appearing at several places in the
+/// tree, as produced by [`crate::plan::PlanBuilder`] reuse or by the
+/// optimizer's common-subexpression elimination) are evaluated once and
+/// cached by pointer identity.
+pub struct Evaluator<'g> {
+    base: &'g SocialGraph,
+    tfidf: Option<TfIdfScoring>,
+}
+
+/// Counters describing one evaluation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Operator nodes evaluated (cache misses).
+    pub operators_evaluated: usize,
+    /// Cache hits on shared sub-plans.
+    pub cache_hits: usize,
+}
+
+impl<'g> Evaluator<'g> {
+    /// Create an evaluator over a base graph.
+    pub fn new(base: &'g SocialGraph) -> Self {
+        Evaluator { base, tfidf: None }
+    }
+
+    /// Evaluate a plan.
+    pub fn evaluate(&mut self, plan: &Arc<Plan>) -> Result<SocialGraph> {
+        let (g, _) = self.evaluate_with_stats(plan)?;
+        Ok(g)
+    }
+
+    /// Evaluate a plan, returning evaluation statistics alongside the result.
+    pub fn evaluate_with_stats(&mut self, plan: &Arc<Plan>) -> Result<(SocialGraph, EvalStats)> {
+        let mut cache: HashMap<*const Plan, SocialGraph> = HashMap::new();
+        let mut stats = EvalStats::default();
+        let g = self.eval_rec(plan, &mut cache, &mut stats)?;
+        Ok((g, stats))
+    }
+
+    fn scorer(&mut self, spec: &ScoringSpec) -> Box<dyn Scoring> {
+        match spec {
+            ScoringSpec::Default => Box::new(DefaultScoring),
+            ScoringSpec::Constant(c) => Box::new(ConstantScoring(*c)),
+            ScoringSpec::Attribute(a) => Box::new(AttributeScoring::new(a.clone())),
+            ScoringSpec::TfIdf => {
+                if self.tfidf.is_none() {
+                    self.tfidf = Some(TfIdfScoring::from_graph(self.base));
+                }
+                Box::new(self.tfidf.clone().expect("initialized above"))
+            }
+        }
+    }
+
+    fn eval_rec(
+        &mut self,
+        plan: &Arc<Plan>,
+        cache: &mut HashMap<*const Plan, SocialGraph>,
+        stats: &mut EvalStats,
+    ) -> Result<SocialGraph> {
+        let key = Arc::as_ptr(plan);
+        if let Some(hit) = cache.get(&key) {
+            stats.cache_hits += 1;
+            return Ok(hit.clone());
+        }
+        stats.operators_evaluated += 1;
+        let result = match &**plan {
+            Plan::Base => self.base.clone(),
+            Plan::NodeSelect { input, condition, scoring } => {
+                let g = self.eval_rec(input, cache, stats)?;
+                let scorer = scoring.as_ref().map(|s| self.scorer(s));
+                node_select(&g, condition, scorer.as_deref())
+            }
+            Plan::LinkSelect { input, condition, scoring } => {
+                let g = self.eval_rec(input, cache, stats)?;
+                let scorer = scoring.as_ref().map(|s| self.scorer(s));
+                link_select(&g, condition, scorer.as_deref())
+            }
+            Plan::Union { left, right } => {
+                let l = self.eval_rec(left, cache, stats)?;
+                let r = self.eval_rec(right, cache, stats)?;
+                union(&l, &r)
+            }
+            Plan::Intersect { left, right } => {
+                let l = self.eval_rec(left, cache, stats)?;
+                let r = self.eval_rec(right, cache, stats)?;
+                intersect(&l, &r)
+            }
+            Plan::Minus { left, right } => {
+                let l = self.eval_rec(left, cache, stats)?;
+                let r = self.eval_rec(right, cache, stats)?;
+                minus(&l, &r)
+            }
+            Plan::MinusLinkDriven { left, right } => {
+                let l = self.eval_rec(left, cache, stats)?;
+                let r = self.eval_rec(right, cache, stats)?;
+                minus_link_driven(&l, &r)
+            }
+            Plan::Compose { left, right, delta, f } => {
+                let l = self.eval_rec(left, cache, stats)?;
+                let r = self.eval_rec(right, cache, stats)?;
+                compose(&l, &r, *delta, f as &dyn ComposeFn)
+            }
+            Plan::SemiJoin { left, right, delta } => {
+                let l = self.eval_rec(left, cache, stats)?;
+                let r = self.eval_rec(right, cache, stats)?;
+                semi_join(&l, &r, *delta)
+            }
+            Plan::NodeAgg { input, condition, direction, attr, agg } => {
+                let g = self.eval_rec(input, cache, stats)?;
+                node_aggregate(&g, condition, *direction, attr, agg)
+            }
+            Plan::LinkAgg { input, condition, aggs } => {
+                let g = self.eval_rec(input, cache, stats)?;
+                link_aggregate_multi(&g, condition, aggs)
+            }
+            Plan::PatternAgg { input, pattern, attr, agg } => {
+                let g = self.eval_rec(input, cache, stats)?;
+                pattern_aggregate(&g, pattern, attr, agg)
+            }
+        };
+        cache.insert(key, result.clone());
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::DirectionalCondition;
+    use crate::condition::Condition;
+    use crate::plan::PlanBuilder;
+    use socialscope_graph::{GraphBuilder, HasAttrs, NodeId};
+
+    fn site() -> (SocialGraph, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let john = b.add_user("John");
+        let mary = b.add_user("Mary");
+        let pete = b.add_user("Pete");
+        let coors = b.add_item_with_keywords("Coors Field", &["destination"], &["baseball"]);
+        let zoo = b.add_item_with_keywords("Denver Zoo", &["destination"], &["animals"]);
+        b.befriend(john, mary);
+        b.befriend(john, pete);
+        b.visit(mary, coors);
+        b.visit(pete, zoo);
+        (b.build(), john, coors)
+    }
+
+    #[test]
+    fn evaluate_example4_style_plan() {
+        let (g, john, _) = site();
+        // John's friendships.
+        let john_sel = PlanBuilder::base().node_select(Condition::on_attr("id", john.raw() as i64));
+        let friendships = PlanBuilder::base()
+            .semi_join(&john_sel, DirectionalCondition::src_src())
+            .link_select(Condition::on_attr("type", "friend"));
+        // Visits by anyone.
+        let visits = PlanBuilder::base().link_select(Condition::on_attr("type", "visit"));
+        // Friends of John who visited something: friendships ⋉(tgt,src) visits.
+        let plan = friendships
+            .semi_join(&visits, DirectionalCondition::tgt_src())
+            .build();
+        let mut ev = Evaluator::new(&g);
+        let out = ev.evaluate(&plan).unwrap();
+        assert_eq!(out.link_count(), 2);
+        assert!(out.links().all(|l| l.has_type("friend")));
+    }
+
+    #[test]
+    fn scoring_specs_resolve() {
+        let (g, ..) = site();
+        let plan = PlanBuilder::base()
+            .node_select_scored(
+                Condition::on_attr("type", "destination").and_keywords(["baseball"]),
+                crate::plan::ScoringSpec::TfIdf,
+            )
+            .build();
+        let mut ev = Evaluator::new(&g);
+        let out = ev.evaluate(&plan).unwrap();
+        assert_eq!(out.node_count(), 1);
+        assert!(out.nodes().next().unwrap().score.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn shared_subplans_are_cached() {
+        let (g, ..) = site();
+        let shared = PlanBuilder::base().link_select(Condition::on_attr("type", "visit"));
+        let plan = shared.clone().union(&shared).build();
+        let mut ev = Evaluator::new(&g);
+        let (out, stats) = ev.evaluate_with_stats(&plan).unwrap();
+        assert_eq!(out.link_count(), 2);
+        assert_eq!(stats.cache_hits, 1);
+        // Base, shared link_select, union => 3 operator evaluations.
+        assert_eq!(stats.operators_evaluated, 3);
+    }
+
+    #[test]
+    fn unshared_equal_subplans_are_not_cached() {
+        let (g, ..) = site();
+        let a = PlanBuilder::base().link_select(Condition::on_attr("type", "visit"));
+        let b = PlanBuilder::base().link_select(Condition::on_attr("type", "visit"));
+        let plan = a.union(&b).build();
+        let mut ev = Evaluator::new(&g);
+        let (_, stats) = ev.evaluate_with_stats(&plan).unwrap();
+        // Base is a distinct Arc in each builder, so everything is evaluated.
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.operators_evaluated, 5);
+    }
+}

@@ -1,0 +1,105 @@
+//! # socialscope-algebra
+//!
+//! The SocialScope social content graph algebra (paper §5).
+//!
+//! SocialScope proposes a *logical algebra* in which every operator takes
+//! social content graphs as input and produces a social content graph as
+//! output, so that analysis and information-discovery tasks can be specified
+//! declaratively, composed freely, and optimized. This crate implements the
+//! full operator set of the paper:
+//!
+//! | Paper operator | Module | Function |
+//! |---|---|---|
+//! | Node Selection `σN⟨C,S⟩` (Def. 1) | [`select`] | [`select::node_select`] |
+//! | Link Selection `σL⟨C,S⟩` (Def. 2) | [`select`] | [`select::link_select`] |
+//! | Union / Intersection / Node-Driven Minus (Def. 3) | [`setops`] | [`setops::union`], [`setops::intersect`], [`setops::minus`] |
+//! | Link-Driven Minus `\·` (Def. 4) | [`setops`] | [`setops::minus_link_driven`] |
+//! | Composition `⊙⟨δ,F⟩` (Def. 5) | [`compose`] | [`compose::compose`] |
+//! | Semi-Join `⋉δ` (Def. 6) | [`semijoin`] | [`semijoin::semi_join`] |
+//! | Set / numerical aggregate functions SAF & NAF (Defs. 7–8) | [`aggfn`] | [`aggfn::AggregateFn`], [`aggfn::NafExpr`] |
+//! | Node Aggregation `γN⟨C,d,att,A⟩` (Def. 9) | [`aggregate`] | [`aggregate::node_aggregate`] |
+//! | Link Aggregation `γL⟨C,att,A⟩` (Def. 10) | [`aggregate`] | [`aggregate::link_aggregate`] |
+//! | Graph-pattern aggregation (§5.4, Fig. 2) | [`pattern`] | [`pattern::pattern_aggregate`] |
+//!
+//! On top of the operators, [`plan`] provides a composable logical-plan
+//! representation, [`eval`] an evaluator, and [`optimizer`] a small
+//! rule-based rewriter (selection fusion and pushdown, common-subexpression
+//! elimination, set-operation simplification) — the "declarative, flexible,
+//! and optimizable" promise of the paper's Information Discovery layer.
+//!
+//! ## Example: a fragment of the search task of paper Example 4
+//!
+//! ```
+//! use socialscope_algebra::prelude::*;
+//! use socialscope_graph::GraphBuilder;
+//!
+//! // Build a tiny site: John, a friend, a destination near Denver.
+//! let mut b = GraphBuilder::new();
+//! let john = b.add_user("John");
+//! let mary = b.add_user("Mary");
+//! let red_rocks = b.add_item_with_keywords("Red Rocks", &["destination"], &["near", "denver"]);
+//! b.befriend(john, mary);
+//! b.visit(mary, red_rocks);
+//! let g = b.build();
+//!
+//! // John's friendship links: σL_type=friend(G ⋉(src,src) σN_id(G)).
+//! let john_nodes = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
+//! let touching_john = semi_join(
+//!     &g,
+//!     &john_nodes,
+//!     DirectionalCondition::new(Direction::Src, Direction::Src),
+//! );
+//! let friendships = link_select(&touching_john, &Condition::on_attr("type", "friend"), None);
+//! assert_eq!(friendships.link_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggfn;
+pub mod aggregate;
+pub mod compose;
+pub mod condition;
+pub mod error;
+pub mod eval;
+pub mod optimizer;
+pub mod pattern;
+pub mod plan;
+pub mod scoring;
+pub mod select;
+pub mod semijoin;
+pub mod setops;
+
+pub use aggfn::{AggregateFn, NafExpr};
+pub use aggregate::{link_aggregate, link_aggregate_multi, node_aggregate};
+pub use compose::{compose, ComposeFn, ComposeSpec, DirectionalCondition};
+pub use condition::{Condition, StructuralCondition};
+pub use error::AlgebraError;
+pub use eval::Evaluator;
+pub use optimizer::{OptimizationReport, Optimizer};
+pub use pattern::{pattern_aggregate, GraphPattern, PathAggregate, PatternStep};
+pub use plan::{Plan, PlanBuilder, ScoringSpec};
+pub use scoring::{AttributeScoring, ConstantScoring, DefaultScoring, Scoring, TfIdfScoring};
+pub use select::{link_select, node_select};
+pub use semijoin::semi_join;
+pub use setops::{intersect, minus, minus_link_driven, union};
+
+/// Convenience result alias for algebra operations.
+pub type Result<T> = std::result::Result<T, AlgebraError>;
+
+/// Commonly used items, re-exported for concise call sites.
+pub mod prelude {
+    pub use crate::aggfn::{AggregateFn, NafExpr};
+    pub use crate::aggregate::{link_aggregate, link_aggregate_multi, node_aggregate};
+    pub use crate::compose::{compose, ComposeSpec, DirectionalCondition};
+    pub use crate::condition::{Condition, StructuralCondition};
+    pub use crate::eval::Evaluator;
+    pub use crate::optimizer::Optimizer;
+    pub use crate::pattern::{pattern_aggregate, GraphPattern, PathAggregate, PatternStep};
+    pub use crate::plan::{Plan, PlanBuilder, ScoringSpec};
+    pub use crate::scoring::{DefaultScoring, Scoring};
+    pub use crate::select::{link_select, node_select};
+    pub use crate::semijoin::semi_join;
+    pub use crate::setops::{intersect, minus, minus_link_driven, union};
+    pub use socialscope_graph::{Direction, HasAttrs};
+}

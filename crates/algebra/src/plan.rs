@@ -1,0 +1,484 @@
+//! Logical plans over the algebra.
+//!
+//! A [`Plan`] is a tree of algebra operators whose leaves are [`Plan::Base`]
+//! — the social content graph the plan is evaluated against. Plans make the
+//! algebra *declarative*: information-discovery tasks (the search of
+//! Example 4, the collaborative filtering of Example 5) are values that can
+//! be inspected, rewritten by the [`crate::optimizer`], and evaluated by the
+//! [`crate::eval::Evaluator`].
+
+use crate::aggfn::AggregateFn;
+use crate::compose::{ComposeFn, ComposeSpec, DirectionalCondition};
+use crate::condition::Condition;
+use crate::pattern::{GraphPattern, PathAggregate};
+use socialscope_graph::Direction;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declarative description of a scoring function, resolvable by the
+/// evaluator without carrying trait objects inside plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoringSpec {
+    /// The default keyword-fraction scoring.
+    Default,
+    /// A constant score.
+    Constant(f64),
+    /// Read the score from a numeric attribute.
+    Attribute(String),
+    /// tf–idf over the base graph's node corpus.
+    TfIdf,
+}
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// The base social content graph supplied at evaluation time.
+    Base,
+    /// Node Selection `σN⟨C,S⟩`.
+    NodeSelect {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// Selection condition.
+        condition: Condition,
+        /// Optional scoring specification.
+        scoring: Option<ScoringSpec>,
+    },
+    /// Link Selection `σL⟨C,S⟩`.
+    LinkSelect {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// Selection condition.
+        condition: Condition,
+        /// Optional scoring specification.
+        scoring: Option<ScoringSpec>,
+    },
+    /// Union `∪`.
+    Union {
+        /// Left input.
+        left: Arc<Plan>,
+        /// Right input.
+        right: Arc<Plan>,
+    },
+    /// Intersection `∩`.
+    Intersect {
+        /// Left input.
+        left: Arc<Plan>,
+        /// Right input.
+        right: Arc<Plan>,
+    },
+    /// Node-Driven Minus `\`.
+    Minus {
+        /// Left input.
+        left: Arc<Plan>,
+        /// Right input.
+        right: Arc<Plan>,
+    },
+    /// Link-Driven Minus `\·`.
+    MinusLinkDriven {
+        /// Left input.
+        left: Arc<Plan>,
+        /// Right input.
+        right: Arc<Plan>,
+    },
+    /// Composition `⊙⟨δ,F⟩`.
+    Compose {
+        /// Left input.
+        left: Arc<Plan>,
+        /// Right input.
+        right: Arc<Plan>,
+        /// Directional condition.
+        delta: DirectionalCondition,
+        /// Composition function.
+        f: ComposeSpec,
+    },
+    /// Semi-Join `⋉δ`.
+    SemiJoin {
+        /// Left input.
+        left: Arc<Plan>,
+        /// Right input.
+        right: Arc<Plan>,
+        /// Directional condition.
+        delta: DirectionalCondition,
+    },
+    /// Node Aggregation `γN⟨C,d,att,A⟩`.
+    NodeAgg {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// Link condition.
+        condition: Condition,
+        /// Grouping direction.
+        direction: Direction,
+        /// Destination attribute.
+        attr: String,
+        /// Aggregation function.
+        agg: AggregateFn,
+    },
+    /// Link Aggregation `γL⟨C,att,A⟩`, possibly with several destination
+    /// attributes computed from the same grouping.
+    LinkAgg {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// Link condition.
+        condition: Condition,
+        /// Destination attributes and their aggregation functions.
+        aggs: Vec<(String, AggregateFn)>,
+    },
+    /// Pattern-based aggregation `γL⟨GP,att,A⟩`.
+    PatternAgg {
+        /// Input plan.
+        input: Arc<Plan>,
+        /// The graph pattern.
+        pattern: GraphPattern,
+        /// Destination attribute.
+        attr: String,
+        /// Path aggregate.
+        agg: PathAggregate,
+    },
+}
+
+impl Plan {
+    /// Children of this plan node, in order.
+    pub fn children(&self) -> Vec<&Arc<Plan>> {
+        match self {
+            Plan::Base => vec![],
+            Plan::NodeSelect { input, .. }
+            | Plan::LinkSelect { input, .. }
+            | Plan::NodeAgg { input, .. }
+            | Plan::LinkAgg { input, .. }
+            | Plan::PatternAgg { input, .. } => vec![input],
+            Plan::Union { left, right }
+            | Plan::Intersect { left, right }
+            | Plan::Minus { left, right }
+            | Plan::MinusLinkDriven { left, right }
+            | Plan::SemiJoin { left, right, .. }
+            | Plan::Compose { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Total number of operator nodes in the tree (counting shared subtrees
+    /// once per occurrence).
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Operator name, for explanations.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Plan::Base => "base",
+            Plan::NodeSelect { .. } => "node_select",
+            Plan::LinkSelect { .. } => "link_select",
+            Plan::Union { .. } => "union",
+            Plan::Intersect { .. } => "intersect",
+            Plan::Minus { .. } => "minus",
+            Plan::MinusLinkDriven { .. } => "minus_link_driven",
+            Plan::Compose { .. } => "compose",
+            Plan::SemiJoin { .. } => "semi_join",
+            Plan::NodeAgg { .. } => "node_agg",
+            Plan::LinkAgg { .. } => "link_agg",
+            Plan::PatternAgg { .. } => "pattern_agg",
+        }
+    }
+
+    /// Render an indented textual explanation of the plan tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(indent);
+        let _ = writeln!(out, "{pad}{}", self.describe());
+        for c in self.children() {
+            c.explain_into(out, indent + 1);
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Plan::Base => "Base".to_string(),
+            Plan::NodeSelect { condition, scoring, .. } => format!(
+                "NodeSelect[{} structural, {} keywords, scoring={:?}]",
+                condition.structural.len(),
+                condition.keywords.len(),
+                scoring
+            ),
+            Plan::LinkSelect { condition, .. } => format!(
+                "LinkSelect[{} structural, {} keywords]",
+                condition.structural.len(),
+                condition.keywords.len()
+            ),
+            Plan::Union { .. } => "Union".to_string(),
+            Plan::Intersect { .. } => "Intersect".to_string(),
+            Plan::Minus { .. } => "Minus".to_string(),
+            Plan::MinusLinkDriven { .. } => "MinusLinkDriven".to_string(),
+            Plan::Compose { delta, f, .. } => {
+                format!("Compose[delta=({:?},{:?}), f={}]", delta.left, delta.right, f.name())
+            }
+            Plan::SemiJoin { delta, .. } => {
+                format!("SemiJoin[delta=({:?},{:?})]", delta.left, delta.right)
+            }
+            Plan::NodeAgg { attr, agg, direction, .. } => {
+                format!("NodeAgg[dir={direction}, attr={attr}, agg={agg:?}]")
+            }
+            Plan::LinkAgg { aggs, .. } => format!(
+                "LinkAgg[{}]",
+                aggs.iter()
+                    .map(|(a, g)| format!("{a}={g:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Plan::PatternAgg { pattern, attr, .. } => {
+                format!("PatternAgg[{} hops, attr={attr}]", pattern.len())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+/// Fluent construction of plans. A `PlanBuilder` wraps an `Arc<Plan>`; each
+/// method returns a new builder so sub-plans can be reused (shared
+/// sub-expressions stay shared, which the evaluator exploits).
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: Arc<Plan>,
+}
+
+impl PlanBuilder {
+    /// Start from the base graph.
+    pub fn base() -> Self {
+        PlanBuilder { plan: Arc::new(Plan::Base) }
+    }
+
+    /// Wrap an existing plan.
+    pub fn from_plan(plan: Arc<Plan>) -> Self {
+        PlanBuilder { plan }
+    }
+
+    /// The built plan.
+    pub fn build(self) -> Arc<Plan> {
+        self.plan
+    }
+
+    /// Borrow the plan being built.
+    pub fn plan(&self) -> &Arc<Plan> {
+        &self.plan
+    }
+
+    /// Apply Node Selection.
+    pub fn node_select(self, condition: Condition) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::NodeSelect { input: self.plan, condition, scoring: None }),
+        }
+    }
+
+    /// Apply Node Selection with a scoring specification.
+    pub fn node_select_scored(self, condition: Condition, scoring: ScoringSpec) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::NodeSelect {
+                input: self.plan,
+                condition,
+                scoring: Some(scoring),
+            }),
+        }
+    }
+
+    /// Apply Link Selection.
+    pub fn link_select(self, condition: Condition) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::LinkSelect { input: self.plan, condition, scoring: None }),
+        }
+    }
+
+    /// Apply Link Selection with a scoring specification.
+    pub fn link_select_scored(self, condition: Condition, scoring: ScoringSpec) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::LinkSelect {
+                input: self.plan,
+                condition,
+                scoring: Some(scoring),
+            }),
+        }
+    }
+
+    /// Union with another plan.
+    pub fn union(self, other: &PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::Union { left: self.plan, right: other.plan.clone() }),
+        }
+    }
+
+    /// Intersection with another plan.
+    pub fn intersect(self, other: &PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::Intersect { left: self.plan, right: other.plan.clone() }),
+        }
+    }
+
+    /// Node-driven minus with another plan.
+    pub fn minus(self, other: &PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::Minus { left: self.plan, right: other.plan.clone() }),
+        }
+    }
+
+    /// Link-driven minus with another plan.
+    pub fn minus_link_driven(self, other: &PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::MinusLinkDriven { left: self.plan, right: other.plan.clone() }),
+        }
+    }
+
+    /// Compose with another plan.
+    pub fn compose(self, other: &PlanBuilder, delta: DirectionalCondition, f: ComposeSpec) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::Compose {
+                left: self.plan,
+                right: other.plan.clone(),
+                delta,
+                f,
+            }),
+        }
+    }
+
+    /// Semi-join with another plan.
+    pub fn semi_join(self, other: &PlanBuilder, delta: DirectionalCondition) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::SemiJoin { left: self.plan, right: other.plan.clone(), delta }),
+        }
+    }
+
+    /// Apply Node Aggregation.
+    pub fn node_agg(
+        self,
+        condition: Condition,
+        direction: Direction,
+        attr: impl Into<String>,
+        agg: AggregateFn,
+    ) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::NodeAgg {
+                input: self.plan,
+                condition,
+                direction,
+                attr: attr.into(),
+                agg,
+            }),
+        }
+    }
+
+    /// Apply Link Aggregation with a single destination attribute.
+    pub fn link_agg(self, condition: Condition, attr: impl Into<String>, agg: AggregateFn) -> Self {
+        self.link_agg_multi(condition, vec![(attr.into(), agg)])
+    }
+
+    /// Apply Link Aggregation with several destination attributes.
+    pub fn link_agg_multi(self, condition: Condition, aggs: Vec<(String, AggregateFn)>) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::LinkAgg { input: self.plan, condition, aggs }),
+        }
+    }
+
+    /// Apply pattern-based aggregation.
+    pub fn pattern_agg(
+        self,
+        pattern: GraphPattern,
+        attr: impl Into<String>,
+        agg: PathAggregate,
+    ) -> Self {
+        PlanBuilder {
+            plan: Arc::new(Plan::PatternAgg {
+                input: self.plan,
+                pattern,
+                attr: attr.into(),
+                agg,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::NodeId;
+
+    #[test]
+    fn builder_constructs_expected_tree() {
+        let john_net = PlanBuilder::base()
+            .semi_join(
+                &PlanBuilder::base().node_select(Condition::on_attr("id", 101i64)),
+                DirectionalCondition::src_src(),
+            )
+            .link_select(Condition::on_attr("type", "friend"));
+        let plan = john_net.build();
+        assert_eq!(plan.op_name(), "link_select");
+        // link_select -> semi_join -> { base, node_select -> base } = 5 nodes.
+        assert_eq!(plan.size(), 5);
+        assert_eq!(plan.depth(), 4);
+        let explained = plan.explain();
+        assert!(explained.contains("SemiJoin"));
+        assert!(explained.contains("NodeSelect"));
+    }
+
+    #[test]
+    fn plans_compare_structurally() {
+        let a = PlanBuilder::base()
+            .node_select(Condition::on_attr("type", "user"))
+            .build();
+        let b = PlanBuilder::base()
+            .node_select(Condition::on_attr("type", "user"))
+            .build();
+        let c = PlanBuilder::base()
+            .node_select(Condition::on_attr("type", "item"))
+            .build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shared_subplans_stay_shared() {
+        let shared = PlanBuilder::base().node_select(Condition::on_attr("type", "user"));
+        let plan = shared.clone().union(&shared).build();
+        match &*plan {
+            Plan::Union { left, right } => assert!(Arc::ptr_eq(left, right)),
+            _ => panic!("expected union"),
+        }
+    }
+
+    #[test]
+    fn pattern_agg_plan_node() {
+        let plan = PlanBuilder::base()
+            .pattern_agg(
+                GraphPattern::fig2_collaborative_filtering(NodeId(101)),
+                "score",
+                PathAggregate::AvgLinkAttr { step: 0, attr: "sim".into() },
+            )
+            .build();
+        assert_eq!(plan.op_name(), "pattern_agg");
+        assert!(plan.explain().contains("2 hops"));
+    }
+
+    #[test]
+    fn display_matches_explain() {
+        let plan = PlanBuilder::base()
+            .link_select(Condition::on_attr("type", "visit"))
+            .build();
+        assert_eq!(format!("{plan}"), plan.explain());
+    }
+}

@@ -1,0 +1,226 @@
+//! Scoring functions for the selection operators (paper §5.1).
+//!
+//! Node and Link Selection take an optional scoring function `S`; when
+//! keywords are present but no function is supplied, a *default* scoring
+//! function is used. Scores express semantic relevance and are attached to
+//! the selected nodes/links; the discovery layer later combines them with
+//! social relevance.
+
+use crate::condition::Condition;
+use socialscope_graph::{AttrMap, SocialGraph};
+use std::collections::HashMap;
+
+/// A scoring function: maps an element's attributes and the query keywords
+/// to a relevance score in `[0, 1]` (by convention; nothing enforces the
+/// range for custom functions).
+pub trait Scoring: Send + Sync {
+    /// Score the element described by `attrs` against the keywords of
+    /// `condition`.
+    fn score(&self, attrs: &AttrMap, condition: &Condition) -> f64;
+
+    /// A short human-readable name used in plan explanations.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// The default scoring function: the fraction of query keywords that appear
+/// in the element's attribute text. With no keywords the score is `1.0`
+/// (pure structural selection).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultScoring;
+
+impl Scoring for DefaultScoring {
+    fn score(&self, attrs: &AttrMap, condition: &Condition) -> f64 {
+        if condition.keywords.is_empty() {
+            return 1.0;
+        }
+        condition.keyword_matches(attrs) as f64 / condition.keywords.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "default"
+    }
+}
+
+/// A constant scoring function (useful for tests and for selections whose
+/// score should not matter downstream).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantScoring(pub f64);
+
+impl Scoring for ConstantScoring {
+    fn score(&self, _attrs: &AttrMap, _condition: &Condition) -> f64 {
+        self.0
+    }
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+}
+
+/// A scoring function that reads the score from a numeric attribute of the
+/// element (e.g. a pre-computed `rating` or `sim` value), defaulting to 0
+/// when the attribute is absent.
+#[derive(Debug, Clone)]
+pub struct AttributeScoring {
+    /// The attribute to read.
+    pub attr: String,
+}
+
+impl AttributeScoring {
+    /// Score by the given attribute.
+    pub fn new(attr: impl Into<String>) -> Self {
+        AttributeScoring { attr: attr.into() }
+    }
+}
+
+impl Scoring for AttributeScoring {
+    fn score(&self, attrs: &AttrMap, _condition: &Condition) -> f64 {
+        attrs.get_f64(&self.attr).unwrap_or(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "attribute"
+    }
+}
+
+/// A tf–idf scoring function over the node corpus of a social content graph,
+/// in the spirit of the classic IR measure the paper contrasts with
+/// (§2.1, §6.2 and ref [6]).
+///
+/// Document frequency is computed over the attribute text of every node of
+/// the corpus graph; term frequency is computed per element at scoring time.
+#[derive(Debug, Clone)]
+pub struct TfIdfScoring {
+    doc_freq: HashMap<String, usize>,
+    num_docs: usize,
+}
+
+impl TfIdfScoring {
+    /// Build corpus statistics from the nodes of a graph.
+    pub fn from_graph(corpus: &SocialGraph) -> Self {
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut num_docs = 0usize;
+        for node in corpus.nodes() {
+            num_docs += 1;
+            let mut tokens = node.attrs.all_tokens();
+            tokens.sort();
+            tokens.dedup();
+            for t in tokens {
+                *doc_freq.entry(t).or_default() += 1;
+            }
+        }
+        TfIdfScoring { doc_freq, num_docs }
+    }
+
+    /// Inverse document frequency of a term (smoothed).
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.doc_freq.get(term).copied().unwrap_or(0);
+        ((1.0 + self.num_docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// Number of documents in the corpus.
+    pub fn corpus_size(&self) -> usize {
+        self.num_docs
+    }
+}
+
+impl Scoring for TfIdfScoring {
+    fn score(&self, attrs: &AttrMap, condition: &Condition) -> f64 {
+        if condition.keywords.is_empty() {
+            return 1.0;
+        }
+        let tokens = attrs.all_tokens();
+        if tokens.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for kw in &condition.keywords {
+            let tf = tokens.iter().filter(|t| *t == kw).count() as f64 / tokens.len() as f64;
+            total += tf * self.idf(kw);
+        }
+        // Normalize by the best possible score so results stay comparable
+        // with the default scoring's [0, 1] range.
+        let max_possible: f64 = condition.keywords.iter().map(|k| self.idf(k)).sum();
+        if max_possible == 0.0 {
+            0.0
+        } else {
+            (total / max_possible).min(1.0)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tfidf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::{GraphBuilder, Value};
+
+    fn attrs(pairs: &[(&str, Value)]) -> AttrMap {
+        let mut m = AttrMap::new();
+        for (k, v) in pairs {
+            m.set(*k, v.clone());
+        }
+        m
+    }
+
+    #[test]
+    fn default_scoring_is_keyword_fraction() {
+        let a = attrs(&[("name", Value::single("Coors Field baseball stadium"))]);
+        let c = Condition::keywords(["baseball", "museum"]);
+        assert!((DefaultScoring.score(&a, &c) - 0.5).abs() < 1e-9);
+        let c_all = Condition::keywords(["baseball", "stadium"]);
+        assert!((DefaultScoring.score(&a, &c_all) - 1.0).abs() < 1e-9);
+        assert_eq!(DefaultScoring.score(&a, &Condition::any()), 1.0);
+    }
+
+    #[test]
+    fn constant_and_attribute_scoring() {
+        let a = attrs(&[("rating", Value::single(0.7))]);
+        assert_eq!(ConstantScoring(0.3).score(&a, &Condition::any()), 0.3);
+        assert_eq!(
+            AttributeScoring::new("rating").score(&a, &Condition::any()),
+            0.7
+        );
+        assert_eq!(
+            AttributeScoring::new("missing").score(&a, &Condition::any()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn tfidf_prefers_rare_terms() {
+        let mut b = GraphBuilder::new();
+        // "attraction" appears on every item; "ballpark" only on one.
+        for i in 0..20 {
+            b.add_item_with_keywords(&format!("place{i}"), &["destination"], &["attraction"]);
+        }
+        b.add_item_with_keywords("B's Ballpark Museum", &["destination"], &["attraction", "ballpark"]);
+        let g = b.build();
+        let scorer = TfIdfScoring::from_graph(&g);
+        assert!(scorer.idf("ballpark") > scorer.idf("attraction"));
+
+        let rare = attrs(&[("keywords", Value::multi(["ballpark"]))]);
+        let common = attrs(&[("keywords", Value::multi(["attraction"]))]);
+        let c = Condition::keywords(["ballpark", "attraction"]);
+        assert!(scorer.score(&rare, &c) > scorer.score(&common, &c));
+    }
+
+    #[test]
+    fn tfidf_handles_empty_docs_and_queries() {
+        let g = GraphBuilder::new().build();
+        let scorer = TfIdfScoring::from_graph(&g);
+        assert_eq!(scorer.corpus_size(), 0);
+        let a = AttrMap::new();
+        assert_eq!(scorer.score(&a, &Condition::keywords(["x"])), 0.0);
+        assert_eq!(scorer.score(&a, &Condition::any()), 1.0);
+    }
+
+    #[test]
+    fn scoring_names() {
+        assert_eq!(DefaultScoring.name(), "default");
+        assert_eq!(ConstantScoring(1.0).name(), "constant");
+        assert_eq!(AttributeScoring::new("x").name(), "attribute");
+    }
+}

@@ -1,0 +1,167 @@
+//! The unary selection operators (paper Defs. 1 and 2).
+
+use crate::condition::Condition;
+use crate::scoring::{DefaultScoring, Scoring};
+use socialscope_graph::SocialGraph;
+
+/// Node Selection `σN⟨C,S⟩(G)` (Def. 1).
+///
+/// Returns the *null graph* consisting of the nodes of `G` that satisfy the
+/// condition `C` (and none of `G`'s links). When keywords are present, each
+/// selected node is annotated with a relevance score computed by `scoring`
+/// (or by the default scoring function when `None`).
+pub fn node_select(
+    graph: &SocialGraph,
+    condition: &Condition,
+    scoring: Option<&dyn Scoring>,
+) -> SocialGraph {
+    let default = DefaultScoring;
+    let scorer: &dyn Scoring = scoring.unwrap_or(&default);
+    let mut out = SocialGraph::new();
+    for node in graph.nodes() {
+        if condition.satisfied_by_node(node) {
+            let mut selected = node.clone();
+            if !condition.keywords.is_empty() || scoring.is_some() {
+                selected.score = Some(scorer.score(&node.attrs, condition));
+            }
+            out.add_node(selected);
+        }
+    }
+    out
+}
+
+/// Link Selection `σL⟨C,S⟩(G)` (Def. 2).
+///
+/// Returns the sub-graph of `G` *induced by* the links satisfying `C`: the
+/// matching links plus their endpoint nodes. Each selected link is annotated
+/// with a score when keywords are present or a scoring function is supplied.
+pub fn link_select(
+    graph: &SocialGraph,
+    condition: &Condition,
+    scoring: Option<&dyn Scoring>,
+) -> SocialGraph {
+    let default = DefaultScoring;
+    let scorer: &dyn Scoring = scoring.unwrap_or(&default);
+    let matching: Vec<_> = graph
+        .links()
+        .filter(|l| condition.satisfied_by_link(l))
+        .map(|l| l.id)
+        .collect();
+    let mut out = graph.induced_by_links(matching);
+    if !condition.keywords.is_empty() || scoring.is_some() {
+        for link in out.links_mut() {
+            link.score = Some(scorer.score(&link.attrs, condition));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Comparison;
+    use crate::scoring::AttributeScoring;
+    use socialscope_graph::{GraphBuilder, HasAttrs, NodeId};
+
+    fn site() -> (SocialGraph, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let john = b.add_user_with_interests("John", &["baseball"]);
+        let mary = b.add_user("Mary");
+        let denver = b.add_item_with_keywords("Denver", &["city"], &["skiing", "baseball"]);
+        let coors = b.add_item_with_keywords("Coors Field", &["destination"], &["baseball"]);
+        b.befriend(john, mary);
+        b.tag(john, denver, &["rockies", "baseball"]);
+        b.visit(mary, coors);
+        b.rate(mary, coors, 4.5);
+        (b.build(), john, denver, coors)
+    }
+
+    #[test]
+    fn node_select_produces_null_graph() {
+        let (g, ..) = site();
+        let users = node_select(&g, &Condition::on_attr("type", "user"), None);
+        assert_eq!(users.node_count(), 2);
+        assert!(users.is_null_graph());
+        // Without keywords and without an explicit scorer, no score is set.
+        assert!(users.nodes().all(|n| n.score.is_none()));
+    }
+
+    #[test]
+    fn node_select_with_keywords_scores_nodes() {
+        let (g, ..) = site();
+        let cond = Condition::on_attr("type", "item").and_keywords(["baseball"]);
+        let items = node_select(&g, &cond, None);
+        assert_eq!(items.node_count(), 2);
+        assert!(items.nodes().all(|n| n.score == Some(1.0)));
+
+        let cond2 = Condition::on_attr("type", "item").and_keywords(["skiing", "baseball"]);
+        let items2 = node_select(&g, &cond2, None);
+        let denver_score = items2
+            .nodes()
+            .find(|n| n.name() == Some("Denver"))
+            .unwrap()
+            .score
+            .unwrap();
+        let coors_score = items2
+            .nodes()
+            .find(|n| n.name() == Some("Coors Field"))
+            .unwrap()
+            .score
+            .unwrap();
+        assert!(denver_score > coors_score);
+    }
+
+    #[test]
+    fn node_select_by_id_matches_paper_examples() {
+        let (g, john, ..) = site();
+        let sel = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
+        assert_eq!(sel.node_count(), 1);
+        assert!(sel.has_node(john));
+        let not_john = node_select(
+            &g,
+            &Condition::any().and_compare("id", Comparison::NotEquals, john.raw() as i64),
+            None,
+        );
+        assert_eq!(not_john.node_count(), g.node_count() - 1);
+    }
+
+    #[test]
+    fn link_select_induces_endpoints() {
+        let (g, ..) = site();
+        let acts = link_select(&g, &Condition::on_attr("type", "act"), None);
+        assert_eq!(acts.link_count(), 3);
+        assert!(acts.links().all(|l| l.has_type("act")));
+        for l in acts.links() {
+            assert!(acts.has_node(l.src));
+            assert!(acts.has_node(l.tgt));
+        }
+        // Mary appears because of her visit, John because of his tag.
+        assert_eq!(acts.node_count(), 4);
+    }
+
+    #[test]
+    fn link_select_with_attribute_scoring() {
+        let (g, ..) = site();
+        let ratings = link_select(
+            &g,
+            &Condition::on_attr("type", "rating"),
+            Some(&AttributeScoring::new("rating")),
+        );
+        assert_eq!(ratings.link_count(), 1);
+        assert_eq!(ratings.links().next().unwrap().score, Some(4.5));
+    }
+
+    #[test]
+    fn empty_condition_selects_all() {
+        let (g, ..) = site();
+        assert_eq!(node_select(&g, &Condition::any(), None).node_count(), g.node_count());
+        assert_eq!(link_select(&g, &Condition::any(), None).link_count(), g.link_count());
+    }
+
+    #[test]
+    fn selection_on_empty_graph_is_empty() {
+        let g = SocialGraph::new();
+        assert!(node_select(&g, &Condition::any(), None).is_empty());
+        assert!(link_select(&g, &Condition::any(), None).is_empty());
+    }
+}

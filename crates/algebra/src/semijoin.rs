@@ -1,0 +1,131 @@
+//! The Semi-Join operator (paper Def. 6).
+
+use crate::compose::DirectionalCondition;
+use socialscope_graph::{FxHashSet, NodeId, SocialGraph};
+
+/// Semi-Join `G1 ⋉δ G2` (Def. 6): the sub-graph of `G1` induced by the
+/// links of `G1` whose `δ.d1` endpoint matches the `δ.d2` endpoint of some
+/// link of `G2`.
+///
+/// As in the paper, when `G2` is a *null graph* (nodes but no links — the
+/// output of Node Selection), the match is performed against the nodes of
+/// `G2` instead: a link of `G1` qualifies when its `δ.d1` endpoint is a node
+/// of `G2`. This is exactly how Example 4 uses the operator
+/// (`G ⋉(src,src) σN_id=101(G)` keeps the links leaving John).
+pub fn semi_join(
+    g1: &SocialGraph,
+    g2: &SocialGraph,
+    delta: DirectionalCondition,
+) -> SocialGraph {
+    let anchor: FxHashSet<NodeId> = if g2.is_null_graph() {
+        g2.node_id_set()
+    } else {
+        g2.links().map(|l| l.endpoint(delta.right)).collect()
+    };
+    let keep: Vec<_> = g1
+        .links()
+        .filter(|l| anchor.contains(&l.endpoint(delta.left)))
+        .map(|l| l.id)
+        .collect();
+    g1.induced_by_links(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::select::{link_select, node_select};
+    use socialscope_graph::{Direction, GraphBuilder, NodeId};
+
+    fn site() -> (SocialGraph, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let john = b.add_user("John");
+        let mary = b.add_user("Mary");
+        let pete = b.add_user("Pete");
+        let red_rocks = b.add_item_with_keywords("Red Rocks", &["destination"], &["near", "denver"]);
+        let zoo = b.add_item_with_keywords("Denver Zoo", &["destination"], &["near", "denver"]);
+        b.befriend(john, mary);
+        b.befriend(john, pete);
+        b.visit(mary, red_rocks);
+        b.visit(pete, zoo);
+        b.visit(john, zoo);
+        (b.build(), john, mary, pete, red_rocks)
+    }
+
+    #[test]
+    fn semi_join_against_null_graph_matches_nodes() {
+        let (g, john, ..) = site();
+        // Links whose source is John.
+        let john_nodes = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
+        let out = semi_join(
+            &g,
+            &john_nodes,
+            DirectionalCondition::new(Direction::Src, Direction::Src),
+        );
+        assert_eq!(out.link_count(), 3); // two friendships + one visit
+        assert!(out.links().all(|l| l.src == john));
+    }
+
+    #[test]
+    fn semi_join_against_link_graph_matches_link_endpoints() {
+        let (g, _john, mary, pete, _rr) = site();
+        // Right side: visit links (their sources are the visiting users).
+        let visits = link_select(&g, &Condition::on_attr("type", "visit"), None);
+        // Keep links of G whose target is a visitor.
+        let out = semi_join(
+            &g,
+            &visits,
+            DirectionalCondition::new(Direction::Tgt, Direction::Src),
+        );
+        // Friendships John->Mary and John->Pete qualify (Mary and Pete visit).
+        assert_eq!(out.link_count(), 2);
+        let tgts: Vec<NodeId> = out.links().map(|l| l.tgt).collect();
+        assert!(tgts.contains(&mary) && tgts.contains(&pete));
+    }
+
+    #[test]
+    fn semi_join_with_empty_right_is_empty() {
+        let (g, ..) = site();
+        let empty = SocialGraph::new();
+        let out = semi_join(
+            &g,
+            &empty,
+            DirectionalCondition::new(Direction::Src, Direction::Src),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn semi_join_output_is_subgraph_of_left() {
+        let (g, john, ..) = site();
+        let john_nodes = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
+        let out = semi_join(
+            &g,
+            &john_nodes,
+            DirectionalCondition::new(Direction::Src, Direction::Src),
+        );
+        for l in out.links() {
+            assert!(g.has_link(l.id));
+        }
+        for n in out.nodes() {
+            assert!(g.has_node(n.id));
+        }
+    }
+
+    #[test]
+    fn paper_example4_friend_step() {
+        // G1 = σL_type=friend(G ⋉(src,src) σN_id=John(G)) — John's network.
+        let (g, john, mary, pete, _) = site();
+        let john_nodes = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
+        let touching = semi_join(
+            &g,
+            &john_nodes,
+            DirectionalCondition::new(Direction::Src, Direction::Src),
+        );
+        let friendships = link_select(&touching, &Condition::on_attr("type", "friend"), None);
+        assert_eq!(friendships.link_count(), 2);
+        assert!(friendships.has_node(mary));
+        assert!(friendships.has_node(pete));
+        assert!(friendships.has_node(john));
+    }
+}

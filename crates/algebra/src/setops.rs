@@ -1,0 +1,217 @@
+//! The binary set-theoretic operators (paper Defs. 3 and 4).
+//!
+//! Union, Intersection and Minus operate on the node and link sets of two
+//! graphs originating from the same social content site, matching elements
+//! by id and consolidating nodes/links that appear on both sides. Two Minus
+//! variants exist:
+//!
+//! * **Node-Driven Minus** (`G1 \ G2`, Def. 3): the sub-graph of `G1`
+//!   induced by the nodes of `G1` not present in `G2`.
+//! * **Link-Driven Minus** (`G1 \· G2`, Def. 4): the links of `G1` not
+//!   present in `G2`, together with the nodes they induce.
+//!
+//! The paper's example: with `G1 = {(a,b),(a,c),(b,c)}` and `G2 = {(a,b)}`,
+//! `G1 \ G2` is the null graph containing only `c`, while `G1 \· G2`
+//! contains `a, b, c` and the links `(a,c)` and `(b,c)` — see the unit tests
+//! below, which encode that example literally.
+
+use socialscope_graph::{FxHashSet, LinkId, NodeId, SocialGraph};
+
+/// Union `G1 ∪ G2`: nodes and links of both graphs; elements with the same
+/// id are consolidated (attributes unioned, max score).
+pub fn union(g1: &SocialGraph, g2: &SocialGraph) -> SocialGraph {
+    let mut out = g1.clone();
+    out.merge(g2);
+    out
+}
+
+/// Intersection `G1 ∩ G2`: nodes present in both graphs and links present in
+/// both graphs. Links survive only when both endpoints also survive — which
+/// is always the case for well-formed inputs, since a link present in both
+/// graphs has its endpoints present in both.
+pub fn intersect(g1: &SocialGraph, g2: &SocialGraph) -> SocialGraph {
+    let mut out = SocialGraph::new();
+    for n in g1.nodes() {
+        if let Some(other) = g2.node(n.id) {
+            let mut merged = n.clone();
+            merged.consolidate(other);
+            out.add_node(merged);
+        }
+    }
+    for l in g1.links() {
+        if let Some(other) = g2.link(l.id) {
+            if out.has_node(l.src) && out.has_node(l.tgt) {
+                let mut merged = l.clone();
+                merged.consolidate(other);
+                out.add_link(merged).expect("endpoints checked above");
+            }
+        }
+    }
+    out
+}
+
+/// Node-Driven Minus `G1 \ G2` (Def. 3): the sub-graph of `G1` induced by
+/// the nodes of `G1` that are not present in `G2`. Every surviving link has
+/// both endpoints outside `G2`.
+pub fn minus(g1: &SocialGraph, g2: &SocialGraph) -> SocialGraph {
+    let keep: Vec<NodeId> = g1
+        .nodes()
+        .filter(|n| !g2.has_node(n.id))
+        .map(|n| n.id)
+        .collect();
+    g1.induced_by_nodes(keep)
+}
+
+/// Link-Driven Minus `G1 \· G2` (Def. 4): `links(G1) \ links(G2)` plus the
+/// nodes induced by those links.
+///
+/// The paper's Lemma 1 states that `\·` can be expressed using `\` and `⋉`;
+/// the proof is omitted there. We implement `\·` directly from Def. 4 and
+/// property-test the relationship that *does* follow from the definitions:
+/// every link of `G1 \ G2` is also a link of `G1 \· G2` (a link surviving
+/// the node-driven minus has both endpoints outside `G2`, so it cannot be a
+/// link of `G2`, whose endpoints are in `G2`).
+pub fn minus_link_driven(g1: &SocialGraph, g2: &SocialGraph) -> SocialGraph {
+    let g2_links: FxHashSet<LinkId> = g2.link_id_set();
+    let keep: Vec<LinkId> = g1
+        .links()
+        .filter(|l| !g2_links.contains(&l.id))
+        .map(|l| l.id)
+        .collect();
+    g1.induced_by_links(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::{GraphBuilder, HasAttrs, Link, LinkId, Node, NodeId};
+
+    /// The triangle example of §5.2: G1 = {(a,b),(a,c),(b,c)}, G2 = {(a,b)}.
+    fn triangle_example() -> (SocialGraph, SocialGraph, [NodeId; 3]) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_user("a");
+        let bb = b.add_user("b");
+        let c = b.add_user("c");
+        let ab = b.befriend(a, bb);
+        b.befriend(a, c);
+        b.befriend(bb, c);
+        let g1 = b.build();
+        let g2 = g1.induced_by_links([ab]);
+        (g1, g2, [a, bb, c])
+    }
+
+    #[test]
+    fn node_driven_minus_matches_paper_example() {
+        let (g1, g2, [_, _, c]) = triangle_example();
+        let diff = minus(&g1, &g2);
+        assert_eq!(diff.node_count(), 1);
+        assert!(diff.has_node(c));
+        assert!(diff.is_null_graph());
+    }
+
+    #[test]
+    fn link_driven_minus_matches_paper_example() {
+        let (g1, g2, [a, bb, c]) = triangle_example();
+        let diff = minus_link_driven(&g1, &g2);
+        assert_eq!(diff.node_count(), 3);
+        assert!(diff.has_node(a) && diff.has_node(bb) && diff.has_node(c));
+        assert_eq!(diff.link_count(), 2);
+        // The (a,b) link is gone; (a,c) and (b,c) survive.
+        assert!(diff.links().all(|l| l.tgt == c || l.src == c));
+    }
+
+    #[test]
+    fn node_driven_minus_links_subset_of_link_driven() {
+        let (g1, g2, _) = triangle_example();
+        let nd = minus(&g1, &g2);
+        let ld = minus_link_driven(&g1, &g2);
+        for l in nd.links() {
+            assert!(ld.has_link(l.id));
+        }
+    }
+
+    #[test]
+    fn union_consolidates_shared_elements() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_user("u");
+        let v = b.add_user("v");
+        b.befriend(u, v);
+        let g1 = b.build();
+
+        let mut g2 = SocialGraph::new();
+        g2.add_node(Node::new(u, ["user", "expert"]));
+        g2.add_node(Node::new(NodeId(100), ["item"]).with_attr("name", "Denver"));
+
+        let un = union(&g1, &g2);
+        assert_eq!(un.node_count(), 3);
+        assert_eq!(un.link_count(), 1);
+        assert!(un.node(u).unwrap().has_type("expert"));
+        assert!(un.node(u).unwrap().has_type("user"));
+    }
+
+    #[test]
+    fn union_is_commutative_on_ids() {
+        let (g1, g2, _) = triangle_example();
+        let a = union(&g1, &g2);
+        let b = union(&g2, &g1);
+        assert_eq!(a.node_id_set(), b.node_id_set());
+        assert_eq!(a.link_id_set(), b.link_id_set());
+    }
+
+    #[test]
+    fn intersection_keeps_common_elements_only() {
+        let (g1, g2, [a, bb, _]) = triangle_example();
+        let inter = intersect(&g1, &g2);
+        assert_eq!(inter.node_count(), 2);
+        assert!(inter.has_node(a) && inter.has_node(bb));
+        assert_eq!(inter.link_count(), 1);
+        let also = intersect(&g2, &g1);
+        assert_eq!(inter, also);
+    }
+
+    #[test]
+    fn intersection_with_self_is_identity() {
+        let (g1, ..) = triangle_example();
+        assert_eq!(intersect(&g1, &g1), g1);
+        assert_eq!(union(&g1, &g1), g1);
+    }
+
+    #[test]
+    fn minus_with_self_is_empty() {
+        let (g1, ..) = triangle_example();
+        assert!(minus(&g1, &g1).is_empty());
+        assert!(minus_link_driven(&g1, &g1).node_count() == 0);
+    }
+
+    #[test]
+    fn minus_with_empty_is_identity_shaped() {
+        let (g1, ..) = triangle_example();
+        let empty = SocialGraph::new();
+        assert_eq!(minus(&g1, &empty), g1);
+        // Link-driven minus with an empty right side keeps every link (and
+        // therefore every non-isolated node).
+        let ld = minus_link_driven(&g1, &empty);
+        assert_eq!(ld.link_count(), g1.link_count());
+    }
+
+    #[test]
+    fn intersect_drops_links_whose_endpoints_disagree() {
+        // A malformed-but-possible case: the same link id exists in both
+        // graphs but one of its endpoints is missing from the intersection
+        // because the node sets differ. Construct g2 with the link but only
+        // one endpoint shared.
+        let mut g1 = SocialGraph::new();
+        g1.add_node(Node::new(NodeId(1), ["user"]));
+        g1.add_node(Node::new(NodeId(2), ["user"]));
+        g1.add_link(Link::new(LinkId(7), NodeId(1), NodeId(2), ["friend"]))
+            .unwrap();
+        let mut g2 = SocialGraph::new();
+        g2.add_node(Node::new(NodeId(2), ["user"]));
+        g2.add_node(Node::new(NodeId(3), ["user"]));
+        g2.add_link(Link::new(LinkId(7), NodeId(1), NodeId(2), ["friend"]))
+            .unwrap_err();
+        let inter = intersect(&g1, &g2);
+        assert_eq!(inter.node_count(), 1);
+        assert_eq!(inter.link_count(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Paper Example 5: collaborative filtering expressed in the algebra, and
+//! its equivalence with the Figure 2 graph-pattern formulation.
+//!
+//! The test builds a small Y!Travel-like site, runs the nine algebraic steps
+//! of Example 5 verbatim, runs the single pattern-aggregation of Figure 2,
+//! and checks that both produce the same recommendation scores — which is
+//! exactly the comparison the paper poses as a research question at the end
+//! of §5.4 (our experiment E3 benchmarks the two formulations).
+
+use socialscope_algebra::condition::Comparison;
+use socialscope_algebra::prelude::*;
+use socialscope_graph::{GraphBuilder, NodeId, SocialGraph, Value};
+use std::collections::BTreeMap;
+
+/// Build the running-example site: John plus other travelers with visit
+/// activity. John has visited Coors Field and Red Rocks; similar users have
+/// visited additional destinations that should be recommended.
+fn cf_site() -> (SocialGraph, NodeId, BTreeMap<&'static str, NodeId>) {
+    let mut b = GraphBuilder::new();
+    let john = b.add_user("John");
+    let alice = b.add_user("Alice");
+    let bob = b.add_user("Bob");
+    let carol = b.add_user("Carol");
+
+    let coors = b.add_item("Coors Field", &["destination"]);
+    let red_rocks = b.add_item("Red Rocks", &["destination"]);
+    let museum = b.add_item("B's Ballpark Museum", &["destination"]);
+    let zoo = b.add_item("Denver Zoo", &["destination"]);
+    let aquarium = b.add_item("Downtown Aquarium", &["destination"]);
+
+    // John's history.
+    b.visit(john, coors);
+    b.visit(john, red_rocks);
+    // Alice overlaps heavily with John (Jaccard 2/3) and visited the museum.
+    b.visit(alice, coors);
+    b.visit(alice, red_rocks);
+    b.visit(alice, museum);
+    // Bob overlaps on Coors only (Jaccard 1/4) and visited the zoo + aquarium.
+    b.visit(bob, coors);
+    b.visit(bob, zoo);
+    b.visit(bob, aquarium);
+    // Carol has no overlap with John.
+    b.visit(carol, zoo);
+
+    let mut items = BTreeMap::new();
+    items.insert("coors", coors);
+    items.insert("red_rocks", red_rocks);
+    items.insert("museum", museum);
+    items.insert("zoo", zoo);
+    items.insert("aquarium", aquarium);
+    (b.build(), john, items)
+}
+
+/// Run Example 5's nine steps and return the final graph `G7` whose links
+/// carry the `score` attribute on John→destination links.
+fn example5_multistep(g: &SocialGraph, john: NodeId, threshold: f64) -> SocialGraph {
+    let john_id = john.raw() as i64;
+
+    // Step 1: John and the places he has visited.
+    let john_node = node_select(g, &Condition::on_attr("id", john_id), None);
+    let g1 = link_select(
+        &semi_join(g, &john_node, DirectionalCondition::src_src()),
+        &Condition::on_attr("type", "visit"),
+        None,
+    );
+
+    // Step 2: collect John's visited destinations into the `vst` attribute.
+    let g1p = node_aggregate(
+        &g1,
+        &Condition::on_attr("type", "visit"),
+        Direction::Src,
+        "vst",
+        &AggregateFn::CollectSet("tgt".into()),
+    );
+
+    // Step 3: users other than John and the places they have visited.
+    let others = node_select(
+        g,
+        &Condition::any()
+            .and_attr("type", "user")
+            .and_compare("id", Comparison::NotEquals, john_id),
+        None,
+    );
+    let g2 = link_select(
+        &semi_join(g, &others, DirectionalCondition::src_src()),
+        &Condition::on_attr("type", "visit"),
+        None,
+    );
+
+    // Step 4: collect every other user's visited destinations.
+    let g2p = node_aggregate(
+        &g2,
+        &Condition::on_attr("type", "visit"),
+        Direction::Src,
+        "vst",
+        &AggregateFn::CollectSet("tgt".into()),
+    );
+
+    // Step 5: compose on shared destinations (δ = (tgt, tgt)); F computes the
+    // Jaccard similarity of the `vst` sets and tags the link.
+    let g3 = compose(
+        &g1p,
+        &g2p,
+        DirectionalCondition::tgt_tgt(),
+        &ComposeSpec::Chain(vec![
+            ComposeSpec::ConstAttrs(vec![("type".into(), Value::single("user_sim"))]),
+            ComposeSpec::JaccardOfNodeSets { attr: "vst".into(), out: "sim".into() },
+        ]),
+    );
+
+    // Step 6: replace parallel high-similarity links by one 'match' link.
+    let g4 = link_aggregate_multi(
+        &g3,
+        &Condition::any()
+            .and_attr("type", "user_sim")
+            .and_compare("sim", Comparison::Greater, threshold),
+        &[
+            ("type".to_string(), AggregateFn::ConstStr("match".into())),
+            ("sim".to_string(), AggregateFn::First("sim".into())),
+        ],
+    );
+    let g4_matches = link_select(&g4, &Condition::on_attr("type", "match"), None);
+
+    // Step 7: users and the destinations they have visited.
+    let destinations = node_select(g, &Condition::on_attr("type", "destination"), None);
+    let g5 = link_select(
+        &semi_join(g, &destinations, DirectionalCondition::tgt_src()),
+        &Condition::on_attr("type", "visit"),
+        None,
+    );
+
+    // Step 8: compose John's similarity network with the visits of those
+    // users; copy sim onto the new link as sim_sc.
+    let left = semi_join(&g4_matches, &g5, DirectionalCondition::tgt_src());
+    let right = semi_join(&g5, &g4_matches, DirectionalCondition::src_tgt());
+    let g6 = compose(
+        &left,
+        &right,
+        DirectionalCondition::tgt_src(),
+        &ComposeSpec::Chain(vec![
+            ComposeSpec::ConstAttrs(vec![("type".into(), Value::single("recommendation"))]),
+            ComposeSpec::CopyLinkAttr {
+                side: socialscope_algebra::compose::Side::Left,
+                attr: "sim".into(),
+                out: "sim_sc".into(),
+            },
+        ]),
+    );
+
+    // Step 9: average sim_sc per (John, destination) pair.
+    link_aggregate(
+        &g6,
+        &Condition::on_attr("type", "recommendation"),
+        "score",
+        &AggregateFn::Avg("sim_sc".into()),
+    )
+}
+
+/// Extract destination → score from a recommendation graph rooted at `john`.
+fn scores(g: &SocialGraph, john: NodeId) -> BTreeMap<NodeId, f64> {
+    g.links()
+        .filter(|l| l.src == john)
+        .filter_map(|l| l.attrs.get_f64("score").map(|s| (l.tgt, s)))
+        .collect()
+}
+
+#[test]
+fn example5_recommends_unvisited_destinations() {
+    let (g, john, items) = cf_site();
+    // Threshold 0.2 keeps both Alice (Jaccard 2/3) and Bob (Jaccard 1/4).
+    let g7 = example5_multistep(&g, john, 0.2);
+    let scores = scores(&g7, john);
+
+    // The museum (endorsed by highly similar Alice) must outrank the zoo and
+    // aquarium (endorsed by weakly similar Bob).
+    let museum = scores[&items["museum"]];
+    let zoo = scores[&items["zoo"]];
+    let aquarium = scores[&items["aquarium"]];
+    assert!(museum > zoo, "museum={museum} zoo={zoo}");
+    assert!((zoo - aquarium).abs() < 1e-9);
+
+    // Alice's Jaccard with John is 2/3; Bob's is 1/4.
+    assert!((museum - 2.0 / 3.0).abs() < 1e-9);
+    assert!((zoo - 0.25).abs() < 1e-9);
+}
+
+#[test]
+fn example5_threshold_filters_dissimilar_users() {
+    let (g, john, items) = cf_site();
+    // With the paper's 0.5 threshold, Bob (Jaccard 1/4) is not similar
+    // enough: nothing endorsed only by Bob is recommended.
+    let g7 = example5_multistep(&g, john, 0.5);
+    let scores = scores(&g7, john);
+    assert!(!scores.contains_key(&items["zoo"]));
+    assert!(!scores.contains_key(&items["aquarium"]));
+    // Alice's endorsement of the museum survives.
+    assert!(scores.contains_key(&items["museum"]));
+}
+
+#[test]
+fn pattern_aggregation_matches_multistep_formulation() {
+    let (g, john, _) = cf_site();
+
+    // Multi-step result (steps 1-9).
+    let g7 = example5_multistep(&g, john, 0.2);
+    let multi = scores(&g7, john);
+
+    // Figure 2 formulation: materialize the match links (steps 1-6), union
+    // with the visit links, then run a single pattern aggregation.
+    let john_id = john.raw() as i64;
+    let john_node = node_select(&g, &Condition::on_attr("id", john_id), None);
+    let g1 = link_select(
+        &semi_join(&g, &john_node, DirectionalCondition::src_src()),
+        &Condition::on_attr("type", "visit"),
+        None,
+    );
+    let g1p = node_aggregate(
+        &g1,
+        &Condition::on_attr("type", "visit"),
+        Direction::Src,
+        "vst",
+        &AggregateFn::CollectSet("tgt".into()),
+    );
+    let others = node_select(
+        &g,
+        &Condition::any()
+            .and_attr("type", "user")
+            .and_compare("id", Comparison::NotEquals, john_id),
+        None,
+    );
+    let g2 = link_select(
+        &semi_join(&g, &others, DirectionalCondition::src_src()),
+        &Condition::on_attr("type", "visit"),
+        None,
+    );
+    let g2p = node_aggregate(
+        &g2,
+        &Condition::on_attr("type", "visit"),
+        Direction::Src,
+        "vst",
+        &AggregateFn::CollectSet("tgt".into()),
+    );
+    let g3 = compose(
+        &g1p,
+        &g2p,
+        DirectionalCondition::tgt_tgt(),
+        &ComposeSpec::Chain(vec![
+            ComposeSpec::ConstAttrs(vec![("type".into(), Value::single("user_sim"))]),
+            ComposeSpec::JaccardOfNodeSets { attr: "vst".into(), out: "sim".into() },
+        ]),
+    );
+    let g4 = link_aggregate_multi(
+        &g3,
+        &Condition::any()
+            .and_attr("type", "user_sim")
+            .and_compare("sim", Comparison::Greater, 0.2),
+        &[
+            ("type".to_string(), AggregateFn::ConstStr("match".into())),
+            ("sim".to_string(), AggregateFn::First("sim".into())),
+        ],
+    );
+    let g4_matches = link_select(&g4, &Condition::on_attr("type", "match"), None);
+    let destinations = node_select(&g, &Condition::on_attr("type", "destination"), None);
+    let g5 = link_select(
+        &semi_join(&g, &destinations, DirectionalCondition::tgt_src()),
+        &Condition::on_attr("type", "visit"),
+        None,
+    );
+
+    // γL_GP,score,avg(sim)(G4 ∪ G5): the Figure 2 pattern.
+    let combined = union(&g4_matches, &g5);
+    let pattern = GraphPattern::fig2_collaborative_filtering(john);
+    let patterned = pattern_aggregate(
+        &combined,
+        &pattern,
+        "score",
+        &PathAggregate::AvgLinkAttr { step: 0, attr: "sim".into() },
+    );
+    let via_pattern = scores(&patterned, john);
+
+    // The pattern formulation also scores destinations John already visited
+    // (his similar users visited them too); the multi-step result contains
+    // those as well since Example 5 never removes them. Compare the full maps.
+    assert_eq!(multi.len(), via_pattern.len());
+    for (dest, score) in &multi {
+        let other = via_pattern.get(dest).copied().unwrap_or(f64::NAN);
+        assert!(
+            (score - other).abs() < 1e-9,
+            "destination {dest}: multi-step {score} vs pattern {other}"
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Property-based tests of the algebra's laws.
+
+use proptest::prelude::*;
+use socialscope_algebra::prelude::*;
+use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
+
+/// Build a random site and two random sub-graphs of it (by selecting links
+/// through different type conditions), which is how set operands arise in
+/// practice: both originate from the same site.
+fn build_site(users: usize, items: usize, edges: &[(usize, usize, u8)]) -> SocialGraph {
+    let mut b = GraphBuilder::new();
+    let user_ids: Vec<NodeId> = (0..users).map(|i| b.add_user(&format!("u{i}"))).collect();
+    let item_ids: Vec<NodeId> = (0..items)
+        .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
+        .collect();
+    for &(a, c, kind) in edges {
+        match kind % 3 {
+            0 => {
+                let (a, c) = (a % users, c % users);
+                if a != c {
+                    b.befriend(user_ids[a], user_ids[c]);
+                }
+            }
+            1 => {
+                b.visit(user_ids[a % users], item_ids[c % items]);
+            }
+            _ => {
+                b.tag(user_ids[a % users], item_ids[c % items], &["t"]);
+            }
+        }
+    }
+    b.build()
+}
+
+fn arb_site() -> impl Strategy<Value = SocialGraph> {
+    (2usize..8, 2usize..8, prop::collection::vec((0usize..8, 0usize..8, 0u8..3), 0..40))
+        .prop_map(|(u, i, e)| build_site(u, i, &e))
+}
+
+/// Two derived operand graphs from the same site.
+fn operands(g: &SocialGraph) -> (SocialGraph, SocialGraph) {
+    let g1 = link_select(g, &Condition::on_attr("type", "friend"), None);
+    let mut g2 = link_select(g, &Condition::on_attr("type", "visit"), None);
+    // Make the operands overlap: also pull the tag links into both.
+    let tags = link_select(g, &Condition::on_attr("type", "tag"), None);
+    let g1 = union(&g1, &tags);
+    g2 = union(&g2, &tags);
+    (g1, g2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Union is commutative and idempotent on node/link id sets.
+    #[test]
+    fn union_laws(g in arb_site()) {
+        let (g1, g2) = operands(&g);
+        let ab = union(&g1, &g2);
+        let ba = union(&g2, &g1);
+        prop_assert_eq!(ab.node_id_set(), ba.node_id_set());
+        prop_assert_eq!(ab.link_id_set(), ba.link_id_set());
+        prop_assert_eq!(&union(&g1, &g1), &g1);
+    }
+
+    /// Intersection is commutative, idempotent, and contained in both inputs.
+    #[test]
+    fn intersection_laws(g in arb_site()) {
+        let (g1, g2) = operands(&g);
+        let ab = intersect(&g1, &g2);
+        let ba = intersect(&g2, &g1);
+        prop_assert_eq!(ab.node_id_set(), ba.node_id_set());
+        prop_assert_eq!(ab.link_id_set(), ba.link_id_set());
+        for n in ab.nodes() {
+            prop_assert!(g1.has_node(n.id) && g2.has_node(n.id));
+        }
+        for l in ab.links() {
+            prop_assert!(g1.has_link(l.id) && g2.has_link(l.id));
+        }
+        prop_assert_eq!(&intersect(&g1, &g1), &g1);
+    }
+
+    /// Set operators are associative on id sets.
+    #[test]
+    fn union_associativity(g in arb_site()) {
+        let (g1, g2) = operands(&g);
+        let g3 = link_select(&g, &Condition::on_attr("type", "visit"), None);
+        let left = union(&union(&g1, &g2), &g3);
+        let right = union(&g1, &union(&g2, &g3));
+        prop_assert_eq!(left.node_id_set(), right.node_id_set());
+        prop_assert_eq!(left.link_id_set(), right.link_id_set());
+    }
+
+    /// Node-driven minus removes exactly the nodes of the right operand, and
+    /// its links are a subset of the link-driven minus (the relationship the
+    /// paper's Lemma 1 discussion relies on).
+    #[test]
+    fn minus_laws(g in arb_site()) {
+        let (g1, g2) = operands(&g);
+        let nd = minus(&g1, &g2);
+        for n in nd.nodes() {
+            prop_assert!(!g2.has_node(n.id));
+            prop_assert!(g1.has_node(n.id));
+        }
+        let ld = minus_link_driven(&g1, &g2);
+        for l in nd.links() {
+            prop_assert!(ld.has_link(l.id));
+        }
+        for l in ld.links() {
+            prop_assert!(g1.has_link(l.id) && !g2.has_link(l.id));
+        }
+        // Minus with self is empty; minus with the empty graph keeps nodes.
+        prop_assert!(minus(&g1, &g1).is_empty());
+        prop_assert_eq!(&minus(&g1, &SocialGraph::new()), &g1);
+    }
+
+    /// Selection output is always a sub-graph of the input, and selection is
+    /// idempotent.
+    #[test]
+    fn selection_laws(g in arb_site()) {
+        let cond = Condition::on_attr("type", "user");
+        let sel = node_select(&g, &cond, None);
+        for n in sel.nodes() {
+            prop_assert!(g.has_node(n.id));
+        }
+        prop_assert!(sel.is_null_graph());
+        let again = node_select(&sel, &cond, None);
+        prop_assert_eq!(again.node_id_set(), sel.node_id_set());
+
+        let lcond = Condition::on_attr("type", "act");
+        let lsel = link_select(&g, &lcond, None);
+        for l in lsel.links() {
+            prop_assert!(g.has_link(l.id));
+        }
+        let lagain = link_select(&lsel, &lcond, None);
+        prop_assert_eq!(lagain.link_id_set(), lsel.link_id_set());
+    }
+
+    /// Fused selections (the optimizer rewrite) are equivalent to sequential
+    /// selections.
+    #[test]
+    fn fused_selection_equivalence(g in arb_site()) {
+        let c1 = Condition::on_attr("type", "item");
+        let c2 = Condition::on_attr("type", "destination");
+        let sequential = node_select(&node_select(&g, &c1, None), &c2, None);
+        let fused = node_select(&g, &c1.clone().and(&c2), None);
+        prop_assert_eq!(sequential.node_id_set(), fused.node_id_set());
+    }
+
+    /// Node aggregation with COUNT over friend links equals the out-degree
+    /// restricted to friend links, for every node.
+    #[test]
+    fn aggregation_count_equals_manual_count(g in arb_site()) {
+        let out = node_aggregate(
+            &g,
+            &Condition::on_attr("type", "friend"),
+            Direction::Src,
+            "fnd_cnt",
+            &AggregateFn::Count,
+        );
+        for node in out.nodes() {
+            let manual = g
+                .out_links(node.id)
+                .filter(|l| Condition::on_attr("type", "friend").satisfied_by_link(l))
+                .count();
+            let recorded = node.attrs.get_f64("fnd_cnt").unwrap_or(0.0) as usize;
+            prop_assert_eq!(recorded, manual);
+        }
+    }
+
+    /// Link aggregation never increases the number of links and preserves
+    /// non-matching links.
+    #[test]
+    fn link_aggregation_shrinks(g in arb_site()) {
+        let cond = Condition::on_attr("type", "tag");
+        let out = link_aggregate(&g, &cond, "cnt", &AggregateFn::Count);
+        prop_assert!(out.link_count() <= g.link_count());
+        for l in g.links() {
+            if !cond.satisfied_by_link(l) {
+                prop_assert!(out.has_link(l.id));
+            }
+        }
+        prop_assert_eq!(out.node_count(), g.node_count());
+    }
+
+    /// Semi-join output is a sub-graph of the left input.
+    #[test]
+    fn semi_join_is_left_subgraph(g in arb_site()) {
+        let friends = link_select(&g, &Condition::on_attr("type", "friend"), None);
+        let visits = link_select(&g, &Condition::on_attr("type", "visit"), None);
+        let out = semi_join(&friends, &visits, DirectionalCondition::tgt_src());
+        for l in out.links() {
+            prop_assert!(friends.has_link(l.id));
+        }
+        for n in out.nodes() {
+            prop_assert!(friends.has_node(n.id));
+        }
+    }
+
+    /// Composition endpoints: every composed link starts at a node of G1 and
+    /// ends at a node of G2, and its id is fresh.
+    #[test]
+    fn composition_endpoints_and_fresh_ids(g in arb_site()) {
+        let friends = link_select(&g, &Condition::on_attr("type", "friend"), None);
+        let visits = link_select(&g, &Condition::on_attr("type", "visit"), None);
+        let out = compose(
+            &friends,
+            &visits,
+            DirectionalCondition::tgt_src(),
+            &ComposeSpec::ConstAttrs(vec![("type".into(), socialscope_graph::Value::single("rec"))]),
+        );
+        for l in out.links() {
+            prop_assert!(friends.has_node(l.src));
+            prop_assert!(visits.has_node(l.tgt));
+            prop_assert!(!g.has_link(l.id));
+        }
+    }
+
+    /// The optimizer never changes plan semantics on a representative plan
+    /// shape (selection over union over selections).
+    #[test]
+    fn optimizer_preserves_semantics(g in arb_site()) {
+        let left = PlanBuilder::base().link_select(Condition::on_attr("type", "visit"));
+        let right = PlanBuilder::base().link_select(Condition::on_attr("type", "friend"));
+        let plan = left
+            .union(&right)
+            .node_select(Condition::on_attr("type", "user"))
+            .node_select(Condition::any())
+            .build();
+        let (optimized, _) = Optimizer::new().optimize(&plan);
+        let mut ev = Evaluator::new(&g);
+        let a = ev.evaluate(&plan).unwrap();
+        let b = ev.evaluate(&optimized).unwrap();
+        prop_assert_eq!(a.node_id_set(), b.node_id_set());
+        prop_assert_eq!(a.link_id_set(), b.link_id_set());
+    }
+}

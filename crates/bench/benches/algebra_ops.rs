@@ -1,0 +1,70 @@
+//! E6 — §5: per-operator costs of the algebra and the effect of the plan
+//! optimizer on the Example 4 / Example 5 plan shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socialscope_algebra::prelude::*;
+use socialscope_bench::site_with_matches;
+
+fn bench_operators(c: &mut Criterion) {
+    let (graph, users) = site_with_matches(300, 0.15);
+    let user = users[0];
+
+    let mut group = c.benchmark_group("algebra_operators");
+    group.sample_size(10);
+    group.bench_function("node_select_by_type", |b| {
+        b.iter(|| node_select(&graph, &Condition::on_attr("type", "destination"), None))
+    });
+    group.bench_function("link_select_by_type", |b| {
+        b.iter(|| link_select(&graph, &Condition::on_attr("type", "visit"), None))
+    });
+    let friends = link_select(&graph, &Condition::on_attr("type", "friend"), None);
+    let visits = link_select(&graph, &Condition::on_attr("type", "visit"), None);
+    group.bench_function("semi_join", |b| {
+        b.iter(|| semi_join(&friends, &visits, DirectionalCondition::tgt_src()))
+    });
+    group.bench_function("union", |b| b.iter(|| union(&friends, &visits)));
+    group.bench_function("minus_node_driven", |b| b.iter(|| minus(&visits, &friends)));
+    group.bench_function("minus_link_driven", |b| {
+        b.iter(|| minus_link_driven(&visits, &friends))
+    });
+    group.bench_function("node_aggregate_count", |b| {
+        b.iter(|| {
+            node_aggregate(
+                &graph,
+                &Condition::on_attr("type", "friend"),
+                Direction::Src,
+                "fnd_cnt",
+                &AggregateFn::Count,
+            )
+        })
+    });
+    group.bench_function("link_aggregate_count", |b| {
+        b.iter(|| {
+            link_aggregate(
+                &graph,
+                &Condition::on_attr("type", "tag"),
+                "tag_cnt",
+                &AggregateFn::Count,
+            )
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("algebra_plans");
+    group.sample_size(10);
+    let plan = socialscope_discovery::collaborative_filtering_plan(user);
+    let (optimized, _) = Optimizer::new().optimize(&plan);
+    group.bench_function("example5_plan_unoptimized", |b| {
+        b.iter(|| Evaluator::new(&graph).evaluate(&plan).unwrap())
+    });
+    group.bench_function("example5_plan_optimized", |b| {
+        b.iter(|| Evaluator::new(&graph).evaluate(&optimized).unwrap())
+    });
+    group.bench_function("optimizer_rewrite_cost", |b| {
+        b.iter(|| Optimizer::new().optimize(&plan))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

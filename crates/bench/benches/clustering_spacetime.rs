@@ -1,0 +1,58 @@
+//! E5 — §6.2: index build cost and clustered query cost for the three user
+//! clustering strategies, against the exact per-(tag, user) baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialscope_bench::{site_at_scale, standard_keywords};
+use socialscope_content::{
+    BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex, HybridClustering,
+    NetworkBasedClustering, SiteModel,
+};
+
+fn bench_clustering(c: &mut Criterion) {
+    let site = site_at_scale(200);
+    let model = SiteModel::from_graph(&site.graph);
+    let keywords = standard_keywords();
+    let users: Vec<_> = site.users.iter().copied().take(20).collect();
+
+    let mut group = c.benchmark_group("clustering_index_build");
+    group.sample_size(10);
+    group.bench_function("exact", |b| b.iter(|| ExactIndex::build(&model)));
+    let strategies: Vec<(&str, &dyn ClusteringStrategy)> = vec![
+        ("network", &NetworkBasedClustering),
+        ("behavior", &BehaviorBasedClustering),
+        ("hybrid", &HybridClustering),
+    ];
+    for (name, strategy) in &strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| ClusteredIndex::build(&model, strategy.cluster(&model, 0.3)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("clustering_query_topk");
+    group.sample_size(10);
+    let exact = ExactIndex::build(&model);
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            users
+                .iter()
+                .map(|&u| exact.query(u, &keywords, 10).ranked.len())
+                .sum::<usize>()
+        })
+    });
+    for (name, strategy) in &strategies {
+        let index = ClusteredIndex::build(&model, strategy.cluster(&model, 0.3));
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                users
+                    .iter()
+                    .map(|&u| index.query(&model, u, &keywords, 10).result.ranked.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

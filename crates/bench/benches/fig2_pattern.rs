@@ -1,0 +1,43 @@
+//! E3 — Figure 2: the multi-step Example 5 formulation of collaborative
+//! filtering vs. the single graph-pattern aggregation, across site scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialscope_algebra::prelude::*;
+use socialscope_bench::site_with_matches;
+use socialscope_discovery::recommend::algebra_cf::{example5_pipeline, CfConfig};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_cf_formulations");
+    group.sample_size(10);
+    for &users in &[100usize, 300] {
+        let (graph, user_ids) = site_with_matches(users, 0.15);
+        let user = user_ids[0];
+
+        group.bench_with_input(
+            BenchmarkId::new("multi_step_example5", users),
+            &graph,
+            |b, graph| {
+                b.iter(|| example5_pipeline(graph, user, &CfConfig::default()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pattern_aggregation", users),
+            &graph,
+            |b, graph| {
+                let pattern = GraphPattern::fig2_collaborative_filtering(user);
+                b.iter(|| {
+                    pattern_aggregate(
+                        graph,
+                        &pattern,
+                        "score",
+                        &PathAggregate::AvgLinkAttr { step: 0, attr: "sim".into() },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

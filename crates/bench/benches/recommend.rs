@@ -1,0 +1,37 @@
+//! E6 (recommendation side): the end-to-end discovery path and the
+//! recommendation strategies across site scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialscope_bench::site_at_scale;
+use socialscope_discovery::recommend::algebra_cf::{collaborative_filtering, CfConfig};
+use socialscope_discovery::{
+    expert_recommendations, item_based_recommendations, InformationDiscoverer, UserQuery,
+};
+
+fn bench_recommend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recommendation_strategies");
+    group.sample_size(10);
+    for &users in &[100usize, 300] {
+        let site = site_at_scale(users);
+        let graph = &site.graph;
+        let user = site.users[0];
+
+        group.bench_with_input(BenchmarkId::new("algebra_cf", users), graph, |b, graph| {
+            b.iter(|| collaborative_filtering(graph, user, &CfConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("item_cf", users), graph, |b, graph| {
+            b.iter(|| item_based_recommendations(graph, user, 10))
+        });
+        group.bench_with_input(BenchmarkId::new("expert", users), graph, |b, graph| {
+            b.iter(|| expert_recommendations(graph, &["museum".to_string()], 10))
+        });
+        group.bench_with_input(BenchmarkId::new("discovery_end_to_end", users), graph, |b, graph| {
+            let discoverer = InformationDiscoverer::default();
+            b.iter(|| discoverer.discover(graph, &UserQuery::keywords_for(user, "baseball museum")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recommend);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E1 — Table 1: throughput of the query-log generation + classification
+//! pipeline that regenerates the class × location breakdown.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialscope_workload::{ClassCounts, QueryLogConfig, QueryLogGenerator};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_query_classification");
+    group.sample_size(10);
+    for &queries in &[10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(queries), &queries, |b, &queries| {
+            b.iter(|| {
+                let mut gen =
+                    QueryLogGenerator::new(QueryLogConfig { queries, ..Default::default() });
+                let log = gen.generate();
+                let counts = ClassCounts::from_queries(log.iter().map(String::as_str));
+                assert_eq!(counts.total(), queries);
+                counts
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

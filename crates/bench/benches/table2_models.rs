@@ -1,0 +1,25 @@
+//! E2 — Table 2: cost of simulating the user journey under each of the three
+//! content-management models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialscope_content::models::all_models;
+use socialscope_content::UserJourney;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_deployment_models");
+    group.sample_size(10);
+    let journey = UserJourney { users: 10_000, content_sites: 3, ..UserJourney::default() };
+    for model in all_models() {
+        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &journey, |b, journey| {
+            b.iter(|| {
+                let metrics = model.simulate(journey);
+                let matrix = model.control_matrix();
+                (metrics, matrix)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E8 — top-k pruning effectiveness: threshold-style processing over exact
+//! and upper-bound (clustered) lists vs. the exhaustive baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialscope_bench::{site_at_scale, standard_keywords};
+use socialscope_content::topk::top_k_exhaustive;
+use socialscope_content::{ClusteredIndex, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel};
+
+fn bench_topk(c: &mut Criterion) {
+    let site = site_at_scale(200);
+    let model = SiteModel::from_graph(&site.graph);
+    let keywords = standard_keywords();
+    let exact = ExactIndex::build(&model);
+    let clustered = ClusteredIndex::build(&model, NetworkBasedClustering.cluster(&model, 0.3));
+    let users: Vec<_> = site.users.iter().copied().take(20).collect();
+
+    let mut group = c.benchmark_group("topk_processing");
+    group.sample_size(10);
+    for &k in &[5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("exhaustive_baseline", k), &k, |b, &k| {
+            b.iter(|| {
+                users
+                    .iter()
+                    .map(|&u| {
+                        top_k_exhaustive(model.items(), k, |i| model.query_score(i, u, &keywords))
+                            .ranked
+                            .len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_index_ta", k), &k, |b, &k| {
+            b.iter(|| {
+                users
+                    .iter()
+                    .map(|&u| exact.query(u, &keywords, k).ranked.len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("clustered_index_ta", k), &k, |b, &k| {
+            b.iter(|| {
+                users
+                    .iter()
+                    .map(|&u| clustered.query(&model, u, &keywords, k).result.ranked.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

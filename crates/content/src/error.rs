@@ -1,0 +1,59 @@
+//! Error type for the content management layer.
+
+use std::fmt;
+
+/// Errors raised by content-management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentError {
+    /// A referenced user is not known to the site model.
+    UnknownUser(socialscope_graph::NodeId),
+    /// A referenced item is not known to the site model.
+    UnknownItem(socialscope_graph::NodeId),
+    /// A remote site could not be reached (simulated outage).
+    RemoteUnavailable(String),
+    /// The user has not granted the content site permission to read their
+    /// social data from the remote site (Open Cartel model).
+    PermissionDenied {
+        /// The remote site.
+        site: String,
+        /// The user whose data was requested.
+        user: socialscope_graph::NodeId,
+    },
+    /// An index was queried for a tag it does not contain.
+    UnknownTag(String),
+    /// A generic invariant violation.
+    Invariant(String),
+}
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            ContentError::UnknownItem(i) => write!(f, "unknown item {i}"),
+            ContentError::RemoteUnavailable(s) => write!(f, "remote site `{s}` is unavailable"),
+            ContentError::PermissionDenied { site, user } => {
+                write!(f, "user {user} has not granted `{site}` access to their social data")
+            }
+            ContentError::UnknownTag(t) => write!(f, "tag `{t}` is not indexed"),
+            ContentError::Invariant(msg) => write!(f, "content invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::NodeId;
+
+    #[test]
+    fn display_messages() {
+        assert!(ContentError::UnknownUser(NodeId(1)).to_string().contains("n1"));
+        assert!(ContentError::RemoteUnavailable("facebook".into())
+            .to_string()
+            .contains("facebook"));
+        let e = ContentError::PermissionDenied { site: "flickr".into(), user: NodeId(2) };
+        assert!(e.to_string().contains("flickr"));
+    }
+}

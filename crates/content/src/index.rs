@@ -1,0 +1,395 @@
+//! Inverted indexes for network-aware search (paper §6.2).
+//!
+//! * [`ExactIndex`] — one inverted list per `(tag, user)` pair holding exact
+//!   scores `score_k(i, u)`. Fast at query time, enormous in space: the
+//!   paper's back-of-envelope for a moderate site is ≈ 1 TB.
+//! * [`ClusteredIndex`] — one list per `(tag, cluster)` holding score
+//!   *upper bounds* over the cluster's members (Eq. 1). Much smaller, but
+//!   exact scores must be recomputed at query time for the candidates the
+//!   bounds surface.
+//!
+//! Both expose the same query interface returning a
+//! [`crate::topk::TopKResult`] with cost counters, which is what experiment
+//! E5 sweeps across clustering strategies and thresholds θ.
+
+use crate::cluster::{ClusterId, UserClustering};
+use crate::posting::{PostingList, BYTES_PER_ENTRY};
+use crate::sitemodel::SiteModel;
+use crate::topk::{top_k, TopKResult};
+use serde::{Deserialize, Serialize};
+use socialscope_graph::{FxHashMap, NodeId};
+use std::collections::BTreeSet;
+
+/// Space statistics of an index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Number of inverted lists.
+    pub lists: usize,
+    /// Total number of entries across all lists.
+    pub entries: usize,
+    /// Estimated size in bytes (10 bytes per entry, as in the paper).
+    pub bytes: usize,
+}
+
+/// The exact per-`(tag, user)` index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExactIndex {
+    lists: FxHashMap<(String, NodeId), PostingList>,
+}
+
+impl ExactIndex {
+    /// Build the index from a site model: an entry `(k, u) → (i, s)` exists
+    /// for every item `i` with non-zero score `s = score_k(i, u)`.
+    pub fn build(site: &SiteModel) -> Self {
+        // Accumulate scores: for every tag assignment (tagger t, item i,
+        // tag k), every user u with t in network(u) gains +1 on (k, u, i).
+        let mut scores: FxHashMap<(String, NodeId), FxHashMap<NodeId, f64>> = FxHashMap::default();
+        for item in site.items() {
+            for tag in site.tags() {
+                let taggers = site.taggers_of(item, tag);
+                if taggers.is_empty() {
+                    continue;
+                }
+                for &tagger in taggers {
+                    for &user in site.network_of(tagger) {
+                        *scores
+                            .entry((tag.to_string(), user))
+                            .or_default()
+                            .entry(item)
+                            .or_default() += 1.0;
+                    }
+                }
+            }
+        }
+        let lists = scores
+            .into_iter()
+            .map(|(key, items)| (key, PostingList::from_entries(items)))
+            .collect();
+        ExactIndex { lists }
+    }
+
+    /// The list for a `(tag, user)` pair, if any item scores above zero.
+    pub fn list(&self, tag: &str, user: NodeId) -> Option<&PostingList> {
+        self.lists.get(&(tag.to_lowercase(), user))
+    }
+
+    /// Space statistics.
+    pub fn stats(&self) -> IndexStats {
+        let entries = self.lists.values().map(PostingList::len).sum();
+        IndexStats {
+            lists: self.lists.len(),
+            entries,
+            bytes: entries * BYTES_PER_ENTRY,
+        }
+    }
+
+    /// Top-k query for a user: merge the user's per-keyword lists; the
+    /// stored scores are exact, so the total score of a candidate is the sum
+    /// of its stored scores across the query's lists.
+    pub fn query(&self, user: NodeId, keywords: &[String], k: usize) -> TopKResult {
+        let empty = PostingList::new();
+        let lists: Vec<&PostingList> = keywords
+            .iter()
+            .map(|kw| self.list(kw, user).unwrap_or(&empty))
+            .collect();
+        let exact = |item: NodeId| {
+            lists
+                .iter()
+                .map(|l| l.score_of(item).unwrap_or(0.0))
+                .sum::<f64>()
+        };
+        top_k(&lists, k, exact)
+    }
+}
+
+/// The clustered index: one list per `(tag, cluster)` with score upper
+/// bounds (Eq. 1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusteredIndex {
+    lists: FxHashMap<(String, ClusterId), PostingList>,
+    /// The clustering the index was built for.
+    pub clustering: UserClustering,
+}
+
+/// Cost counters specific to clustered query processing, reported alongside
+/// the top-k result.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusteredQueryReport {
+    /// The top-k evaluation result and generic counters.
+    pub result: TopKResult,
+    /// How many distinct clusters the querying user's network members fall
+    /// into — the fragmentation effect the paper attributes to
+    /// behavior-based clustering.
+    pub network_clusters_spanned: usize,
+}
+
+impl ClusteredIndex {
+    /// Build the clustered index for a given clustering: the bound stored
+    /// for `(k, C, i)` is `max_{u ∈ C} score_k(i, u)`.
+    pub fn build(site: &SiteModel, clustering: UserClustering) -> Self {
+        let mut bounds: FxHashMap<(String, ClusterId), FxHashMap<NodeId, f64>> =
+            FxHashMap::default();
+        for item in site.items() {
+            for tag in site.tags() {
+                let taggers = site.taggers_of(item, tag);
+                if taggers.is_empty() {
+                    continue;
+                }
+                // Per-user scores for this (item, tag), then max per cluster.
+                let mut per_user: FxHashMap<NodeId, f64> = FxHashMap::default();
+                for &tagger in taggers {
+                    for &user in site.network_of(tagger) {
+                        *per_user.entry(user).or_default() += 1.0;
+                    }
+                }
+                for (user, score) in per_user {
+                    let Some(cluster) = clustering.cluster_of(user) else {
+                        continue;
+                    };
+                    let entry = bounds
+                        .entry((tag.to_string(), cluster))
+                        .or_default()
+                        .entry(item)
+                        .or_default();
+                    if score > *entry {
+                        *entry = score;
+                    }
+                }
+            }
+        }
+        let lists = bounds
+            .into_iter()
+            .map(|(key, items)| (key, PostingList::from_entries(items)))
+            .collect();
+        ClusteredIndex { lists, clustering }
+    }
+
+    /// The list for a `(tag, cluster)` pair.
+    pub fn list(&self, tag: &str, cluster: ClusterId) -> Option<&PostingList> {
+        self.lists.get(&(tag.to_lowercase(), cluster))
+    }
+
+    /// Space statistics.
+    pub fn stats(&self) -> IndexStats {
+        let entries = self.lists.values().map(PostingList::len).sum();
+        IndexStats {
+            lists: self.lists.len(),
+            entries,
+            bytes: entries * BYTES_PER_ENTRY,
+        }
+    }
+
+    /// Top-k query for a user. Candidate generation uses the upper-bound
+    /// lists of the user's own cluster; exact scores are recomputed from the
+    /// site model at query time (the processing overhead the clustering
+    /// trade-off accepts).
+    pub fn query(
+        &self,
+        site: &SiteModel,
+        user: NodeId,
+        keywords: &[String],
+        k: usize,
+    ) -> ClusteredQueryReport {
+        let empty = PostingList::new();
+        let cluster = self.clustering.cluster_of(user);
+        let lists: Vec<&PostingList> = keywords
+            .iter()
+            .map(|kw| {
+                cluster
+                    .and_then(|c| self.list(kw, c))
+                    .unwrap_or(&empty)
+            })
+            .collect();
+        let keywords_owned: Vec<String> = keywords.to_vec();
+        let result = top_k(&lists, k, |item| {
+            site.query_score(item, user, &keywords_owned)
+        });
+
+        let network_clusters: BTreeSet<ClusterId> = site
+            .network_of(user)
+            .iter()
+            .filter_map(|v| self.clustering.cluster_of(*v))
+            .collect();
+        ClusteredQueryReport {
+            result,
+            network_clusters_spanned: network_clusters.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{BehaviorBasedClustering, ClusteringStrategy, NetworkBasedClustering};
+    use crate::topk::top_k_exhaustive;
+    use socialscope_graph::GraphBuilder;
+
+    /// A small tagging site with two friend groups and overlapping tags.
+    fn site() -> (SiteModel, Vec<NodeId>, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let users: Vec<NodeId> = (0..6).map(|i| b.add_user(&format!("u{i}"))).collect();
+        let items: Vec<NodeId> = (0..5)
+            .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
+            .collect();
+        // Group A: u0-u1-u2 clique.
+        b.befriend(users[0], users[1]);
+        b.befriend(users[1], users[2]);
+        b.befriend(users[0], users[2]);
+        // Group B: u3-u4-u5 clique.
+        b.befriend(users[3], users[4]);
+        b.befriend(users[4], users[5]);
+        b.befriend(users[3], users[5]);
+        // Tags: group A tags items 0-2 with "baseball"; group B tags 2-4
+        // with "museum"; item 2 is shared.
+        b.tag(users[1], items[0], &["baseball"]);
+        b.tag(users[2], items[1], &["baseball", "stadium"]);
+        b.tag(users[1], items[2], &["baseball"]);
+        b.tag(users[4], items[2], &["museum"]);
+        b.tag(users[5], items[3], &["museum"]);
+        b.tag(users[4], items[4], &["museum", "history"]);
+        (SiteModel::from_graph(&b.build()), users, items)
+    }
+
+    #[test]
+    fn exact_index_scores_match_site_model() {
+        let (site, users, items) = site();
+        let index = ExactIndex::build(&site);
+        // score_baseball(i0, u0): network(u0) = {u1, u2}; u1 tagged i0.
+        let list = index.list("baseball", users[0]).unwrap();
+        assert_eq!(list.score_of(items[0]), Some(1.0));
+        assert_eq!(
+            list.score_of(items[0]).unwrap(),
+            site.keyword_score(items[0], users[0], "baseball")
+        );
+        // Every stored entry agrees with the model.
+        for tag in site.tags() {
+            for u in site.users() {
+                if let Some(list) = index.list(tag, u) {
+                    for p in list.iter() {
+                        assert_eq!(p.score, site.keyword_score(p.item, u, tag));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_index_query_matches_exhaustive_oracle() {
+        let (site, users, _) = site();
+        let index = ExactIndex::build(&site);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        for &u in &users {
+            let res = index.query(u, &keywords, 3);
+            let oracle = top_k_exhaustive(site.items(), 3, |i| site.query_score(i, u, &keywords));
+            // Every returned score is the true score of the returned item.
+            for (item, score) in &res.ranked {
+                assert_eq!(*score, site.query_score(*item, u, &keywords));
+            }
+            // The positive part of the ranking (ignoring zero-score padding
+            // and tie order) matches the exhaustive oracle.
+            let oracle_scores: Vec<f64> = oracle
+                .ranked
+                .iter()
+                .map(|(_, s)| *s)
+                .filter(|s| *s > 0.0)
+                .collect();
+            let got_scores: Vec<f64> = res
+                .ranked
+                .iter()
+                .map(|(_, s)| *s)
+                .filter(|s| *s > 0.0)
+                .collect();
+            assert_eq!(got_scores, oracle_scores, "user {u}");
+        }
+    }
+
+    #[test]
+    fn clustered_index_is_smaller_and_bounds_are_admissible() {
+        let (site, _, _) = site();
+        let exact = ExactIndex::build(&site);
+        let clustering = NetworkBasedClustering.cluster(&site, 0.3);
+        let clustered = ClusteredIndex::build(&site, clustering);
+
+        let es = exact.stats();
+        let cs = clustered.stats();
+        assert!(cs.entries <= es.entries, "clustered {cs:?} vs exact {es:?}");
+        assert!(cs.lists <= es.lists);
+
+        // Admissibility: every stored bound dominates the exact score of
+        // every member of the cluster.
+        for tag in site.tags() {
+            for (cluster, members) in clustered.clustering.iter() {
+                if let Some(list) = clustered.list(tag, cluster) {
+                    for p in list.iter() {
+                        for &u in members {
+                            assert!(
+                                p.score + 1e-9 >= site.keyword_score(p.item, u, tag),
+                                "bound {} < exact for user {u}",
+                                p.score
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_query_returns_true_top_k() {
+        let (site, users, _) = site();
+        let clustering = NetworkBasedClustering.cluster(&site, 0.3);
+        let clustered = ClusteredIndex::build(&site, clustering);
+        let keywords = vec!["baseball".to_string()];
+        for &u in &users {
+            let report = clustered.query(&site, u, &keywords, 2);
+            let oracle = top_k_exhaustive(site.items(), 2, |i| site.query_score(i, u, &keywords));
+            let oracle_scores: Vec<f64> = oracle
+                .ranked
+                .iter()
+                .map(|(_, s)| *s)
+                .filter(|s| *s > 0.0)
+                .collect();
+            let got_scores: Vec<f64> = report
+                .result
+                .ranked
+                .iter()
+                .map(|(_, s)| *s)
+                .filter(|s| *s > 0.0)
+                .collect();
+            assert_eq!(got_scores, oracle_scores, "user {u}");
+        }
+    }
+
+    #[test]
+    fn behavior_clustering_spans_more_network_clusters() {
+        let (site, users, _) = site();
+        let net = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, 0.5));
+        let beh = ClusteredIndex::build(&site, BehaviorBasedClustering.cluster(&site, 0.5));
+        let keywords = vec!["baseball".to_string()];
+        let net_span = net.query(&site, users[0], &keywords, 2).network_clusters_spanned;
+        let beh_span = beh.query(&site, users[0], &keywords, 2).network_clusters_spanned;
+        // u0's friends (u1, u2) share one network-based cluster but tag
+        // different item sets, so they split across behaviour clusters.
+        assert!(beh_span >= net_span);
+    }
+
+    #[test]
+    fn stats_count_entries_and_bytes() {
+        let (site, ..) = site();
+        let index = ExactIndex::build(&site);
+        let s = index.stats();
+        assert!(s.entries > 0);
+        assert_eq!(s.bytes, s.entries * BYTES_PER_ENTRY);
+        assert!(s.lists > 0);
+    }
+
+    #[test]
+    fn unknown_user_or_tag_queries_are_empty() {
+        let (site, ..) = site();
+        let index = ExactIndex::build(&site);
+        let res = index.query(NodeId(9999), &["baseball".to_string()], 3);
+        assert!(res.ranked.is_empty());
+        let res = index.query(NodeId(1), &["nonexistent".to_string()], 3);
+        assert!(res.ranked.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! The Closed Cartel model (paper §6.1).
+
+use super::{
+    ControlLevel, ControlMatrix, Controls, DeploymentModel, InteractionPoint, JourneyMetrics,
+    UserJourney,
+};
+
+/// Users maintain their profiles and connections at a dominant social site
+/// and consume content through third-party applications hosted inside it
+/// (the paper names Facebook as the prime example).
+///
+/// Content sites are reduced to applications: no ability to run complex
+/// analysis over the social graph, activities and presentation are governed
+/// by the host. Users need a social-site account to reach the content at
+/// all, but never duplicate their profiles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClosedCartelModel;
+
+impl DeploymentModel for ClosedCartelModel {
+    fn name(&self) -> &'static str {
+        "Closed Cartel"
+    }
+
+    fn control_matrix(&self) -> ControlMatrix {
+        ControlMatrix {
+            user_interaction: InteractionPoint::SocialSite,
+            duplicate_profiles: false,
+            content_sites: Controls {
+                content: ControlLevel::Limited,
+                social_graph: ControlLevel::None,
+                activities: ControlLevel::None,
+            },
+            social_sites: Controls {
+                content: ControlLevel::Limited,
+                social_graph: ControlLevel::Full,
+                activities: ControlLevel::Full,
+            },
+        }
+    }
+
+    fn simulate(&self, journey: &UserJourney) -> JourneyMetrics {
+        // One canonical profile and connection set at the social site; every
+        // content query and every activity flows through the host, so each
+        // becomes a cross-site (application → host API) request.
+        let cross_site_query_requests = journey.users
+            * journey.content_sites
+            * (journey.queries_per_user + journey.activities_per_user);
+        JourneyMetrics {
+            profiles_stored: journey.users,
+            profiles_per_user: 1.0,
+            connections_stored: journey.users * journey.connections_per_user,
+            sync_messages: 0,
+            cross_site_query_requests,
+            content_site_can_analyze_graph: false,
+            requires_social_account: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_query_and_activity_is_a_host_request() {
+        let journey = UserJourney {
+            users: 10,
+            content_sites: 2,
+            queries_per_user: 3,
+            activities_per_user: 7,
+            ..UserJourney::default()
+        };
+        let m = ClosedCartelModel.simulate(&journey);
+        assert_eq!(m.cross_site_query_requests, 10 * 2 * (3 + 7));
+        assert_eq!(m.profiles_stored, 10);
+        assert!(!m.content_site_can_analyze_graph);
+    }
+}

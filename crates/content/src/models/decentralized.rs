@@ -1,0 +1,73 @@
+//! The Decentralized model (paper §6.1).
+
+use super::{
+    ControlLevel, ControlMatrix, Controls, DeploymentModel, InteractionPoint, JourneyMetrics,
+    UserJourney,
+};
+
+/// Every content site maintains its own social information: profiles and
+/// connections are solicited and stored per site, and each site manages the
+/// entire social content graph internally.
+///
+/// Benefits: full control over all data and unconstrained analysis over the
+/// local graph; costs: the cold-start problem and the burden of users
+/// re-establishing the same connections everywhere (which the journey
+/// metrics surface as profile/connection duplication).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecentralizedModel;
+
+impl DeploymentModel for DecentralizedModel {
+    fn name(&self) -> &'static str {
+        "Decentralized"
+    }
+
+    fn control_matrix(&self) -> ControlMatrix {
+        ControlMatrix {
+            user_interaction: InteractionPoint::ContentSite,
+            duplicate_profiles: true,
+            content_sites: Controls {
+                content: ControlLevel::Full,
+                social_graph: ControlLevel::Full,
+                activities: ControlLevel::Full,
+            },
+            social_sites: Controls {
+                content: ControlLevel::None,
+                social_graph: ControlLevel::None,
+                activities: ControlLevel::None,
+            },
+        }
+    }
+
+    fn simulate(&self, journey: &UserJourney) -> JourneyMetrics {
+        // Every user signs up and re-creates their connections at every
+        // content site; activities and queries stay local to each site.
+        let profiles_stored = journey.users * journey.content_sites;
+        let connections_stored =
+            journey.users * journey.connections_per_user * journey.content_sites;
+        JourneyMetrics {
+            profiles_stored,
+            profiles_per_user: profiles_stored as f64 / journey.users.max(1) as f64,
+            connections_stored,
+            sync_messages: 0,
+            cross_site_query_requests: 0,
+            content_site_can_analyze_graph: true,
+            requires_social_account: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplication_scales_with_content_sites() {
+        let base = UserJourney { users: 10, content_sites: 1, ..UserJourney::default() };
+        let many = UserJourney { users: 10, content_sites: 4, ..UserJourney::default() };
+        let m1 = DecentralizedModel.simulate(&base);
+        let m4 = DecentralizedModel.simulate(&many);
+        assert_eq!(m1.profiles_per_user, 1.0);
+        assert_eq!(m4.profiles_per_user, 4.0);
+        assert_eq!(m4.connections_stored, 4 * m1.connections_stored);
+    }
+}

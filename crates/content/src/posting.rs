@@ -1,0 +1,135 @@
+//! Posting lists: the building block of the §6.2 inverted indexes.
+
+use serde::{Deserialize, Serialize};
+use socialscope_graph::NodeId;
+
+/// One entry of an inverted list: an item and its (exact or upper-bound)
+/// score for the list's `(tag, user)` or `(tag, cluster)` key.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Posting {
+    /// The item.
+    pub item: NodeId,
+    /// The score stored for the item in this list.
+    pub score: f64,
+}
+
+/// Size in bytes the paper assumes per index entry in its back-of-envelope
+/// sizing (§6.2: "assuming 10 bytes per index entry").
+pub const BYTES_PER_ENTRY: usize = 10;
+
+/// A posting list kept sorted by descending score, enabling sorted access
+/// for top-k pruning (ref [16] of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PostingList {
+    entries: Vec<Posting>,
+}
+
+impl PostingList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a list from unsorted `(item, score)` pairs.
+    pub fn from_entries<I: IntoIterator<Item = (NodeId, f64)>>(entries: I) -> Self {
+        let mut list = PostingList {
+            entries: entries
+                .into_iter()
+                .map(|(item, score)| Posting { item, score })
+                .collect(),
+        };
+        list.sort();
+        list
+    }
+
+    fn sort(&mut self) {
+        self.entries.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.item.cmp(&b.item))
+        });
+    }
+
+    /// Insert an entry, keeping the list sorted.
+    pub fn insert(&mut self, item: NodeId, score: f64) {
+        self.entries.push(Posting { item, score });
+        self.sort();
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in descending score order.
+    pub fn iter(&self) -> impl Iterator<Item = &Posting> {
+        self.entries.iter()
+    }
+
+    /// The entry at a sorted-access position.
+    pub fn get(&self, pos: usize) -> Option<&Posting> {
+        self.entries.get(pos)
+    }
+
+    /// The stored score of an item (random access), if present.
+    pub fn score_of(&self, item: NodeId) -> Option<f64> {
+        self.entries.iter().find(|p| p.item == item).map(|p| p.score)
+    }
+
+    /// Estimated size in bytes under the paper's 10-bytes-per-entry model.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * BYTES_PER_ENTRY
+    }
+}
+
+impl FromIterator<(NodeId, f64)> for PostingList {
+    fn from_iter<I: IntoIterator<Item = (NodeId, f64)>>(iter: I) -> Self {
+        Self::from_entries(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_stay_sorted_by_descending_score() {
+        let list = PostingList::from_entries([
+            (NodeId(1), 0.2),
+            (NodeId(2), 0.9),
+            (NodeId(3), 0.5),
+        ]);
+        let scores: Vec<f64> = list.iter().map(|p| p.score).collect();
+        assert_eq!(scores, vec![0.9, 0.5, 0.2]);
+        assert_eq!(list.get(0).unwrap().item, NodeId(2));
+    }
+
+    #[test]
+    fn ties_break_by_item_id_for_determinism() {
+        let list = PostingList::from_entries([(NodeId(9), 1.0), (NodeId(3), 1.0)]);
+        assert_eq!(list.get(0).unwrap().item, NodeId(3));
+    }
+
+    #[test]
+    fn insert_keeps_order() {
+        let mut list = PostingList::new();
+        list.insert(NodeId(1), 0.1);
+        list.insert(NodeId(2), 0.7);
+        list.insert(NodeId(3), 0.4);
+        assert_eq!(list.get(0).unwrap().item, NodeId(2));
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn random_access_and_size() {
+        let list = PostingList::from_entries([(NodeId(1), 0.3), (NodeId(2), 0.6)]);
+        assert_eq!(list.score_of(NodeId(1)), Some(0.3));
+        assert_eq!(list.score_of(NodeId(5)), None);
+        assert_eq!(list.size_bytes(), 2 * BYTES_PER_ENTRY);
+    }
+}

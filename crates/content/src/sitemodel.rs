@@ -1,0 +1,268 @@
+//! The site primitives of §6.2: `items(u)`, `network(u)`, `taggers(i, k)`
+//! and the network-aware scoring model built on them.
+//!
+//! For a del.icio.us-style site where users connect with other users and tag
+//! items, the paper defines the score of an item `i` for user `u` and
+//! keyword `k` as `score_k(i, u) = f(network(u) ∩ taggers(i, k))` with `f`
+//! a monotone function (count, for exposition), and the overall score of `i`
+//! for query `Q_u = k1,…,kn` as a monotone aggregate `g` of the per-keyword
+//! scores (sum, for exposition). [`SiteModel`] materializes those primitives
+//! from a social content graph once and serves them to the inverted indexes,
+//! the clustering strategies and the top-k processor.
+
+use serde::{Deserialize, Serialize};
+use socialscope_graph::{FxHashMap, HasAttrs, NodeId, SocialGraph};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Materialized view of a social content site used by network-aware search.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SiteModel {
+    users: BTreeSet<NodeId>,
+    items: BTreeSet<NodeId>,
+    tags: BTreeSet<String>,
+    /// `items(u)`: items tagged by `u`.
+    items_of: FxHashMap<NodeId, BTreeSet<NodeId>>,
+    /// `network(u)`: users connected to `u` (undirected over connect links).
+    network_of: FxHashMap<NodeId, BTreeSet<NodeId>>,
+    /// `taggers(i, k)`: users who tagged item `i` with tag `k`.
+    taggers_of: FxHashMap<(NodeId, String), BTreeSet<NodeId>>,
+    /// `tags(u)`: tags used by `u` (for behavior statistics).
+    tags_of: FxHashMap<NodeId, BTreeSet<String>>,
+    /// Items carrying each tag (user-independent), for candidate generation.
+    items_with_tag: BTreeMap<String, BTreeSet<NodeId>>,
+}
+
+impl SiteModel {
+    /// Build the model from a social content graph: users and items come
+    /// from node types, `network(u)` from `connect` links, `items(u)` and
+    /// `taggers(i, k)` from `tag` activity links.
+    pub fn from_graph(graph: &SocialGraph) -> Self {
+        let mut model = SiteModel::default();
+        for node in graph.nodes() {
+            if node.has_type("user") {
+                model.users.insert(node.id);
+            }
+            if node.has_type("item") {
+                model.items.insert(node.id);
+            }
+        }
+        for link in graph.links() {
+            if link.type_values().iter().any(|t| socialscope_graph::types::is_connection_type(t)) {
+                if model.users.contains(&link.src) && model.users.contains(&link.tgt) {
+                    model.network_of.entry(link.src).or_default().insert(link.tgt);
+                    model.network_of.entry(link.tgt).or_default().insert(link.src);
+                }
+            }
+            if link.has_type("tag") {
+                let user = link.src;
+                let item = link.tgt;
+                if !model.users.contains(&user) || !model.items.contains(&item) {
+                    continue;
+                }
+                model.items_of.entry(user).or_default().insert(item);
+                let tags = link
+                    .attrs
+                    .get("tags")
+                    .map(|v| v.string_tokens())
+                    .unwrap_or_default();
+                for tag in tags {
+                    model.tags.insert(tag.clone());
+                    model
+                        .taggers_of
+                        .entry((item, tag.clone()))
+                        .or_default()
+                        .insert(user);
+                    model.tags_of.entry(user).or_default().insert(tag.clone());
+                    model.items_with_tag.entry(tag).or_default().insert(item);
+                }
+            }
+        }
+        model
+    }
+
+    /// All users, in id order.
+    pub fn users(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.users.iter().copied()
+    }
+
+    /// All items, in id order.
+    pub fn items(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// All distinct tags, in lexical order.
+    pub fn tags(&self) -> impl Iterator<Item = &str> {
+        self.tags.iter().map(String::as_str)
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+    /// Number of items.
+    pub fn item_count(&self) -> usize {
+        self.items.len()
+    }
+    /// Number of distinct tags.
+    pub fn tag_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `items(u)`: the items tagged by a user.
+    pub fn items_of(&self, user: NodeId) -> &BTreeSet<NodeId> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
+        self.items_of
+            .get(&user)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// `network(u)`: the users connected to a user.
+    pub fn network_of(&self, user: NodeId) -> &BTreeSet<NodeId> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
+        self.network_of
+            .get(&user)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// `taggers(i, k)`: the users who tagged item `i` with tag `k`.
+    pub fn taggers_of(&self, item: NodeId, tag: &str) -> &BTreeSet<NodeId> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
+        self.taggers_of
+            .get(&(item, tag.to_lowercase()))
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Tags used by a user.
+    pub fn tags_of(&self, user: NodeId) -> &BTreeSet<String> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<String>> = std::sync::OnceLock::new();
+        self.tags_of
+            .get(&user)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Items carrying a tag, independently of who asks.
+    pub fn items_with_tag(&self, tag: &str) -> &BTreeSet<NodeId> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
+        self.items_with_tag
+            .get(&tag.to_lowercase())
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// `score_k(i, u) = |network(u) ∩ taggers(i, k)|` — the paper's
+    /// exposition choice `f = count`.
+    pub fn keyword_score(&self, item: NodeId, user: NodeId, tag: &str) -> f64 {
+        let network = self.network_of(user);
+        let taggers = self.taggers_of(item, tag);
+        network.intersection(taggers).count() as f64
+    }
+
+    /// `score(i, u) = Σ_j score_kj(i, u)` — the paper's exposition choice
+    /// `g = sum`.
+    pub fn query_score(&self, item: NodeId, user: NodeId, keywords: &[String]) -> f64 {
+        keywords
+            .iter()
+            .map(|k| self.keyword_score(item, user, k))
+            .sum()
+    }
+
+    /// Jaccard similarity of two users' networks (Def. 11 predicate).
+    pub fn network_jaccard(&self, a: NodeId, b: NodeId) -> f64 {
+        jaccard(self.network_of(a), self.network_of(b))
+    }
+
+    /// Jaccard similarity of two users' tagged item sets (Def. 12 predicate).
+    pub fn behavior_jaccard(&self, a: NodeId, b: NodeId) -> f64 {
+        jaccard(self.items_of(a), self.items_of(b))
+    }
+}
+
+/// Jaccard similarity of two ordered sets.
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::GraphBuilder;
+
+    /// u0–u1–u2 chain of friendships; u1 and u2 tag item a with "baseball";
+    /// u2 tags item b with "museum".
+    fn model() -> (SiteModel, Vec<NodeId>, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let u0 = b.add_user("u0");
+        let u1 = b.add_user("u1");
+        let u2 = b.add_user("u2");
+        let a = b.add_item("a", &["destination"]);
+        let bb = b.add_item("b", &["destination"]);
+        b.befriend(u0, u1);
+        b.befriend(u1, u2);
+        b.tag(u1, a, &["baseball"]);
+        b.tag(u2, a, &["baseball", "stadium"]);
+        b.tag(u2, bb, &["museum"]);
+        let g = b.build();
+        (SiteModel::from_graph(&g), vec![u0, u1, u2], vec![a, bb])
+    }
+
+    #[test]
+    fn primitives_are_derived_from_the_graph() {
+        let (m, users, items) = model();
+        assert_eq!(m.user_count(), 3);
+        assert_eq!(m.item_count(), 2);
+        assert_eq!(m.tag_count(), 3);
+        assert_eq!(m.network_of(users[1]).len(), 2);
+        assert_eq!(m.items_of(users[2]).len(), 2);
+        assert_eq!(m.taggers_of(items[0], "baseball").len(), 2);
+        assert_eq!(m.taggers_of(items[0], "museum").len(), 0);
+        assert!(m.tags_of(users[2]).contains("museum"));
+        assert_eq!(m.items_with_tag("baseball").len(), 1);
+    }
+
+    #[test]
+    fn keyword_score_counts_network_taggers() {
+        let (m, users, items) = model();
+        // u0's network is {u1}; u1 tagged item a with baseball -> score 1.
+        assert_eq!(m.keyword_score(items[0], users[0], "baseball"), 1.0);
+        // u1's network is {u0, u2}; only u2 tagged a with baseball -> 1.
+        assert_eq!(m.keyword_score(items[0], users[1], "baseball"), 1.0);
+        // u2's network is {u1}; u1 tagged a with baseball -> 1.
+        assert_eq!(m.keyword_score(items[0], users[2], "baseball"), 1.0);
+        // Nobody in u0's network tagged item b.
+        assert_eq!(m.keyword_score(items[1], users[0], "museum"), 0.0);
+    }
+
+    #[test]
+    fn query_score_sums_over_keywords() {
+        let (m, users, items) = model();
+        let q = vec!["baseball".to_string(), "stadium".to_string()];
+        // u1's network: u0 (no tags), u2 (baseball + stadium on item a).
+        assert_eq!(m.query_score(items[0], users[1], &q), 2.0);
+        assert_eq!(m.query_score(items[1], users[1], &q), 0.0);
+    }
+
+    #[test]
+    fn jaccard_similarities() {
+        let (m, users, _) = model();
+        // networks: u0 {u1}, u1 {u0,u2}, u2 {u1} -> J(u0,u2) = 1.0.
+        assert_eq!(m.network_jaccard(users[0], users[2]), 1.0);
+        assert_eq!(m.network_jaccard(users[0], users[1]), 0.0);
+        // items: u1 {a}, u2 {a,b} -> 1/2.
+        assert_eq!(m.behavior_jaccard(users[1], users[2]), 0.5);
+        // A user with no activity has Jaccard 0 with everyone.
+        assert_eq!(m.behavior_jaccard(users[0], users[1]), 0.0);
+    }
+
+    #[test]
+    fn missing_users_yield_empty_sets() {
+        let (m, ..) = model();
+        let ghost = NodeId(999);
+        assert!(m.items_of(ghost).is_empty());
+        assert!(m.network_of(ghost).is_empty());
+        assert_eq!(m.keyword_score(NodeId(998), ghost, "x"), 0.0);
+    }
+}

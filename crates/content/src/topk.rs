@@ -1,0 +1,205 @@
+//! Threshold-style top-k processing over sorted posting lists (paper §6.2,
+//! ref [16] — Fagin's family of optimal aggregation algorithms).
+//!
+//! Lists are read by *sorted access* in round-robin; every newly seen item
+//! is fully scored by a caller-supplied exact-score function (*random
+//! access*); processing stops as soon as the k-th best exact score reaches
+//! the threshold — the best total score any unseen item could still attain,
+//! namely the sum of the scores at the current sorted-access frontier. With
+//! exact per-user lists the stored scores are the true scores; with
+//! clustered lists they are upper bounds (Eq. 1), which keeps the threshold
+//! admissible — clustered top-k never misses a true top-k item, it just
+//! performs more exact computations.
+
+use crate::posting::PostingList;
+use serde::{Deserialize, Serialize};
+use socialscope_graph::{FxHashSet, NodeId};
+
+/// Result and cost counters of a top-k evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopKResult {
+    /// The top items with their exact scores, best first.
+    pub ranked: Vec<(NodeId, f64)>,
+    /// Number of sorted accesses performed across all lists.
+    pub sorted_accesses: usize,
+    /// Number of candidates that were fully scored (random accesses).
+    pub exact_computations: usize,
+    /// Whether the threshold stop condition fired before the lists were
+    /// exhausted (an indicator of pruning effectiveness).
+    pub early_terminated: bool,
+}
+
+impl TopKResult {
+    /// The exact score of an item in the result, if ranked.
+    pub fn score_of(&self, item: NodeId) -> Option<f64> {
+        self.ranked.iter().find(|(i, _)| *i == item).map(|(_, s)| *s)
+    }
+
+    /// Item ids in rank order.
+    pub fn items(&self) -> Vec<NodeId> {
+        self.ranked.iter().map(|(i, _)| *i).collect()
+    }
+}
+
+/// Run threshold-style top-k over one sorted posting list per query keyword.
+///
+/// `exact` must return the true total score of an item for the querying
+/// user (the sum over keywords of `score_k(i, u)` in the paper's model); it
+/// is called exactly once per distinct candidate item.
+pub fn top_k(
+    lists: &[&PostingList],
+    k: usize,
+    mut exact: impl FnMut(NodeId) -> f64,
+) -> TopKResult {
+    let mut result = TopKResult::default();
+    if k == 0 || lists.is_empty() {
+        return result;
+    }
+    let mut positions = vec![0usize; lists.len()];
+    let mut frontier: Vec<f64> = lists
+        .iter()
+        .map(|l| l.get(0).map(|p| p.score).unwrap_or(0.0))
+        .collect();
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    // (score, item) kept sorted ascending so the k-th best is at index 0.
+    let mut best: Vec<(f64, NodeId)> = Vec::new();
+
+    loop {
+        let mut advanced = false;
+        for (li, list) in lists.iter().enumerate() {
+            let Some(post) = list.get(positions[li]) else {
+                frontier[li] = 0.0;
+                continue;
+            };
+            positions[li] += 1;
+            result.sorted_accesses += 1;
+            frontier[li] = post.score;
+            advanced = true;
+            if seen.insert(post.item) {
+                let score = exact(post.item);
+                result.exact_computations += 1;
+                push_candidate(&mut best, k, post.item, score);
+            }
+        }
+        let threshold: f64 = frontier.iter().sum();
+        if best.len() >= k && best[0].0 >= threshold {
+            result.early_terminated = advanced;
+            break;
+        }
+        if !advanced {
+            break;
+        }
+    }
+
+    best.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    result.ranked = best.into_iter().map(|(s, i)| (i, s)).collect();
+    result
+}
+
+fn push_candidate(best: &mut Vec<(f64, NodeId)>, k: usize, item: NodeId, score: f64) {
+    best.push((score, item));
+    best.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+    if best.len() > k {
+        best.remove(0);
+    }
+}
+
+/// Exhaustive (no pruning) top-k used as a correctness oracle in tests and
+/// as the naive baseline in benchmarks: scores every candidate item.
+pub fn top_k_exhaustive(
+    candidates: impl IntoIterator<Item = NodeId>,
+    k: usize,
+    mut exact: impl FnMut(NodeId) -> f64,
+) -> TopKResult {
+    let mut result = TopKResult::default();
+    let mut scored: Vec<(f64, NodeId)> = Vec::new();
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    for item in candidates {
+        if !seen.insert(item) {
+            continue;
+        }
+        let s = exact(item);
+        result.exact_computations += 1;
+        scored.push((s, item));
+    }
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    result.ranked = scored.into_iter().take(k).map(|(s, i)| (i, s)).collect();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(entries: &[(u64, f64)]) -> PostingList {
+        PostingList::from_entries(entries.iter().map(|(i, s)| (NodeId(*i), *s)))
+    }
+
+    #[test]
+    fn finds_the_true_top_k_with_exact_lists() {
+        // Two keyword lists; total score is the sum of the per-list scores.
+        let l1 = list(&[(1, 3.0), (2, 2.0), (3, 1.0)]);
+        let l2 = list(&[(2, 3.0), (4, 2.0), (1, 1.0)]);
+        let exact = |i: NodeId| l1.score_of(i).unwrap_or(0.0) + l2.score_of(i).unwrap_or(0.0);
+        let res = top_k(&[&l1, &l2], 2, exact);
+        assert_eq!(res.items(), vec![NodeId(2), NodeId(1)]);
+        assert_eq!(res.score_of(NodeId(2)), Some(5.0));
+        assert_eq!(res.score_of(NodeId(1)), Some(4.0));
+    }
+
+    #[test]
+    fn early_termination_skips_tail_entries() {
+        // A long tail of low-scoring items that should never be accessed.
+        let mut head: Vec<(u64, f64)> = vec![(1, 10.0), (2, 9.0)];
+        head.extend((10..200).map(|i| (i, 0.01)));
+        let l1 = list(&head);
+        let exact = |i: NodeId| l1.score_of(i).unwrap_or(0.0);
+        let res = top_k(&[&l1], 2, exact);
+        assert_eq!(res.items(), vec![NodeId(1), NodeId(2)]);
+        assert!(res.early_terminated);
+        assert!(res.sorted_accesses < 10, "accessed {}", res.sorted_accesses);
+    }
+
+    #[test]
+    fn upper_bound_lists_never_miss_true_top_k() {
+        // Stored scores are upper bounds of the exact scores.
+        let bounds = list(&[(1, 5.0), (2, 5.0), (3, 5.0), (4, 1.0)]);
+        // True scores differ from the bounds (but never exceed them).
+        let exact = |i: NodeId| match i.raw() {
+            1 => 1.0,
+            2 => 4.0,
+            3 => 2.0,
+            4 => 1.0,
+            _ => 0.0,
+        };
+        let res = top_k(&[&bounds], 2, exact);
+        let oracle = top_k_exhaustive((1..=4).map(NodeId), 2, exact);
+        assert_eq!(res.ranked, oracle.ranked);
+    }
+
+    #[test]
+    fn handles_empty_lists_and_zero_k() {
+        let empty = PostingList::new();
+        let res = top_k(&[&empty], 3, |_| 1.0);
+        assert!(res.ranked.is_empty());
+        let res = top_k(&[], 3, |_| 1.0);
+        assert!(res.ranked.is_empty());
+        let l = list(&[(1, 1.0)]);
+        let res = top_k(&[&l], 0, |_| 1.0);
+        assert!(res.ranked.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_baseline_scores_every_candidate_once() {
+        let res = top_k_exhaustive([1, 2, 3, 2, 1].into_iter().map(NodeId), 2, |i| i.raw() as f64);
+        assert_eq!(res.exact_computations, 3);
+        assert_eq!(res.items(), vec![NodeId(3), NodeId(2)]);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_on_ties() {
+        let l = list(&[(5, 1.0), (3, 1.0), (9, 1.0)]);
+        let res = top_k(&[&l], 2, |_| 1.0);
+        assert_eq!(res.items(), vec![NodeId(3), NodeId(5)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the content-management layer: clustering
+//! invariants and the admissibility of clustered top-k processing.
+
+use proptest::prelude::*;
+use socialscope_content::{
+    BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex, HybridClustering,
+    NetworkBasedClustering, SiteModel,
+};
+use socialscope_content::topk::top_k_exhaustive;
+use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
+
+const TAGS: [&str; 4] = ["baseball", "museum", "family", "hiking"];
+
+/// Build a random tagging site from edge/tag descriptors.
+fn build_site(
+    users: usize,
+    items: usize,
+    friendships: &[(usize, usize)],
+    tags: &[(usize, usize, usize)],
+) -> (SocialGraph, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let user_ids: Vec<NodeId> = (0..users).map(|i| b.add_user(&format!("u{i}"))).collect();
+    let item_ids: Vec<NodeId> = (0..items)
+        .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
+        .collect();
+    for &(a, c) in friendships {
+        let (a, c) = (a % users, c % users);
+        if a != c {
+            b.befriend(user_ids[a], user_ids[c]);
+        }
+    }
+    for &(u, i, t) in tags {
+        b.tag(user_ids[u % users], item_ids[i % items], &[TAGS[t % TAGS.len()]]);
+    }
+    (b.build(), user_ids)
+}
+
+fn arb_inputs() -> impl Strategy<
+    Value = (usize, usize, Vec<(usize, usize)>, Vec<(usize, usize, usize)>),
+> {
+    (
+        3usize..8,
+        3usize..8,
+        prop::collection::vec((0usize..8, 0usize..8), 1..25),
+        prop::collection::vec((0usize..8, 0usize..8, 0usize..4), 1..40),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every clustering strategy partitions all users: each user belongs to
+    /// exactly one cluster, and the clusters cover everyone.
+    #[test]
+    fn clusterings_are_partitions((users, items, fr, tg) in arb_inputs(), theta in 0.0f64..1.0) {
+        let (g, _) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        for strategy in [
+            &NetworkBasedClustering as &dyn ClusteringStrategy,
+            &BehaviorBasedClustering,
+            &HybridClustering,
+        ] {
+            let clustering = strategy.cluster(&site, theta);
+            prop_assert_eq!(clustering.user_count(), site.user_count());
+            let mut seen = std::collections::BTreeSet::new();
+            for (_, members) in clustering.iter() {
+                for m in members {
+                    prop_assert!(seen.insert(*m), "user {m} appears in two clusters");
+                }
+            }
+            prop_assert_eq!(seen.len(), site.user_count());
+        }
+    }
+
+    /// The exact index stores exactly the site model's scores.
+    #[test]
+    fn exact_index_agrees_with_site_model((users, items, fr, tg) in arb_inputs()) {
+        let (g, _) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let index = ExactIndex::build(&site);
+        for tag in site.tags() {
+            for u in site.users() {
+                if let Some(list) = index.list(tag, u) {
+                    for p in list.iter() {
+                        prop_assert_eq!(p.score, site.keyword_score(p.item, u, tag));
+                        prop_assert!(p.score > 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clustered bounds dominate member scores, and the clustered index is
+    /// never larger than the exact index.
+    #[test]
+    fn clustered_bounds_are_admissible(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+    ) {
+        let (g, _) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let exact = ExactIndex::build(&site);
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, theta));
+        prop_assert!(clustered.stats().entries <= exact.stats().entries);
+        for tag in site.tags() {
+            for (cluster, members) in clustered.clustering.iter() {
+                if let Some(list) = clustered.list(tag, cluster) {
+                    for p in list.iter() {
+                        for &u in members {
+                            prop_assert!(p.score + 1e-9 >= site.keyword_score(p.item, u, tag));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clustered top-k returns the same positive scores as the exhaustive
+    /// oracle for every user and every single-keyword query: the upper
+    /// bounds never cause a true top-k item to be missed.
+    #[test]
+    fn clustered_topk_never_misses(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        k in 1usize..4,
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let clustered =
+            ClusteredIndex::build(&site, BehaviorBasedClustering.cluster(&site, theta));
+        let keywords = vec![TAGS[0].to_string(), TAGS[1].to_string()];
+        for &u in &user_ids {
+            let report = clustered.query(&site, u, &keywords, k);
+            let oracle = top_k_exhaustive(site.items(), k, |i| site.query_score(i, u, &keywords));
+            let got: Vec<f64> = report
+                .result
+                .ranked
+                .iter()
+                .map(|(_, s)| *s)
+                .filter(|s| *s > 0.0)
+                .collect();
+            let want: Vec<f64> = oracle
+                .ranked
+                .iter()
+                .map(|(_, s)| *s)
+                .filter(|s| *s > 0.0)
+                .collect();
+            prop_assert_eq!(got, want, "user {}", u);
+        }
+    }
+
+    /// Tightening θ can only increase (or keep) the number of clusters.
+    #[test]
+    fn theta_monotonicity((users, items, fr, tg) in arb_inputs()) {
+        let (g, _) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let loose = NetworkBasedClustering.cluster(&site, 0.1);
+        let strict = NetworkBasedClustering.cluster(&site, 0.9);
+        prop_assert!(loose.cluster_count() <= strict.cluster_count());
+    }
+}

@@ -1,0 +1,73 @@
+//! # SocialScope
+//!
+//! A Rust implementation of *SocialScope: Enabling Information Discovery on
+//! Social Content Sites* (Amer-Yahia, Lakshmanan, Yu — CIDR 2009).
+//!
+//! This facade crate re-exports the five layers of the system; see each
+//! sub-crate for the detailed documentation:
+//!
+//! * [`graph`] — the social content graph substrate (paper §4);
+//! * [`algebra`] — the graph algebra, logical plans and optimizer (§5);
+//! * [`content`] — content management: network-aware indexes, user
+//!   clustering, top-k processing, the three management models, activity
+//!   manager and content integrator (§6);
+//! * [`discovery`] — the information discovery layer: query model,
+//!   semantic/social relevance, content analyzer, recommenders and the
+//!   Meaningful Social Graph (§3, §5);
+//! * [`presentation`] — the information presentation layer: grouping,
+//!   organization and explanations (§7);
+//! * [`workload`] — synthetic site and query-log generators used by the
+//!   experiment harness (see `EXPERIMENTS.md`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use socialscope::prelude::*;
+//!
+//! // Build a small travel site.
+//! let mut b = GraphBuilder::new();
+//! let john = b.add_user_with_interests("John", &["baseball"]);
+//! let friend = b.add_user("Friend");
+//! let coors = b.add_item_with_keywords("Coors Field", &["destination"], &["denver", "baseball"]);
+//! b.befriend(john, friend);
+//! b.visit(friend, coors);
+//! let graph = b.build();
+//!
+//! // Discover semantically + socially relevant items for John.
+//! let msg = InformationDiscoverer::default()
+//!     .discover(&graph, &UserQuery::keywords_for(john, "Denver baseball"));
+//! assert_eq!(msg.ranked[0].item, coors);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use socialscope_algebra as algebra;
+pub use socialscope_content as content;
+pub use socialscope_discovery as discovery;
+pub use socialscope_graph as graph;
+pub use socialscope_presentation as presentation;
+pub use socialscope_workload as workload;
+
+/// The most commonly used items across all layers, re-exported together.
+pub mod prelude {
+    pub use socialscope_algebra::prelude::*;
+    pub use socialscope_content::{
+        ActivityManager, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
+        ContentIntegrator, DeploymentModel, ExactIndex, HybridClustering,
+        NetworkBasedClustering, SiteModel, UserJourney,
+    };
+    pub use socialscope_discovery::{
+        recommend_for_user, ContentAnalyzer, InformationDiscoverer, MeaningfulSocialGraph,
+        UserQuery,
+    };
+    pub use socialscope_graph::{
+        GraphBuilder, GraphStats, Link, LinkId, Node, NodeId, SocialGraph, Value,
+    };
+    pub use socialscope_presentation::{
+        aggregate_explanation, group_explanation, GroupingStrategy, InformationOrganizer,
+    };
+    pub use socialscope_workload::{
+        classify_query, generate_site, ClassCounts, QueryLogConfig, QueryLogGenerator, SiteConfig,
+    };
+}

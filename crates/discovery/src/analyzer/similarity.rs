@@ -1,0 +1,115 @@
+//! Derivation of user-similarity (`match`) links.
+//!
+//! The paper's architecture derives "links describing similarities between
+//! users" offline so that the discovery process can consume them like any
+//! other link. Similarity is the Jaccard coefficient of the users' activity
+//! item sets (the same signal Example 5's composition computes on the fly);
+//! pairs above the threshold receive a `match` link carrying `sim`.
+
+use socialscope_graph::{GraphBuilder, HasAttrs, NodeId, SocialGraph};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The items each user has performed *any* activity on (tag, visit, review,
+/// click, rating) — broader than the tagging-only `items(u)` of §6.2,
+/// because similarity links feed collaborative filtering over all activity.
+fn activity_items(graph: &SocialGraph) -> BTreeMap<NodeId, BTreeSet<NodeId>> {
+    let mut map: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for user in graph.nodes_of_type("user") {
+        map.entry(user.id).or_default();
+    }
+    for link in graph.links() {
+        if link.has_type("act") {
+            map.entry(link.src).or_default().insert(link.tgt);
+        }
+    }
+    map
+}
+
+/// Add `match` links between every pair of users whose activity Jaccard
+/// similarity reaches the threshold. Returns the number of links added.
+/// Existing `match` links between a pair are not duplicated.
+pub fn derive_similarity_links(graph: &mut SocialGraph, threshold: f64) -> usize {
+    let items = activity_items(graph);
+    let users: Vec<NodeId> = items.keys().copied().collect();
+    let mut builder = GraphBuilder::extending(std::mem::take(graph));
+    let mut added = 0;
+    for i in 0..users.len() {
+        for j in (i + 1)..users.len() {
+            let (a, b) = (users[i], users[j]);
+            let (ia, ib) = (&items[&a], &items[&b]);
+            if ia.is_empty() || ib.is_empty() {
+                continue;
+            }
+            let inter = ia.intersection(ib).count();
+            let sim = inter as f64 / (ia.len() + ib.len() - inter) as f64;
+            if sim < threshold {
+                continue;
+            }
+            let exists = builder
+                .graph()
+                .links_between(a, b)
+                .chain(builder.graph().links_between(b, a))
+                .any(|l| l.has_type("match"));
+            if !exists {
+                builder.matches(a, b, sim);
+                added += 1;
+            }
+        }
+    }
+    *graph = builder.build();
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::HasAttrs;
+
+    fn site() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let u1 = b.add_user("u1");
+        let u2 = b.add_user("u2");
+        let u3 = b.add_user("u3");
+        let items: Vec<_> = (0..4).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        // u1 and u2 overlap on 2 of 3 items; u3 is disjoint.
+        b.tag(u1, items[0], &["t"]);
+        b.tag(u1, items[1], &["t"]);
+        b.tag(u2, items[0], &["t"]);
+        b.tag(u2, items[1], &["t"]);
+        b.tag(u2, items[2], &["t"]);
+        b.tag(u3, items[3], &["t"]);
+        b.build()
+    }
+
+    #[test]
+    fn similar_users_get_match_links_with_sim() {
+        let mut g = site();
+        let added = derive_similarity_links(&mut g, 0.5);
+        assert_eq!(added, 1);
+        let l = g.links_of_type("match").next().unwrap();
+        assert!((l.attrs.get_f64("sim").unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn threshold_excludes_dissimilar_pairs() {
+        let mut g = site();
+        assert_eq!(derive_similarity_links(&mut g, 0.99), 0);
+        let mut g = site();
+        // At a very low threshold only pairs with *some* overlap qualify;
+        // u3 still matches nobody.
+        let added = derive_similarity_links(&mut g, 0.01);
+        assert_eq!(added, 1);
+    }
+
+    #[test]
+    fn rederivation_does_not_duplicate_links() {
+        let mut g = site();
+        derive_similarity_links(&mut g, 0.5);
+        let before = g.link_count();
+        let added = derive_similarity_links(&mut g, 0.5);
+        assert_eq!(added, 0);
+        assert_eq!(g.link_count(), before);
+        assert_eq!(g.links().filter(|l| l.has_type("match")).count(), 1);
+    }
+}

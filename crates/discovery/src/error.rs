@@ -1,0 +1,46 @@
+//! Error type for the discovery layer.
+
+use std::fmt;
+
+/// Errors raised by information-discovery operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoveryError {
+    /// The querying user is not present in the social content graph.
+    UnknownUser(socialscope_graph::NodeId),
+    /// An algebra evaluation failed.
+    Algebra(socialscope_algebra::AlgebraError),
+    /// The analyzer was configured with invalid parameters.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoveryError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            DiscoveryError::Algebra(e) => write!(f, "algebra error: {e}"),
+            DiscoveryError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+impl From<socialscope_algebra::AlgebraError> for DiscoveryError {
+    fn from(e: socialscope_algebra::AlgebraError) -> Self {
+        DiscoveryError::Algebra(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = DiscoveryError::UnknownUser(socialscope_graph::NodeId(3));
+        assert!(e.to_string().contains("n3"));
+        let a: DiscoveryError =
+            socialscope_algebra::AlgebraError::MissingAttribute("sim".into()).into();
+        assert!(a.to_string().contains("sim"));
+    }
+}

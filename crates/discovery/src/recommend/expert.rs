@@ -1,0 +1,75 @@
+//! Expert-based recommendation: Example 2's fallback.
+//!
+//! When a user's own connections are unsuitable for the query (Selma's
+//! musician friends know nothing about traveling with babies), the system
+//! should "identify a group of experts on the topic" and use *their*
+//! activity as the social basis. Experts are the users with the most tagging
+//! activity on the query's keywords; items are scored by how many experts
+//! endorsed them.
+
+use crate::recommend::Recommendation;
+use crate::social::SocialRelevance;
+use socialscope_graph::{NodeId, SocialGraph};
+use std::collections::BTreeMap;
+
+/// Recommend the items most endorsed by the top experts for the keywords.
+pub fn expert_recommendations(
+    graph: &SocialGraph,
+    keywords: &[String],
+    k: usize,
+) -> Vec<Recommendation> {
+    let social = SocialRelevance::from_graph(graph);
+    let experts = social.experts_for(keywords, 10);
+    if experts.is_empty() {
+        return Vec::new();
+    }
+    let mut scores: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for item in graph.nodes_of_type("item") {
+        let score = social.expert_score(graph, item.id, keywords);
+        if score > 0.0 {
+            scores.insert(item.id, score);
+        }
+    }
+    let mut recs: Vec<Recommendation> = scores
+        .into_iter()
+        .map(|(item, score)| Recommendation { item, score, strategy: "expert" })
+        .collect();
+    recs.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+    recs.truncate(k);
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::GraphBuilder;
+
+    #[test]
+    fn experts_drive_recommendations_for_topic_queries() {
+        let mut b = GraphBuilder::new();
+        let expert1 = b.add_user("FamilyTravelPro");
+        let expert2 = b.add_user("ParentBlogger");
+        let parc = b.add_item("Parc de la Ciutadella", &["destination"]);
+        let aquarium = b.add_item("Aquarium", &["destination"]);
+        let bar = b.add_item("Jazz Bar", &["destination"]);
+        b.tag(expert1, parc, &["family", "babies"]);
+        b.tag(expert2, parc, &["family"]);
+        b.tag(expert1, aquarium, &["family"]);
+        b.tag(expert2, bar, &["music"]);
+        let g = b.build();
+
+        let recs = expert_recommendations(&g, &["family".to_string(), "babies".to_string()], 3);
+        assert_eq!(recs[0].item, parc);
+        assert!(recs[0].score > recs[1].score);
+        assert!(recs.iter().all(|r| r.item != bar || r.score < recs[0].score));
+    }
+
+    #[test]
+    fn no_experts_means_no_recommendations() {
+        let mut b = GraphBuilder::new();
+        b.add_user("Nobody");
+        b.add_item("Somewhere", &["destination"]);
+        let g = b.build();
+        assert!(expert_recommendations(&g, &["family".to_string()], 3).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Item-based recommendation: "items similar to the items you rated".
+//!
+//! This is the content-based strategy the explanation framework of §7.2
+//! assumes (`Expl(u, i)` = items similar to `i` that `u` has rated). Item
+//! similarity is the Jaccard coefficient over the sets of users who acted on
+//! the items — the same signal Social Grouping (Def. 14) uses.
+
+use crate::recommend::Recommendation;
+use socialscope_graph::{HasAttrs, NodeId, SocialGraph};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Users who performed any activity on an item.
+pub fn actors_on(graph: &SocialGraph, item: NodeId) -> BTreeSet<NodeId> {
+    graph
+        .in_links(item)
+        .filter(|l| l.has_type("act"))
+        .map(|l| l.src)
+        .collect()
+}
+
+/// Jaccard similarity between the actor sets of two items.
+pub fn item_similarity(graph: &SocialGraph, a: NodeId, b: NodeId) -> f64 {
+    let sa = actors_on(graph, a);
+    let sb = actors_on(graph, b);
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / (sa.len() + sb.len() - inter) as f64
+}
+
+/// Recommend items similar to the items the user has already acted on,
+/// scored by `Σ ItemSim(i, i') × rating(u, i')` over the user's history
+/// (the weight formula of §7.2, with an implicit rating of 1 for untyped
+/// activities).
+pub fn item_based_recommendations(
+    graph: &SocialGraph,
+    user: NodeId,
+    k: usize,
+) -> Vec<Recommendation> {
+    let history: Vec<(NodeId, f64)> = graph
+        .out_links(user)
+        .filter(|l| l.has_type("act"))
+        .map(|l| (l.tgt, l.attrs.get_f64("rating").unwrap_or(1.0)))
+        .collect();
+    if history.is_empty() {
+        return Vec::new();
+    }
+    let visited: BTreeSet<NodeId> = history.iter().map(|(i, _)| *i).collect();
+    let mut scores: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for candidate in graph.nodes_of_type("item") {
+        if visited.contains(&candidate.id) {
+            continue;
+        }
+        let mut score = 0.0;
+        for (past, rating) in &history {
+            score += item_similarity(graph, candidate.id, *past) * rating;
+        }
+        if score > 0.0 {
+            scores.insert(candidate.id, score);
+        }
+    }
+    let mut recs: Vec<Recommendation> = scores
+        .into_iter()
+        .map(|(item, score)| Recommendation { item, score, strategy: "item_cf" })
+        .collect();
+    recs.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+    recs.truncate(k);
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::GraphBuilder;
+
+    fn site() -> (SocialGraph, NodeId, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let john = b.add_user("John");
+        let alice = b.add_user("Alice");
+        let bob = b.add_user("Bob");
+        let coors = b.add_item("Coors Field", &["destination"]);
+        let museum = b.add_item("Ballpark Museum", &["destination"]);
+        let opera = b.add_item("Opera", &["destination"]);
+        // John rated Coors highly; Alice acted on both Coors and the museum
+        // (making them similar); Bob acted on the opera only.
+        b.rate(john, coors, 5.0);
+        b.visit(alice, coors);
+        b.visit(alice, museum);
+        b.visit(bob, opera);
+        (b.build(), john, museum, opera)
+    }
+
+    #[test]
+    fn recommends_items_similar_to_history() {
+        let (g, john, museum, opera) = site();
+        let recs = item_based_recommendations(&g, john, 5);
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].item, museum);
+        assert!(recs.iter().all(|r| r.item != opera));
+        assert_eq!(recs[0].strategy, "item_cf");
+    }
+
+    #[test]
+    fn rating_weights_scale_scores() {
+        let (g, john, museum, _) = site();
+        let base = item_based_recommendations(&g, john, 5);
+        // Re-build with a lower rating: the recommendation score drops.
+        let mut b = GraphBuilder::new();
+        let john2 = b.add_user("John");
+        let alice = b.add_user("Alice");
+        let coors = b.add_item("Coors Field", &["destination"]);
+        let museum2 = b.add_item("Ballpark Museum", &["destination"]);
+        b.rate(john2, coors, 1.0);
+        b.visit(alice, coors);
+        b.visit(alice, museum2);
+        let g2 = b.build();
+        let weak = item_based_recommendations(&g2, john2, 5);
+        let strong_score = base.iter().find(|r| r.item == museum).unwrap().score;
+        let weak_score = weak[0].score;
+        assert!(strong_score > weak_score);
+    }
+
+    #[test]
+    fn users_without_history_get_nothing() {
+        let (g, ..) = site();
+        assert!(item_based_recommendations(&g, NodeId(999), 5).is_empty());
+    }
+
+    #[test]
+    fn item_similarity_is_symmetric_and_bounded() {
+        let (g, _, museum, opera) = site();
+        for a in g.nodes_of_type("item") {
+            for b in g.nodes_of_type("item") {
+                let s1 = item_similarity(&g, a.id, b.id);
+                let s2 = item_similarity(&g, b.id, a.id);
+                assert!((s1 - s2).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&s1));
+            }
+        }
+        assert_eq!(item_similarity(&g, museum, opera), 0.0);
+    }
+}

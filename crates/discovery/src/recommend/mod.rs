@@ -1,0 +1,89 @@
+//! Recommendation strategies (paper §2, §5.4, §7.2).
+//!
+//! Three strategies are provided, matching the ones the paper's examples and
+//! explanation section rely on:
+//!
+//! * [`algebra_cf`] — the user-based collaborative filtering of Example 5,
+//!   expressed as a reusable algebra *plan* (and as a direct operator
+//!   pipeline) so it can be optimized and benchmarked like any other
+//!   discovery task;
+//! * [`item_cf`] — an item-based baseline ("items similar to items you
+//!   rated"), which is also what the content-based explanation of §7.2
+//!   assumes;
+//! * [`expert`] — the expert fallback of Example 2 for users whose own
+//!   network carries no signal for the query.
+
+pub mod algebra_cf;
+pub mod expert;
+pub mod item_cf;
+
+pub use algebra_cf::{collaborative_filtering, collaborative_filtering_plan, CfConfig};
+pub use expert::expert_recommendations;
+pub use item_cf::item_based_recommendations;
+
+use serde::{Deserialize, Serialize};
+use socialscope_graph::{NodeId, SocialGraph};
+
+/// A scored recommendation of an item to a user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The recommended item.
+    pub item: NodeId,
+    /// The recommendation score (strategy-specific scale).
+    pub score: f64,
+    /// The strategy that produced it.
+    pub strategy: &'static str,
+}
+
+/// Recommend items for a user, preferring collaborative filtering and
+/// falling back to expert endorsement when the user has no usable activity
+/// overlap with anyone (Example 2's Selma case).
+pub fn recommend_for_user(
+    graph: &SocialGraph,
+    user: NodeId,
+    keywords: &[String],
+    k: usize,
+) -> Vec<Recommendation> {
+    let cf = collaborative_filtering(graph, user, &CfConfig::default());
+    if !cf.is_empty() {
+        return cf.into_iter().take(k).collect();
+    }
+    expert_recommendations(graph, keywords, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::GraphBuilder;
+
+    #[test]
+    fn falls_back_to_experts_when_cf_has_nothing() {
+        let mut b = GraphBuilder::new();
+        let selma = b.add_user("Selma");
+        let expert = b.add_user("Expert");
+        let parc = b.add_item("Parc de la Ciutadella", &["destination"]);
+        b.tag(expert, parc, &["family", "babies"]);
+        let g = b.build();
+        let recs = recommend_for_user(&g, selma, &["family".to_string()], 3);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].item, parc);
+        assert_eq!(recs[0].strategy, "expert");
+    }
+
+    #[test]
+    fn prefers_collaborative_filtering_when_available() {
+        let mut b = GraphBuilder::new();
+        let john = b.add_user("John");
+        let alice = b.add_user("Alice");
+        let coors = b.add_item("Coors Field", &["destination"]);
+        let museum = b.add_item("Museum", &["destination"]);
+        b.visit(john, coors);
+        b.visit(alice, coors);
+        b.visit(alice, museum);
+        let g = b.build();
+        let recs = recommend_for_user(&g, john, &[], 3);
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].strategy, "algebra_cf");
+        assert!(recs.iter().any(|r| r.item == museum));
+    }
+}

@@ -1,0 +1,275 @@
+//! Fluent construction of social content graphs.
+
+use crate::graph::SocialGraph;
+use crate::id::{IdGen, LinkId, NodeId};
+use crate::link::Link;
+use crate::node::Node;
+use crate::types;
+use crate::value::Value;
+
+/// A fluent builder for social content graphs: allocates ids, inserts nodes
+/// and links, and offers domain helpers matching the kinds of entities and
+/// activities the paper describes for Y!Travel-style sites (users, items,
+/// topics, friendships, tagging, visiting, rating, reviewing, topic
+/// membership).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    graph: SocialGraph,
+    ids: IdGen,
+}
+
+impl GraphBuilder {
+    /// A builder starting from an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder that extends an existing graph (ids continue after the
+    /// maxima already present).
+    pub fn extending(graph: SocialGraph) -> Self {
+        let ids = graph.id_gen();
+        GraphBuilder { graph, ids }
+    }
+
+    /// Finish building and return the graph.
+    pub fn build(self) -> SocialGraph {
+        self.graph
+    }
+
+    /// Peek at the graph built so far.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    // --- generic node/link insertion ---------------------------------------
+
+    /// Add a node with explicit types and attributes.
+    pub fn add_node_with<I, S>(&mut self, node_types: I, attrs: &[(&str, Value)]) -> NodeId
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let id = self.ids.node_id();
+        let mut node = Node::new(id, node_types);
+        for (k, v) in attrs {
+            node.attrs.set(*k, v.clone());
+        }
+        self.graph.add_node(node);
+        id
+    }
+
+    /// Add a link with explicit types and attributes between existing nodes.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added; the builder owns id
+    /// allocation, so a missing endpoint is a programming error.
+    pub fn add_link_with<I, S>(
+        &mut self,
+        src: NodeId,
+        tgt: NodeId,
+        link_types: I,
+        attrs: &[(&str, Value)],
+    ) -> LinkId
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let id = self.ids.link_id();
+        let mut link = Link::new(id, src, tgt, link_types);
+        for (k, v) in attrs {
+            link.attrs.set(*k, v.clone());
+        }
+        self.graph
+            .add_link(link)
+            .expect("builder endpoints must exist before linking");
+        id
+    }
+
+    // --- domain helpers -----------------------------------------------------
+
+    /// Add a user node with a name.
+    pub fn add_user(&mut self, name: &str) -> NodeId {
+        self.add_node_with([types::NODE_USER], &[("name", Value::single(name))])
+    }
+
+    /// Add a user node with a name and free-form interests.
+    pub fn add_user_with_interests(&mut self, name: &str, interests: &[&str]) -> NodeId {
+        self.add_node_with(
+            [types::NODE_USER],
+            &[
+                ("name", Value::single(name)),
+                ("interests", Value::multi(interests.iter().copied())),
+            ],
+        )
+    }
+
+    /// Add an item node with a name and extra sub-types (e.g. `city`,
+    /// `destination`, `museum`).
+    pub fn add_item(&mut self, name: &str, subtypes: &[&str]) -> NodeId {
+        let mut tys: Vec<String> = vec![types::NODE_ITEM.to_string()];
+        tys.extend(subtypes.iter().map(|s| s.to_string()));
+        self.add_node_with(tys, &[("name", Value::single(name))])
+    }
+
+    /// Add an item node with a name, sub-types and descriptive keywords.
+    pub fn add_item_with_keywords(
+        &mut self,
+        name: &str,
+        subtypes: &[&str],
+        keywords: &[&str],
+    ) -> NodeId {
+        let mut tys: Vec<String> = vec![types::NODE_ITEM.to_string()];
+        tys.extend(subtypes.iter().map(|s| s.to_string()));
+        self.add_node_with(
+            tys,
+            &[
+                ("name", Value::single(name)),
+                ("keywords", Value::multi(keywords.iter().copied())),
+            ],
+        )
+    }
+
+    /// Add a derived topic node.
+    pub fn add_topic(&mut self, label: &str) -> NodeId {
+        self.add_node_with([types::NODE_TOPIC], &[("label", Value::single(label))])
+    }
+
+    /// Add a group node.
+    pub fn add_group(&mut self, label: &str) -> NodeId {
+        self.add_node_with([types::NODE_GROUP], &[("label", Value::single(label))])
+    }
+
+    /// Connect two users with a friendship link.
+    pub fn befriend(&mut self, a: NodeId, b: NodeId) -> LinkId {
+        self.add_link_with(a, b, [types::LINK_CONNECT, types::LINK_FRIEND], &[])
+    }
+
+    /// Connect two users with a generic connection sub-type (e.g. `contact`).
+    pub fn connect(&mut self, a: NodeId, b: NodeId, subtype: &str) -> LinkId {
+        self.add_link_with(a, b, [types::LINK_CONNECT, subtype], &[])
+    }
+
+    /// Record a tagging activity: `user` tags `item` with the given tags.
+    pub fn tag(&mut self, user: NodeId, item: NodeId, tags: &[&str]) -> LinkId {
+        self.add_link_with(
+            user,
+            item,
+            [types::LINK_ACT, types::LINK_TAG],
+            &[("tags", Value::multi(tags.iter().copied()))],
+        )
+    }
+
+    /// Record a visit activity.
+    pub fn visit(&mut self, user: NodeId, item: NodeId) -> LinkId {
+        self.add_link_with(user, item, [types::LINK_ACT, types::LINK_VISIT], &[])
+    }
+
+    /// Record a rating activity.
+    pub fn rate(&mut self, user: NodeId, item: NodeId, rating: f64) -> LinkId {
+        self.add_link_with(
+            user,
+            item,
+            [types::LINK_ACT, types::LINK_RATING],
+            &[("rating", Value::single(rating))],
+        )
+    }
+
+    /// Record a review activity with free text.
+    pub fn review(&mut self, user: NodeId, item: NodeId, text: &str) -> LinkId {
+        self.add_link_with(
+            user,
+            item,
+            [types::LINK_ACT, types::LINK_REVIEW],
+            &[("text", Value::single(text))],
+        )
+    }
+
+    /// Record a click/browse activity.
+    pub fn click(&mut self, user: NodeId, item: NodeId) -> LinkId {
+        self.add_link_with(user, item, [types::LINK_ACT, types::LINK_CLICK], &[])
+    }
+
+    /// Attach an entity to a topic or group with a `belong` link.
+    pub fn belongs_to(&mut self, member: NodeId, topic: NodeId) -> LinkId {
+        self.add_link_with(member, topic, [types::LINK_BELONG], &[])
+    }
+
+    /// Add a derived similarity (`match`) link with a similarity weight.
+    pub fn matches(&mut self, a: NodeId, b: NodeId, sim: f64) -> LinkId {
+        self.add_link_with(a, b, [types::LINK_MATCH], &[("sim", Value::single(sim))])
+    }
+
+    /// Add a semantic containment link between items (e.g. Fisherman's Wharf
+    /// → San Francisco).
+    pub fn contained_in(&mut self, inner: NodeId, outer: NodeId) -> LinkId {
+        self.add_link_with(inner, outer, ["belong", "geo_containment"], &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::HasAttrs;
+
+    #[test]
+    fn build_small_travel_site() {
+        let mut b = GraphBuilder::new();
+        let john = b.add_user_with_interests("John", &["baseball"]);
+        let mary = b.add_user("Mary");
+        let denver = b.add_item_with_keywords("Denver", &["city"], &["skiing"]);
+        let coors = b.add_item("Coors Field", &["destination", "stadium"]);
+        b.befriend(john, mary);
+        b.tag(john, denver, &["rockies", "baseball"]);
+        b.visit(mary, coors);
+        b.rate(mary, coors, 4.5);
+        b.contained_in(coors, denver);
+        let g = b.build();
+
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.link_count(), 5);
+        assert_eq!(g.nodes_of_type("user").count(), 2);
+        assert_eq!(g.links_of_type("act").count(), 3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn extending_continues_ids() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_user("A");
+        let g = b.build();
+        let mut b2 = GraphBuilder::extending(g);
+        let c = b2.add_user("C");
+        assert!(c > a);
+        let g2 = b2.build();
+        assert_eq!(g2.node_count(), 2);
+    }
+
+    #[test]
+    fn topics_and_groups() {
+        let mut b = GraphBuilder::new();
+        let item = b.add_item("Gettysburg", &["destination"]);
+        let topic = b.add_topic("american history");
+        let link = b.belongs_to(item, topic);
+        let g = b.build();
+        assert!(g.link(link).unwrap().has_type("belong"));
+        assert!(g.node(topic).unwrap().has_type("topic"));
+    }
+
+    #[test]
+    fn match_links_carry_similarity() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_user("u");
+        let v = b.add_user("v");
+        let l = b.matches(u, v, 0.75);
+        let g = b.build();
+        assert_eq!(g.link(l).unwrap().attrs.get_f64("sim"), Some(0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must exist")]
+    fn linking_unknown_node_panics() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_user("u");
+        b.befriend(u, NodeId(9999));
+    }
+}

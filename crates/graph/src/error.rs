@@ -1,0 +1,57 @@
+//! Error type for graph operations.
+
+use crate::id::{LinkId, NodeId};
+use std::fmt;
+
+/// Errors raised by social content graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A link referenced a node that is not present in the graph.
+    MissingNode(NodeId),
+    /// An operation referenced a link that is not present in the graph.
+    MissingLink(LinkId),
+    /// A node with the same id but conflicting identity was inserted.
+    ConflictingLink {
+        /// Id of the conflicting link.
+        id: LinkId,
+        /// Explanation of the conflict.
+        reason: String,
+    },
+    /// An operation received graphs that do not originate from the same
+    /// social content site (disjoint id spaces were expected to be shared).
+    IncompatibleGraphs(String),
+    /// A generic invariant violation.
+    Invariant(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::MissingNode(id) => write!(f, "node {id} is not present in the graph"),
+            GraphError::MissingLink(id) => write!(f, "link {id} is not present in the graph"),
+            GraphError::ConflictingLink { id, reason } => {
+                write!(f, "conflicting link {id}: {reason}")
+            }
+            GraphError::IncompatibleGraphs(msg) => write!(f, "incompatible graphs: {msg}"),
+            GraphError::Invariant(msg) => write!(f, "graph invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(GraphError::MissingNode(NodeId(3)).to_string().contains("n3"));
+        assert!(GraphError::MissingLink(LinkId(4)).to_string().contains("l4"));
+        let e = GraphError::ConflictingLink {
+            id: LinkId(1),
+            reason: "endpoints differ".into(),
+        };
+        assert!(e.to_string().contains("endpoints differ"));
+    }
+}

@@ -1,0 +1,83 @@
+//! # socialscope-graph
+//!
+//! The social content graph substrate of [SocialScope] (CIDR 2009).
+//!
+//! A *social content graph* (paper §4) is a logical graph whose nodes
+//! represent physical and abstract entities (users, items, topics, groups)
+//! and whose links represent connections and activities between entities
+//! (friendship, tagging, visiting, reviewing, topic membership, derived
+//! similarity). Nodes and links carry *structural attributes*: schema-less,
+//! multi-valued attribute/value pairs with a mandatory `type` attribute that
+//! may itself hold several values (e.g. `type = "user, traveler"`).
+//!
+//! This crate provides:
+//!
+//! * [`Scalar`], [`Value`], [`AttrMap`] — the multi-valued attribute model;
+//! * [`Node`], [`Link`], [`NodeId`], [`LinkId`] — graph elements;
+//! * [`SocialGraph`] — an in-memory graph with id-keyed stores and
+//!   adjacency indexes;
+//! * [`GraphBuilder`] — a fluent builder for constructing sites
+//!   programmatically (users, items, tagging activity, friendships, …);
+//! * [`TypeCatalog`] and the basic type constants of the paper's evolving
+//!   catalog (`user`, `item`, `topic`, `group`, `connect`, `act`, `match`,
+//!   `belong`);
+//! * [`overlay`] views — the activity, network and topical sub-graphs the
+//!   paper describes as overlays of the full graph;
+//! * [`GraphStats`] — degree/type/clustering statistics used by the workload
+//!   generator and the experiment harness.
+//!
+//! The graph model here is purely logical; physical concerns (inverted
+//! indexes, clustering, synchronization) live in `socialscope-content`.
+//!
+//! [SocialScope]: https://www.cidrdb.org/cidr2009/
+//!
+//! ## Example
+//!
+//! ```
+//! use socialscope_graph::{GraphBuilder, HasAttrs, types};
+//!
+//! let mut b = GraphBuilder::new();
+//! let john = b.add_user("John");
+//! let denver = b.add_item("Denver", &["city"]);
+//! b.tag(john, denver, &["rockies", "baseball"]);
+//! let g = b.build();
+//!
+//! assert_eq!(g.node_count(), 2);
+//! assert_eq!(g.link_count(), 1);
+//! let link = g.out_links(john).next().unwrap();
+//! assert!(link.has_type(types::LINK_TAG));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attrs;
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod hash;
+pub mod id;
+pub mod link;
+pub mod node;
+pub mod stats;
+pub mod types;
+pub mod value;
+pub mod view;
+
+pub use attrs::{AttrMap, HasAttrs};
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::SocialGraph;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use id::{
+    is_derived_link_id, next_derived_link_id, IdGen, LinkId, NodeId, DERIVED_LINK_ID_BASE,
+};
+pub use link::{Direction, Link};
+pub use node::Node;
+pub use stats::GraphStats;
+pub use types::{TypeCatalog, TYPE_ATTR};
+pub use value::{Scalar, Value};
+pub use view::{overlay, OverlayKind};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,146 @@
+//! Property-based tests of the social content graph substrate.
+
+use proptest::prelude::*;
+use socialscope_graph::{GraphBuilder, HasAttrs, NodeId, SocialGraph, Value};
+
+/// Build a random small site from a compact description: a number of users,
+/// a number of items, a friendship edge list and a tagging action list.
+fn build_site(
+    users: usize,
+    items: usize,
+    friendships: &[(usize, usize)],
+    tags: &[(usize, usize)],
+) -> (SocialGraph, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let user_ids: Vec<NodeId> = (0..users).map(|i| b.add_user(&format!("u{i}"))).collect();
+    let item_ids: Vec<NodeId> = (0..items)
+        .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
+        .collect();
+    for &(a, c) in friendships {
+        let (a, c) = (a % users.max(1), c % users.max(1));
+        if users > 0 && a != c {
+            b.befriend(user_ids[a], user_ids[c]);
+        }
+    }
+    for &(u, i) in tags {
+        if users > 0 && items > 0 {
+            b.tag(user_ids[u % users], item_ids[i % items], &["t"]);
+        }
+    }
+    (b.build(), user_ids, item_ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated site satisfies the structural invariants: link
+    /// endpoints exist and adjacency indexes agree with the link store.
+    #[test]
+    fn generated_sites_satisfy_invariants(
+        users in 1usize..12,
+        items in 1usize..12,
+        friendships in prop::collection::vec((0usize..12, 0usize..12), 0..40),
+        tags in prop::collection::vec((0usize..12, 0usize..12), 0..60),
+    ) {
+        let (g, _, _) = build_site(users, items, &friendships, &tags);
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert_eq!(g.node_count(), users + items);
+    }
+
+    /// Removing any node keeps the graph well-formed and removes exactly the
+    /// links that touched it.
+    #[test]
+    fn node_removal_is_consistent(
+        users in 2usize..10,
+        items in 1usize..10,
+        friendships in prop::collection::vec((0usize..10, 0usize..10), 0..30),
+        tags in prop::collection::vec((0usize..10, 0usize..10), 0..30),
+        victim in 0usize..10,
+    ) {
+        let (mut g, user_ids, _) = build_site(users, items, &friendships, &tags);
+        let victim = user_ids[victim % users];
+        let touching = g.links_of(victim).count();
+        let before = g.link_count();
+        g.remove_node(victim);
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert_eq!(g.link_count(), before - touching);
+        prop_assert!(!g.has_node(victim));
+    }
+
+    /// Merging a graph with itself is a no-op (idempotent consolidation).
+    #[test]
+    fn self_merge_is_idempotent(
+        users in 1usize..8,
+        items in 1usize..8,
+        friendships in prop::collection::vec((0usize..8, 0usize..8), 0..20),
+        tags in prop::collection::vec((0usize..8, 0usize..8), 0..20),
+    ) {
+        let (g, _, _) = build_site(users, items, &friendships, &tags);
+        let mut merged = g.clone();
+        merged.merge(&g);
+        prop_assert_eq!(&merged, &g);
+    }
+
+    /// The sub-graph induced by all links contains every non-isolated node
+    /// and every link of the original graph.
+    #[test]
+    fn induced_by_all_links_preserves_links(
+        users in 1usize..8,
+        items in 1usize..8,
+        friendships in prop::collection::vec((0usize..8, 0usize..8), 0..20),
+        tags in prop::collection::vec((0usize..8, 0usize..8), 0..20),
+    ) {
+        let (g, _, _) = build_site(users, items, &friendships, &tags);
+        let all: Vec<_> = g.links().map(|l| l.id).collect();
+        let sub = g.induced_by_links(all);
+        prop_assert_eq!(sub.link_count(), g.link_count());
+        for l in sub.links() {
+            prop_assert!(sub.has_node(l.src));
+            prop_assert!(sub.has_node(l.tgt));
+        }
+    }
+
+    /// Multi-valued attribute superset semantics: a value built from a
+    /// superset list always satisfies conditions built from any subset.
+    #[test]
+    fn value_superset_satisfaction(
+        vals in prop::collection::btree_set("[a-z]{1,6}", 1..8),
+        take in 0usize..8,
+    ) {
+        let all: Vec<String> = vals.iter().cloned().collect();
+        let sub: Vec<String> = all.iter().take(take % (all.len() + 1)).cloned().collect();
+        let have = Value::multi(all.clone());
+        let need = Value::multi(sub);
+        prop_assert!(have.is_superset_of(&need));
+    }
+
+    /// Degree accounting: the sum of all node degrees equals twice the link
+    /// count.
+    #[test]
+    fn handshake_lemma(
+        users in 1usize..10,
+        items in 1usize..10,
+        friendships in prop::collection::vec((0usize..10, 0usize..10), 0..30),
+        tags in prop::collection::vec((0usize..10, 0usize..10), 0..30),
+    ) {
+        let (g, _, _) = build_site(users, items, &friendships, &tags);
+        let degree_sum: usize = g.nodes().map(|n| g.degree(n.id)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.link_count());
+    }
+}
+
+#[test]
+fn consolidation_keeps_attribute_values_from_both_sides() {
+    let mut g = SocialGraph::new();
+    let mut b = GraphBuilder::new();
+    let u = b.add_user_with_interests("John", &["baseball"]);
+    g.merge(b.graph());
+    let mut other = SocialGraph::new();
+    other.add_node(
+        socialscope_graph::Node::new(u, ["user", "traveler"]).with_attr("interests", "museums"),
+    );
+    g.merge(&other);
+    let n = g.node(u).unwrap();
+    assert!(n.has_type("traveler"));
+    assert_eq!(n.attrs.get("interests").unwrap().len(), 2);
+}

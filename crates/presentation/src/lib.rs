@@ -1,0 +1,33 @@
+//! # socialscope-presentation
+//!
+//! The Information Presentation layer of SocialScope (paper §7).
+//!
+//! Search engines present a single ranked list; SocialScope argues that
+//! exploratory queries over social content need richer presentation:
+//!
+//! * **grouping** ([`grouping`]) — social grouping by shared endorsers
+//!   (Def. 14), topical grouping by derived topics, and structural (faceted)
+//!   grouping by item attributes;
+//! * **organization** ([`organize`]) — scoring group *meaningfulness*
+//!   (count, quality, size), selecting which groups fit the screen,
+//!   hierarchical zoom-in, and within/across-group ranking (the Information
+//!   Organizer and Result Selector of the architecture);
+//! * **explanations** ([`explain`]) — item-based and user-based
+//!   recommendation explanations, aggregate forms ("60% of your friends
+//!   endorsed this item") and group-level explanations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod explain;
+pub mod grouping;
+pub mod organize;
+
+pub use explain::{
+    aggregate_explanation, group_explanation, item_based_explanation, user_based_explanation,
+    Explanation,
+};
+pub use grouping::{
+    social_grouping, structural_grouping, topical_grouping, GroupingStrategy, ItemGroup,
+};
+pub use organize::{GroupMeaningfulness, InformationOrganizer, Presentation};

@@ -1,0 +1,90 @@
+//! Configuration of the synthetic social content site.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic Y!Travel-style site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of travel items (destinations/attractions).
+    pub items: usize,
+    /// Number of cities items are contained in.
+    pub cities: usize,
+    /// Average number of friends per user (small-world lattice degree).
+    pub avg_friends: usize,
+    /// Watts–Strogatz rewiring probability.
+    pub rewire_probability: f64,
+    /// Average tagging actions per user.
+    pub tags_per_user: usize,
+    /// Average visits per user.
+    pub visits_per_user: usize,
+    /// Fraction of users who rate the items they visit.
+    pub rating_fraction: f64,
+    /// Zipf exponent governing item popularity (higher = more skew).
+    pub zipf_exponent: f64,
+    /// RNG seed (generation is deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig {
+            users: 500,
+            items: 1000,
+            cities: 20,
+            avg_friends: 8,
+            rewire_probability: 0.1,
+            tags_per_user: 10,
+            visits_per_user: 15,
+            rating_fraction: 0.3,
+            zipf_exponent: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+impl SiteConfig {
+    /// A small configuration suited to unit tests.
+    pub fn tiny() -> Self {
+        SiteConfig {
+            users: 40,
+            items: 60,
+            cities: 5,
+            avg_friends: 4,
+            tags_per_user: 5,
+            visits_per_user: 6,
+            ..SiteConfig::default()
+        }
+    }
+
+    /// Scale the activity-related knobs by a factor (used for sweeps).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.users = ((self.users as f64) * factor).max(4.0) as usize;
+        self.items = ((self.items as f64) * factor).max(4.0) as usize;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SiteConfig::default();
+        assert!(c.users > 0 && c.items > 0);
+        assert!(c.rewire_probability >= 0.0 && c.rewire_probability <= 1.0);
+        let t = SiteConfig::tiny();
+        assert!(t.users < c.users);
+    }
+
+    #[test]
+    fn scaling_changes_population() {
+        let c = SiteConfig::tiny().scaled(2.0);
+        assert_eq!(c.users, 80);
+        assert_eq!(c.items, 120);
+        let small = SiteConfig::tiny().scaled(0.01);
+        assert!(small.users >= 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! The synthetic Y!Travel-style site generator.
+
+use crate::config::SiteConfig;
+use crate::travel::{ACTIVITY_TAGS, LOCATIONS, SPECIFIC_DESTINATIONS};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
+
+/// A generated site: the graph plus the id lists the experiments need.
+#[derive(Debug, Clone)]
+pub struct GeneratedSite {
+    /// The social content graph.
+    pub graph: SocialGraph,
+    /// User node ids.
+    pub users: Vec<NodeId>,
+    /// Item node ids (destinations).
+    pub items: Vec<NodeId>,
+    /// City node ids.
+    pub cities: Vec<NodeId>,
+}
+
+/// A simple Zipf sampler over ranks `0..n` with exponent `s`, implemented
+/// with an explicit cumulative table (no extra dependency needed).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for rank in 1..=n.max(1) {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Generate a synthetic social content site.
+///
+/// * Friendships follow a Watts–Strogatz small world: a ring lattice where
+///   each user connects to their `avg_friends` nearest neighbours, with each
+///   edge rewired to a random endpoint with probability
+///   `rewire_probability` (refs [27, 29] of the paper).
+/// * Items are destinations named from the travel vocabulary, each contained
+///   in one of `cities` city items (geographic containment links).
+/// * Tagging, visiting and rating activity is Zipf-distributed over items,
+///   so a few destinations are very popular — the skew the index-clustering
+///   experiments rely on.
+pub fn generate_site(config: &SiteConfig) -> GeneratedSite {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new();
+
+    // Users.
+    let users: Vec<NodeId> = (0..config.users)
+        .map(|i| {
+            b.add_user_with_interests(
+                &format!("user{i}"),
+                &[ACTIVITY_TAGS[i % ACTIVITY_TAGS.len()]],
+            )
+        })
+        .collect();
+
+    // Cities and destinations.
+    let cities: Vec<NodeId> = (0..config.cities.max(1))
+        .map(|i| b.add_item(LOCATIONS[i % LOCATIONS.len()], &["city", "location"]))
+        .collect();
+    let items: Vec<NodeId> = (0..config.items)
+        .map(|i| {
+            let name = if i < SPECIFIC_DESTINATIONS.len() {
+                SPECIFIC_DESTINATIONS[i].to_string()
+            } else {
+                format!("destination {i}")
+            };
+            let keywords = [
+                ACTIVITY_TAGS[i % ACTIVITY_TAGS.len()],
+                ACTIVITY_TAGS[(i / 3 + 7) % ACTIVITY_TAGS.len()],
+                LOCATIONS[i % LOCATIONS.len()],
+            ];
+            let item = b.add_item_with_keywords(&name, &["destination"], &keywords);
+            let city = cities[i % cities.len()];
+            b.contained_in(item, city);
+            item
+        })
+        .collect();
+
+    // Small-world friendships (Watts–Strogatz).
+    let n = users.len();
+    let k = config.avg_friends.max(2) / 2;
+    if n > 2 {
+        for i in 0..n {
+            for j in 1..=k {
+                let mut target = (i + j) % n;
+                if rng.gen_bool(config.rewire_probability.clamp(0.0, 1.0)) {
+                    target = rng.gen_range(0..n);
+                }
+                if target != i {
+                    b.befriend(users[i], users[target]);
+                }
+            }
+        }
+    }
+
+    // Zipf-skewed activity.
+    let popularity = ZipfSampler::new(items.len().max(1), config.zipf_exponent);
+    for &user in &users {
+        for _ in 0..config.tags_per_user {
+            let item = items[popularity.sample(&mut rng)];
+            let tag_a = ACTIVITY_TAGS.choose(&mut rng).expect("non-empty tags");
+            let tag_b = ACTIVITY_TAGS.choose(&mut rng).expect("non-empty tags");
+            b.tag(user, item, &[tag_a, tag_b]);
+        }
+        for _ in 0..config.visits_per_user {
+            let item = items[popularity.sample(&mut rng)];
+            b.visit(user, item);
+            if rng.gen_bool(config.rating_fraction.clamp(0.0, 1.0)) {
+                b.rate(user, item, rng.gen_range(1.0..=5.0));
+            }
+        }
+    }
+
+    GeneratedSite { graph: b.build(), users, items, cities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::GraphStats;
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generate_site(&SiteConfig::tiny());
+        let b = generate_site(&SiteConfig::tiny());
+        assert_eq!(a.graph, b.graph);
+        let c = generate_site(&SiteConfig { seed: 99, ..SiteConfig::tiny() });
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn generated_site_has_expected_population_and_invariants() {
+        let site = generate_site(&SiteConfig::tiny());
+        let cfg = SiteConfig::tiny();
+        assert_eq!(site.users.len(), cfg.users);
+        assert_eq!(site.items.len(), cfg.items);
+        site.graph.check_invariants().unwrap();
+        let stats = GraphStats::compute(&site.graph);
+        assert_eq!(stats.node_type_histogram["user"], cfg.users);
+        assert!(stats.link_type_histogram["friend"] > 0);
+        assert!(stats.link_type_histogram["tag"] > 0);
+        assert!(stats.link_type_histogram["visit"] > 0);
+    }
+
+    #[test]
+    fn small_world_network_is_clustered() {
+        let site = generate_site(&SiteConfig {
+            users: 100,
+            rewire_probability: 0.05,
+            avg_friends: 6,
+            ..SiteConfig::tiny()
+        });
+        let stats = GraphStats::compute(&site.graph);
+        // A ring lattice with low rewiring keeps a high clustering
+        // coefficient — far above a random graph of the same density.
+        assert!(
+            stats.network_clustering_coefficient > 0.2,
+            "clustering = {}",
+            stats.network_clustering_coefficient
+        );
+    }
+
+    #[test]
+    fn activity_is_skewed_toward_popular_items() {
+        let site = generate_site(&SiteConfig { users: 200, ..SiteConfig::tiny() });
+        let mut in_degrees: Vec<usize> = site
+            .items
+            .iter()
+            .map(|i| site.graph.in_links(*i).count())
+            .collect();
+        in_degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: usize = in_degrees.iter().take(in_degrees.len() / 10).sum();
+        let total: usize = in_degrees.iter().sum();
+        // The top 10% of items should attract a disproportionate share of
+        // the activity (well above 10%).
+        assert!(top_decile as f64 > 0.2 * total as f64);
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_ranks() {
+        let sampler = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..5000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50]);
+        assert!(counts[0] > counts[99]);
+    }
+}

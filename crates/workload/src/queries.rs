@@ -1,0 +1,215 @@
+//! The Y!Travel-style query-log generator behind Table 1.
+//!
+//! The real 10-million-query log is proprietary; the generator samples query
+//! strings from a parameterized class mixture whose default is the
+//! proportions the paper reports, and composes each query's text from the
+//! shared travel vocabulary so that the classifier (the measured part of the
+//! pipeline) re-derives the class from the text alone.
+
+use crate::classifier::QueryClass;
+use crate::travel::{CATEGORICAL_TERMS, GENERAL_TERMS, LOCATIONS, SPECIFIC_DESTINATIONS};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The target class × location mixture (fractions summing to ≤ 1; the rest
+/// is generated as unclassifiable noise).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryMixture {
+    /// General queries mentioning a location.
+    pub general_with_location: f64,
+    /// General queries without a location.
+    pub general_without_location: f64,
+    /// Categorical queries mentioning a location.
+    pub categorical_with_location: f64,
+    /// Categorical queries without a location.
+    pub categorical_without_location: f64,
+    /// Specific-destination queries.
+    pub specific: f64,
+}
+
+impl Default for QueryMixture {
+    /// The proportions of the paper's Table 1 (the remaining ≈ 10% are
+    /// unclassifiable).
+    fn default() -> Self {
+        QueryMixture {
+            general_with_location: 0.3236,
+            general_without_location: 0.2138,
+            categorical_with_location: 0.2252,
+            categorical_without_location: 0.0534,
+            specific: 0.0837,
+        }
+    }
+}
+
+impl QueryMixture {
+    /// The fraction left over for unclassifiable queries.
+    pub fn unclassified(&self) -> f64 {
+        (1.0 - self.general_with_location
+            - self.general_without_location
+            - self.categorical_with_location
+            - self.categorical_without_location
+            - self.specific)
+            .max(0.0)
+    }
+}
+
+/// Configuration of the query-log generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryLogConfig {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Target class mixture.
+    pub mixture: QueryMixture,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryLogConfig {
+    fn default() -> Self {
+        QueryLogConfig { queries: 100_000, mixture: QueryMixture::default(), seed: 17 }
+    }
+}
+
+/// Generates query strings according to a mixture.
+#[derive(Debug, Clone)]
+pub struct QueryLogGenerator {
+    config: QueryLogConfig,
+    rng: StdRng,
+}
+
+/// Words guaranteed to be outside every vocabulary list, used for
+/// unclassifiable noise queries.
+const NOISE_WORDS: &[&str] = &[
+    "cheap", "flights", "deals", "weather", "currency", "visa", "timezone", "phrasebook",
+    "luggage", "jetlag",
+];
+
+impl QueryLogGenerator {
+    /// A generator for the given configuration.
+    pub fn new(config: QueryLogConfig) -> Self {
+        QueryLogGenerator { rng: StdRng::seed_from_u64(config.seed), config }
+    }
+
+    /// Generate the full log.
+    pub fn generate(&mut self) -> Vec<String> {
+        (0..self.config.queries).map(|_| self.next_query()).collect()
+    }
+
+    /// Generate one query string.
+    pub fn next_query(&mut self) -> String {
+        let m = self.config.mixture;
+        let x: f64 = self.rng.gen_range(0.0..1.0);
+        let location = *LOCATIONS.choose(&mut self.rng).expect("locations");
+        let categorical = *CATEGORICAL_TERMS.choose(&mut self.rng).expect("categories");
+        let general = *GENERAL_TERMS.choose(&mut self.rng).expect("general terms");
+        let specific = *SPECIFIC_DESTINATIONS.choose(&mut self.rng).expect("destinations");
+
+        let mut threshold = m.general_with_location;
+        if x < threshold {
+            return match self.rng.gen_range(0..3) {
+                0 => format!("{location} {general}"),
+                1 => format!("{general} in {location}"),
+                _ => location.to_string(),
+            };
+        }
+        threshold += m.general_without_location;
+        if x < threshold {
+            return general.to_string();
+        }
+        threshold += m.categorical_with_location;
+        if x < threshold {
+            return format!("{location} {categorical}");
+        }
+        threshold += m.categorical_without_location;
+        if x < threshold {
+            return format!("{categorical} trip ideas");
+        }
+        threshold += m.specific;
+        if x < threshold {
+            // The paper's Table 1 reports specific queries in the
+            // with-location row: users name the destination together with
+            // where it is ("disneyland orlando").
+            return format!("{specific} {location}");
+        }
+        // Unclassifiable noise.
+        let a = *NOISE_WORDS.choose(&mut self.rng).expect("noise");
+        let b = *NOISE_WORDS.choose(&mut self.rng).expect("noise");
+        format!("{a} {b}")
+    }
+
+    /// The expected class of the last mixture bucket boundaries — exposed
+    /// for tests that validate the generator/classifier agreement.
+    pub fn mixture(&self) -> QueryMixture {
+        self.config.mixture
+    }
+}
+
+/// Expected Table 1 cell value for a mixture (used by the experiment harness
+/// to print "paper" vs "measured" side by side).
+pub fn expected_fraction(mixture: &QueryMixture, class: QueryClass, with_location: bool) -> f64 {
+    match (class, with_location) {
+        (QueryClass::General, true) => mixture.general_with_location,
+        (QueryClass::General, false) => mixture.general_without_location,
+        (QueryClass::Categorical, true) => mixture.categorical_with_location,
+        (QueryClass::Categorical, false) => mixture.categorical_without_location,
+        (QueryClass::Specific, _) => mixture.specific,
+        (QueryClass::Unclassified, _) => mixture.unclassified(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassCounts;
+
+    #[test]
+    fn default_mixture_matches_the_paper() {
+        let m = QueryMixture::default();
+        assert!((m.general_with_location - 0.3236).abs() < 1e-9);
+        assert!((m.unclassified() - 0.1003).abs() < 1e-3);
+    }
+
+    #[test]
+    fn generated_log_reproduces_the_mixture_through_the_classifier() {
+        let mut gen = QueryLogGenerator::new(QueryLogConfig {
+            queries: 20_000,
+            ..QueryLogConfig::default()
+        });
+        let log = gen.generate();
+        assert_eq!(log.len(), 20_000);
+        let counts = ClassCounts::from_queries(log.iter().map(String::as_str));
+        let m = QueryMixture::default();
+        // Each measured cell should land within 2 percentage points of the
+        // target (sampling noise only).
+        let cells = [
+            (QueryClass::General, true),
+            (QueryClass::General, false),
+            (QueryClass::Categorical, true),
+            (QueryClass::Categorical, false),
+        ];
+        for (class, with_loc) in cells {
+            let measured = counts.fraction(class, with_loc);
+            let expected = expected_fraction(&m, class, with_loc);
+            assert!(
+                (measured - expected).abs() < 0.02,
+                "{class} with_location={with_loc}: measured {measured:.4} vs expected {expected:.4}"
+            );
+        }
+        let spec = counts.class_fraction(QueryClass::Specific);
+        assert!((spec - m.specific).abs() < 0.02);
+        let uncls = counts.class_fraction(QueryClass::Unclassified);
+        assert!((uncls - m.unclassified()).abs() < 0.02);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = QueryLogGenerator::new(QueryLogConfig { queries: 100, ..Default::default() }).generate();
+        let b = QueryLogGenerator::new(QueryLogConfig { queries: 100, ..Default::default() }).generate();
+        assert_eq!(a, b);
+        let c = QueryLogGenerator::new(QueryLogConfig { queries: 100, seed: 5, ..Default::default() })
+            .generate();
+        assert_ne!(a, c);
+    }
+}

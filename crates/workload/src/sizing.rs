@@ -1,0 +1,125 @@
+//! The analytic index-sizing model of §6.2.
+//!
+//! The paper's back-of-envelope: a moderately sized site with 100,000 users,
+//! 1 million items and 1,000 distinct tags, where each item receives on
+//! average 20 tags given by 5% of the users, needs ≈ 1 TB for the
+//! per-`(tag, user)` inverted index at 10 bytes per entry. The model here
+//! reproduces that arithmetic and extends it to the clustered variants so
+//! experiment E4 can print paper-vs-model numbers and E5 can relate the
+//! analytic model to measured index sizes on generated sites.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the sizing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexSizingModel {
+    /// Number of users.
+    pub users: u64,
+    /// Number of items.
+    pub items: u64,
+    /// Number of distinct tags.
+    pub tags: u64,
+    /// Average number of tags each item receives.
+    pub avg_tags_per_item: f64,
+    /// Fraction of users who tag a given item.
+    pub tagger_fraction: f64,
+    /// Bytes per index entry (the paper assumes 10).
+    pub bytes_per_entry: u64,
+}
+
+impl IndexSizingModel {
+    /// The paper's "moderately sized" example site.
+    pub fn paper_example() -> Self {
+        IndexSizingModel {
+            users: 100_000,
+            items: 1_000_000,
+            tags: 1_000,
+            avg_tags_per_item: 20.0,
+            tagger_fraction: 0.05,
+            bytes_per_entry: 10,
+        }
+    }
+}
+
+/// The estimate produced by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizingEstimate {
+    /// Estimated number of index entries for the exact per-(tag, user) index.
+    pub exact_entries: f64,
+    /// Estimated size in bytes of the exact index.
+    pub exact_bytes: f64,
+    /// Estimated size in terabytes of the exact index.
+    pub exact_terabytes: f64,
+}
+
+impl IndexSizingModel {
+    /// Estimate the exact per-`(tag, user)` index: every item is replicated,
+    /// with its score, in the list of every `(tag, user)` pair that can see
+    /// it — `items × avg_tags_per_item × users × tagger_fraction` entries.
+    pub fn estimate(&self) -> SizingEstimate {
+        let exact_entries = self.items as f64
+            * self.avg_tags_per_item
+            * self.users as f64
+            * self.tagger_fraction;
+        let exact_bytes = exact_entries * self.bytes_per_entry as f64;
+        SizingEstimate {
+            exact_entries,
+            exact_bytes,
+            exact_terabytes: exact_bytes / 1e12,
+        }
+    }
+
+    /// Estimated entries when users are grouped into `clusters` clusters
+    /// (one list per `(tag, cluster)` instead of `(tag, user)`): the entry
+    /// count scales with the number of lists.
+    pub fn clustered_entries(&self, clusters: u64) -> f64 {
+        if self.users == 0 {
+            return 0.0;
+        }
+        self.estimate().exact_entries * clusters as f64 / self.users as f64
+    }
+
+    /// Space-saving factor of clustering (exact / clustered).
+    pub fn clustering_saving(&self, clusters: u64) -> f64 {
+        if clusters == 0 {
+            return f64::INFINITY;
+        }
+        self.users as f64 / clusters as f64
+    }
+}
+
+/// The paper's worked example, evaluated: should land at ≈ 1 terabyte.
+pub fn paper_sizing_example() -> SizingEstimate {
+    IndexSizingModel::paper_example().estimate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_about_one_terabyte() {
+        let est = paper_sizing_example();
+        assert!((est.exact_entries - 1e11).abs() < 1e6);
+        assert!((est.exact_terabytes - 1.0).abs() < 0.01, "{est:?}");
+    }
+
+    #[test]
+    fn clustering_reduces_entries_proportionally() {
+        let model = IndexSizingModel::paper_example();
+        let exact = model.estimate().exact_entries;
+        let clustered = model.clustered_entries(1_000);
+        assert!((clustered - exact / 100.0).abs() < 1.0);
+        assert!((model.clustering_saving(1_000) - 100.0).abs() < 1e-9);
+        assert_eq!(model.clustering_saving(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn estimate_scales_linearly_in_each_parameter() {
+        let base = IndexSizingModel::paper_example();
+        let double_users = IndexSizingModel { users: base.users * 2, ..base };
+        assert!((double_users.estimate().exact_entries / base.estimate().exact_entries - 2.0).abs() < 1e-9);
+        let double_items = IndexSizingModel { items: base.items * 2, ..base };
+        assert!((double_items.estimate().exact_bytes / base.estimate().exact_bytes - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,73 @@
+//! Example 2 of the paper: Selma's family trip to Barcelona.
+//!
+//! Selma is well connected to musician friends, but none of them can inform
+//! a family-with-babies trip. SocialScope analyzes her connections, finds
+//! them unsuitable for this query, and falls back to topic experts to
+//! recommend baby-friendly attractions.
+//!
+//! Run with `cargo run -p socialscope --example family_trip`.
+
+use socialscope::prelude::*;
+
+fn main() {
+    let mut b = GraphBuilder::new();
+    let selma = b.add_user_with_interests("Selma", &["music"]);
+
+    // Her musician friends: plenty of activity, none of it family travel.
+    let musicians: Vec<_> = (0..4)
+        .map(|i| b.add_user_with_interests(&format!("Musician{i}"), &["music"]))
+        .collect();
+    let jazz_bar =
+        b.add_item_with_keywords("Jamboree Jazz Club", &["destination"], &["barcelona", "music"]);
+    for &m in &musicians {
+        b.befriend(selma, m);
+        b.visit(m, jazz_bar);
+    }
+
+    // Parents who have made similar family trips (the "experts").
+    let parents: Vec<_> = (0..3)
+        .map(|i| b.add_user_with_interests(&format!("Parent{i}"), &["family"]))
+        .collect();
+    let parc = b.add_item_with_keywords(
+        "Parc de la Ciutadella",
+        &["destination"],
+        &["barcelona", "family", "babies", "park"],
+    );
+    let aquarium = b.add_item_with_keywords(
+        "L'Aquarium de Barcelona",
+        &["destination"],
+        &["barcelona", "family", "kids"],
+    );
+    for &p in &parents {
+        b.tag(p, parc, &["family", "babies"]);
+        b.tag(p, aquarium, &["family", "kids"]);
+    }
+    let graph = b.build();
+
+    let query = UserQuery::keywords_for(selma, "Barcelona family trip with babies");
+    let msg = InformationDiscoverer::default().discover(&graph, &query);
+
+    println!("Selma's query: \"Barcelona family trip with babies\"");
+    println!("(her musician friends carry no signal for it — expert fallback applies)\n");
+    for r in &msg.ranked {
+        let name = graph
+            .node(r.item)
+            .and_then(|n| n.name().map(str::to_string))
+            .unwrap_or_default();
+        println!(
+            "  {:<26} combined={:.3} semantic={:.3} social={:.3}",
+            name, r.combined, r.semantic, r.social
+        );
+    }
+
+    let top = msg.ranked.first().expect("results");
+    let top_name = graph
+        .node(top.item)
+        .and_then(|n| n.name().map(str::to_string))
+        .unwrap_or_default();
+    println!("\nRecommended first: {top_name}");
+    assert!(
+        top_name.contains("Parc") || top_name.contains("Aquarium"),
+        "a family-friendly attraction should rank first"
+    );
+}

@@ -1,0 +1,99 @@
+//! Example 3 of the paper: Alexia's exploratory "American history" query.
+//!
+//! The results span the whole country and many topics, so a single ranked
+//! list is a poor presentation. SocialScope groups them — geographically,
+//! topically, and by *who* endorsed them (classmates vs. soccer team) — and
+//! attaches explanations and related topics.
+//!
+//! Run with `cargo run -p socialscope --example field_trip_exploration`.
+
+use socialscope::discovery::analyzer::assoc::{mine_association_rules, related_tags};
+use socialscope::prelude::*;
+
+fn main() {
+    let mut b = GraphBuilder::new();
+    let alexia = b.add_user_with_interests("Alexia", &["history", "soccer"]);
+    let classmates: Vec<_> = (0..3).map(|i| b.add_user(&format!("Classmate{i}"))).collect();
+    let team: Vec<_> = (0..3).map(|i| b.add_user(&format!("Teammate{i}"))).collect();
+    let jane = b.add_user("Jane");
+    for &c in &classmates {
+        b.befriend(alexia, c);
+    }
+    for &t in &team {
+        b.befriend(alexia, t);
+    }
+
+    let gettysburg = b.add_item_with_keywords(
+        "Gettysburg Battlefield",
+        &["destination"],
+        &["american", "history", "war", "pennsylvania"],
+    );
+    let liberty = b.add_item_with_keywords(
+        "Liberty Bell",
+        &["destination"],
+        &["american", "history", "independence", "philadelphia"],
+    );
+    let mount_vernon = b.add_item_with_keywords(
+        "Mount Vernon",
+        &["destination"],
+        &["american", "history", "virginia"],
+    );
+    let soccer_hall = b.add_item_with_keywords(
+        "National Soccer Hall of Fame",
+        &["destination"],
+        &["american", "history", "soccer", "texas"],
+    );
+
+    // Classmates endorse the independence-era sites; team mates the soccer
+    // hall; Jane comments on many of them.
+    for &c in &classmates {
+        b.visit(c, gettysburg);
+        b.visit(c, liberty);
+        b.tag(c, liberty, &["independence", "history"]);
+        b.tag(c, gettysburg, &["war", "history"]);
+    }
+    for &t in &team {
+        b.visit(t, soccer_hall);
+        b.tag(t, soccer_hall, &["soccer", "history"]);
+    }
+    for item in [gettysburg, liberty, mount_vernon, soccer_hall] {
+        b.review(jane, item, "left a comment");
+    }
+    let mut graph = b.build();
+
+    // Offline content analysis: derive topics and similarity links.
+    let report = ContentAnalyzer::default().analyze(&mut graph);
+    println!(
+        "Content analysis: {} topics, {} belong links, {} match links, {} rules",
+        report.topics_added, report.belong_links_added, report.match_links_added, report.rules_mined
+    );
+
+    // Discovery.
+    let msg = InformationDiscoverer::default()
+        .discover(&graph, &UserQuery::keywords_for(alexia, "American history"));
+    println!("\n{} relevant places found for \"American history\"", msg.len());
+
+    // Presentation: pick the most meaningful grouping automatically.
+    let organizer = InformationOrganizer::default();
+    let presentations = organizer.best_presentation(&graph, &msg, "keywords");
+    for p in &presentations {
+        println!(
+            "\nGrouping {:?}: meaningfulness={:.3}",
+            p.strategy, p.meaningfulness.score
+        );
+        for group in &p.groups {
+            let names: Vec<String> = group
+                .items
+                .iter()
+                .filter_map(|i| graph.node(*i).and_then(|n| n.name().map(str::to_string)))
+                .collect();
+            let expl = group_explanation(&graph, alexia, group);
+            println!("  [{}] {:?} — {}", group.label, names, expl.summary);
+        }
+    }
+
+    // Related topics via association rules (e.g. "Independence War").
+    let rules = mine_association_rules(&graph, 0.05, 0.4);
+    let related = related_tags(&rules, &["history".to_string()], 3);
+    println!("\nRelated topics for 'history': {related:?}");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: build a tiny social content site, run a query that combines
+//! semantic and social relevance, and print the grouped, explained results.
+//!
+//! Run with `cargo run -p socialscope --example quickstart`.
+
+use socialscope::prelude::*;
+
+fn main() {
+    // 1. Build a small Y!Travel-like site.
+    let mut b = GraphBuilder::new();
+    let john = b.add_user_with_interests("John", &["baseball"]);
+    let mary = b.add_user("Mary");
+    let pete = b.add_user("Pete");
+    b.befriend(john, mary);
+    b.befriend(john, pete);
+
+    let coors = b.add_item_with_keywords(
+        "Coors Field",
+        &["destination"],
+        &["denver", "baseball", "stadium"],
+    );
+    let museum = b.add_item_with_keywords(
+        "B's Ballpark Museum",
+        &["destination"],
+        &["denver", "baseball", "museum"],
+    );
+    let zoo = b.add_item_with_keywords("City Zoo", &["destination"], &["animals", "wildlife"]);
+
+    b.visit(mary, coors);
+    b.tag(mary, coors, &["baseball"]);
+    b.visit(pete, museum);
+    b.visit(pete, zoo);
+    let graph = b.build();
+
+    println!("Site: {} nodes, {} links", graph.node_count(), graph.link_count());
+
+    // 2. Discover relevant items for John's query.
+    let query = UserQuery::keywords_for(john, "Denver baseball");
+    let msg = InformationDiscoverer::default().discover(&graph, &query);
+    println!("\nResults for \"Denver baseball\" (semantic + social):");
+    for r in &msg.ranked {
+        let name = graph
+            .node(r.item)
+            .and_then(|n| n.name().map(str::to_string))
+            .unwrap_or_default();
+        println!(
+            "  {:<22} combined={:.3} (semantic={:.3}, social={:.3})",
+            name, r.combined, r.semantic, r.social
+        );
+    }
+
+    // 3. Group and explain the results.
+    let organizer = InformationOrganizer::default();
+    let presentation = organizer.organize(&graph, &msg, GroupingStrategy::Social { theta: 0.3 });
+    println!("\nGroups (social grouping):");
+    for group in &presentation.groups {
+        println!("  [{}] {} item(s)", group.label, group.items.len());
+        for item in &group.items {
+            let expl = aggregate_explanation(&graph, john, *item);
+            let name = graph
+                .node(*item)
+                .and_then(|n| n.name().map(str::to_string))
+                .unwrap_or_default();
+            println!("     - {:<22} {}", name, expl.summary);
+        }
+    }
+
+    // 4. Pure recommendations (no query).
+    let recs = recommend_for_user(&graph, john, &[], 3);
+    println!("\nRecommendations for John:");
+    for rec in recs {
+        let name = graph
+            .node(rec.item)
+            .and_then(|n| n.name().map(str::to_string))
+            .unwrap_or_default();
+        println!("  {:<22} score={:.3} via {}", name, rec.score, rec.strategy);
+    }
+}

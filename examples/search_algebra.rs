@@ -1,0 +1,97 @@
+//! Example 4 of the paper, verbatim: "Find John's friends who have visited
+//! travel destinations near Denver and all their activities", expressed as
+//! a composition of algebra operators, evaluated both directly and as an
+//! optimized logical plan.
+//!
+//! Run with `cargo run -p socialscope --example search_algebra`.
+
+use socialscope::prelude::*;
+
+fn main() {
+    // The site: John, his friends, destinations near Denver and elsewhere.
+    let mut b = GraphBuilder::new();
+    let john = b.add_user("John");
+    let mary = b.add_user("Mary");
+    let pete = b.add_user("Pete");
+    let sara = b.add_user("Sara"); // not John's friend
+    b.befriend(john, mary);
+    b.befriend(john, pete);
+
+    let red_rocks = b.add_item_with_keywords(
+        "Red Rocks",
+        &["destination"],
+        &["near", "denver"],
+    );
+    let zoo = b.add_item_with_keywords("Denver Zoo", &["destination"], &["near", "denver"]);
+    let eiffel = b.add_item_with_keywords("Eiffel Tower", &["destination"], &["paris"]);
+
+    b.visit(mary, red_rocks);
+    b.tag(mary, red_rocks, &["hiking"]);
+    b.visit(pete, eiffel);
+    b.visit(sara, zoo);
+    b.rate(mary, zoo, 4.0);
+    let g = b.build();
+
+    // --- Direct operator formulation (the paper's G1 … G7) --------------
+    let john_nodes = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
+    // G1: John's friendship links.
+    let g1 = link_select(
+        &semi_join(&g, &john_nodes, DirectionalCondition::src_src()),
+        &Condition::on_attr("type", "friend"),
+        None,
+    );
+    // G2: visits of destinations near Denver.
+    let near_denver = node_select(
+        &g,
+        &Condition::on_attr("type", "destination").and_keywords(["near", "denver"]),
+        None,
+    );
+    let g2 = link_select(
+        &semi_join(&g, &near_denver, DirectionalCondition::tgt_src()),
+        &Condition::on_attr("type", "visit"),
+        None,
+    );
+    // G3: John's friends who visited places near Denver.
+    let g3 = semi_join(&g1, &g2, DirectionalCondition::tgt_src());
+    // G4: the places near Denver visited by John's friends.
+    let g4 = semi_join(&g2, &g1, DirectionalCondition::src_tgt());
+    // G5 = G3 ∪ G4.
+    let g5 = union(&g3, &g4);
+    // G6: all activities of those friends.
+    let friends_with_visits = semi_join(&g, &g3, DirectionalCondition::src_tgt());
+    let g6 = link_select(&friends_with_visits, &Condition::on_attr("type", "act"), None);
+    // G7 = G5 ∪ G6.
+    let g7 = union(&g5, &g6);
+
+    println!("Example 4 result graph: {} nodes, {} links", g7.node_count(), g7.link_count());
+    for link in g7.links() {
+        let src = g.node(link.src).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
+        let tgt = g.node(link.tgt).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
+        println!("  {src:<8} -[{}]-> {tgt}", link.type_values().join(","));
+    }
+    assert!(g7.has_node(mary), "Mary visited Red Rocks and is John's friend");
+    assert!(!g7.has_node(sara), "Sara is not John's friend");
+
+    // --- The same task as a logical plan, optimized ----------------------
+    let john_sel = PlanBuilder::base().node_select(Condition::on_attr("id", john.raw() as i64));
+    let friends_plan = PlanBuilder::base()
+        .semi_join(&john_sel, DirectionalCondition::src_src())
+        .link_select(Condition::on_attr("type", "friend"));
+    let near_plan = PlanBuilder::base().node_select(
+        Condition::on_attr("type", "destination").and_keywords(["near", "denver"]),
+    );
+    let visits_plan = PlanBuilder::base()
+        .semi_join(&near_plan, DirectionalCondition::tgt_src())
+        .link_select(Condition::on_attr("type", "visit"));
+    let plan = friends_plan.semi_join(&visits_plan, DirectionalCondition::tgt_src()).build();
+
+    let (optimized, report) = Optimizer::new().optimize(&plan);
+    println!("\nLogical plan ({} operators, {} after optimization):", plan.size(), optimized.size());
+    println!("{}", optimized.explain());
+    println!("Optimizer rules applied: {:?}", report.rules_applied);
+
+    let mut ev = Evaluator::new(&g);
+    let result = ev.evaluate(&optimized).expect("plan evaluates");
+    println!("Plan result: {} nodes, {} links", result.node_count(), result.link_count());
+    assert_eq!(result.link_id_set(), g3.link_id_set());
+}

@@ -1,0 +1,99 @@
+//! Integration: the algebra over generated sites — Example 4 search,
+//! Example 5 collaborative filtering, optimizer equivalence.
+
+use socialscope::discovery::recommend::algebra_cf::{
+    collaborative_filtering, example5_pipeline, CfConfig,
+};
+use socialscope::prelude::*;
+
+fn site() -> socialscope::workload::GeneratedSite {
+    generate_site(&SiteConfig { users: 60, items: 80, ..SiteConfig::tiny() })
+}
+
+#[test]
+fn example4_search_runs_on_generated_sites() {
+    let site = site();
+    let g = &site.graph;
+    let john = site.users[0];
+    let john_nodes = node_select(g, &Condition::on_attr("id", john.raw() as i64), None);
+    let friendships = link_select(
+        &semi_join(g, &john_nodes, DirectionalCondition::src_src()),
+        &Condition::on_attr("type", "friend"),
+        None,
+    );
+    let visits = link_select(g, &Condition::on_attr("type", "visit"), None);
+    let friends_who_visited = semi_join(&friendships, &visits, DirectionalCondition::tgt_src());
+    // Every surviving friendship link starts at John and ends at a user with
+    // at least one visit.
+    for link in friends_who_visited.links() {
+        assert_eq!(link.src, john);
+        assert!(g.out_links(link.tgt).any(|l| l.has_type("visit")));
+    }
+}
+
+#[test]
+fn example5_cf_scores_are_bounded_and_exclude_visited() {
+    let site = site();
+    let g = &site.graph;
+    let user = site.users[1];
+    let recs = collaborative_filtering(g, user, &CfConfig::default());
+    let visited: Vec<_> = g
+        .out_links(user)
+        .filter(|l| l.has_type("visit"))
+        .map(|l| l.tgt)
+        .collect();
+    for rec in &recs {
+        assert!(rec.score > 0.0 && rec.score <= 1.0, "score {}", rec.score);
+        assert!(!visited.contains(&rec.item));
+        assert!(g.node(rec.item).unwrap().has_type("destination"));
+    }
+    // Scores are sorted descending.
+    assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+}
+
+#[test]
+fn example5_pipeline_output_only_contains_recommendation_links_from_user() {
+    let site = site();
+    let g = &site.graph;
+    let user = site.users[2];
+    let out = example5_pipeline(g, user, &CfConfig::default());
+    for link in out.links() {
+        assert_eq!(link.src, user);
+        assert!(link.attrs.get_f64("score").is_some());
+    }
+}
+
+#[test]
+fn optimizer_preserves_example4_plan_semantics_on_generated_sites() {
+    let site = site();
+    let g = &site.graph;
+    let john = site.users[0];
+    let john_sel = PlanBuilder::base().node_select(Condition::on_attr("id", john.raw() as i64));
+    let plan = PlanBuilder::base()
+        .semi_join(&john_sel, DirectionalCondition::src_src())
+        .link_select(Condition::on_attr("type", "friend"))
+        .link_select(Condition::any())
+        .node_select(Condition::on_attr("type", "user"))
+        .build();
+    let (optimized, report) = Optimizer::new().optimize(&plan);
+    assert!(optimized.size() <= plan.size());
+    assert!(!report.rules_applied.is_empty());
+    let mut ev = Evaluator::new(g);
+    let a = ev.evaluate(&plan).unwrap();
+    let b = ev.evaluate(&optimized).unwrap();
+    assert_eq!(a.node_id_set(), b.node_id_set());
+    assert_eq!(a.link_id_set(), b.link_id_set());
+}
+
+#[test]
+fn set_operators_respect_overlay_partition_on_generated_sites() {
+    let site = site();
+    let g = &site.graph;
+    let acts = link_select(g, &Condition::on_attr("type", "act"), None);
+    let connects = link_select(g, &Condition::on_attr("type", "connect"), None);
+    let both = union(&acts, &connects);
+    assert_eq!(both.link_count(), acts.link_count() + connects.link_count());
+    assert!(intersect(&acts, &connects).link_count() == 0);
+    let back = minus_link_driven(&both, &connects);
+    assert_eq!(back.link_id_set(), acts.link_id_set());
+}

@@ -1,0 +1,107 @@
+//! Integration: content management — indexes and clustering over generated
+//! sites, the three deployment models, and the content integrator under
+//! failure injection.
+
+use socialscope::content::models::all_models;
+use socialscope::content::topk::top_k_exhaustive;
+use socialscope::content::{
+    ClusteredIndex, ControlLevel, SimulatedRemoteSite,
+};
+use socialscope::prelude::*;
+
+#[test]
+fn clustered_indexes_trade_space_for_exact_computations_on_generated_sites() {
+    let site = generate_site(&SiteConfig { users: 80, items: 100, ..SiteConfig::tiny() });
+    let model = SiteModel::from_graph(&site.graph);
+    let exact = ExactIndex::build(&model);
+    let clustering = NetworkBasedClustering.cluster(&model, 0.3);
+    let clustered = ClusteredIndex::build(&model, clustering);
+
+    let es = exact.stats();
+    let cs = clustered.stats();
+    assert!(cs.entries <= es.entries);
+    assert!(cs.lists <= es.lists);
+
+    // Query correctness + cost accounting for a handful of users.
+    let keywords = vec!["baseball".to_string(), "museum".to_string()];
+    for &user in site.users.iter().take(10) {
+        let exact_res = exact.query(user, &keywords, 5);
+        let clustered_res = clustered.query(&model, user, &keywords, 5);
+        let oracle = top_k_exhaustive(model.items(), 5, |i| model.query_score(i, user, &keywords));
+        let positives =
+            |v: &[(NodeId, f64)]| v.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect::<Vec<_>>();
+        assert_eq!(positives(&exact_res.ranked), positives(&oracle.ranked));
+        assert_eq!(positives(&clustered_res.result.ranked), positives(&oracle.ranked));
+    }
+}
+
+#[test]
+fn all_three_deployment_models_reproduce_table2_shape() {
+    let journey = UserJourney { users: 500, content_sites: 3, ..UserJourney::default() };
+    let models = all_models();
+    let metrics: Vec<_> = models.iter().map(|m| (m.name(), m.simulate(&journey))).collect();
+    let dec = &metrics.iter().find(|(n, _)| *n == "Decentralized").unwrap().1;
+    let closed = &metrics.iter().find(|(n, _)| *n == "Closed Cartel").unwrap().1;
+    let open = &metrics.iter().find(|(n, _)| *n == "Open Cartel").unwrap().1;
+
+    // Duplication: only the decentralized model multiplies user-maintained
+    // profiles.
+    assert!(dec.profiles_per_user > closed.profiles_per_user);
+    assert_eq!(closed.profiles_per_user, 1.0);
+    assert_eq!(open.profiles_per_user, 1.0);
+    // Analysis capability: closed cartel content sites cannot analyze.
+    assert!(dec.content_site_can_analyze_graph);
+    assert!(!closed.content_site_can_analyze_graph);
+    assert!(open.content_site_can_analyze_graph);
+    // Control matrix spot checks straight from Table 2.
+    for m in &models {
+        let cm = m.control_matrix();
+        match m.name() {
+            "Decentralized" => assert_eq!(cm.social_sites.social_graph, ControlLevel::None),
+            "Closed Cartel" => assert_eq!(cm.content_sites.social_graph, ControlLevel::None),
+            "Open Cartel" => assert_eq!(cm.content_sites.social_graph, ControlLevel::Limited),
+            other => panic!("unexpected model {other}"),
+        }
+    }
+}
+
+#[test]
+fn content_integrator_survives_outages_and_revocations() {
+    let mut remote = SimulatedRemoteSite::new("opensocial-hub");
+    let users: Vec<NodeId> = (0..20).map(|i| NodeId(10_000 + i)).collect();
+    for (i, &u) in users.iter().enumerate() {
+        remote.add_user(u, &format!("remote{i}"), &["travel"]);
+        if i > 0 {
+            remote.connect(users[i - 1], u);
+        }
+    }
+    // Revoke a few permissions.
+    remote.set_permission(users[3], false);
+    remote.set_permission(users[7], false);
+
+    let mut graph = SocialGraph::new();
+    let report = ContentIntegrator.integrate_users(&mut graph, &remote, &users);
+    assert_eq!(report.profiles_imported, 18);
+    assert_eq!(report.permission_denied, 2);
+    graph.check_invariants().unwrap();
+
+    // Outage: nothing further is imported, nothing is lost.
+    let nodes_before = graph.node_count();
+    remote.set_available(false);
+    let report = ContentIntegrator.integrate_users(&mut graph, &remote, &users);
+    assert_eq!(report.profiles_imported, 0);
+    assert_eq!(report.unavailable, users.len());
+    assert_eq!(graph.node_count(), nodes_before);
+}
+
+#[test]
+fn activity_manager_budgets_follow_user_mix() {
+    let site = generate_site(&SiteConfig { users: 100, ..SiteConfig::tiny() });
+    let model = SiteModel::from_graph(&site.graph);
+    let manager = ActivityManager::categorize(&model);
+    let (light, medium, heavy) = manager.distribution();
+    assert_eq!(light + medium + heavy, model.user_count());
+    assert!(heavy > 0);
+    // Heavier activity mixes cost more synchronization messages.
+    assert!(manager.sync_budget(100) > manager.sync_budget(10));
+}

@@ -1,0 +1,81 @@
+//! Integration: content analysis + discovery over generated sites.
+
+use socialscope::prelude::*;
+
+#[test]
+fn analysis_then_discovery_end_to_end() {
+    let site = generate_site(&SiteConfig { users: 50, items: 60, ..SiteConfig::tiny() });
+    let mut graph = site.graph.clone();
+    let report = ContentAnalyzer::default().analyze(&mut graph);
+    assert!(report.topics_added > 0);
+    assert!(report.match_links_added > 0);
+    graph.check_invariants().unwrap();
+
+    let user = site.users[0];
+    let msg = InformationDiscoverer::default()
+        .discover(&graph, &UserQuery::keywords_for(user, "baseball museum"));
+    // Every ranked item is a known item node, scores are sorted descending.
+    for r in &msg.ranked {
+        assert!(graph.node(r.item).unwrap().has_type("item"));
+        assert!(r.combined > 0.0);
+    }
+    assert!(msg
+        .ranked
+        .windows(2)
+        .all(|w| w[0].combined >= w[1].combined));
+    // The provenance graph only contains nodes/links of the site.
+    for n in msg.graph.nodes() {
+        assert!(graph.has_node(n.id));
+    }
+    for l in msg.graph.links() {
+        assert!(graph.has_link(l.id));
+    }
+}
+
+#[test]
+fn social_relevance_changes_ranking_between_users() {
+    let site = generate_site(&SiteConfig { users: 80, items: 60, ..SiteConfig::tiny() });
+    let graph = &site.graph;
+    let discoverer = InformationDiscoverer::default();
+    let q1 = discoverer.discover(graph, &UserQuery::keywords_for(site.users[0], "family beach"));
+    let anon = discoverer.discover(graph, &UserQuery::anonymous("family beach"));
+    // The anonymous ranking is purely semantic; the personalized one factors
+    // in social relevance, so the two score vectors must not be identical
+    // whenever any social signal exists.
+    let social_signal: f64 = q1.ranked.iter().map(|r| r.social).sum();
+    if social_signal > 0.0 {
+        let personalized: Vec<_> = q1.ranked.iter().map(|r| (r.item, r.combined)).collect();
+        let anonymous: Vec<_> = anon.ranked.iter().map(|r| (r.item, r.combined)).collect();
+        assert_ne!(personalized, anonymous);
+    }
+}
+
+#[test]
+fn recommendations_fall_back_to_experts_for_inactive_users() {
+    let mut config = SiteConfig::tiny();
+    config.users = 40;
+    let site = generate_site(&config);
+    let mut graph = site.graph.clone();
+    // Add a brand-new user with no activity and no friends.
+    let mut b = GraphBuilder::extending(std::mem::take(&mut graph));
+    let newcomer = b.add_user("Newcomer");
+    let graph = b.build();
+    let recs = recommend_for_user(&graph, newcomer, &["family".to_string()], 5);
+    // The newcomer cannot get CF recommendations; experts may or may not
+    // exist for the keyword, but if recommendations exist they are expert
+    // based.
+    for rec in recs {
+        assert_eq!(rec.strategy, "expert");
+    }
+}
+
+#[test]
+fn empty_queries_recommend_only_socially_endorsed_items() {
+    let site = generate_site(&SiteConfig::tiny());
+    let graph = &site.graph;
+    let user = site.users[3];
+    let msg = InformationDiscoverer::default().discover(graph, &UserQuery::empty_for(user));
+    for r in &msg.ranked {
+        assert!(r.social > 0.0);
+    }
+}

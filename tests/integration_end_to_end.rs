@@ -1,0 +1,91 @@
+//! End-to-end: generate a site, run content analysis, serve a query through
+//! discovery, organize the results, and check the whole flow stays
+//! consistent — the "John visits Denver" story of the paper played out on a
+//! synthetic site, plus the Table 1 pipeline.
+
+use socialscope::prelude::*;
+use socialscope::workload::queries::expected_fraction;
+use socialscope::workload::QueryClass;
+
+#[test]
+fn full_stack_flow_is_consistent() {
+    // 1. Generate.
+    let config = SiteConfig { users: 80, items: 120, ..SiteConfig::tiny() };
+    let site = generate_site(&config);
+    let mut graph = site.graph.clone();
+    let stats = GraphStats::compute(&graph);
+    assert_eq!(stats.node_type_histogram["user"], config.users);
+
+    // 2. Analyze offline.
+    let report = ContentAnalyzer::default().analyze(&mut graph);
+    assert!(report.topics_added > 0);
+
+    // 3. Discover for a user and a typical categorical query.
+    let user = site.users[0];
+    let msg = InformationDiscoverer::default()
+        .discover(&graph, &UserQuery::keywords_for(user, "denver baseball museum"));
+
+    // 4. Organize + explain.
+    let organizer = InformationOrganizer::default();
+    let presentations = organizer.best_presentation(&graph, &msg, "keywords");
+    assert_eq!(presentations.len(), 3);
+    let best = &presentations[0];
+    for group in &best.groups {
+        let expl = group_explanation(&graph, user, group);
+        assert!(!expl.summary.is_empty());
+    }
+
+    // 5. Recommendations for the same user never include items the user
+    //    already visited.
+    let recs = recommend_for_user(&graph, user, &["baseball".to_string()], 10);
+    let visited: Vec<NodeId> = graph
+        .out_links(user)
+        .filter(|l| l.has_type("visit"))
+        .map(|l| l.tgt)
+        .collect();
+    for rec in &recs {
+        if rec.strategy == "algebra_cf" {
+            assert!(!visited.contains(&rec.item));
+        }
+    }
+}
+
+#[test]
+fn table1_pipeline_reproduces_configured_distribution() {
+    // Generate a 50k-query log with the paper's mixture, classify it, and
+    // compare against the configured (paper) proportions.
+    let mut gen = QueryLogGenerator::new(QueryLogConfig { queries: 50_000, ..Default::default() });
+    let log = gen.generate();
+    let counts = ClassCounts::from_queries(log.iter().map(String::as_str));
+    let mixture = gen.mixture();
+
+    for (class, with_loc) in [
+        (QueryClass::General, true),
+        (QueryClass::General, false),
+        (QueryClass::Categorical, true),
+        (QueryClass::Categorical, false),
+    ] {
+        let measured = counts.fraction(class, with_loc);
+        let expected = expected_fraction(&mixture, class, with_loc);
+        assert!(
+            (measured - expected).abs() < 0.015,
+            "{class:?}/{with_loc}: measured {measured:.4}, expected {expected:.4}"
+        );
+    }
+    // The headline claims of §2: >50% general, ~30% categorical, ~8%
+    // specific, ~10% unclassified.
+    assert!(counts.class_fraction(QueryClass::General) > 0.5);
+    assert!((counts.class_fraction(QueryClass::Categorical) - 0.28).abs() < 0.03);
+    assert!((counts.class_fraction(QueryClass::Specific) - 0.08).abs() < 0.02);
+    assert!((counts.class_fraction(QueryClass::Unclassified) - 0.10).abs() < 0.03);
+    // "About 60% of general queries contain a location."
+    let general_with = counts.fraction(QueryClass::General, true);
+    let general_total = counts.class_fraction(QueryClass::General);
+    assert!(((general_with / general_total) - 0.60).abs() < 0.05);
+}
+
+#[test]
+fn sizing_model_matches_paper_back_of_envelope() {
+    let estimate = socialscope::workload::paper_sizing_example();
+    assert!((estimate.exact_terabytes - 1.0).abs() < 0.05);
+}

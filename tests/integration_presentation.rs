@@ -1,0 +1,83 @@
+//! Integration: discovery output flowing into grouping, organization and
+//! explanations on generated sites.
+
+use socialscope::prelude::*;
+use socialscope::presentation::grouping::group_items;
+
+#[test]
+fn every_grouping_strategy_covers_all_discovered_items() {
+    let site = generate_site(&SiteConfig { users: 60, items: 80, ..SiteConfig::tiny() });
+    let mut graph = site.graph.clone();
+    ContentAnalyzer::default().analyze(&mut graph);
+    let user = site.users[0];
+    let msg = InformationDiscoverer::default()
+        .discover(&graph, &UserQuery::keywords_for(user, "museum history"));
+    if msg.is_empty() {
+        return;
+    }
+    let items = msg.item_ids();
+    for strategy in [
+        GroupingStrategy::Social { theta: 0.2 },
+        GroupingStrategy::Topical,
+        GroupingStrategy::Structural { attribute: "keywords".into() },
+    ] {
+        let groups = group_items(&graph, &items, &strategy);
+        for item in &items {
+            assert!(
+                groups.iter().any(|g| g.items.contains(item)),
+                "item {item} not covered by {strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn organizer_ranks_groups_and_respects_screen_budget() {
+    let site = generate_site(&SiteConfig { users: 60, items: 80, ..SiteConfig::tiny() });
+    let mut graph = site.graph.clone();
+    ContentAnalyzer::default().analyze(&mut graph);
+    let user = site.users[1];
+    let msg = InformationDiscoverer::default()
+        .discover(&graph, &UserQuery::keywords_for(user, "family beach hiking"));
+    let organizer = InformationOrganizer { max_groups: 3, social_theta: 0.3 };
+    let presentations = organizer.best_presentation(&graph, &msg, "keywords");
+    assert_eq!(presentations.len(), 3);
+    for p in &presentations {
+        assert!(p.groups.len() <= 3);
+        for g in &p.groups {
+            // Within-group ranking is by combined relevance.
+            let scores: Vec<f64> = g
+                .items
+                .iter()
+                .map(|i| msg.score_of(*i).unwrap_or(0.0))
+                .collect();
+            assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+    // Presentations are ordered by meaningfulness.
+    assert!(presentations
+        .windows(2)
+        .all(|w| w[0].meaningfulness.score >= w[1].meaningfulness.score));
+}
+
+#[test]
+fn explanations_cover_every_recommended_item() {
+    let site = generate_site(&SiteConfig { users: 50, items: 60, ..SiteConfig::tiny() });
+    let graph = &site.graph;
+    let user = site.users[2];
+    let recs = recommend_for_user(graph, user, &["museum".to_string()], 5);
+    for rec in recs {
+        let expl = socialscope::presentation::user_based_explanation(graph, user, rec.item);
+        let agg = aggregate_explanation(graph, user, rec.item);
+        // Every explanation renders a human-readable summary, and the
+        // aggregate percentage is within [0, 100].
+        assert!(!expl.summary.is_empty());
+        let percent: f64 = agg
+            .summary
+            .split('%')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0);
+        assert!((0.0..=100.0).contains(&percent));
+    }
+}
