@@ -138,6 +138,10 @@ impl NafExpr {
     }
 }
 
+/// A user-supplied aggregation over a group of links, for
+/// [`AggregateFn::Custom`].
+pub type CustomAggFn = Arc<dyn Fn(&[&Link]) -> Value + Send + Sync>;
+
 /// An aggregation function usable by Node and Link Aggregation: a member of
 /// `AF = SAF ∪ NAF`, plus pragmatic built-ins.
 #[derive(Clone)]
@@ -165,7 +169,7 @@ pub enum AggregateFn {
     /// An arbitrary NAF expression.
     Naf(NafExpr),
     /// A custom aggregation over the group of links.
-    Custom(Arc<dyn Fn(&[&Link]) -> Value + Send + Sync>),
+    Custom(CustomAggFn),
 }
 
 impl std::fmt::Debug for AggregateFn {
@@ -233,22 +237,15 @@ impl AggregateFn {
                 }
             }
             AggregateFn::Min(attr) => Value::single(
-                links
-                    .iter()
-                    .map(|l| link_attr_f64(l, attr))
-                    .fold(f64::INFINITY, f64::min),
+                links.iter().map(|l| link_attr_f64(l, attr)).fold(f64::INFINITY, f64::min),
             ),
             AggregateFn::Max(attr) => Value::single(
-                links
-                    .iter()
-                    .map(|l| link_attr_f64(l, attr))
-                    .fold(f64::NEG_INFINITY, f64::max),
+                links.iter().map(|l| link_attr_f64(l, attr)).fold(f64::NEG_INFINITY, f64::max),
             ),
             AggregateFn::ConstStr(s) => Value::single(s.as_str()),
-            AggregateFn::First(attr) => links
-                .first()
-                .and_then(|l| link_attr_value(l, attr))
-                .unwrap_or_else(Value::empty),
+            AggregateFn::First(attr) => {
+                links.first().and_then(|l| link_attr_value(l, attr)).unwrap_or_else(Value::empty)
+            }
             AggregateFn::Naf(expr) => Value::single(expr.eval(links)),
             AggregateFn::Custom(f) => f(links),
         }
@@ -287,10 +284,7 @@ mod tests {
         let links = group();
         let refs: Vec<&Link> = links.iter().collect();
         let v = AggregateFn::CollectSet("tags".into()).eval(&refs);
-        assert_eq!(
-            value_as_sorted_texts(&v),
-            vec!["baseball", "museum", "rockies"]
-        );
+        assert_eq!(value_as_sorted_texts(&v), vec!["baseball", "museum", "rockies"]);
     }
 
     #[test]
@@ -308,7 +302,10 @@ mod tests {
         let refs: Vec<&Link> = links.iter().collect();
         assert_eq!(AggregateFn::Count.eval(&refs).as_f64(), Some(3.0));
         assert_eq!(AggregateFn::Sum("weight".into()).eval(&refs).as_f64(), Some(4.0));
-        assert!((AggregateFn::Avg("weight".into()).eval(&refs).as_f64().unwrap() - 4.0 / 3.0).abs() < 1e-9);
+        assert!(
+            (AggregateFn::Avg("weight".into()).eval(&refs).as_f64().unwrap() - 4.0 / 3.0).abs()
+                < 1e-9
+        );
         assert_eq!(AggregateFn::Min("weight".into()).eval(&refs).as_f64(), Some(0.5));
         assert_eq!(AggregateFn::Max("weight".into()).eval(&refs).as_f64(), Some(2.0));
     }
@@ -317,14 +314,8 @@ mod tests {
     fn const_str_and_first() {
         let links = group();
         let refs: Vec<&Link> = links.iter().collect();
-        assert_eq!(
-            AggregateFn::ConstStr("match".into()).eval(&refs).as_str(),
-            Some("match")
-        );
-        assert_eq!(
-            AggregateFn::First("weight".into()).eval(&refs).as_f64(),
-            Some(0.5)
-        );
+        assert_eq!(AggregateFn::ConstStr("match".into()).eval(&refs).as_str(), Some("match"));
+        assert_eq!(AggregateFn::First("weight".into()).eval(&refs).as_f64(), Some(0.5));
         assert!(AggregateFn::First("missing".into()).eval(&refs).is_empty());
     }
 
@@ -348,10 +339,7 @@ mod tests {
         let refs: Vec<&Link> = links.iter().collect();
         // (sum(weight) - count) * 2  — arbitrary composition of NAF parts.
         let expr = NafExpr::Mul(
-            Box::new(NafExpr::Sub(
-                Box::new(NafExpr::sum("weight")),
-                Box::new(NafExpr::count()),
-            )),
+            Box::new(NafExpr::Sub(Box::new(NafExpr::sum("weight")), Box::new(NafExpr::count()))),
             Box::new(NafExpr::Const(2.0)),
         );
         assert_eq!(expr.eval(&refs), (4.0 - 3.0) * 2.0);
@@ -379,10 +367,7 @@ mod tests {
     #[test]
     fn aggregate_fn_equality_never_merges_custom() {
         assert_eq!(AggregateFn::Count, AggregateFn::Count);
-        assert_eq!(
-            AggregateFn::Sum("w".into()),
-            AggregateFn::Sum("w".into())
-        );
+        assert_eq!(AggregateFn::Sum("w".into()), AggregateFn::Sum("w".into()));
         assert_ne!(AggregateFn::Sum("w".into()), AggregateFn::Sum("x".into()));
         let c1 = AggregateFn::Custom(Arc::new(|_| Value::empty()));
         let c2 = AggregateFn::Custom(Arc::new(|_| Value::empty()));

@@ -78,8 +78,7 @@ pub fn link_aggregate_multi(
         for (attr, agg) in aggs {
             new_link.attrs.set(attr.clone(), agg.eval(&links));
         }
-        out.add_link(new_link)
-            .expect("aggregated link endpoints exist in the input graph");
+        out.add_link(new_link).expect("aggregated link endpoints exist in the input graph");
     }
     out
 }
@@ -177,10 +176,7 @@ mod tests {
             "tagger_count",
             &AggregateFn::Count,
         );
-        assert_eq!(
-            out.node(coors).unwrap().attrs.get_f64("tagger_count"),
-            Some(2.0)
-        );
+        assert_eq!(out.node(coors).unwrap().attrs.get_f64("tagger_count"), Some(2.0));
     }
 
     #[test]
@@ -194,18 +190,11 @@ mod tests {
         b.visit(john, denver);
         let g = b.build();
 
-        let out = link_aggregate(
-            &g,
-            &Condition::on_attr("type", "tag"),
-            "tag_cnt",
-            &AggregateFn::Count,
-        );
+        let out =
+            link_aggregate(&g, &Condition::on_attr("type", "tag"), "tag_cnt", &AggregateFn::Count);
         // Two tag links collapsed into one; the visit link is untouched.
         assert_eq!(out.link_count(), 2);
-        let agg_link = out
-            .links()
-            .find(|l| l.attrs.get("tag_cnt").is_some())
-            .unwrap();
+        let agg_link = out.links().find(|l| l.attrs.get("tag_cnt").is_some()).unwrap();
         assert_eq!(agg_link.attrs.get_f64("tag_cnt"), Some(2.0));
         assert_eq!(agg_link.src, john);
         assert_eq!(agg_link.tgt, denver);
@@ -247,12 +236,7 @@ mod tests {
         let john = b.add_user("John");
         let coors = b.add_item("Coors Field", &["destination"]);
         for sim in [0.6, 0.8, 1.0] {
-            b.add_link_with(
-                john,
-                coors,
-                ["recommendation"],
-                &[("sim_sc", Value::single(sim))],
-            );
+            b.add_link_with(john, coors, ["recommendation"], &[("sim_sc", Value::single(sim))]);
         }
         let g = b.build();
         let out = link_aggregate(

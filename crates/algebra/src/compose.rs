@@ -10,9 +10,7 @@
 //! the new link.
 
 use serde::{Deserialize, Serialize};
-use socialscope_graph::{
-    AttrMap, Direction, FxHashMap, Link, Node, NodeId, SocialGraph, Value,
-};
+use socialscope_graph::{AttrMap, Direction, FxHashMap, Link, Node, NodeId, SocialGraph, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -125,10 +123,9 @@ impl PartialEq for ComposeSpec {
         use ComposeSpec::*;
         match (self, other) {
             (ConstAttrs(a), ConstAttrs(b)) => a == b,
-            (
-                JaccardOfNodeSets { attr: a1, out: o1 },
-                JaccardOfNodeSets { attr: a2, out: o2 },
-            ) => a1 == a2 && o1 == o2,
+            (JaccardOfNodeSets { attr: a1, out: o1 }, JaccardOfNodeSets { attr: a2, out: o2 }) => {
+                a1 == a2 && o1 == o2
+            }
             (
                 CopyLinkAttr { side: s1, attr: a1, out: o1 },
                 CopyLinkAttr { side: s2, attr: a2, out: o2 },
@@ -144,11 +141,9 @@ impl std::fmt::Debug for ComposeSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ComposeSpec::ConstAttrs(attrs) => f.debug_tuple("ConstAttrs").field(attrs).finish(),
-            ComposeSpec::JaccardOfNodeSets { attr, out } => f
-                .debug_struct("JaccardOfNodeSets")
-                .field("attr", attr)
-                .field("out", out)
-                .finish(),
+            ComposeSpec::JaccardOfNodeSets { attr, out } => {
+                f.debug_struct("JaccardOfNodeSets").field("attr", attr).field("out", out).finish()
+            }
             ComposeSpec::CopyLinkAttr { side, attr, out } => f
                 .debug_struct("CopyLinkAttr")
                 .field("side", side)
@@ -172,8 +167,7 @@ pub fn jaccard<S: AsRef<str> + Ord>(a: &BTreeSet<S>, b: &BTreeSet<S>) -> f64 {
 }
 
 fn value_token_set(v: Option<&Value>) -> BTreeSet<String> {
-    v.map(|v| v.iter().map(|s| s.as_text()).collect())
-        .unwrap_or_default()
+    v.map(|v| v.iter().map(|s| s.as_text()).collect()).unwrap_or_default()
 }
 
 impl ComposeFn for ComposeSpec {
@@ -249,13 +243,8 @@ pub fn compose(
         for l2 in rights {
             let v_id = l2.other_endpoint(delta.right);
             let Some(v) = g2.node(v_id) else { continue };
-            let ctx = ComposeContext {
-                left_link: l1,
-                right_link: l2,
-                out_src: u,
-                out_tgt: v,
-                shared,
-            };
+            let ctx =
+                ComposeContext { left_link: l1, right_link: l2, out_src: u, out_tgt: v, shared };
             let attrs = f.compose(&ctx);
             out.add_node(u.clone());
             out.add_node(v.clone());
@@ -273,9 +262,9 @@ pub fn compose(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use socialscope_graph::{GraphBuilder, HasAttrs};
     use crate::condition::Condition;
     use crate::select::link_select;
+    use socialscope_graph::{GraphBuilder, HasAttrs};
 
     /// John and Mary both visited Coors Field; Pete visited the Zoo.
     fn visits_site() -> (SocialGraph, NodeId, NodeId, NodeId) {
@@ -328,9 +317,7 @@ mod tests {
         g.node_mut(mary).unwrap().attrs.set("vst", Value::multi(["coors"]));
         g.node_mut(pete).unwrap().attrs.set("vst", Value::multi(["zoo"]));
 
-        let john_visits = g.induced_by_links(
-            g.out_links(john).map(|l| l.id).collect::<Vec<_>>(),
-        );
+        let john_visits = g.induced_by_links(g.out_links(john).map(|l| l.id).collect::<Vec<_>>());
         let other_visits = g.induced_by_links(
             g.links().filter(|l| l.src != john).map(|l| l.id).collect::<Vec<_>>(),
         );
@@ -362,7 +349,11 @@ mod tests {
         // (tgt, src): match link's target (Mary) joins visit link's source.
         let spec = ComposeSpec::Chain(vec![
             ComposeSpec::ConstAttrs(vec![("type".into(), Value::single("recommendation"))]),
-            ComposeSpec::CopyLinkAttr { side: Side::Left, attr: "sim".into(), out: "sim_sc".into() },
+            ComposeSpec::CopyLinkAttr {
+                side: Side::Left,
+                attr: "sim".into(),
+                out: "sim_sc".into(),
+            },
         ]);
         let rec = compose(&matches, &visits, DirectionalCondition::tgt_src(), &spec);
         assert_eq!(rec.link_count(), 1);
@@ -375,9 +366,7 @@ mod tests {
     #[test]
     fn compose_with_no_matches_is_empty() {
         let (g, john, ..) = visits_site();
-        let john_visits = g.induced_by_links(
-            g.out_links(john).map(|l| l.id).collect::<Vec<_>>(),
-        );
+        let john_visits = g.induced_by_links(g.out_links(john).map(|l| l.id).collect::<Vec<_>>());
         let empty = SocialGraph::new();
         let out = compose(
             &john_visits,
@@ -416,7 +405,10 @@ mod tests {
 
     #[test]
     fn delta_constructors() {
-        assert_eq!(DirectionalCondition::src_src(), DirectionalCondition::new(Direction::Src, Direction::Src));
+        assert_eq!(
+            DirectionalCondition::src_src(),
+            DirectionalCondition::new(Direction::Src, Direction::Src)
+        );
         assert_eq!(DirectionalCondition::tgt_src().left, Direction::Tgt);
         assert_eq!(DirectionalCondition::src_tgt().right, Direction::Tgt);
     }

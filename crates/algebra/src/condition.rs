@@ -42,20 +42,12 @@ pub struct StructuralCondition {
 impl StructuralCondition {
     /// Superset-equality condition `attr = value(s)`.
     pub fn equals(attr: impl Into<String>, value: impl Into<Value>) -> Self {
-        StructuralCondition {
-            attr: attr.into(),
-            cmp: Comparison::Equals,
-            value: value.into(),
-        }
+        StructuralCondition { attr: attr.into(), cmp: Comparison::Equals, value: value.into() }
     }
 
     /// Numeric comparison condition.
     pub fn compare(attr: impl Into<String>, cmp: Comparison, value: impl Into<Value>) -> Self {
-        StructuralCondition {
-            attr: attr.into(),
-            cmp,
-            value: value.into(),
-        }
+        StructuralCondition { attr: attr.into(), cmp, value: value.into() }
     }
 
     /// Evaluate the condition against an attribute map, with the element id
@@ -152,8 +144,7 @@ impl Condition {
         cmp: Comparison,
         value: impl Into<Value>,
     ) -> Self {
-        self.structural
-            .push(StructuralCondition::compare(attr, cmp, value));
+        self.structural.push(StructuralCondition::compare(attr, cmp, value));
         self
     }
 
@@ -163,8 +154,7 @@ impl Condition {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.keywords
-            .extend(words.into_iter().map(|w| w.into().to_lowercase()));
+        self.keywords.extend(words.into_iter().map(|w| w.into().to_lowercase()));
         self
     }
 
@@ -194,9 +184,7 @@ impl Condition {
             return true;
         }
         let tokens = attrs.all_tokens();
-        self.keywords
-            .iter()
-            .any(|k| tokens.iter().any(|t| t == k || t.contains(k.as_str())))
+        self.keywords.iter().any(|k| tokens.iter().any(|t| t == k || t.contains(k.as_str())))
     }
 
     /// Number of keywords present in the element's attribute text (used by

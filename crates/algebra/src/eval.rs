@@ -172,9 +172,7 @@ mod tests {
         // Visits by anyone.
         let visits = PlanBuilder::base().link_select(Condition::on_attr("type", "visit"));
         // Friends of John who visited something: friendships ⋉(tgt,src) visits.
-        let plan = friendships
-            .semi_join(&visits, DirectionalCondition::tgt_src())
-            .build();
+        let plan = friendships.semi_join(&visits, DirectionalCondition::tgt_src()).build();
         let mut ev = Evaluator::new(&g);
         let out = ev.evaluate(&plan).unwrap();
         assert_eq!(out.link_count(), 2);

@@ -53,10 +53,8 @@ impl Optimizer {
     /// Optimize a plan, returning the rewritten plan and a report.
     pub fn optimize(&self, plan: &Arc<Plan>) -> (Arc<Plan>, OptimizationReport) {
         let max_passes = if self.max_passes == 0 { 8 } else { self.max_passes };
-        let mut report = OptimizationReport {
-            size_before: plan.size(),
-            ..OptimizationReport::default()
-        };
+        let mut report =
+            OptimizationReport { size_before: plan.size(), ..OptimizationReport::default() };
         let mut current = plan.clone();
         for _ in 0..max_passes {
             let mut changed = false;
@@ -272,22 +270,18 @@ fn cse(plan: &Arc<Plan>, pool: &mut Vec<Arc<Plan>>) -> Arc<Plan> {
             condition: condition.clone(),
             scoring: scoring.clone(),
         }),
-        Plan::Union { left, right } => Arc::new(Plan::Union {
-            left: cse(left, pool),
-            right: cse(right, pool),
-        }),
-        Plan::Intersect { left, right } => Arc::new(Plan::Intersect {
-            left: cse(left, pool),
-            right: cse(right, pool),
-        }),
-        Plan::Minus { left, right } => Arc::new(Plan::Minus {
-            left: cse(left, pool),
-            right: cse(right, pool),
-        }),
-        Plan::MinusLinkDriven { left, right } => Arc::new(Plan::MinusLinkDriven {
-            left: cse(left, pool),
-            right: cse(right, pool),
-        }),
+        Plan::Union { left, right } => {
+            Arc::new(Plan::Union { left: cse(left, pool), right: cse(right, pool) })
+        }
+        Plan::Intersect { left, right } => {
+            Arc::new(Plan::Intersect { left: cse(left, pool), right: cse(right, pool) })
+        }
+        Plan::Minus { left, right } => {
+            Arc::new(Plan::Minus { left: cse(left, pool), right: cse(right, pool) })
+        }
+        Plan::MinusLinkDriven { left, right } => {
+            Arc::new(Plan::MinusLinkDriven { left: cse(left, pool), right: cse(right, pool) })
+        }
         Plan::Compose { left, right, delta, f } => Arc::new(Plan::Compose {
             left: cse(left, pool),
             right: cse(right, pool),
@@ -386,7 +380,10 @@ mod tests {
     fn fusion_does_not_drop_inner_scoring() {
         let plan = PlanBuilder::base()
             .node_select_scored(Condition::keywords(["baseball"]), ScoringSpec::TfIdf)
-            .node_select_scored(Condition::on_attr("type", "destination"), ScoringSpec::Constant(0.5))
+            .node_select_scored(
+                Condition::on_attr("type", "destination"),
+                ScoringSpec::Constant(0.5),
+            )
             .build();
         let (optimized, _) = Optimizer::new().optimize(&plan);
         // Both selections carry scoring specs: fusion must not apply.
@@ -398,10 +395,7 @@ mod tests {
         let g = site();
         let left = PlanBuilder::base().link_select(Condition::on_attr("type", "visit"));
         let right = PlanBuilder::base().link_select(Condition::on_attr("type", "friend"));
-        let plan = left
-            .union(&right)
-            .node_select(Condition::on_attr("type", "user"))
-            .build();
+        let plan = left.union(&right).node_select(Condition::on_attr("type", "user")).build();
         let (optimized, report) = Optimizer::new().optimize(&plan);
         assert!(report.rules_applied.contains(&"push_node_select".to_string()));
         let mut ev = Evaluator::new(&g);
@@ -427,9 +421,7 @@ mod tests {
         let b = PlanBuilder::base().link_select(Condition::on_attr("type", "visit"));
         // Different Arcs, same structure, combined under a semi-join (which
         // the set-op simplifier leaves alone).
-        let plan = a
-            .semi_join(&b, crate::compose::DirectionalCondition::tgt_src())
-            .build();
+        let plan = a.semi_join(&b, crate::compose::DirectionalCondition::tgt_src()).build();
         let before = count_distinct(&plan);
         let (optimized, report) = Optimizer::new().optimize(&plan);
         let after = count_distinct(&optimized);

@@ -34,11 +34,7 @@ impl PatternStep {
     /// A forward hop over links satisfying `link_condition`, landing on any
     /// node.
     pub fn forward(link_condition: Condition) -> Self {
-        PatternStep {
-            link_condition,
-            forward: true,
-            node_condition: Condition::any(),
-        }
+        PatternStep { link_condition, forward: true, node_condition: Condition::any() }
     }
 
     /// Constrain the node reached by this hop.
@@ -67,10 +63,7 @@ pub struct GraphPattern {
 impl GraphPattern {
     /// A pattern starting from nodes satisfying `start`.
     pub fn starting_at(start: Condition) -> Self {
-        GraphPattern {
-            start,
-            steps: Vec::new(),
-        }
+        GraphPattern { start, steps: Vec::new() }
     }
 
     /// Append a hop.
@@ -128,16 +121,10 @@ impl PathMatch {
 /// paper are short (two or three hops), so no join reordering is attempted.
 pub fn find_paths(graph: &SocialGraph, pattern: &GraphPattern) -> Vec<PathMatch> {
     let mut result = Vec::new();
-    let starts: Vec<NodeId> = graph
-        .nodes()
-        .filter(|n| pattern.start.satisfied_by_node(n))
-        .map(|n| n.id)
-        .collect();
+    let starts: Vec<NodeId> =
+        graph.nodes().filter(|n| pattern.start.satisfied_by_node(n)).map(|n| n.id).collect();
     for start in starts {
-        let mut partial = PathMatch {
-            nodes: vec![start],
-            links: Vec::new(),
-        };
+        let mut partial = PathMatch { nodes: vec![start], links: Vec::new() };
         expand(graph, pattern, 0, &mut partial, &mut result);
     }
     // Deterministic output order.
@@ -182,6 +169,10 @@ fn expand(
     }
 }
 
+/// A user-supplied aggregation over a group of paths, for
+/// [`PathAggregate::Custom`].
+pub type CustomPathAggregate = Arc<dyn Fn(&[PathMatch], &SocialGraph) -> Value + Send + Sync>;
+
 /// How to aggregate the set of paths sharing the same (start, end) pair into
 /// the value stored on the new link created by pattern aggregation.
 #[derive(Clone)]
@@ -219,7 +210,7 @@ pub enum PathAggregate {
         agg: AggregateFn,
     },
     /// A custom aggregation over the full group of paths.
-    Custom(Arc<dyn Fn(&[PathMatch], &SocialGraph) -> Value + Send + Sync>),
+    Custom(CustomPathAggregate),
 }
 
 impl std::fmt::Debug for PathAggregate {
@@ -247,23 +238,15 @@ impl PartialEq for PathAggregate {
     fn eq(&self, other: &Self) -> bool {
         use PathAggregate::*;
         match (self, other) {
-            (
-                AvgLinkAttr { step: s1, attr: a1 },
-                AvgLinkAttr { step: s2, attr: a2 },
-            )
-            | (
-                SumLinkAttr { step: s1, attr: a1 },
-                SumLinkAttr { step: s2, attr: a2 },
-            )
-            | (
-                MaxLinkAttr { step: s1, attr: a1 },
-                MaxLinkAttr { step: s2, attr: a2 },
-            ) => s1 == s2 && a1 == a2,
+            (AvgLinkAttr { step: s1, attr: a1 }, AvgLinkAttr { step: s2, attr: a2 })
+            | (SumLinkAttr { step: s1, attr: a1 }, SumLinkAttr { step: s2, attr: a2 })
+            | (MaxLinkAttr { step: s1, attr: a1 }, MaxLinkAttr { step: s2, attr: a2 }) => {
+                s1 == s2 && a1 == a2
+            }
             (CountPaths, CountPaths) => true,
-            (
-                StepAggregate { step: s1, agg: g1 },
-                StepAggregate { step: s2, agg: g2 },
-            ) => s1 == s2 && g1 == g2,
+            (StepAggregate { step: s1, agg: g1 }, StepAggregate { step: s2, agg: g2 }) => {
+                s1 == s2 && g1 == g2
+            }
             _ => false,
         }
     }

@@ -163,12 +163,7 @@ impl Plan {
 
     /// Depth of the tree.
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     /// Operator name, for explanations.
@@ -234,10 +229,7 @@ impl Plan {
             }
             Plan::LinkAgg { aggs, .. } => format!(
                 "LinkAgg[{}]",
-                aggs.iter()
-                    .map(|(a, g)| format!("{a}={g:?}"))
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                aggs.iter().map(|(a, g)| format!("{a}={g:?}")).collect::<Vec<_>>().join(", ")
             ),
             Plan::PatternAgg { pattern, attr, .. } => {
                 format!("PatternAgg[{} hops, attr={attr}]", pattern.len())
@@ -319,9 +311,7 @@ impl PlanBuilder {
 
     /// Union with another plan.
     pub fn union(self, other: &PlanBuilder) -> Self {
-        PlanBuilder {
-            plan: Arc::new(Plan::Union { left: self.plan, right: other.plan.clone() }),
-        }
+        PlanBuilder { plan: Arc::new(Plan::Union { left: self.plan, right: other.plan.clone() }) }
     }
 
     /// Intersection with another plan.
@@ -333,9 +323,7 @@ impl PlanBuilder {
 
     /// Node-driven minus with another plan.
     pub fn minus(self, other: &PlanBuilder) -> Self {
-        PlanBuilder {
-            plan: Arc::new(Plan::Minus { left: self.plan, right: other.plan.clone() }),
-        }
+        PlanBuilder { plan: Arc::new(Plan::Minus { left: self.plan, right: other.plan.clone() }) }
     }
 
     /// Link-driven minus with another plan.
@@ -348,12 +336,7 @@ impl PlanBuilder {
     /// Compose with another plan.
     pub fn compose(self, other: &PlanBuilder, delta: DirectionalCondition, f: ComposeSpec) -> Self {
         PlanBuilder {
-            plan: Arc::new(Plan::Compose {
-                left: self.plan,
-                right: other.plan.clone(),
-                delta,
-                f,
-            }),
+            plan: Arc::new(Plan::Compose { left: self.plan, right: other.plan.clone(), delta, f }),
         }
     }
 
@@ -390,9 +373,7 @@ impl PlanBuilder {
 
     /// Apply Link Aggregation with several destination attributes.
     pub fn link_agg_multi(self, condition: Condition, aggs: Vec<(String, AggregateFn)>) -> Self {
-        PlanBuilder {
-            plan: Arc::new(Plan::LinkAgg { input: self.plan, condition, aggs }),
-        }
+        PlanBuilder { plan: Arc::new(Plan::LinkAgg { input: self.plan, condition, aggs }) }
     }
 
     /// Apply pattern-based aggregation.
@@ -403,12 +384,7 @@ impl PlanBuilder {
         agg: PathAggregate,
     ) -> Self {
         PlanBuilder {
-            plan: Arc::new(Plan::PatternAgg {
-                input: self.plan,
-                pattern,
-                attr: attr.into(),
-                agg,
-            }),
+            plan: Arc::new(Plan::PatternAgg { input: self.plan, pattern, attr: attr.into(), agg }),
         }
     }
 }
@@ -438,15 +414,9 @@ mod tests {
 
     #[test]
     fn plans_compare_structurally() {
-        let a = PlanBuilder::base()
-            .node_select(Condition::on_attr("type", "user"))
-            .build();
-        let b = PlanBuilder::base()
-            .node_select(Condition::on_attr("type", "user"))
-            .build();
-        let c = PlanBuilder::base()
-            .node_select(Condition::on_attr("type", "item"))
-            .build();
+        let a = PlanBuilder::base().node_select(Condition::on_attr("type", "user")).build();
+        let b = PlanBuilder::base().node_select(Condition::on_attr("type", "user")).build();
+        let c = PlanBuilder::base().node_select(Condition::on_attr("type", "item")).build();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -476,9 +446,7 @@ mod tests {
 
     #[test]
     fn display_matches_explain() {
-        let plan = PlanBuilder::base()
-            .link_select(Condition::on_attr("type", "visit"))
-            .build();
+        let plan = PlanBuilder::base().link_select(Condition::on_attr("type", "visit")).build();
         assert_eq!(format!("{plan}"), plan.explain());
     }
 }

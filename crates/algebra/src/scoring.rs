@@ -179,14 +179,8 @@ mod tests {
     fn constant_and_attribute_scoring() {
         let a = attrs(&[("rating", Value::single(0.7))]);
         assert_eq!(ConstantScoring(0.3).score(&a, &Condition::any()), 0.3);
-        assert_eq!(
-            AttributeScoring::new("rating").score(&a, &Condition::any()),
-            0.7
-        );
-        assert_eq!(
-            AttributeScoring::new("missing").score(&a, &Condition::any()),
-            0.0
-        );
+        assert_eq!(AttributeScoring::new("rating").score(&a, &Condition::any()), 0.7);
+        assert_eq!(AttributeScoring::new("missing").score(&a, &Condition::any()), 0.0);
     }
 
     #[test]
@@ -196,7 +190,11 @@ mod tests {
         for i in 0..20 {
             b.add_item_with_keywords(&format!("place{i}"), &["destination"], &["attraction"]);
         }
-        b.add_item_with_keywords("B's Ballpark Museum", &["destination"], &["attraction", "ballpark"]);
+        b.add_item_with_keywords(
+            "B's Ballpark Museum",
+            &["destination"],
+            &["attraction", "ballpark"],
+        );
         let g = b.build();
         let scorer = TfIdfScoring::from_graph(&g);
         assert!(scorer.idf("ballpark") > scorer.idf("attraction"));

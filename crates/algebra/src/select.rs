@@ -42,11 +42,8 @@ pub fn link_select(
 ) -> SocialGraph {
     let default = DefaultScoring;
     let scorer: &dyn Scoring = scoring.unwrap_or(&default);
-    let matching: Vec<_> = graph
-        .links()
-        .filter(|l| condition.satisfied_by_link(l))
-        .map(|l| l.id)
-        .collect();
+    let matching: Vec<_> =
+        graph.links().filter(|l| condition.satisfied_by_link(l)).map(|l| l.id).collect();
     let mut out = graph.induced_by_links(matching);
     if !condition.keywords.is_empty() || scoring.is_some() {
         for link in out.links_mut() {
@@ -96,18 +93,10 @@ mod tests {
 
         let cond2 = Condition::on_attr("type", "item").and_keywords(["skiing", "baseball"]);
         let items2 = node_select(&g, &cond2, None);
-        let denver_score = items2
-            .nodes()
-            .find(|n| n.name() == Some("Denver"))
-            .unwrap()
-            .score
-            .unwrap();
-        let coors_score = items2
-            .nodes()
-            .find(|n| n.name() == Some("Coors Field"))
-            .unwrap()
-            .score
-            .unwrap();
+        let denver_score =
+            items2.nodes().find(|n| n.name() == Some("Denver")).unwrap().score.unwrap();
+        let coors_score =
+            items2.nodes().find(|n| n.name() == Some("Coors Field")).unwrap().score.unwrap();
         assert!(denver_score > coors_score);
     }
 

@@ -12,21 +12,14 @@ use socialscope_graph::{FxHashSet, NodeId, SocialGraph};
 /// `G2` instead: a link of `G1` qualifies when its `δ.d1` endpoint is a node
 /// of `G2`. This is exactly how Example 4 uses the operator
 /// (`G ⋉(src,src) σN_id=101(G)` keeps the links leaving John).
-pub fn semi_join(
-    g1: &SocialGraph,
-    g2: &SocialGraph,
-    delta: DirectionalCondition,
-) -> SocialGraph {
+pub fn semi_join(g1: &SocialGraph, g2: &SocialGraph, delta: DirectionalCondition) -> SocialGraph {
     let anchor: FxHashSet<NodeId> = if g2.is_null_graph() {
         g2.node_id_set()
     } else {
         g2.links().map(|l| l.endpoint(delta.right)).collect()
     };
-    let keep: Vec<_> = g1
-        .links()
-        .filter(|l| anchor.contains(&l.endpoint(delta.left)))
-        .map(|l| l.id)
-        .collect();
+    let keep: Vec<_> =
+        g1.links().filter(|l| anchor.contains(&l.endpoint(delta.left))).map(|l| l.id).collect();
     g1.induced_by_links(keep)
 }
 
@@ -42,7 +35,8 @@ mod tests {
         let john = b.add_user("John");
         let mary = b.add_user("Mary");
         let pete = b.add_user("Pete");
-        let red_rocks = b.add_item_with_keywords("Red Rocks", &["destination"], &["near", "denver"]);
+        let red_rocks =
+            b.add_item_with_keywords("Red Rocks", &["destination"], &["near", "denver"]);
         let zoo = b.add_item_with_keywords("Denver Zoo", &["destination"], &["near", "denver"]);
         b.befriend(john, mary);
         b.befriend(john, pete);
@@ -57,11 +51,8 @@ mod tests {
         let (g, john, ..) = site();
         // Links whose source is John.
         let john_nodes = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
-        let out = semi_join(
-            &g,
-            &john_nodes,
-            DirectionalCondition::new(Direction::Src, Direction::Src),
-        );
+        let out =
+            semi_join(&g, &john_nodes, DirectionalCondition::new(Direction::Src, Direction::Src));
         assert_eq!(out.link_count(), 3); // two friendships + one visit
         assert!(out.links().all(|l| l.src == john));
     }
@@ -72,11 +63,7 @@ mod tests {
         // Right side: visit links (their sources are the visiting users).
         let visits = link_select(&g, &Condition::on_attr("type", "visit"), None);
         // Keep links of G whose target is a visitor.
-        let out = semi_join(
-            &g,
-            &visits,
-            DirectionalCondition::new(Direction::Tgt, Direction::Src),
-        );
+        let out = semi_join(&g, &visits, DirectionalCondition::new(Direction::Tgt, Direction::Src));
         // Friendships John->Mary and John->Pete qualify (Mary and Pete visit).
         assert_eq!(out.link_count(), 2);
         let tgts: Vec<NodeId> = out.links().map(|l| l.tgt).collect();
@@ -87,11 +74,7 @@ mod tests {
     fn semi_join_with_empty_right_is_empty() {
         let (g, ..) = site();
         let empty = SocialGraph::new();
-        let out = semi_join(
-            &g,
-            &empty,
-            DirectionalCondition::new(Direction::Src, Direction::Src),
-        );
+        let out = semi_join(&g, &empty, DirectionalCondition::new(Direction::Src, Direction::Src));
         assert!(out.is_empty());
     }
 
@@ -99,11 +82,8 @@ mod tests {
     fn semi_join_output_is_subgraph_of_left() {
         let (g, john, ..) = site();
         let john_nodes = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
-        let out = semi_join(
-            &g,
-            &john_nodes,
-            DirectionalCondition::new(Direction::Src, Direction::Src),
-        );
+        let out =
+            semi_join(&g, &john_nodes, DirectionalCondition::new(Direction::Src, Direction::Src));
         for l in out.links() {
             assert!(g.has_link(l.id));
         }
@@ -117,11 +97,8 @@ mod tests {
         // G1 = σL_type=friend(G ⋉(src,src) σN_id=John(G)) — John's network.
         let (g, john, mary, pete, _) = site();
         let john_nodes = node_select(&g, &Condition::on_attr("id", john.raw() as i64), None);
-        let touching = semi_join(
-            &g,
-            &john_nodes,
-            DirectionalCondition::new(Direction::Src, Direction::Src),
-        );
+        let touching =
+            semi_join(&g, &john_nodes, DirectionalCondition::new(Direction::Src, Direction::Src));
         let friendships = link_select(&touching, &Condition::on_attr("type", "friend"), None);
         assert_eq!(friendships.link_count(), 2);
         assert!(friendships.has_node(mary));

@@ -54,11 +54,7 @@ pub fn intersect(g1: &SocialGraph, g2: &SocialGraph) -> SocialGraph {
 /// the nodes of `G1` that are not present in `G2`. Every surviving link has
 /// both endpoints outside `G2`.
 pub fn minus(g1: &SocialGraph, g2: &SocialGraph) -> SocialGraph {
-    let keep: Vec<NodeId> = g1
-        .nodes()
-        .filter(|n| !g2.has_node(n.id))
-        .map(|n| n.id)
-        .collect();
+    let keep: Vec<NodeId> = g1.nodes().filter(|n| !g2.has_node(n.id)).map(|n| n.id).collect();
     g1.induced_by_nodes(keep)
 }
 
@@ -73,11 +69,8 @@ pub fn minus(g1: &SocialGraph, g2: &SocialGraph) -> SocialGraph {
 /// link of `G2`, whose endpoints are in `G2`).
 pub fn minus_link_driven(g1: &SocialGraph, g2: &SocialGraph) -> SocialGraph {
     let g2_links: FxHashSet<LinkId> = g2.link_id_set();
-    let keep: Vec<LinkId> = g1
-        .links()
-        .filter(|l| !g2_links.contains(&l.id))
-        .map(|l| l.id)
-        .collect();
+    let keep: Vec<LinkId> =
+        g1.links().filter(|l| !g2_links.contains(&l.id)).map(|l| l.id).collect();
     g1.induced_by_links(keep)
 }
 
@@ -203,13 +196,11 @@ mod tests {
         let mut g1 = SocialGraph::new();
         g1.add_node(Node::new(NodeId(1), ["user"]));
         g1.add_node(Node::new(NodeId(2), ["user"]));
-        g1.add_link(Link::new(LinkId(7), NodeId(1), NodeId(2), ["friend"]))
-            .unwrap();
+        g1.add_link(Link::new(LinkId(7), NodeId(1), NodeId(2), ["friend"])).unwrap();
         let mut g2 = SocialGraph::new();
         g2.add_node(Node::new(NodeId(2), ["user"]));
         g2.add_node(Node::new(NodeId(3), ["user"]));
-        g2.add_link(Link::new(LinkId(7), NodeId(1), NodeId(2), ["friend"]))
-            .unwrap_err();
+        g2.add_link(Link::new(LinkId(7), NodeId(1), NodeId(2), ["friend"])).unwrap_err();
         let inter = intersect(&g1, &g2);
         assert_eq!(inter.node_count(), 1);
         assert_eq!(inter.link_count(), 0);

@@ -76,9 +76,11 @@ fn example5_multistep(g: &SocialGraph, john: NodeId, threshold: f64) -> SocialGr
     // Step 3: users other than John and the places they have visited.
     let others = node_select(
         g,
-        &Condition::any()
-            .and_attr("type", "user")
-            .and_compare("id", Comparison::NotEquals, john_id),
+        &Condition::any().and_attr("type", "user").and_compare(
+            "id",
+            Comparison::NotEquals,
+            john_id,
+        ),
         None,
     );
     let g2 = link_select(
@@ -111,9 +113,11 @@ fn example5_multistep(g: &SocialGraph, john: NodeId, threshold: f64) -> SocialGr
     // Step 6: replace parallel high-similarity links by one 'match' link.
     let g4 = link_aggregate_multi(
         &g3,
-        &Condition::any()
-            .and_attr("type", "user_sim")
-            .and_compare("sim", Comparison::Greater, threshold),
+        &Condition::any().and_attr("type", "user_sim").and_compare(
+            "sim",
+            Comparison::Greater,
+            threshold,
+        ),
         &[
             ("type".to_string(), AggregateFn::ConstStr("match".into())),
             ("sim".to_string(), AggregateFn::First("sim".into())),
@@ -223,9 +227,11 @@ fn pattern_aggregation_matches_multistep_formulation() {
     );
     let others = node_select(
         &g,
-        &Condition::any()
-            .and_attr("type", "user")
-            .and_compare("id", Comparison::NotEquals, john_id),
+        &Condition::any().and_attr("type", "user").and_compare(
+            "id",
+            Comparison::NotEquals,
+            john_id,
+        ),
         None,
     );
     let g2 = link_select(
@@ -251,9 +257,7 @@ fn pattern_aggregation_matches_multistep_formulation() {
     );
     let g4 = link_aggregate_multi(
         &g3,
-        &Condition::any()
-            .and_attr("type", "user_sim")
-            .and_compare("sim", Comparison::Greater, 0.2),
+        &Condition::any().and_attr("type", "user_sim").and_compare("sim", Comparison::Greater, 0.2),
         &[
             ("type".to_string(), AggregateFn::ConstStr("match".into())),
             ("sim".to_string(), AggregateFn::First("sim".into())),

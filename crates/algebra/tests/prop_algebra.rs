@@ -10,9 +10,8 @@ use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
 fn build_site(users: usize, items: usize, edges: &[(usize, usize, u8)]) -> SocialGraph {
     let mut b = GraphBuilder::new();
     let user_ids: Vec<NodeId> = (0..users).map(|i| b.add_user(&format!("u{i}"))).collect();
-    let item_ids: Vec<NodeId> = (0..items)
-        .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
-        .collect();
+    let item_ids: Vec<NodeId> =
+        (0..items).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
     for &(a, c, kind) in edges {
         match kind % 3 {
             0 => {

@@ -24,9 +24,7 @@ fn bench_operators(c: &mut Criterion) {
     });
     group.bench_function("union", |b| b.iter(|| union(&friends, &visits)));
     group.bench_function("minus_node_driven", |b| b.iter(|| minus(&visits, &friends)));
-    group.bench_function("minus_link_driven", |b| {
-        b.iter(|| minus_link_driven(&visits, &friends))
-    });
+    group.bench_function("minus_link_driven", |b| b.iter(|| minus_link_driven(&visits, &friends)));
     group.bench_function("node_aggregate_count", |b| {
         b.iter(|| {
             node_aggregate(
@@ -60,9 +58,7 @@ fn bench_operators(c: &mut Criterion) {
     group.bench_function("example5_plan_optimized", |b| {
         b.iter(|| Evaluator::new(&graph).evaluate(&optimized).unwrap())
     });
-    group.bench_function("optimizer_rewrite_cost", |b| {
-        b.iter(|| Optimizer::new().optimize(&plan))
-    });
+    group.bench_function("optimizer_rewrite_cost", |b| b.iter(|| Optimizer::new().optimize(&plan)));
     group.finish();
 }
 

@@ -33,12 +33,7 @@ fn bench_clustering(c: &mut Criterion) {
     group.sample_size(10);
     let exact = ExactIndex::build(&model);
     group.bench_function("exact", |b| {
-        b.iter(|| {
-            users
-                .iter()
-                .map(|&u| exact.query(u, &keywords, 10).ranked.len())
-                .sum::<usize>()
-        })
+        b.iter(|| users.iter().map(|&u| exact.query(u, &keywords, 10).ranked.len()).sum::<usize>())
     });
     for (name, strategy) in &strategies {
         let index = ClusteredIndex::build(&model, strategy.cluster(&model, 0.3));

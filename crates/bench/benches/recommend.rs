@@ -25,10 +25,16 @@ fn bench_recommend(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("expert", users), graph, |b, graph| {
             b.iter(|| expert_recommendations(graph, &["museum".to_string()], 10))
         });
-        group.bench_with_input(BenchmarkId::new("discovery_end_to_end", users), graph, |b, graph| {
-            let discoverer = InformationDiscoverer::default();
-            b.iter(|| discoverer.discover(graph, &UserQuery::keywords_for(user, "baseball museum")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("discovery_end_to_end", users),
+            graph,
+            |b, graph| {
+                let discoverer = InformationDiscoverer::default();
+                b.iter(|| {
+                    discoverer.discover(graph, &UserQuery::keywords_for(user, "baseball museum"))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -10,13 +10,17 @@ fn bench_table2(c: &mut Criterion) {
     group.sample_size(10);
     let journey = UserJourney { users: 10_000, content_sites: 3, ..UserJourney::default() };
     for model in all_models() {
-        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &journey, |b, journey| {
-            b.iter(|| {
-                let metrics = model.simulate(journey);
-                let matrix = model.control_matrix();
-                (metrics, matrix)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &journey,
+            |b, journey| {
+                b.iter(|| {
+                    let metrics = model.simulate(journey);
+                    let matrix = model.control_matrix();
+                    (metrics, matrix)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use socialscope_bench::{site_at_scale, standard_keywords};
 use socialscope_content::topk::top_k_exhaustive;
-use socialscope_content::{ClusteredIndex, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel};
+use socialscope_content::{
+    ClusteredIndex, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel,
+};
 
 fn bench_topk(c: &mut Criterion) {
     let site = site_at_scale(200);
@@ -31,10 +33,7 @@ fn bench_topk(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("exact_index_ta", k), &k, |b, &k| {
             b.iter(|| {
-                users
-                    .iter()
-                    .map(|&u| exact.query(u, &keywords, k).ranked.len())
-                    .sum::<usize>()
+                users.iter().map(|&u| exact.query(u, &keywords, k).ranked.len()).sum::<usize>()
             })
         });
         group.bench_with_input(BenchmarkId::new("clustered_index_ta", k), &k, |b, &k| {

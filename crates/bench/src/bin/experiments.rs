@@ -69,10 +69,7 @@ fn table1() {
     let counts = ClassCounts::from_queries(log.iter().map(String::as_str));
     let mixture = gen.mixture();
 
-    println!(
-        "{} queries generated (paper analyzed 10M real queries)\n",
-        counts.total()
-    );
+    println!("{} queries generated (paper analyzed 10M real queries)\n", counts.total());
     println!("measured:");
     println!("{}", counts.render_table());
     println!("paper (Table 1):");
@@ -126,16 +123,12 @@ fn table2() {
     row("content site: control social graph", &|i| {
         matrices[i].content_sites.social_graph.to_string()
     });
-    row("content site: control activities", &|i| {
-        matrices[i].content_sites.activities.to_string()
-    });
+    row("content site: control activities", &|i| matrices[i].content_sites.activities.to_string());
     row("social site: control content", &|i| matrices[i].social_sites.content.to_string());
     row("social site: control social graph", &|i| {
         matrices[i].social_sites.social_graph.to_string()
     });
-    row("social site: control activities", &|i| {
-        matrices[i].social_sites.activities.to_string()
-    });
+    row("social site: control activities", &|i| matrices[i].social_sites.activities.to_string());
 
     println!("\nmeasured consequences of the simulated journey:");
     println!(
@@ -223,10 +216,7 @@ fn sizing() {
     let est = paper_sizing_example();
     println!("paper: 100k users, 1M items, 1000 tags, 20 tags/item by 5% of users, 10 B/entry");
     println!("paper estimate : ≈ 1 terabyte");
-    println!(
-        "model estimate : {:.3e} entries = {:.2} TB",
-        est.exact_entries, est.exact_terabytes
-    );
+    println!("model estimate : {:.3e} entries = {:.2} TB", est.exact_entries, est.exact_terabytes);
 
     let site = site_at_scale(400);
     let model = SiteModel::from_graph(&site.graph);
@@ -261,7 +251,13 @@ fn clustering() {
     );
     println!(
         "{:<10} {:>6} {:>10} {:>10} {:>15} {:>18} {:>19}",
-        "strategy", "theta", "clusters", "entries", "space vs exact", "exact comps/query", "net clusters/query"
+        "strategy",
+        "theta",
+        "clusters",
+        "entries",
+        "space vs exact",
+        "exact comps/query",
+        "net clusters/query"
     );
     let strategies: Vec<(&str, &dyn ClusteringStrategy)> = vec![
         ("network", &NetworkBasedClustering),
@@ -315,7 +311,9 @@ fn algebra() {
     let t = Instant::now();
     let _ = union(&friends, &visits);
     let union_ms = t.elapsed().as_secs_f64() * 1e3;
-    println!("link_select: {select_ms:.2} ms   semi_join: {semijoin_ms:.2} ms   union: {union_ms:.2} ms");
+    println!(
+        "link_select: {select_ms:.2} ms   semi_join: {semijoin_ms:.2} ms   union: {union_ms:.2} ms"
+    );
 
     let plan = socialscope_discovery::collaborative_filtering_plan(user);
     let (optimized, report) = Optimizer::new().optimize(&plan);

@@ -47,10 +47,8 @@ impl ActivityManager {
     /// quartile `Light`. The activity score combines tagging volume and
     /// connectivity, the two signals §6.2 names.
     pub fn categorize(site: &SiteModel) -> Self {
-        let mut scores: Vec<(NodeId, usize)> = site
-            .users()
-            .map(|u| (u, site.items_of(u).len() + site.network_of(u).len()))
-            .collect();
+        let mut scores: Vec<(NodeId, usize)> =
+            site.users().map(|u| (u, site.items_of(u).len() + site.network_of(u).len())).collect();
         scores.sort_by_key(|(u, s)| (*s, *u));
         let n = scores.len();
         let mut manager = ActivityManager::default();
@@ -127,9 +125,8 @@ mod tests {
     fn skewed_site() -> (SiteModel, Vec<NodeId>) {
         let mut b = GraphBuilder::new();
         let users: Vec<NodeId> = (0..8).map(|i| b.add_user(&format!("u{i}"))).collect();
-        let items: Vec<NodeId> = (0..10)
-            .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
-            .collect();
+        let items: Vec<NodeId> =
+            (0..10).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
         // u0 is hyper-active: connected to everyone, tags everything.
         for &u in &users[1..] {
             b.befriend(users[0], u);

@@ -39,7 +39,8 @@ mod tests {
         let mut b = GraphBuilder::new();
         let u1 = b.add_user("u1");
         let u2 = b.add_user("u2");
-        let items: Vec<_> = (0..3).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        let items: Vec<_> =
+            (0..3).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
         // items(u1) = {i0, i1}, items(u2) = {i1, i2} -> J = 1/3.
         b.tag(u1, items[0], &["t"]);
         b.tag(u1, items[1], &["t"]);

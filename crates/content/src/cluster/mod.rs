@@ -56,10 +56,7 @@ impl UserClustering {
 
     /// Members of a cluster, in id order.
     pub fn members(&self, cluster: ClusterId) -> &[NodeId] {
-        self.members
-            .get(cluster.0)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.members.get(cluster.0).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of clusters.
@@ -74,10 +71,7 @@ impl UserClustering {
 
     /// Iterate `(cluster, members)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ClusterId, &[NodeId])> {
-        self.members
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (ClusterId(i), m.as_slice()))
+        self.members.iter().enumerate().map(|(i, m)| (ClusterId(i), m.as_slice()))
     }
 
     /// Average cluster size.
@@ -137,9 +131,8 @@ mod tests {
     pub(crate) fn two_communities() -> (SiteModel, Vec<NodeId>) {
         let mut b = GraphBuilder::new();
         let users: Vec<NodeId> = (0..7).map(|i| b.add_user(&format!("u{i}"))).collect();
-        let items: Vec<NodeId> = (0..4)
-            .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
-            .collect();
+        let items: Vec<NodeId> =
+            (0..4).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
         // Community A: u0, u1, u2 all friends with hub u3; tag items 0, 1.
         for &u in &users[0..3] {
             b.befriend(u, users[3]);

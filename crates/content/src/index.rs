@@ -76,11 +76,7 @@ impl ExactIndex {
     /// Space statistics.
     pub fn stats(&self) -> IndexStats {
         let entries = self.lists.values().map(PostingList::len).sum();
-        IndexStats {
-            lists: self.lists.len(),
-            entries,
-            bytes: entries * BYTES_PER_ENTRY,
-        }
+        IndexStats { lists: self.lists.len(), entries, bytes: entries * BYTES_PER_ENTRY }
     }
 
     /// Top-k query for a user: merge the user's per-keyword lists; the
@@ -88,16 +84,10 @@ impl ExactIndex {
     /// of its stored scores across the query's lists.
     pub fn query(&self, user: NodeId, keywords: &[String], k: usize) -> TopKResult {
         let empty = PostingList::new();
-        let lists: Vec<&PostingList> = keywords
-            .iter()
-            .map(|kw| self.list(kw, user).unwrap_or(&empty))
-            .collect();
-        let exact = |item: NodeId| {
-            lists
-                .iter()
-                .map(|l| l.score_of(item).unwrap_or(0.0))
-                .sum::<f64>()
-        };
+        let lists: Vec<&PostingList> =
+            keywords.iter().map(|kw| self.list(kw, user).unwrap_or(&empty)).collect();
+        let exact =
+            |item: NodeId| lists.iter().map(|l| l.score_of(item).unwrap_or(0.0)).sum::<f64>();
         top_k(&lists, k, exact)
     }
 }
@@ -172,11 +162,7 @@ impl ClusteredIndex {
     /// Space statistics.
     pub fn stats(&self) -> IndexStats {
         let entries = self.lists.values().map(PostingList::len).sum();
-        IndexStats {
-            lists: self.lists.len(),
-            entries,
-            bytes: entries * BYTES_PER_ENTRY,
-        }
+        IndexStats { lists: self.lists.len(), entries, bytes: entries * BYTES_PER_ENTRY }
     }
 
     /// Top-k query for a user. Candidate generation uses the upper-bound
@@ -194,26 +180,14 @@ impl ClusteredIndex {
         let cluster = self.clustering.cluster_of(user);
         let lists: Vec<&PostingList> = keywords
             .iter()
-            .map(|kw| {
-                cluster
-                    .and_then(|c| self.list(kw, c))
-                    .unwrap_or(&empty)
-            })
+            .map(|kw| cluster.and_then(|c| self.list(kw, c)).unwrap_or(&empty))
             .collect();
         let keywords_owned: Vec<String> = keywords.to_vec();
-        let result = top_k(&lists, k, |item| {
-            site.query_score(item, user, &keywords_owned)
-        });
+        let result = top_k(&lists, k, |item| site.query_score(item, user, &keywords_owned));
 
-        let network_clusters: BTreeSet<ClusterId> = site
-            .network_of(user)
-            .iter()
-            .filter_map(|v| self.clustering.cluster_of(*v))
-            .collect();
-        ClusteredQueryReport {
-            result,
-            network_clusters_spanned: network_clusters.len(),
-        }
+        let network_clusters: BTreeSet<ClusterId> =
+            site.network_of(user).iter().filter_map(|v| self.clustering.cluster_of(*v)).collect();
+        ClusteredQueryReport { result, network_clusters_spanned: network_clusters.len() }
     }
 }
 
@@ -228,9 +202,8 @@ mod tests {
     fn site() -> (SiteModel, Vec<NodeId>, Vec<NodeId>) {
         let mut b = GraphBuilder::new();
         let users: Vec<NodeId> = (0..6).map(|i| b.add_user(&format!("u{i}"))).collect();
-        let items: Vec<NodeId> = (0..5)
-            .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
-            .collect();
+        let items: Vec<NodeId> =
+            (0..5).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
         // Group A: u0-u1-u2 clique.
         b.befriend(users[0], users[1]);
         b.befriend(users[1], users[2]);
@@ -287,18 +260,10 @@ mod tests {
             }
             // The positive part of the ranking (ignoring zero-score padding
             // and tie order) matches the exhaustive oracle.
-            let oracle_scores: Vec<f64> = oracle
-                .ranked
-                .iter()
-                .map(|(_, s)| *s)
-                .filter(|s| *s > 0.0)
-                .collect();
-            let got_scores: Vec<f64> = res
-                .ranked
-                .iter()
-                .map(|(_, s)| *s)
-                .filter(|s| *s > 0.0)
-                .collect();
+            let oracle_scores: Vec<f64> =
+                oracle.ranked.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect();
+            let got_scores: Vec<f64> =
+                res.ranked.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect();
             assert_eq!(got_scores, oracle_scores, "user {u}");
         }
     }
@@ -343,19 +308,10 @@ mod tests {
         for &u in &users {
             let report = clustered.query(&site, u, &keywords, 2);
             let oracle = top_k_exhaustive(site.items(), 2, |i| site.query_score(i, u, &keywords));
-            let oracle_scores: Vec<f64> = oracle
-                .ranked
-                .iter()
-                .map(|(_, s)| *s)
-                .filter(|s| *s > 0.0)
-                .collect();
-            let got_scores: Vec<f64> = report
-                .result
-                .ranked
-                .iter()
-                .map(|(_, s)| *s)
-                .filter(|s| *s > 0.0)
-                .collect();
+            let oracle_scores: Vec<f64> =
+                oracle.ranked.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect();
+            let got_scores: Vec<f64> =
+                report.result.ranked.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect();
             assert_eq!(got_scores, oracle_scores, "user {u}");
         }
     }

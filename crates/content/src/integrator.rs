@@ -51,11 +51,7 @@ pub struct SimulatedRemoteSite {
 impl SimulatedRemoteSite {
     /// A new, available, empty remote site.
     pub fn new(name: impl Into<String>) -> Self {
-        SimulatedRemoteSite {
-            name: name.into(),
-            available: true,
-            ..SimulatedRemoteSite::default()
-        }
+        SimulatedRemoteSite { name: name.into(), available: true, ..SimulatedRemoteSite::default() }
     }
 
     /// Register a user with a profile; the user grants access by default.
@@ -114,10 +110,7 @@ impl RemoteSite for SimulatedRemoteSite {
 
     fn fetch_profile(&self, user: NodeId) -> Result<RemoteProfile> {
         self.check(user)?;
-        self.profiles
-            .get(&user)
-            .cloned()
-            .ok_or(ContentError::UnknownUser(user))
+        self.profiles.get(&user).cloned().ok_or(ContentError::UnknownUser(user))
     }
 
     fn fetch_connections(&self, user: NodeId) -> Result<BTreeSet<NodeId>> {
@@ -206,9 +199,7 @@ impl ContentIntegrator {
                         .graph()
                         .links_between(user, other)
                         .chain(builder.graph().links_between(other, user))
-                        .any(|l| {
-                            socialscope_graph::HasAttrs::has_type(l, "friend")
-                        });
+                        .any(|l| socialscope_graph::HasAttrs::has_type(l, "friend"));
                     if !exists {
                         builder.befriend(user, other);
                         report.connections_imported += 1;

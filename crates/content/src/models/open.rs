@@ -69,32 +69,30 @@ impl DeploymentModel for OpenCartelModel {
     fn simulate(&self, journey: &UserJourney) -> JourneyMetrics {
         let canonical_profiles = journey.users;
         let events_per_user = journey.activities_per_user * journey.content_sites;
-        let (local_copies, sync_messages, cross_site_query_requests, can_analyze) =
-            match self.sophistication {
-                OpenCartelSophistication::DelegateAll => {
-                    // Everything is fetched on demand: every query asks the
-                    // social site for the network.
-                    let requests =
-                        journey.users * journey.content_sites * journey.queries_per_user;
-                    (0, 0, requests, false)
-                }
-                OpenCartelSophistication::ManageActivities => {
-                    // Activities are local; the social graph is still read
-                    // per query.
-                    let requests =
-                        journey.users * journey.content_sites * journey.queries_per_user;
-                    (0, 0, requests, false)
-                }
-                OpenCartelSophistication::SyncSocialGraph => {
-                    // Each content site keeps a focused local copy, refreshed
-                    // every `sync_every_events` activity events.
-                    let copies = journey.users * journey.content_sites;
-                    let syncs_per_user =
-                        (events_per_user / self.sync_every_events.max(1)).max(1) + 1;
-                    let sync_messages = journey.users * syncs_per_user * journey.content_sites;
-                    (copies, sync_messages, 0, true)
-                }
-            };
+        let (local_copies, sync_messages, cross_site_query_requests, can_analyze) = match self
+            .sophistication
+        {
+            OpenCartelSophistication::DelegateAll => {
+                // Everything is fetched on demand: every query asks the
+                // social site for the network.
+                let requests = journey.users * journey.content_sites * journey.queries_per_user;
+                (0, 0, requests, false)
+            }
+            OpenCartelSophistication::ManageActivities => {
+                // Activities are local; the social graph is still read
+                // per query.
+                let requests = journey.users * journey.content_sites * journey.queries_per_user;
+                (0, 0, requests, false)
+            }
+            OpenCartelSophistication::SyncSocialGraph => {
+                // Each content site keeps a focused local copy, refreshed
+                // every `sync_every_events` activity events.
+                let copies = journey.users * journey.content_sites;
+                let syncs_per_user = (events_per_user / self.sync_every_events.max(1)).max(1) + 1;
+                let sync_messages = journey.users * syncs_per_user * journey.content_sites;
+                (copies, sync_messages, 0, true)
+            }
+        };
         JourneyMetrics {
             profiles_stored: canonical_profiles + local_copies,
             // Local copies are caches synchronized automatically, not

@@ -33,21 +33,14 @@ impl PostingList {
     /// Build a list from unsorted `(item, score)` pairs.
     pub fn from_entries<I: IntoIterator<Item = (NodeId, f64)>>(entries: I) -> Self {
         let mut list = PostingList {
-            entries: entries
-                .into_iter()
-                .map(|(item, score)| Posting { item, score })
-                .collect(),
+            entries: entries.into_iter().map(|(item, score)| Posting { item, score }).collect(),
         };
         list.sort();
         list
     }
 
     fn sort(&mut self) {
-        self.entries.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then_with(|| a.item.cmp(&b.item))
-        });
+        self.entries.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.item.cmp(&b.item)));
     }
 
     /// Insert an entry, keeping the list sorted.
@@ -99,11 +92,8 @@ mod tests {
 
     #[test]
     fn lists_stay_sorted_by_descending_score() {
-        let list = PostingList::from_entries([
-            (NodeId(1), 0.2),
-            (NodeId(2), 0.9),
-            (NodeId(3), 0.5),
-        ]);
+        let list =
+            PostingList::from_entries([(NodeId(1), 0.2), (NodeId(2), 0.9), (NodeId(3), 0.5)]);
         let scores: Vec<f64> = list.iter().map(|p| p.score).collect();
         assert_eq!(scores, vec![0.9, 0.5, 0.2]);
         assert_eq!(list.get(0).unwrap().item, NodeId(2));

@@ -47,11 +47,12 @@ impl SiteModel {
             }
         }
         for link in graph.links() {
-            if link.type_values().iter().any(|t| socialscope_graph::types::is_connection_type(t)) {
-                if model.users.contains(&link.src) && model.users.contains(&link.tgt) {
-                    model.network_of.entry(link.src).or_default().insert(link.tgt);
-                    model.network_of.entry(link.tgt).or_default().insert(link.src);
-                }
+            if link.type_values().iter().any(|t| socialscope_graph::types::is_connection_type(t))
+                && model.users.contains(&link.src)
+                && model.users.contains(&link.tgt)
+            {
+                model.network_of.entry(link.src).or_default().insert(link.tgt);
+                model.network_of.entry(link.tgt).or_default().insert(link.src);
             }
             if link.has_type("tag") {
                 let user = link.src;
@@ -60,18 +61,10 @@ impl SiteModel {
                     continue;
                 }
                 model.items_of.entry(user).or_default().insert(item);
-                let tags = link
-                    .attrs
-                    .get("tags")
-                    .map(|v| v.string_tokens())
-                    .unwrap_or_default();
+                let tags = link.attrs.get("tags").map(|v| v.string_tokens()).unwrap_or_default();
                 for tag in tags {
                     model.tags.insert(tag.clone());
-                    model
-                        .taggers_of
-                        .entry((item, tag.clone()))
-                        .or_default()
-                        .insert(user);
+                    model.taggers_of.entry((item, tag.clone())).or_default().insert(user);
                     model.tags_of.entry(user).or_default().insert(tag.clone());
                     model.items_with_tag.entry(tag).or_default().insert(item);
                 }
@@ -111,17 +104,13 @@ impl SiteModel {
     /// `items(u)`: the items tagged by a user.
     pub fn items_of(&self, user: NodeId) -> &BTreeSet<NodeId> {
         static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
-        self.items_of
-            .get(&user)
-            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+        self.items_of.get(&user).unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
     }
 
     /// `network(u)`: the users connected to a user.
     pub fn network_of(&self, user: NodeId) -> &BTreeSet<NodeId> {
         static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
-        self.network_of
-            .get(&user)
-            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+        self.network_of.get(&user).unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
     }
 
     /// `taggers(i, k)`: the users who tagged item `i` with tag `k`.
@@ -135,9 +124,7 @@ impl SiteModel {
     /// Tags used by a user.
     pub fn tags_of(&self, user: NodeId) -> &BTreeSet<String> {
         static EMPTY: std::sync::OnceLock<BTreeSet<String>> = std::sync::OnceLock::new();
-        self.tags_of
-            .get(&user)
-            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+        self.tags_of.get(&user).unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
     }
 
     /// Items carrying a tag, independently of who asks.
@@ -159,10 +146,7 @@ impl SiteModel {
     /// `score(i, u) = Σ_j score_kj(i, u)` — the paper's exposition choice
     /// `g = sum`.
     pub fn query_score(&self, item: NodeId, user: NodeId, keywords: &[String]) -> f64 {
-        keywords
-            .iter()
-            .map(|k| self.keyword_score(item, user, k))
-            .sum()
+        keywords.iter().map(|k| self.keyword_score(item, user, k)).sum()
     }
 
     /// Jaccard similarity of two users' networks (Def. 11 predicate).

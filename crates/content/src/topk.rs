@@ -46,20 +46,14 @@ impl TopKResult {
 /// `exact` must return the true total score of an item for the querying
 /// user (the sum over keywords of `score_k(i, u)` in the paper's model); it
 /// is called exactly once per distinct candidate item.
-pub fn top_k(
-    lists: &[&PostingList],
-    k: usize,
-    mut exact: impl FnMut(NodeId) -> f64,
-) -> TopKResult {
+pub fn top_k(lists: &[&PostingList], k: usize, mut exact: impl FnMut(NodeId) -> f64) -> TopKResult {
     let mut result = TopKResult::default();
     if k == 0 || lists.is_empty() {
         return result;
     }
     let mut positions = vec![0usize; lists.len()];
-    let mut frontier: Vec<f64> = lists
-        .iter()
-        .map(|l| l.get(0).map(|p| p.score).unwrap_or(0.0))
-        .collect();
+    let mut frontier: Vec<f64> =
+        lists.iter().map(|l| l.get(0).map(|p| p.score).unwrap_or(0.0)).collect();
     let mut seen: FxHashSet<NodeId> = FxHashSet::default();
     // (score, item) kept sorted ascending so the k-th best is at index 0.
     let mut best: Vec<(f64, NodeId)> = Vec::new();

@@ -2,11 +2,11 @@
 //! invariants and the admissibility of clustered top-k processing.
 
 use proptest::prelude::*;
+use socialscope_content::topk::top_k_exhaustive;
 use socialscope_content::{
     BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex, HybridClustering,
     NetworkBasedClustering, SiteModel,
 };
-use socialscope_content::topk::top_k_exhaustive;
 use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
 
 const TAGS: [&str; 4] = ["baseball", "museum", "family", "hiking"];
@@ -20,9 +20,8 @@ fn build_site(
 ) -> (SocialGraph, Vec<NodeId>) {
     let mut b = GraphBuilder::new();
     let user_ids: Vec<NodeId> = (0..users).map(|i| b.add_user(&format!("u{i}"))).collect();
-    let item_ids: Vec<NodeId> = (0..items)
-        .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
-        .collect();
+    let item_ids: Vec<NodeId> =
+        (0..items).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
     for &(a, c) in friendships {
         let (a, c) = (a % users, c % users);
         if a != c {
@@ -35,9 +34,10 @@ fn build_site(
     (b.build(), user_ids)
 }
 
-fn arb_inputs() -> impl Strategy<
-    Value = (usize, usize, Vec<(usize, usize)>, Vec<(usize, usize, usize)>),
-> {
+/// (users, items, friendship edges, tag actions) describing a random site.
+type SiteInputs = (usize, usize, Vec<(usize, usize)>, Vec<(usize, usize, usize)>);
+
+fn arb_inputs() -> impl Strategy<Value = SiteInputs> {
     (
         3usize..8,
         3usize..8,

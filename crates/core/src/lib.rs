@@ -54,8 +54,8 @@ pub mod prelude {
     pub use socialscope_algebra::prelude::*;
     pub use socialscope_content::{
         ActivityManager, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
-        ContentIntegrator, DeploymentModel, ExactIndex, HybridClustering,
-        NetworkBasedClustering, SiteModel, UserJourney,
+        ContentIntegrator, DeploymentModel, ExactIndex, HybridClustering, NetworkBasedClustering,
+        SiteModel, UserJourney,
     };
     pub use socialscope_discovery::{
         recommend_for_user, ContentAnalyzer, InformationDiscoverer, MeaningfulSocialGraph,

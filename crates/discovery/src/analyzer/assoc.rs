@@ -60,11 +60,8 @@ pub fn mine_association_rules(
     // Frequent pairs among frequent singles.
     let mut pairs: BTreeMap<(String, String), usize> = BTreeMap::new();
     for t in &transactions {
-        let mut uniq: Vec<&String> = frequent
-            .iter()
-            .filter(|tag| t.contains(*tag))
-            .copied()
-            .collect();
+        let mut uniq: Vec<&String> =
+            frequent.iter().filter(|tag| t.contains(*tag)).copied().collect();
         uniq.sort();
         uniq.dedup();
         for i in 0..uniq.len() {
@@ -143,9 +140,9 @@ mod tests {
     fn mines_history_implies_independence() {
         let rules = mine_association_rules(&history_site(), 0.2, 0.6);
         assert!(!rules.is_empty());
-        let found = rules
-            .iter()
-            .any(|r| r.antecedent == "independence" && r.consequent == "history" && r.confidence == 1.0);
+        let found = rules.iter().any(|r| {
+            r.antecedent == "independence" && r.consequent == "history" && r.confidence == 1.0
+        });
         assert!(found, "rules: {rules:?}");
         // history -> independence has confidence 6/8 = 0.75.
         let hi = rules

@@ -91,12 +91,10 @@ mod tests {
     fn travel_site() -> SocialGraph {
         let mut b = GraphBuilder::new();
         let users: Vec<_> = (0..6).map(|i| b.add_user(&format!("u{i}"))).collect();
-        let ballparks: Vec<_> = (0..3)
-            .map(|i| b.add_item(&format!("ballpark{i}"), &["destination"]))
-            .collect();
-        let museums: Vec<_> = (0..3)
-            .map(|i| b.add_item(&format!("museum{i}"), &["destination"]))
-            .collect();
+        let ballparks: Vec<_> =
+            (0..3).map(|i| b.add_item(&format!("ballpark{i}"), &["destination"])).collect();
+        let museums: Vec<_> =
+            (0..3).map(|i| b.add_item(&format!("museum{i}"), &["destination"])).collect();
         for &u in &users[0..3] {
             for &i in &ballparks {
                 b.tag(u, i, &["baseball", "stadium"]);
@@ -137,7 +135,10 @@ mod tests {
         // Every derived link carries one of the catalog's basic categories.
         for l in g.links() {
             assert!(
-                l.has_type("act") || l.has_type("belong") || l.has_type("match") || l.has_type("connect"),
+                l.has_type("act")
+                    || l.has_type("belong")
+                    || l.has_type("match")
+                    || l.has_type("connect"),
                 "unexpected link types {:?}",
                 l.type_values()
             );

@@ -70,7 +70,8 @@ mod tests {
         let u1 = b.add_user("u1");
         let u2 = b.add_user("u2");
         let u3 = b.add_user("u3");
-        let items: Vec<_> = (0..4).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        let items: Vec<_> =
+            (0..4).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
         // u1 and u2 overlap on 2 of 3 items; u3 is disjoint.
         b.tag(u1, items[0], &["t"]);
         b.tag(u1, items[1], &["t"]);

@@ -63,11 +63,7 @@ impl TopicModel {
             if !link.has_type("tag") {
                 continue;
             }
-            let tags = link
-                .attrs
-                .get("tags")
-                .map(|v| v.string_tokens())
-                .unwrap_or_default();
+            let tags = link.attrs.get("tags").map(|v| v.string_tokens()).unwrap_or_default();
             docs.entry(link.tgt).or_default().extend(tags);
         }
         docs.retain(|_, tags| !tags.is_empty());
@@ -93,7 +89,9 @@ impl TopicModel {
             for t in tags {
                 *counts.entry(t.as_str()).or_default() += 1;
             }
-            if let Some((tag, _)) = counts.into_iter().max_by_key(|(t, c)| (*c, std::cmp::Reverse(*t))) {
+            if let Some((tag, _)) =
+                counts.into_iter().max_by_key(|(t, c)| (*c, std::cmp::Reverse(*t)))
+            {
                 groups.entry(tag.to_string()).or_default().push(*item);
             }
         }
@@ -103,11 +101,7 @@ impl TopicModel {
         TopicModel {
             topics: ordered
                 .into_iter()
-                .map(|(tag, items)| DerivedTopic {
-                    label: tag.clone(),
-                    top_tags: vec![tag],
-                    items,
-                })
+                .map(|(tag, items)| DerivedTopic { label: tag.clone(), top_tags: vec![tag], items })
                 .collect(),
         }
     }
@@ -134,10 +128,8 @@ impl TopicModel {
         let mut doc_topic = vec![vec![0usize; k]; doc_ids.len()];
         let mut topic_word = vec![vec![0usize; v]; k];
         let mut topic_total = vec![0usize; k];
-        let mut assignments: Vec<Vec<usize>> = tokens
-            .iter()
-            .map(|ts| ts.iter().map(|_| rng.gen_range(0..k)).collect())
-            .collect();
+        let mut assignments: Vec<Vec<usize>> =
+            tokens.iter().map(|ts| ts.iter().map(|_| rng.gen_range(0..k)).collect()).collect();
         for (d, ts) in tokens.iter().enumerate() {
             for (i, &w) in ts.iter().enumerate() {
                 let z = assignments[d][i];
@@ -196,11 +188,7 @@ impl TopicModel {
                 tag_counts.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
                 let top_tags: Vec<String> =
                     tag_counts.iter().take(3).map(|(_, w)| w.to_string()).collect();
-                DerivedTopic {
-                    label: top_tags.join(" "),
-                    top_tags,
-                    items: Vec::new(),
-                }
+                DerivedTopic { label: top_tags.join(" "), top_tags, items: Vec::new() }
             })
             .collect();
         for (d, counts) in doc_topic.iter().enumerate() {
@@ -254,7 +242,8 @@ mod tests {
     #[test]
     fn lda_separates_the_two_tag_communities() {
         let g = two_topic_corpus();
-        let config = TopicModelConfig { num_topics: 2, iterations: 80, ..TopicModelConfig::default() };
+        let config =
+            TopicModelConfig { num_topics: 2, iterations: 80, ..TopicModelConfig::default() };
         let model = TopicModel::derive(&g, &config);
         assert!(!model.topics.is_empty() && model.topics.len() <= 2);
         let total_items: usize = model.topics.iter().map(|t| t.items.len()).sum();
@@ -279,7 +268,8 @@ mod tests {
     #[test]
     fn fallback_groups_by_dominant_tag() {
         let g = two_topic_corpus();
-        let config = TopicModelConfig { iterations: 0, num_topics: 2, ..TopicModelConfig::default() };
+        let config =
+            TopicModelConfig { iterations: 0, num_topics: 2, ..TopicModelConfig::default() };
         let model = TopicModel::derive(&g, &config);
         assert_eq!(model.topics.len(), 2);
         assert!(model.topics.iter().all(|t| t.items.len() == 5));

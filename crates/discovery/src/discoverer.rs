@@ -78,11 +78,7 @@ impl InformationDiscoverer {
             }
         }
 
-        ranked.sort_by(|a, b| {
-            b.combined
-                .total_cmp(&a.combined)
-                .then_with(|| a.item.cmp(&b.item))
-        });
+        ranked.sort_by(|a, b| b.combined.total_cmp(&a.combined).then_with(|| a.item.cmp(&b.item)));
         ranked.retain(|r| r.combined > 0.0);
         ranked.truncate(self.limit);
 
@@ -116,9 +112,8 @@ impl InformationDiscoverer {
         for link in graph.links() {
             let touches_item = item_set.contains(&link.tgt);
             let is_activity = link.has_type("act") || link.has_type("belong");
-            let is_user_connection = user
-                .map(|u| link.touches(u) && link.has_type("connect"))
-                .unwrap_or(false);
+            let is_user_connection =
+                user.map(|u| link.touches(u) && link.has_type("connect")).unwrap_or(false);
             if (touches_item && is_activity) || is_user_connection {
                 for end in [link.src, link.tgt] {
                     if !out.has_node(end) {

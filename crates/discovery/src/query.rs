@@ -33,11 +33,7 @@ impl UserQuery {
 
     /// A keyword query for a user, e.g. "Denver attractions".
     pub fn keywords_for(user: NodeId, text: &str) -> Self {
-        UserQuery {
-            user: Some(user),
-            keywords: tokenize(text),
-            structural: Vec::new(),
-        }
+        UserQuery { user: Some(user), keywords: tokenize(text), structural: Vec::new() }
     }
 
     /// An anonymous keyword query (no social relevance).
@@ -64,10 +60,7 @@ impl UserQuery {
     /// The algebra condition for the query's *scope*: structural predicates
     /// plus keywords (the keywords also drive scoring).
     pub fn scope_condition(&self) -> Condition {
-        Condition {
-            structural: self.structural.clone(),
-            keywords: self.keywords.clone(),
-        }
+        Condition { structural: self.structural.clone(), keywords: self.keywords.clone() }
     }
 
     /// The raw query text, re-joined.
@@ -79,10 +72,7 @@ impl UserQuery {
 /// Lowercase whitespace tokenization used across the discovery layer.
 pub fn tokenize(text: &str) -> Vec<String> {
     text.split_whitespace()
-        .map(|t| {
-            t.trim_matches(|c: char| !c.is_alphanumeric())
-                .to_lowercase()
-        })
+        .map(|t| t.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
         .filter(|t| !t.is_empty())
         .collect()
 }

@@ -54,11 +54,8 @@ pub fn collaborative_filtering(
         })
         .collect();
     // Do not recommend what the user already visited.
-    let visited: Vec<NodeId> = graph
-        .out_links(user)
-        .filter(|l| l.has_type(config.activity))
-        .map(|l| l.tgt)
-        .collect();
+    let visited: Vec<NodeId> =
+        graph.out_links(user).filter(|l| l.has_type(config.activity)).map(|l| l.tgt).collect();
     recs.retain(|r| !visited.contains(&r.item));
     recs.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
     recs
@@ -89,9 +86,11 @@ pub fn example5_pipeline(graph: &SocialGraph, user: NodeId, config: &CfConfig) -
     // Steps 3–4: every other user and their visited destinations.
     let others = node_select(
         graph,
-        &Condition::any()
-            .and_attr("type", "user")
-            .and_compare("id", Comparison::NotEquals, user_id),
+        &Condition::any().and_attr("type", "user").and_compare(
+            "id",
+            Comparison::NotEquals,
+            user_id,
+        ),
         None,
     );
     let g2 = link_select(
@@ -121,9 +120,11 @@ pub fn example5_pipeline(graph: &SocialGraph, user: NodeId, config: &CfConfig) -
     // Step 6: collapse parallel links above the threshold into 'match' links.
     let g4 = link_aggregate_multi(
         &g3,
-        &Condition::any()
-            .and_attr("type", "user_sim")
-            .and_compare("sim", Comparison::Greater, config.similarity_threshold),
+        &Condition::any().and_attr("type", "user_sim").and_compare(
+            "sim",
+            Comparison::Greater,
+            config.similarity_threshold,
+        ),
         &[
             ("type".to_string(), AggregateFn::ConstStr("match".into())),
             ("sim".to_string(), AggregateFn::First("sim".into())),
@@ -148,7 +149,11 @@ pub fn example5_pipeline(graph: &SocialGraph, user: NodeId, config: &CfConfig) -
         DirectionalCondition::tgt_src(),
         &ComposeSpec::Chain(vec![
             ComposeSpec::ConstAttrs(vec![("type".into(), Value::single("recommendation"))]),
-            ComposeSpec::CopyLinkAttr { side: Side::Left, attr: "sim".into(), out: "sim_sc".into() },
+            ComposeSpec::CopyLinkAttr {
+                side: Side::Left,
+                attr: "sim".into(),
+                out: "sim_sc".into(),
+            },
         ]),
     );
 
@@ -181,7 +186,11 @@ pub fn collaborative_filtering_plan(user: NodeId) -> Arc<Plan> {
         DirectionalCondition::tgt_src(),
         ComposeSpec::Chain(vec![
             ComposeSpec::ConstAttrs(vec![("type".into(), Value::single("recommendation"))]),
-            ComposeSpec::CopyLinkAttr { side: Side::Left, attr: "sim".into(), out: "sim_sc".into() },
+            ComposeSpec::CopyLinkAttr {
+                side: Side::Left,
+                attr: "sim".into(),
+                out: "sim_sc".into(),
+            },
         ]),
     )
     .link_agg(

@@ -11,11 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Users who performed any activity on an item.
 pub fn actors_on(graph: &SocialGraph, item: NodeId) -> BTreeSet<NodeId> {
-    graph
-        .in_links(item)
-        .filter(|l| l.has_type("act"))
-        .map(|l| l.src)
-        .collect()
+    graph.in_links(item).filter(|l| l.has_type("act")).map(|l| l.src).collect()
 }
 
 /// Jaccard similarity between the actor sets of two items.

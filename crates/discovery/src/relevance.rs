@@ -110,7 +110,8 @@ mod tests {
     fn semantic_scorer_prefers_matching_items() {
         let mut b = GraphBuilder::new();
         let john = b.add_user("John");
-        let coors = b.add_item_with_keywords("Coors Field", &["destination"], &["baseball", "denver"]);
+        let coors =
+            b.add_item_with_keywords("Coors Field", &["destination"], &["baseball", "denver"]);
         let opera = b.add_item_with_keywords("Opera House", &["destination"], &["music"]);
         let g = b.build();
         let scorer = SemanticScorer::from_graph(&g);

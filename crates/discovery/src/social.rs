@@ -54,14 +54,9 @@ impl SocialRelevance {
     pub fn score(&self, graph: &SocialGraph, user: NodeId, item: NodeId) -> f64 {
         let network = self.site.network_of(user);
         let endorsements = self.endorsing_friends(graph, user, item).len();
-        let network_part = if network.is_empty() {
-            0.0
-        } else {
-            endorsements as f64 / network.len() as f64
-        };
-        let own = graph
-            .links_between(user, item)
-            .any(|l| l.has_type("act"));
+        let network_part =
+            if network.is_empty() { 0.0 } else { endorsements as f64 / network.len() as f64 };
+        let own = graph.links_between(user, item).any(|l| l.has_type("act"));
         let own_part = if own { 1.0 } else { 0.0 };
         (1.0 - self.own_history_weight) * network_part + self.own_history_weight * own_part
     }
@@ -76,11 +71,8 @@ impl SocialRelevance {
         if experts.is_empty() {
             return 0.0;
         }
-        let endorsers: BTreeSet<NodeId> = graph
-            .in_links(item)
-            .filter(|l| l.has_type("act"))
-            .map(|l| l.src)
-            .collect();
+        let endorsers: BTreeSet<NodeId> =
+            graph.in_links(item).filter(|l| l.has_type("act")).map(|l| l.src).collect();
         experts.iter().filter(|e| endorsers.contains(e)).count() as f64 / experts.len() as f64
     }
 

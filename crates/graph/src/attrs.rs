@@ -175,10 +175,7 @@ pub trait HasAttrs {
 
     /// The values of the mandatory `type` attribute, lowercased.
     fn type_values(&self) -> Vec<String> {
-        self.attrs()
-            .get(crate::types::TYPE_ATTR)
-            .map(|v| v.string_tokens())
-            .unwrap_or_default()
+        self.attrs().get(crate::types::TYPE_ATTR).map(|v| v.string_tokens()).unwrap_or_default()
     }
 
     /// Whether the element carries the given type value.

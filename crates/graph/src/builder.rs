@@ -79,9 +79,7 @@ impl GraphBuilder {
         for (k, v) in attrs {
             link.attrs.set(*k, v.clone());
         }
-        self.graph
-            .add_link(link)
-            .expect("builder endpoints must exist before linking");
+        self.graph.add_link(link).expect("builder endpoints must exist before linking");
         id
     }
 
@@ -122,10 +120,7 @@ impl GraphBuilder {
         tys.extend(subtypes.iter().map(|s| s.to_string()));
         self.add_node_with(
             tys,
-            &[
-                ("name", Value::single(name)),
-                ("keywords", Value::multi(keywords.iter().copied())),
-            ],
+            &[("name", Value::single(name)), ("keywords", Value::multi(keywords.iter().copied()))],
         )
     }
 

@@ -48,10 +48,7 @@ mod tests {
     fn display_messages() {
         assert!(GraphError::MissingNode(NodeId(3)).to_string().contains("n3"));
         assert!(GraphError::MissingLink(LinkId(4)).to_string().contains("l4"));
-        let e = GraphError::ConflictingLink {
-            id: LinkId(1),
-            reason: "endpoints differ".into(),
-        };
+        let e = GraphError::ConflictingLink { id: LinkId(1), reason: "endpoints differ".into() };
         assert!(e.to_string().contains("endpoints differ"));
     }
 }

@@ -206,20 +206,12 @@ impl SocialGraph {
 
     /// Outgoing links of a node.
     pub fn out_links(&self, node: NodeId) -> impl Iterator<Item = &Link> {
-        self.out
-            .get(&node)
-            .into_iter()
-            .flatten()
-            .filter_map(|id| self.links.get(id))
+        self.out.get(&node).into_iter().flatten().filter_map(|id| self.links.get(id))
     }
 
     /// Incoming links of a node.
     pub fn in_links(&self, node: NodeId) -> impl Iterator<Item = &Link> {
-        self.inc
-            .get(&node)
-            .into_iter()
-            .flatten()
-            .filter_map(|id| self.links.get(id))
+        self.inc.get(&node).into_iter().flatten().filter_map(|id| self.links.get(id))
     }
 
     /// All links touching a node (outgoing then incoming).
@@ -290,12 +282,8 @@ impl SocialGraph {
     /// Remove a node and every link touching it.
     pub fn remove_node(&mut self, id: NodeId) -> Option<Node> {
         let node = self.nodes.remove(&id)?;
-        let touching: Vec<LinkId> = self
-            .links
-            .values()
-            .filter(|l| l.touches(id))
-            .map(|l| l.id)
-            .collect();
+        let touching: Vec<LinkId> =
+            self.links.values().filter(|l| l.touches(id)).map(|l| l.id).collect();
         for lid in touching {
             self.remove_link(lid);
         }
@@ -307,12 +295,7 @@ impl SocialGraph {
     /// Keep only nodes satisfying the predicate; links touching removed nodes
     /// are removed too.
     pub fn retain_nodes(&mut self, mut pred: impl FnMut(&Node) -> bool) {
-        let remove: Vec<NodeId> = self
-            .nodes
-            .values()
-            .filter(|n| !pred(n))
-            .map(|n| n.id)
-            .collect();
+        let remove: Vec<NodeId> = self.nodes.values().filter(|n| !pred(n)).map(|n| n.id).collect();
         for id in remove {
             self.remove_node(id);
         }
@@ -320,12 +303,7 @@ impl SocialGraph {
 
     /// Keep only links satisfying the predicate (nodes are untouched).
     pub fn retain_links(&mut self, mut pred: impl FnMut(&Link) -> bool) {
-        let remove: Vec<LinkId> = self
-            .links
-            .values()
-            .filter(|l| !pred(l))
-            .map(|l| l.id)
-            .collect();
+        let remove: Vec<LinkId> = self.links.values().filter(|l| !pred(l)).map(|l| l.id).collect();
         for id in remove {
             self.remove_link(id);
         }
@@ -416,11 +394,8 @@ impl SocialGraph {
             if !self.nodes.contains_key(&l.tgt) {
                 return Err(GraphError::MissingNode(l.tgt));
             }
-            let out_ok = self
-                .out
-                .get(&l.src)
-                .map_or(false, |v| v.contains(&l.id));
-            let in_ok = self.inc.get(&l.tgt).map_or(false, |v| v.contains(&l.id));
+            let out_ok = self.out.get(&l.src).is_some_and(|v| v.contains(&l.id));
+            let in_ok = self.inc.get(&l.tgt).is_some_and(|v| v.contains(&l.id));
             if !out_ok || !in_ok {
                 return Err(GraphError::Invariant(format!(
                     "adjacency index out of sync for {}",
@@ -448,13 +423,8 @@ impl PartialEq for SocialGraph {
         if self.node_count() != other.node_count() || self.link_count() != other.link_count() {
             return false;
         }
-        self.nodes
-            .iter()
-            .all(|(id, n)| other.nodes.get(id) == Some(n))
-            && self
-                .links
-                .iter()
-                .all(|(id, l)| other.links.get(id) == Some(l))
+        self.nodes.iter().all(|(id, n)| other.nodes.get(id) == Some(n))
+            && self.links.iter().all(|(id, l)| other.links.get(id) == Some(l))
     }
 }
 
@@ -476,15 +446,13 @@ mod tests {
         g.add_node(user(2, "Mary"));
         g.add_node(item(10, "Denver"));
         g.add_node(item(11, "Coors Field"));
-        g.add_link(Link::new(LinkId(100), NodeId(1), NodeId(2), ["connect", "friend"]))
-            .unwrap();
+        g.add_link(Link::new(LinkId(100), NodeId(1), NodeId(2), ["connect", "friend"])).unwrap();
         g.add_link(
             Link::new(LinkId(101), NodeId(1), NodeId(10), ["act", "tag"])
                 .with_attr("tags", Value::parse_list("rockies baseball")),
         )
         .unwrap();
-        g.add_link(Link::new(LinkId(102), NodeId(2), NodeId(11), ["act", "visit"]))
-            .unwrap();
+        g.add_link(Link::new(LinkId(102), NodeId(2), NodeId(11), ["act", "visit"])).unwrap();
         g
     }
 
@@ -504,18 +472,14 @@ mod tests {
     fn add_link_requires_endpoints() {
         let mut g = SocialGraph::new();
         g.add_node(user(1, "John"));
-        let err = g
-            .add_link(Link::new(LinkId(1), NodeId(1), NodeId(2), ["friend"]))
-            .unwrap_err();
+        let err = g.add_link(Link::new(LinkId(1), NodeId(1), NodeId(2), ["friend"])).unwrap_err();
         assert_eq!(err, GraphError::MissingNode(NodeId(2)));
     }
 
     #[test]
     fn add_link_conflicting_endpoints_rejected() {
         let mut g = small_graph();
-        let err = g
-            .add_link(Link::new(LinkId(100), NodeId(2), NodeId(1), ["friend"]))
-            .unwrap_err();
+        let err = g.add_link(Link::new(LinkId(100), NodeId(2), NodeId(1), ["friend"])).unwrap_err();
         assert!(matches!(err, GraphError::ConflictingLink { .. }));
     }
 
@@ -604,8 +568,7 @@ mod tests {
         let mut b = SocialGraph::new();
         b.add_node(user(1, "John").with_attr("interests", "baseball"));
         b.add_node(item(12, "B's Ballpark Museum"));
-        b.add_link(Link::new(LinkId(200), NodeId(1), NodeId(12), ["act", "visit"]))
-            .unwrap();
+        b.add_link(Link::new(LinkId(200), NodeId(1), NodeId(12), ["act", "visit"])).unwrap();
         a.merge(&b);
         assert_eq!(a.node_count(), 5);
         assert_eq!(a.link_count(), 4);

@@ -75,10 +75,7 @@ mod tests {
     use std::hash::{BuildHasher, Hash};
 
     fn hash_one<T: Hash>(v: T) -> u64 {
-        let b = FxBuildHasher::default();
-        let mut h = b.build_hasher();
-        v.hash(&mut h);
-        h.finish()
+        FxBuildHasher::default().hash_one(v)
     }
 
     #[test]

@@ -83,10 +83,7 @@ impl IdGen {
     /// A generator whose first allocated ids are strictly greater than the
     /// given maxima.
     pub fn starting_after(max_node: u64, max_link: u64) -> Self {
-        IdGen {
-            next_node: max_node + 1,
-            next_link: max_link + 1,
-        }
+        IdGen { next_node: max_node + 1, next_link: max_link + 1 }
     }
 
     /// Allocate a fresh node id.

@@ -61,17 +61,8 @@ impl Link {
         S: Into<String>,
     {
         let mut attrs = AttrMap::new();
-        attrs.set(
-            TYPE_ATTR,
-            Value::multi(types.into_iter().map(|s| s.into().to_lowercase())),
-        );
-        Link {
-            id,
-            src,
-            tgt,
-            attrs,
-            score: None,
-        }
+        attrs.set(TYPE_ATTR, Value::multi(types.into_iter().map(|s| s.into().to_lowercase())));
+        Link { id, src, tgt, attrs, score: None }
     }
 
     /// Builder-style attribute setter.

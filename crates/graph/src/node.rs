@@ -31,15 +31,8 @@ impl Node {
         S: Into<String>,
     {
         let mut attrs = AttrMap::new();
-        attrs.set(
-            TYPE_ATTR,
-            Value::multi(types.into_iter().map(|s| s.into().to_lowercase())),
-        );
-        Node {
-            id,
-            attrs,
-            score: None,
-        }
+        attrs.set(TYPE_ATTR, Value::multi(types.into_iter().map(|s| s.into().to_lowercase())));
+        Node { id, attrs, score: None }
     }
 
     /// Builder-style attribute setter.
@@ -131,12 +124,9 @@ mod tests {
 
     #[test]
     fn consolidate_merges_attrs_and_takes_max_score() {
-        let mut a = Node::new(NodeId(4), ["user"])
-            .with_attr("interests", "baseball")
-            .with_score(0.3);
-        let b = Node::new(NodeId(4), ["traveler"])
-            .with_attr("interests", "skiing")
-            .with_score(0.7);
+        let mut a =
+            Node::new(NodeId(4), ["user"]).with_attr("interests", "baseball").with_score(0.3);
+        let b = Node::new(NodeId(4), ["traveler"]).with_attr("interests", "skiing").with_score(0.7);
         a.consolidate(&b);
         assert!(a.has_type("user"));
         assert!(a.has_type("traveler"));

@@ -47,10 +47,7 @@ impl GraphStats {
                 *link_hist.entry(t).or_default() += 1;
             }
         }
-        let degrees: Vec<usize> = graph
-            .nodes()
-            .map(|n| graph.degree(n.id))
-            .collect();
+        let degrees: Vec<usize> = graph.nodes().map(|n| graph.degree(n.id)).collect();
         let avg_degree = if degrees.is_empty() {
             0.0
         } else {
@@ -99,10 +96,7 @@ pub fn network_clustering_coefficient(graph: &SocialGraph) -> f64 {
         let mut closed = 0usize;
         for i in 0..k {
             for j in (i + 1)..k {
-                if adj
-                    .get(&uniq[i])
-                    .map_or(false, |ns| ns.contains(&uniq[j]))
-                {
+                if adj.get(&uniq[i]).is_some_and(|ns| ns.contains(&uniq[j])) {
                     closed += 1;
                 }
             }

@@ -84,10 +84,7 @@ impl Default for TypeCatalog {
 impl TypeCatalog {
     /// An empty catalog (no registered types).
     pub fn empty() -> Self {
-        TypeCatalog {
-            node_types: BTreeSet::new(),
-            link_types: BTreeMap::new(),
-        }
+        TypeCatalog { node_types: BTreeSet::new(), link_types: BTreeMap::new() }
     }
 
     /// The catalog pre-populated with the paper's basic types.
@@ -122,9 +119,7 @@ impl TypeCatalog {
     /// Register a link type under a category (idempotent).
     /// Returns `true` when newly added.
     pub fn register_link_type(&mut self, ty: &str, category: &str) -> bool {
-        self.link_types
-            .insert(ty.to_lowercase(), category.to_lowercase())
-            .is_none()
+        self.link_types.insert(ty.to_lowercase(), category.to_lowercase()).is_none()
     }
 
     /// Whether the node type is known.
@@ -176,10 +171,7 @@ pub fn is_activity_type(ty: &str) -> bool {
 /// Whether a concrete link type string belongs to the connection category by
 /// the default convention.
 pub fn is_connection_type(ty: &str) -> bool {
-    matches!(
-        ty.to_lowercase().as_str(),
-        LINK_CONNECT | LINK_FRIEND | LINK_CONTACT
-    )
+    matches!(ty.to_lowercase().as_str(), LINK_CONNECT | LINK_FRIEND | LINK_CONTACT)
 }
 
 /// Whether a concrete link type string belongs to the topical category

@@ -192,9 +192,7 @@ impl Value {
 
     /// A single-scalar value.
     pub fn single(s: impl Into<Scalar>) -> Self {
-        Value {
-            values: vec![s.into()],
-        }
+        Value { values: vec![s.into()] }
     }
 
     /// A multi-scalar value built from an iterator.
@@ -203,9 +201,7 @@ impl Value {
         I: IntoIterator<Item = S>,
         S: Into<Scalar>,
     {
-        Value {
-            values: vals.into_iter().map(Into::into).collect(),
-        }
+        Value { values: vals.into_iter().map(Into::into).collect() }
     }
 
     /// Parse a comma/whitespace separated string into a multi-valued string
@@ -280,20 +276,12 @@ impl Value {
 
     /// All scalars rendered as a whitespace-joined text (for keyword search).
     pub fn text(&self) -> String {
-        self.values
-            .iter()
-            .map(Scalar::as_text)
-            .collect::<Vec<_>>()
-            .join(" ")
+        self.values.iter().map(Scalar::as_text).collect::<Vec<_>>().join(" ")
     }
 
     /// All string scalars, lowercased, as owned tokens.
     pub fn string_tokens(&self) -> Vec<String> {
-        self.values
-            .iter()
-            .filter_map(Scalar::as_str)
-            .map(|s| s.to_lowercase())
-            .collect()
+        self.values.iter().filter_map(Scalar::as_str).map(|s| s.to_lowercase()).collect()
     }
 
     /// Consume into the underlying scalar list.
@@ -355,12 +343,8 @@ mod tests {
 
     #[test]
     fn scalar_ordering_is_total() {
-        let mut v = vec![
-            Scalar::from(2.5),
-            Scalar::from(1i64),
-            Scalar::from("abc"),
-            Scalar::from(true),
-        ];
+        let mut v =
+            vec![Scalar::from(2.5), Scalar::from(1i64), Scalar::from("abc"), Scalar::from(true)];
         v.sort();
         // Sorting must not panic and must be deterministic.
         let v2 = {

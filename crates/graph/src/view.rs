@@ -5,10 +5,10 @@
 //! activities on items), the *network graph* (social connections), and the
 //! *topical graph* (links from users or items to derived topics/groups).
 
+use crate::attrs::HasAttrs;
 use crate::graph::SocialGraph;
 use crate::link::Link;
 use crate::types;
-use crate::attrs::HasAttrs;
 use serde::{Deserialize, Serialize};
 
 /// Which overlay of the social content graph to extract.
@@ -34,11 +34,7 @@ fn link_in_overlay(link: &Link, kind: OverlayKind) -> bool {
 /// Extract an overlay view: the sub-graph induced by the links of the given
 /// category.
 pub fn overlay(graph: &SocialGraph, kind: OverlayKind) -> SocialGraph {
-    let ids = graph
-        .links()
-        .filter(|l| link_in_overlay(l, kind))
-        .map(|l| l.id)
-        .collect::<Vec<_>>();
+    let ids = graph.links().filter(|l| link_in_overlay(l, kind)).map(|l| l.id).collect::<Vec<_>>();
     graph.induced_by_links(ids)
 }
 

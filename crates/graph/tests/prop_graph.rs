@@ -13,9 +13,8 @@ fn build_site(
 ) -> (SocialGraph, Vec<NodeId>, Vec<NodeId>) {
     let mut b = GraphBuilder::new();
     let user_ids: Vec<NodeId> = (0..users).map(|i| b.add_user(&format!("u{i}"))).collect();
-    let item_ids: Vec<NodeId> = (0..items)
-        .map(|i| b.add_item(&format!("i{i}"), &["destination"]))
-        .collect();
+    let item_ids: Vec<NodeId> =
+        (0..items).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
     for &(a, c) in friendships {
         let (a, c) = (a % users.max(1), c % users.max(1));
         if users > 0 && a != c {

@@ -65,11 +65,8 @@ pub fn user_based_explanation(graph: &SocialGraph, user: NodeId, item: NodeId) -
     // UserSim: 1.0 for direct connections, the `sim` attribute for derived
     // match links, 0 otherwise.
     let mut entries = Vec::new();
-    let endorsers: BTreeSet<NodeId> = graph
-        .in_links(item)
-        .filter(|l| l.has_type("act"))
-        .map(|l| l.src)
-        .collect();
+    let endorsers: BTreeSet<NodeId> =
+        graph.in_links(item).filter(|l| l.has_type("act")).map(|l| l.src).collect();
     for &other in &endorsers {
         let mut sim: f64 = 0.0;
         for l in graph.links_between(user, other).chain(graph.links_between(other, user)) {
@@ -103,11 +100,8 @@ pub fn aggregate_explanation(graph: &SocialGraph, user: NodeId, item: NodeId) ->
         .filter(|l| l.has_type("connect"))
         .map(|l| if l.src == user { l.tgt } else { l.src })
         .collect();
-    let endorsers: BTreeSet<NodeId> = graph
-        .in_links(item)
-        .filter(|l| l.has_type("act"))
-        .map(|l| l.src)
-        .collect();
+    let endorsers: BTreeSet<NodeId> =
+        graph.in_links(item).filter(|l| l.has_type("act")).map(|l| l.src).collect();
     let endorsing_friends: Vec<NodeId> = friends.intersection(&endorsers).copied().collect();
     let percent = if friends.is_empty() {
         0.0
@@ -142,11 +136,7 @@ pub fn group_explanation(graph: &SocialGraph, user: NodeId, group: &ItemGroup) -
     let summary = if entries.is_empty() {
         format!("`{}`: no social endorsement", group.label)
     } else {
-        format!(
-            "`{}`: endorsed by {} people you know",
-            group.label,
-            entries.len()
-        )
+        format!("`{}`: endorsed by {} people you know", group.label, entries.len())
     };
     Explanation { item: None, entries, summary }
 }

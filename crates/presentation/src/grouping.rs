@@ -44,11 +44,7 @@ pub enum GroupingStrategy {
 /// Users who tagged (or otherwise acted on) an item — the `taggers(i)` of
 /// Def. 14.
 fn taggers(graph: &SocialGraph, item: NodeId) -> BTreeSet<NodeId> {
-    graph
-        .in_links(item)
-        .filter(|l| l.has_type("act"))
-        .map(|l| l.src)
-        .collect()
+    graph.in_links(item).filter(|l| l.has_type("act")).map(|l| l.src).collect()
 }
 
 fn jaccard(a: &BTreeSet<NodeId>, b: &BTreeSet<NodeId>) -> f64 {
@@ -135,7 +131,11 @@ pub fn topical_grouping(graph: &SocialGraph, items: &[NodeId]) -> Vec<ItemGroup>
 
 /// Structural (faceted) grouping: group items by each value of an attribute.
 /// Multi-valued attributes place the item in every value's group.
-pub fn structural_grouping(graph: &SocialGraph, items: &[NodeId], attribute: &str) -> Vec<ItemGroup> {
+pub fn structural_grouping(
+    graph: &SocialGraph,
+    items: &[NodeId],
+    attribute: &str,
+) -> Vec<ItemGroup> {
     let mut by_value: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
     let mut missing = Vec::new();
     for &item in items {
@@ -149,10 +149,8 @@ pub fn structural_grouping(graph: &SocialGraph, items: &[NodeId], attribute: &st
             _ => missing.push(item),
         }
     }
-    let mut out: Vec<ItemGroup> = by_value
-        .into_iter()
-        .map(|(label, items)| ItemGroup { label, items })
-        .collect();
+    let mut out: Vec<ItemGroup> =
+        by_value.into_iter().map(|(label, items)| ItemGroup { label, items }).collect();
     if !missing.is_empty() {
         out.push(ItemGroup { label: format!("no {attribute}"), items: missing });
     }

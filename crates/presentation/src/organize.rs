@@ -52,16 +52,17 @@ impl InformationOrganizer {
     pub fn assess(&self, msg: &MeaningfulSocialGraph, groups: &[ItemGroup]) -> GroupMeaningfulness {
         let group_count = groups.len();
         if group_count == 0 {
-            return GroupMeaningfulness { group_count: 0, avg_quality: 0.0, avg_size: 0.0, score: 0.0 };
+            return GroupMeaningfulness {
+                group_count: 0,
+                avg_quality: 0.0,
+                avg_size: 0.0,
+                score: 0.0,
+            };
         }
         let mut qualities = Vec::new();
         let mut sizes = Vec::new();
         for g in groups {
-            let scores: Vec<f64> = g
-                .items
-                .iter()
-                .filter_map(|i| msg.score_of(*i))
-                .collect();
+            let scores: Vec<f64> = g.items.iter().filter_map(|i| msg.score_of(*i)).collect();
             let quality = if scores.is_empty() {
                 0.0
             } else {
@@ -144,10 +145,7 @@ impl InformationOrganizer {
         group: &ItemGroup,
         strategy: &GroupingStrategy,
     ) -> Vec<ItemGroup> {
-        group_items(graph, &group.items, strategy)
-            .into_iter()
-            .filter(|g| !g.is_empty())
-            .collect()
+        group_items(graph, &group.items, strategy).into_iter().filter(|g| !g.is_empty()).collect()
     }
 }
 
@@ -188,11 +186,8 @@ mod tests {
             &["destination"],
             &["american", "history", "independence"],
         );
-        let mount_vernon = b.add_item_with_keywords(
-            "Mount Vernon",
-            &["destination"],
-            &["american", "history"],
-        );
+        let mount_vernon =
+            b.add_item_with_keywords("Mount Vernon", &["destination"], &["american", "history"]);
         for &c in &classmates {
             b.visit(c, gettysburg);
             b.visit(c, liberty);
@@ -207,7 +202,8 @@ mod tests {
     }
 
     fn msg_for(g: &SocialGraph, user: NodeId) -> MeaningfulSocialGraph {
-        InformationDiscoverer::default().discover(g, &UserQuery::keywords_for(user, "american history"))
+        InformationDiscoverer::default()
+            .discover(g, &UserQuery::keywords_for(user, "american history"))
     }
 
     #[test]
@@ -221,11 +217,8 @@ mod tests {
         assert!(p.groups.len() <= organizer.max_groups);
         // Within each group items are sorted by combined relevance.
         for group in &p.groups {
-            let scores: Vec<f64> = group
-                .items
-                .iter()
-                .map(|i| msg.score_of(*i).unwrap_or(0.0))
-                .collect();
+            let scores: Vec<f64> =
+                group.items.iter().map(|i| msg.score_of(*i).unwrap_or(0.0)).collect();
             assert!(scores.windows(2).all(|w| w[0] >= w[1]));
         }
         assert!(p.meaningfulness.score > 0.0);
@@ -249,7 +242,11 @@ mod tests {
         let organizer = InformationOrganizer::default();
         let p = organizer.organize(&g, &msg, GroupingStrategy::Social { theta: 0.0 });
         let big = p.groups.iter().max_by_key(|g| g.items.len()).unwrap();
-        let sub = organizer.zoom_in(&g, big, &GroupingStrategy::Structural { attribute: "keywords".into() });
+        let sub = organizer.zoom_in(
+            &g,
+            big,
+            &GroupingStrategy::Structural { attribute: "keywords".into() },
+        );
         assert!(!sub.is_empty());
         let covered: usize = sub.iter().map(|g| g.items.len()).sum();
         assert!(covered >= big.items.len());

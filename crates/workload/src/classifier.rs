@@ -58,9 +58,7 @@ pub fn classify_query(query: &str) -> Classified {
     let with_location = has_location(&q);
     let class = if SPECIFIC_DESTINATIONS.iter().any(|d| q.contains(d)) {
         QueryClass::Specific
-    } else if CATEGORICAL_TERMS.iter().any(|t| {
-        q.split_whitespace().any(|w| w == *t)
-    }) {
+    } else if CATEGORICAL_TERMS.iter().any(|t| q.split_whitespace().any(|w| w == *t)) {
         QueryClass::Categorical
     } else if GENERAL_TERMS.iter().any(|t| q.contains(t)) {
         QueryClass::General
@@ -180,13 +178,8 @@ mod tests {
 
     #[test]
     fn counts_and_fractions_sum_to_one() {
-        let queries = [
-            "Denver attractions",
-            "Paris hotels",
-            "Disneyland",
-            "qwerty",
-            "things to do",
-        ];
+        let queries =
+            ["Denver attractions", "Paris hotels", "Disneyland", "qwerty", "things to do"];
         let counts = ClassCounts::from_queries(queries.iter().copied());
         assert_eq!(counts.total(), 5);
         let sum: f64 = [

@@ -43,10 +43,7 @@ impl ZipfSampler {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let total = *self.cumulative.last().expect("non-empty table");
         let x = rng.gen_range(0.0..total);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
-        {
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
             Ok(i) => i,
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -188,11 +185,8 @@ mod tests {
     #[test]
     fn activity_is_skewed_toward_popular_items() {
         let site = generate_site(&SiteConfig { users: 200, ..SiteConfig::tiny() });
-        let mut in_degrees: Vec<usize> = site
-            .items
-            .iter()
-            .map(|i| site.graph.in_links(*i).count())
-            .collect();
+        let mut in_degrees: Vec<usize> =
+            site.items.iter().map(|i| site.graph.in_links(*i).count()).collect();
         in_degrees.sort_unstable_by(|a, b| b.cmp(a));
         let top_decile: usize = in_degrees.iter().take(in_degrees.len() / 10).sum();
         let total: usize = in_degrees.iter().sum();

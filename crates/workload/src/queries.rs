@@ -82,8 +82,16 @@ pub struct QueryLogGenerator {
 /// Words guaranteed to be outside every vocabulary list, used for
 /// unclassifiable noise queries.
 const NOISE_WORDS: &[&str] = &[
-    "cheap", "flights", "deals", "weather", "currency", "visa", "timezone", "phrasebook",
-    "luggage", "jetlag",
+    "cheap",
+    "flights",
+    "deals",
+    "weather",
+    "currency",
+    "visa",
+    "timezone",
+    "phrasebook",
+    "luggage",
+    "jetlag",
 ];
 
 impl QueryLogGenerator {
@@ -173,10 +181,8 @@ mod tests {
 
     #[test]
     fn generated_log_reproduces_the_mixture_through_the_classifier() {
-        let mut gen = QueryLogGenerator::new(QueryLogConfig {
-            queries: 20_000,
-            ..QueryLogConfig::default()
-        });
+        let mut gen =
+            QueryLogGenerator::new(QueryLogConfig { queries: 20_000, ..QueryLogConfig::default() });
         let log = gen.generate();
         assert_eq!(log.len(), 20_000);
         let counts = ClassCounts::from_queries(log.iter().map(String::as_str));
@@ -205,11 +211,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = QueryLogGenerator::new(QueryLogConfig { queries: 100, ..Default::default() }).generate();
-        let b = QueryLogGenerator::new(QueryLogConfig { queries: 100, ..Default::default() }).generate();
-        assert_eq!(a, b);
-        let c = QueryLogGenerator::new(QueryLogConfig { queries: 100, seed: 5, ..Default::default() })
+        let a = QueryLogGenerator::new(QueryLogConfig { queries: 100, ..Default::default() })
             .generate();
+        let b = QueryLogGenerator::new(QueryLogConfig { queries: 100, ..Default::default() })
+            .generate();
+        assert_eq!(a, b);
+        let c =
+            QueryLogGenerator::new(QueryLogConfig { queries: 100, seed: 5, ..Default::default() })
+                .generate();
         assert_ne!(a, c);
     }
 }

@@ -57,16 +57,10 @@ impl IndexSizingModel {
     /// with its score, in the list of every `(tag, user)` pair that can see
     /// it — `items × avg_tags_per_item × users × tagger_fraction` entries.
     pub fn estimate(&self) -> SizingEstimate {
-        let exact_entries = self.items as f64
-            * self.avg_tags_per_item
-            * self.users as f64
-            * self.tagger_fraction;
+        let exact_entries =
+            self.items as f64 * self.avg_tags_per_item * self.users as f64 * self.tagger_fraction;
         let exact_bytes = exact_entries * self.bytes_per_entry as f64;
-        SizingEstimate {
-            exact_entries,
-            exact_bytes,
-            exact_terabytes: exact_bytes / 1e12,
-        }
+        SizingEstimate { exact_entries, exact_bytes, exact_terabytes: exact_bytes / 1e12 }
     }
 
     /// Estimated entries when users are grouped into `clusters` clusters
@@ -118,8 +112,13 @@ mod tests {
     fn estimate_scales_linearly_in_each_parameter() {
         let base = IndexSizingModel::paper_example();
         let double_users = IndexSizingModel { users: base.users * 2, ..base };
-        assert!((double_users.estimate().exact_entries / base.estimate().exact_entries - 2.0).abs() < 1e-9);
+        assert!(
+            (double_users.estimate().exact_entries / base.estimate().exact_entries - 2.0).abs()
+                < 1e-9
+        );
         let double_items = IndexSizingModel { items: base.items * 2, ..base };
-        assert!((double_items.estimate().exact_bytes / base.estimate().exact_bytes - 2.0).abs() < 1e-9);
+        assert!(
+            (double_items.estimate().exact_bytes / base.estimate().exact_bytes - 2.0).abs() < 1e-9
+        );
     }
 }

@@ -12,9 +12,26 @@ use serde::{Deserialize, Serialize};
 
 /// Location names (cities / regions) recognized by the classifier.
 pub const LOCATIONS: &[&str] = &[
-    "denver", "barcelona", "paris", "london", "tokyo", "sydney", "rome", "cairo", "lima",
-    "toronto", "chicago", "boston", "seattle", "miami", "austin", "orlando", "vancouver",
-    "lisbon", "prague", "vienna",
+    "denver",
+    "barcelona",
+    "paris",
+    "london",
+    "tokyo",
+    "sydney",
+    "rome",
+    "cairo",
+    "lima",
+    "toronto",
+    "chicago",
+    "boston",
+    "seattle",
+    "miami",
+    "austin",
+    "orlando",
+    "vancouver",
+    "lisbon",
+    "prague",
+    "vienna",
 ];
 
 /// Terms marking a *general* query ("things to do", "attraction", …).
@@ -30,9 +47,25 @@ pub const GENERAL_TERMS: &[&str] = &[
 
 /// Terms marking a *categorical* query ("hotel", "family", "historic", …).
 pub const CATEGORICAL_TERMS: &[&str] = &[
-    "hotel", "hotels", "restaurant", "restaurants", "family", "historic", "museum", "museums",
-    "beach", "beaches", "nightlife", "romantic", "budget", "luxury", "hiking", "skiing",
-    "baseball", "kids", "babies",
+    "hotel",
+    "hotels",
+    "restaurant",
+    "restaurants",
+    "family",
+    "historic",
+    "museum",
+    "museums",
+    "beach",
+    "beaches",
+    "nightlife",
+    "romantic",
+    "budget",
+    "luxury",
+    "hiking",
+    "skiing",
+    "baseball",
+    "kids",
+    "babies",
 ];
 
 /// Specific destination names ("Disneyland", "Yosemite Park", …).
@@ -52,9 +85,26 @@ pub const SPECIFIC_DESTINATIONS: &[&str] = &[
 /// Tags used by the activity generator (a superset of the categorical terms
 /// plus a few flavor tags).
 pub const ACTIVITY_TAGS: &[&str] = &[
-    "baseball", "stadium", "museum", "history", "family", "kids", "beach", "hiking", "food",
-    "art", "music", "romantic", "budget", "luxury", "skiing", "architecture", "nightlife",
-    "nature", "photography", "shopping",
+    "baseball",
+    "stadium",
+    "museum",
+    "history",
+    "family",
+    "kids",
+    "beach",
+    "hiking",
+    "food",
+    "art",
+    "music",
+    "romantic",
+    "budget",
+    "luxury",
+    "skiing",
+    "architecture",
+    "nightlife",
+    "nature",
+    "photography",
+    "shopping",
 ];
 
 /// The travel vocabulary bundled for convenience.

@@ -14,9 +14,8 @@ fn main() {
     let selma = b.add_user_with_interests("Selma", &["music"]);
 
     // Her musician friends: plenty of activity, none of it family travel.
-    let musicians: Vec<_> = (0..4)
-        .map(|i| b.add_user_with_interests(&format!("Musician{i}"), &["music"]))
-        .collect();
+    let musicians: Vec<_> =
+        (0..4).map(|i| b.add_user_with_interests(&format!("Musician{i}"), &["music"])).collect();
     let jazz_bar =
         b.add_item_with_keywords("Jamboree Jazz Club", &["destination"], &["barcelona", "music"]);
     for &m in &musicians {
@@ -25,9 +24,8 @@ fn main() {
     }
 
     // Parents who have made similar family trips (the "experts").
-    let parents: Vec<_> = (0..3)
-        .map(|i| b.add_user_with_interests(&format!("Parent{i}"), &["family"]))
-        .collect();
+    let parents: Vec<_> =
+        (0..3).map(|i| b.add_user_with_interests(&format!("Parent{i}"), &["family"])).collect();
     let parc = b.add_item_with_keywords(
         "Parc de la Ciutadella",
         &["destination"],
@@ -50,10 +48,8 @@ fn main() {
     println!("Selma's query: \"Barcelona family trip with babies\"");
     println!("(her musician friends carry no signal for it — expert fallback applies)\n");
     for r in &msg.ranked {
-        let name = graph
-            .node(r.item)
-            .and_then(|n| n.name().map(str::to_string))
-            .unwrap_or_default();
+        let name =
+            graph.node(r.item).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
         println!(
             "  {:<26} combined={:.3} semantic={:.3} social={:.3}",
             name, r.combined, r.semantic, r.social
@@ -61,10 +57,8 @@ fn main() {
     }
 
     let top = msg.ranked.first().expect("results");
-    let top_name = graph
-        .node(top.item)
-        .and_then(|n| n.name().map(str::to_string))
-        .unwrap_or_default();
+    let top_name =
+        graph.node(top.item).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
     println!("\nRecommended first: {top_name}");
     assert!(
         top_name.contains("Parc") || top_name.contains("Aquarium"),

@@ -65,7 +65,10 @@ fn main() {
     let report = ContentAnalyzer::default().analyze(&mut graph);
     println!(
         "Content analysis: {} topics, {} belong links, {} match links, {} rules",
-        report.topics_added, report.belong_links_added, report.match_links_added, report.rules_mined
+        report.topics_added,
+        report.belong_links_added,
+        report.match_links_added,
+        report.rules_mined
     );
 
     // Discovery.
@@ -77,10 +80,7 @@ fn main() {
     let organizer = InformationOrganizer::default();
     let presentations = organizer.best_presentation(&graph, &msg, "keywords");
     for p in &presentations {
-        println!(
-            "\nGrouping {:?}: meaningfulness={:.3}",
-            p.strategy, p.meaningfulness.score
-        );
+        println!("\nGrouping {:?}: meaningfulness={:.3}", p.strategy, p.meaningfulness.score);
         for group in &p.groups {
             let names: Vec<String> = group
                 .items

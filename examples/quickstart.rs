@@ -39,10 +39,8 @@ fn main() {
     let msg = InformationDiscoverer::default().discover(&graph, &query);
     println!("\nResults for \"Denver baseball\" (semantic + social):");
     for r in &msg.ranked {
-        let name = graph
-            .node(r.item)
-            .and_then(|n| n.name().map(str::to_string))
-            .unwrap_or_default();
+        let name =
+            graph.node(r.item).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
         println!(
             "  {:<22} combined={:.3} (semantic={:.3}, social={:.3})",
             name, r.combined, r.semantic, r.social
@@ -57,10 +55,8 @@ fn main() {
         println!("  [{}] {} item(s)", group.label, group.items.len());
         for item in &group.items {
             let expl = aggregate_explanation(&graph, john, *item);
-            let name = graph
-                .node(*item)
-                .and_then(|n| n.name().map(str::to_string))
-                .unwrap_or_default();
+            let name =
+                graph.node(*item).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
             println!("     - {:<22} {}", name, expl.summary);
         }
     }
@@ -69,10 +65,8 @@ fn main() {
     let recs = recommend_for_user(&graph, john, &[], 3);
     println!("\nRecommendations for John:");
     for rec in recs {
-        let name = graph
-            .node(rec.item)
-            .and_then(|n| n.name().map(str::to_string))
-            .unwrap_or_default();
+        let name =
+            graph.node(rec.item).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
         println!("  {:<22} score={:.3} via {}", name, rec.score, rec.strategy);
     }
 }

@@ -17,11 +17,7 @@ fn main() {
     b.befriend(john, mary);
     b.befriend(john, pete);
 
-    let red_rocks = b.add_item_with_keywords(
-        "Red Rocks",
-        &["destination"],
-        &["near", "denver"],
-    );
+    let red_rocks = b.add_item_with_keywords("Red Rocks", &["destination"], &["near", "denver"]);
     let zoo = b.add_item_with_keywords("Denver Zoo", &["destination"], &["near", "denver"]);
     let eiffel = b.add_item_with_keywords("Eiffel Tower", &["destination"], &["paris"]);
 
@@ -77,16 +73,19 @@ fn main() {
     let friends_plan = PlanBuilder::base()
         .semi_join(&john_sel, DirectionalCondition::src_src())
         .link_select(Condition::on_attr("type", "friend"));
-    let near_plan = PlanBuilder::base().node_select(
-        Condition::on_attr("type", "destination").and_keywords(["near", "denver"]),
-    );
+    let near_plan = PlanBuilder::base()
+        .node_select(Condition::on_attr("type", "destination").and_keywords(["near", "denver"]));
     let visits_plan = PlanBuilder::base()
         .semi_join(&near_plan, DirectionalCondition::tgt_src())
         .link_select(Condition::on_attr("type", "visit"));
     let plan = friends_plan.semi_join(&visits_plan, DirectionalCondition::tgt_src()).build();
 
     let (optimized, report) = Optimizer::new().optimize(&plan);
-    println!("\nLogical plan ({} operators, {} after optimization):", plan.size(), optimized.size());
+    println!(
+        "\nLogical plan ({} operators, {} after optimization):",
+        plan.size(),
+        optimized.size()
+    );
     println!("{}", optimized.explain());
     println!("Optimizer rules applied: {:?}", report.rules_applied);
 

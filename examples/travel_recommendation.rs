@@ -56,10 +56,8 @@ fn main() {
         .discover(&graph, &UserQuery::keywords_for(john, "Denver attractions"));
     println!("Example 1 — \"Denver attractions\" for John:");
     for r in &msg.ranked {
-        let name = graph
-            .node(r.item)
-            .and_then(|n| n.name().map(str::to_string))
-            .unwrap_or_default();
+        let name =
+            graph.node(r.item).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
         println!(
             "  {:<26} combined={:.3} semantic={:.3} social={:.3}",
             name, r.combined, r.semantic, r.social
@@ -70,10 +68,8 @@ fn main() {
     let recs = collaborative_filtering(&graph, john, &CfConfig::default());
     println!("\nExample 5 — collaborative filtering for John:");
     for rec in &recs {
-        let name = graph
-            .node(rec.item)
-            .and_then(|n| n.name().map(str::to_string))
-            .unwrap_or_default();
+        let name =
+            graph.node(rec.item).and_then(|n| n.name().map(str::to_string)).unwrap_or_default();
         println!("  {:<26} score={:.3}", name, rec.score);
     }
     assert!(

@@ -37,11 +37,8 @@ fn example5_cf_scores_are_bounded_and_exclude_visited() {
     let g = &site.graph;
     let user = site.users[1];
     let recs = collaborative_filtering(g, user, &CfConfig::default());
-    let visited: Vec<_> = g
-        .out_links(user)
-        .filter(|l| l.has_type("visit"))
-        .map(|l| l.tgt)
-        .collect();
+    let visited: Vec<_> =
+        g.out_links(user).filter(|l| l.has_type("visit")).map(|l| l.tgt).collect();
     for rec in &recs {
         assert!(rec.score > 0.0 && rec.score <= 1.0, "score {}", rec.score);
         assert!(!visited.contains(&rec.item));

@@ -4,9 +4,7 @@
 
 use socialscope::content::models::all_models;
 use socialscope::content::topk::top_k_exhaustive;
-use socialscope::content::{
-    ClusteredIndex, ControlLevel, SimulatedRemoteSite,
-};
+use socialscope::content::{ClusteredIndex, ControlLevel, SimulatedRemoteSite};
 use socialscope::prelude::*;
 
 #[test]
@@ -28,8 +26,9 @@ fn clustered_indexes_trade_space_for_exact_computations_on_generated_sites() {
         let exact_res = exact.query(user, &keywords, 5);
         let clustered_res = clustered.query(&model, user, &keywords, 5);
         let oracle = top_k_exhaustive(model.items(), 5, |i| model.query_score(i, user, &keywords));
-        let positives =
-            |v: &[(NodeId, f64)]| v.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect::<Vec<_>>();
+        let positives = |v: &[(NodeId, f64)]| {
+            v.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect::<Vec<_>>()
+        };
         assert_eq!(positives(&exact_res.ranked), positives(&oracle.ranked));
         assert_eq!(positives(&clustered_res.result.ranked), positives(&oracle.ranked));
     }

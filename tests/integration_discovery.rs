@@ -19,10 +19,7 @@ fn analysis_then_discovery_end_to_end() {
         assert!(graph.node(r.item).unwrap().has_type("item"));
         assert!(r.combined > 0.0);
     }
-    assert!(msg
-        .ranked
-        .windows(2)
-        .all(|w| w[0].combined >= w[1].combined));
+    assert!(msg.ranked.windows(2).all(|w| w[0].combined >= w[1].combined));
     // The provenance graph only contains nodes/links of the site.
     for n in msg.graph.nodes() {
         assert!(graph.has_node(n.id));

@@ -38,11 +38,8 @@ fn full_stack_flow_is_consistent() {
     // 5. Recommendations for the same user never include items the user
     //    already visited.
     let recs = recommend_for_user(&graph, user, &["baseball".to_string()], 10);
-    let visited: Vec<NodeId> = graph
-        .out_links(user)
-        .filter(|l| l.has_type("visit"))
-        .map(|l| l.tgt)
-        .collect();
+    let visited: Vec<NodeId> =
+        graph.out_links(user).filter(|l| l.has_type("visit")).map(|l| l.tgt).collect();
     for rec in &recs {
         if rec.strategy == "algebra_cf" {
             assert!(!visited.contains(&rec.item));

@@ -46,11 +46,8 @@ fn organizer_ranks_groups_and_respects_screen_budget() {
         assert!(p.groups.len() <= 3);
         for g in &p.groups {
             // Within-group ranking is by combined relevance.
-            let scores: Vec<f64> = g
-                .items
-                .iter()
-                .map(|i| msg.score_of(*i).unwrap_or(0.0))
-                .collect();
+            let scores: Vec<f64> =
+                g.items.iter().map(|i| msg.score_of(*i).unwrap_or(0.0)).collect();
             assert!(scores.windows(2).all(|w| w[0] >= w[1]));
         }
     }
@@ -72,12 +69,8 @@ fn explanations_cover_every_recommended_item() {
         // Every explanation renders a human-readable summary, and the
         // aggregate percentage is within [0, 100].
         assert!(!expl.summary.is_empty());
-        let percent: f64 = agg
-            .summary
-            .split('%')
-            .next()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0.0);
+        let percent: f64 =
+            agg.summary.split('%').next().and_then(|s| s.parse().ok()).unwrap_or(0.0);
         assert!((0.0..=100.0).contains(&percent));
     }
 }

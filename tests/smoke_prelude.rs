@@ -1,0 +1,73 @@
+//! Workspace smoke test: the facade's public surface must stay importable.
+//!
+//! Future refactors can move items between layer crates freely, but
+//! `socialscope::prelude` is the documented entry point — if one of these
+//! names stops resolving or changes its call shape, this test fails to
+//! compile, which is the point.
+
+use socialscope::prelude::*;
+
+/// A tiny two-user site every assertion below can share.
+fn tiny_site() -> (SocialGraph, NodeId, NodeId) {
+    let mut b = GraphBuilder::new();
+    let john = b.add_user_with_interests("John", &["baseball"]);
+    let friend = b.add_user("Friend");
+    let coors = b.add_item_with_keywords("Coors Field", &["destination"], &["denver", "baseball"]);
+    b.befriend(john, friend);
+    b.visit(friend, coors);
+    b.tag(friend, coors, &["baseball"]);
+    (b.build(), john, coors)
+}
+
+#[test]
+fn prelude_exposes_graph_building() {
+    let (graph, _, coors) = tiny_site();
+    assert_eq!(graph.node_count(), 3);
+    assert!(graph.has_node(coors));
+    let _stats: GraphStats = GraphStats::compute(&graph);
+}
+
+#[test]
+fn prelude_exposes_algebra_plans_and_optimizer() {
+    let (graph, john, _) = tiny_site();
+
+    // Operators are callable directly...
+    let friends = link_select(&graph, &Condition::on_attr("type", "friend"), None);
+    assert!(friends.link_count() > 0);
+
+    // ...and through the plan/evaluator/optimizer entry points.
+    let plan = PlanBuilder::base().link_select(Condition::on_attr("type", "friend")).build();
+    let (optimized, _report) = Optimizer::new().optimize(&plan);
+    let by_plan = Evaluator::new(&graph).evaluate(&optimized).expect("plan evaluates");
+    assert_eq!(by_plan.link_count(), friends.link_count());
+
+    let _ = john;
+}
+
+#[test]
+fn prelude_exposes_discovery_and_topk() {
+    let (graph, john, coors) = tiny_site();
+
+    let msg = InformationDiscoverer::default()
+        .discover(&graph, &UserQuery::keywords_for(john, "Denver baseball"));
+    assert_eq!(msg.ranked[0].item, coors);
+
+    // Top-k processing over the content layer's site model.
+    let model = SiteModel::from_graph(&graph);
+    let index = ExactIndex::build(&model);
+    let result = index.query(john, &["baseball".to_string()], 1);
+    assert_eq!(result.ranked.len(), 1);
+}
+
+#[test]
+fn prelude_exposes_presentation_and_workload() {
+    let (graph, john, _) = tiny_site();
+    let msg = InformationDiscoverer::default()
+        .discover(&graph, &UserQuery::keywords_for(john, "baseball"));
+    let organized =
+        InformationOrganizer::default().organize(&graph, &msg, GroupingStrategy::Topical);
+    assert!(!organized.groups.is_empty());
+
+    let site = generate_site(&SiteConfig { users: 10, items: 20, ..SiteConfig::default() });
+    assert!(site.graph.node_count() >= 30);
+}

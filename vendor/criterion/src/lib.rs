@@ -1,0 +1,204 @@
+//! Offline minimal stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API the SocialScope benches use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, bench_with_input, finish}`, `Bencher::iter`,
+//! `BenchmarkId::new`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple median-of-samples timer instead
+//! of criterion's statistical machinery. Output is one line per benchmark:
+//!
+//! ```text
+//! topk_processing/exact_index_ta/5        median   83.412 µs/iter (11 samples x 60 iters)
+//! ```
+//!
+//! There is no outlier analysis, no HTML report and no saved baselines; swap
+//! `[workspace.dependencies] criterion` to crates.io when those matter.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// The benchmark manager. Mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 11 }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, 11, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration. Mirrors
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark identified by `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, D: ?Sized, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &D),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group. (The real criterion emits summary statistics here.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+/// Mirrors `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Identify a benchmark by parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.function, p),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+/// The timing harness handed to benchmark closures. Mirrors
+/// `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`, keeping results out of the
+    /// optimizer's reach.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrate an iteration count, collect `sample_size` samples, print the
+/// median time per iteration.
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Calibration pass: one iteration, to size the per-sample batch.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            bencher.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{label:<55} median {}/iter ({sample_size} samples x {iters} iters)", human(median));
+}
+
+/// Render a duration in seconds with an appropriate unit.
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group. Mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs benchmark groups. Mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,66 @@
+//! Collection strategies. Mirrors `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec`s whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeSet`s whose size is drawn from `size`.
+///
+/// Duplicates drawn from the element strategy collapse, so the resulting set
+/// may be smaller than the drawn size; generation retries a bounded number of
+/// times to reach the lower bound.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.start, self.size.end);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// The result of [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.usize_in(self.size.start, self.size.end);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 20 + 20 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

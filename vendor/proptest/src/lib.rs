@@ -1,0 +1,96 @@
+//! Offline minimal stand-in for `proptest`.
+//!
+//! Implements the subset the SocialScope property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range / tuple /
+//! string-pattern strategies, `prop::collection::{vec, btree_set}`,
+//! `Strategy::prop_map`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * inputs are drawn from a deterministic per-test generator (seeded from
+//!   the test name), so runs are reproducible but do not explore new seeds
+//!   across invocations;
+//! * there is **no shrinking** — a failing case reports the raw inputs;
+//! * string strategies accept only the `[a-z]`/`[a-z0-9]`-class,
+//!   `{m,n}`-quantified regex shapes the tests use, and fall back to short
+//!   lowercase strings for anything fancier.
+//!
+//! Swap `[workspace.dependencies] proptest` to crates.io for full shrinking
+//! and persistence support; test code is source-compatible.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a function
+/// that draws inputs from the strategies `config.cases` times and runs the
+/// body on each draw. As with the real macro, attributes on the item —
+/// including the `#[test]` that makes it a test — are written inside the
+/// macro invocation and re-emitted verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($arg in $strategy),+ ) $body )*
+        }
+    };
+}
+
+/// Assert a condition inside a property test. Mirrors `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test. Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test. Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

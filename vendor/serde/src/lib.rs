@@ -1,0 +1,24 @@
+//! Offline API-surface stand-in for `serde`.
+//!
+//! SocialScope's types import `serde::{Deserialize, Serialize}` and derive
+//! both, but nothing in the tree serializes yet, so the traits only need to
+//! exist by name. The derive macros (re-exported from the sibling
+//! `serde_derive` shim) expand to nothing. When a serialization backend is
+//! added, retarget `[workspace.dependencies] serde` at crates.io — member
+//! crates import the same paths either way.
+
+/// Marker trait mirroring `serde::Serialize`'s name and path.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`'s name and path.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

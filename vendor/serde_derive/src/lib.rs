@@ -1,0 +1,25 @@
+//! Offline no-op stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace builds in environments without network access, so the real
+//! crates.io dependency graph is unavailable. SocialScope only *derives*
+//! `Serialize` / `Deserialize` on its public types (there is no serializer in
+//! the tree yet), so empty derive expansions are sufficient: the attribute
+//! compiles away and the types stay exactly as written. When a real
+//! serialization backend lands, point `[workspace.dependencies] serde` at
+//! crates.io and delete this shim.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts the same helper attribute surface as
+/// the real macro and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts the same helper attribute surface
+/// as the real macro and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

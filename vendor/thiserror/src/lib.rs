@@ -1,0 +1,9 @@
+//! Offline API-surface stand-in for `thiserror`.
+//!
+//! Re-exports a no-op `Error` derive so `use thiserror::Error;` +
+//! `#[derive(Error)]` compile in offline builds. The workspace's error types
+//! implement `Display`/`std::error::Error` by hand today; this shim exists so
+//! the workspace dependency entry required by the roadmap is wired and
+//! swappable for the real crate without touching member manifests.
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,15 @@
+//! Offline no-op stand-in for the `thiserror-impl` proc-macro crate.
+//!
+//! The SocialScope error enums currently implement `Display` and
+//! `std::error::Error` by hand, so `#[derive(Error)]` only has to parse and
+//! vanish. Swap `[workspace.dependencies] thiserror` to crates.io when the
+//! hand-written impls should be replaced by generated ones.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Error)]`: accepts `#[error(...)]`, `#[from]` and
+/// `#[source]` helper attributes and expands to nothing.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
