@@ -7,7 +7,14 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig2`, `sizing`, `clustering`,
-//! `algebra`, `presentation`, `all`.
+//! `algebra`, `presentation`, `all`, and `topk` — the E8 top-k sweep that
+//! measures wall time and cost counters at a fixed seed and emits
+//! `BENCH_topk.json` (see the README "Performance" section):
+//!
+//! ```text
+//! cargo run -p socialscope_bench --release --bin experiments -- topk \
+//!     --scale 200 --out BENCH_topk.json [--baseline before.json]
+//! ```
 
 use socialscope_algebra::prelude::*;
 use socialscope_bench::{site_at_scale, site_with_matches, standard_keywords};
@@ -26,8 +33,9 @@ use socialscope_workload::{
 use std::time::Instant;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match which.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    match which {
         "table1" => table1(),
         "table2" => table2(),
         "fig2" => fig2(),
@@ -35,6 +43,7 @@ fn main() {
         "clustering" => clustering(),
         "algebra" => algebra(),
         "presentation" => presentation(),
+        "topk" => topk_sweep(&args[1..]),
         "all" => {
             table1();
             table2();
@@ -47,7 +56,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "expected: table1 | table2 | fig2 | sizing | clustering | algebra | presentation | all"
+                "expected: table1 | table2 | fig2 | sizing | clustering | algebra | presentation | topk | all"
             );
             std::process::exit(2);
         }
@@ -377,4 +386,194 @@ fn presentation() {
         "\nexplanation coverage: {covered}/{} of the top results have a social provenance explanation",
         msg.ranked.len().min(10)
     );
+}
+
+/// Pull the `wall_ms` of an engine × k row out of a run object previously
+/// emitted by this tool (the format is ours, so plain string surgery is
+/// reliable and keeps the binary free of a JSON-parser dependency).
+fn extract_wall(run_json: &str, engine: &str, k: usize) -> Option<f64> {
+    let needle = format!("\"engine\":\"{engine}\",\"k\":{k},\"wall_ms\":");
+    let rest = &run_json[run_json.find(&needle)? + needle.len()..];
+    rest[..rest.find(',')?].parse().ok()
+}
+
+/// A named top-k engine under measurement.
+type TopkEngine<'a> =
+    (&'static str, Box<dyn Fn(socialscope_graph::NodeId) -> socialscope_content::TopKResult + 'a>);
+
+/// One measured engine × k configuration of the E8 sweep.
+struct TopkRow {
+    engine: &'static str,
+    k: usize,
+    wall_ms: f64,
+    sorted_accesses: usize,
+    exact_computations: usize,
+    early_terminations: usize,
+}
+
+impl TopkRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\":\"{}\",\"k\":{},\"wall_ms\":{:.3},\"sorted_accesses\":{},\"exact_computations\":{},\"early_terminations\":{}}}",
+            self.engine,
+            self.k,
+            self.wall_ms,
+            self.sorted_accesses,
+            self.exact_computations,
+            self.early_terminations
+        )
+    }
+}
+
+/// E8 — top-k pruning sweep at a fixed seed: wall time plus the
+/// `sorted_accesses` / `exact_computations` cost counters for the
+/// exhaustive baseline, the exact per-`(tag, user)` index and the
+/// clustered (upper-bound) index. Emits a JSON run object; with
+/// `--baseline <file>` the prior run is embedded verbatim as `before`.
+fn topk_sweep(args: &[String]) {
+    let mut scale = 200usize;
+    let mut probe_users = 20usize;
+    let mut reps = 50usize;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => scale = value("--scale").parse().expect("--scale takes a number"),
+            "--users" => probe_users = value("--users").parse().expect("--users takes a number"),
+            "--reps" => reps = value("--reps").parse().expect("--reps takes a number"),
+            "--out" => out = Some(value("--out").clone()),
+            "--baseline" => baseline = Some(value("--baseline").clone()),
+            other => {
+                eprintln!("unknown topk flag `{other}` (expected --scale/--users/--reps/--out/--baseline)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    heading(&format!(
+        "E8 / §6.2 — Top-k sweep at scale {scale} ({probe_users} users × {reps} reps)"
+    ));
+    let site = site_at_scale(scale);
+    let model = SiteModel::from_graph(&site.graph);
+    let keywords = standard_keywords();
+    let exact = ExactIndex::build(&model);
+    let clustered = ClusteredIndex::build(&model, NetworkBasedClustering.cluster(&model, 0.3));
+    let users: Vec<_> = site.users.iter().copied().take(probe_users).collect();
+
+    let mut rows: Vec<TopkRow> = Vec::new();
+    for &k in &[5usize, 20] {
+        let engines: Vec<TopkEngine<'_>> = vec![
+            (
+                "exhaustive_baseline",
+                Box::new(|u| {
+                    socialscope_content::topk::top_k_exhaustive(model.items(), k, |i| {
+                        model.query_score(i, u, &keywords)
+                    })
+                }),
+            ),
+            ("exact_index_ta", Box::new(|u| exact.query(u, &keywords, k))),
+            ("clustered_index_ta", Box::new(|u| clustered.query(&model, u, &keywords, k).result)),
+        ];
+        for (name, run) in engines {
+            let (mut sa, mut ec, mut et) = (0usize, 0usize, 0usize);
+            for &u in &users {
+                let r = run(u);
+                sa += r.sorted_accesses;
+                ec += r.exact_computations;
+                et += r.early_terminated as usize;
+            }
+            // Best-of-three total wall time over `reps` repetitions of the
+            // whole probe-user set, to damp scheduler noise.
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                for _ in 0..reps {
+                    for &u in &users {
+                        std::hint::black_box(run(u).ranked.len());
+                    }
+                }
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            println!(
+                "{name:<22} k={k:<3} wall {best:>9.3} ms   sorted {sa:>7}   exact {ec:>6}   early {et:>3}"
+            );
+            rows.push(TopkRow {
+                engine: name,
+                k,
+                wall_ms: best,
+                sorted_accesses: sa,
+                exact_computations: ec,
+                early_terminations: et,
+            });
+        }
+    }
+
+    let run_json = format!(
+        "{{\"experiment\":\"E8_topk_sweep\",\"seed\":7,\"scale\":{scale},\"probe_users\":{},\"repetitions\":{reps},\"keywords\":[{}],\"engines\":[{}]}}",
+        users.len(),
+        keywords.iter().map(|k| format!("\"{k}\"")).collect::<Vec<_>>().join(","),
+        rows.iter().map(TopkRow::to_json).collect::<Vec<_>>().join(",")
+    );
+    let before = match baseline {
+        Some(path) => {
+            let doc = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            let doc = doc.trim();
+            // A baseline is either a bare run object or a prior
+            // before/after document. For the latter, keep its original
+            // `before` run when it has one — regenerating over the
+            // committed file refreshes `after` without losing the seed
+            // baseline (and without ever comparing the engine to itself);
+            // a document with a null `before` contributes its `after`.
+            match doc.strip_prefix("{\"before\":").and_then(|rest| rest.split_once(",\"after\":")) {
+                Some((original_before, _)) if original_before != "null" => {
+                    original_before.to_string()
+                }
+                Some((_, after)) => match after.split_once(",\"speedup\":") {
+                    Some((run, _)) => run.to_string(),
+                    None => after.trim_end_matches('}').to_string(),
+                },
+                None => doc.to_string(),
+            }
+        }
+        None => "null".to_string(),
+    };
+    // With a baseline in hand, derive per-engine speedups (before / after
+    // wall time, per k and total) directly into the document.
+    let speedup = if before == "null" {
+        "null".to_string()
+    } else {
+        let mut parts = Vec::new();
+        for engine in ["exhaustive_baseline", "exact_index_ta", "clustered_index_ta"] {
+            let mut per_k = Vec::new();
+            let (mut total_before, mut total_after) = (0.0f64, 0.0f64);
+            for row in rows.iter().filter(|r| r.engine == engine) {
+                if let Some(bw) = extract_wall(&before, engine, row.k) {
+                    total_before += bw;
+                    total_after += row.wall_ms;
+                    per_k.push(format!("\"k{}\":{:.2}", row.k, bw / row.wall_ms));
+                }
+            }
+            if !per_k.is_empty() {
+                per_k.push(format!("\"total\":{:.2}", total_before / total_after));
+                parts.push(format!("\"{engine}\":{{{}}}", per_k.join(",")));
+            }
+        }
+        format!("{{{}}}", parts.join(","))
+    };
+    let json = format!("{{\"before\":{before},\"after\":{run_json},\"speedup\":{speedup}}}\n");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("\nwrote {path}");
+        }
+        None => println!("\n{json}"),
+    }
 }

@@ -1,0 +1,53 @@
+//! Fixed-seed counter regression: pins the `sorted_accesses` /
+//! `exact_computations` totals of the canonical E8 workload (scale 200,
+//! 20 probe users, the standard keywords, k ∈ {5, 20}) so a future change
+//! to the query path cannot silently degrade pruning. The pinned values
+//! are the current engine's — already below the seed implementation's
+//! (286/252 and 315/280 exact-index; 513/444 and 558/477 clustered) —
+//! so any regression past the seed, or any loss of the tightened-threshold
+//! gains, fails loudly.
+
+use socialscope_bench::{site_at_scale, standard_keywords};
+use socialscope_content::{
+    ClusteredIndex, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel,
+};
+
+#[test]
+fn e8_counters_are_pinned_at_scale_200() {
+    let site = site_at_scale(200);
+    let model = SiteModel::from_graph(&site.graph);
+    let keywords = standard_keywords();
+    let exact = ExactIndex::build(&model);
+    let clustered = ClusteredIndex::build(&model, NetworkBasedClustering.cluster(&model, 0.3));
+    let users: Vec<_> = site.users.iter().copied().take(20).collect();
+
+    let mut observed: Vec<(&str, usize, usize, usize)> = Vec::new();
+    for &k in &[5usize, 20] {
+        let (mut sa, mut ec) = (0usize, 0usize);
+        for &u in &users {
+            let r = exact.query(u, &keywords, k);
+            sa += r.sorted_accesses;
+            ec += r.exact_computations;
+        }
+        observed.push(("exact_index_ta", k, sa, ec));
+        let (mut sa, mut ec) = (0usize, 0usize);
+        for &u in &users {
+            let r = clustered.query(&model, u, &keywords, k).result;
+            sa += r.sorted_accesses;
+            ec += r.exact_computations;
+        }
+        observed.push(("clustered_index_ta", k, sa, ec));
+    }
+
+    let pinned: Vec<(&str, usize, usize, usize)> = vec![
+        ("exact_index_ta", 5, 271, 237),
+        ("clustered_index_ta", 5, 492, 423),
+        ("exact_index_ta", 20, 315, 280),
+        ("clustered_index_ta", 20, 558, 477),
+    ];
+    assert_eq!(
+        observed, pinned,
+        "E8 counters moved; if pruning genuinely improved, update the pins \
+         (and BENCH_topk.json) — never past the seed values in the module doc"
+    );
+}

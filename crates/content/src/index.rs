@@ -8,6 +8,11 @@
 //!   exact scores must be recomputed at query time for the candidates the
 //!   bounds surface.
 //!
+//! Both intern tags through a [`TagInterner`] and key their lists on
+//! `(TagId, …)`, so building clones each distinct tag once and lookups
+//! hash two integers instead of a string (and allocate nothing — the
+//! `to_lowercase()` normalization happens at intern time).
+//!
 //! Both expose the same query interface returning a
 //! [`crate::topk::TopKResult`] with cost counters, which is what experiment
 //! E5 sweeps across clustering strategies and thresholds θ.
@@ -15,9 +20,10 @@
 use crate::cluster::{ClusterId, UserClustering};
 use crate::posting::{PostingList, BYTES_PER_ENTRY};
 use crate::sitemodel::SiteModel;
-use crate::topk::{top_k, TopKResult};
+use crate::tags::{TagId, TagInterner};
+use crate::topk::{top_k, top_k_hinted, TopKResult};
 use serde::{Deserialize, Serialize};
-use socialscope_graph::{FxHashMap, NodeId};
+use socialscope_graph::{FxBuildHasher, FxHashMap, NodeId};
 use std::collections::BTreeSet;
 
 /// Space statistics of an index.
@@ -31,64 +37,225 @@ pub struct IndexStats {
     pub bytes: usize,
 }
 
-/// The exact per-`(tag, user)` index.
+fn stats_of<K>(lists: &FxHashMap<K, PostingList>) -> IndexStats {
+    let entries = lists.values().map(PostingList::len).sum();
+    IndexStats { lists: lists.len(), entries, bytes: entries * BYTES_PER_ENTRY }
+}
+
+/// Stack buffer for the per-keyword lists of one query: queries rarely carry
+/// more than a handful of keywords, so gathering their lists should not
+/// touch the heap.
+const INLINE_KEYWORDS: usize = 8;
+
+/// Lists at most this long answer random accesses by scanning their (cache-
+/// warm) sorted entries; longer ones bisect the item-ordered companion.
+const SCAN_ENTRIES_MAX: usize = 16;
+
+/// Find a tag's list in a user's tag-sorted vector. Users rarely hold more
+/// than a handful of tags, so a linear scan wins over bisection.
+fn find_tag(by_tag: &[(TagId, PostingList)], tag: TagId) -> Option<&PostingList> {
+    by_tag.iter().find(|(t, _)| *t == tag).map(|(_, l)| l)
+}
+static EMPTY_LIST: PostingList = PostingList::new();
+
+struct QueryLists<'a> {
+    inline: [&'a PostingList; INLINE_KEYWORDS],
+    len: usize,
+    spill: Vec<&'a PostingList>,
+}
+
+impl<'a> QueryLists<'a> {
+    fn gather(found: impl Iterator<Item = &'a PostingList>) -> Self {
+        let mut lists =
+            QueryLists { inline: [&EMPTY_LIST; INLINE_KEYWORDS], len: 0, spill: Vec::new() };
+        for list in found {
+            if !lists.spill.is_empty() {
+                lists.spill.push(list);
+            } else if lists.len < INLINE_KEYWORDS {
+                lists.inline[lists.len] = list;
+                lists.len += 1;
+            } else {
+                lists.spill.extend_from_slice(&lists.inline);
+                lists.spill.push(list);
+            }
+        }
+        lists
+    }
+
+    fn as_slice(&self) -> &[&'a PostingList] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+/// Accumulate the per-user exact scores of one `(item, tag)` assignment
+/// group into `per_user` (cleared first): every user whose network contains
+/// a tagger gains +1 per such tagger.
+fn accumulate_per_user(
+    site: &SiteModel,
+    taggers: &[NodeId],
+    per_user: &mut FxHashMap<NodeId, f64>,
+) {
+    per_user.clear();
+    for &tagger in taggers {
+        for &user in site.network_of(tagger) {
+            *per_user.entry(user).or_default() += 1.0;
+        }
+    }
+}
+
+/// The exact per-`(tag, user)` index. Lists are grouped user-first: a
+/// query resolves its user once in the big outer table, then each keyword
+/// scans the user's small tag-sorted vector — one or two cache lines
+/// instead of a hash probe per keyword.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ExactIndex {
-    lists: FxHashMap<(String, NodeId), PostingList>,
+    tags: TagInterner,
+    lists: FxHashMap<NodeId, Vec<(TagId, PostingList)>>,
 }
 
 impl ExactIndex {
     /// Build the index from a site model: an entry `(k, u) → (i, s)` exists
     /// for every item `i` with non-zero score `s = score_k(i, u)`.
+    ///
+    /// Each `(item, tag)` assignment group is accumulated exactly once into
+    /// a reused per-user scratch map, then scattered into the per-
+    /// `(tag, user)` lists — no per-pair probing of the site's cross
+    /// product, and no tag cloning beyond the one interning.
     pub fn build(site: &SiteModel) -> Self {
-        // Accumulate scores: for every tag assignment (tagger t, item i,
-        // tag k), every user u with t in network(u) gains +1 on (k, u, i).
-        let mut scores: FxHashMap<(String, NodeId), FxHashMap<NodeId, f64>> = FxHashMap::default();
-        for item in site.items() {
-            for tag in site.tags() {
-                let taggers = site.taggers_of(item, tag);
-                if taggers.is_empty() {
-                    continue;
-                }
-                for &tagger in taggers {
-                    for &user in site.network_of(tagger) {
-                        *scores
-                            .entry((tag.to_string(), user))
-                            .or_default()
-                            .entry(item)
-                            .or_default() += 1.0;
-                    }
-                }
+        /// Build-time accumulator: user → tag → item → score.
+        type ScoreAcc = FxHashMap<NodeId, FxHashMap<TagId, FxHashMap<NodeId, f64>>>;
+        let mut tags = TagInterner::new();
+        let mut lists: ScoreAcc =
+            FxHashMap::with_capacity_and_hasher(site.user_count(), FxBuildHasher::default());
+        let mut per_user: FxHashMap<NodeId, f64> =
+            FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default());
+        for (item, tag, taggers) in site.tag_assignments() {
+            let tag = tags.intern(tag);
+            accumulate_per_user(site, taggers, &mut per_user);
+            for (&user, &score) in &per_user {
+                lists
+                    .entry(user)
+                    .or_insert_with(|| {
+                        FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
+                    })
+                    .entry(tag)
+                    .or_insert_with(|| {
+                        FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
+                    })
+                    .insert(item, score);
             }
         }
-        let lists = scores
+        let lists = lists
             .into_iter()
-            .map(|(key, items)| (key, PostingList::from_entries(items)))
+            .map(|(user, by_tag)| {
+                let mut by_tag: Vec<(TagId, PostingList)> = by_tag
+                    .into_iter()
+                    .map(|(tag, items)| (tag, PostingList::from_entries(items)))
+                    .collect();
+                by_tag.sort_unstable_by_key(|(tag, _)| *tag);
+                (user, by_tag)
+            })
             .collect();
-        ExactIndex { lists }
+        ExactIndex { tags, lists }
+    }
+
+    /// The tag symbol table the index is keyed on.
+    pub fn tags(&self) -> &TagInterner {
+        &self.tags
     }
 
     /// The list for a `(tag, user)` pair, if any item scores above zero.
+    /// Allocation-free when the probe tag is already lowercase.
     pub fn list(&self, tag: &str, user: NodeId) -> Option<&PostingList> {
-        self.lists.get(&(tag.to_lowercase(), user))
+        self.list_by_id(self.tags.get(tag)?, user)
+    }
+
+    /// The list for an interned `(tag, user)` pair.
+    pub fn list_by_id(&self, tag: TagId, user: NodeId) -> Option<&PostingList> {
+        find_tag(self.lists.get(&user)?, tag)
     }
 
     /// Space statistics.
     pub fn stats(&self) -> IndexStats {
-        let entries = self.lists.values().map(PostingList::len).sum();
-        IndexStats { lists: self.lists.len(), entries, bytes: entries * BYTES_PER_ENTRY }
+        let entries: usize = self.lists.values().flat_map(|m| m.iter()).map(|(_, l)| l.len()).sum();
+        let lists: usize = self.lists.values().map(Vec::len).sum();
+        IndexStats { lists, entries, bytes: entries * BYTES_PER_ENTRY }
     }
 
     /// Top-k query for a user: merge the user's per-keyword lists; the
     /// stored scores are exact, so the total score of a candidate is the sum
     /// of its stored scores across the query's lists.
     pub fn query(&self, user: NodeId, keywords: &[String], k: usize) -> TopKResult {
-        let empty = PostingList::new();
-        let lists: Vec<&PostingList> =
-            keywords.iter().map(|kw| self.list(kw, user).unwrap_or(&empty)).collect();
-        let exact =
-            |item: NodeId| lists.iter().map(|l| l.score_of(item).unwrap_or(0.0)).sum::<f64>();
-        top_k(&lists, k, exact)
+        // One probe of the big user table; per-keyword lookups then scan
+        // the user's small tag vector.
+        let by_tag = self.lists.get(&user);
+        let lists = QueryLists::gather(
+            keywords.iter().filter_map(|kw| find_tag(by_tag?, self.tags.get(kw.as_str())?)),
+        );
+        let lists = lists.as_slice();
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        if total < k {
+            return Self::merge_scan(lists, total);
+        }
+        // Stored scores are exact, so a candidate's total is the sum of its
+        // stored scores; the score in the discovering list arrives as the
+        // sorted-access hint, leaving one random access per *other* list.
+        // (Summation order puts the hinted score first — indistinguishable
+        // for the integral count scores of the paper's model.)
+        let exact = |item: NodeId, found_in: usize, stored: f64| {
+            let mut total = stored;
+            for (li, list) in lists.iter().enumerate() {
+                if li != found_in {
+                    let entries = list.entries();
+                    if entries.len() <= SCAN_ENTRIES_MAX {
+                        // Short list: scan the entries the sorted accesses
+                        // just pulled through the cache, with no early exit
+                        // to mispredict.
+                        for p in entries {
+                            total += if p.item == item { p.score } else { 0.0 };
+                        }
+                    } else if let Some(s) = list.score_of(item) {
+                        total += s;
+                    }
+                }
+            }
+            total
+        };
+        top_k_hinted(lists, k, exact)
+    }
+
+    /// Degenerate top-k where the lists hold fewer than k entries: every
+    /// entry is sorted-accessed, no candidate can be evicted and the
+    /// threshold can never fire early (the buffer never fills), so the
+    /// per-item sums can be accumulated in one merge over the lists —
+    /// counters and ranking come out exactly as threshold processing would
+    /// produce, with zero random accesses.
+    fn merge_scan(lists: &[&PostingList], total: usize) -> TopKResult {
+        let mut items: Vec<(NodeId, f64)> = Vec::with_capacity(total);
+        let mut sorted_accesses = 0usize;
+        if let Some((first, rest)) = lists.split_first() {
+            // Items within one list are distinct: the first list bulk-loads.
+            items.extend(first.entries().iter().map(|p| (p.item, p.score)));
+            sorted_accesses += first.len();
+            for list in rest {
+                for p in list.entries() {
+                    sorted_accesses += 1;
+                    // Contributions arrive in list order, matching the
+                    // order the per-candidate summation would add them in.
+                    match items.iter_mut().find(|(i, _)| *i == p.item) {
+                        Some((_, s)) => *s += p.score,
+                        None => items.push((p.item, p.score)),
+                    }
+                }
+            }
+        }
+        items.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let exact_computations = items.len();
+        TopKResult::from_parts(items, sorted_accesses, exact_computations, false)
     }
 }
 
@@ -96,7 +263,8 @@ impl ExactIndex {
 /// bounds (Eq. 1).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusteredIndex {
-    lists: FxHashMap<(String, ClusterId), PostingList>,
+    tags: TagInterner,
+    lists: FxHashMap<(TagId, ClusterId), PostingList>,
     /// The clustering the index was built for.
     pub clustering: UserClustering,
 }
@@ -117,33 +285,31 @@ impl ClusteredIndex {
     /// Build the clustered index for a given clustering: the bound stored
     /// for `(k, C, i)` is `max_{u ∈ C} score_k(i, u)`.
     pub fn build(site: &SiteModel, clustering: UserClustering) -> Self {
-        let mut bounds: FxHashMap<(String, ClusterId), FxHashMap<NodeId, f64>> =
-            FxHashMap::default();
-        for item in site.items() {
-            for tag in site.tags() {
-                let taggers = site.taggers_of(item, tag);
-                if taggers.is_empty() {
+        let mut tags = TagInterner::new();
+        let mut bounds: FxHashMap<(TagId, ClusterId), FxHashMap<NodeId, f64>> =
+            FxHashMap::with_capacity_and_hasher(
+                clustering.cluster_count().saturating_mul(site.tag_count()) / 4 + 16,
+                FxBuildHasher::default(),
+            );
+        let mut per_user: FxHashMap<NodeId, f64> =
+            FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default());
+        for (item, tag, taggers) in site.tag_assignments() {
+            let tag = tags.intern(tag);
+            // Per-user scores for this (item, tag), then max per cluster.
+            accumulate_per_user(site, taggers, &mut per_user);
+            for (&user, &score) in &per_user {
+                let Some(cluster) = clustering.cluster_of(user) else {
                     continue;
-                }
-                // Per-user scores for this (item, tag), then max per cluster.
-                let mut per_user: FxHashMap<NodeId, f64> = FxHashMap::default();
-                for &tagger in taggers {
-                    for &user in site.network_of(tagger) {
-                        *per_user.entry(user).or_default() += 1.0;
-                    }
-                }
-                for (user, score) in per_user {
-                    let Some(cluster) = clustering.cluster_of(user) else {
-                        continue;
-                    };
-                    let entry = bounds
-                        .entry((tag.to_string(), cluster))
-                        .or_default()
-                        .entry(item)
-                        .or_default();
-                    if score > *entry {
-                        *entry = score;
-                    }
+                };
+                let entry = bounds
+                    .entry((tag, cluster))
+                    .or_insert_with(|| {
+                        FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
+                    })
+                    .entry(item)
+                    .or_default();
+                if score > *entry {
+                    *entry = score;
                 }
             }
         }
@@ -151,18 +317,28 @@ impl ClusteredIndex {
             .into_iter()
             .map(|(key, items)| (key, PostingList::from_entries(items)))
             .collect();
-        ClusteredIndex { lists, clustering }
+        ClusteredIndex { tags, lists, clustering }
     }
 
-    /// The list for a `(tag, cluster)` pair.
+    /// The tag symbol table the index is keyed on.
+    pub fn tags(&self) -> &TagInterner {
+        &self.tags
+    }
+
+    /// The list for a `(tag, cluster)` pair. Allocation-free when the probe
+    /// tag is already lowercase.
     pub fn list(&self, tag: &str, cluster: ClusterId) -> Option<&PostingList> {
-        self.lists.get(&(tag.to_lowercase(), cluster))
+        self.list_by_id(self.tags.get(tag)?, cluster)
+    }
+
+    /// The list for an interned `(tag, cluster)` pair.
+    pub fn list_by_id(&self, tag: TagId, cluster: ClusterId) -> Option<&PostingList> {
+        self.lists.get(&(tag, cluster))
     }
 
     /// Space statistics.
     pub fn stats(&self) -> IndexStats {
-        let entries = self.lists.values().map(PostingList::len).sum();
-        IndexStats { lists: self.lists.len(), entries, bytes: entries * BYTES_PER_ENTRY }
+        stats_of(&self.lists)
     }
 
     /// Top-k query for a user. Candidate generation uses the upper-bound
@@ -176,14 +352,11 @@ impl ClusteredIndex {
         keywords: &[String],
         k: usize,
     ) -> ClusteredQueryReport {
-        let empty = PostingList::new();
         let cluster = self.clustering.cluster_of(user);
-        let lists: Vec<&PostingList> = keywords
-            .iter()
-            .map(|kw| cluster.and_then(|c| self.list(kw, c)).unwrap_or(&empty))
-            .collect();
-        let keywords_owned: Vec<String> = keywords.to_vec();
-        let result = top_k(&lists, k, |item| site.query_score(item, user, &keywords_owned));
+        let lists = QueryLists::gather(
+            keywords.iter().filter_map(|kw| cluster.and_then(|c| self.list(kw, c))),
+        );
+        let result = top_k(lists.as_slice(), k, |item| site.query_score(item, user, keywords));
 
         let network_clusters: BTreeSet<ClusterId> =
             site.network_of(user).iter().filter_map(|v| self.clustering.cluster_of(*v)).collect();
@@ -244,6 +417,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lookups_intern_and_normalize_tags() {
+        let (site, users, _) = site();
+        let index = ExactIndex::build(&site);
+        // The interner holds each distinct stored tag exactly once.
+        assert_eq!(index.tags().len(), site.tag_count());
+        // Any casing of the probe resolves to the same interned list.
+        let id = index.tags().get("BASEBALL").unwrap();
+        assert_eq!(index.tags().resolve(id), Some("baseball"));
+        assert_eq!(
+            index.list("BaseBall", users[0]).map(PostingList::len),
+            index.list_by_id(id, users[0]).map(PostingList::len)
+        );
+        assert!(index.list("nonexistent", users[0]).is_none());
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //!    hybrid — Defs. 11–13) and the clustered lists store score
 //!    *upper bounds* that still admit top-k pruning. The [`index`],
 //!    [`cluster`] and [`topk`] modules implement the exact and clustered
-//!    indexes and a threshold-style top-k processor, and the
+//!    indexes and a threshold-style top-k processor, the [`tags`] module
+//!    interns tag strings so index keys hash as plain integers, and the
 //!    [`sitemodel`] module derives the `items(u)`, `network(u)` and
 //!    `taggers(i, k)` primitives from a social content graph.
 //!
@@ -36,6 +37,7 @@ pub mod integrator;
 pub mod models;
 pub mod posting;
 pub mod sitemodel;
+pub mod tags;
 pub mod topk;
 
 pub use activity::{ActivityLevel, ActivityManager, RefreshPlan};
@@ -52,6 +54,7 @@ pub use models::{
 };
 pub use posting::{Posting, PostingList};
 pub use sitemodel::SiteModel;
+pub use tags::{TagId, TagInterner};
 pub use topk::{top_k, TopKResult};
 
 /// Convenience result alias for content-management operations.

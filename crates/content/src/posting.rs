@@ -17,36 +17,95 @@ pub struct Posting {
 /// sizing (§6.2: "assuming 10 bytes per index entry").
 pub const BYTES_PER_ENTRY: usize = 10;
 
+/// Below this length, [`find_score_by_item`] scans instead of bisecting:
+/// a handful of contiguous pairs resolves faster linearly than through the
+/// branchy binary-search loop.
+pub(crate) const LINEAR_ACCESS_MAX: usize = 8;
+
+/// Random-access lookup over `(item, score)` pairs held in ascending-item
+/// order: O(log n) (with a linear fast path for tiny companions). Shared by
+/// [`PostingList::score_of`] and [`crate::topk::TopKResult::score_of`] —
+/// the random-access primitive threshold-style top-k relies on (paper
+/// §6.2, ref [16]).
+pub(crate) fn find_score_by_item(by_item: &[(NodeId, f64)], item: NodeId) -> Option<f64> {
+    if by_item.len() <= LINEAR_ACCESS_MAX {
+        // Branchless full scan: no data-dependent early exit to mispredict,
+        // and the loop vectorizes.
+        let mut score = 0.0;
+        let mut hit = false;
+        for &(i, s) in by_item {
+            let eq = i == item;
+            score += if eq { s } else { 0.0 };
+            hit |= eq;
+        }
+        return hit.then_some(score);
+    }
+    by_item.binary_search_by_key(&item, |&(i, _)| i).ok().map(|pos| by_item[pos].1)
+}
+
+/// Build the ascending-item `(item, score)` companion of an entry sequence.
+/// Duplicate items keep only their highest score — the entry a first-match
+/// scan of the descending-score order would have returned.
+pub(crate) fn build_item_companion(
+    entries: impl Iterator<Item = (NodeId, f64)>,
+) -> Vec<(NodeId, f64)> {
+    let mut by_item: Vec<(NodeId, f64)> = entries.collect();
+    by_item.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.total_cmp(&a.1)));
+    by_item.dedup_by_key(|&mut (i, _)| i);
+    by_item
+}
+
 /// A posting list kept sorted by descending score, enabling sorted access
-/// for top-k pruning (ref [16] of the paper).
+/// for top-k pruning (ref [16] of the paper). A companion table of the same
+/// `(item, score)` pairs in ascending-item order, built once at
+/// construction, gives O(log n) *random* access by item — the other half
+/// of the threshold algorithm's access model.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PostingList {
     entries: Vec<Posting>,
+    /// The entries re-sorted by ascending item id (random-access companion).
+    by_item: Vec<(NodeId, f64)>,
 }
 
 impl PostingList {
-    /// An empty list.
-    pub fn new() -> Self {
-        Self::default()
+    /// An empty list (const, so it can back statics and stack buffers).
+    pub const fn new() -> Self {
+        PostingList { entries: Vec::new(), by_item: Vec::new() }
     }
 
     /// Build a list from unsorted `(item, score)` pairs.
     pub fn from_entries<I: IntoIterator<Item = (NodeId, f64)>>(entries: I) -> Self {
-        let mut list = PostingList {
-            entries: entries.into_iter().map(|(item, score)| Posting { item, score }).collect(),
-        };
-        list.sort();
-        list
+        let mut entries: Vec<Posting> =
+            entries.into_iter().map(|(item, score)| Posting { item, score }).collect();
+        entries.sort_unstable_by(Self::order);
+        let by_item = build_item_companion(entries.iter().map(|p| (p.item, p.score)));
+        PostingList { entries, by_item }
     }
 
-    fn sort(&mut self) {
-        self.entries.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.item.cmp(&b.item)));
+    /// The sorted-access order: descending score, ties by ascending item id
+    /// for determinism.
+    fn order(a: &Posting, b: &Posting) -> std::cmp::Ordering {
+        b.score.total_cmp(&a.score).then_with(|| a.item.cmp(&b.item))
     }
 
-    /// Insert an entry, keeping the list sorted.
+    /// Insert an entry, keeping the list sorted: the insertion point is
+    /// binary-searched in both the score-ordered entries and the
+    /// item-ordered companion — no re-sort.
     pub fn insert(&mut self, item: NodeId, score: f64) {
-        self.entries.push(Posting { item, score });
-        self.sort();
+        let posting = Posting { item, score };
+        let pos = self.entries.partition_point(|p| Self::order(p, &posting).is_lt());
+        self.entries.insert(pos, posting);
+        // The companion holds one slot per item; re-inserting an item keeps
+        // the highest score, mirroring what a first-match scan of the
+        // descending-score entries would find.
+        match self.by_item.binary_search_by_key(&item, |&(i, _)| i) {
+            Ok(found) => {
+                if score > self.by_item[found].1 {
+                    self.by_item[found].1 = score;
+                }
+            }
+            Err(gap) => self.by_item.insert(gap, (item, score)),
+        }
     }
 
     /// Number of entries.
@@ -69,9 +128,17 @@ impl PostingList {
         self.entries.get(pos)
     }
 
-    /// The stored score of an item (random access), if present.
+    /// All entries in sorted-access (descending score) order.
+    pub fn entries(&self) -> &[Posting] {
+        &self.entries
+    }
+
+    /// The stored score of an item (random access), in O(log n) via the
+    /// item-ordered companion. If an item was inserted more than once, the
+    /// highest of its scores is returned (the entry sorted access meets
+    /// first).
     pub fn score_of(&self, item: NodeId) -> Option<f64> {
-        self.entries.iter().find(|p| p.item == item).map(|p| p.score)
+        find_score_by_item(&self.by_item, item)
     }
 
     /// Estimated size in bytes under the paper's 10-bytes-per-entry model.
@@ -116,10 +183,52 @@ mod tests {
     }
 
     #[test]
+    fn insert_matches_from_entries_exactly() {
+        let pairs = [
+            (NodeId(5), 0.4),
+            (NodeId(1), 0.9),
+            (NodeId(7), 0.4),
+            (NodeId(2), 0.4),
+            (NodeId(9), 0.1),
+        ];
+        let built = PostingList::from_entries(pairs);
+        let mut grown = PostingList::new();
+        for (item, score) in pairs {
+            grown.insert(item, score);
+        }
+        assert_eq!(built, grown);
+        for (item, _) in pairs {
+            assert_eq!(built.score_of(item), grown.score_of(item));
+        }
+    }
+
+    #[test]
     fn random_access_and_size() {
         let list = PostingList::from_entries([(NodeId(1), 0.3), (NodeId(2), 0.6)]);
         assert_eq!(list.score_of(NodeId(1)), Some(0.3));
         assert_eq!(list.score_of(NodeId(5)), None);
         assert_eq!(list.size_bytes(), 2 * BYTES_PER_ENTRY);
+    }
+
+    #[test]
+    fn duplicate_items_answer_with_their_highest_score() {
+        let mut list = PostingList::from_entries([(NodeId(1), 2.0), (NodeId(2), 0.5)]);
+        list.insert(NodeId(1), 3.0);
+        list.insert(NodeId(1), 1.0);
+        // Sorted access still sees every entry; random access answers with
+        // the strongest, exactly as a scan of the entries would.
+        assert_eq!(list.len(), 4);
+        assert_eq!(list.score_of(NodeId(1)), Some(3.0));
+        let dup = PostingList::from_entries([(NodeId(7), 1.0), (NodeId(7), 4.0)]);
+        assert_eq!(dup.score_of(NodeId(7)), Some(4.0));
+    }
+
+    #[test]
+    fn random_access_finds_every_item_in_a_long_list() {
+        let list = PostingList::from_entries((0..200).map(|i| (NodeId(i * 3), (i % 17) as f64)));
+        for i in 0..200u64 {
+            assert_eq!(list.score_of(NodeId(i * 3)), Some((i % 17) as f64), "item {i}");
+            assert_eq!(list.score_of(NodeId(i * 3 + 1)), None);
+        }
     }
 }

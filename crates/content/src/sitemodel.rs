@@ -10,26 +10,42 @@
 //! from a social content graph once and serves them to the inverted indexes,
 //! the clustering strategies and the top-k processor.
 
+use crate::tags::normalize;
 use serde::{Deserialize, Serialize};
 use socialscope_graph::{FxHashMap, HasAttrs, NodeId, SocialGraph};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Materialized view of a social content site used by network-aware search.
+///
+/// The per-user / per-item id sets of the scoring hot path (`network(u)`,
+/// `taggers(i, k)`, `items(u)`) are frozen into sorted vectors at build
+/// time: `score_k` then intersects two contiguous sorted runs instead of
+/// walking two B-trees — the dominant cost of clustered query processing
+/// and of the exhaustive baseline.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SiteModel {
     users: BTreeSet<NodeId>,
     items: BTreeSet<NodeId>,
     tags: BTreeSet<String>,
-    /// `items(u)`: items tagged by `u`.
-    items_of: FxHashMap<NodeId, BTreeSet<NodeId>>,
-    /// `network(u)`: users connected to `u` (undirected over connect links).
-    network_of: FxHashMap<NodeId, BTreeSet<NodeId>>,
-    /// `taggers(i, k)`: users who tagged item `i` with tag `k`.
-    taggers_of: FxHashMap<(NodeId, String), BTreeSet<NodeId>>,
+    /// `items(u)`: items tagged by `u`, in ascending id order.
+    items_of: FxHashMap<NodeId, Vec<NodeId>>,
+    /// `network(u)`: users connected to `u` (undirected over connect
+    /// links), in ascending id order.
+    network_of: FxHashMap<NodeId, Vec<NodeId>>,
+    /// `taggers(i, k)`: users who tagged item `i` with tag `k` (ascending),
+    /// keyed item-first so tag lookups can borrow the probe string.
+    taggers_of: FxHashMap<NodeId, FxHashMap<String, Vec<NodeId>>>,
     /// `tags(u)`: tags used by `u` (for behavior statistics).
     tags_of: FxHashMap<NodeId, BTreeSet<String>>,
     /// Items carrying each tag (user-independent), for candidate generation.
     items_with_tag: BTreeMap<String, BTreeSet<NodeId>>,
+}
+
+/// Freeze a dedup set map into sorted-vector form.
+fn freeze<K: std::hash::Hash + Eq>(
+    sets: FxHashMap<K, BTreeSet<NodeId>>,
+) -> FxHashMap<K, Vec<NodeId>> {
+    sets.into_iter().map(|(k, set)| (k, set.into_iter().collect())).collect()
 }
 
 impl SiteModel {
@@ -38,6 +54,10 @@ impl SiteModel {
     /// `taggers(i, k)` from `tag` activity links.
     pub fn from_graph(graph: &SocialGraph) -> Self {
         let mut model = SiteModel::default();
+        let mut items_of: FxHashMap<NodeId, BTreeSet<NodeId>> = FxHashMap::default();
+        let mut network_of: FxHashMap<NodeId, BTreeSet<NodeId>> = FxHashMap::default();
+        let mut taggers_of: FxHashMap<NodeId, FxHashMap<String, BTreeSet<NodeId>>> =
+            FxHashMap::default();
         for node in graph.nodes() {
             if node.has_type("user") {
                 model.users.insert(node.id);
@@ -51,8 +71,8 @@ impl SiteModel {
                 && model.users.contains(&link.src)
                 && model.users.contains(&link.tgt)
             {
-                model.network_of.entry(link.src).or_default().insert(link.tgt);
-                model.network_of.entry(link.tgt).or_default().insert(link.src);
+                network_of.entry(link.src).or_default().insert(link.tgt);
+                network_of.entry(link.tgt).or_default().insert(link.src);
             }
             if link.has_type("tag") {
                 let user = link.src;
@@ -60,16 +80,25 @@ impl SiteModel {
                 if !model.users.contains(&user) || !model.items.contains(&item) {
                     continue;
                 }
-                model.items_of.entry(user).or_default().insert(item);
+                items_of.entry(user).or_default().insert(item);
                 let tags = link.attrs.get("tags").map(|v| v.string_tokens()).unwrap_or_default();
                 for tag in tags {
                     model.tags.insert(tag.clone());
-                    model.taggers_of.entry((item, tag.clone())).or_default().insert(user);
+                    taggers_of
+                        .entry(item)
+                        .or_default()
+                        .entry(tag.clone())
+                        .or_default()
+                        .insert(user);
                     model.tags_of.entry(user).or_default().insert(tag.clone());
                     model.items_with_tag.entry(tag).or_default().insert(item);
                 }
             }
         }
+        model.items_of = freeze(items_of);
+        model.network_of = freeze(network_of);
+        model.taggers_of =
+            taggers_of.into_iter().map(|(item, by_tag)| (item, freeze(by_tag))).collect();
         model
     }
 
@@ -101,24 +130,33 @@ impl SiteModel {
         self.tags.len()
     }
 
-    /// `items(u)`: the items tagged by a user.
-    pub fn items_of(&self, user: NodeId) -> &BTreeSet<NodeId> {
-        static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
-        self.items_of.get(&user).unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    /// `items(u)`: the items tagged by a user, ascending.
+    pub fn items_of(&self, user: NodeId) -> &[NodeId] {
+        self.items_of.get(&user).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// `network(u)`: the users connected to a user.
-    pub fn network_of(&self, user: NodeId) -> &BTreeSet<NodeId> {
-        static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
-        self.network_of.get(&user).unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    /// `network(u)`: the users connected to a user, ascending.
+    pub fn network_of(&self, user: NodeId) -> &[NodeId] {
+        self.network_of.get(&user).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// `taggers(i, k)`: the users who tagged item `i` with tag `k`.
-    pub fn taggers_of(&self, item: NodeId, tag: &str) -> &BTreeSet<NodeId> {
-        static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
+    /// `taggers(i, k)`: the users who tagged item `i` with tag `k`,
+    /// ascending. Allocation-free when the probe tag is already lowercase.
+    pub fn taggers_of(&self, item: NodeId, tag: &str) -> &[NodeId] {
         self.taggers_of
-            .get(&(item, tag.to_lowercase()))
-            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+            .get(&item)
+            .and_then(|by_tag| by_tag.get(normalize(tag).as_ref()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterate every `(item, tag, taggers)` group once — the raw material
+    /// the inverted-index builds accumulate over, without the
+    /// items × tags cross-product probing `taggers_of` per pair costs.
+    pub fn tag_assignments(&self) -> impl Iterator<Item = (NodeId, &str, &[NodeId])> {
+        self.taggers_of.iter().flat_map(|(&item, by_tag)| {
+            by_tag.iter().map(move |(tag, taggers)| (item, tag.as_str(), taggers.as_slice()))
+        })
     }
 
     /// Tags used by a user.
@@ -131,16 +169,16 @@ impl SiteModel {
     pub fn items_with_tag(&self, tag: &str) -> &BTreeSet<NodeId> {
         static EMPTY: std::sync::OnceLock<BTreeSet<NodeId>> = std::sync::OnceLock::new();
         self.items_with_tag
-            .get(&tag.to_lowercase())
+            .get(normalize(tag).as_ref())
             .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
     }
 
     /// `score_k(i, u) = |network(u) ∩ taggers(i, k)|` — the paper's
-    /// exposition choice `f = count`.
+    /// exposition choice `f = count`, computed by merging two sorted runs.
     pub fn keyword_score(&self, item: NodeId, user: NodeId, tag: &str) -> f64 {
         let network = self.network_of(user);
         let taggers = self.taggers_of(item, tag);
-        network.intersection(taggers).count() as f64
+        count_intersection(network, taggers) as f64
     }
 
     /// `score(i, u) = Σ_j score_kj(i, u)` — the paper's exposition choice
@@ -160,12 +198,29 @@ impl SiteModel {
     }
 }
 
-/// Jaccard similarity of two ordered sets.
-pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+/// Size of the intersection of two ascending id slices (two-pointer merge).
+fn count_intersection(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard similarity of two sorted id slices.
+pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 0.0;
     }
-    let inter = a.intersection(b).count();
+    let inter = count_intersection(a, b);
     let union = a.len() + b.len() - inter;
     inter as f64 / union as f64
 }
@@ -239,6 +294,28 @@ mod tests {
         assert_eq!(m.behavior_jaccard(users[1], users[2]), 0.5);
         // A user with no activity has Jaccard 0 with everyone.
         assert_eq!(m.behavior_jaccard(users[0], users[1]), 0.0);
+    }
+
+    #[test]
+    fn tag_assignments_cover_every_tagger_group() {
+        let (m, _, items) = model();
+        let mut seen = std::collections::BTreeSet::new();
+        for (item, tag, taggers) in m.tag_assignments() {
+            assert!(!taggers.is_empty());
+            assert_eq!(taggers, m.taggers_of(item, tag));
+            seen.insert((item, tag.to_string()));
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(seen.contains(&(items[0], "baseball".to_string())));
+        assert!(seen.contains(&(items[0], "stadium".to_string())));
+        assert!(seen.contains(&(items[1], "museum".to_string())));
+    }
+
+    #[test]
+    fn tag_lookups_normalize_case() {
+        let (m, _, items) = model();
+        assert_eq!(m.taggers_of(items[0], "BaseBall").len(), 2);
+        assert_eq!(m.items_with_tag("MUSEUM").len(), 1);
     }
 
     #[test]

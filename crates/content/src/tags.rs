@@ -1,0 +1,128 @@
+//! Tag interning for the §6.2 indexes.
+//!
+//! The inverted indexes key their lists on tags. Keying on `String` means
+//! every list build clones the tag and every lookup hashes a string — and,
+//! worse, normalizes it with `to_lowercase()`, an allocation on the hot
+//! query path. [`TagInterner`] normalizes each distinct tag **once** at
+//! intern time and hands out dense [`TagId`]s, so index keys hash as plain
+//! integers and lookups allocate nothing when the probe string is already
+//! lowercase (the common case: the graph layer lowercases stored tags).
+
+use serde::{Deserialize, Serialize};
+use socialscope_graph::FxHashMap;
+use std::borrow::Cow;
+
+/// Interned identifier of a lowercase-normalized tag.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TagId(pub u32);
+
+/// Normalize a raw tag for index lookup, borrowing when no rewriting is
+/// needed. Only ASCII strings free of uppercase letters can be borrowed
+/// verbatim; anything else goes through `to_lowercase()`.
+pub(crate) fn normalize(tag: &str) -> Cow<'_, str> {
+    if tag.is_ascii() && !tag.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Borrowed(tag)
+    } else {
+        Cow::Owned(tag.to_lowercase())
+    }
+}
+
+/// A symbol table mapping lowercase-normalized tags to dense [`TagId`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TagInterner {
+    ids: FxHashMap<String, TagId>,
+    names: Vec<String>,
+}
+
+impl TagInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a tag (normalizing to lowercase) and return its id. Interning
+    /// the same tag twice — in any casing — yields the same id.
+    pub fn intern(&mut self, tag: &str) -> TagId {
+        let norm = normalize(tag);
+        if let Some(&id) = self.ids.get(norm.as_ref()) {
+            return id;
+        }
+        let id = TagId(u32::try_from(self.names.len()).expect("fewer than 2^32 distinct tags"));
+        let owned = norm.into_owned();
+        self.names.push(owned.clone());
+        self.ids.insert(owned, id);
+        id
+    }
+
+    /// Look up a tag's id without interning it. Allocation-free when the
+    /// probe string is already lowercase ASCII.
+    pub fn get(&self, tag: &str) -> Option<TagId> {
+        self.ids.get(normalize(tag).as_ref()).copied()
+    }
+
+    /// The normalized text of an interned tag.
+    pub fn resolve(&self, id: TagId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct tags interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no tag has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, tag)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names.iter().enumerate().map(|(i, name)| (TagId(i as u32), name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_case_insensitive() {
+        let mut t = TagInterner::new();
+        let a = t.intern("Baseball");
+        let b = t.intern("baseball");
+        let c = t.intern("BASEBALL");
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.resolve(a), Some("baseball"));
+    }
+
+    #[test]
+    fn distinct_tags_get_distinct_dense_ids() {
+        let mut t = TagInterner::new();
+        let a = t.intern("museum");
+        let b = t.intern("stadium");
+        assert_ne!(a, b);
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(a, "museum"), (b, "stadium")]);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = TagInterner::new();
+        t.intern("museum");
+        assert_eq!(t.get("MUSEUM"), Some(TagId(0)));
+        assert_eq!(t.get("opera"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn normalize_borrows_lowercase_ascii() {
+        assert!(matches!(normalize("baseball"), Cow::Borrowed(_)));
+        assert!(matches!(normalize("Baseball"), Cow::Owned(_)));
+        assert!(matches!(normalize("café"), Cow::Owned(_)));
+        assert_eq!(normalize("Straße").as_ref(), "straße");
+    }
+}

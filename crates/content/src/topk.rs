@@ -10,15 +10,26 @@
 //! clustered lists they are upper bounds (Eq. 1), which keeps the threshold
 //! admissible — clustered top-k never misses a true top-k item, it just
 //! performs more exact computations.
+//!
+//! The candidate buffer is a k-bounded min-heap (the weakest of the current
+//! best k sits at the top, so the stop test and evictions are O(log k)),
+//! the threshold is maintained incrementally as frontier scores change
+//! instead of being re-summed every round, and each list's frontier is the
+//! score of its next *unread* entry — a tighter admissible bound than the
+//! last-read score, so processing stops no later (and usually earlier) than
+//! the classic formulation while returning the same top k.
 
-use crate::posting::PostingList;
+use crate::posting::{build_item_companion, find_score_by_item, Posting, PostingList};
 use serde::{Deserialize, Serialize};
 use socialscope_graph::{FxHashSet, NodeId};
+use std::collections::BinaryHeap;
 
 /// Result and cost counters of a top-k evaluation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TopKResult {
-    /// The top items with their exact scores, best first.
+    /// The top items with their exact scores, best first. Treat as
+    /// read-only: editing entries in place leaves a big result's
+    /// random-access companion stale (see [`Self::score_of`]).
     pub ranked: Vec<(NodeId, f64)>,
     /// Number of sorted accesses performed across all lists.
     pub sorted_accesses: usize,
@@ -27,17 +38,243 @@ pub struct TopKResult {
     /// Whether the threshold stop condition fired before the lists were
     /// exhausted (an indicator of pruning effectiveness).
     pub early_terminated: bool,
+    /// `ranked` re-sorted in ascending item order, built by the top-k
+    /// evaluators (for results big enough to bisect) so [`Self::score_of`]
+    /// shares [`PostingList::score_of`]'s random-access lookup. Empty —
+    /// with a linear fallback — for small, hand-assembled or deserialized
+    /// results. Derived data: excluded from equality.
+    by_item: Vec<(NodeId, f64)>,
+}
+
+/// Equality ignores the derived `by_item` companion, so evaluator-built and
+/// hand-assembled results with the same public fields compare equal.
+impl PartialEq for TopKResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.ranked == other.ranked
+            && self.sorted_accesses == other.sorted_accesses
+            && self.exact_computations == other.exact_computations
+            && self.early_terminated == other.early_terminated
+    }
 }
 
 impl TopKResult {
-    /// The exact score of an item in the result, if ranked.
-    pub fn score_of(&self, item: NodeId) -> Option<f64> {
-        self.ranked.iter().find(|(i, _)| *i == item).map(|(_, s)| *s)
+    /// Assemble a result from a final ranking plus counters, building the
+    /// random-access companion (crate-internal: used by the evaluators and
+    /// the indexes' specialized query paths).
+    pub(crate) fn from_parts(
+        ranked: Vec<(NodeId, f64)>,
+        sorted_accesses: usize,
+        exact_computations: usize,
+        early_terminated: bool,
+    ) -> Self {
+        TopKResult {
+            ranked,
+            sorted_accesses,
+            exact_computations,
+            early_terminated,
+            by_item: Vec::new(),
+        }
+        .reindexed()
     }
 
-    /// Item ids in rank order.
-    pub fn items(&self) -> Vec<NodeId> {
-        self.ranked.iter().map(|(i, _)| *i).collect()
+    /// Rebuild the random-access companion from `ranked`. Small results
+    /// answer `score_of` by scanning `ranked` directly, so the companion —
+    /// an allocation plus a sort on every query — is only built once a
+    /// result is big enough for bisection to pay for it.
+    fn reindexed(mut self) -> Self {
+        const RESULT_INDEX_MIN: usize = 33;
+        if self.ranked.len() >= RESULT_INDEX_MIN {
+            self.by_item = build_item_companion(self.ranked.iter().copied());
+        }
+        self
+    }
+
+    /// The exact score of an item in the result, if ranked. Shares the
+    /// random-access lookup [`PostingList::score_of`] uses; falls back to a
+    /// scan when the result is small, deserialized or rebuilt by hand.
+    /// Length-preserving in-place edits of `ranked` are NOT detected — a
+    /// big result's companion keeps answering with the pre-edit scores, so
+    /// treat `ranked` as read-only.
+    pub fn score_of(&self, item: NodeId) -> Option<f64> {
+        if self.by_item.len() == self.ranked.len() && !self.ranked.is_empty() {
+            find_score_by_item(&self.by_item, item)
+        } else {
+            self.ranked.iter().find(|(i, _)| *i == item).map(|(_, s)| *s)
+        }
+    }
+
+    /// Item ids in rank order, borrowed from the result.
+    pub fn items(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ranked.iter().map(|(i, _)| *i)
+    }
+}
+
+/// A candidate in the k-bounded buffer. `Ord` is inverted so the *weakest*
+/// candidate — lowest score, largest item id on ties — surfaces at the top
+/// of the (max-)heap, making it a min-heap over ranking strength.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    score: f64,
+    item: NodeId,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other).is_eq()
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.score.total_cmp(&self.score).then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+/// The k-bounded min-heap of the best candidates seen so far. For the usual
+/// small k it is a hand-rolled binary heap in a stack array — the query
+/// then allocates nothing for candidate tracking; large k spills to a
+/// `BinaryHeap` chosen once at construction. Both orderings are
+/// [`Candidate`]'s inverted `Ord`, so the root/peek is always the current
+/// k-th best (the next eviction victim).
+struct Best {
+    buf: [Candidate; INLINE_BEST],
+    len: usize,
+    spill: Option<BinaryHeap<Candidate>>,
+}
+
+const INLINE_BEST: usize = 24;
+
+impl Best {
+    fn new(k: usize) -> Self {
+        Best {
+            buf: [Candidate { score: 0.0, item: NodeId(0) }; INLINE_BEST],
+            len: 0,
+            spill: (k > INLINE_BEST).then(|| BinaryHeap::with_capacity(k + 1)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.spill {
+            Some(h) => h.len(),
+            None => self.len,
+        }
+    }
+
+    /// The weakest of the current best candidates (the heap root).
+    #[inline]
+    fn weakest(&self) -> Option<Candidate> {
+        match &self.spill {
+            Some(h) => h.peek().copied(),
+            None => (self.len > 0).then(|| self.buf[0]),
+        }
+    }
+
+    /// Offer a candidate to a buffer bounded at `k` entries: admitted
+    /// outright while the buffer is filling, displacing the weakest when it
+    /// beats them, dropped otherwise. Equivalent to push-then-evict-weakest
+    /// but with no heap traffic for tail candidates.
+    #[inline]
+    fn offer(&mut self, k: usize, c: Candidate) {
+        if let Some(h) = &mut self.spill {
+            if h.len() < k {
+                h.push(c);
+            } else if let Some(mut root) = h.peek_mut() {
+                if c < *root {
+                    *root = c; // PeekMut sifts down on drop.
+                }
+            }
+            return;
+        }
+        let (buf, len) = (&mut self.buf, &mut self.len);
+        if *len < k {
+            // Sift up from the new leaf.
+            let mut i = *len;
+            buf[i] = c;
+            *len += 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if buf[parent] >= buf[i] {
+                    break;
+                }
+                buf.swap(parent, i);
+                i = parent;
+            }
+        } else if c < buf[0] {
+            // Replace the root and sift down.
+            buf[0] = c;
+            let mut i = 0usize;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut biggest = i;
+                if l < *len && buf[l] > buf[biggest] {
+                    biggest = l;
+                }
+                if r < *len && buf[r] > buf[biggest] {
+                    biggest = r;
+                }
+                if biggest == i {
+                    break;
+                }
+                buf.swap(i, biggest);
+                i = biggest;
+            }
+        }
+    }
+
+    /// Drain into the final ranking: descending score, ascending item on
+    /// ties (exactly ascending `Candidate` order).
+    fn into_ranked(mut self) -> Vec<(NodeId, f64)> {
+        match self.spill {
+            Some(h) => h.into_sorted_vec().into_iter().map(|c| (c.item, c.score)).collect(),
+            None => {
+                let slice = &mut self.buf[..self.len];
+                slice.sort_unstable();
+                slice.iter().map(|c| (c.item, c.score)).collect()
+            }
+        }
+    }
+}
+
+/// Deduplication of candidate items across lists: a linear scan over a
+/// stack-inline buffer until the candidate set grows past [`SEEN_SPILL`],
+/// then a hash set. Top-k frontiers are usually tiny, so most queries pay
+/// neither for hashing nor for a heap allocation.
+struct Seen {
+    buf: [NodeId; SEEN_SPILL],
+    len: usize,
+    spill: Option<FxHashSet<NodeId>>,
+}
+
+const SEEN_SPILL: usize = 48;
+
+impl Seen {
+    fn new() -> Self {
+        Seen { buf: [NodeId(0); SEEN_SPILL], len: 0, spill: None }
+    }
+
+    /// Record an item; returns true the first time it is seen.
+    #[inline]
+    fn insert(&mut self, item: NodeId) -> bool {
+        if let Some(set) = &mut self.spill {
+            return set.insert(item);
+        }
+        if self.buf[..self.len].contains(&item) {
+            return false;
+        }
+        if self.len < SEEN_SPILL {
+            self.buf[self.len] = item;
+            self.len += 1;
+        } else {
+            let mut set: FxHashSet<NodeId> = self.buf.iter().copied().collect();
+            set.insert(item);
+            self.spill = Some(set);
+        }
+        true
     }
 }
 
@@ -47,55 +284,120 @@ impl TopKResult {
 /// user (the sum over keywords of `score_k(i, u)` in the paper's model); it
 /// is called exactly once per distinct candidate item.
 pub fn top_k(lists: &[&PostingList], k: usize, mut exact: impl FnMut(NodeId) -> f64) -> TopKResult {
+    top_k_hinted(lists, k, |item, _, _| exact(item))
+}
+
+/// Like [`top_k`], but the scoring closure also receives the index of the
+/// list the candidate surfaced from and its stored score there. Exact-list
+/// callers use the hint to skip one of their per-list random accesses —
+/// the discovering list's score is already in hand.
+pub(crate) fn top_k_hinted(
+    lists: &[&PostingList],
+    k: usize,
+    mut exact: impl FnMut(NodeId, usize, f64) -> f64,
+) -> TopKResult {
     let mut result = TopKResult::default();
     if k == 0 || lists.is_empty() {
         return result;
     }
-    let mut positions = vec![0usize; lists.len()];
-    let mut frontier: Vec<f64> =
-        lists.iter().map(|l| l.get(0).map(|p| p.score).unwrap_or(0.0)).collect();
-    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
-    // (score, item) kept sorted ascending so the k-th best is at index 0.
-    let mut best: Vec<(f64, NodeId)> = Vec::new();
+    // When the lists hold fewer than k entries altogether, no candidate can
+    // ever be evicted and the threshold stop cannot fire before exhaustion
+    // (the buffer never fills); the bounded-buffer and threshold machinery
+    // would be pure overhead. Scan the lists directly — counters come out
+    // identical, every entry is sorted-accessed and every distinct item
+    // scored, exactly as the round-robin would.
+    let total: usize = lists.iter().map(|l| l.len()).sum();
+    if total < k {
+        let mut seen = Seen::new();
+        let mut scored: Vec<(NodeId, f64)> = Vec::with_capacity(total);
+        for (li, list) in lists.iter().enumerate() {
+            for post in list.iter() {
+                result.sorted_accesses += 1;
+                if seen.insert(post.item) {
+                    let score = exact(post.item, li, post.score);
+                    result.exact_computations += 1;
+                    scored.push((post.item, score));
+                }
+            }
+        }
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        return TopKResult { ranked: scored, ..result }.reindexed();
+    }
+    // One cursor per list: the list's entries slice, the next sorted-access
+    // position and the score last seen there (this list's contribution to
+    // the threshold). Queries rarely carry more than a handful of keywords,
+    // so the cursors live on the stack unless the query is unusually wide.
+    struct Cursor<'a> {
+        entries: &'a [Posting],
+        pos: usize,
+        frontier: f64,
+    }
+    const EMPTY_CURSOR: Cursor<'static> = Cursor { entries: &[], pos: 0, frontier: 0.0 };
+    const INLINE_CURSORS: usize = 8;
+    let mut cursor_buf = [EMPTY_CURSOR; INLINE_CURSORS];
+    let mut cursor_spill: Vec<Cursor<'_>> = Vec::new();
+    let cursors: &mut [Cursor<'_>] = if lists.len() <= INLINE_CURSORS {
+        &mut cursor_buf[..lists.len()]
+    } else {
+        cursor_spill.resize_with(lists.len(), || EMPTY_CURSOR);
+        &mut cursor_spill
+    };
+    // Each list's frontier is the score of its next *unread* entry — the
+    // tightest admissible bound on what this list can still contribute to a
+    // never-seen item (anything unseen sits at or past that position; an
+    // exhausted list contributes nothing). The seed used the last-*read*
+    // score, a looser bound: this threshold is pointwise ≤ the seed's, so
+    // the stop fires no later and the access counters never exceed it.
+    for (cursor, list) in cursors.iter_mut().zip(lists) {
+        cursor.entries = list.entries();
+        cursor.frontier = cursor.entries.first().map(|p| p.score).unwrap_or(0.0);
+    }
+    let mut threshold: f64 = cursors.iter().map(|c| c.frontier).sum();
+    let mut seen = Seen::new();
+    let mut best = Best::new(k);
+    let mut sorted_accesses = 0usize;
+    let mut exact_computations = 0usize;
 
     loop {
         let mut advanced = false;
-        for (li, list) in lists.iter().enumerate() {
-            let Some(post) = list.get(positions[li]) else {
-                frontier[li] = 0.0;
+        for (li, cur) in cursors.iter_mut().enumerate() {
+            if cur.pos >= cur.entries.len() {
+                threshold -= cur.frontier;
+                cur.frontier = 0.0;
                 continue;
-            };
-            positions[li] += 1;
-            result.sorted_accesses += 1;
-            frontier[li] = post.score;
+            }
+            let post = cur.entries[cur.pos];
+            cur.pos += 1;
+            sorted_accesses += 1;
+            let next = if cur.pos < cur.entries.len() { cur.entries[cur.pos].score } else { 0.0 };
+            threshold += next - cur.frontier;
+            cur.frontier = next;
             advanced = true;
             if seen.insert(post.item) {
-                let score = exact(post.item);
-                result.exact_computations += 1;
-                push_candidate(&mut best, k, post.item, score);
+                let score = exact(post.item, li, post.score);
+                exact_computations += 1;
+                best.offer(k, Candidate { score, item: post.item });
             }
         }
-        let threshold: f64 = frontier.iter().sum();
-        if best.len() >= k && best[0].0 >= threshold {
-            result.early_terminated = advanced;
-            break;
+        if best.len() >= k && best.weakest().is_some_and(|w| w.score >= threshold) {
+            // Confirm against a freshly summed threshold before stopping,
+            // so incremental floating-point drift can never cut a query
+            // short.
+            let fresh: f64 = cursors.iter().map(|c| c.frontier).sum();
+            threshold = fresh;
+            if best.weakest().is_some_and(|w| w.score >= fresh) {
+                result.early_terminated = advanced;
+                break;
+            }
         }
         if !advanced {
             break;
         }
     }
 
-    best.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-    result.ranked = best.into_iter().map(|(s, i)| (i, s)).collect();
-    result
-}
-
-fn push_candidate(best: &mut Vec<(f64, NodeId)>, k: usize, item: NodeId, score: f64) {
-    best.push((score, item));
-    best.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
-    if best.len() > k {
-        best.remove(0);
-    }
+    result.sorted_accesses = sorted_accesses;
+    result.exact_computations = exact_computations;
+    TopKResult { ranked: best.into_ranked(), ..result }.reindexed()
 }
 
 /// Exhaustive (no pruning) top-k used as a correctness oracle in tests and
@@ -105,20 +407,20 @@ pub fn top_k_exhaustive(
     k: usize,
     mut exact: impl FnMut(NodeId) -> f64,
 ) -> TopKResult {
-    let mut result = TopKResult::default();
     let mut scored: Vec<(f64, NodeId)> = Vec::new();
     let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut exact_computations = 0usize;
     for item in candidates {
         if !seen.insert(item) {
             continue;
         }
         let s = exact(item);
-        result.exact_computations += 1;
+        exact_computations += 1;
         scored.push((s, item));
     }
-    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-    result.ranked = scored.into_iter().take(k).map(|(s, i)| (i, s)).collect();
-    result
+    scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let ranked = scored.into_iter().take(k).map(|(s, i)| (i, s)).collect();
+    TopKResult { ranked, exact_computations, ..TopKResult::default() }.reindexed()
 }
 
 #[cfg(test)]
@@ -129,6 +431,10 @@ mod tests {
         PostingList::from_entries(entries.iter().map(|(i, s)| (NodeId(*i), *s)))
     }
 
+    fn items_of(res: &TopKResult) -> Vec<NodeId> {
+        res.items().collect()
+    }
+
     #[test]
     fn finds_the_true_top_k_with_exact_lists() {
         // Two keyword lists; total score is the sum of the per-list scores.
@@ -136,9 +442,10 @@ mod tests {
         let l2 = list(&[(2, 3.0), (4, 2.0), (1, 1.0)]);
         let exact = |i: NodeId| l1.score_of(i).unwrap_or(0.0) + l2.score_of(i).unwrap_or(0.0);
         let res = top_k(&[&l1, &l2], 2, exact);
-        assert_eq!(res.items(), vec![NodeId(2), NodeId(1)]);
+        assert_eq!(items_of(&res), vec![NodeId(2), NodeId(1)]);
         assert_eq!(res.score_of(NodeId(2)), Some(5.0));
         assert_eq!(res.score_of(NodeId(1)), Some(4.0));
+        assert_eq!(res.score_of(NodeId(7)), None);
     }
 
     #[test]
@@ -149,7 +456,7 @@ mod tests {
         let l1 = list(&head);
         let exact = |i: NodeId| l1.score_of(i).unwrap_or(0.0);
         let res = top_k(&[&l1], 2, exact);
-        assert_eq!(res.items(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(items_of(&res), vec![NodeId(1), NodeId(2)]);
         assert!(res.early_terminated);
         assert!(res.sorted_accesses < 10, "accessed {}", res.sorted_accesses);
     }
@@ -187,13 +494,34 @@ mod tests {
     fn exhaustive_baseline_scores_every_candidate_once() {
         let res = top_k_exhaustive([1, 2, 3, 2, 1].into_iter().map(NodeId), 2, |i| i.raw() as f64);
         assert_eq!(res.exact_computations, 3);
-        assert_eq!(res.items(), vec![NodeId(3), NodeId(2)]);
+        assert_eq!(items_of(&res), vec![NodeId(3), NodeId(2)]);
     }
 
     #[test]
     fn ranking_is_deterministic_on_ties() {
         let l = list(&[(5, 1.0), (3, 1.0), (9, 1.0)]);
         let res = top_k(&[&l], 2, |_| 1.0);
-        assert_eq!(res.items(), vec![NodeId(3), NodeId(5)]);
+        assert_eq!(items_of(&res), vec![NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn score_of_falls_back_to_a_scan_on_hand_built_results() {
+        let mut res = TopKResult::default();
+        res.ranked.push((NodeId(4), 2.0));
+        res.ranked.push((NodeId(1), 1.0));
+        assert_eq!(res.score_of(NodeId(1)), Some(1.0));
+        assert_eq!(res.score_of(NodeId(9)), None);
+    }
+
+    #[test]
+    fn candidate_dedup_spills_to_a_hash_set() {
+        let mut seen = Seen::new();
+        for i in 0..(SEEN_SPILL as u64 * 2) {
+            assert!(seen.insert(NodeId(i)));
+            assert!(!seen.insert(NodeId(i)));
+        }
+        assert!(seen.spill.is_some());
+        assert!(!seen.insert(NodeId(0)));
+        assert!(seen.insert(NodeId(u64::MAX)));
     }
 }

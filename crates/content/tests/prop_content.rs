@@ -1,13 +1,108 @@
 //! Property-based tests for the content-management layer: clustering
-//! invariants and the admissibility of clustered top-k processing.
+//! invariants, the admissibility of clustered top-k processing, and the
+//! equivalence of the heap-based threshold top-k with both the exhaustive
+//! oracle and the seed (sort-per-insert, loose-threshold) implementation.
 
 use proptest::prelude::*;
 use socialscope_content::topk::top_k_exhaustive;
 use socialscope_content::{
     BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex, HybridClustering,
-    NetworkBasedClustering, SiteModel,
+    NetworkBasedClustering, PostingList, SiteModel, TopKResult,
 };
-use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
+use socialscope_graph::{FxHashSet, GraphBuilder, NodeId, SocialGraph};
+use std::collections::BTreeSet;
+
+/// The seed implementation of threshold top-k, kept verbatim as the
+/// reference the optimized engine must never exceed in accesses: sorted
+/// access in round-robin, a re-sorted candidate buffer per insertion, and
+/// the loose last-read-score threshold re-summed every round.
+fn seed_top_k(
+    lists: &[&PostingList],
+    k: usize,
+    mut exact: impl FnMut(NodeId) -> f64,
+) -> (Vec<(NodeId, f64)>, usize, usize) {
+    let (mut sorted_accesses, mut exact_computations) = (0usize, 0usize);
+    if k == 0 || lists.is_empty() {
+        return (Vec::new(), 0, 0);
+    }
+    let mut positions = vec![0usize; lists.len()];
+    let mut frontier: Vec<f64> =
+        lists.iter().map(|l| l.get(0).map(|p| p.score).unwrap_or(0.0)).collect();
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut best: Vec<(f64, NodeId)> = Vec::new();
+    loop {
+        let mut advanced = false;
+        for (li, list) in lists.iter().enumerate() {
+            let Some(post) = list.get(positions[li]) else {
+                frontier[li] = 0.0;
+                continue;
+            };
+            positions[li] += 1;
+            sorted_accesses += 1;
+            frontier[li] = post.score;
+            advanced = true;
+            if seen.insert(post.item) {
+                let score = exact(post.item);
+                exact_computations += 1;
+                best.push((score, post.item));
+                best.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+                if best.len() > k {
+                    best.remove(0);
+                }
+            }
+        }
+        let threshold: f64 = frontier.iter().sum();
+        if best.len() >= k && best[0].0 >= threshold {
+            break;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    best.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    (best.into_iter().map(|(s, i)| (i, s)).collect(), sorted_accesses, exact_computations)
+}
+
+/// Shared assertions for one evaluated query: the result's scores are
+/// truthful, its positive part matches the exhaustive oracle, every item
+/// strictly above the k-th best score is present, and the cost counters
+/// never exceed the seed implementation's on the same lists.
+fn assert_topk_equivalence(
+    result: &TopKResult,
+    oracle: &TopKResult,
+    seed: &(Vec<(NodeId, f64)>, usize, usize),
+    truth: impl Fn(NodeId) -> f64,
+) {
+    for &(item, score) in &result.ranked {
+        prop_assert_eq!(score, truth(item), "untruthful score for {}", item);
+    }
+    let positive = |ranked: &[(NodeId, f64)]| -> Vec<f64> {
+        ranked.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect()
+    };
+    prop_assert_eq!(positive(&result.ranked), positive(&oracle.ranked), "score sequence");
+    // Everything strictly above the boundary score must be found (ties at
+    // the boundary may legitimately resolve to different item ids).
+    let boundary = oracle.ranked.last().map(|(_, s)| *s).unwrap_or(0.0);
+    let above = |ranked: &[(NodeId, f64)]| -> BTreeSet<NodeId> {
+        ranked.iter().filter(|(_, s)| *s > boundary).map(|(i, _)| *i).collect()
+    };
+    prop_assert_eq!(above(&result.ranked), above(&oracle.ranked), "items above boundary");
+    prop_assert!(
+        result.sorted_accesses <= seed.1,
+        "sorted accesses regressed: {} > seed {}",
+        result.sorted_accesses,
+        seed.1
+    );
+    prop_assert!(
+        result.exact_computations <= seed.2,
+        "exact computations regressed: {} > seed {}",
+        result.exact_computations,
+        seed.2
+    );
+    // The seed's own output obeys the same positive-part contract, so the
+    // two engines agree wherever ties leave no latitude.
+    prop_assert_eq!(positive(&seed.0), positive(&result.ranked), "seed vs heap scores");
+}
 
 const TAGS: [&str; 4] = ["baseball", "museum", "family", "hiking"];
 
@@ -146,6 +241,62 @@ proptest! {
                 .filter(|s| *s > 0.0)
                 .collect();
             prop_assert_eq!(got, want, "user {}", u);
+        }
+    }
+
+    /// Heap-based top-k over *exact* lists: for every user and k, the full
+    /// query path (interned lookups, hinted random access, merge fast
+    /// path) returns the oracle's ranking with truthful scores, and its
+    /// counters never exceed the seed implementation's on the same lists.
+    #[test]
+    fn heap_topk_matches_oracle_and_never_exceeds_seed_counters_exact(
+        (users, items, fr, tg) in arb_inputs(),
+        k in 1usize..6,
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let index = ExactIndex::build(&site);
+        let keywords = vec![TAGS[0].to_string(), TAGS[1].to_string(), TAGS[2].to_string()];
+        for &u in &user_ids {
+            let result = index.query(u, &keywords, k);
+            let oracle = top_k_exhaustive(site.items(), k, |i| site.query_score(i, u, &keywords));
+            let lists: Vec<&PostingList> =
+                keywords.iter().filter_map(|kw| index.list(kw, u)).collect();
+            let seed = seed_top_k(&lists, k, |item| {
+                lists.iter().map(|l| l.score_of(item).unwrap_or(0.0)).sum()
+            });
+            assert_topk_equivalence(&result, &oracle, &seed, |i| {
+                site.query_score(i, u, &keywords)
+            });
+        }
+    }
+
+    /// Heap-based top-k over *upper-bound* (clustered) lists: same oracle
+    /// agreement and counter bounds, with exact scores recomputed from the
+    /// site model as the clustered trade-off demands.
+    #[test]
+    fn heap_topk_matches_oracle_and_never_exceeds_seed_counters_bounds(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        k in 1usize..6,
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let clustered =
+            ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, theta));
+        let keywords = vec![TAGS[0].to_string(), TAGS[1].to_string()];
+        for &u in &user_ids {
+            let report = clustered.query(&site, u, &keywords, k);
+            let oracle = top_k_exhaustive(site.items(), k, |i| site.query_score(i, u, &keywords));
+            let cluster = clustered.clustering.cluster_of(u);
+            let lists: Vec<&PostingList> = keywords
+                .iter()
+                .filter_map(|kw| cluster.and_then(|c| clustered.list(kw, c)))
+                .collect();
+            let seed = seed_top_k(&lists, k, |item| site.query_score(item, u, &keywords));
+            assert_topk_equivalence(&report.result, &oracle, &seed, |i| {
+                site.query_score(i, u, &keywords)
+            });
         }
     }
 

@@ -55,11 +55,11 @@ pub mod prelude {
     pub use socialscope_content::{
         ActivityManager, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
         ContentIntegrator, DeploymentModel, ExactIndex, HybridClustering, NetworkBasedClustering,
-        SiteModel, UserJourney,
+        SiteModel, TagId, TagInterner, UserJourney,
     };
     pub use socialscope_discovery::{
         recommend_for_user, ContentAnalyzer, InformationDiscoverer, MeaningfulSocialGraph,
-        UserQuery,
+        NetworkAwareSearch, UserQuery,
     };
     pub use socialscope_graph::{
         GraphBuilder, GraphStats, Link, LinkId, Node, NodeId, SocialGraph, Value,

@@ -1,6 +1,6 @@
 //! Recommendation strategies (paper §2, §5.4, §7.2).
 //!
-//! Three strategies are provided, matching the ones the paper's examples and
+//! Four strategies are provided, matching the ones the paper's examples and
 //! explanation section rely on:
 //!
 //! * [`algebra_cf`] — the user-based collaborative filtering of Example 5,
@@ -11,15 +11,19 @@
 //!   rated"), which is also what the content-based explanation of §7.2
 //!   assumes;
 //! * [`expert`] — the expert fallback of Example 2 for users whose own
-//!   network carries no signal for the query.
+//!   network carries no signal for the query;
+//! * [`network_aware`] — §6.2's network-aware keyword search served from
+//!   the content layer's exact inverted index via threshold top-k.
 
 pub mod algebra_cf;
 pub mod expert;
 pub mod item_cf;
+pub mod network_aware;
 
 pub use algebra_cf::{collaborative_filtering, collaborative_filtering_plan, CfConfig};
 pub use expert::expert_recommendations;
 pub use item_cf::item_based_recommendations;
+pub use network_aware::NetworkAwareSearch;
 
 use serde::{Deserialize, Serialize};
 use socialscope_graph::{NodeId, SocialGraph};

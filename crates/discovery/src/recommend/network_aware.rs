@@ -1,0 +1,121 @@
+//! Network-aware keyword search as a recommendation path (paper §6.2).
+//!
+//! The discoverer's relevance scoring walks the graph per query; for
+//! keyword-only workloads the content layer's inverted indexes answer the
+//! same "what did my network tag with these keywords?" question in
+//! microseconds. [`NetworkAwareSearch`] materializes the [`SiteModel`] and
+//! the exact per-`(tag, user)` index once and serves threshold-style top-k
+//! recommendations from it — query keywords are resolved through the
+//! index's tag interner, so the hot path neither clones nor lowercases
+//! strings.
+
+use super::Recommendation;
+use socialscope_content::{ExactIndex, SiteModel, TopKResult};
+use socialscope_graph::{NodeId, SocialGraph};
+
+/// A reusable network-aware keyword search engine: site model plus exact
+/// inverted index, built once per graph snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkAwareSearch {
+    site: SiteModel,
+    index: ExactIndex,
+}
+
+impl NetworkAwareSearch {
+    /// Materialize the site primitives and the exact index from a graph.
+    pub fn build(graph: &SocialGraph) -> Self {
+        let site = SiteModel::from_graph(graph);
+        let index = ExactIndex::build(&site);
+        NetworkAwareSearch { site, index }
+    }
+
+    /// The underlying site model.
+    pub fn site(&self) -> &SiteModel {
+        &self.site
+    }
+
+    /// The underlying exact index.
+    pub fn index(&self) -> &ExactIndex {
+        &self.index
+    }
+
+    /// Raw top-k evaluation with cost counters, for callers that want the
+    /// pruning telemetry alongside the ranking.
+    pub fn query(&self, user: NodeId, keywords: &[String], k: usize) -> TopKResult {
+        self.index.query(user, keywords, k)
+    }
+
+    /// Top-k items the user's network tagged with the query keywords, as
+    /// recommendations (positive scores only).
+    pub fn recommend(&self, user: NodeId, keywords: &[String], k: usize) -> Vec<Recommendation> {
+        self.query(user, keywords, k)
+            .ranked
+            .into_iter()
+            .filter(|(_, score)| *score > 0.0)
+            .map(|(item, score)| Recommendation { item, score, strategy: "network-aware" })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_content::topk::top_k_exhaustive;
+    use socialscope_graph::GraphBuilder;
+
+    /// Two friends tag different items; a stranger tags a third.
+    fn site() -> (SocialGraph, Vec<NodeId>, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let users: Vec<NodeId> = (0..4).map(|i| b.add_user(&format!("u{i}"))).collect();
+        let items: Vec<NodeId> =
+            (0..3).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        b.befriend(users[0], users[1]);
+        b.befriend(users[0], users[2]);
+        b.tag(users[1], items[0], &["baseball"]);
+        b.tag(users[2], items[0], &["baseball"]);
+        b.tag(users[1], items[1], &["museum"]);
+        b.tag(users[3], items[2], &["baseball", "museum"]);
+        (b.build(), users, items)
+    }
+
+    #[test]
+    fn recommendations_come_from_the_network_not_strangers() {
+        let (graph, users, items) = site();
+        let search = NetworkAwareSearch::build(&graph);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        let recs = search.recommend(users[0], &keywords, 3);
+        // Both friends tagged i0 with baseball (score 2), one friend tagged
+        // i1 with museum (score 1); the stranger's i2 never appears.
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].item, items[0]);
+        assert_eq!(recs[0].score, 2.0);
+        assert_eq!(recs[1].item, items[1]);
+        assert!(recs.iter().all(|r| r.strategy == "network-aware"));
+        assert!(recs.iter().all(|r| r.item != items[2]));
+    }
+
+    #[test]
+    fn ranking_matches_the_exhaustive_oracle() {
+        let (graph, users, _) = site();
+        let search = NetworkAwareSearch::build(&graph);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        for &u in &users {
+            let res = search.query(u, &keywords, 3);
+            let oracle = top_k_exhaustive(search.site().items(), 3, |i| {
+                search.site().query_score(i, u, &keywords)
+            });
+            let got: Vec<f64> = res.ranked.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect();
+            let want: Vec<f64> =
+                oracle.ranked.iter().map(|(_, s)| *s).filter(|s| *s > 0.0).collect();
+            assert_eq!(got, want, "user {u}");
+        }
+    }
+
+    #[test]
+    fn users_without_network_get_no_recommendations() {
+        let (graph, users, _) = site();
+        let search = NetworkAwareSearch::build(&graph);
+        let recs = search.recommend(users[3], &["baseball".to_string()], 3);
+        assert!(recs.is_empty());
+    }
+}

@@ -52,11 +52,21 @@ fn prelude_exposes_discovery_and_topk() {
         .discover(&graph, &UserQuery::keywords_for(john, "Denver baseball"));
     assert_eq!(msg.ranked[0].item, coors);
 
-    // Top-k processing over the content layer's site model.
+    // Top-k processing over the content layer's site model; tag lookups go
+    // through the index's interner.
     let model = SiteModel::from_graph(&graph);
     let index = ExactIndex::build(&model);
     let result = index.query(john, &["baseball".to_string()], 1);
     assert_eq!(result.ranked.len(), 1);
+    let id: TagId = index.tags().get("baseball").expect("tag interned");
+    assert_eq!(index.tags().resolve(id), Some("baseball"));
+    let _interner: &TagInterner = index.tags();
+
+    // The discovery layer serves the same index as a recommender.
+    let search = NetworkAwareSearch::build(&graph);
+    let recs = search.recommend(john, &["baseball".to_string()], 1);
+    assert_eq!(recs.len(), 1);
+    assert_eq!(recs[0].item, coors);
 }
 
 #[test]
