@@ -1,0 +1,138 @@
+"""Validate the bench JSON documents and gate perf-counter regressions.
+
+Run from the repository root after the bench-smoke sweeps have produced
+their JSON files under ci-artifacts/. Three duties:
+
+1. Schema-validate the E8 top-k documents: the smoke run emitted this job,
+   and the committed baseline ``BENCH_topk.json`` (which must also carry
+   its seed-implementation ``before`` run and a real speedup).
+2. Gate counter regressions: the gate run re-measures the committed
+   baseline's exact workload (scale 200, 20 probe users, fixed seed), so
+   its ``sorted_accesses`` / ``exact_computations`` are deterministic and
+   directly comparable. Any engine x k row exceeding the committed
+   ``after`` counters means top-k pruning regressed: fail the job.
+3. Schema-validate the E9 batch documents and require the committed
+   ``BENCH_batch.json`` headline (exact index, batch 32) to keep the
+   measured >= 2x batching gain it was committed with.
+"""
+
+import json
+import sys
+
+TOPK_SMOKE = "ci-artifacts/bench_topk_smoke.json"
+TOPK_GATE = "ci-artifacts/bench_topk_gate.json"
+BATCH_SMOKE = "ci-artifacts/bench_batch_smoke.json"
+TOPK_COMMITTED = "BENCH_topk.json"
+BATCH_COMMITTED = "BENCH_batch.json"
+
+REQUIRED_TOPK_RUN = {"experiment", "seed", "scale", "probe_users",
+                     "repetitions", "keywords", "engines"}
+REQUIRED_TOPK_ROW = {"engine", "k", "wall_ms", "sorted_accesses",
+                     "exact_computations", "early_terminations"}
+TOPK_ENGINES = {"exhaustive_baseline", "exact_index_ta", "clustered_index_ta"}
+
+REQUIRED_BATCH_RUN = {"experiment", "seed", "scale", "k", "queries_per_class",
+                      "repetitions", "site_users", "classes", "batch_sizes",
+                      "rows", "aggregate", "headline"}
+REQUIRED_BATCH_ROW = {"engine", "class", "batch_size", "user_queries",
+                      "wall_ms_loop", "wall_ms_batch", "speedup"}
+BATCH_ENGINES = {"exact_index", "clustered_index"}
+BATCH_CLASSES = {"general", "categorical", "specific"}
+BATCH_SIZES = {1, 8, 32, 128}
+HEADLINE_MIN_SPEEDUP = 2.0
+
+
+def check_topk_run(run, where):
+    missing = REQUIRED_TOPK_RUN - run.keys()
+    assert not missing, f"{where}: missing {missing}"
+    assert run["experiment"] == "E8_topk_sweep", where
+    seen = set()
+    for row in run["engines"]:
+        assert not (REQUIRED_TOPK_ROW - row.keys()), f"{where}: bad row {row}"
+        seen.add(row["engine"])
+    assert seen == TOPK_ENGINES, f"{where}: engines {seen}"
+
+
+def check_batch_doc(doc, where):
+    missing = REQUIRED_BATCH_RUN - doc.keys()
+    assert not missing, f"{where}: missing {missing}"
+    assert doc["experiment"] == "E9_batch_sweep", where
+    assert set(doc["classes"]) == BATCH_CLASSES, f"{where}: classes {doc['classes']}"
+    assert set(doc["batch_sizes"]) == BATCH_SIZES, f"{where}: sizes {doc['batch_sizes']}"
+    cells = set()
+    for row in doc["rows"]:
+        assert not (REQUIRED_BATCH_ROW - row.keys()), f"{where}: bad row {row}"
+        cells.add((row["engine"], row["class"], row["batch_size"]))
+    expected = {(e, c, b) for e in BATCH_ENGINES for c in BATCH_CLASSES
+                for b in BATCH_SIZES}
+    assert cells == expected, f"{where}: rows cover {len(cells)}/{len(expected)} cells"
+    head = doc["headline"]
+    assert head["engine"] == "exact_index" and head["batch_size"] == 32, where
+
+
+def counters_of(run):
+    return {(row["engine"], row["k"]): (row["sorted_accesses"],
+                                        row["exact_computations"])
+            for row in run["engines"]}
+
+
+def main():
+    # 1. E8 schemas.
+    smoke = json.load(open(TOPK_SMOKE))
+    assert set(smoke) == {"before", "after", "speedup"}, TOPK_SMOKE
+    check_topk_run(smoke["after"], TOPK_SMOKE)
+
+    committed = json.load(open(TOPK_COMMITTED))
+    assert set(committed) == {"before", "after", "speedup"}, TOPK_COMMITTED
+    check_topk_run(committed["after"], TOPK_COMMITTED)
+    check_topk_run(committed["before"], TOPK_COMMITTED)
+    assert committed["speedup"]["exact_index_ta"]["total"] > 1.0, TOPK_COMMITTED
+
+    # 2. Counter-regression gate against the committed baseline. Counters
+    # are only comparable when the gate re-measures the exact committed
+    # workload, so pin every workload parameter — if any differs, someone
+    # regenerated BENCH_topk.json without updating ci.yml (or vice versa),
+    # and silently passing would neutralize the gate.
+    gate = json.load(open(TOPK_GATE))
+    check_topk_run(gate["after"], TOPK_GATE)
+    for param in ("scale", "probe_users", "seed", "keywords"):
+        got, want = gate["after"][param], committed["after"][param]
+        assert got == want, (
+            f"gate run {param}={got} differs from committed baseline "
+            f"{param}={want}; align ci.yml's gate flags with BENCH_topk.json")
+    baseline = counters_of(committed["after"])
+    regressions = []
+    for key, (sorted_now, exact_now) in counters_of(gate["after"]).items():
+        assert key in baseline, (
+            f"gate row {key} has no counterpart in the committed baseline; "
+            "the k sweep changed — regenerate BENCH_topk.json")
+        sorted_base, exact_base = baseline[key]
+        if sorted_now > sorted_base or exact_now > exact_base:
+            regressions.append(
+                f"{key}: sorted_accesses {sorted_now} vs baseline {sorted_base}, "
+                f"exact_computations {exact_now} vs baseline {exact_base}")
+    if regressions:
+        print("COUNTER REGRESSION past the committed BENCH_topk.json baseline:")
+        for line in regressions:
+            print(f"  {line}")
+        print("If pruning genuinely changed, regenerate BENCH_topk.json and "
+              "update the pinned counters in crates/bench/tests/.")
+        sys.exit(1)
+
+    # 3. E9 schemas and the committed batching headline.
+    check_batch_doc(json.load(open(BATCH_SMOKE)), BATCH_SMOKE)
+    batch = json.load(open(BATCH_COMMITTED))
+    check_batch_doc(batch, BATCH_COMMITTED)
+    headline = batch["headline"]["speedup"]
+    assert headline >= HEADLINE_MIN_SPEEDUP, (
+        f"{BATCH_COMMITTED}: committed exact-index batch-32 speedup {headline} "
+        f"fell below {HEADLINE_MIN_SPEEDUP}x; regenerate with "
+        "`experiments batch --scale 200 --out BENCH_batch.json` on a quiet "
+        "machine or fix the batching regression")
+
+    print("bench JSON schemas OK; counters within the committed baseline; "
+          f"batch headline {headline}x >= {HEADLINE_MIN_SPEEDUP}x")
+
+
+if __name__ == "__main__":
+    main()

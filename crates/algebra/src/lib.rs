@@ -14,7 +14,7 @@
 //! | Link Selection `σL⟨C,S⟩` (Def. 2) | [`select`] | [`select::link_select`] |
 //! | Union / Intersection / Node-Driven Minus (Def. 3) | [`setops`] | [`setops::union`], [`setops::intersect`], [`setops::minus`] |
 //! | Link-Driven Minus `\·` (Def. 4) | [`setops`] | [`setops::minus_link_driven`] |
-//! | Composition `⊙⟨δ,F⟩` (Def. 5) | [`compose`] | [`compose::compose`] |
+//! | Composition `⊙⟨δ,F⟩` (Def. 5) | [`mod@compose`] | [`compose::compose()`] |
 //! | Semi-Join `⋉δ` (Def. 6) | [`semijoin`] | [`semijoin::semi_join`] |
 //! | Set / numerical aggregate functions SAF & NAF (Defs. 7–8) | [`aggfn`] | [`aggfn::AggregateFn`], [`aggfn::NafExpr`] |
 //! | Node Aggregation `γN⟨C,d,att,A⟩` (Def. 9) | [`aggregate`] | [`aggregate::node_aggregate`] |

@@ -84,7 +84,7 @@ impl Scoring for AttributeScoring {
 
 /// A tf–idf scoring function over the node corpus of a social content graph,
 /// in the spirit of the classic IR measure the paper contrasts with
-/// (§2.1, §6.2 and ref [6]).
+/// (§2.1, §6.2 and ref \[6\]).
 ///
 /// Document frequency is computed over the attribute text of every node of
 /// the corpus graph; term frequency is computed per element at scoring time.

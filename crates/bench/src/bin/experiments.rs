@@ -7,14 +7,24 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `fig2`, `sizing`, `clustering`,
-//! `algebra`, `presentation`, `all`, and `topk` — the E8 top-k sweep that
-//! measures wall time and cost counters at a fixed seed and emits
-//! `BENCH_topk.json` (see the README "Performance" section):
+//! `algebra`, `presentation`, `all`, plus two measured sweeps (see the
+//! README "Performance" section):
+//!
+//! * `topk` — the E8 top-k sweep: wall time and cost counters at a fixed
+//!   seed, emitting `BENCH_topk.json`;
+//! * `batch` — the E9 batched multi-user sweep: query-log-driven keyword
+//!   sets served to user batches of size {1, 8, 32, 128}, batch call vs
+//!   per-user loop, emitting `BENCH_batch.json`.
 //!
 //! ```text
 //! cargo run -p socialscope_bench --release --bin experiments -- topk \
 //!     --scale 200 --out BENCH_topk.json [--baseline before.json]
+//! cargo run -p socialscope_bench --release --bin experiments -- batch \
+//!     --scale 200 --out BENCH_batch.json
 //! ```
+//!
+//! Unknown subcommands or flags, malformed numeric values and unwritable
+//! `--out` destinations all fail fast with a non-zero exit.
 
 use socialscope_algebra::prelude::*;
 use socialscope_bench::{site_at_scale, site_with_matches, standard_keywords};
@@ -28,23 +38,57 @@ use socialscope_discovery::{ContentAnalyzer, InformationDiscoverer, UserQuery};
 use socialscope_presentation::{GroupingStrategy, InformationOrganizer};
 use socialscope_workload::queries::expected_fraction;
 use socialscope_workload::{
-    paper_sizing_example, ClassCounts, QueryClass, QueryLogConfig, QueryLogGenerator,
+    keywords_of, paper_sizing_example, ClassCounts, QueryClass, QueryLogConfig, QueryLogGenerator,
 };
 use std::time::Instant;
+
+const USAGE: &str =
+    "table1 | table2 | fig2 | sizing | clustering | algebra | presentation | topk | batch | all";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
+    let rest: &[String] = if args.is_empty() { &[] } else { &args[1..] };
+    // Fixed experiments take no flags; swallowing a typo silently would
+    // leave the caller believing the flag did something.
+    let no_flags = |name: &str| {
+        if !rest.is_empty() {
+            fail(&format!("`{name}` takes no flags (got `{}`)", rest.join(" ")));
+        }
+    };
     match which {
-        "table1" => table1(),
-        "table2" => table2(),
-        "fig2" => fig2(),
-        "sizing" => sizing(),
-        "clustering" => clustering(),
-        "algebra" => algebra(),
-        "presentation" => presentation(),
-        "topk" => topk_sweep(&args[1..]),
+        "table1" => {
+            no_flags("table1");
+            table1();
+        }
+        "table2" => {
+            no_flags("table2");
+            table2();
+        }
+        "fig2" => {
+            no_flags("fig2");
+            fig2();
+        }
+        "sizing" => {
+            no_flags("sizing");
+            sizing();
+        }
+        "clustering" => {
+            no_flags("clustering");
+            clustering();
+        }
+        "algebra" => {
+            no_flags("algebra");
+            algebra();
+        }
+        "presentation" => {
+            no_flags("presentation");
+            presentation();
+        }
+        "topk" => topk_sweep(rest),
+        "batch" => batch_sweep(rest),
         "all" => {
+            no_flags("all");
             table1();
             table2();
             fig2();
@@ -53,13 +97,44 @@ fn main() {
             algebra();
             presentation();
         }
-        other => {
-            eprintln!("unknown experiment `{other}`");
-            eprintln!(
-                "expected: table1 | table2 | fig2 | sizing | clustering | algebra | presentation | topk | all"
-            );
-            std::process::exit(2);
-        }
+        other => fail(&format!("unknown experiment `{other}` (expected: {USAGE})")),
+    }
+}
+
+/// Usage error: print the message and exit non-zero.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: experiments <{USAGE}> [flags]");
+    std::process::exit(2);
+}
+
+/// I/O error: print the message and exit non-zero (distinct from usage
+/// errors so scripts can tell a typo from a filesystem problem).
+fn fail_io(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Parse a numeric flag value with a clear error instead of a panic.
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| fail(&format!("{flag} takes a number, got `{value}`")))
+}
+
+/// Reject an unwritable `--out` destination up front — before minutes of
+/// sweeping — without touching the file itself: regeneration flows point
+/// `--baseline` and `--out` at the same committed path, so the file must
+/// not be truncated before the baseline has been read.
+fn validate_out_path(path: &str) {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        fail(&format!("--out `{path}` is a directory"));
+    }
+    let parent = match p.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir,
+        _ => std::path::Path::new("."),
+    };
+    if !parent.is_dir() {
+        fail(&format!("--out `{path}`: parent directory `{}` does not exist", parent.display()));
     }
 }
 
@@ -242,7 +317,7 @@ fn sizing() {
     );
 }
 
-/// E5 — clustering space/time trade-off (the ref [5] summary).
+/// E5 — clustering space/time trade-off (the ref \[5\] summary).
 fn clustering() {
     heading("E5 / §6.2 — Clustering strategies: space vs. query-time trade-off");
     let site = site_at_scale(400);
@@ -438,23 +513,21 @@ fn topk_sweep(args: &[String]) {
     let mut baseline: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| {
-                eprintln!("{name} requires a value");
-                std::process::exit(2);
-            })
-        };
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")));
         match flag.as_str() {
-            "--scale" => scale = value("--scale").parse().expect("--scale takes a number"),
-            "--users" => probe_users = value("--users").parse().expect("--users takes a number"),
-            "--reps" => reps = value("--reps").parse().expect("--reps takes a number"),
+            "--scale" => scale = parse_num("--scale", value("--scale")),
+            "--users" => probe_users = parse_num("--users", value("--users")),
+            "--reps" => reps = parse_num("--reps", value("--reps")),
             "--out" => out = Some(value("--out").clone()),
             "--baseline" => baseline = Some(value("--baseline").clone()),
-            other => {
-                eprintln!("unknown topk flag `{other}` (expected --scale/--users/--reps/--out/--baseline)");
-                std::process::exit(2);
-            }
+            other => fail(&format!(
+                "unknown topk flag `{other}` (expected --scale/--users/--reps/--out/--baseline)"
+            )),
         }
+    }
+    if let Some(path) = &out {
+        validate_out_path(path);
     }
 
     heading(&format!(
@@ -467,6 +540,9 @@ fn topk_sweep(args: &[String]) {
     let clustered = ClusteredIndex::build(&model, NetworkBasedClustering.cluster(&model, 0.3));
     let users: Vec<_> = site.users.iter().copied().take(probe_users).collect();
 
+    // Dedup the keyword set once for the whole sweep, as a real exhaustive
+    // scorer would — the per-item loop must not absorb per-query work.
+    let distinct = socialscope_content::distinct_keywords(&keywords);
     let mut rows: Vec<TopkRow> = Vec::new();
     for &k in &[5usize, 20] {
         let engines: Vec<TopkEngine<'_>> = vec![
@@ -474,7 +550,7 @@ fn topk_sweep(args: &[String]) {
                 "exhaustive_baseline",
                 Box::new(|u| {
                     socialscope_content::topk::top_k_exhaustive(model.items(), k, |i| {
-                        model.query_score(i, u, &keywords)
+                        model.query_score_distinct(i, u, &distinct)
                     })
                 }),
             ),
@@ -489,18 +565,11 @@ fn topk_sweep(args: &[String]) {
                 ec += r.exact_computations;
                 et += r.early_terminated as usize;
             }
-            // Best-of-three total wall time over `reps` repetitions of the
-            // whole probe-user set, to damp scheduler noise.
-            let mut best = f64::INFINITY;
-            for _ in 0..3 {
-                let t = Instant::now();
-                for _ in 0..reps {
-                    for &u in &users {
-                        std::hint::black_box(run(u).ranked.len());
-                    }
+            let best = best_of_three(reps, || {
+                for &u in &users {
+                    std::hint::black_box(run(u).ranked.len());
                 }
-                best = best.min(t.elapsed().as_secs_f64() * 1e3);
-            }
+            });
             println!(
                 "{name:<22} k={k:<3} wall {best:>9.3} ms   sorted {sa:>7}   exact {ec:>6}   early {et:>3}"
             );
@@ -524,7 +593,7 @@ fn topk_sweep(args: &[String]) {
     let before = match baseline {
         Some(path) => {
             let doc = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+                .unwrap_or_else(|e| fail_io(&format!("cannot read baseline {path}: {e}")));
             let doc = doc.trim();
             // A baseline is either a bare run object or a prior
             // before/after document. For the latter, keep its original
@@ -569,11 +638,258 @@ fn topk_sweep(args: &[String]) {
         format!("{{{}}}", parts.join(","))
     };
     let json = format!("{{\"before\":{before},\"after\":{run_json},\"speedup\":{speedup}}}\n");
+    write_json_out(out.as_deref(), &json);
+}
+
+/// Emit a JSON document to `--out` (with a clean error on failure) or to
+/// stdout when no destination was given.
+fn write_json_out(out: Option<&str>, json: &str) {
     match out {
         Some(path) => {
-            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| fail_io(&format!("cannot write {path}: {e}")));
             println!("\nwrote {path}");
         }
         None => println!("\n{json}"),
     }
+}
+
+/// One measured engine × query-class × batch-size configuration of E9.
+struct BatchRow {
+    engine: &'static str,
+    class: &'static str,
+    batch_size: usize,
+    user_queries: usize,
+    wall_ms_loop: f64,
+    wall_ms_batch: f64,
+}
+
+impl BatchRow {
+    fn speedup(&self) -> f64 {
+        self.wall_ms_loop / self.wall_ms_batch.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\":\"{}\",\"class\":\"{}\",\"batch_size\":{},\"user_queries\":{},\"wall_ms_loop\":{:.3},\"wall_ms_batch\":{:.3},\"speedup\":{:.2}}}",
+            self.engine,
+            self.class,
+            self.batch_size,
+            self.user_queries,
+            self.wall_ms_loop,
+            self.wall_ms_batch,
+            self.speedup()
+        )
+    }
+}
+
+/// The batch sizes every E9 combination sweeps.
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+/// Time one closure: best-of-three total wall time over `reps` repetitions,
+/// to damp scheduler noise (same discipline as the E8 sweep).
+fn best_of_three(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            run();
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// E9 — batched multi-user query sweep, driven by the query log: for each
+/// query class (general / categorical / specific) and each batch size in
+/// {1, 8, 32, 128}, the same keyword sets are served to user batches two
+/// ways — a loop of single `query` calls versus one `query_batch_with`
+/// call over a persistent scratch arena — and the wall-time ratio is the
+/// measured batching gain. Batch results are asserted identical to the
+/// loop's before anything is timed. Emits a JSON run object
+/// (`BENCH_batch.json` when `--out` points there).
+fn batch_sweep(args: &[String]) {
+    let mut scale = 200usize;
+    let mut reps = 30usize;
+    let mut k = 10usize;
+    let mut queries_per_class = 16usize;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")));
+        match flag.as_str() {
+            "--scale" => scale = parse_num("--scale", value("--scale")),
+            "--reps" => reps = parse_num("--reps", value("--reps")),
+            "--k" => k = parse_num("--k", value("--k")),
+            "--queries" => queries_per_class = parse_num("--queries", value("--queries")),
+            "--out" => out = Some(value("--out").clone()),
+            other => fail(&format!(
+                "unknown batch flag `{other}` (expected --scale/--reps/--k/--queries/--out)"
+            )),
+        }
+    }
+    if let Some(path) = &out {
+        validate_out_path(path);
+    }
+
+    heading(&format!(
+        "E9 / batched multi-user queries at scale {scale} (k={k}, {queries_per_class} queries/class × {reps} reps)"
+    ));
+    let site = site_at_scale(scale);
+    let model = SiteModel::from_graph(&site.graph);
+    let exact = ExactIndex::build(&model);
+    let clustered = ClusteredIndex::build(&model, NetworkBasedClustering.cluster(&model, 0.3));
+
+    // Query-log-driven keyword sets, a fixed number per class (alternating
+    // the with/without-location form where the class distinguishes them).
+    let mut gen = QueryLogGenerator::new(QueryLogConfig { seed: 7, ..Default::default() });
+    let classes: Vec<(&'static str, Vec<Vec<String>>)> = [
+        ("general", QueryClass::General),
+        ("categorical", QueryClass::Categorical),
+        ("specific", QueryClass::Specific),
+    ]
+    .into_iter()
+    .map(|(name, class)| {
+        let queries = (0..queries_per_class)
+            .map(|i| keywords_of(&gen.next_query_of(class, i % 2 == 0)))
+            .collect();
+        (name, queries)
+    })
+    .collect();
+
+    let mut rows: Vec<BatchRow> = Vec::new();
+    println!(
+        "{:<16} {:<12} {:>6} {:>9} {:>14} {:>15} {:>9}",
+        "engine", "class", "batch", "queries", "loop (ms)", "batch (ms)", "speedup"
+    );
+    for (class, queries) in &classes {
+        for &batch_size in &BATCH_SIZES {
+            // Each query serves one batch of users, cycling through the
+            // site's population so consecutive batches don't overlap.
+            let batches: Vec<Vec<socialscope_graph::NodeId>> = (0..queries.len())
+                .map(|i| {
+                    (0..batch_size)
+                        .map(|j| site.users[(i * batch_size + j) % site.users.len()])
+                        .collect()
+                })
+                .collect();
+            let user_queries = queries.len() * batch_size;
+
+            // Sanity: the batch path must be element-wise identical to the
+            // per-user loop before its wall time means anything.
+            for (keywords, batch) in queries.iter().zip(&batches) {
+                let from_batch = exact.query_batch(batch, keywords, k);
+                for (got, &u) in from_batch.iter().zip(batch.iter()) {
+                    assert_eq!(got, &exact.query(u, keywords, k), "exact batch mismatch");
+                }
+                let from_batch = clustered.query_batch(&model, batch, keywords, k);
+                for (got, &u) in from_batch.iter().zip(batch.iter()) {
+                    assert_eq!(
+                        got,
+                        &clustered.query(&model, u, keywords, k),
+                        "clustered batch mismatch"
+                    );
+                }
+            }
+
+            let wall_ms_loop = best_of_three(reps, || {
+                for (keywords, batch) in queries.iter().zip(&batches) {
+                    for &u in batch {
+                        std::hint::black_box(exact.query(u, keywords, k).ranked.len());
+                    }
+                }
+            });
+            let mut scratch = socialscope_content::BatchScratch::default();
+            let wall_ms_batch = best_of_three(reps, || {
+                for (keywords, batch) in queries.iter().zip(&batches) {
+                    std::hint::black_box(
+                        exact.query_batch_with(&mut scratch, batch, keywords, k).len(),
+                    );
+                }
+            });
+            rows.push(BatchRow {
+                engine: "exact_index",
+                class,
+                batch_size,
+                user_queries,
+                wall_ms_loop,
+                wall_ms_batch,
+            });
+
+            let wall_ms_loop = best_of_three(reps, || {
+                for (keywords, batch) in queries.iter().zip(&batches) {
+                    for &u in batch {
+                        std::hint::black_box(
+                            clustered.query(&model, u, keywords, k).result.ranked.len(),
+                        );
+                    }
+                }
+            });
+            let mut scratch = socialscope_content::BatchScratch::default();
+            let wall_ms_batch = best_of_three(reps, || {
+                for (keywords, batch) in queries.iter().zip(&batches) {
+                    std::hint::black_box(
+                        clustered.query_batch_with(&mut scratch, &model, batch, keywords, k).len(),
+                    );
+                }
+            });
+            rows.push(BatchRow {
+                engine: "clustered_index",
+                class,
+                batch_size,
+                user_queries,
+                wall_ms_loop,
+                wall_ms_batch,
+            });
+
+            for row in rows.iter().rev().take(2).rev() {
+                println!(
+                    "{:<16} {:<12} {:>6} {:>9} {:>14.3} {:>15.3} {:>8.2}x",
+                    row.engine,
+                    row.class,
+                    row.batch_size,
+                    row.user_queries,
+                    row.wall_ms_loop,
+                    row.wall_ms_batch,
+                    row.speedup()
+                );
+            }
+        }
+    }
+
+    // Aggregate across classes: total loop wall over total batch wall per
+    // engine × batch size — the headline is the exact index at batch 32.
+    let mut aggregate = Vec::new();
+    let mut headline = 0.0f64;
+    for engine in ["exact_index", "clustered_index"] {
+        for &batch_size in &BATCH_SIZES {
+            let (mut lp, mut bt) = (0.0f64, 0.0f64);
+            for row in rows.iter().filter(|r| r.engine == engine && r.batch_size == batch_size) {
+                lp += row.wall_ms_loop;
+                bt += row.wall_ms_batch;
+            }
+            let speedup = lp / bt.max(1e-9);
+            if engine == "exact_index" && batch_size == 32 {
+                headline = speedup;
+            }
+            aggregate.push(format!(
+                "{{\"engine\":\"{engine}\",\"batch_size\":{batch_size},\"wall_ms_loop\":{lp:.3},\"wall_ms_batch\":{bt:.3},\"speedup\":{speedup:.2}}}"
+            ));
+        }
+    }
+    println!(
+        "\nheadline: exact_index batch-32 aggregate speedup {headline:.2}x over the per-user loop"
+    );
+
+    let class_names: Vec<String> = classes.iter().map(|(name, _)| format!("\"{name}\"")).collect();
+    let json = format!(
+        "{{\"experiment\":\"E9_batch_sweep\",\"seed\":7,\"scale\":{scale},\"k\":{k},\"queries_per_class\":{queries_per_class},\"repetitions\":{reps},\"site_users\":{},\"classes\":[{}],\"batch_sizes\":[{}],\"rows\":[{}],\"aggregate\":[{}],\"headline\":{{\"engine\":\"exact_index\",\"batch_size\":32,\"speedup\":{headline:.2}}}}}\n",
+        site.users.len(),
+        class_names.join(","),
+        BATCH_SIZES.map(|b| b.to_string()).join(","),
+        rows.iter().map(BatchRow::to_json).collect::<Vec<_>>().join(","),
+        aggregate.join(",")
+    );
+    write_json_out(out.as_deref(), &json);
 }

@@ -9,8 +9,9 @@
 
 use socialscope_bench::{site_at_scale, standard_keywords};
 use socialscope_content::{
-    ClusteredIndex, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel,
+    BatchScratch, ClusteredIndex, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel,
 };
+use socialscope_graph::NodeId;
 
 #[test]
 fn e8_counters_are_pinned_at_scale_200() {
@@ -50,4 +51,36 @@ fn e8_counters_are_pinned_at_scale_200() {
         "E8 counters moved; if pruning genuinely improved, update the pins \
          (and BENCH_topk.json) — never past the seed values in the module doc"
     );
+}
+
+/// At a realistic scale, the batch query paths must stay element-wise
+/// identical to per-user loops — ranking, scores and cost counters — on a
+/// batch that repeats users and contains ids the site never saw. The
+/// property suite proves this on small random sites; this pins it on the
+/// canonical generated workload where the counters actually prune.
+#[test]
+fn batch_queries_match_single_queries_at_scale_100() {
+    let site = site_at_scale(100);
+    let model = SiteModel::from_graph(&site.graph);
+    let keywords = standard_keywords();
+    let exact = ExactIndex::build(&model);
+    let clustered = ClusteredIndex::build(&model, NetworkBasedClustering.cluster(&model, 0.3));
+
+    // 48 seekers: the first 40 users cycled with repeats plus unknown ids.
+    let mut batch: Vec<NodeId> = (0..44).map(|i| site.users[i % 40]).collect();
+    batch.extend([NodeId(u64::MAX), NodeId(999_999), site.users[0], site.users[0]]);
+
+    let mut scratch = BatchScratch::default();
+    for k in [1usize, 5, 20] {
+        let results = exact.query_batch_with(&mut scratch, &batch, &keywords, k);
+        assert_eq!(results.len(), batch.len());
+        for (got, &u) in results.iter().zip(&batch) {
+            assert_eq!(got, &exact.query(u, &keywords, k), "exact user {u} k {k}");
+        }
+        let reports = clustered.query_batch_with(&mut scratch, &model, &batch, &keywords, k);
+        assert_eq!(reports.len(), batch.len());
+        for (got, &u) in reports.iter().zip(&batch) {
+            assert_eq!(got, &clustered.query(&model, u, &keywords, k), "clustered user {u} k {k}");
+        }
+    }
 }

@@ -13,7 +13,7 @@ use socialscope_graph::NodeId;
 /// actually tag keeps item scores close within a cluster at the price of a
 /// larger index (a user's network members may spread over many clusters, so
 /// more lists are touched at query time — but fewer exact scores must be
-/// recomputed). Reference [5] reports better processing time at the expense
+/// recomputed). Reference \[5\] reports better processing time at the expense
 /// of space compared to network-based clustering; experiment E5 re-measures
 /// the shape.
 #[derive(Debug, Clone, Copy, Default)]

@@ -17,7 +17,7 @@
 //! scanned in id order, joining the first existing cluster whose leader
 //! satisfies the strategy's predicate at threshold θ, or founding a new
 //! cluster otherwise. The experiments sweep θ to regenerate the space/time
-//! trade-off the paper summarizes from ref [5].
+//! trade-off the paper summarizes from ref \[5\].
 
 mod behavior;
 mod hybrid;

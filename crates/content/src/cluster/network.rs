@@ -10,7 +10,7 @@ use socialscope_graph::NodeId;
 /// Since item scores depend on the asking user's network, users with
 /// substantially overlapping networks see similar scores, so one shared
 /// inverted list per cluster loses little precision. The paper (citing its
-/// ref [5]) reports that this strategy saves the most space at a modest
+/// ref \[5\]) reports that this strategy saves the most space at a modest
 /// query-time overhead — the shape experiment E5 re-measures.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NetworkBasedClustering;

@@ -19,12 +19,11 @@
 
 use crate::cluster::{ClusterId, UserClustering};
 use crate::posting::{PostingList, BYTES_PER_ENTRY};
-use crate::sitemodel::SiteModel;
-use crate::tags::{TagId, TagInterner};
-use crate::topk::{top_k, top_k_hinted, TopKResult};
+use crate::sitemodel::{distinct_keywords, SiteModel};
+use crate::tags::{QueryTags, TagId, TagInterner};
+use crate::topk::{top_k_hinted_with, top_k_with, TopKResult, TopKScratch};
 use serde::{Deserialize, Serialize};
 use socialscope_graph::{FxBuildHasher, FxHashMap, NodeId};
-use std::collections::BTreeSet;
 
 /// Space statistics of an index.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,14 +106,53 @@ fn accumulate_per_user(
     }
 }
 
-/// The exact per-`(tag, user)` index. Lists are grouped user-first: a
-/// query resolves its user once in the big outer table, then each keyword
-/// scans the user's small tag-sorted vector — one or two cache lines
-/// instead of a hash probe per keyword.
+/// The tag-sorted posting lists of one user (the exact index's per-user
+/// row).
+type UserLists = Vec<(TagId, PostingList)>;
+
+/// Reusable scratch arena for batch query evaluation: the slot-resolution
+/// buffer that orders a batch by index layout, plus the top-k evaluation
+/// state (candidate heap + seen set) threaded through every query of the
+/// batch. One arena serves any number of `query_batch_with` calls — a
+/// serving thread keeps one per worker and pays the setup allocations
+/// once, not once per query.
+#[derive(Default)]
+pub struct BatchScratch {
+    /// `(layout key, original batch position)` pairs, sorted so the batch
+    /// walks the index in storage order.
+    order: Vec<(u32, u32)>,
+    /// Shared threshold-evaluation state.
+    topk: TopKScratch,
+    /// Cluster-span buffer for the clustered engine's per-user report.
+    spans: Vec<ClusterId>,
+}
+
+/// Layout key marking a batch member with no row in the index (unknown
+/// user / unclustered user): sorts after every real slot.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Borrowed scratch pieces one clustered query evaluation threads through
+/// [`ClusteredIndex::query_gathered`]: the top-k state plus the reusable
+/// cluster-span sort-dedup buffer (the batch path refills one allocation
+/// across the whole batch).
+struct ClusterScratch<'a> {
+    topk: &'a mut TopKScratch,
+    spans: &'a mut Vec<ClusterId>,
+}
+
+/// The exact per-`(tag, user)` index. Lists are grouped user-first and
+/// packed densely in ascending user-id order: a query resolves its user to
+/// a slot once in the outer table, then each keyword scans the user's
+/// small tag-sorted vector — one or two cache lines instead of a hash
+/// probe per keyword — and batch queries walk the slots in layout order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ExactIndex {
     tags: TagInterner,
-    lists: FxHashMap<NodeId, Vec<(TagId, PostingList)>>,
+    /// Maps a user to their slot in `users` — the single hash probe of a
+    /// query.
+    slots: FxHashMap<NodeId, u32>,
+    /// Per-user rows, ascending by user id (the batch walk order).
+    users: Vec<(NodeId, UserLists)>,
 }
 
 impl ExactIndex {
@@ -149,10 +187,10 @@ impl ExactIndex {
                     .insert(item, score);
             }
         }
-        let lists = lists
+        let mut users: Vec<(NodeId, UserLists)> = lists
             .into_iter()
             .map(|(user, by_tag)| {
-                let mut by_tag: Vec<(TagId, PostingList)> = by_tag
+                let mut by_tag: UserLists = by_tag
                     .into_iter()
                     .map(|(tag, items)| (tag, PostingList::from_entries(items)))
                     .collect();
@@ -160,7 +198,21 @@ impl ExactIndex {
                 (user, by_tag)
             })
             .collect();
-        ExactIndex { tags, lists }
+        users.sort_unstable_by_key(|(user, _)| *user);
+        let slots = users
+            .iter()
+            .enumerate()
+            .map(|(slot, (user, _))| {
+                // NO_SLOT (u32::MAX) is reserved for "not indexed", so the
+                // bound excludes it, not just anything past u32.
+                let slot = u32::try_from(slot)
+                    .ok()
+                    .filter(|&s| s != NO_SLOT)
+                    .expect("fewer than 2^32 - 1 indexed users");
+                (*user, slot)
+            })
+            .collect();
+        ExactIndex { tags, slots, users }
     }
 
     /// The tag symbol table the index is keyed on.
@@ -176,26 +228,50 @@ impl ExactIndex {
 
     /// The list for an interned `(tag, user)` pair.
     pub fn list_by_id(&self, tag: TagId, user: NodeId) -> Option<&PostingList> {
-        find_tag(self.lists.get(&user)?, tag)
+        find_tag(self.user_lists(user)?, tag)
+    }
+
+    /// The tag-sorted rows of one user, if indexed.
+    fn user_lists(&self, user: NodeId) -> Option<&[(TagId, PostingList)]> {
+        self.slots.get(&user).map(|&slot| self.users[slot as usize].1.as_slice())
     }
 
     /// Space statistics.
     pub fn stats(&self) -> IndexStats {
-        let entries: usize = self.lists.values().flat_map(|m| m.iter()).map(|(_, l)| l.len()).sum();
-        let lists: usize = self.lists.values().map(Vec::len).sum();
+        let entries: usize =
+            self.users.iter().flat_map(|(_, row)| row.iter()).map(|(_, l)| l.len()).sum();
+        let lists: usize = self.users.iter().map(|(_, row)| row.len()).sum();
         IndexStats { lists, entries, bytes: entries * BYTES_PER_ENTRY }
     }
 
     /// Top-k query for a user: merge the user's per-keyword lists; the
     /// stored scores are exact, so the total score of a candidate is the sum
-    /// of its stored scores across the query's lists.
+    /// of its stored scores across the query's lists. Duplicate keywords
+    /// (in any casing) count once — a query is a keyword set.
     pub fn query(&self, user: NodeId, keywords: &[String], k: usize) -> TopKResult {
-        // One probe of the big user table; per-keyword lookups then scan
-        // the user's small tag vector.
-        let by_tag = self.lists.get(&user);
-        let lists = QueryLists::gather(
-            keywords.iter().filter_map(|kw| find_tag(by_tag?, self.tags.get(kw.as_str())?)),
-        );
+        let tag_ids = QueryTags::resolve(&self.tags, keywords);
+        self.query_resolved(
+            self.user_lists(user),
+            tag_ids.as_slice(),
+            k,
+            &mut TopKScratch::default(),
+        )
+    }
+
+    /// Evaluate one resolved query against one user's rows. Shared verbatim
+    /// by [`Self::query`] and the batch path, so batch results are
+    /// element-wise identical — ranking and counters — to single calls.
+    fn query_resolved(
+        &self,
+        user_lists: Option<&[(TagId, PostingList)]>,
+        tag_ids: &[TagId],
+        k: usize,
+        scratch: &mut TopKScratch,
+    ) -> TopKResult {
+        // One probe of the big user table happened in the caller; each
+        // keyword now scans the user's small tag-sorted vector.
+        let lists =
+            QueryLists::gather(tag_ids.iter().filter_map(|&tag| find_tag(user_lists?, tag)));
         let lists = lists.as_slice();
         let total: usize = lists.iter().map(|l| l.len()).sum();
         if total < k {
@@ -225,7 +301,53 @@ impl ExactIndex {
             }
             total
         };
-        top_k_hinted(lists, k, exact)
+        top_k_hinted_with(scratch, lists, k, exact)
+    }
+
+    /// Top-k for a whole batch of users sharing one keyword set — the
+    /// paper's network-aware scoring ranks the *same* keywords differently
+    /// per seeker, which makes the multi-user batch the natural serving
+    /// unit. Keywords resolve to [`TagId`]s once for the batch, evaluation
+    /// state is reused across users, and users are visited in index-layout
+    /// order so the user-first storage is walked cache-friendly. Results
+    /// arrive in input order and each equals the corresponding
+    /// [`Self::query`] call exactly.
+    pub fn query_batch(&self, users: &[NodeId], keywords: &[String], k: usize) -> Vec<TopKResult> {
+        self.query_batch_with(&mut BatchScratch::default(), users, keywords, k)
+    }
+
+    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`], so a
+    /// serving loop pays the arena's allocations once, not per batch.
+    pub fn query_batch_with(
+        &self,
+        scratch: &mut BatchScratch,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        let tag_ids = QueryTags::resolve(&self.tags, keywords);
+        let tag_ids = tag_ids.as_slice();
+        let mut results: Vec<TopKResult> = Vec::with_capacity(users.len());
+        // No keyword resolved to an indexed tag: every member's answer is
+        // the same empty result a single query would produce, and the
+        // whole batch is served without touching the per-user table — the
+        // amortization a per-user loop structurally cannot have.
+        if tag_ids.is_empty() {
+            results.resize_with(users.len(), TopKResult::default);
+            return results;
+        }
+        let BatchScratch { order, topk, .. } = scratch;
+        order.clear();
+        order.extend(users.iter().enumerate().map(|(position, user)| {
+            (self.slots.get(user).copied().unwrap_or(NO_SLOT), position as u32)
+        }));
+        order.sort_unstable();
+        results.resize_with(users.len(), TopKResult::default);
+        for &(slot, position) in order.iter() {
+            let rows = (slot != NO_SLOT).then(|| self.users[slot as usize].1.as_slice());
+            results[position as usize] = self.query_resolved(rows, tag_ids, k, topk);
+        }
+        results
     }
 
     /// Degenerate top-k where the lists hold fewer than k entries: every
@@ -344,7 +466,8 @@ impl ClusteredIndex {
     /// Top-k query for a user. Candidate generation uses the upper-bound
     /// lists of the user's own cluster; exact scores are recomputed from the
     /// site model at query time (the processing overhead the clustering
-    /// trade-off accepts).
+    /// trade-off accepts). Duplicate keywords (in any casing) count once —
+    /// a query is a keyword set.
     pub fn query(
         &self,
         site: &SiteModel,
@@ -352,15 +475,114 @@ impl ClusteredIndex {
         keywords: &[String],
         k: usize,
     ) -> ClusteredQueryReport {
+        let tag_ids = QueryTags::resolve(&self.tags, keywords);
         let cluster = self.clustering.cluster_of(user);
-        let lists = QueryLists::gather(
-            keywords.iter().filter_map(|kw| cluster.and_then(|c| self.list(kw, c))),
-        );
-        let result = top_k(lists.as_slice(), k, |item| site.query_score(item, user, keywords));
+        let lists = self.gather_cluster_lists(cluster, tag_ids.as_slice());
+        let distinct = distinct_keywords(keywords);
+        let (mut topk, mut spans) = (TopKScratch::default(), Vec::new());
+        let scratch = ClusterScratch { topk: &mut topk, spans: &mut spans };
+        self.query_gathered(site, user, &lists, &distinct, k, scratch)
+    }
 
-        let network_clusters: BTreeSet<ClusterId> =
-            site.network_of(user).iter().filter_map(|v| self.clustering.cluster_of(*v)).collect();
-        ClusteredQueryReport { result, network_clusters_spanned: network_clusters.len() }
+    /// The upper-bound lists of one cluster for a resolved keyword set.
+    fn gather_cluster_lists(
+        &self,
+        cluster: Option<ClusterId>,
+        tag_ids: &[TagId],
+    ) -> QueryLists<'_> {
+        QueryLists::gather(
+            tag_ids.iter().filter_map(|&tag| cluster.and_then(|c| self.list_by_id(tag, c))),
+        )
+    }
+
+    /// Evaluate one user against already-gathered cluster lists. Shared by
+    /// [`Self::query`] and the batch path, so batch results are
+    /// element-wise identical to single calls. `keywords` must already be
+    /// deduplicated ([`distinct_keywords`]) — exact-score recomputation
+    /// runs once per candidate, so per-query work must stay out of it.
+    fn query_gathered(
+        &self,
+        site: &SiteModel,
+        user: NodeId,
+        lists: &QueryLists<'_>,
+        keywords: &[&str],
+        k: usize,
+        scratch: ClusterScratch<'_>,
+    ) -> ClusteredQueryReport {
+        let ClusterScratch { topk, spans } = scratch;
+        let result = top_k_with(topk, lists.as_slice(), k, |item| {
+            site.query_score_distinct(item, user, keywords)
+        });
+        spans.clear();
+        spans.extend(site.network_of(user).iter().filter_map(|v| self.clustering.cluster_of(*v)));
+        spans.sort_unstable();
+        spans.dedup();
+        ClusteredQueryReport { result, network_clusters_spanned: spans.len() }
+    }
+
+    /// Top-k for a whole batch of users sharing one keyword set. Keywords
+    /// resolve once, users are grouped by cluster so each cluster's
+    /// upper-bound lists are gathered a single time and walked while hot,
+    /// and the evaluation scratch is reused across the batch. Results
+    /// arrive in input order and each equals the corresponding
+    /// [`Self::query`] call exactly.
+    pub fn query_batch(
+        &self,
+        site: &SiteModel,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        self.query_batch_with(&mut BatchScratch::default(), site, users, keywords, k)
+    }
+
+    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`].
+    pub fn query_batch_with(
+        &self,
+        scratch: &mut BatchScratch,
+        site: &SiteModel,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        let tag_ids = QueryTags::resolve(&self.tags, keywords);
+        let distinct = distinct_keywords(keywords);
+        let BatchScratch { order, topk, spans } = scratch;
+        order.clear();
+        order.extend(users.iter().enumerate().map(|(position, user)| {
+            let cluster = self
+                .clustering
+                .cluster_of(*user)
+                // NO_SLOT (u32::MAX) is reserved for "unclustered", so the
+                // bound excludes it, not just anything past u32.
+                .map(|c| {
+                    u32::try_from(c.0)
+                        .ok()
+                        .filter(|&s| s != NO_SLOT)
+                        .expect("fewer than 2^32 - 1 clusters")
+                })
+                .unwrap_or(NO_SLOT);
+            (cluster, position as u32)
+        }));
+        order.sort_unstable();
+        let mut results: Vec<ClusteredQueryReport> = Vec::with_capacity(users.len());
+        results.resize_with(users.len(), ClusteredQueryReport::default);
+        let mut start = 0usize;
+        while start < order.len() {
+            let key = order[start].0;
+            let end = start
+                + order[start..].iter().position(|&(c, _)| c != key).unwrap_or(order.len() - start);
+            let cluster = (key != NO_SLOT).then_some(ClusterId(key as usize));
+            let lists = self.gather_cluster_lists(cluster, tag_ids.as_slice());
+            for &(_, position) in &order[start..end] {
+                let user = users[position as usize];
+                let scratch = ClusterScratch { topk: &mut *topk, spans: &mut *spans };
+                results[position as usize] =
+                    self.query_gathered(site, user, &lists, &distinct, k, scratch);
+            }
+            start = end;
+        }
+        results
     }
 }
 

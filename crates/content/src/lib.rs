@@ -46,15 +46,15 @@ pub use cluster::{
     NetworkBasedClustering, UserClustering,
 };
 pub use error::ContentError;
-pub use index::{ClusteredIndex, ExactIndex, IndexStats};
+pub use index::{BatchScratch, ClusteredIndex, ClusteredQueryReport, ExactIndex, IndexStats};
 pub use integrator::{ContentIntegrator, RemoteSite, SimulatedRemoteSite, SyncReport};
 pub use models::{
     ClosedCartelModel, ControlLevel, ControlMatrix, DecentralizedModel, DeploymentModel,
     JourneyMetrics, OpenCartelModel, UserJourney,
 };
 pub use posting::{Posting, PostingList};
-pub use sitemodel::SiteModel;
-pub use tags::{TagId, TagInterner};
+pub use sitemodel::{distinct_keywords, SiteModel};
+pub use tags::{QueryTags, TagId, TagInterner};
 pub use topk::{top_k, TopKResult};
 
 /// Convenience result alias for content-management operations.

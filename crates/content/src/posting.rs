@@ -26,7 +26,7 @@ pub(crate) const LINEAR_ACCESS_MAX: usize = 8;
 /// order: O(log n) (with a linear fast path for tiny companions). Shared by
 /// [`PostingList::score_of`] and [`crate::topk::TopKResult::score_of`] —
 /// the random-access primitive threshold-style top-k relies on (paper
-/// §6.2, ref [16]).
+/// §6.2, ref \[16\]).
 pub(crate) fn find_score_by_item(by_item: &[(NodeId, f64)], item: NodeId) -> Option<f64> {
     if by_item.len() <= LINEAR_ACCESS_MAX {
         // Branchless full scan: no data-dependent early exit to mispredict,
@@ -56,7 +56,7 @@ pub(crate) fn build_item_companion(
 }
 
 /// A posting list kept sorted by descending score, enabling sorted access
-/// for top-k pruning (ref [16] of the paper). A companion table of the same
+/// for top-k pruning (ref \[16\] of the paper). A companion table of the same
 /// `(item, score)` pairs in ascending-item order, built once at
 /// construction, gives O(log n) *random* access by item — the other half
 /// of the threshold algorithm's access model.

@@ -182,8 +182,20 @@ impl SiteModel {
     }
 
     /// `score(i, u) = Σ_j score_kj(i, u)` — the paper's exposition choice
-    /// `g = sum`.
+    /// `g = sum`, taken over the *distinct* keywords of the query: a query
+    /// is a keyword set, so repeating a keyword (in any casing) does not
+    /// double its contribution. This matches the inverted indexes, which
+    /// collapse duplicate keywords at `TagId` resolution.
     pub fn query_score(&self, item: NodeId, user: NodeId, keywords: &[String]) -> f64 {
+        self.query_score_distinct(item, user, &distinct_keywords(keywords))
+    }
+
+    /// [`Self::query_score`] over keywords the caller has already
+    /// deduplicated (e.g. via [`distinct_keywords`]). Top-k callers score
+    /// many candidate items against one fixed keyword set — deduplicating
+    /// once per query instead of once per candidate keeps the per-item
+    /// scorer a bare sum.
+    pub fn query_score_distinct(&self, item: NodeId, user: NodeId, keywords: &[&str]) -> f64 {
         keywords.iter().map(|k| self.keyword_score(item, user, k)).sum()
     }
 
@@ -196,6 +208,21 @@ impl SiteModel {
     pub fn behavior_jaccard(&self, a: NodeId, b: NodeId) -> f64 {
         jaccard(self.items_of(a), self.items_of(b))
     }
+}
+
+/// The distinct keywords of a query in first-occurrence order, comparing
+/// case-insensitively exactly as [`SiteModel::query_score`] does. Borrowed
+/// from the input, so deduplicating a query once up front costs one small
+/// vector, not a string clone per keyword.
+pub fn distinct_keywords(keywords: &[String]) -> Vec<&str> {
+    let mut distinct: Vec<&str> = Vec::with_capacity(keywords.len());
+    for (j, keyword) in keywords.iter().enumerate() {
+        let norm = normalize(keyword);
+        if !keywords[..j].iter().any(|prev| normalize(prev) == norm) {
+            distinct.push(keyword);
+        }
+    }
+    distinct
 }
 
 /// Size of the intersection of two ascending id slices (two-pointer merge).
@@ -282,6 +309,19 @@ mod tests {
         // u1's network: u0 (no tags), u2 (baseball + stadium on item a).
         assert_eq!(m.query_score(items[0], users[1], &q), 2.0);
         assert_eq!(m.query_score(items[1], users[1], &q), 0.0);
+    }
+
+    #[test]
+    fn query_score_counts_duplicate_keywords_once() {
+        let (m, users, items) = model();
+        let q = vec!["baseball".to_string(), "stadium".to_string()];
+        let dup = vec![
+            "baseball".to_string(),
+            "Stadium".to_string(),
+            "BASEBALL".to_string(),
+            "stadium".to_string(),
+        ];
+        assert_eq!(m.query_score(items[0], users[1], &dup), m.query_score(items[0], users[1], &q));
     }
 
     #[test]

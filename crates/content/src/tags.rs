@@ -83,9 +83,93 @@ impl TagInterner {
     }
 }
 
+/// Stack capacity of [`QueryTags`]: queries rarely carry more than a
+/// handful of keywords, so resolution should not touch the heap.
+const INLINE_QUERY_TAGS: usize = 8;
+
+/// The interned ids of one query's keywords, resolved against a
+/// [`TagInterner`] exactly once: unknown keywords are dropped and
+/// duplicates — in any casing — collapse onto their first occurrence, so a
+/// query behaves as a keyword *set* (scoring a keyword twice would double
+/// its contribution for every user). Resolving up front is what lets the
+/// batch query paths amortize all string work across a whole user batch.
+/// Inline for up to eight distinct keywords.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTags {
+    inline: [TagId; INLINE_QUERY_TAGS],
+    len: usize,
+    spill: Vec<TagId>,
+}
+
+impl QueryTags {
+    /// Resolve a query's keywords through an interner, in first-occurrence
+    /// order with duplicates and unknown keywords removed.
+    pub fn resolve(tags: &TagInterner, keywords: &[String]) -> Self {
+        let mut query = QueryTags::default();
+        for keyword in keywords {
+            if let Some(id) = tags.get(keyword) {
+                query.push_unique(id);
+            }
+        }
+        query
+    }
+
+    fn push_unique(&mut self, id: TagId) {
+        if self.as_slice().contains(&id) {
+            return;
+        }
+        if !self.spill.is_empty() {
+            self.spill.push(id);
+        } else if self.len < INLINE_QUERY_TAGS {
+            self.inline[self.len] = id;
+            self.len += 1;
+        } else {
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(id);
+        }
+    }
+
+    /// The resolved ids, in first-occurrence order.
+    pub fn as_slice(&self) -> &[TagId] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn kw(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn query_tags_dedup_and_drop_unknown_keywords() {
+        let mut t = TagInterner::new();
+        t.intern("baseball");
+        t.intern("museum");
+        let q = QueryTags::resolve(&t, &kw(&["museum", "BASEBALL", "opera", "baseball", "Museum"]));
+        assert_eq!(q.as_slice(), &[TagId(1), TagId(0)]);
+        assert!(QueryTags::resolve(&t, &[]).as_slice().is_empty());
+    }
+
+    #[test]
+    fn query_tags_spill_past_the_inline_capacity() {
+        let mut t = TagInterner::new();
+        let words: Vec<String> = (0..2 * INLINE_QUERY_TAGS).map(|i| format!("tag{i}")).collect();
+        for w in &words {
+            t.intern(w);
+        }
+        // Duplicate every keyword; the resolved set still holds each once.
+        let doubled: Vec<String> = words.iter().chain(words.iter()).cloned().collect();
+        let q = QueryTags::resolve(&t, &doubled);
+        let want: Vec<TagId> = (0..2 * INLINE_QUERY_TAGS as u32).map(TagId).collect();
+        assert_eq!(q.as_slice(), want.as_slice());
+    }
 
     #[test]
     fn interning_is_idempotent_and_case_insensitive() {

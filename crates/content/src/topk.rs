@@ -1,5 +1,5 @@
 //! Threshold-style top-k processing over sorted posting lists (paper §6.2,
-//! ref [16] — Fagin's family of optimal aggregation algorithms).
+//! ref \[16\] — Fagin's family of optimal aggregation algorithms).
 //!
 //! Lists are read by *sorted access* in round-robin; every newly seen item
 //! is fully scored by a caller-supplied exact-score function (*random
@@ -138,39 +138,70 @@ impl Ord for Candidate {
 /// The k-bounded min-heap of the best candidates seen so far. For the usual
 /// small k it is a hand-rolled binary heap in a stack array — the query
 /// then allocates nothing for candidate tracking; large k spills to a
-/// `BinaryHeap` chosen once at construction. Both orderings are
-/// [`Candidate`]'s inverted `Ord`, so the root/peek is always the current
-/// k-th best (the next eviction victim).
+/// `BinaryHeap` chosen per evaluation in [`Best::reset`]. Both orderings
+/// are [`Candidate`]'s inverted `Ord`, so the root/peek is always the
+/// current k-th best (the next eviction victim).
 struct Best {
     buf: [Candidate; INLINE_BEST],
     len: usize,
+    /// Whether the current evaluation's k exceeds the inline capacity.
+    /// Dispatch goes through this flag, not through `spill`'s presence, so
+    /// a heap grown by a large-k query stays allocated across small-k
+    /// queries of the same batch and is reused when a large k returns.
+    use_spill: bool,
     spill: Option<BinaryHeap<Candidate>>,
 }
 
 const INLINE_BEST: usize = 24;
 
-impl Best {
-    fn new(k: usize) -> Self {
+impl Default for Best {
+    fn default() -> Self {
         Best {
             buf: [Candidate { score: 0.0, item: NodeId(0) }; INLINE_BEST],
             len: 0,
-            spill: (k > INLINE_BEST).then(|| BinaryHeap::with_capacity(k + 1)),
+            use_spill: false,
+            spill: None,
+        }
+    }
+}
+
+impl Best {
+    /// Prepare the buffer for a fresh evaluation at `k`. Reusing one `Best`
+    /// across a batch skips re-initializing the inline array every query;
+    /// only `len`, the spill choice and (for large k) the heap reset.
+    fn reset(&mut self, k: usize) {
+        self.len = 0;
+        self.use_spill = k > INLINE_BEST;
+        if self.use_spill {
+            match &mut self.spill {
+                Some(heap) => {
+                    heap.clear();
+                    heap.reserve(k + 1);
+                }
+                None => self.spill = Some(BinaryHeap::with_capacity(k + 1)),
+            }
         }
     }
 
+    fn heap(&self) -> &BinaryHeap<Candidate> {
+        self.spill.as_ref().expect("reset allocates the spill heap before use")
+    }
+
     fn len(&self) -> usize {
-        match &self.spill {
-            Some(h) => h.len(),
-            None => self.len,
+        if self.use_spill {
+            self.heap().len()
+        } else {
+            self.len
         }
     }
 
     /// The weakest of the current best candidates (the heap root).
     #[inline]
     fn weakest(&self) -> Option<Candidate> {
-        match &self.spill {
-            Some(h) => h.peek().copied(),
-            None => (self.len > 0).then(|| self.buf[0]),
+        if self.use_spill {
+            self.heap().peek().copied()
+        } else {
+            (self.len > 0).then(|| self.buf[0])
         }
     }
 
@@ -180,7 +211,8 @@ impl Best {
     /// but with no heap traffic for tail candidates.
     #[inline]
     fn offer(&mut self, k: usize, c: Candidate) {
-        if let Some(h) = &mut self.spill {
+        if self.use_spill {
+            let h = self.spill.as_mut().expect("reset allocates the spill heap before use");
             if h.len() < k {
                 h.push(c);
             } else if let Some(mut root) = h.peek_mut() {
@@ -227,15 +259,21 @@ impl Best {
     }
 
     /// Drain into the final ranking: descending score, ascending item on
-    /// ties (exactly ascending `Candidate` order).
-    fn into_ranked(mut self) -> Vec<(NodeId, f64)> {
-        match self.spill {
-            Some(h) => h.into_sorted_vec().into_iter().map(|c| (c.item, c.score)).collect(),
-            None => {
-                let slice = &mut self.buf[..self.len];
-                slice.sort_unstable();
-                slice.iter().map(|c| (c.item, c.score)).collect()
-            }
+    /// ties (exactly ascending `Candidate` order). Leaves the buffer empty
+    /// — spill capacity included — ready for the next [`Self::reset`], so
+    /// batch reuse amortizes the heap allocation even for large k.
+    fn take_ranked(&mut self) -> Vec<(NodeId, f64)> {
+        if self.use_spill {
+            let h = self.spill.as_mut().expect("reset allocates the spill heap before use");
+            let mut candidates: Vec<Candidate> = h.drain().collect();
+            candidates.sort_unstable();
+            candidates.into_iter().map(|c| (c.item, c.score)).collect()
+        } else {
+            let slice = &mut self.buf[..self.len];
+            slice.sort_unstable();
+            let ranked = slice.iter().map(|c| (c.item, c.score)).collect();
+            self.len = 0;
+            ranked
         }
     }
 }
@@ -252,9 +290,36 @@ struct Seen {
 
 const SEEN_SPILL: usize = 48;
 
+impl Default for Seen {
+    fn default() -> Self {
+        Seen::new()
+    }
+}
+
+/// Reusable evaluation state for threshold top-k: the candidate heap and
+/// the seen-set, reset (not reallocated) between queries. One scratch
+/// serves any number of sequential evaluations — the batch query paths
+/// thread a single instance through a whole user batch, so per-query setup
+/// shrinks to two length resets.
+#[derive(Default)]
+pub(crate) struct TopKScratch {
+    seen: Seen,
+    best: Best,
+}
+
 impl Seen {
     fn new() -> Self {
         Seen { buf: [NodeId(0); SEEN_SPILL], len: 0, spill: None }
+    }
+
+    /// Forget every recorded item. A spilled hash set is kept allocated but
+    /// cleared — the capacity it grew to serves the next query of the
+    /// batch, which is the point of reusing the scratch.
+    fn reset(&mut self) {
+        self.len = 0;
+        if let Some(set) = &mut self.spill {
+            set.clear();
+        }
     }
 
     /// Record an item; returns true the first time it is seen.
@@ -287,11 +352,35 @@ pub fn top_k(lists: &[&PostingList], k: usize, mut exact: impl FnMut(NodeId) -> 
     top_k_hinted(lists, k, |item, _, _| exact(item))
 }
 
+/// [`top_k`] evaluated through a caller-supplied [`TopKScratch`], for batch
+/// callers that amortize the evaluation state across many queries.
+pub(crate) fn top_k_with(
+    scratch: &mut TopKScratch,
+    lists: &[&PostingList],
+    k: usize,
+    mut exact: impl FnMut(NodeId) -> f64,
+) -> TopKResult {
+    top_k_hinted_with(scratch, lists, k, |item, _, _| exact(item))
+}
+
 /// Like [`top_k`], but the scoring closure also receives the index of the
 /// list the candidate surfaced from and its stored score there. Exact-list
 /// callers use the hint to skip one of their per-list random accesses —
 /// the discovering list's score is already in hand.
 pub(crate) fn top_k_hinted(
+    lists: &[&PostingList],
+    k: usize,
+    exact: impl FnMut(NodeId, usize, f64) -> f64,
+) -> TopKResult {
+    top_k_hinted_with(&mut TopKScratch::default(), lists, k, exact)
+}
+
+/// The hinted threshold kernel, evaluated through a caller-supplied
+/// [`TopKScratch`]. Results — ranking and cost counters alike — are
+/// identical whether the scratch is fresh or reused; reuse only removes
+/// the per-query state initialization.
+pub(crate) fn top_k_hinted_with(
+    scratch: &mut TopKScratch,
     lists: &[&PostingList],
     k: usize,
     mut exact: impl FnMut(NodeId, usize, f64) -> f64,
@@ -300,6 +389,8 @@ pub(crate) fn top_k_hinted(
     if k == 0 || lists.is_empty() {
         return result;
     }
+    let TopKScratch { seen, best } = scratch;
+    seen.reset();
     // When the lists hold fewer than k entries altogether, no candidate can
     // ever be evicted and the threshold stop cannot fire before exhaustion
     // (the buffer never fills); the bounded-buffer and threshold machinery
@@ -308,7 +399,6 @@ pub(crate) fn top_k_hinted(
     // scored, exactly as the round-robin would.
     let total: usize = lists.iter().map(|l| l.len()).sum();
     if total < k {
-        let mut seen = Seen::new();
         let mut scored: Vec<(NodeId, f64)> = Vec::with_capacity(total);
         for (li, list) in lists.iter().enumerate() {
             for post in list.iter() {
@@ -353,8 +443,7 @@ pub(crate) fn top_k_hinted(
         cursor.frontier = cursor.entries.first().map(|p| p.score).unwrap_or(0.0);
     }
     let mut threshold: f64 = cursors.iter().map(|c| c.frontier).sum();
-    let mut seen = Seen::new();
-    let mut best = Best::new(k);
+    best.reset(k);
     let mut sorted_accesses = 0usize;
     let mut exact_computations = 0usize;
 
@@ -397,7 +486,7 @@ pub(crate) fn top_k_hinted(
 
     result.sorted_accesses = sorted_accesses;
     result.exact_computations = exact_computations;
-    TopKResult { ranked: best.into_ranked(), ..result }.reindexed()
+    TopKResult { ranked: best.take_ranked(), ..result }.reindexed()
 }
 
 /// Exhaustive (no pruning) top-k used as a correctness oracle in tests and
@@ -511,6 +600,22 @@ mod tests {
         res.ranked.push((NodeId(1), 1.0));
         assert_eq!(res.score_of(NodeId(1)), Some(1.0));
         assert_eq!(res.score_of(NodeId(9)), None);
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible_across_k_sizes() {
+        // Enough entries to exercise both the inline buffer (k <= 24) and
+        // the spill heap (k > 24), alternating so one scratch crosses the
+        // boundary in both directions.
+        let l1 = list(&(0..60).map(|i| (i, (60 - i) as f64)).collect::<Vec<_>>());
+        let l2 = list(&(30..90).map(|i| (i, (90 - i) as f64)).collect::<Vec<_>>());
+        let exact = |i: NodeId| l1.score_of(i).unwrap_or(0.0) + l2.score_of(i).unwrap_or(0.0);
+        let mut scratch = TopKScratch::default();
+        for &k in &[2usize, 30, 3, 40, 24, 25, 1] {
+            let fresh = top_k(&[&l1, &l2], k, exact);
+            let reused = top_k_with(&mut scratch, &[&l1, &l2], k, exact);
+            assert_eq!(fresh, reused, "k = {k}");
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use socialscope_content::topk::top_k_exhaustive;
 use socialscope_content::{
-    BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex, HybridClustering,
-    NetworkBasedClustering, PostingList, SiteModel, TopKResult,
+    BatchScratch, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex,
+    HybridClustering, NetworkBasedClustering, PostingList, SiteModel, TopKResult,
 };
 use socialscope_graph::{FxHashSet, GraphBuilder, NodeId, SocialGraph};
 use std::collections::BTreeSet;
@@ -298,6 +298,95 @@ proptest! {
                 site.query_score(i, u, &keywords)
             });
         }
+    }
+
+    /// `query_batch` is element-wise identical — ranking, scores and cost
+    /// counters — to a loop of single `query` calls, for both index
+    /// engines, on batches that repeat users, shuffle order and include
+    /// unknown ids, whether the scratch arena is fresh or reused.
+    #[test]
+    fn batch_queries_match_single_queries(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        k in 0usize..6,
+        picks in prop::collection::vec(0usize..10, 0..16),
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let exact = ExactIndex::build(&site);
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, theta));
+        let keywords = vec![TAGS[0].to_string(), TAGS[1].to_string(), TAGS[2].to_string()];
+        // Map picks onto real users, with out-of-range picks becoming
+        // unknown ids the index has never seen.
+        let batch: Vec<NodeId> = picks
+            .iter()
+            .map(|&p| {
+                if p < user_ids.len() { user_ids[p] } else { NodeId(10_000 + p as u64) }
+            })
+            .collect();
+        let mut scratch = BatchScratch::default();
+        let fresh = exact.query_batch(&batch, &keywords, k);
+        let reused = exact.query_batch_with(&mut scratch, &batch, &keywords, k);
+        prop_assert_eq!(fresh.len(), batch.len());
+        for ((got, with), &u) in fresh.iter().zip(&reused).zip(&batch) {
+            let single = exact.query(u, &keywords, k);
+            prop_assert_eq!(got, &single, "exact batch diverged for user {}", u);
+            prop_assert_eq!(with, &single, "exact reused-scratch batch diverged for user {}", u);
+        }
+        let fresh = clustered.query_batch(&site, &batch, &keywords, k);
+        let reused = clustered.query_batch_with(&mut scratch, &site, &batch, &keywords, k);
+        prop_assert_eq!(fresh.len(), batch.len());
+        for ((got, with), &u) in fresh.iter().zip(&reused).zip(&batch) {
+            let single = clustered.query(&site, u, &keywords, k);
+            prop_assert_eq!(got, &single, "clustered batch diverged for user {}", u);
+            prop_assert_eq!(with, &single, "clustered reused-scratch batch diverged for user {}", u);
+        }
+    }
+
+    /// Duplicating query keywords — in any mix of casings — changes
+    /// nothing: a query is a keyword set, for the site model's scoring and
+    /// for both index engines, single and batched.
+    #[test]
+    fn duplicate_keywords_do_not_change_scores(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        k in 1usize..6,
+        dup_pattern in prop::collection::vec(0usize..3, 1..8),
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let exact = ExactIndex::build(&site);
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, theta));
+        let distinct = vec![TAGS[0].to_string(), TAGS[1].to_string(), TAGS[2].to_string()];
+        // The duplicated query: the distinct keywords first (so resolution
+        // order matches), then extra repeats in alternating casings.
+        let mut dupped = distinct.clone();
+        for (i, &d) in dup_pattern.iter().enumerate() {
+            let word = &distinct[d];
+            dupped.push(if i % 2 == 0 { word.to_uppercase() } else { word.clone() });
+        }
+        for &u in &user_ids {
+            for item in site.items() {
+                prop_assert_eq!(
+                    site.query_score(item, u, &dupped),
+                    site.query_score(item, u, &distinct)
+                );
+            }
+            prop_assert_eq!(exact.query(u, &dupped, k), exact.query(u, &distinct, k));
+            prop_assert_eq!(
+                clustered.query(&site, u, &dupped, k),
+                clustered.query(&site, u, &distinct, k)
+            );
+        }
+        let batch: Vec<NodeId> = user_ids.clone();
+        prop_assert_eq!(
+            exact.query_batch(&batch, &dupped, k),
+            exact.query_batch(&batch, &distinct, k)
+        );
+        prop_assert_eq!(
+            clustered.query_batch(&site, &batch, &dupped, k),
+            clustered.query_batch(&site, &batch, &distinct, k)
+        );
     }
 
     /// Tightening θ can only increase (or keep) the number of clusters.

@@ -53,7 +53,7 @@ pub use socialscope_workload as workload;
 pub mod prelude {
     pub use socialscope_algebra::prelude::*;
     pub use socialscope_content::{
-        ActivityManager, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
+        ActivityManager, BatchScratch, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
         ContentIntegrator, DeploymentModel, ExactIndex, HybridClustering, NetworkBasedClustering,
         SiteModel, TagId, TagInterner, UserJourney,
     };

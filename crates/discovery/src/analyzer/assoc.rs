@@ -1,4 +1,4 @@
-//! Association-rule mining over tagging transactions (paper ref [3]).
+//! Association-rule mining over tagging transactions (paper ref \[3\]).
 //!
 //! Transactions are the tag sets users assign to items (one transaction per
 //! tagging link). A simple Apriori pass mines frequent 1- and 2-itemsets and

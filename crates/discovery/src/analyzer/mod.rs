@@ -6,10 +6,10 @@
 //! manipulates, which is the point of the uniform framework:
 //!
 //! * **topic derivation** ([`topics`]) — Latent Dirichlet Allocation over
-//!   the tag corpus (ref [8]), with a deterministic co-occurrence fallback;
+//!   the tag corpus (ref \[8\]), with a deterministic co-occurrence fallback;
 //!   produces `topic` nodes and `belong` links;
 //! * **association-rule mining** ([`assoc`]) — frequent tag-set mining in
-//!   the spirit of ref [3]; produces rules the presentation layer can use
+//!   the spirit of ref \[3\]; produces rules the presentation layer can use
 //!   for related-topic suggestions;
 //! * **user-similarity derivation** ([`similarity`]) — `match` links between
 //!   users with similar activity, the input to collaborative filtering.

@@ -1,6 +1,6 @@
 //! Topic derivation over the tag corpus.
 //!
-//! The paper cites Latent Dirichlet Allocation (ref [8]) as the canonical
+//! The paper cites Latent Dirichlet Allocation (ref \[8\]) as the canonical
 //! analysis for deriving topic nodes. We implement a small collapsed-Gibbs
 //! LDA over the item "documents" (each item's bag of tags collected from its
 //! incoming tagging activity) plus a deterministic co-occurrence fallback

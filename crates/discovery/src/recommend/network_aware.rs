@@ -10,7 +10,7 @@
 //! strings.
 
 use super::Recommendation;
-use socialscope_content::{ExactIndex, SiteModel, TopKResult};
+use socialscope_content::{BatchScratch, ExactIndex, SiteModel, TopKResult};
 use socialscope_graph::{NodeId, SocialGraph};
 
 /// A reusable network-aware keyword search engine: site model plus exact
@@ -48,7 +48,43 @@ impl NetworkAwareSearch {
     /// Top-k items the user's network tagged with the query keywords, as
     /// recommendations (positive scores only).
     pub fn recommend(&self, user: NodeId, keywords: &[String], k: usize) -> Vec<Recommendation> {
-        self.query(user, keywords, k)
+        Self::to_recommendations(self.query(user, keywords, k))
+    }
+
+    /// Raw top-k for a batch of seekers sharing one keyword set: keywords
+    /// resolve through the index's interner once, evaluation state is
+    /// reused across the batch, and users are visited in index-layout
+    /// order. Results arrive in input order, each identical to the
+    /// corresponding [`Self::query`] call.
+    pub fn query_batch(&self, users: &[NodeId], keywords: &[String], k: usize) -> Vec<TopKResult> {
+        self.index.query_batch(users, keywords, k)
+    }
+
+    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`], so a
+    /// serving loop pays the arena's allocations once, not per batch.
+    pub fn query_batch_with(
+        &self,
+        scratch: &mut BatchScratch,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        self.index.query_batch_with(scratch, users, keywords, k)
+    }
+
+    /// Batched [`Self::recommend`]: one recommendation list per seeker, in
+    /// input order.
+    pub fn recommend_batch(
+        &self,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<Vec<Recommendation>> {
+        self.query_batch(users, keywords, k).into_iter().map(Self::to_recommendations).collect()
+    }
+
+    fn to_recommendations(result: TopKResult) -> Vec<Recommendation> {
+        result
             .ranked
             .into_iter()
             .filter(|(_, score)| *score > 0.0)
@@ -117,5 +153,42 @@ mod tests {
         let search = NetworkAwareSearch::build(&graph);
         let recs = search.recommend(users[3], &["baseball".to_string()], 3);
         assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries() {
+        let (graph, users, _) = site();
+        let search = NetworkAwareSearch::build(&graph);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        // A batch with repeats and an unknown user, in arbitrary order.
+        let batch = vec![users[2], users[0], NodeId(9999), users[0], users[3], users[1]];
+        let mut scratch = BatchScratch::default();
+        for k in [0usize, 1, 3] {
+            let results = search.query_batch(&batch, &keywords, k);
+            let reused = search.query_batch_with(&mut scratch, &batch, &keywords, k);
+            assert_eq!(results.len(), batch.len());
+            for ((res, with), &u) in results.iter().zip(&reused).zip(&batch) {
+                let single = search.query(u, &keywords, k);
+                assert_eq!(res, &single, "user {u} k {k}");
+                assert_eq!(with, &single, "user {u} k {k} (reused scratch)");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_recommendations_match_single_recommendations() {
+        let (graph, users, _) = site();
+        let search = NetworkAwareSearch::build(&graph);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        let batch: Vec<NodeId> = users.clone();
+        let recs = search.recommend_batch(&batch, &keywords, 3);
+        assert_eq!(recs.len(), batch.len());
+        for (rec, &u) in recs.iter().zip(&batch) {
+            let single = search.recommend(u, &keywords, 3);
+            assert_eq!(rec.len(), single.len());
+            for (a, b) in rec.iter().zip(&single) {
+                assert_eq!((a.item, a.score, a.strategy), (b.item, b.score, b.strategy));
+            }
+        }
     }
 }

@@ -33,6 +33,6 @@ pub mod travel;
 pub use classifier::{classify_query, ClassCounts, QueryClass};
 pub use config::SiteConfig;
 pub use generator::{generate_site, GeneratedSite};
-pub use queries::{QueryLogConfig, QueryLogGenerator};
+pub use queries::{keywords_of, QueryLogConfig, QueryLogGenerator};
 pub use sizing::{paper_sizing_example, IndexSizingModel, SizingEstimate};
 pub use travel::TravelVocabulary;

@@ -105,46 +105,60 @@ impl QueryLogGenerator {
         (0..self.config.queries).map(|_| self.next_query()).collect()
     }
 
-    /// Generate one query string.
+    /// Generate one query string, drawing the class from the mixture.
     pub fn next_query(&mut self) -> String {
         let m = self.config.mixture;
         let x: f64 = self.rng.gen_range(0.0..1.0);
+        let mut threshold = m.general_with_location;
+        if x < threshold {
+            return self.next_query_of(QueryClass::General, true);
+        }
+        threshold += m.general_without_location;
+        if x < threshold {
+            return self.next_query_of(QueryClass::General, false);
+        }
+        threshold += m.categorical_with_location;
+        if x < threshold {
+            return self.next_query_of(QueryClass::Categorical, true);
+        }
+        threshold += m.categorical_without_location;
+        if x < threshold {
+            return self.next_query_of(QueryClass::Categorical, false);
+        }
+        threshold += m.specific;
+        if x < threshold {
+            return self.next_query_of(QueryClass::Specific, true);
+        }
+        self.next_query_of(QueryClass::Unclassified, false)
+    }
+
+    /// Compose one query of a forced class, bypassing the mixture — the
+    /// workload companion of class-conditioned experiments (the batch
+    /// sweep drives each query class through the indexes separately).
+    /// `with_location` distinguishes the Table 1 rows for general and
+    /// categorical queries; specific queries always name their location
+    /// (users write "disneyland orlando") and noise never does.
+    pub fn next_query_of(&mut self, class: QueryClass, with_location: bool) -> String {
         let location = *LOCATIONS.choose(&mut self.rng).expect("locations");
         let categorical = *CATEGORICAL_TERMS.choose(&mut self.rng).expect("categories");
         let general = *GENERAL_TERMS.choose(&mut self.rng).expect("general terms");
         let specific = *SPECIFIC_DESTINATIONS.choose(&mut self.rng).expect("destinations");
-
-        let mut threshold = m.general_with_location;
-        if x < threshold {
-            return match self.rng.gen_range(0..3) {
+        match (class, with_location) {
+            (QueryClass::General, true) => match self.rng.gen_range(0..3) {
                 0 => format!("{location} {general}"),
                 1 => format!("{general} in {location}"),
                 _ => location.to_string(),
-            };
+            },
+            (QueryClass::General, false) => general.to_string(),
+            (QueryClass::Categorical, true) => format!("{location} {categorical}"),
+            (QueryClass::Categorical, false) => format!("{categorical} trip ideas"),
+            (QueryClass::Specific, _) => format!("{specific} {location}"),
+            (QueryClass::Unclassified, _) => {
+                let a = *NOISE_WORDS.choose(&mut self.rng).expect("noise");
+                let b = *NOISE_WORDS.choose(&mut self.rng).expect("noise");
+                format!("{a} {b}")
+            }
         }
-        threshold += m.general_without_location;
-        if x < threshold {
-            return general.to_string();
-        }
-        threshold += m.categorical_with_location;
-        if x < threshold {
-            return format!("{location} {categorical}");
-        }
-        threshold += m.categorical_without_location;
-        if x < threshold {
-            return format!("{categorical} trip ideas");
-        }
-        threshold += m.specific;
-        if x < threshold {
-            // The paper's Table 1 reports specific queries in the
-            // with-location row: users name the destination together with
-            // where it is ("disneyland orlando").
-            return format!("{specific} {location}");
-        }
-        // Unclassifiable noise.
-        let a = *NOISE_WORDS.choose(&mut self.rng).expect("noise");
-        let b = *NOISE_WORDS.choose(&mut self.rng).expect("noise");
-        format!("{a} {b}")
     }
 
     /// The expected class of the last mixture bucket boundaries — exposed
@@ -152,6 +166,24 @@ impl QueryLogGenerator {
     pub fn mixture(&self) -> QueryMixture {
         self.config.mixture
     }
+}
+
+/// Connective and intent words that appear in query strings but are not
+/// index-probe keywords.
+const QUERY_STOP_WORDS: &[&str] =
+    &["in", "to", "with", "trip", "ideas", "things", "do", "what", "see", "places", "visit"];
+
+/// Split a query string into the keywords a content index would be probed
+/// with: lowercase whitespace tokens with connective stop-words removed.
+/// "denver baseball" → `["denver", "baseball"]`; "things to do" → `[]`
+/// (a pure-intent query carries no probe keyword, and the indexes answer
+/// it instantly as empty).
+pub fn keywords_of(query: &str) -> Vec<String> {
+    query
+        .split_whitespace()
+        .map(str::to_lowercase)
+        .filter(|token| !QUERY_STOP_WORDS.contains(&token.as_str()))
+        .collect()
 }
 
 /// Expected Table 1 cell value for a mixture (used by the experiment harness
@@ -207,6 +239,34 @@ mod tests {
         assert!((spec - m.specific).abs() < 0.02);
         let uncls = counts.class_fraction(QueryClass::Unclassified);
         assert!((uncls - m.unclassified()).abs() < 0.02);
+    }
+
+    #[test]
+    fn forced_class_queries_classify_back_to_their_class() {
+        use crate::classifier::classify_query;
+        let mut gen = QueryLogGenerator::new(QueryLogConfig::default());
+        for with_location in [true, false] {
+            for class in [QueryClass::General, QueryClass::Categorical, QueryClass::Specific] {
+                for _ in 0..50 {
+                    let q = gen.next_query_of(class, with_location);
+                    let got = classify_query(&q).class;
+                    assert_eq!(got, class, "query `{q}` (with_location={with_location})");
+                }
+            }
+        }
+        for _ in 0..50 {
+            let q = gen.next_query_of(QueryClass::Unclassified, false);
+            assert_eq!(classify_query(&q).class, QueryClass::Unclassified, "query `{q}`");
+        }
+    }
+
+    #[test]
+    fn keywords_drop_stop_words_and_lowercase() {
+        assert_eq!(keywords_of("Denver Baseball"), vec!["denver", "baseball"]);
+        assert_eq!(keywords_of("museum trip ideas"), vec!["museum"]);
+        assert_eq!(keywords_of("sightseeing in paris"), vec!["sightseeing", "paris"]);
+        assert!(keywords_of("things to do").is_empty());
+        assert!(keywords_of("").is_empty());
     }
 
     #[test]

@@ -70,6 +70,31 @@ fn prelude_exposes_discovery_and_topk() {
 }
 
 #[test]
+fn prelude_exposes_batched_query_serving() {
+    let (graph, john, coors) = tiny_site();
+    let keywords = vec!["baseball".to_string()];
+
+    // Content layer: batched top-k with a reusable scratch arena, results
+    // element-wise identical to single queries.
+    let model = SiteModel::from_graph(&graph);
+    let index = ExactIndex::build(&model);
+    let batch = vec![john, john, NodeId(4242)];
+    let mut scratch: BatchScratch = BatchScratch::default();
+    let results = index.query_batch_with(&mut scratch, &batch, &keywords, 2);
+    assert_eq!(results.len(), batch.len());
+    for (res, &u) in results.iter().zip(&batch) {
+        assert_eq!(res, &index.query(u, &keywords, 2));
+    }
+
+    // Discovery layer: the same batch surface on the recommender.
+    let search = NetworkAwareSearch::build(&graph);
+    let recs = search.recommend_batch(&batch, &keywords, 2);
+    assert_eq!(recs.len(), batch.len());
+    assert_eq!(recs[0][0].item, coors);
+    assert!(recs[2].is_empty());
+}
+
+#[test]
 fn prelude_exposes_presentation_and_workload() {
     let (graph, john, _) = tiny_site();
     let msg = InformationDiscoverer::default()

@@ -23,7 +23,7 @@ where
     BTreeSetStrategy { element, size }
 }
 
-/// The result of [`vec`].
+/// The result of [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
