@@ -6,6 +6,12 @@
 //! (286/252 and 315/280 exact-index; 513/444 and 558/477 clustered) —
 //! so any regression past the seed, or any loss of the tightened-threshold
 //! gains, fails loudly.
+//!
+//! The pins are also the proof that the clustered refinement-index
+//! refactor (keyword-first `tag → item → taggers` exact-score
+//! recomputation) changed only the *cost per exact computation*, never the
+//! number of computations: the clustered counters here are byte-identical
+//! to the pre-refactor values, i.e. they never exceed them.
 
 use socialscope_bench::{site_at_scale, standard_keywords};
 use socialscope_content::{
@@ -82,5 +88,31 @@ fn batch_queries_match_single_queries_at_scale_100() {
         for (got, &u) in reports.iter().zip(&batch) {
             assert_eq!(got, &clustered.query(&model, u, &keywords, k), "clustered user {u} k {k}");
         }
+    }
+
+    // Unknown ids are unclustered seekers: the documented empty-with-flag
+    // semantic must hold through the batch path at scale too.
+    let reports = clustered.query_batch_with(&mut scratch, &model, &batch, &keywords, 5);
+    for (got, &u) in reports.iter().zip(&batch) {
+        assert_eq!(got.unclustered, !site.users.contains(&u));
+        if got.unclustered {
+            assert!(got.result.ranked.is_empty());
+        }
+    }
+
+    // An all-stopword query tokenizes to an empty keyword set; both engines
+    // must serve the defined empty result through the batch path, not skew
+    // any counter.
+    let empty = socialscope_workload::keywords_of("things to do");
+    assert!(empty.is_empty());
+    for res in exact.query_batch_with(&mut scratch, &batch, &empty, 5) {
+        assert!(res.ranked.is_empty());
+        assert_eq!((res.sorted_accesses, res.exact_computations), (0, 0));
+    }
+    for (got, &u) in
+        clustered.query_batch_with(&mut scratch, &model, &batch, &empty, 5).iter().zip(&batch)
+    {
+        assert_eq!(got, &clustered.query(&model, u, &empty, 5));
+        assert!(got.result.ranked.is_empty());
     }
 }

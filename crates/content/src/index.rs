@@ -6,7 +6,12 @@
 //! * [`ClusteredIndex`] — one list per `(tag, cluster)` holding score
 //!   *upper bounds* over the cluster's members (Eq. 1). Much smaller, but
 //!   exact scores must be recomputed at query time for the candidates the
-//!   bounds surface.
+//!   bounds surface. Recomputation goes through an embedded keyword-first
+//!   [`RefinementIndex`] (`tag → item → taggers` on interned [`TagId`]s):
+//!   each query pre-resolves its tags once — once per *batch* in the batch
+//!   path — and every candidate then costs one integer-keyed probe plus one
+//!   sorted merge intersection per tag, with no string hashing and no
+//!   per-candidate allocation.
 //!
 //! Both intern tags through a [`TagInterner`] and key their lists on
 //! `(TagId, …)`, so building clones each distinct tag once and lookups
@@ -18,8 +23,10 @@
 //! E5 sweeps across clustering strategies and thresholds θ.
 
 use crate::cluster::{ClusterId, UserClustering};
+use crate::inline::InlineVec;
 use crate::posting::{PostingList, BYTES_PER_ENTRY};
-use crate::sitemodel::{distinct_keywords, SiteModel};
+use crate::refinement::{RefinementIndex, ResolvedRefinement};
+use crate::sitemodel::SiteModel;
 use crate::tags::{QueryTags, TagId, TagInterner};
 use crate::topk::{top_k_hinted_with, top_k_with, TopKResult, TopKScratch};
 use serde::{Deserialize, Serialize};
@@ -57,36 +64,23 @@ fn find_tag(by_tag: &[(TagId, PostingList)], tag: TagId) -> Option<&PostingList>
 }
 static EMPTY_LIST: PostingList = PostingList::new();
 
+/// The per-keyword posting lists of one query, inline for the usual small
+/// keyword counts.
 struct QueryLists<'a> {
-    inline: [&'a PostingList; INLINE_KEYWORDS],
-    len: usize,
-    spill: Vec<&'a PostingList>,
+    lists: InlineVec<&'a PostingList, INLINE_KEYWORDS>,
 }
 
 impl<'a> QueryLists<'a> {
     fn gather(found: impl Iterator<Item = &'a PostingList>) -> Self {
-        let mut lists =
-            QueryLists { inline: [&EMPTY_LIST; INLINE_KEYWORDS], len: 0, spill: Vec::new() };
+        let mut lists = QueryLists { lists: InlineVec::new(&EMPTY_LIST) };
         for list in found {
-            if !lists.spill.is_empty() {
-                lists.spill.push(list);
-            } else if lists.len < INLINE_KEYWORDS {
-                lists.inline[lists.len] = list;
-                lists.len += 1;
-            } else {
-                lists.spill.extend_from_slice(&lists.inline);
-                lists.spill.push(list);
-            }
+            lists.lists.push(list);
         }
         lists
     }
 
     fn as_slice(&self) -> &[&'a PostingList] {
-        if self.spill.is_empty() {
-            &self.inline[..self.len]
-        } else {
-            &self.spill
-        }
+        self.lists.as_slice()
     }
 }
 
@@ -138,6 +132,16 @@ const NO_SLOT: u32 = u32::MAX;
 struct ClusterScratch<'a> {
     topk: &'a mut TopKScratch,
     spans: &'a mut Vec<ClusterId>,
+}
+
+/// One cluster group's evaluation inputs, gathered once and shared by
+/// every seeker of the group: the cluster's upper-bound lists, the query's
+/// pre-resolved refinement view, and whether the group is the unclustered
+/// one (`cluster_of` → `None`).
+struct GatheredQuery<'q, 'i> {
+    lists: &'q QueryLists<'i>,
+    resolved: &'q ResolvedRefinement<'i>,
+    unclustered: bool,
 }
 
 /// The exact per-`(tag, user)` index. Lists are grouped user-first and
@@ -247,9 +251,16 @@ impl ExactIndex {
     /// Top-k query for a user: merge the user's per-keyword lists; the
     /// stored scores are exact, so the total score of a candidate is the sum
     /// of its stored scores across the query's lists. Duplicate keywords
-    /// (in any casing) count once — a query is a keyword set.
+    /// (in any casing) count once — a query is a keyword set. A query whose
+    /// keyword set is empty — or resolves to nothing, e.g. all-stopword text
+    /// after workload tokenization — returns the defined empty result
+    /// (empty ranking, zero counters) without touching the user table,
+    /// identically in the single and batch paths.
     pub fn query(&self, user: NodeId, keywords: &[String], k: usize) -> TopKResult {
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
+        if tag_ids.as_slice().is_empty() {
+            return TopKResult::default();
+        }
         self.query_resolved(
             self.user_lists(user),
             tag_ids.as_slice(),
@@ -382,11 +393,13 @@ impl ExactIndex {
 }
 
 /// The clustered index: one list per `(tag, cluster)` with score upper
-/// bounds (Eq. 1).
+/// bounds (Eq. 1), plus the keyword-first [`RefinementIndex`] the exact
+/// per-candidate scores are recomputed from at query time.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusteredIndex {
     tags: TagInterner,
     lists: FxHashMap<(TagId, ClusterId), PostingList>,
+    refinement: RefinementIndex,
     /// The clustering the index was built for.
     pub clustering: UserClustering,
 }
@@ -401,13 +414,27 @@ pub struct ClusteredQueryReport {
     /// into — the fragmentation effect the paper attributes to
     /// behavior-based clustering.
     pub network_clusters_spanned: usize,
+    /// Whether the seeker has no cluster (`cluster_of` → `None`): a user
+    /// the site never saw, or one added after the clustering was built.
+    /// The chosen semantic is **empty-with-flag**: such a user gets the
+    /// defined empty ranking with zeroed counters — no upper-bound list
+    /// exists to surface candidates from — and this flag set, identically
+    /// in the single and batch paths, so callers can tell "no matches"
+    /// from "not clustered yet, recluster or fall back to the exact
+    /// index". `network_clusters_spanned` is still reported: the seeker's
+    /// *network* may be clustered even when the seeker is not.
+    pub unclustered: bool,
 }
 
 impl ClusteredIndex {
     /// Build the clustered index for a given clustering: the bound stored
-    /// for `(k, C, i)` is `max_{u ∈ C} score_k(i, u)`.
+    /// for `(k, C, i)` is `max_{u ∈ C} score_k(i, u)`. The same pass feeds
+    /// every `(tag, item)` tagger group into the keyword-first
+    /// [`RefinementIndex`] under the same interned ids, so query-time
+    /// refinement never touches tag strings.
     pub fn build(site: &SiteModel, clustering: UserClustering) -> Self {
         let mut tags = TagInterner::new();
+        let mut refinement = RefinementIndex::default();
         let mut bounds: FxHashMap<(TagId, ClusterId), FxHashMap<NodeId, f64>> =
             FxHashMap::with_capacity_and_hasher(
                 clustering.cluster_count().saturating_mul(site.tag_count()) / 4 + 16,
@@ -417,6 +444,7 @@ impl ClusteredIndex {
             FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default());
         for (item, tag, taggers) in site.tag_assignments() {
             let tag = tags.intern(tag);
+            refinement.insert(tag, item, taggers);
             // Per-user scores for this (item, tag), then max per cluster.
             accumulate_per_user(site, taggers, &mut per_user);
             for (&user, &score) in &per_user {
@@ -439,12 +467,18 @@ impl ClusteredIndex {
             .into_iter()
             .map(|(key, items)| (key, PostingList::from_entries(items)))
             .collect();
-        ClusteredIndex { tags, lists, clustering }
+        ClusteredIndex { tags, lists, refinement, clustering }
     }
 
     /// The tag symbol table the index is keyed on.
     pub fn tags(&self) -> &TagInterner {
         &self.tags
+    }
+
+    /// The keyword-first `tag → item → taggers` refinement index exact
+    /// scores are recomputed from.
+    pub fn refinement(&self) -> &RefinementIndex {
+        &self.refinement
     }
 
     /// The list for a `(tag, cluster)` pair. Allocation-free when the probe
@@ -458,16 +492,42 @@ impl ClusteredIndex {
         self.lists.get(&(tag, cluster))
     }
 
-    /// Space statistics.
+    /// Space statistics of the *upper-bound lists* alone — the quantity
+    /// Eq. 1's space/exactness trade-off bounds against the exact index
+    /// (clustered bound entries never exceed exact entries, a proptest
+    /// invariant). The embedded refinement index is accounted separately:
+    /// see [`Self::stats_with_refinement`].
     pub fn stats(&self) -> IndexStats {
         stats_of(&self.lists)
     }
 
+    /// Space statistics of the full clustered deployment: the upper-bound
+    /// lists *plus* the keyword-first refinement index. The refinement
+    /// arena stores the same tagger groups the site model already holds —
+    /// query-time refinement used to probe those at string-hashing cost —
+    /// so this is storage *reoriented* for cheap random access, not new
+    /// data; but it is what the clustered index actually occupies, and the
+    /// honest number to weigh against [`ExactIndex::stats`].
+    pub fn stats_with_refinement(&self) -> IndexStats {
+        let bounds = self.stats();
+        let refinement = self.refinement.stats();
+        IndexStats {
+            lists: bounds.lists + refinement.lists,
+            entries: bounds.entries + refinement.entries,
+            bytes: bounds.bytes + refinement.bytes,
+        }
+    }
+
     /// Top-k query for a user. Candidate generation uses the upper-bound
-    /// lists of the user's own cluster; exact scores are recomputed from the
-    /// site model at query time (the processing overhead the clustering
-    /// trade-off accepts). Duplicate keywords (in any casing) count once —
-    /// a query is a keyword set.
+    /// lists of the user's own cluster; exact scores are recomputed at
+    /// query time (the processing overhead the clustering trade-off
+    /// accepts) through the keyword-first [`RefinementIndex`], whose tags
+    /// the query pre-resolves exactly once. Duplicate keywords (in any
+    /// casing) count once — a query is a keyword set — and an empty or
+    /// fully-unknown keyword set returns the defined empty result (empty
+    /// ranking, zero counters). `site` must be the model the index was
+    /// built from. An unclustered user gets the empty-with-flag semantic
+    /// documented on [`ClusteredQueryReport::unclustered`].
     pub fn query(
         &self,
         site: &SiteModel,
@@ -476,12 +536,14 @@ impl ClusteredIndex {
         k: usize,
     ) -> ClusteredQueryReport {
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
+        let resolved = self.refinement.resolve(tag_ids.as_slice());
         let cluster = self.clustering.cluster_of(user);
         let lists = self.gather_cluster_lists(cluster, tag_ids.as_slice());
-        let distinct = distinct_keywords(keywords);
         let (mut topk, mut spans) = (TopKScratch::default(), Vec::new());
         let scratch = ClusterScratch { topk: &mut topk, spans: &mut spans };
-        self.query_gathered(site, user, &lists, &distinct, k, scratch)
+        let gathered =
+            GatheredQuery { lists: &lists, resolved: &resolved, unclustered: cluster.is_none() };
+        self.query_gathered(site, user, &gathered, k, scratch)
     }
 
     /// The upper-bound lists of one cluster for a resolved keyword set.
@@ -495,37 +557,47 @@ impl ClusteredIndex {
         )
     }
 
-    /// Evaluate one user against already-gathered cluster lists. Shared by
+    /// Evaluate one user against one gathered cluster group. Shared by
     /// [`Self::query`] and the batch path, so batch results are
-    /// element-wise identical to single calls. `keywords` must already be
-    /// deduplicated ([`distinct_keywords`]) — exact-score recomputation
-    /// runs once per candidate, so per-query work must stay out of it.
+    /// element-wise identical to single calls. The gathered refinement view
+    /// is resolved once per query (per batch in the batch path) —
+    /// exact-score recomputation runs once per candidate, so per-query
+    /// work must stay out of it: the closure handed to the top-k kernel
+    /// closes over the pre-gathered per-tag maps and the seeker's frozen
+    /// network slice, nothing else.
     fn query_gathered(
         &self,
         site: &SiteModel,
         user: NodeId,
-        lists: &QueryLists<'_>,
-        keywords: &[&str],
+        gathered: &GatheredQuery<'_, '_>,
         k: usize,
         scratch: ClusterScratch<'_>,
     ) -> ClusteredQueryReport {
         let ClusterScratch { topk, spans } = scratch;
-        let result = top_k_with(topk, lists.as_slice(), k, |item| {
-            site.query_score_distinct(item, user, keywords)
-        });
+        let network = site.network_of(user);
+        let resolved = gathered.resolved;
+        let result =
+            top_k_with(topk, gathered.lists.as_slice(), k, |item| resolved.score(network, item));
         spans.clear();
-        spans.extend(site.network_of(user).iter().filter_map(|v| self.clustering.cluster_of(*v)));
+        spans.extend(network.iter().filter_map(|v| self.clustering.cluster_of(*v)));
         spans.sort_unstable();
         spans.dedup();
-        ClusteredQueryReport { result, network_clusters_spanned: spans.len() }
+        ClusteredQueryReport {
+            result,
+            network_clusters_spanned: spans.len(),
+            unclustered: gathered.unclustered,
+        }
     }
 
     /// Top-k for a whole batch of users sharing one keyword set. Keywords
-    /// resolve once, users are grouped by cluster so each cluster's
-    /// upper-bound lists are gathered a single time and walked while hot,
-    /// and the evaluation scratch is reused across the batch. Results
-    /// arrive in input order and each equals the corresponding
-    /// [`Self::query`] call exactly.
+    /// resolve once and the refinement index's per-tag maps are
+    /// pre-resolved once *for the whole batch*, users are grouped by
+    /// cluster so each cluster's upper-bound lists are gathered a single
+    /// time and walked while hot, and the evaluation scratch is reused
+    /// across the batch. Results arrive in input order and each equals the
+    /// corresponding [`Self::query`] call exactly — unclustered members
+    /// included (empty-with-flag, see
+    /// [`ClusteredQueryReport::unclustered`]).
     pub fn query_batch(
         &self,
         site: &SiteModel,
@@ -546,7 +618,7 @@ impl ClusteredIndex {
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
-        let distinct = distinct_keywords(keywords);
+        let resolved = self.refinement.resolve(tag_ids.as_slice());
         let BatchScratch { order, topk, spans } = scratch;
         order.clear();
         order.extend(users.iter().enumerate().map(|(position, user)| {
@@ -574,11 +646,15 @@ impl ClusteredIndex {
                 + order[start..].iter().position(|&(c, _)| c != key).unwrap_or(order.len() - start);
             let cluster = (key != NO_SLOT).then_some(ClusterId(key as usize));
             let lists = self.gather_cluster_lists(cluster, tag_ids.as_slice());
+            let gathered = GatheredQuery {
+                lists: &lists,
+                resolved: &resolved,
+                unclustered: cluster.is_none(),
+            };
             for &(_, position) in &order[start..end] {
                 let user = users[position as usize];
                 let scratch = ClusterScratch { topk: &mut *topk, spans: &mut *spans };
-                results[position as usize] =
-                    self.query_gathered(site, user, &lists, &distinct, k, scratch);
+                results[position as usize] = self.query_gathered(site, user, &gathered, k, scratch);
             }
             start = end;
         }
@@ -751,6 +827,25 @@ mod tests {
     }
 
     #[test]
+    fn clustered_stats_account_for_the_refinement_index() {
+        let (site, ..) = site();
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, 0.3));
+        let bounds = clustered.stats();
+        let refinement = clustered.refinement().stats();
+        let total = clustered.stats_with_refinement();
+        // The refinement arena holds exactly the site's tagger references,
+        // one list per (tag, item) group.
+        let tagger_refs: usize = site.tag_assignments().map(|(_, _, t)| t.len()).sum();
+        let groups = site.tag_assignments().count();
+        assert_eq!(refinement.entries, tagger_refs);
+        assert_eq!(refinement.lists, groups);
+        assert_eq!(refinement.bytes, tagger_refs * BYTES_PER_ENTRY);
+        assert_eq!(total.entries, bounds.entries + refinement.entries);
+        assert_eq!(total.lists, bounds.lists + refinement.lists);
+        assert_eq!(total.bytes, bounds.bytes + refinement.bytes);
+    }
+
+    #[test]
     fn unknown_user_or_tag_queries_are_empty() {
         let (site, ..) = site();
         let index = ExactIndex::build(&site);
@@ -758,5 +853,101 @@ mod tests {
         assert!(res.ranked.is_empty());
         let res = index.query(NodeId(1), &["nonexistent".to_string()], 3);
         assert!(res.ranked.is_empty());
+    }
+
+    #[test]
+    fn refinement_index_stores_the_site_tagger_groups() {
+        let (site, _, _) = site();
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, 0.3));
+        let refinement = clustered.refinement();
+        let mut groups = 0usize;
+        for (item, tag, taggers) in site.tag_assignments() {
+            let id = clustered.tags().get(tag).expect("stored tag is interned");
+            assert_eq!(refinement.taggers(id, item), taggers);
+            groups += 1;
+        }
+        assert_eq!(refinement.group_count(), groups);
+    }
+
+    /// Empty keyword sets — literally empty, or all-unknown after workload
+    /// tokenization dropped every token — get the *defined* empty result:
+    /// empty ranking, zero counters, identical across single and batch
+    /// paths of both engines.
+    #[test]
+    fn empty_keyword_sets_get_the_defined_empty_result() {
+        let (site, users, _) = site();
+        let exact = ExactIndex::build(&site);
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, 0.3));
+        let empty: Vec<String> = Vec::new();
+        let unknown = vec!["nonexistent".to_string(), "alsounknown".to_string()];
+        for keywords in [&empty, &unknown] {
+            for &u in &users {
+                let res = exact.query(u, keywords, 3);
+                assert_eq!(res, TopKResult::default());
+                let report = clustered.query(&site, u, keywords, 3);
+                assert_eq!(report.result, TopKResult::default());
+                assert!(!report.unclustered, "every site user is clustered");
+            }
+            let batch = exact.query_batch(&users, keywords, 3);
+            assert!(batch.iter().all(|r| r == &TopKResult::default()));
+            let batch = clustered.query_batch(&site, &users, keywords, 3);
+            for (got, &u) in batch.iter().zip(&users) {
+                assert_eq!(got, &clustered.query(&site, u, keywords, 3));
+            }
+        }
+    }
+
+    /// A user added to the site *after* the clustering was built has no
+    /// cluster: the documented semantic is an empty ranking with zeroed
+    /// counters and `unclustered` set — identical in the single and batch
+    /// paths — while `network_clusters_spanned` still reflects the user's
+    /// (clustered) friends.
+    #[test]
+    fn unclustered_users_get_the_empty_with_flag_semantic() {
+        // Build the clustering from the original six-user site…
+        let (before, users, _) = site();
+        let clustering = NetworkBasedClustering.cluster(&before, 0.3);
+        // …then rebuild the graph with a late-joining user who befriends u1
+        // and tags an item, and index the *new* site with the old
+        // clustering (the "user added after clustering was built" case).
+        let mut b = GraphBuilder::new();
+        let rebuilt: Vec<NodeId> = (0..6).map(|i| b.add_user(&format!("u{i}"))).collect();
+        let items: Vec<NodeId> =
+            (0..5).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        b.befriend(rebuilt[0], rebuilt[1]);
+        b.befriend(rebuilt[1], rebuilt[2]);
+        b.befriend(rebuilt[0], rebuilt[2]);
+        b.befriend(rebuilt[3], rebuilt[4]);
+        b.befriend(rebuilt[4], rebuilt[5]);
+        b.befriend(rebuilt[3], rebuilt[5]);
+        b.tag(rebuilt[1], items[0], &["baseball"]);
+        b.tag(rebuilt[2], items[1], &["baseball", "stadium"]);
+        b.tag(rebuilt[1], items[2], &["baseball"]);
+        b.tag(rebuilt[4], items[2], &["museum"]);
+        b.tag(rebuilt[5], items[3], &["museum"]);
+        b.tag(rebuilt[4], items[4], &["museum", "history"]);
+        let late = b.add_user("late-joiner");
+        b.befriend(late, rebuilt[1]);
+        b.tag(late, items[0], &["baseball"]);
+        let site = SiteModel::from_graph(&b.build());
+        assert_eq!(rebuilt, users, "rebuilt ids must match the clustering's");
+        assert!(clustering.cluster_of(late).is_none());
+
+        let clustered = ClusteredIndex::build(&site, clustering);
+        let keywords = vec!["baseball".to_string()];
+        let report = clustered.query(&site, late, &keywords, 3);
+        assert!(report.unclustered);
+        assert!(report.result.ranked.is_empty());
+        assert_eq!(report.result.sorted_accesses, 0);
+        assert_eq!(report.result.exact_computations, 0);
+        // The late joiner's friend u1 is clustered, so the span is visible.
+        assert_eq!(report.network_clusters_spanned, 1);
+        // Clustered members keep the flag unset, and the batch path agrees
+        // element-wise with single queries for both kinds of member.
+        let batch = vec![late, users[0], late, users[4]];
+        for (got, &u) in clustered.query_batch(&site, &batch, &keywords, 3).iter().zip(&batch) {
+            assert_eq!(got, &clustered.query(&site, u, &keywords, 3));
+            assert_eq!(got.unclustered, u == late);
+        }
     }
 }

@@ -1,0 +1,86 @@
+//! A tiny inline-first vector shared by the query hot path.
+//!
+//! Queries rarely carry more than a handful of keywords, so the per-query
+//! collections — resolved [`crate::tags::TagId`]s, gathered posting lists,
+//! resolved refinement maps — should live on the stack. All three used to
+//! hand-roll the same inline-array-plus-spill buffer; [`InlineVec`] is the
+//! single shared implementation.
+
+/// A copy-on-overflow small vector: the first `N` elements live in an
+/// inline array, and pushing past `N` moves everything to a heap `Vec`
+/// once, after which pushes append there.
+#[derive(Debug, Clone)]
+pub(crate) struct InlineVec<T, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// An empty buffer. `fill` initializes the unused inline slots (never
+    /// observable through [`Self::as_slice`]); it exists because reference
+    /// element types have no `Default`.
+    pub(crate) fn new(fill: T) -> Self {
+        InlineVec { inline: [fill; N], len: 0, spill: Vec::new() }
+    }
+
+    /// Append an element, spilling the inline prefix to the heap on first
+    /// overflow.
+    pub(crate) fn push(&mut self, value: T) {
+        if !self.spill.is_empty() {
+            self.spill.push(value);
+        } else if self.len < N {
+            self.inline[self.len] = value;
+            self.len += 1;
+        } else {
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(value);
+        }
+    }
+
+    /// The pushed elements, in push order.
+    pub(crate) fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_below_capacity_and_spills_past_it() {
+        let mut v: InlineVec<u32, 4> = InlineVec::default();
+        assert!(v.as_slice().is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.spill.is_empty(), "still inline at capacity");
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        for i in 4..10 {
+            v.push(i);
+        }
+        assert!(!v.spill.is_empty(), "spilled past capacity");
+        assert_eq!(v.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn fill_value_is_never_observable() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new(99);
+        v.push(1);
+        assert_eq!(v.as_slice(), &[1]);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+    }
+}

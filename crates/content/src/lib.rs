@@ -17,8 +17,10 @@
 //!    *upper bounds* that still admit top-k pruning. The [`index`],
 //!    [`cluster`] and [`topk`] modules implement the exact and clustered
 //!    indexes and a threshold-style top-k processor, the [`tags`] module
-//!    interns tag strings so index keys hash as plain integers, and the
-//!    [`sitemodel`] module derives the `items(u)`, `network(u)` and
+//!    interns tag strings so index keys hash as plain integers, the
+//!    [`refinement`] module holds the keyword-first `tag → item → taggers`
+//!    orientation clustered refinement recomputes exact scores from, and
+//!    the [`sitemodel`] module derives the `items(u)`, `network(u)` and
 //!    `taggers(i, k)` primitives from a social content graph.
 //!
 //! The [`activity`] module implements the Activity Manager (categorizing
@@ -33,9 +35,11 @@ pub mod activity;
 pub mod cluster;
 pub mod error;
 pub mod index;
+mod inline;
 pub mod integrator;
 pub mod models;
 pub mod posting;
+pub mod refinement;
 pub mod sitemodel;
 pub mod tags;
 pub mod topk;
@@ -53,6 +57,7 @@ pub use models::{
     JourneyMetrics, OpenCartelModel, UserJourney,
 };
 pub use posting::{Posting, PostingList};
+pub use refinement::{RefinementIndex, ResolvedRefinement};
 pub use sitemodel::{distinct_keywords, SiteModel};
 pub use tags::{QueryTags, TagId, TagInterner};
 pub use topk::{top_k, TopKResult};

@@ -212,21 +212,26 @@ impl SiteModel {
 
 /// The distinct keywords of a query in first-occurrence order, comparing
 /// case-insensitively exactly as [`SiteModel::query_score`] does. Borrowed
-/// from the input, so deduplicating a query once up front costs one small
-/// vector, not a string clone per keyword.
+/// from the input, so deduplicating a query once up front costs two small
+/// vectors, not a string clone per keyword. Each keyword is normalized
+/// exactly once: the normalized forms accumulate alongside the output and
+/// later keywords compare against them directly, instead of re-normalizing
+/// every earlier keyword per comparison.
 pub fn distinct_keywords(keywords: &[String]) -> Vec<&str> {
+    let mut normed: Vec<std::borrow::Cow<'_, str>> = Vec::with_capacity(keywords.len());
     let mut distinct: Vec<&str> = Vec::with_capacity(keywords.len());
-    for (j, keyword) in keywords.iter().enumerate() {
+    for keyword in keywords {
         let norm = normalize(keyword);
-        if !keywords[..j].iter().any(|prev| normalize(prev) == norm) {
+        if !normed.contains(&norm) {
             distinct.push(keyword);
+            normed.push(norm);
         }
     }
     distinct
 }
 
 /// Size of the intersection of two ascending id slices (two-pointer merge).
-fn count_intersection(a: &[NodeId], b: &[NodeId]) -> usize {
+pub(crate) fn count_intersection(a: &[NodeId], b: &[NodeId]) -> usize {
     let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -322,6 +327,35 @@ mod tests {
             "stadium".to_string(),
         ];
         assert_eq!(m.query_score(items[0], users[1], &dup), m.query_score(items[0], users[1], &q));
+    }
+
+    #[test]
+    fn distinct_keywords_keeps_first_occurrences_case_insensitively() {
+        let q: Vec<String> = ["Baseball", "BASEBALL", "baseball", "Museum", "baseBALL", "museum"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(distinct_keywords(&q), vec!["Baseball", "Museum"]);
+        assert!(distinct_keywords(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_heavy_queries_score_identically() {
+        let (m, users, items) = model();
+        let q = vec!["baseball".to_string(), "stadium".to_string()];
+        // A pathologically duplicate-heavy query: every keyword repeated
+        // many times in alternating casings.
+        let mut heavy = Vec::new();
+        for i in 0..50 {
+            for word in &q {
+                heavy.push(if i % 2 == 0 { word.to_uppercase() } else { word.clone() });
+            }
+        }
+        for &u in &users {
+            for &i in &items {
+                assert_eq!(m.query_score(i, u, &heavy), m.query_score(i, u, &q));
+            }
+        }
     }
 
     #[test]

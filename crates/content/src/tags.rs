@@ -8,6 +8,7 @@
 //! integers and lookups allocate nothing when the probe string is already
 //! lowercase (the common case: the graph layer lowercases stored tags).
 
+use crate::inline::InlineVec;
 use serde::{Deserialize, Serialize};
 use socialscope_graph::FxHashMap;
 use std::borrow::Cow;
@@ -96,9 +97,7 @@ const INLINE_QUERY_TAGS: usize = 8;
 /// Inline for up to eight distinct keywords.
 #[derive(Debug, Clone, Default)]
 pub struct QueryTags {
-    inline: [TagId; INLINE_QUERY_TAGS],
-    len: usize,
-    spill: Vec<TagId>,
+    ids: InlineVec<TagId, INLINE_QUERY_TAGS>,
 }
 
 impl QueryTags {
@@ -115,27 +114,14 @@ impl QueryTags {
     }
 
     fn push_unique(&mut self, id: TagId) {
-        if self.as_slice().contains(&id) {
-            return;
-        }
-        if !self.spill.is_empty() {
-            self.spill.push(id);
-        } else if self.len < INLINE_QUERY_TAGS {
-            self.inline[self.len] = id;
-            self.len += 1;
-        } else {
-            self.spill.extend_from_slice(&self.inline);
-            self.spill.push(id);
+        if !self.as_slice().contains(&id) {
+            self.ids.push(id);
         }
     }
 
     /// The resolved ids, in first-occurrence order.
     pub fn as_slice(&self) -> &[TagId] {
-        if self.spill.is_empty() {
-            &self.inline[..self.len]
-        } else {
-            &self.spill
-        }
+        self.ids.as_slice()
     }
 }
 

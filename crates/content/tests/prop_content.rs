@@ -4,6 +4,7 @@
 //! oracle and the seed (sort-per-insert, loose-threshold) implementation.
 
 use proptest::prelude::*;
+use socialscope_content::tags::QueryTags;
 use socialscope_content::topk::top_k_exhaustive;
 use socialscope_content::{
     BatchScratch, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex,
@@ -387,6 +388,44 @@ proptest! {
             clustered.query_batch(&site, &batch, &dupped, k),
             clustered.query_batch(&site, &batch, &distinct, k)
         );
+    }
+
+    /// The keyword-first refinement index agrees with the site model's
+    /// oracle scoring for arbitrary sites, queries and casings: resolving
+    /// a query's tags once and merge-intersecting the seeker's network
+    /// against the pre-resolved tagger slices produces exactly
+    /// `SiteModel::query_score` — duplicates, mixed casings and unknown
+    /// keywords included — for every (item, user) pair.
+    #[test]
+    fn refinement_scores_match_the_site_model_oracle(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        picks in prop::collection::vec((0usize..6, 0usize..2), 0..8),
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let clustered = ClusteredIndex::build(&site, HybridClustering.cluster(&site, theta));
+        // An arbitrary query: repeats allowed, arbitrary casing, and picks
+        // past the tag vocabulary becoming unknown keywords.
+        let keywords: Vec<String> = picks
+            .iter()
+            .map(|&(p, casing)| {
+                let word = if p < TAGS.len() { TAGS[p] } else { "unknownword" };
+                if casing == 1 { word.to_uppercase() } else { word.to_string() }
+            })
+            .collect();
+        let tag_ids = QueryTags::resolve(clustered.tags(), &keywords);
+        let resolved = clustered.refinement().resolve(tag_ids.as_slice());
+        for &u in &user_ids {
+            let network = site.network_of(u);
+            for item in site.items() {
+                prop_assert_eq!(
+                    resolved.score(network, item),
+                    site.query_score(item, u, &keywords),
+                    "item {} user {}", item, u
+                );
+            }
+        }
     }
 
     /// Tightening θ can only increase (or keep) the number of clusters.

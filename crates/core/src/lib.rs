@@ -58,8 +58,8 @@ pub mod prelude {
         SiteModel, TagId, TagInterner, UserJourney,
     };
     pub use socialscope_discovery::{
-        recommend_for_user, ContentAnalyzer, InformationDiscoverer, MeaningfulSocialGraph,
-        NetworkAwareSearch, UserQuery,
+        recommend_for_user, ClusteredNetworkAwareSearch, ContentAnalyzer, InformationDiscoverer,
+        MeaningfulSocialGraph, NetworkAwareSearch, UserQuery,
     };
     pub use socialscope_graph::{
         GraphBuilder, GraphStats, Link, LinkId, Node, NodeId, SocialGraph, Value,

@@ -23,7 +23,7 @@ pub mod network_aware;
 pub use algebra_cf::{collaborative_filtering, collaborative_filtering_plan, CfConfig};
 pub use expert::expert_recommendations;
 pub use item_cf::item_based_recommendations;
-pub use network_aware::NetworkAwareSearch;
+pub use network_aware::{ClusteredNetworkAwareSearch, NetworkAwareSearch};
 
 use serde::{Deserialize, Serialize};
 use socialscope_graph::{NodeId, SocialGraph};

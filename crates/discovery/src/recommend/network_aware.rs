@@ -7,10 +7,18 @@
 //! the exact per-`(tag, user)` index once and serves threshold-style top-k
 //! recommendations from it — query keywords are resolved through the
 //! index's tag interner, so the hot path neither clones nor lowercases
-//! strings.
+//! strings. [`ClusteredNetworkAwareSearch`] is the space-constrained
+//! sibling: it serves the same recommendations from the clustered
+//! upper-bound index (orders of magnitude smaller), with exact scores
+//! recomputed through the index's embedded keyword-first refinement index
+//! — so the discovery layer picks up the string-hashing-free refinement
+//! path without any code of its own.
 
 use super::Recommendation;
-use socialscope_content::{BatchScratch, ExactIndex, SiteModel, TopKResult};
+use socialscope_content::{
+    BatchScratch, ClusteredIndex, ClusteredQueryReport, ClusteringStrategy, ExactIndex,
+    NetworkBasedClustering, SiteModel, TopKResult,
+};
 use socialscope_graph::{NodeId, SocialGraph};
 
 /// A reusable network-aware keyword search engine: site model plus exact
@@ -89,6 +97,107 @@ impl NetworkAwareSearch {
             .into_iter()
             .filter(|(_, score)| *score > 0.0)
             .map(|(item, score)| Recommendation { item, score, strategy: "network-aware" })
+            .collect()
+    }
+}
+
+/// Network-aware keyword search served from the *clustered* upper-bound
+/// index: the space-constrained deployment of §6.2. Rankings and scores
+/// are identical to [`NetworkAwareSearch`]'s (clustered bounds never miss
+/// a true top-k item); the trade is index space against per-candidate
+/// exact-score refinement, which runs through the clustered index's
+/// keyword-first refinement index — no tag-string hashing, no
+/// per-candidate allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ClusteredNetworkAwareSearch {
+    site: SiteModel,
+    index: ClusteredIndex,
+}
+
+impl ClusteredNetworkAwareSearch {
+    /// Materialize the site primitives, cluster the users with the given
+    /// strategy at threshold θ, and build the clustered index.
+    pub fn build(graph: &SocialGraph, strategy: &dyn ClusteringStrategy, theta: f64) -> Self {
+        let site = SiteModel::from_graph(graph);
+        let index = ClusteredIndex::build(&site, strategy.cluster(&site, theta));
+        ClusteredNetworkAwareSearch { site, index }
+    }
+
+    /// [`Self::build`] with the paper's default network-based clustering
+    /// (Def. 11) at θ = 0.3.
+    pub fn build_default(graph: &SocialGraph) -> Self {
+        Self::build(graph, &NetworkBasedClustering, 0.3)
+    }
+
+    /// The underlying site model.
+    pub fn site(&self) -> &SiteModel {
+        &self.site
+    }
+
+    /// The underlying clustered index.
+    pub fn index(&self) -> &ClusteredIndex {
+        &self.index
+    }
+
+    /// Raw clustered top-k evaluation with cost counters and the
+    /// unclustered flag (empty-with-flag semantic for users the clustering
+    /// never saw).
+    pub fn query(&self, user: NodeId, keywords: &[String], k: usize) -> ClusteredQueryReport {
+        self.index.query(&self.site, user, keywords, k)
+    }
+
+    /// Top-k items the user's network tagged with the query keywords, as
+    /// recommendations (positive scores only).
+    pub fn recommend(&self, user: NodeId, keywords: &[String], k: usize) -> Vec<Recommendation> {
+        Self::to_recommendations(self.query(user, keywords, k))
+    }
+
+    /// Raw clustered top-k for a batch of seekers sharing one keyword set;
+    /// results arrive in input order, each identical to the corresponding
+    /// [`Self::query`] call.
+    pub fn query_batch(
+        &self,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        self.index.query_batch(&self.site, users, keywords, k)
+    }
+
+    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`], so a
+    /// serving loop pays the arena's allocations once, not per batch.
+    pub fn query_batch_with(
+        &self,
+        scratch: &mut BatchScratch,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        self.index.query_batch_with(scratch, &self.site, users, keywords, k)
+    }
+
+    /// Batched [`Self::recommend`]: one recommendation list per seeker, in
+    /// input order.
+    pub fn recommend_batch(
+        &self,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<Vec<Recommendation>> {
+        self.query_batch(users, keywords, k).into_iter().map(Self::to_recommendations).collect()
+    }
+
+    fn to_recommendations(report: ClusteredQueryReport) -> Vec<Recommendation> {
+        report
+            .result
+            .ranked
+            .into_iter()
+            .filter(|(_, score)| *score > 0.0)
+            .map(|(item, score)| Recommendation {
+                item,
+                score,
+                strategy: "network-aware-clustered",
+            })
             .collect()
     }
 }
@@ -172,6 +281,51 @@ mod tests {
                 assert_eq!(res, &single, "user {u} k {k}");
                 assert_eq!(with, &single, "user {u} k {k} (reused scratch)");
             }
+        }
+    }
+
+    #[test]
+    fn clustered_search_agrees_with_exact_search() {
+        let (graph, users, _) = site();
+        let exact = NetworkAwareSearch::build(&graph);
+        let clustered = ClusteredNetworkAwareSearch::build_default(&graph);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        for &u in &users {
+            let from_exact = exact.recommend(u, &keywords, 3);
+            let from_clustered = clustered.recommend(u, &keywords, 3);
+            let pairs = |recs: &[Recommendation]| -> Vec<(NodeId, f64)> {
+                recs.iter().map(|r| (r.item, r.score)).collect()
+            };
+            assert_eq!(pairs(&from_exact), pairs(&from_clustered), "user {u}");
+            assert!(from_clustered.iter().all(|r| r.strategy == "network-aware-clustered"));
+            assert!(!clustered.query(u, &keywords, 3).unclustered);
+        }
+        // A user the site never saw is unclustered: empty-with-flag.
+        let ghost = clustered.query(NodeId(9999), &keywords, 3);
+        assert!(ghost.unclustered);
+        assert!(ghost.result.ranked.is_empty());
+    }
+
+    #[test]
+    fn clustered_batch_queries_match_single_queries() {
+        let (graph, users, _) = site();
+        let search = ClusteredNetworkAwareSearch::build_default(&graph);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        let batch = vec![users[2], NodeId(9999), users[0], users[0], users[3]];
+        let mut scratch = BatchScratch::default();
+        for k in [0usize, 1, 3] {
+            let results = search.query_batch(&batch, &keywords, k);
+            let reused = search.query_batch_with(&mut scratch, &batch, &keywords, k);
+            assert_eq!(results.len(), batch.len());
+            for ((got, with), &u) in results.iter().zip(&reused).zip(&batch) {
+                let single = search.query(u, &keywords, k);
+                assert_eq!(got, &single, "user {u} k {k}");
+                assert_eq!(with, &single, "user {u} k {k} (reused scratch)");
+            }
+        }
+        let recs = search.recommend_batch(&batch, &keywords, 3);
+        for (rec, &u) in recs.iter().zip(&batch) {
+            assert_eq!(rec, &search.recommend(u, &keywords, 3));
         }
     }
 
