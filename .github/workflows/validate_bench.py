@@ -1,7 +1,7 @@
 """Validate the bench JSON documents and gate perf-counter regressions.
 
 Run from the repository root after the bench-smoke sweeps have produced
-their JSON files under ci-artifacts/. Four duties:
+their JSON files under ci-artifacts/. Six duties:
 
 1. Schema-validate the E8 top-k documents: the smoke run emitted this job,
    and the committed baseline ``BENCH_topk.json`` (which must also carry
@@ -20,6 +20,28 @@ their JSON files under ci-artifacts/. Four duties:
    well past its pre-refinement 1.9x, and a regenerated baseline that
    falls back below the floor means the string-free refinement path
    regressed.
+5. Schema-validate the E10 parallel documents (smoke and committed
+   ``BENCH_parallel.json``) and gate the committed headline: the exact
+   engine at batch 32 and 4 threads must keep its measured >= 2x aggregate
+   over the threads=1 per-user serving loop. The speedup is defined
+   against the per-user loop (the E9 baseline) because that is the
+   deployment question — what the execution layer + batch path buy over
+   naive serving; on a single-core measurement machine extra threads
+   cannot add wall-clock gain (the committed ``available_parallelism``
+   records the cores). Batch 32 sits *below* the engines' 64-members-per-
+   worker fan-out floor by design, so what this gate guards is the
+   dispatch policy itself: if the floor is lowered or removed, batch-32
+   requests start paying worker spawns they cannot amortize, the
+   aggregate collapses below 2x, and the gate trips.
+6. Gate the fan-out path proper: batch 256 at 4 threads really shards
+   (the one committed cell that exercises the multi-worker scatter), so
+   its wall time must stay within FANOUT_OVERHEAD_MAX of the threads=1
+   wall for the same batch size. On the 1-core measurement box the
+   honest ratio is ~2-3x (pure over-subscription cost, recorded in the
+   committed rows); a ratio past the ceiling means the parallel scatter
+   itself regressed (e.g. quadratic result merging or per-member
+   spawns). On a multi-core box the ratio drops below 1 and the gate is
+   trivially green.
 """
 
 import json
@@ -28,8 +50,10 @@ import sys
 TOPK_SMOKE = "ci-artifacts/bench_topk_smoke.json"
 TOPK_GATE = "ci-artifacts/bench_topk_gate.json"
 BATCH_SMOKE = "ci-artifacts/bench_batch_smoke.json"
+PARALLEL_SMOKE = "ci-artifacts/bench_parallel_smoke.json"
 TOPK_COMMITTED = "BENCH_topk.json"
 BATCH_COMMITTED = "BENCH_batch.json"
+PARALLEL_COMMITTED = "BENCH_parallel.json"
 
 REQUIRED_TOPK_RUN = {"experiment", "seed", "scale", "probe_users",
                      "repetitions", "keywords", "engines"}
@@ -51,6 +75,24 @@ HEADLINE_MIN_SPEEDUP = 2.0
 # refinement index removed per-candidate string hashing; the committed
 # baseline must never fall back below this floor.
 CLUSTERED_K20_MIN_SPEEDUP = 2.5
+
+REQUIRED_PARALLEL_RUN = {"experiment", "seed", "scale", "k",
+                         "queries_per_class", "repetitions", "site_users",
+                         "available_parallelism", "threads", "batch_sizes",
+                         "build", "rows", "headline"}
+REQUIRED_PARALLEL_ROW = {"engine", "threads", "batch_size", "wall_ms_loop",
+                         "wall_ms_batch", "speedup_vs_loop"}
+REQUIRED_PARALLEL_BUILD_ROW = {"index", "threads", "wall_ms"}
+PARALLEL_ENGINES = {"exact_index", "clustered_index"}
+PARALLEL_INDEXES = {"exact", "clustered"}
+# The committed exact-index batch-32 threads=4 aggregate vs the threads=1
+# per-user loop (see duty 5 in the module docstring).
+PARALLEL_HEADLINE_MIN = 2.0
+# Ceiling on wall_ms_batch(threads=4) / wall_ms_batch(threads=1) for the
+# committed batch-256 cells — the ones that really fan out (duty 6). The
+# 1-core measurement box sits at ~2-3x from over-subscription alone.
+FANOUT_OVERHEAD_MAX = 6.0
+FANOUT_BATCH_SIZE = 256
 
 
 def check_topk_run(run, where):
@@ -85,6 +127,40 @@ def check_batch_doc(doc, where):
         assert 0 <= count <= doc["queries_per_class"], (
             f"{where}: {cls} empty-keyword count {count} outside "
             f"[0, {doc['queries_per_class']}]")
+
+
+def check_parallel_doc(doc, where):
+    missing = REQUIRED_PARALLEL_RUN - doc.keys()
+    assert not missing, f"{where}: missing {missing}"
+    assert doc["experiment"] == "E10_parallel_sweep", where
+    assert doc["available_parallelism"] >= 1, where
+    threads = doc["threads"]
+    assert threads and all(isinstance(t, int) and t >= 1 for t in threads), (
+        f"{where}: threads {threads}")
+    assert 1 in threads and 4 in threads, (
+        f"{where}: the sweep must cover threads 1 and 4, got {threads}")
+    sizes = doc["batch_sizes"]
+    assert 32 in sizes, f"{where}: batch sizes {sizes} miss the gated 32"
+    cells = set()
+    for row in doc["rows"]:
+        assert not (REQUIRED_PARALLEL_ROW - row.keys()), f"{where}: bad row {row}"
+        assert row["speedup_vs_loop"] > 0, f"{where}: non-positive speedup {row}"
+        cells.add((row["engine"], row["threads"], row["batch_size"]))
+    expected = {(e, t, b) for e in PARALLEL_ENGINES for t in threads
+                for b in sizes}
+    assert cells == expected, (
+        f"{where}: rows cover {len(cells)}/{len(expected)} cells")
+    builds = set()
+    for row in doc["build"]:
+        assert not (REQUIRED_PARALLEL_BUILD_ROW - row.keys()), (
+            f"{where}: bad build row {row}")
+        builds.add((row["index"], row["threads"]))
+    assert builds == {(i, t) for i in PARALLEL_INDEXES for t in threads}, (
+        f"{where}: build rows cover {builds}")
+    head = doc["headline"]
+    assert head["engine"] == "exact_index" and head["batch_size"] == 32, where
+    assert head["threads"] == max(threads), (
+        f"{where}: headline threads {head['threads']} != max({threads})")
 
 
 def counters_of(run):
@@ -154,9 +230,41 @@ def main():
         "`experiments batch --scale 200 --out BENCH_batch.json` on a quiet "
         "machine or fix the batching regression")
 
+    # 4. E10 schemas and the committed parallel-serving headline.
+    check_parallel_doc(json.load(open(PARALLEL_SMOKE)), PARALLEL_SMOKE)
+    parallel = json.load(open(PARALLEL_COMMITTED))
+    check_parallel_doc(parallel, PARALLEL_COMMITTED)
+    par_headline = parallel["headline"]["speedup_vs_loop"]
+    assert par_headline >= PARALLEL_HEADLINE_MIN, (
+        f"{PARALLEL_COMMITTED}: committed exact-index batch-32 threads=4 "
+        f"aggregate {par_headline}x over the per-user loop fell below "
+        f"{PARALLEL_HEADLINE_MIN}x; the parallel engine must never lose the "
+        "batching gain (e.g. by fanning out batches too small to amortize "
+        "worker spawns) — regenerate with `experiments parallel --scale 200 "
+        "--out BENCH_parallel.json` on a quiet machine or fix the regression")
+
+    # 5. Fan-out overhead gate on the committed cells that really shard.
+    walls = {(r["engine"], r["threads"], r["batch_size"]): r["wall_ms_batch"]
+             for r in parallel["rows"]}
+    for engine in PARALLEL_ENGINES:
+        base = walls.get((engine, 1, FANOUT_BATCH_SIZE))
+        sharded = walls.get((engine, 4, FANOUT_BATCH_SIZE))
+        assert base and sharded, (
+            f"{PARALLEL_COMMITTED}: missing batch-{FANOUT_BATCH_SIZE} cells "
+            f"for {engine} at threads 1/4")
+        ratio = sharded / base
+        assert ratio <= FANOUT_OVERHEAD_MAX, (
+            f"{PARALLEL_COMMITTED}: {engine} batch-{FANOUT_BATCH_SIZE} at 4 "
+            f"threads costs {ratio:.2f}x the threads=1 wall (ceiling "
+            f"{FANOUT_OVERHEAD_MAX}x); the multi-worker scatter path "
+            "regressed — profile query_batch_par_with, or regenerate on a "
+            "quiet machine if this is measurement noise")
+
     print("bench JSON schemas OK; counters within the committed baseline; "
           f"batch headline {headline}x >= {HEADLINE_MIN_SPEEDUP}x; "
-          f"clustered k=20 {clustered_k20}x >= {CLUSTERED_K20_MIN_SPEEDUP}x")
+          f"clustered k=20 {clustered_k20}x >= {CLUSTERED_K20_MIN_SPEEDUP}x; "
+          f"parallel batch-32 threads=4 {par_headline}x >= "
+          f"{PARALLEL_HEADLINE_MIN}x")
 
 
 if __name__ == "__main__":

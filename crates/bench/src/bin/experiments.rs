@@ -14,17 +14,24 @@
 //!   seed, emitting `BENCH_topk.json`;
 //! * `batch` — the E9 batched multi-user sweep: query-log-driven keyword
 //!   sets served to user batches of size {1, 8, 32, 128}, batch call vs
-//!   per-user loop, emitting `BENCH_batch.json`.
+//!   per-user loop, emitting `BENCH_batch.json`;
+//! * `parallel` — the E10 thread-scaling sweep of the execution layer:
+//!   parallel index builds (asserted identical to sequential ones) and the
+//!   parallel batch engines at each requested thread count, against the
+//!   threads=1 per-user serving loop, emitting `BENCH_parallel.json`.
 //!
 //! ```text
 //! cargo run -p socialscope_bench --release --bin experiments -- topk \
 //!     --scale 200 --out BENCH_topk.json [--baseline before.json]
 //! cargo run -p socialscope_bench --release --bin experiments -- batch \
 //!     --scale 200 --out BENCH_batch.json
+//! cargo run -p socialscope_bench --release --bin experiments -- parallel \
+//!     --scale 200 --threads 1,2,4 --out BENCH_parallel.json
 //! ```
 //!
-//! Unknown subcommands or flags, malformed numeric values and unwritable
-//! `--out` destinations all fail fast with a non-zero exit.
+//! Unknown subcommands or flags, malformed numeric values (`--threads`
+//! rejects zero and non-integers upfront) and unwritable `--out`
+//! destinations all fail fast with a non-zero exit.
 
 use socialscope_algebra::prelude::*;
 use socialscope_bench::{site_at_scale, site_with_matches, standard_keywords};
@@ -42,8 +49,8 @@ use socialscope_workload::{
 };
 use std::time::Instant;
 
-const USAGE: &str =
-    "table1 | table2 | fig2 | sizing | clustering | algebra | presentation | topk | batch | all";
+const USAGE: &str = "table1 | table2 | fig2 | sizing | clustering | algebra | presentation | \
+                     topk | batch | parallel | all";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,6 +94,7 @@ fn main() {
         }
         "topk" => topk_sweep(rest),
         "batch" => batch_sweep(rest),
+        "parallel" => parallel_sweep(rest),
         "all" => {
             no_flags("all");
             table1();
@@ -922,6 +930,298 @@ fn batch_sweep(args: &[String]) {
         BATCH_SIZES.map(|b| b.to_string()).join(","),
         rows.iter().map(BatchRow::to_json).collect::<Vec<_>>().join(","),
         aggregate.join(",")
+    );
+    write_json_out(out.as_deref(), &json);
+}
+
+/// The batch sizes the E10 thread-scaling sweep serves: the CI-gated
+/// batch-32 serving unit plus a larger one that crosses the parallel
+/// engines' fan-out floor at every multi-worker thread count.
+const PARALLEL_BATCH_SIZES: [usize; 2] = [32, 256];
+
+/// One measured engine × thread-count × batch-size aggregate of E10 (wall
+/// times summed across the three query classes).
+struct ParallelRow {
+    engine: &'static str,
+    threads: usize,
+    batch_size: usize,
+    wall_ms_loop: f64,
+    wall_ms_batch: f64,
+}
+
+impl ParallelRow {
+    /// Aggregate serving gain of the parallel batch engine over the
+    /// threads=1 per-user loop — the deployment baseline every thread
+    /// count is judged against (the threads=1 row is the pure batching
+    /// gain; multi-worker rows add whatever the hardware's cores allow).
+    fn speedup_vs_loop(&self) -> f64 {
+        self.wall_ms_loop / self.wall_ms_batch.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\":\"{}\",\"threads\":{},\"batch_size\":{},\"wall_ms_loop\":{:.3},\"wall_ms_batch\":{:.3},\"speedup_vs_loop\":{:.2}}}",
+            self.engine,
+            self.threads,
+            self.batch_size,
+            self.wall_ms_loop,
+            self.wall_ms_batch,
+            self.speedup_vs_loop()
+        )
+    }
+}
+
+/// E10 — thread-scaling sweep of the parallel execution layer: index
+/// builds and the batch serving paths at each requested thread count.
+///
+/// Builds at every thread count are asserted to produce indexes with the
+/// sequential build's stats, and every parallel batch result is asserted
+/// element-wise identical to the per-user loop *before* anything is
+/// timed — the determinism contract is checked on the measured workload
+/// itself, not just in the test suite. Serving rows report wall time
+/// against the threads=1 per-user serving loop (the E9 baseline), so the
+/// threads=1 row isolates the batching gain and multi-worker rows add the
+/// thread-level gain the machine's cores allow; the emitted
+/// `available_parallelism` records how many cores that was. Emits a JSON
+/// run object (`BENCH_parallel.json` when `--out` points there).
+fn parallel_sweep(args: &[String]) {
+    let mut scale = 200usize;
+    let mut reps = 10usize;
+    let mut k = 10usize;
+    let mut queries_per_class = 8usize;
+    let mut threads_list: Vec<usize> = vec![1, 2, 4];
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")));
+        match flag.as_str() {
+            "--scale" => scale = parse_num("--scale", value("--scale")),
+            "--reps" => reps = parse_num("--reps", value("--reps")),
+            "--k" => k = parse_num("--k", value("--k")),
+            "--queries" => queries_per_class = parse_num("--queries", value("--queries")),
+            "--threads" => {
+                // Worker counts go through the execution layer's own
+                // parser: zero and non-integers are rejected upfront, like
+                // every other malformed flag value.
+                threads_list = value("--threads")
+                    .split(',')
+                    .map(|part| {
+                        socialscope_exec::parse_threads(part)
+                            .unwrap_or_else(|e| fail(&format!("--threads: {e}")))
+                    })
+                    .collect();
+                if threads_list.is_empty() {
+                    fail("--threads needs at least one worker count");
+                }
+            }
+            "--out" => out = Some(value("--out").clone()),
+            other => fail(&format!(
+                "unknown parallel flag `{other}` (expected --scale/--reps/--k/--queries/--threads/--out)"
+            )),
+        }
+    }
+    if let Some(path) = &out {
+        validate_out_path(path);
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    heading(&format!(
+        "E10 / parallel execution layer at scale {scale} (k={k}, threads {threads_list:?}, {cores} core(s) available)"
+    ));
+    let site = site_at_scale(scale);
+    let model = SiteModel::from_graph(&site.graph);
+
+    // Build layer: wall time per thread count, with the determinism
+    // contract asserted against the sequential build.
+    let sequential = socialscope_exec::Exec::sequential();
+    let exact = ExactIndex::build_with(&sequential, &model);
+    let clustered = ClusteredIndex::build_with(
+        &sequential,
+        &model,
+        NetworkBasedClustering.cluster(&model, 0.3),
+    );
+    let mut build_rows: Vec<String> = Vec::new();
+    println!("{:<10} {:>8} {:>16} {:>16}", "build", "threads", "exact (ms)", "clustered (ms)");
+    for &threads in &threads_list {
+        let exec = socialscope_exec::Exec::new(threads)
+            .unwrap_or_else(|e| fail(&format!("--threads: {e}")));
+        let parallel_exact = ExactIndex::build_with(&exec, &model);
+        assert_eq!(parallel_exact.stats(), exact.stats(), "parallel exact build diverged");
+        let clustering = NetworkBasedClustering.cluster(&model, 0.3);
+        let parallel_clustered = ClusteredIndex::build_with(&exec, &model, clustering);
+        assert_eq!(
+            parallel_clustered.stats_with_refinement(),
+            clustered.stats_with_refinement(),
+            "parallel clustered build diverged"
+        );
+        let exact_ms = best_of_three(1, || {
+            std::hint::black_box(ExactIndex::build_with(&exec, &model).stats().entries);
+        });
+        let clustered_ms = best_of_three(1, || {
+            let clustering = NetworkBasedClustering.cluster(&model, 0.3);
+            std::hint::black_box(
+                ClusteredIndex::build_with(&exec, &model, clustering).stats().entries,
+            );
+        });
+        println!("{:<10} {:>8} {:>16.3} {:>16.3}", "", threads, exact_ms, clustered_ms);
+        build_rows.push(format!(
+            "{{\"index\":\"exact\",\"threads\":{threads},\"wall_ms\":{exact_ms:.3}}}"
+        ));
+        build_rows.push(format!(
+            "{{\"index\":\"clustered\",\"threads\":{threads},\"wall_ms\":{clustered_ms:.3}}}"
+        ));
+    }
+
+    // Serving layer: the E9 query-log workload (three classes), aggregated
+    // per engine × thread count × batch size.
+    let mut gen = QueryLogGenerator::new(QueryLogConfig { seed: 7, ..Default::default() });
+    let classes: Vec<(&'static str, Vec<Vec<String>>)> = [
+        ("general", QueryClass::General),
+        ("categorical", QueryClass::Categorical),
+        ("specific", QueryClass::Specific),
+    ]
+    .into_iter()
+    .map(|(name, class)| {
+        let queries: Vec<Vec<String>> = (0..queries_per_class)
+            .map(|i| keywords_of(&gen.next_query_of(class, i % 2 == 0)))
+            .collect();
+        (name, queries)
+    })
+    .collect();
+
+    let mut rows: Vec<ParallelRow> = Vec::new();
+    println!(
+        "\n{:<16} {:>8} {:>6} {:>14} {:>15} {:>9}",
+        "engine", "threads", "batch", "loop (ms)", "batch (ms)", "vs loop"
+    );
+    for &batch_size in &PARALLEL_BATCH_SIZES {
+        let batches: Vec<Vec<Vec<socialscope_graph::NodeId>>> = classes
+            .iter()
+            .map(|(_, queries)| {
+                (0..queries.len())
+                    .map(|i| {
+                        (0..batch_size)
+                            .map(|j| site.users[(i * batch_size + j) % site.users.len()])
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Per-user loop baselines (threads=1 serving, once per engine).
+        let exact_loop = best_of_three(reps, || {
+            for ((_, queries), class_batches) in classes.iter().zip(&batches) {
+                for (keywords, batch) in queries.iter().zip(class_batches) {
+                    for &u in batch {
+                        std::hint::black_box(exact.query(u, keywords, k).ranked.len());
+                    }
+                }
+            }
+        });
+        let clustered_loop = best_of_three(reps, || {
+            for ((_, queries), class_batches) in classes.iter().zip(&batches) {
+                for (keywords, batch) in queries.iter().zip(class_batches) {
+                    for &u in batch {
+                        std::hint::black_box(
+                            clustered.query(&model, u, keywords, k).result.ranked.len(),
+                        );
+                    }
+                }
+            }
+        });
+
+        for &threads in &threads_list {
+            let exec = socialscope_exec::Exec::new(threads)
+                .unwrap_or_else(|e| fail(&format!("--threads: {e}")));
+            // The determinism contract, checked on the measured workload
+            // before anything is timed.
+            for ((_, queries), class_batches) in classes.iter().zip(&batches) {
+                for (keywords, batch) in queries.iter().zip(class_batches) {
+                    let par = exact.query_batch_par(&exec, batch, keywords, k);
+                    for (got, &u) in par.iter().zip(batch) {
+                        assert_eq!(got, &exact.query(u, keywords, k), "exact parallel mismatch");
+                    }
+                    let par = clustered.query_batch_par(&exec, &model, batch, keywords, k);
+                    for (got, &u) in par.iter().zip(batch) {
+                        assert_eq!(
+                            got,
+                            &clustered.query(&model, u, keywords, k),
+                            "clustered parallel mismatch"
+                        );
+                    }
+                }
+            }
+
+            let mut pool = socialscope_content::BatchScratchPool::default();
+            let exact_batch = best_of_three(reps, || {
+                for ((_, queries), class_batches) in classes.iter().zip(&batches) {
+                    for (keywords, batch) in queries.iter().zip(class_batches) {
+                        std::hint::black_box(
+                            exact.query_batch_par_with(&exec, &mut pool, batch, keywords, k).len(),
+                        );
+                    }
+                }
+            });
+            let mut pool = socialscope_content::BatchScratchPool::default();
+            let clustered_batch = best_of_three(reps, || {
+                for ((_, queries), class_batches) in classes.iter().zip(&batches) {
+                    for (keywords, batch) in queries.iter().zip(class_batches) {
+                        std::hint::black_box(
+                            clustered
+                                .query_batch_par_with(&exec, &mut pool, &model, batch, keywords, k)
+                                .len(),
+                        );
+                    }
+                }
+            });
+            rows.push(ParallelRow {
+                engine: "exact_index",
+                threads,
+                batch_size,
+                wall_ms_loop: exact_loop,
+                wall_ms_batch: exact_batch,
+            });
+            rows.push(ParallelRow {
+                engine: "clustered_index",
+                threads,
+                batch_size,
+                wall_ms_loop: clustered_loop,
+                wall_ms_batch: clustered_batch,
+            });
+            for row in rows.iter().rev().take(2).rev() {
+                println!(
+                    "{:<16} {:>8} {:>6} {:>14.3} {:>15.3} {:>8.2}x",
+                    row.engine,
+                    row.threads,
+                    row.batch_size,
+                    row.wall_ms_loop,
+                    row.wall_ms_batch,
+                    row.speedup_vs_loop()
+                );
+            }
+        }
+    }
+
+    // Headline: the exact engine at batch 32 and the highest requested
+    // thread count (4 in the committed and CI configurations).
+    let head_threads = threads_list.iter().copied().max().unwrap_or(1);
+    let headline = rows
+        .iter()
+        .find(|r| r.engine == "exact_index" && r.batch_size == 32 && r.threads == head_threads)
+        .map(ParallelRow::speedup_vs_loop)
+        .unwrap_or(0.0);
+    println!(
+        "\nheadline: exact_index batch-32 at {head_threads} thread(s) serves {headline:.2}x the per-user loop"
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"E10_parallel_sweep\",\"seed\":7,\"scale\":{scale},\"k\":{k},\"queries_per_class\":{queries_per_class},\"repetitions\":{reps},\"site_users\":{},\"available_parallelism\":{cores},\"threads\":[{}],\"batch_sizes\":[{}],\"build\":[{}],\"rows\":[{}],\"headline\":{{\"engine\":\"exact_index\",\"batch_size\":32,\"threads\":{head_threads},\"speedup_vs_loop\":{headline:.2}}}}}\n",
+        site.users.len(),
+        threads_list.iter().map(usize::to_string).collect::<Vec<_>>().join(","),
+        PARALLEL_BATCH_SIZES.map(|b| b.to_string()).join(","),
+        build_rows.join(","),
+        rows.iter().map(ParallelRow::to_json).collect::<Vec<_>>().join(",")
     );
     write_json_out(out.as_deref(), &json);
 }

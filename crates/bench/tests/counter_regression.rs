@@ -15,9 +15,51 @@
 
 use socialscope_bench::{site_at_scale, standard_keywords};
 use socialscope_content::{
-    BatchScratch, ClusteredIndex, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel,
+    BatchScratch, BatchScratchPool, ClusteredIndex, ClusteringStrategy, ExactIndex,
+    NetworkBasedClustering, SiteModel,
 };
+use socialscope_exec::Exec;
 use socialscope_graph::NodeId;
+
+/// The pinned E8 counters of the canonical scale-200 workload (20 probe
+/// users, standard keywords): `(engine, k, sorted_accesses,
+/// exact_computations)`. Shared by the sequential pin and the 4-thread pin
+/// — the execution layer must not move a single counter.
+const PINNED_E8: [(&str, usize, usize, usize); 4] = [
+    ("exact_index_ta", 5, 271, 237),
+    ("clustered_index_ta", 5, 492, 423),
+    ("exact_index_ta", 20, 315, 280),
+    ("clustered_index_ta", 20, 558, 477),
+];
+
+/// Run the canonical E8 probe workload against a pair of indexes and
+/// collect the counter rows in pin order.
+fn observe_counters(
+    model: &SiteModel,
+    exact: &ExactIndex,
+    clustered: &ClusteredIndex,
+    users: &[NodeId],
+    keywords: &[String],
+) -> Vec<(&'static str, usize, usize, usize)> {
+    let mut observed = Vec::new();
+    for &k in &[5usize, 20] {
+        let (mut sa, mut ec) = (0usize, 0usize);
+        for &u in users {
+            let r = exact.query(u, keywords, k);
+            sa += r.sorted_accesses;
+            ec += r.exact_computations;
+        }
+        observed.push(("exact_index_ta", k, sa, ec));
+        let (mut sa, mut ec) = (0usize, 0usize);
+        for &u in users {
+            let r = clustered.query(model, u, keywords, k).result;
+            sa += r.sorted_accesses;
+            ec += r.exact_computations;
+        }
+        observed.push(("clustered_index_ta", k, sa, ec));
+    }
+    observed
+}
 
 #[test]
 fn e8_counters_are_pinned_at_scale_200() {
@@ -28,35 +70,54 @@ fn e8_counters_are_pinned_at_scale_200() {
     let clustered = ClusteredIndex::build(&model, NetworkBasedClustering.cluster(&model, 0.3));
     let users: Vec<_> = site.users.iter().copied().take(20).collect();
 
-    let mut observed: Vec<(&str, usize, usize, usize)> = Vec::new();
-    for &k in &[5usize, 20] {
-        let (mut sa, mut ec) = (0usize, 0usize);
-        for &u in &users {
-            let r = exact.query(u, &keywords, k);
-            sa += r.sorted_accesses;
-            ec += r.exact_computations;
-        }
-        observed.push(("exact_index_ta", k, sa, ec));
-        let (mut sa, mut ec) = (0usize, 0usize);
-        for &u in &users {
-            let r = clustered.query(&model, u, &keywords, k).result;
-            sa += r.sorted_accesses;
-            ec += r.exact_computations;
-        }
-        observed.push(("clustered_index_ta", k, sa, ec));
-    }
-
-    let pinned: Vec<(&str, usize, usize, usize)> = vec![
-        ("exact_index_ta", 5, 271, 237),
-        ("clustered_index_ta", 5, 492, 423),
-        ("exact_index_ta", 20, 315, 280),
-        ("clustered_index_ta", 20, 558, 477),
-    ];
+    let observed = observe_counters(&model, &exact, &clustered, &users, &keywords);
     assert_eq!(
-        observed, pinned,
+        observed,
+        PINNED_E8.to_vec(),
         "E8 counters moved; if pruning genuinely improved, update the pins \
          (and BENCH_topk.json) — never past the seed values in the module doc"
     );
+}
+
+/// The execution layer must be invisible in the counters: indexes *built
+/// at 4 threads* serve the pinned E8 workload with byte-identical
+/// `sorted_accesses` / `exact_computations`, and the 4-thread parallel
+/// batch path reproduces the single-query results element-wise (counters
+/// included) on a batch big enough to really fan out.
+#[test]
+fn e8_counters_are_unchanged_under_four_threads() {
+    let site = site_at_scale(200);
+    let model = SiteModel::from_graph(&site.graph);
+    let keywords = standard_keywords();
+    let exec = Exec::new(4).expect("positive thread count");
+    let exact = ExactIndex::build_with(&exec, &model);
+    let clustered =
+        ClusteredIndex::build_with(&exec, &model, NetworkBasedClustering.cluster(&model, 0.3));
+    let users: Vec<_> = site.users.iter().copied().take(20).collect();
+
+    let observed = observe_counters(&model, &exact, &clustered, &users, &keywords);
+    assert_eq!(
+        observed,
+        PINNED_E8.to_vec(),
+        "a 4-thread build changed the E8 counters; parallel builds must be \
+         indistinguishable from sequential ones"
+    );
+
+    // The 4-thread batch path: cycle the probe users out to 256 seekers so
+    // the batch crosses the fan-out floor, and require element-wise
+    // identity with single queries.
+    let batch: Vec<NodeId> = (0..256).map(|i| users[i % users.len()]).collect();
+    let mut pool = BatchScratchPool::default();
+    for &k in &[5usize, 20] {
+        let served = exact.query_batch_par_with(&exec, &mut pool, &batch, &keywords, k);
+        for (got, &u) in served.iter().zip(&batch) {
+            assert_eq!(got, &exact.query(u, &keywords, k), "exact user {u} k {k}");
+        }
+        let served = clustered.query_batch_par_with(&exec, &mut pool, &model, &batch, &keywords, k);
+        for (got, &u) in served.iter().zip(&batch) {
+            assert_eq!(got, &clustered.query(&model, u, &keywords, k), "clustered user {u} k {k}");
+        }
+    }
 }
 
 /// At a realistic scale, the batch query paths must stay element-wise

@@ -21,6 +21,17 @@
 //! Both expose the same query interface returning a
 //! [`crate::topk::TopKResult`] with cost counters, which is what experiment
 //! E5 sweeps across clustering strategies and thresholds θ.
+//!
+//! Builds and batch serving run on the execution layer
+//! ([`socialscope_exec::Exec`]): `build` shards the site's tag-assignment
+//! groups across scoped-thread workers and merges the partial accumulators
+//! **in shard order**, so a parallel build is indistinguishable from a
+//! sequential one (index stats, every list, every query answer — a
+//! proptested invariant), and `query_batch` splits a batch by slot range
+//! (exact) / cluster group (clustered) with one scratch arena per worker,
+//! preserving the element-wise-identical-to-single-queries guarantee
+//! verbatim. `Exec::sequential()` (or a computed shard count of 1) runs the
+//! exact single-threaded code paths.
 
 use crate::cluster::{ClusterId, UserClustering};
 use crate::inline::InlineVec;
@@ -30,7 +41,10 @@ use crate::sitemodel::SiteModel;
 use crate::tags::{QueryTags, TagId, TagInterner};
 use crate::topk::{top_k_hinted_with, top_k_with, TopKResult, TopKScratch};
 use serde::{Deserialize, Serialize};
+use socialscope_exec::Exec;
 use socialscope_graph::{FxBuildHasher, FxHashMap, NodeId};
+use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Space statistics of an index.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,9 +57,25 @@ pub struct IndexStats {
     pub bytes: usize,
 }
 
-fn stats_of<K>(lists: &FxHashMap<K, PostingList>) -> IndexStats {
-    let entries = lists.values().map(PostingList::len).sum();
-    IndexStats { lists: lists.len(), entries, bytes: entries * BYTES_PER_ENTRY }
+/// Minimum tag-assignment groups per build shard: below this, accumulating
+/// a group costs less than spawning a worker for it, so small sites build
+/// on the caller's thread no matter the pool size.
+const BUILD_MIN_GROUPS_PER_SHARD: usize = 32;
+
+/// Minimum batch members per serving shard: a member's evaluation is
+/// microseconds of work, so a batch fans out only when every worker gets
+/// enough members to amortize its spawn; smaller batches take the
+/// sequential path (which is also the exact code the parallel workers run
+/// per shard, so results are identical either way).
+const SHARD_MIN_USERS: usize = 64;
+
+/// Monotonic build identity: every built [`ClusteredIndex`] gets a fresh
+/// non-zero stamp, which the cross-batch gather caches key on so a scratch
+/// arena reused against a *different* index can never serve stale spans
+/// (0 is reserved for default-constructed indexes, which never cache).
+fn next_build_stamp() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Stack buffer for the per-keyword lists of one query: queries rarely carry
@@ -119,6 +149,67 @@ pub struct BatchScratch {
     topk: TopKScratch,
     /// Cluster-span buffer for the clustered engine's per-user report.
     spans: Vec<ClusterId>,
+    /// Cross-batch cache of gathered per-cluster bound-list spans (see
+    /// [`GatherCache`]).
+    gather: GatherCache,
+}
+
+/// Cross-batch cache of the clustered engine's per-cluster list gathers.
+///
+/// Gathering a cluster group's bound lists costs one hash probe per
+/// `(tag, cluster)` pair; with refinement per-candidate cost gone, that
+/// gather constant is what keeps clustered batch rows near 1×. Batches of a
+/// serving loop frequently share a keyword set (hot queries), so the
+/// scratch remembers, per cluster, the pool slots of its bound lists for
+/// the *current* resolved keyword set: a later batch (or a later group of
+/// the same batch) resolving to the same tags re-gathers each cluster with
+/// one probe total instead of one per tag. The cache is keyed on the
+/// index's build stamp plus the resolved [`TagId`] sequence and cleared
+/// whenever either changes, so reusing one scratch across keyword sets —
+/// or across *indexes* — stays exactly as correct as no cache at all.
+#[derive(Default)]
+struct GatherCache {
+    /// Build stamp of the index the cached slots point into (0 = empty).
+    stamp: u64,
+    /// The resolved tag ids the slots were gathered for.
+    tags: Vec<TagId>,
+    /// `cluster → pool slots` of the cluster's present bound lists, in
+    /// resolved-tag order.
+    spans: FxHashMap<ClusterId, Vec<u32>>,
+}
+
+/// Per-worker scratch arenas for the parallel batch paths: worker `w` owns
+/// slot `w` exclusively for the duration of a batch, and the slots persist
+/// across batches — a serving loop pays each worker's arena allocations
+/// once, exactly as [`BatchScratch`] promises for the sequential path. The
+/// slot-0 arena doubles as the sequential scratch when a batch is too small
+/// to fan out.
+#[derive(Default)]
+pub struct BatchScratchPool {
+    /// The slot-resolution buffer shared by the whole batch (built before
+    /// workers fan out, read-only while they run).
+    order: Vec<(u32, u32)>,
+    /// One evaluation arena per worker.
+    workers: Vec<BatchScratch>,
+}
+
+impl BatchScratchPool {
+    /// The slot-0 arena (grown on first use) — the sequential fallback.
+    fn worker(&mut self) -> &mut BatchScratch {
+        if self.workers.is_empty() {
+            self.workers.push(BatchScratch::default());
+        }
+        &mut self.workers[0]
+    }
+}
+
+/// Grow a worker-arena vector to at least `shards` slots (kept across
+/// batches) and return exactly that many.
+fn grow_workers(workers: &mut Vec<BatchScratch>, shards: usize) -> &mut [BatchScratch] {
+    if workers.len() < shards {
+        workers.resize_with(shards, BatchScratch::default);
+    }
+    &mut workers[..shards]
 }
 
 /// Layout key marking a batch member with no row in the index (unknown
@@ -161,34 +252,87 @@ pub struct ExactIndex {
 
 impl ExactIndex {
     /// Build the index from a site model: an entry `(k, u) → (i, s)` exists
-    /// for every item `i` with non-zero score `s = score_k(i, u)`.
+    /// for every item `i` with non-zero score `s = score_k(i, u)`. Threads
+    /// come from [`Exec::auto`] (the `SOCIALSCOPE_THREADS` override or the
+    /// machine's parallelism); see [`Self::build_with`] for the sharding
+    /// and determinism story.
+    pub fn build(site: &SiteModel) -> Self {
+        Self::build_with(&Exec::auto(), site)
+    }
+
+    /// [`Self::build`] on a caller-chosen [`Exec`].
     ///
     /// Each `(item, tag)` assignment group is accumulated exactly once into
     /// a reused per-user scratch map, then scattered into the per-
     /// `(tag, user)` lists — no per-pair probing of the site's cross
-    /// product, and no tag cloning beyond the one interning.
-    pub fn build(site: &SiteModel) -> Self {
+    /// product, and no tag cloning beyond the one interning. Under a
+    /// multi-worker pool the group sequence is sharded contiguously: tags
+    /// intern in a sequential pre-pass over the whole sequence (so the
+    /// symbol table is the sequential build's, whatever the pool), each
+    /// worker accumulates its own pre-sized partial maps, and the partials
+    /// merge in shard order — `(user, tag, item)` leaves are disjoint
+    /// across groups, so the merged accumulator and the final sorted
+    /// layout are *identical* to the sequential build's for every thread
+    /// count (a proptested invariant).
+    pub fn build_with(exec: &Exec, site: &SiteModel) -> Self {
         /// Build-time accumulator: user → tag → item → score.
         type ScoreAcc = FxHashMap<NodeId, FxHashMap<TagId, FxHashMap<NodeId, f64>>>;
         let mut tags = TagInterner::new();
-        let mut lists: ScoreAcc =
-            FxHashMap::with_capacity_and_hasher(site.user_count(), FxBuildHasher::default());
-        let mut per_user: FxHashMap<NodeId, f64> =
-            FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default());
-        for (item, tag, taggers) in site.tag_assignments() {
-            let tag = tags.intern(tag);
-            accumulate_per_user(site, taggers, &mut per_user);
-            for (&user, &score) in &per_user {
+        let groups: Vec<(NodeId, &str, &[NodeId])> = site.tag_assignments().collect();
+        let group_tags: Vec<TagId> = groups.iter().map(|&(_, tag, _)| tags.intern(tag)).collect();
+        let shards: Vec<ScoreAcc> =
+            exec.run_sharded(groups.len(), BUILD_MIN_GROUPS_PER_SHARD, |_, range| {
+                // Capacity hint scaled to this shard's share of the groups:
+                // T concurrent shards each sized for the whole site would
+                // multiply the sequential build's preallocation T-fold. One
+                // shard (the sequential path) keeps the full-site hint.
+                let mut lists: ScoreAcc = FxHashMap::with_capacity_and_hasher(
+                    site.user_count() * range.len() / groups.len().max(1) + 1,
+                    FxBuildHasher::default(),
+                );
+                let mut per_user: FxHashMap<NodeId, f64> =
+                    FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default());
+                for index in range {
+                    let (item, _, taggers) = groups[index];
+                    let tag = group_tags[index];
+                    accumulate_per_user(site, taggers, &mut per_user);
+                    for (&user, &score) in &per_user {
+                        lists
+                            .entry(user)
+                            .or_insert_with(|| {
+                                FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
+                            })
+                            .entry(tag)
+                            .or_insert_with(|| {
+                                FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
+                            })
+                            .insert(item, score);
+                    }
+                }
                 lists
-                    .entry(user)
-                    .or_insert_with(|| {
-                        FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
-                    })
-                    .entry(tag)
-                    .or_insert_with(|| {
-                        FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
-                    })
-                    .insert(item, score);
+            });
+        // Merge the partial accumulators in shard order. Every leaf
+        // `(user, tag, item)` belongs to exactly one assignment group and
+        // thus one shard, so the merge is a disjoint union.
+        let mut shards = shards.into_iter();
+        let mut lists = shards.next().expect("run_sharded yields at least one shard");
+        for shard in shards {
+            for (user, by_tag) in shard {
+                match lists.entry(user) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(by_tag);
+                    }
+                    Entry::Occupied(mut row) => {
+                        for (tag, items) in by_tag {
+                            match row.get_mut().entry(tag) {
+                                Entry::Vacant(slot) => {
+                                    slot.insert(items);
+                                }
+                                Entry::Occupied(mut list) => list.get_mut().extend(items),
+                            }
+                        }
+                    }
+                }
             }
         }
         let mut users: Vec<(NodeId, UserLists)> = lists
@@ -322,13 +466,15 @@ impl ExactIndex {
     /// state is reused across users, and users are visited in index-layout
     /// order so the user-first storage is walked cache-friendly. Results
     /// arrive in input order and each equals the corresponding
-    /// [`Self::query`] call exactly.
+    /// [`Self::query`] call exactly. Threads come from [`Exec::auto`]; see
+    /// [`Self::query_batch_par_with`] for the sharding story.
     pub fn query_batch(&self, users: &[NodeId], keywords: &[String], k: usize) -> Vec<TopKResult> {
-        self.query_batch_with(&mut BatchScratch::default(), users, keywords, k)
+        self.query_batch_par(&Exec::auto(), users, keywords, k)
     }
 
-    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`], so a
-    /// serving loop pays the arena's allocations once, not per batch.
+    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`] on the
+    /// single-threaded path, so a sequential serving loop pays the arena's
+    /// allocations once, not per batch.
     pub fn query_batch_with(
         &self,
         scratch: &mut BatchScratch,
@@ -354,11 +500,95 @@ impl ExactIndex {
         }));
         order.sort_unstable();
         results.resize_with(users.len(), TopKResult::default);
-        for &(slot, position) in order.iter() {
-            let rows = (slot != NO_SLOT).then(|| self.users[slot as usize].1.as_slice());
-            results[position as usize] = self.query_resolved(rows, tag_ids, k, topk);
+        self.serve_slots(order, tag_ids, k, topk, |position, result| {
+            results[position as usize] = result;
+        });
+        results
+    }
+
+    /// [`Self::query_batch`] on a caller-chosen [`Exec`].
+    pub fn query_batch_par(
+        &self,
+        exec: &Exec,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        self.query_batch_par_with(exec, &mut BatchScratchPool::default(), users, keywords, k)
+    }
+
+    /// [`Self::query_batch_par`] through a caller-owned
+    /// [`BatchScratchPool`], so a serving loop pays each worker's arena
+    /// allocations once.
+    ///
+    /// The batch is resolved and laid out in index order exactly as the
+    /// sequential path does, then split into contiguous **slot ranges**,
+    /// one scoped-thread worker per range with its own [`BatchScratch`];
+    /// every worker runs the same per-slot evaluation the sequential path
+    /// runs and writes to output slots no other worker touches, so results
+    /// stay element-wise identical to single [`Self::query`] calls — and to
+    /// the sequential batch path — for every thread count (a proptested
+    /// invariant). Batches too small to amortize worker spawns (fewer than
+    /// 2 × 64 members) take the sequential path outright.
+    pub fn query_batch_par_with(
+        &self,
+        exec: &Exec,
+        pool: &mut BatchScratchPool,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        let shards = exec.shard_count(users.len(), SHARD_MIN_USERS);
+        if shards <= 1 {
+            return self.query_batch_with(pool.worker(), users, keywords, k);
+        }
+        let tag_ids = QueryTags::resolve(&self.tags, keywords);
+        let tag_ids = tag_ids.as_slice();
+        let mut results: Vec<TopKResult> = Vec::with_capacity(users.len());
+        if tag_ids.is_empty() {
+            results.resize_with(users.len(), TopKResult::default);
+            return results;
+        }
+        let BatchScratchPool { order, workers } = pool;
+        order.clear();
+        order.extend(users.iter().enumerate().map(|(position, user)| {
+            (self.slots.get(user).copied().unwrap_or(NO_SLOT), position as u32)
+        }));
+        order.sort_unstable();
+        let ranges = Exec::shard_ranges(order.len(), shards);
+        let sharded: Vec<Vec<(u32, TopKResult)>> =
+            exec.run_chunks_with(grow_workers(workers, shards), &ranges, |scratch, _, range| {
+                let mut out: Vec<(u32, TopKResult)> = Vec::with_capacity(range.len());
+                self.serve_slots(&order[range], tag_ids, k, &mut scratch.topk, |pos, result| {
+                    out.push((pos, result));
+                });
+                out
+            });
+        results.resize_with(users.len(), TopKResult::default);
+        for shard in sharded {
+            for (position, result) in shard {
+                results[position as usize] = result;
+            }
         }
         results
+    }
+
+    /// Evaluate a layout-ordered run of `(slot, position)` pairs, handing
+    /// each result to `sink(position, result)`. The single shared walk of
+    /// both batch paths: the sequential path runs it over the whole order,
+    /// each parallel worker over its contiguous slot range.
+    fn serve_slots(
+        &self,
+        order: &[(u32, u32)],
+        tag_ids: &[TagId],
+        k: usize,
+        topk: &mut TopKScratch,
+        mut sink: impl FnMut(u32, TopKResult),
+    ) {
+        for &(slot, position) in order {
+            let rows = (slot != NO_SLOT).then(|| self.users[slot as usize].1.as_slice());
+            sink(position, self.query_resolved(rows, tag_ids, k, topk));
+        }
     }
 
     /// Degenerate top-k where the lists hold fewer than k entries: every
@@ -394,14 +624,30 @@ impl ExactIndex {
 
 /// The clustered index: one list per `(tag, cluster)` with score upper
 /// bounds (Eq. 1), plus the keyword-first [`RefinementIndex`] the exact
-/// per-candidate scores are recomputed from at query time.
+/// per-candidate scores are recomputed from at query time. Lists live in a
+/// dense pool in ascending `(TagId, ClusterId)` key order (deterministic
+/// for every build thread count) behind a key → slot table, so the batch
+/// paths' gather caches can remember compact `u32` slots instead of
+/// re-probing the table per tag per cluster.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusteredIndex {
     tags: TagInterner,
-    lists: FxHashMap<(TagId, ClusterId), PostingList>,
+    /// `(tag, cluster)` → slot in `list_pool`.
+    list_ids: FxHashMap<(TagId, ClusterId), u32>,
+    /// The upper-bound lists, ascending by `(TagId, ClusterId)` key.
+    list_pool: Vec<PostingList>,
     refinement: RefinementIndex,
     /// The clustering the index was built for.
     pub clustering: UserClustering,
+    /// Build identity the scratch-level gather caches key on (see
+    /// [`next_build_stamp`]). 0 — the default — disables caching for this
+    /// index. Process-local by construction, so it must never be
+    /// persisted: a deserialized stamp could collide with a live build's
+    /// and let a reused scratch replay the wrong index's pool slots
+    /// (`skip` keeps a future real serde backend honest; the current
+    /// offline shim serializes nothing anyway).
+    #[serde(skip)]
+    stamp: u64,
 }
 
 /// Cost counters specific to clustered query processing, reported alongside
@@ -431,43 +677,105 @@ impl ClusteredIndex {
     /// for `(k, C, i)` is `max_{u ∈ C} score_k(i, u)`. The same pass feeds
     /// every `(tag, item)` tagger group into the keyword-first
     /// [`RefinementIndex`] under the same interned ids, so query-time
-    /// refinement never touches tag strings.
+    /// refinement never touches tag strings. Threads come from
+    /// [`Exec::auto`]; see [`Self::build_with`] for the sharding and
+    /// determinism story.
     pub fn build(site: &SiteModel, clustering: UserClustering) -> Self {
+        Self::build_with(&Exec::auto(), site, clustering)
+    }
+
+    /// [`Self::build`] on a caller-chosen [`Exec`].
+    ///
+    /// Under a multi-worker pool the tag-assignment group sequence is
+    /// sharded contiguously exactly as in [`ExactIndex::build_with`]: tags
+    /// intern in a sequential pre-pass, each worker accumulates its own
+    /// partial bound maps *and* partial refinement arena over its run of
+    /// groups, and the partials merge in shard order — bound leaves
+    /// `(tag, cluster, item)` belong to exactly one group, and
+    /// concatenating the partial refinement arenas in shard order
+    /// reproduces the sequential arena byte for byte
+    /// (`RefinementIndex::append`). The list pool is then laid out in
+    /// ascending key order, so the built index is identical for every
+    /// thread count (a proptested invariant).
+    pub fn build_with(exec: &Exec, site: &SiteModel, clustering: UserClustering) -> Self {
+        type BoundAcc = FxHashMap<(TagId, ClusterId), FxHashMap<NodeId, f64>>;
         let mut tags = TagInterner::new();
-        let mut refinement = RefinementIndex::default();
-        let mut bounds: FxHashMap<(TagId, ClusterId), FxHashMap<NodeId, f64>> =
-            FxHashMap::with_capacity_and_hasher(
-                clustering.cluster_count().saturating_mul(site.tag_count()) / 4 + 16,
-                FxBuildHasher::default(),
-            );
-        let mut per_user: FxHashMap<NodeId, f64> =
-            FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default());
-        for (item, tag, taggers) in site.tag_assignments() {
-            let tag = tags.intern(tag);
-            refinement.insert(tag, item, taggers);
-            // Per-user scores for this (item, tag), then max per cluster.
-            accumulate_per_user(site, taggers, &mut per_user);
-            for (&user, &score) in &per_user {
-                let Some(cluster) = clustering.cluster_of(user) else {
-                    continue;
-                };
-                let entry = bounds
-                    .entry((tag, cluster))
-                    .or_insert_with(|| {
-                        FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
-                    })
-                    .entry(item)
-                    .or_default();
-                if score > *entry {
-                    *entry = score;
+        let groups: Vec<(NodeId, &str, &[NodeId])> = site.tag_assignments().collect();
+        let group_tags: Vec<TagId> = groups.iter().map(|&(_, tag, _)| tags.intern(tag)).collect();
+        let shards: Vec<(BoundAcc, RefinementIndex)> =
+            exec.run_sharded(groups.len(), BUILD_MIN_GROUPS_PER_SHARD, |_, range| {
+                // Capacity hint scaled to this shard's share of the groups
+                // (see the exact build); one shard keeps the full hint.
+                let full_hint = clustering.cluster_count().saturating_mul(site.tag_count()) / 4;
+                let mut bounds: BoundAcc = FxHashMap::with_capacity_and_hasher(
+                    full_hint * range.len() / groups.len().max(1) + 16,
+                    FxBuildHasher::default(),
+                );
+                let mut refinement = RefinementIndex::default();
+                let mut per_user: FxHashMap<NodeId, f64> =
+                    FxHashMap::with_capacity_and_hasher(64, FxBuildHasher::default());
+                for index in range {
+                    let (item, _, taggers) = groups[index];
+                    let tag = group_tags[index];
+                    refinement.insert(tag, item, taggers);
+                    // Per-user scores for this (item, tag), then max per
+                    // cluster.
+                    accumulate_per_user(site, taggers, &mut per_user);
+                    for (&user, &score) in &per_user {
+                        let Some(cluster) = clustering.cluster_of(user) else {
+                            continue;
+                        };
+                        let entry = bounds
+                            .entry((tag, cluster))
+                            .or_insert_with(|| {
+                                FxHashMap::with_capacity_and_hasher(8, FxBuildHasher::default())
+                            })
+                            .entry(item)
+                            .or_default();
+                        if score > *entry {
+                            *entry = score;
+                        }
+                    }
+                }
+                (bounds, refinement)
+            });
+        // Merge in shard order: bound leaves are a disjoint union, and the
+        // refinement arenas concatenate into the sequential build's arena.
+        let mut shards = shards.into_iter();
+        let (mut bounds, mut refinement) =
+            shards.next().expect("run_sharded yields at least one shard");
+        for (shard_bounds, shard_refinement) in shards {
+            for (key, items) in shard_bounds {
+                match bounds.entry(key) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(items);
+                    }
+                    Entry::Occupied(mut list) => list.get_mut().extend(items),
                 }
             }
+            refinement.append(shard_refinement);
         }
-        let lists = bounds
-            .into_iter()
-            .map(|(key, items)| (key, PostingList::from_entries(items)))
-            .collect();
-        ClusteredIndex { tags, lists, refinement, clustering }
+        // Deterministic pool layout: ascending (TagId, ClusterId) keys,
+        // independent of accumulator iteration order and thread count.
+        let mut keyed: Vec<((TagId, ClusterId), FxHashMap<NodeId, f64>)> =
+            bounds.into_iter().collect();
+        keyed.sort_unstable_by_key(|&(key, _)| key);
+        let mut list_ids: FxHashMap<(TagId, ClusterId), u32> =
+            FxHashMap::with_capacity_and_hasher(keyed.len(), FxBuildHasher::default());
+        let mut list_pool: Vec<PostingList> = Vec::with_capacity(keyed.len());
+        for (key, items) in keyed {
+            let slot = u32::try_from(list_pool.len()).expect("fewer than 2^32 bound lists");
+            list_ids.insert(key, slot);
+            list_pool.push(PostingList::from_entries(items));
+        }
+        ClusteredIndex {
+            tags,
+            list_ids,
+            list_pool,
+            refinement,
+            clustering,
+            stamp: next_build_stamp(),
+        }
     }
 
     /// The tag symbol table the index is keyed on.
@@ -489,7 +797,7 @@ impl ClusteredIndex {
 
     /// The list for an interned `(tag, cluster)` pair.
     pub fn list_by_id(&self, tag: TagId, cluster: ClusterId) -> Option<&PostingList> {
-        self.lists.get(&(tag, cluster))
+        self.list_ids.get(&(tag, cluster)).map(|&slot| &self.list_pool[slot as usize])
     }
 
     /// Space statistics of the *upper-bound lists* alone — the quantity
@@ -498,7 +806,8 @@ impl ClusteredIndex {
     /// invariant). The embedded refinement index is accounted separately:
     /// see [`Self::stats_with_refinement`].
     pub fn stats(&self) -> IndexStats {
-        stats_of(&self.lists)
+        let entries: usize = self.list_pool.iter().map(PostingList::len).sum();
+        IndexStats { lists: self.list_pool.len(), entries, bytes: entries * BYTES_PER_ENTRY }
     }
 
     /// Space statistics of the full clustered deployment: the upper-bound
@@ -597,7 +906,8 @@ impl ClusteredIndex {
     /// across the batch. Results arrive in input order and each equals the
     /// corresponding [`Self::query`] call exactly — unclustered members
     /// included (empty-with-flag, see
-    /// [`ClusteredQueryReport::unclustered`]).
+    /// [`ClusteredQueryReport::unclustered`]). Threads come from
+    /// [`Exec::auto`]; see [`Self::query_batch_par_with`].
     pub fn query_batch(
         &self,
         site: &SiteModel,
@@ -605,10 +915,15 @@ impl ClusteredIndex {
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        self.query_batch_with(&mut BatchScratch::default(), site, users, keywords, k)
+        self.query_batch_par(&Exec::auto(), site, users, keywords, k)
     }
 
-    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`].
+    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`] on the
+    /// single-threaded path. Across calls the scratch additionally caches
+    /// each cluster's gathered bound-list spans for the current resolved
+    /// keyword set (the scratch's internal gather cache): a serving loop whose consecutive
+    /// batches share a keyword set — the hot-query pattern — re-gathers
+    /// every cluster with one probe instead of one per tag.
     pub fn query_batch_with(
         &self,
         scratch: &mut BatchScratch,
@@ -619,7 +934,102 @@ impl ClusteredIndex {
     ) -> Vec<ClusteredQueryReport> {
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
         let resolved = self.refinement.resolve(tag_ids.as_slice());
-        let BatchScratch { order, topk, spans } = scratch;
+        // The order buffer leaves the scratch while the group walk borrows
+        // the rest of it, and returns before the call ends.
+        let mut order = std::mem::take(&mut scratch.order);
+        self.cluster_order(&mut order, users);
+        let mut results: Vec<ClusteredQueryReport> = Vec::with_capacity(users.len());
+        results.resize_with(users.len(), ClusteredQueryReport::default);
+        self.serve_cluster_groups(
+            site,
+            users,
+            &order,
+            tag_ids.as_slice(),
+            &resolved,
+            k,
+            scratch,
+            |position, report| results[position as usize] = report,
+        );
+        scratch.order = order;
+        results
+    }
+
+    /// [`Self::query_batch`] on a caller-chosen [`Exec`].
+    pub fn query_batch_par(
+        &self,
+        exec: &Exec,
+        site: &SiteModel,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        self.query_batch_par_with(exec, &mut BatchScratchPool::default(), site, users, keywords, k)
+    }
+
+    /// [`Self::query_batch_par`] through a caller-owned
+    /// [`BatchScratchPool`].
+    ///
+    /// The batch is resolved and cluster-grouped exactly as the sequential
+    /// path does, then split into contiguous runs of whole **cluster
+    /// groups** (a group's bound lists are gathered once, by one worker),
+    /// one scoped-thread worker per run with its own [`BatchScratch`] —
+    /// evaluation state *and* gather cache. Every worker runs the same
+    /// group walk the sequential path runs and writes to output slots no
+    /// other worker touches, so results stay element-wise identical to
+    /// single [`Self::query`] calls — and to the sequential batch path —
+    /// for every thread count (a proptested invariant). Batches too small
+    /// to amortize worker spawns take the sequential path outright.
+    pub fn query_batch_par_with(
+        &self,
+        exec: &Exec,
+        pool: &mut BatchScratchPool,
+        site: &SiteModel,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        let shards = exec.shard_count(users.len(), SHARD_MIN_USERS);
+        if shards <= 1 {
+            return self.query_batch_with(pool.worker(), site, users, keywords, k);
+        }
+        let tag_ids = QueryTags::resolve(&self.tags, keywords);
+        let tag_ids = tag_ids.as_slice();
+        let resolved = self.refinement.resolve(tag_ids);
+        let BatchScratchPool { order, workers } = pool;
+        self.cluster_order(order, users);
+        let chunks = cluster_chunks(order, shards);
+        let sharded: Vec<Vec<(u32, ClusteredQueryReport)>> = exec.run_chunks_with(
+            grow_workers(workers, chunks.len()),
+            &chunks,
+            |scratch, _, range| {
+                let mut out: Vec<(u32, ClusteredQueryReport)> = Vec::with_capacity(range.len());
+                self.serve_cluster_groups(
+                    site,
+                    users,
+                    &order[range],
+                    tag_ids,
+                    &resolved,
+                    k,
+                    scratch,
+                    |position, report| out.push((position, report)),
+                );
+                out
+            },
+        );
+        let mut results: Vec<ClusteredQueryReport> = Vec::with_capacity(users.len());
+        results.resize_with(users.len(), ClusteredQueryReport::default);
+        for shard in sharded {
+            for (position, report) in shard {
+                results[position as usize] = report;
+            }
+        }
+        results
+    }
+
+    /// Fill `order` with the batch's `(cluster key, position)` pairs,
+    /// sorted so members of one cluster are contiguous (unclustered
+    /// members last, under [`NO_SLOT`]).
+    fn cluster_order(&self, order: &mut Vec<(u32, u32)>, users: &[NodeId]) {
         order.clear();
         order.extend(users.iter().enumerate().map(|(position, user)| {
             let cluster = self
@@ -637,29 +1047,102 @@ impl ClusteredIndex {
             (cluster, position as u32)
         }));
         order.sort_unstable();
-        let mut results: Vec<ClusteredQueryReport> = Vec::with_capacity(users.len());
-        results.resize_with(users.len(), ClusteredQueryReport::default);
+    }
+
+    /// Gather one cluster's bound lists for a resolved keyword set through
+    /// the scratch-level [`GatherCache`]: on a cache hit the per-tag table
+    /// probes are skipped entirely — the cached pool slots replay the
+    /// gather. Stale entries cannot survive: the cache is keyed on this
+    /// index's build stamp and the exact resolved tag sequence.
+    fn gather_cached<'i>(
+        &'i self,
+        cache: &mut GatherCache,
+        cluster: ClusterId,
+        tag_ids: &[TagId],
+    ) -> QueryLists<'i> {
+        // Stamp 0 means "no build identity" (default-constructed or
+        // deserialized): such an index never caches, because two distinct
+        // stamp-0 indexes would be indistinguishable to the cache.
+        if self.stamp == 0 {
+            return self.gather_cluster_lists(Some(cluster), tag_ids);
+        }
+        if cache.stamp != self.stamp || cache.tags != tag_ids {
+            cache.stamp = self.stamp;
+            cache.tags.clear();
+            cache.tags.extend_from_slice(tag_ids);
+            cache.spans.clear();
+        }
+        let slots = cache.spans.entry(cluster).or_insert_with(|| {
+            tag_ids.iter().filter_map(|&tag| self.list_ids.get(&(tag, cluster)).copied()).collect()
+        });
+        QueryLists::gather(slots.iter().map(|&slot| &self.list_pool[slot as usize]))
+    }
+
+    /// Serve a cluster-ordered run of `(cluster key, position)` pairs: find
+    /// each cluster group's extent, gather its bound lists once (through
+    /// the scratch's cross-batch cache) and evaluate every member, handing
+    /// each report to `sink(position, report)`. The single shared walk of
+    /// both batch paths.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_cluster_groups(
+        &self,
+        site: &SiteModel,
+        users: &[NodeId],
+        order: &[(u32, u32)],
+        tag_ids: &[TagId],
+        resolved: &ResolvedRefinement<'_>,
+        k: usize,
+        scratch: &mut BatchScratch,
+        mut sink: impl FnMut(u32, ClusteredQueryReport),
+    ) {
+        let BatchScratch { topk, spans, gather, .. } = scratch;
         let mut start = 0usize;
         while start < order.len() {
             let key = order[start].0;
             let end = start
                 + order[start..].iter().position(|&(c, _)| c != key).unwrap_or(order.len() - start);
             let cluster = (key != NO_SLOT).then_some(ClusterId(key as usize));
-            let lists = self.gather_cluster_lists(cluster, tag_ids.as_slice());
-            let gathered = GatheredQuery {
-                lists: &lists,
-                resolved: &resolved,
-                unclustered: cluster.is_none(),
+            let lists = match cluster {
+                Some(cluster) => self.gather_cached(gather, cluster, tag_ids),
+                // Unclustered members have no bound lists to gather.
+                None => QueryLists::gather(std::iter::empty()),
             };
+            let gathered =
+                GatheredQuery { lists: &lists, resolved, unclustered: cluster.is_none() };
             for &(_, position) in &order[start..end] {
                 let user = users[position as usize];
                 let scratch = ClusterScratch { topk: &mut *topk, spans: &mut *spans };
-                results[position as usize] = self.query_gathered(site, user, &gathered, k, scratch);
+                sink(position, self.query_gathered(site, user, &gathered, k, scratch));
             }
             start = end;
         }
-        results
     }
+}
+
+/// Split a cluster-ordered batch into at most `shards` contiguous chunks
+/// that never cut through a cluster group (each group's bound lists are
+/// gathered by exactly one worker), targeting near-equal member counts.
+fn cluster_chunks(order: &[(u32, u32)], shards: usize) -> Vec<std::ops::Range<usize>> {
+    let mut chunks: Vec<std::ops::Range<usize>> = Vec::with_capacity(shards);
+    let target = order.len().div_ceil(shards.max(1));
+    let mut start = 0usize;
+    let mut cursor = 0usize;
+    while cursor < order.len() {
+        // Advance to the end of the current cluster group.
+        let key = order[cursor].0;
+        cursor +=
+            order[cursor..].iter().position(|&(c, _)| c != key).unwrap_or(order.len() - cursor);
+        // Close the chunk once it reaches the target, unless it is the last
+        // allowed chunk (which takes everything that remains).
+        if cursor - start >= target && chunks.len() + 1 < shards {
+            chunks.push(start..cursor);
+            start = cursor;
+        }
+    }
+    if start < order.len() {
+        chunks.push(start..order.len());
+    }
+    chunks
 }
 
 #[cfg(test)]
@@ -893,6 +1376,42 @@ mod tests {
             let batch = clustered.query_batch(&site, &users, keywords, 3);
             for (got, &u) in batch.iter().zip(&users) {
                 assert_eq!(got, &clustered.query(&site, u, keywords, 3));
+            }
+        }
+    }
+
+    /// One scratch arena reused across repeated batches, changing keyword
+    /// sets and *different indexes* must stay exactly as correct as fresh
+    /// scratches: the gather cache replays spans on repeats (the hot-query
+    /// pattern) and is keyed on the index's build stamp plus the resolved
+    /// tag sequence, so neither a keyword change nor an index change can
+    /// serve stale gathers.
+    #[test]
+    fn gather_cache_survives_keyword_and_index_changes() {
+        let (site, users, _) = site();
+        let by_network = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, 0.3));
+        let by_behavior = ClusteredIndex::build(&site, BehaviorBasedClustering.cluster(&site, 0.5));
+        let queries: Vec<Vec<String>> = vec![
+            vec!["baseball".to_string(), "museum".to_string()],
+            vec!["museum".to_string()],
+            vec!["baseball".to_string(), "museum".to_string()],
+            vec!["stadium".to_string(), "history".to_string()],
+        ];
+        let mut scratch = BatchScratch::default();
+        // Three rounds: the first fills caches, later rounds hit them (and
+        // every keyword/index switch in between must invalidate cleanly).
+        for round in 0..3 {
+            for index in [&by_network, &by_behavior] {
+                for keywords in &queries {
+                    let served = index.query_batch_with(&mut scratch, &site, &users, keywords, 2);
+                    for (got, &u) in served.iter().zip(&users) {
+                        assert_eq!(
+                            got,
+                            &index.query(&site, u, keywords, 2),
+                            "round {round} user {u} keywords {keywords:?}"
+                        );
+                    }
+                }
             }
         }
     }

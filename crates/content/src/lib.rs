@@ -50,7 +50,9 @@ pub use cluster::{
     NetworkBasedClustering, UserClustering,
 };
 pub use error::ContentError;
-pub use index::{BatchScratch, ClusteredIndex, ClusteredQueryReport, ExactIndex, IndexStats};
+pub use index::{
+    BatchScratch, BatchScratchPool, ClusteredIndex, ClusteredQueryReport, ExactIndex, IndexStats,
+};
 pub use integrator::{ContentIntegrator, RemoteSite, SimulatedRemoteSite, SyncReport};
 pub use models::{
     ClosedCartelModel, ControlLevel, ControlMatrix, DecentralizedModel, DeploymentModel,

@@ -71,6 +71,29 @@ impl RefinementIndex {
         self.by_tag[slot].insert(item, Span { start, len });
     }
 
+    /// Splice another index's groups in after this one's, preserving both
+    /// insertion orders: the arenas concatenate (spans of the appended index
+    /// shift by this one's arena length) and the per-tag maps merge. The
+    /// sharded clustered build accumulates one partial index per worker
+    /// over a contiguous run of `tag_assignments` groups and appends them
+    /// **in shard order**, which reproduces the sequential build's arena
+    /// byte for byte — the `(tag, item)` disjointness contract of
+    /// [`Self::insert`] extends across the appended indexes.
+    pub(crate) fn append(&mut self, other: RefinementIndex) {
+        let base = u32::try_from(self.taggers.len()).expect("fewer than 2^32 tagger references");
+        self.taggers.extend_from_slice(&other.taggers);
+        if self.by_tag.len() < other.by_tag.len() {
+            self.by_tag.resize_with(other.by_tag.len(), FxHashMap::default);
+        }
+        for (slot, by_item) in other.by_tag.into_iter().enumerate() {
+            for (item, span) in by_item {
+                let start =
+                    base.checked_add(span.start).expect("fewer than 2^32 tagger references");
+                self.by_tag[slot].insert(item, Span { start, len: span.len });
+            }
+        }
+    }
+
     /// `taggers(i, k)` for an interned tag, ascending. Empty for unknown
     /// tags or untagged items.
     pub fn taggers(&self, tag: TagId, item: NodeId) -> &[NodeId] {
@@ -208,6 +231,40 @@ mod tests {
         let resolved = index.resolve(&[baseball, TagId(7)]);
         assert!(!resolved.is_empty());
         assert_eq!(resolved.score(&ids(&[1, 9]), NodeId(100)), 1.0);
+    }
+
+    #[test]
+    fn append_reproduces_a_single_pass_build() {
+        let mut tags = TagInterner::new();
+        let baseball = tags.intern("baseball");
+        let museum = tags.intern("museum");
+        // The group sequence a sequential build would insert in order.
+        let groups: Vec<(TagId, NodeId, Vec<NodeId>)> = vec![
+            (baseball, NodeId(100), ids(&[1, 2, 5])),
+            (museum, NodeId(100), ids(&[2])),
+            (baseball, NodeId(101), ids(&[3])),
+            (museum, NodeId(102), ids(&[1, 4])),
+        ];
+        let mut sequential = RefinementIndex::default();
+        for (tag, item, taggers) in &groups {
+            sequential.insert(*tag, *item, taggers);
+        }
+        // Two partial indexes over contiguous runs, appended in shard order.
+        let mut merged = RefinementIndex::default();
+        let mut tail = RefinementIndex::default();
+        for (tag, item, taggers) in &groups[..2] {
+            merged.insert(*tag, *item, taggers);
+        }
+        for (tag, item, taggers) in &groups[2..] {
+            tail.insert(*tag, *item, taggers);
+        }
+        merged.append(tail);
+        assert_eq!(merged.group_count(), sequential.group_count());
+        assert_eq!(merged.stats(), sequential.stats());
+        for (tag, item, taggers) in &groups {
+            assert_eq!(merged.taggers(*tag, *item), taggers.as_slice());
+            assert_eq!(merged.taggers(*tag, *item), sequential.taggers(*tag, *item));
+        }
     }
 
     #[test]

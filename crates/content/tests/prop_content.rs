@@ -7,11 +7,18 @@ use proptest::prelude::*;
 use socialscope_content::tags::QueryTags;
 use socialscope_content::topk::top_k_exhaustive;
 use socialscope_content::{
-    BatchScratch, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex,
-    HybridClustering, NetworkBasedClustering, PostingList, SiteModel, TopKResult,
+    BatchScratch, BatchScratchPool, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
+    ExactIndex, HybridClustering, NetworkBasedClustering, PostingList, SiteModel, TopKResult,
 };
+use socialscope_exec::Exec;
 use socialscope_graph::{FxHashSet, GraphBuilder, NodeId, SocialGraph};
 use std::collections::BTreeSet;
+
+/// The thread counts every parallel-vs-sequential property sweeps: the
+/// sequential identity case, the smallest real fan-out, and a deliberately
+/// odd over-subscription (more workers than any test machine guarantees
+/// cores, and a shard count that never divides the work evenly).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
 
 /// The seed implementation of threshold top-k, kept verbatim as the
 /// reference the optimized engine must never exceed in accesses: sorted
@@ -425,6 +432,117 @@ proptest! {
                     "item {} user {}", item, u
                 );
             }
+        }
+    }
+
+    /// Parallel index builds are indistinguishable from sequential ones:
+    /// for every thread count, both indexes report identical stats, every
+    /// stored list is identical, and a full query sweep (every user, both
+    /// engines) returns byte-identical rankings *and* cost counters.
+    #[test]
+    fn parallel_builds_match_sequential_builds(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        k in 1usize..6,
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let sequential = Exec::sequential();
+        let exact_seq = ExactIndex::build_with(&sequential, &site);
+        let clustering = NetworkBasedClustering.cluster(&site, theta);
+        let clustered_seq = ClusteredIndex::build_with(&sequential, &site, clustering.clone());
+        let keywords = vec![TAGS[0].to_string(), TAGS[1].to_string(), TAGS[2].to_string()];
+        for threads in THREAD_COUNTS {
+            let exec = Exec::new(threads).unwrap();
+            let exact = ExactIndex::build_with(&exec, &site);
+            prop_assert_eq!(exact.stats(), exact_seq.stats(), "threads {}", threads);
+            let clustered = ClusteredIndex::build_with(&exec, &site, clustering.clone());
+            prop_assert_eq!(clustered.stats(), clustered_seq.stats(), "threads {}", threads);
+            prop_assert_eq!(
+                clustered.stats_with_refinement(),
+                clustered_seq.stats_with_refinement(),
+                "threads {}", threads
+            );
+            for tag in site.tags() {
+                for u in site.users() {
+                    prop_assert_eq!(
+                        exact.list(tag, u), exact_seq.list(tag, u),
+                        "list {} / {} at {} threads", tag, u, threads
+                    );
+                }
+                for (cluster, _) in clustered.clustering.iter() {
+                    prop_assert_eq!(
+                        clustered.list(tag, cluster), clustered_seq.list(tag, cluster),
+                        "bound list {} / {:?} at {} threads", tag, cluster, threads
+                    );
+                }
+            }
+            for &u in &user_ids {
+                prop_assert_eq!(
+                    exact.query(u, &keywords, k),
+                    exact_seq.query(u, &keywords, k),
+                    "exact sweep, user {} at {} threads", u, threads
+                );
+                prop_assert_eq!(
+                    clustered.query(&site, u, &keywords, k),
+                    clustered_seq.query(&site, u, &keywords, k),
+                    "clustered sweep, user {} at {} threads", u, threads
+                );
+            }
+        }
+    }
+
+    /// The parallel batch paths are element-wise identical to the
+    /// sequential batch path *and* to a loop of single `query` calls, for
+    /// every thread count, on batches big enough to actually fan out
+    /// (members cycle so the batch crosses the sharding floor), with
+    /// repeats, shuffled order and unknown ids — whether the worker pool
+    /// is fresh or reused across thread counts and engines.
+    #[test]
+    fn parallel_batches_match_sequential_and_single_queries(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        k in 0usize..6,
+        picks in prop::collection::vec(0usize..10, 1..12),
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let exact = ExactIndex::build(&site);
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, theta));
+        let keywords = vec![TAGS[0].to_string(), TAGS[1].to_string(), TAGS[2].to_string()];
+        // Cycle the picked members out to 300 seekers so multi-worker pools
+        // really shard (the fan-out floor is 64 members per worker).
+        let batch: Vec<NodeId> = (0..300)
+            .map(|i| {
+                let p = picks[i % picks.len()] + i / picks.len();
+                if p < user_ids.len() { user_ids[p % user_ids.len()] } else { NodeId(10_000 + p as u64) }
+            })
+            .collect();
+        let mut pool = BatchScratchPool::default();
+        let exact_seq = exact.query_batch(&batch, &keywords, k);
+        let clustered_seq = clustered.query_batch(&site, &batch, &keywords, k);
+        for ((got, report), &u) in exact_seq.iter().zip(&clustered_seq).zip(&batch) {
+            prop_assert_eq!(got, &exact.query(u, &keywords, k), "exact single, user {}", u);
+            prop_assert_eq!(
+                report, &clustered.query(&site, u, &keywords, k),
+                "clustered single, user {}", u
+            );
+        }
+        for threads in THREAD_COUNTS {
+            let exec = Exec::new(threads).unwrap();
+            let par = exact.query_batch_par(&exec, &batch, &keywords, k);
+            let par_pooled =
+                exact.query_batch_par_with(&exec, &mut pool, &batch, &keywords, k);
+            prop_assert_eq!(&par, &exact_seq, "exact at {} threads", threads);
+            prop_assert_eq!(&par_pooled, &exact_seq, "exact (pool) at {} threads", threads);
+            let par = clustered.query_batch_par(&exec, &site, &batch, &keywords, k);
+            let par_pooled =
+                clustered.query_batch_par_with(&exec, &mut pool, &site, &batch, &keywords, k);
+            prop_assert_eq!(&par, &clustered_seq, "clustered at {} threads", threads);
+            prop_assert_eq!(
+                &par_pooled, &clustered_seq,
+                "clustered (pool) at {} threads", threads
+            );
         }
     }
 

@@ -17,7 +17,11 @@
 //! * [`presentation`] — the information presentation layer: grouping,
 //!   organization and explanations (§7);
 //! * [`workload`] — synthetic site and query-log generators used by the
-//!   experiment harness (see `EXPERIMENTS.md`).
+//!   experiment harness (see `EXPERIMENTS.md`);
+//! * [`exec`] — the execution layer: the scoped-thread shard pool behind
+//!   parallel index builds, multi-threaded batch serving and batch-routed
+//!   discovery (deterministic: parallel results are identical to
+//!   sequential ones).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@
 pub use socialscope_algebra as algebra;
 pub use socialscope_content as content;
 pub use socialscope_discovery as discovery;
+pub use socialscope_exec as exec;
 pub use socialscope_graph as graph;
 pub use socialscope_presentation as presentation;
 pub use socialscope_workload as workload;
@@ -53,14 +58,15 @@ pub use socialscope_workload as workload;
 pub mod prelude {
     pub use socialscope_algebra::prelude::*;
     pub use socialscope_content::{
-        ActivityManager, BatchScratch, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
-        ContentIntegrator, DeploymentModel, ExactIndex, HybridClustering, NetworkBasedClustering,
-        SiteModel, TagId, TagInterner, UserJourney,
+        ActivityManager, BatchScratch, BatchScratchPool, BehaviorBasedClustering, ClusteredIndex,
+        ClusteringStrategy, ContentIntegrator, DeploymentModel, ExactIndex, HybridClustering,
+        NetworkBasedClustering, SiteModel, TagId, TagInterner, UserJourney,
     };
     pub use socialscope_discovery::{
         recommend_for_user, ClusteredNetworkAwareSearch, ContentAnalyzer, InformationDiscoverer,
         MeaningfulSocialGraph, NetworkAwareSearch, UserQuery,
     };
+    pub use socialscope_exec::Exec;
     pub use socialscope_graph::{
         GraphBuilder, GraphStats, Link, LinkId, Node, NodeId, SocialGraph, Value,
     };

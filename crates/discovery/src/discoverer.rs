@@ -5,10 +5,12 @@
 //! operators), and returns the Meaningful Social Graph.
 
 use crate::msg::{MeaningfulSocialGraph, RankedItem};
-use crate::query::UserQuery;
+use crate::query::{tokenize, UserQuery};
+use crate::recommend::{ClusteredNetworkAwareSearch, NetworkAwareSearch, Recommendation};
 use crate::relevance::{combined_score, RelevanceWeights, SemanticScorer};
 use crate::social::SocialRelevance;
 use socialscope_algebra::prelude::*;
+use socialscope_exec::Exec;
 use socialscope_graph::{HasAttrs, NodeId, SocialGraph};
 
 /// The Information Discoverer: configuration plus the discovery entry point.
@@ -86,6 +88,44 @@ impl InformationDiscoverer {
         //    activity links touching the items, and the user's connections.
         let graph_out = self.provenance(graph, query.user, &ranked);
         MeaningfulSocialGraph { user: query.user, graph: graph_out, ranked }
+    }
+
+    /// Route a keyword-only multi-seeker request through the content
+    /// layer's batch engine instead of walking the graph once per seeker:
+    /// the paper's network-aware scoring ranks the *same* keyword text
+    /// differently per seeker, so serving the whole seeker set as one
+    /// batch against a prebuilt [`NetworkAwareSearch`] amortizes keyword
+    /// resolution and evaluation state across the set — and, through the
+    /// execution layer, shards the batch across `exec`'s workers. Returns
+    /// one recommendation list per seeker (at most [`Self::limit`] each,
+    /// positive scores only), in input order, element-wise identical to
+    /// per-seeker [`NetworkAwareSearch::recommend`] calls.
+    ///
+    /// This is the multi-seeker fast path for *keyword-only* requests;
+    /// queries with structural predicates (or callers that need semantic
+    /// relevance and provenance) still go through [`Self::discover`].
+    pub fn discover_batch(
+        &self,
+        exec: &Exec,
+        search: &NetworkAwareSearch,
+        seekers: &[NodeId],
+        text: &str,
+    ) -> Vec<Vec<Recommendation>> {
+        search.recommend_batch_par(exec, seekers, &tokenize(text), self.limit)
+    }
+
+    /// [`Self::discover_batch`] served from the space-constrained
+    /// clustered engine (identical rankings; flagged unclustered seekers
+    /// answer empty unless the engine carries a
+    /// [`ClusteredNetworkAwareSearch::with_fallback`] index).
+    pub fn discover_batch_clustered(
+        &self,
+        exec: &Exec,
+        search: &ClusteredNetworkAwareSearch,
+        seekers: &[NodeId],
+        text: &str,
+    ) -> Vec<Vec<Recommendation>> {
+        search.recommend_batch_par(exec, seekers, &tokenize(text), self.limit)
     }
 
     /// Build the provenance sub-graph of a ranked result set.
@@ -206,6 +246,54 @@ mod tests {
         let q = UserQuery::keywords_for(john, "denver").with_structural("type", "destination");
         let msg = discoverer.discover(&g, &q);
         assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn discover_batch_routes_keyword_requests_through_the_batch_engines() {
+        use crate::recommend::{ClusteredNetworkAwareSearch, NetworkAwareSearch};
+        let mut b = GraphBuilder::new();
+        let users: Vec<NodeId> = (0..6).map(|i| b.add_user(&format!("u{i}"))).collect();
+        let items: Vec<NodeId> =
+            (0..4).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        b.befriend(users[0], users[1]);
+        b.befriend(users[1], users[2]);
+        b.befriend(users[3], users[4]);
+        b.tag(users[1], items[0], &["baseball"]);
+        b.tag(users[2], items[1], &["baseball", "museum"]);
+        b.tag(users[4], items[2], &["museum"]);
+        b.tag(users[5], items[3], &["baseball"]);
+        let graph = b.build();
+        let discoverer = InformationDiscoverer { limit: 3, ..InformationDiscoverer::default() };
+        let exact = NetworkAwareSearch::build(&graph);
+        let clustered = ClusteredNetworkAwareSearch::build_default(&graph);
+        let seekers: Vec<NodeId> = users.iter().copied().chain([NodeId(9999)]).collect();
+        let text = "Baseball museum";
+        for threads in [1usize, 2, 7] {
+            let exec = socialscope_exec::Exec::new(threads).unwrap();
+            let batched = discoverer.discover_batch(&exec, &exact, &seekers, text);
+            assert_eq!(batched.len(), seekers.len());
+            for (recs, &u) in batched.iter().zip(&seekers) {
+                assert_eq!(recs, &exact.recommend(u, &crate::query::tokenize(text), 3));
+                assert!(recs.len() <= discoverer.limit);
+            }
+            let batched = discoverer.discover_batch_clustered(&exec, &clustered, &seekers, text);
+            for (recs, &u) in batched.iter().zip(&seekers) {
+                assert_eq!(recs, &clustered.recommend(u, &crate::query::tokenize(text), 3));
+            }
+        }
+        // The two engines agree with each other as well.
+        let exec = socialscope_exec::Exec::sequential();
+        assert_eq!(
+            discoverer.discover_batch(&exec, &exact, &seekers, text),
+            discoverer
+                .discover_batch_clustered(&exec, &clustered, &seekers, text)
+                .into_iter()
+                .map(|recs| recs
+                    .into_iter()
+                    .map(|r| Recommendation { strategy: "network-aware", ..r })
+                    .collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

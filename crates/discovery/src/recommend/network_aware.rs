@@ -16,9 +16,10 @@
 
 use super::Recommendation;
 use socialscope_content::{
-    BatchScratch, ClusteredIndex, ClusteredQueryReport, ClusteringStrategy, ExactIndex,
-    NetworkBasedClustering, SiteModel, TopKResult,
+    BatchScratch, BatchScratchPool, ClusteredIndex, ClusteredQueryReport, ClusteringStrategy,
+    ExactIndex, NetworkBasedClustering, SiteModel, TopKResult,
 };
+use socialscope_exec::Exec;
 use socialscope_graph::{NodeId, SocialGraph};
 
 /// A reusable network-aware keyword search engine: site model plus exact
@@ -30,10 +31,17 @@ pub struct NetworkAwareSearch {
 }
 
 impl NetworkAwareSearch {
-    /// Materialize the site primitives and the exact index from a graph.
+    /// Materialize the site primitives and the exact index from a graph
+    /// (threads from [`Exec::auto`]).
     pub fn build(graph: &SocialGraph) -> Self {
+        Self::build_with(&Exec::auto(), graph)
+    }
+
+    /// [`Self::build`] on a caller-chosen [`Exec`]: the index build shards
+    /// across the pool's workers and is identical to a sequential build.
+    pub fn build_with(exec: &Exec, graph: &SocialGraph) -> Self {
         let site = SiteModel::from_graph(graph);
-        let index = ExactIndex::build(&site);
+        let index = ExactIndex::build_with(exec, &site);
         NetworkAwareSearch { site, index }
     }
 
@@ -80,6 +88,33 @@ impl NetworkAwareSearch {
         self.index.query_batch_with(scratch, users, keywords, k)
     }
 
+    /// [`Self::query_batch`] on a caller-chosen [`Exec`]: the batch splits
+    /// by slot range across the pool's workers, results element-wise
+    /// identical to the sequential path.
+    pub fn query_batch_par(
+        &self,
+        exec: &Exec,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        self.index.query_batch_par(exec, users, keywords, k)
+    }
+
+    /// [`Self::query_batch_par`] through a caller-owned
+    /// [`BatchScratchPool`], so a serving loop pays each worker's arena
+    /// allocations once.
+    pub fn query_batch_par_with(
+        &self,
+        exec: &Exec,
+        pool: &mut BatchScratchPool,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        self.index.query_batch_par_with(exec, pool, users, keywords, k)
+    }
+
     /// Batched [`Self::recommend`]: one recommendation list per seeker, in
     /// input order.
     pub fn recommend_batch(
@@ -89,6 +124,20 @@ impl NetworkAwareSearch {
         k: usize,
     ) -> Vec<Vec<Recommendation>> {
         self.query_batch(users, keywords, k).into_iter().map(Self::to_recommendations).collect()
+    }
+
+    /// [`Self::recommend_batch`] on a caller-chosen [`Exec`].
+    pub fn recommend_batch_par(
+        &self,
+        exec: &Exec,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<Vec<Recommendation>> {
+        self.query_batch_par(exec, users, keywords, k)
+            .into_iter()
+            .map(Self::to_recommendations)
+            .collect()
     }
 
     fn to_recommendations(result: TopKResult) -> Vec<Recommendation> {
@@ -112,21 +161,69 @@ impl NetworkAwareSearch {
 pub struct ClusteredNetworkAwareSearch {
     site: SiteModel,
     index: ClusteredIndex,
+    /// Opt-in exact index answering flagged (unclustered) seekers; `None`
+    /// keeps the default empty-with-flag semantic.
+    fallback: Option<ExactIndex>,
 }
 
 impl ClusteredNetworkAwareSearch {
     /// Materialize the site primitives, cluster the users with the given
-    /// strategy at threshold θ, and build the clustered index.
+    /// strategy at threshold θ, and build the clustered index (threads from
+    /// [`Exec::auto`]).
     pub fn build(graph: &SocialGraph, strategy: &dyn ClusteringStrategy, theta: f64) -> Self {
+        Self::build_with(&Exec::auto(), graph, strategy, theta)
+    }
+
+    /// [`Self::build`] on a caller-chosen [`Exec`]: the index build shards
+    /// across the pool's workers and is identical to a sequential build.
+    pub fn build_with(
+        exec: &Exec,
+        graph: &SocialGraph,
+        strategy: &dyn ClusteringStrategy,
+        theta: f64,
+    ) -> Self {
         let site = SiteModel::from_graph(graph);
-        let index = ClusteredIndex::build(&site, strategy.cluster(&site, theta));
-        ClusteredNetworkAwareSearch { site, index }
+        let index = ClusteredIndex::build_with(exec, &site, strategy.cluster(&site, theta));
+        ClusteredNetworkAwareSearch { site, index, fallback: None }
     }
 
     /// [`Self::build`] with the paper's default network-based clustering
     /// (Def. 11) at θ = 0.3.
     pub fn build_default(graph: &SocialGraph) -> Self {
         Self::build(graph, &NetworkBasedClustering, 0.3)
+    }
+
+    /// Assemble an engine from an already-materialized site model and
+    /// clustered index — the deployment shape where clustering and index
+    /// builds happen offline, so the index's clustering may be *stale*
+    /// relative to the site (late-joining users come back flagged
+    /// `unclustered`; pair with [`Self::with_fallback`] to answer them).
+    /// `index` must have been built from `site`.
+    pub fn from_parts(site: SiteModel, index: ClusteredIndex) -> Self {
+        ClusteredNetworkAwareSearch { site, index, fallback: None }
+    }
+
+    /// Opt into answering flagged (unclustered) seekers from an exact
+    /// index instead of the default empty-with-flag semantic: a production
+    /// deployment that can afford the exact index's space next to the
+    /// clustered one gets real answers for late-joining users until the
+    /// next recluster. `fallback` must be built from the same site this
+    /// engine serves ([`ExactIndex::build`] over [`Self::site`]).
+    /// Fallback-served reports keep
+    /// [`ClusteredQueryReport::unclustered`] set — the flag reports
+    /// clustering state, and callers still want to know a recluster is due
+    /// — while `result` carries the exact index's answer, identically in
+    /// the single and batch paths.
+    pub fn with_fallback(mut self, fallback: ExactIndex) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// [`Self::with_fallback`] building the exact index from this engine's
+    /// own site model (threads from [`Exec::auto`]).
+    pub fn with_exact_fallback(self) -> Self {
+        let fallback = ExactIndex::build(&self.site);
+        self.with_fallback(fallback)
     }
 
     /// The underlying site model.
@@ -139,11 +236,22 @@ impl ClusteredNetworkAwareSearch {
         &self.index
     }
 
+    /// The opt-in exact fallback index, if configured.
+    pub fn fallback(&self) -> Option<&ExactIndex> {
+        self.fallback.as_ref()
+    }
+
     /// Raw clustered top-k evaluation with cost counters and the
     /// unclustered flag (empty-with-flag semantic for users the clustering
-    /// never saw).
+    /// never saw — unless a [`Self::with_fallback`] index answers them).
     pub fn query(&self, user: NodeId, keywords: &[String], k: usize) -> ClusteredQueryReport {
-        self.index.query(&self.site, user, keywords, k)
+        let mut report = self.index.query(&self.site, user, keywords, k);
+        if report.unclustered {
+            if let Some(exact) = &self.fallback {
+                report.result = exact.query(user, keywords, k);
+            }
+        }
+        report
     }
 
     /// Top-k items the user's network tagged with the query keywords, as
@@ -154,18 +262,24 @@ impl ClusteredNetworkAwareSearch {
 
     /// Raw clustered top-k for a batch of seekers sharing one keyword set;
     /// results arrive in input order, each identical to the corresponding
-    /// [`Self::query`] call.
+    /// [`Self::query`] call (fallback-served unclustered members included).
     pub fn query_batch(
         &self,
         users: &[NodeId],
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        self.index.query_batch(&self.site, users, keywords, k)
+        let mut reports = self.index.query_batch(&self.site, users, keywords, k);
+        self.apply_fallback(&mut reports, users, |exact, seekers| {
+            exact.query_batch(seekers, keywords, k)
+        });
+        reports
     }
 
     /// [`Self::query_batch`] through a caller-owned [`BatchScratch`], so a
-    /// serving loop pays the arena's allocations once, not per batch.
+    /// serving loop pays the arena's allocations once, not per batch. Stays
+    /// on the single-threaded path end to end — the fallback sub-batch
+    /// reuses the same scratch against the exact index.
     pub fn query_batch_with(
         &self,
         scratch: &mut BatchScratch,
@@ -173,7 +287,80 @@ impl ClusteredNetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        self.index.query_batch_with(scratch, &self.site, users, keywords, k)
+        let mut reports = self.index.query_batch_with(scratch, &self.site, users, keywords, k);
+        self.apply_fallback(&mut reports, users, |exact, seekers| {
+            exact.query_batch_with(scratch, seekers, keywords, k)
+        });
+        reports
+    }
+
+    /// [`Self::query_batch`] on a caller-chosen [`Exec`]: the batch splits
+    /// by cluster group across the pool's workers, results element-wise
+    /// identical to the sequential path.
+    pub fn query_batch_par(
+        &self,
+        exec: &Exec,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        let mut reports = self.index.query_batch_par(exec, &self.site, users, keywords, k);
+        self.apply_fallback(&mut reports, users, |exact, seekers| {
+            exact.query_batch_par(exec, seekers, keywords, k)
+        });
+        reports
+    }
+
+    /// [`Self::query_batch_par`] through a caller-owned
+    /// [`BatchScratchPool`], so a serving loop pays each worker's arena
+    /// allocations once.
+    pub fn query_batch_par_with(
+        &self,
+        exec: &Exec,
+        pool: &mut BatchScratchPool,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        let mut reports =
+            self.index.query_batch_par_with(exec, pool, &self.site, users, keywords, k);
+        self.apply_fallback(&mut reports, users, |exact, seekers| {
+            exact.query_batch_par_with(exec, pool, seekers, keywords, k)
+        });
+        reports
+    }
+
+    /// Re-answer every flagged (unclustered) report from the fallback
+    /// exact index, when one is configured. `serve` runs the flagged
+    /// sub-batch through the exact engine on the *caller's* execution
+    /// choice — same `Exec`, same scratch/pool as the surrounding call, so
+    /// a sequential entry point never spawns threads and a pinned pool is
+    /// reused, not reallocated. The exact batch paths' element-wise
+    /// identity to single queries keeps this wrapper's single/batch
+    /// identity intact.
+    fn apply_fallback(
+        &self,
+        reports: &mut [ClusteredQueryReport],
+        users: &[NodeId],
+        serve: impl FnOnce(&ExactIndex, &[NodeId]) -> Vec<TopKResult>,
+    ) {
+        let Some(exact) = &self.fallback else {
+            return;
+        };
+        let flagged: Vec<usize> = reports
+            .iter()
+            .enumerate()
+            .filter(|(_, report)| report.unclustered)
+            .map(|(position, _)| position)
+            .collect();
+        if flagged.is_empty() {
+            return;
+        }
+        let seekers: Vec<NodeId> = flagged.iter().map(|&position| users[position]).collect();
+        let answers = serve(exact, &seekers);
+        for (position, answer) in flagged.into_iter().zip(answers) {
+            reports[position].result = answer;
+        }
     }
 
     /// Batched [`Self::recommend`]: one recommendation list per seeker, in
@@ -185,6 +372,20 @@ impl ClusteredNetworkAwareSearch {
         k: usize,
     ) -> Vec<Vec<Recommendation>> {
         self.query_batch(users, keywords, k).into_iter().map(Self::to_recommendations).collect()
+    }
+
+    /// [`Self::recommend_batch`] on a caller-chosen [`Exec`].
+    pub fn recommend_batch_par(
+        &self,
+        exec: &Exec,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<Vec<Recommendation>> {
+        self.query_batch_par(exec, users, keywords, k)
+            .into_iter()
+            .map(Self::to_recommendations)
+            .collect()
     }
 
     fn to_recommendations(report: ClusteredQueryReport) -> Vec<Recommendation> {
@@ -326,6 +527,112 @@ mod tests {
         let recs = search.recommend_batch(&batch, &keywords, 3);
         for (rec, &u) in recs.iter().zip(&batch) {
             assert_eq!(rec, &search.recommend(u, &keywords, 3));
+        }
+    }
+
+    /// A site whose clustering predates a late-joining user: the late
+    /// joiner befriends u1 and tags an item, but the clustering (and the
+    /// clustered index's bound lists) never saw them.
+    fn stale_clustered_engine() -> (ClusteredNetworkAwareSearch, Vec<NodeId>, NodeId) {
+        use socialscope_content::{ClusteredIndex, NetworkBasedClustering};
+        let (graph, users, _items) = site();
+        let before = SiteModel::from_graph(&graph);
+        let clustering = NetworkBasedClustering.cluster(&before, 0.3);
+        // Rebuild the same graph with one extra, late-joining user.
+        let mut b = GraphBuilder::new();
+        let rebuilt: Vec<NodeId> = (0..4).map(|i| b.add_user(&format!("u{i}"))).collect();
+        let rebuilt_items: Vec<NodeId> =
+            (0..3).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        b.befriend(rebuilt[0], rebuilt[1]);
+        b.befriend(rebuilt[0], rebuilt[2]);
+        b.tag(rebuilt[1], rebuilt_items[0], &["baseball"]);
+        b.tag(rebuilt[2], rebuilt_items[0], &["baseball"]);
+        b.tag(rebuilt[1], rebuilt_items[1], &["museum"]);
+        b.tag(rebuilt[3], rebuilt_items[2], &["baseball", "museum"]);
+        let late = b.add_user("late-joiner");
+        b.befriend(late, rebuilt[1]);
+        b.tag(late, rebuilt_items[0], &["baseball"]);
+        assert_eq!(rebuilt, users, "rebuilt ids must match the clustering's");
+        let site = SiteModel::from_graph(&b.build());
+        assert!(clustering.cluster_of(late).is_none());
+        let index = ClusteredIndex::build(&site, clustering);
+        (ClusteredNetworkAwareSearch::from_parts(site, index), rebuilt, late)
+    }
+
+    #[test]
+    fn fallback_answers_unclustered_seekers_from_the_exact_index() {
+        let (engine, users, late) = stale_clustered_engine();
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        // Without a fallback: the documented empty-with-flag semantic.
+        let report = engine.query(late, &keywords, 3);
+        assert!(report.unclustered);
+        assert!(report.result.ranked.is_empty());
+
+        let exact = socialscope_content::ExactIndex::build(engine.site());
+        let want = exact.query(late, &keywords, 3);
+        assert!(!want.ranked.is_empty(), "the late joiner's network has matches");
+        let engine = engine.with_fallback(exact);
+        assert!(engine.fallback().is_some());
+
+        // With the fallback: same flag, real answer, in the single path…
+        let report = engine.query(late, &keywords, 3);
+        assert!(report.unclustered, "the flag keeps reporting clustering state");
+        assert_eq!(report.result, want);
+        // …and element-wise identically in every batch path.
+        let batch = vec![late, users[0], late, users[3], NodeId(9999)];
+        let mut scratch = BatchScratch::default();
+        let mut pool = BatchScratchPool::default();
+        for k in [0usize, 1, 3] {
+            let plain = engine.query_batch(&batch, &keywords, k);
+            let with = engine.query_batch_with(&mut scratch, &batch, &keywords, k);
+            for threads in [1usize, 2, 7] {
+                let exec = Exec::new(threads).unwrap();
+                let par = engine.query_batch_par(&exec, &batch, &keywords, k);
+                let par_with = engine.query_batch_par_with(&exec, &mut pool, &batch, &keywords, k);
+                for (((got, w), (p, pw)), &u) in
+                    plain.iter().zip(&with).zip(par.iter().zip(&par_with)).zip(&batch)
+                {
+                    let single = engine.query(u, &keywords, k);
+                    assert_eq!(got, &single, "user {u} k {k}");
+                    assert_eq!(w, &single, "user {u} k {k} (scratch)");
+                    assert_eq!(p, &single, "user {u} k {k} threads {threads}");
+                    assert_eq!(pw, &single, "user {u} k {k} threads {threads} (pool)");
+                }
+            }
+        }
+        // Clustered members are untouched by the fallback, and a user the
+        // site never saw still answers empty (the exact index has no row).
+        assert!(!engine.query(users[0], &keywords, 3).unclustered);
+        let ghost = engine.query(NodeId(9999), &keywords, 3);
+        assert!(ghost.unclustered);
+        assert!(ghost.result.ranked.is_empty());
+    }
+
+    #[test]
+    fn parallel_batch_paths_match_the_sequential_engines() {
+        let (graph, users, _) = site();
+        let exact = NetworkAwareSearch::build(&graph);
+        let clustered = ClusteredNetworkAwareSearch::build_default(&graph);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        // Big enough to cross the parallel paths' fan-out floor.
+        let batch: Vec<NodeId> =
+            (0..300).map(|i| users[i % users.len()]).chain([NodeId(9999)]).collect();
+        let mut pool = BatchScratchPool::default();
+        for threads in [1usize, 2, 7] {
+            let exec = Exec::new(threads).unwrap();
+            let par = exact.query_batch_par(&exec, &batch, &keywords, 3);
+            let par_with = exact.query_batch_par_with(&exec, &mut pool, &batch, &keywords, 3);
+            let sequential = exact.query_batch(&batch, &keywords, 3);
+            assert_eq!(par, sequential, "exact threads {threads}");
+            assert_eq!(par_with, sequential, "exact threads {threads} (pool)");
+            let recs = exact.recommend_batch_par(&exec, &batch, &keywords, 3);
+            assert_eq!(recs, exact.recommend_batch(&batch, &keywords, 3));
+
+            let par = clustered.query_batch_par(&exec, &batch, &keywords, 3);
+            let sequential = clustered.query_batch(&batch, &keywords, 3);
+            assert_eq!(par, sequential, "clustered threads {threads}");
+            let recs = clustered.recommend_batch_par(&exec, &batch, &keywords, 3);
+            assert_eq!(recs, clustered.recommend_batch(&batch, &keywords, 3));
         }
     }
 

@@ -1,0 +1,376 @@
+//! # socialscope-exec
+//!
+//! The execution layer of SocialScope: a small, hand-rolled scoped-thread
+//! shard pool shared by the three hot layers — inverted-index builds,
+//! multi-user batch serving, and batch-routed discovery (paper §6,
+//! "serving millions of users").
+//!
+//! The paper's network-aware scoring is per-seeker: the same keyword set is
+//! evaluated independently for many seekers, work that shards perfectly.
+//! [`Exec`] owns the policy of *how many* workers to use and the mechanics
+//! of fanning contiguous shards of work out to scoped threads
+//! (`std::thread::scope` — no external dependencies, no detached threads,
+//! no `unsafe`). Callers keep the determinism story: shard results come
+//! back **in shard order**, so a deterministic merge reproduces the
+//! sequential result byte for byte, and [`Exec::sequential`] (or any
+//! computed shard count of 1) runs the work inline on the caller's thread —
+//! the exact single-threaded code path, with no thread machinery touched.
+//!
+//! Two fan-out shapes cover every use in the tree:
+//!
+//! * [`Exec::run_sharded`] — split `0..items` into near-equal contiguous
+//!   ranges, one stateless worker per range (index builds);
+//! * [`Exec::run_chunks_with`] — run caller-partitioned chunks, each with
+//!   exclusive access to its own scratch state (batch serving, where every
+//!   worker owns a scratch arena that persists across batches).
+//!
+//! Thread-count policy comes from three places, in order of precedence:
+//! an explicit [`Exec::new`], the `SOCIALSCOPE_THREADS` environment
+//! variable, or [`std::thread::available_parallelism`] ([`Exec::auto`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Environment variable read by [`Exec::auto`] / [`Exec::from_env`]:
+/// a positive worker count overriding [`std::thread::available_parallelism`].
+pub const THREADS_ENV: &str = "SOCIALSCOPE_THREADS";
+
+/// Errors from thread-count policy: the only invalid configurations are a
+/// zero worker count and an unparsable environment override.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A worker count of zero was requested ([`Exec::new`] rejects it — a
+    /// pool with no workers can run nothing).
+    ZeroThreads,
+    /// A thread-count string (a CLI flag value or the `SOCIALSCOPE_THREADS`
+    /// variable) does not parse as a positive integer.
+    InvalidThreads(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ZeroThreads => write!(f, "thread count must be at least 1"),
+            ExecError::InvalidThreads(value) => {
+                write!(f, "`{value}` is not a positive thread count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Parse a thread-count string (the `SOCIALSCOPE_THREADS` value or a CLI
+/// flag): a positive integer, everything else rejected loudly.
+pub fn parse_threads(raw: &str) -> Result<usize, ExecError> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(ExecError::InvalidThreads(raw.to_string())),
+    }
+}
+
+/// A shard pool: the worker-count policy plus the scoped-thread fan-out
+/// mechanics. Cheap to copy and carry around; threads are scoped to each
+/// `run_*` call, so an `Exec` holds no OS resources between calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exec {
+    threads: usize,
+}
+
+impl Exec {
+    /// The single-worker pool: every `run_*` call executes inline on the
+    /// caller's thread — the exact sequential code path, no spawns.
+    pub const fn sequential() -> Self {
+        Exec { threads: 1 }
+    }
+
+    /// A pool of exactly `threads` workers. Zero is rejected. Counts above
+    /// the machine's parallelism are honored as asked (useful for
+    /// determinism tests, which deliberately over-shard on small machines).
+    pub fn new(threads: usize) -> Result<Self, ExecError> {
+        if threads == 0 {
+            return Err(ExecError::ZeroThreads);
+        }
+        Ok(Exec { threads })
+    }
+
+    /// The environment-driven pool: `SOCIALSCOPE_THREADS` when set (an
+    /// unparsable or zero value is an error — a misconfigured deployment
+    /// should fail loudly, not silently serve single-threaded), otherwise
+    /// [`std::thread::available_parallelism`].
+    pub fn from_env() -> Result<Self, ExecError> {
+        match std::env::var(THREADS_ENV) {
+            Ok(raw) => parse_threads(&raw).map(|threads| Exec { threads }),
+            Err(_) => Ok(Exec { threads: default_parallelism() }),
+        }
+    }
+
+    /// The default pool used when callers don't pass one: [`Exec::from_env`]
+    /// resolved once per process (the hot paths must not re-read the
+    /// environment per batch), degrading to sequential if the override is
+    /// invalid — library entry points must not panic on a bad variable;
+    /// binaries that want loud failure call [`Exec::from_env`] themselves.
+    pub fn auto() -> Self {
+        static AUTO_THREADS: OnceLock<usize> = OnceLock::new();
+        let threads =
+            *AUTO_THREADS.get_or_init(|| Exec::from_env().map(|e| e.threads).unwrap_or(1));
+        Exec { threads }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether every `run_*` call executes inline on the caller's thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// How many shards `items` items split into under this pool, requiring
+    /// at least `min_per_shard` items per shard: fanning out costs a thread
+    /// spawn per shard, so slivers of work below that floor run inline
+    /// (shard count 1) rather than paying more in spawns than the work is
+    /// worth. Always at least 1, never more than [`Self::threads`].
+    pub fn shard_count(&self, items: usize, min_per_shard: usize) -> usize {
+        if self.threads == 1 || items == 0 {
+            return 1;
+        }
+        (items / min_per_shard.max(1)).clamp(1, self.threads)
+    }
+
+    /// Split `0..items` into `shards` contiguous near-equal ranges (the
+    /// first `items % shards` ranges hold one extra item). The ranges cover
+    /// `0..items` exactly, in order — the order shard results come back in.
+    pub fn shard_ranges(items: usize, shards: usize) -> Vec<Range<usize>> {
+        let shards = shards.clamp(1, items.max(1));
+        let (base, extra) = (items / shards, items % shards);
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for shard in 0..shards {
+            let len = base + usize::from(shard < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+
+    /// Fan `0..items` out to at most [`Self::threads`] stateless workers in
+    /// contiguous shards of at least `min_per_shard` items and return the
+    /// shard results **in shard order**. `work` receives `(shard index,
+    /// item range)`. A shard count of 1 — always the case for
+    /// [`Exec::sequential`] — calls `work(0, 0..items)` inline on the
+    /// caller's thread: the exact sequential code path.
+    pub fn run_sharded<T, F>(&self, items: usize, min_per_shard: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        let shards = self.shard_count(items, min_per_shard);
+        let ranges = Self::shard_ranges(items, shards);
+        let mut states = vec![(); ranges.len()];
+        self.run_chunks_with(&mut states, &ranges, |_, shard, range| work(shard, range))
+    }
+
+    /// Run caller-partitioned `chunks` — at most one per entry of `states`
+    /// — giving chunk `i` exclusive `&mut` access to `states[i]`, and
+    /// return the chunk results **in chunk order**. This is the batch-
+    /// serving shape: each worker owns a scratch arena that outlives the
+    /// call (the caller keeps the states), so arena allocations amortize
+    /// across batches exactly as in the sequential path. One chunk (or
+    /// none) runs inline on the caller's thread with no thread machinery;
+    /// otherwise chunk 0 runs on the caller's thread while scoped threads
+    /// run the rest.
+    ///
+    /// # Panics
+    ///
+    /// If `chunks.len() > states.len()` — every chunk needs its own state.
+    pub fn run_chunks_with<S, T, F>(
+        &self,
+        states: &mut [S],
+        chunks: &[Range<usize>],
+        work: F,
+    ) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
+    {
+        assert!(
+            chunks.len() <= states.len(),
+            "{} chunks need {} states, got {}",
+            chunks.len(),
+            chunks.len(),
+            states.len()
+        );
+        match chunks {
+            [] => Vec::new(),
+            [only] => vec![work(&mut states[0], 0, only.clone())],
+            _ => std::thread::scope(|scope| {
+                let mut workers = states[..chunks.len()].iter_mut().zip(chunks).enumerate();
+                let (_, (first_state, first_chunk)) = workers.next().expect("two or more chunks");
+                // Spawn shards 1.. first, then run shard 0 on this thread:
+                // one spawn fewer, and the caller's core stays busy.
+                let handles: Vec<_> = workers
+                    .map(|(shard, (state, chunk))| {
+                        scope.spawn({
+                            let work = &work;
+                            let chunk = chunk.clone();
+                            move || work(state, shard, chunk)
+                        })
+                    })
+                    .collect();
+                let mut results = vec![work(first_state, 0, first_chunk.clone())];
+                results.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic))),
+                );
+                results
+            }),
+        }
+    }
+}
+
+impl Default for Exec {
+    /// [`Exec::auto`]: the environment-driven pool.
+    fn default() -> Self {
+        Exec::auto()
+    }
+}
+
+/// The machine's available parallelism, defaulting to 1 where the platform
+/// cannot report it.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        assert_eq!(Exec::new(0), Err(ExecError::ZeroThreads));
+        assert_eq!(Exec::new(3).unwrap().threads(), 3);
+        assert!(Exec::sequential().is_sequential());
+        assert!(!Exec::new(2).unwrap().is_sequential());
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads(" 2 "), Ok(2));
+        for bad in ["0", "-1", "four", "", "1.5"] {
+            assert_eq!(
+                parse_threads(bad),
+                Err(ExecError::InvalidThreads(bad.to_string())),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_everything_exactly_once_in_order() {
+        for items in [0usize, 1, 2, 7, 16, 100, 101] {
+            for shards in [1usize, 2, 3, 7, 16] {
+                let ranges = Exec::shard_ranges(items, shards);
+                assert!(!ranges.is_empty());
+                let mut next = 0usize;
+                for range in &ranges {
+                    assert_eq!(range.start, next, "items {items} shards {shards}");
+                    assert!(range.end >= range.start);
+                    next = range.end;
+                }
+                assert_eq!(next, items, "items {items} shards {shards}");
+                // Near-equal: sizes differ by at most one.
+                let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "items {items} shards {shards}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_honors_the_minimum_work_floor() {
+        let exec = Exec::new(4).unwrap();
+        assert_eq!(exec.shard_count(0, 16), 1);
+        assert_eq!(exec.shard_count(15, 16), 1);
+        assert_eq!(exec.shard_count(32, 16), 2);
+        assert_eq!(exec.shard_count(1000, 16), 4);
+        assert_eq!(Exec::sequential().shard_count(1000, 1), 1);
+    }
+
+    #[test]
+    fn run_sharded_returns_results_in_shard_order() {
+        for threads in [1usize, 2, 3, 7] {
+            let exec = Exec::new(threads).unwrap();
+            let results = exec.run_sharded(100, 1, |shard, range| (shard, range.clone()));
+            let shards = exec.shard_count(100, 1);
+            assert_eq!(results.len(), shards);
+            for (i, (shard, _)) in results.iter().enumerate() {
+                assert_eq!(*shard, i);
+            }
+            // Concatenating the ranges in result order reproduces 0..100.
+            let covered: Vec<usize> = results.iter().flat_map(|(_, r)| r.clone()).collect();
+            assert_eq!(covered, (0..100).collect::<Vec<_>>(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_runs_inline_without_spawning() {
+        let caller = std::thread::current().id();
+        let results = Exec::sequential()
+            .run_sharded(10, 1, |_, range| (std::thread::current().id(), range.len()));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0], (caller, 10));
+    }
+
+    #[test]
+    fn run_chunks_with_gives_each_chunk_its_own_state() {
+        let exec = Exec::new(4).unwrap();
+        let chunks: Vec<Range<usize>> = vec![0..3, 3..4, 4..9];
+        let mut states = vec![0usize; 3];
+        let sums = exec.run_chunks_with(&mut states, &chunks, |state, _, range| {
+            *state += range.len();
+            range.sum::<usize>()
+        });
+        assert_eq!(states, vec![3, 1, 5]);
+        assert_eq!(sums, vec![3, 3, 30]);
+        // States persist across calls (the scratch-arena reuse contract).
+        let _ = exec.run_chunks_with(&mut states, &chunks, |state, _, range| {
+            *state += range.len();
+        });
+        assert_eq!(states, vec![6, 2, 10]);
+    }
+
+    #[test]
+    fn run_chunks_with_handles_empty_and_single_chunk_inline() {
+        let mut states = vec![(); 2];
+        let none: Vec<Range<usize>> = Vec::new();
+        let out = Exec::new(2).unwrap().run_chunks_with(&mut states, &none, |_, _, _| 1usize);
+        assert!(out.is_empty());
+        let caller = std::thread::current().id();
+        let single: Vec<Range<usize>> = Exec::shard_ranges(5, 1);
+        let out = Exec::new(2)
+            .unwrap()
+            .run_chunks_with(&mut states, &single, |_, _, _| std::thread::current().id());
+        assert_eq!(out, vec![caller]);
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once_across_thread_counts() {
+        for threads in [1usize, 2, 7] {
+            let counter = AtomicUsize::new(0);
+            Exec::new(threads).unwrap().run_sharded(257, 4, |_, range| {
+                counter.fetch_add(range.len(), Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 257, "threads {threads}");
+        }
+    }
+}

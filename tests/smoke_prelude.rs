@@ -66,6 +66,15 @@ fn prelude_exposes_discovery_and_topk() {
     let search = NetworkAwareSearch::build(&graph);
     let recs = search.recommend(john, &["baseball".to_string()], 1);
     assert_eq!(recs.len(), 1);
+
+    // The execution layer: parallel builds and batch serving are
+    // indistinguishable from sequential ones.
+    let exec: Exec = Exec::new(2).expect("positive thread count");
+    let parallel = ExactIndex::build_with(&exec, &model);
+    assert_eq!(parallel.stats(), index.stats());
+    let mut pool = BatchScratchPool::default();
+    let batch = index.query_batch_par_with(&exec, &mut pool, &[john], &["baseball".to_string()], 1);
+    assert_eq!(batch[0], result);
     assert_eq!(recs[0].item, coors);
 }
 
