@@ -42,6 +42,14 @@ their JSON files under ci-artifacts/. Six duties:
    itself regressed (e.g. quadratic result merging or per-member
    spawns). On a multi-core box the ratio drops below 1 and the gate is
    trivially green.
+7. Schema-validate the E11 live-maintenance documents (smoke and committed
+   ``BENCH_update.json``) and gate the committed headline: applying the 1%
+   event batch to the exact index must stay >= 5x faster than rebuilding
+   the index from the already-updated site. The incremental apply only
+   touches the posting lists the event batch can move, so its cost scales
+   with the batch, not the site; if the headline collapses toward 1x, the
+   apply path started doing rebuild-shaped work (e.g. recomputing
+   unaffected lists or re-laying-out the whole index per call).
 """
 
 import json
@@ -51,9 +59,11 @@ TOPK_SMOKE = "ci-artifacts/bench_topk_smoke.json"
 TOPK_GATE = "ci-artifacts/bench_topk_gate.json"
 BATCH_SMOKE = "ci-artifacts/bench_batch_smoke.json"
 PARALLEL_SMOKE = "ci-artifacts/bench_parallel_smoke.json"
+UPDATE_SMOKE = "ci-artifacts/bench_update_smoke.json"
 TOPK_COMMITTED = "BENCH_topk.json"
 BATCH_COMMITTED = "BENCH_batch.json"
 PARALLEL_COMMITTED = "BENCH_parallel.json"
+UPDATE_COMMITTED = "BENCH_update.json"
 
 REQUIRED_TOPK_RUN = {"experiment", "seed", "scale", "probe_users",
                      "repetitions", "keywords", "engines"}
@@ -93,6 +103,17 @@ PARALLEL_HEADLINE_MIN = 2.0
 # 1-core measurement box sits at ~2-3x from over-subscription alone.
 FANOUT_OVERHEAD_MAX = 6.0
 FANOUT_BATCH_SIZE = 256
+
+REQUIRED_UPDATE_RUN = {"experiment", "seed", "scale", "k", "repetitions",
+                       "site_users", "tag_assignments", "retract_fraction",
+                       "fractions", "rows", "headline"}
+REQUIRED_UPDATE_ROW = {"index", "fraction", "events", "changed_entries",
+                       "wall_ms_apply", "wall_ms_rebuild", "speedup"}
+UPDATE_INDEXES = {"exact", "clustered"}
+# The committed exact-index 1%-batch apply vs a rebuild from the updated
+# site (see duty 7 in the module docstring).
+UPDATE_HEADLINE_FRACTION = 0.01
+UPDATE_HEADLINE_MIN = 5.0
 
 
 def check_topk_run(run, where):
@@ -161,6 +182,32 @@ def check_parallel_doc(doc, where):
     assert head["engine"] == "exact_index" and head["batch_size"] == 32, where
     assert head["threads"] == max(threads), (
         f"{where}: headline threads {head['threads']} != max({threads})")
+
+
+def check_update_doc(doc, where):
+    missing = REQUIRED_UPDATE_RUN - doc.keys()
+    assert not missing, f"{where}: missing {missing}"
+    assert doc["experiment"] == "E11_update_sweep", where
+    assert doc["tag_assignments"] >= 1, where
+    assert 0.0 <= doc["retract_fraction"] <= 1.0, where
+    fractions = doc["fractions"]
+    assert fractions and all(0.0 < f < 1.0 for f in fractions), (
+        f"{where}: fractions {fractions}")
+    assert UPDATE_HEADLINE_FRACTION in fractions, (
+        f"{where}: the sweep must cover the gated "
+        f"{UPDATE_HEADLINE_FRACTION} fraction, got {fractions}")
+    cells = set()
+    for row in doc["rows"]:
+        assert not (REQUIRED_UPDATE_ROW - row.keys()), f"{where}: bad row {row}"
+        assert row["events"] >= 1, f"{where}: empty event batch {row}"
+        assert row["speedup"] > 0, f"{where}: non-positive speedup {row}"
+        cells.add((row["index"], row["fraction"]))
+    expected = {(i, f) for i in UPDATE_INDEXES for f in fractions}
+    assert cells == expected, (
+        f"{where}: rows cover {len(cells)}/{len(expected)} cells")
+    head = doc["headline"]
+    assert head["index"] == "exact", where
+    assert head["fraction"] == UPDATE_HEADLINE_FRACTION, where
 
 
 def counters_of(run):
@@ -257,14 +304,28 @@ def main():
             f"{PARALLEL_COMMITTED}: {engine} batch-{FANOUT_BATCH_SIZE} at 4 "
             f"threads costs {ratio:.2f}x the threads=1 wall (ceiling "
             f"{FANOUT_OVERHEAD_MAX}x); the multi-worker scatter path "
-            "regressed — profile query_batch_par_with, or regenerate on a "
+            "regressed — profile the parallel query_batch_opts path, or "
+            "regenerate on a "
             "quiet machine if this is measurement noise")
+
+    # 6. E11 schemas and the committed live-maintenance headline.
+    check_update_doc(json.load(open(UPDATE_SMOKE)), UPDATE_SMOKE)
+    update = json.load(open(UPDATE_COMMITTED))
+    check_update_doc(update, UPDATE_COMMITTED)
+    update_headline = update["headline"]["speedup"]
+    assert update_headline >= UPDATE_HEADLINE_MIN, (
+        f"{UPDATE_COMMITTED}: committed exact-index 1%-batch apply "
+        f"{update_headline}x over a rebuild fell below {UPDATE_HEADLINE_MIN}x; "
+        "incremental maintenance must stay far cheaper than rebuilding — "
+        "regenerate with `experiments update --scale 200 --out "
+        "BENCH_update.json` on a quiet machine or fix the apply regression")
 
     print("bench JSON schemas OK; counters within the committed baseline; "
           f"batch headline {headline}x >= {HEADLINE_MIN_SPEEDUP}x; "
           f"clustered k=20 {clustered_k20}x >= {CLUSTERED_K20_MIN_SPEEDUP}x; "
           f"parallel batch-32 threads=4 {par_headline}x >= "
-          f"{PARALLEL_HEADLINE_MIN}x")
+          f"{PARALLEL_HEADLINE_MIN}x; "
+          f"update 1%-batch apply {update_headline}x >= {UPDATE_HEADLINE_MIN}x")
 
 
 if __name__ == "__main__":

@@ -18,7 +18,12 @@
 //! * `parallel` — the E10 thread-scaling sweep of the execution layer:
 //!   parallel index builds (asserted identical to sequential ones) and the
 //!   parallel batch engines at each requested thread count, against the
-//!   threads=1 per-user serving loop, emitting `BENCH_parallel.json`.
+//!   threads=1 per-user serving loop, emitting `BENCH_parallel.json`;
+//! * `update` — the E11 live-maintenance sweep: synthetic tag-event batches
+//!   (assigns + retracts) at several fractions of the site's assignment
+//!   volume, applied incrementally to both indexes versus rebuilding them
+//!   from scratch (results asserted identical before anything is timed),
+//!   emitting `BENCH_update.json`.
 //!
 //! ```text
 //! cargo run -p socialscope_bench --release --bin experiments -- topk \
@@ -27,6 +32,8 @@
 //!     --scale 200 --out BENCH_batch.json
 //! cargo run -p socialscope_bench --release --bin experiments -- parallel \
 //!     --scale 200 --threads 1,2,4 --out BENCH_parallel.json
+//! cargo run -p socialscope_bench --release --bin experiments -- update \
+//!     --scale 200 --out BENCH_update.json
 //! ```
 //!
 //! Unknown subcommands or flags, malformed numeric values (`--threads`
@@ -37,20 +44,21 @@ use socialscope_algebra::prelude::*;
 use socialscope_bench::{site_at_scale, site_with_matches, standard_keywords};
 use socialscope_content::models::all_models;
 use socialscope_content::{
-    BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex, HybridClustering,
-    NetworkBasedClustering, SiteModel, UserJourney,
+    BatchOptions, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex,
+    HybridClustering, NetworkBasedClustering, SiteModel, UserJourney,
 };
 use socialscope_discovery::recommend::algebra_cf::{example5_pipeline, CfConfig};
 use socialscope_discovery::{ContentAnalyzer, InformationDiscoverer, UserQuery};
 use socialscope_presentation::{GroupingStrategy, InformationOrganizer};
 use socialscope_workload::queries::expected_fraction;
 use socialscope_workload::{
-    keywords_of, paper_sizing_example, ClassCounts, QueryClass, QueryLogConfig, QueryLogGenerator,
+    generate_events, keywords_of, paper_sizing_example, ClassCounts, EventStreamConfig, QueryClass,
+    QueryLogConfig, QueryLogGenerator,
 };
 use std::time::Instant;
 
 const USAGE: &str = "table1 | table2 | fig2 | sizing | clustering | algebra | presentation | \
-                     topk | batch | parallel | all";
+                     topk | batch | parallel | update | all";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,6 +103,7 @@ fn main() {
         "topk" => topk_sweep(rest),
         "batch" => batch_sweep(rest),
         "parallel" => parallel_sweep(rest),
+        "update" => update_sweep(rest),
         "all" => {
             no_flags("all");
             table1();
@@ -722,7 +731,7 @@ fn best_of_three(reps: usize, mut run: impl FnMut()) -> f64 {
 /// E9 — batched multi-user query sweep, driven by the query log: for each
 /// query class (general / categorical / specific) and each batch size in
 /// {1, 8, 32, 128}, the same keyword sets are served to user batches two
-/// ways — a loop of single `query` calls versus one `query_batch_with`
+/// ways — a loop of single `query` calls versus one `query_batch_opts`
 /// call over a persistent scratch arena — and the wall-time ratio is the
 /// measured batching gain. Batch results are asserted identical to the
 /// loop's before anything is timed, and queries whose text tokenizes to an
@@ -816,11 +825,12 @@ fn batch_sweep(args: &[String]) {
             // Sanity: the batch path must be element-wise identical to the
             // per-user loop before its wall time means anything.
             for (keywords, batch) in queries.iter().zip(&batches) {
-                let from_batch = exact.query_batch(batch, keywords, k);
+                let from_batch = exact.query_batch_opts(batch, keywords, k, BatchOptions::new());
                 for (got, &u) in from_batch.iter().zip(batch.iter()) {
                     assert_eq!(got, &exact.query(u, keywords, k), "exact batch mismatch");
                 }
-                let from_batch = clustered.query_batch(&model, batch, keywords, k);
+                let from_batch =
+                    clustered.query_batch_opts(&model, batch, keywords, k, BatchOptions::new());
                 for (got, &u) in from_batch.iter().zip(batch.iter()) {
                     assert_eq!(
                         got,
@@ -841,7 +851,14 @@ fn batch_sweep(args: &[String]) {
             let wall_ms_batch = best_of_three(reps, || {
                 for (keywords, batch) in queries.iter().zip(&batches) {
                     std::hint::black_box(
-                        exact.query_batch_with(&mut scratch, batch, keywords, k).len(),
+                        exact
+                            .query_batch_opts(
+                                batch,
+                                keywords,
+                                k,
+                                BatchOptions::new().scratch(&mut scratch),
+                            )
+                            .len(),
                     );
                 }
             });
@@ -867,7 +884,15 @@ fn batch_sweep(args: &[String]) {
             let wall_ms_batch = best_of_three(reps, || {
                 for (keywords, batch) in queries.iter().zip(&batches) {
                     std::hint::black_box(
-                        clustered.query_batch_with(&mut scratch, &model, batch, keywords, k).len(),
+                        clustered
+                            .query_batch_opts(
+                                &model,
+                                batch,
+                                keywords,
+                                k,
+                                BatchOptions::new().scratch(&mut scratch),
+                            )
+                            .len(),
                     );
                 }
             });
@@ -1138,11 +1163,18 @@ fn parallel_sweep(args: &[String]) {
             // before anything is timed.
             for ((_, queries), class_batches) in classes.iter().zip(&batches) {
                 for (keywords, batch) in queries.iter().zip(class_batches) {
-                    let par = exact.query_batch_par(&exec, batch, keywords, k);
+                    let par =
+                        exact.query_batch_opts(batch, keywords, k, BatchOptions::new().exec(&exec));
                     for (got, &u) in par.iter().zip(batch) {
                         assert_eq!(got, &exact.query(u, keywords, k), "exact parallel mismatch");
                     }
-                    let par = clustered.query_batch_par(&exec, &model, batch, keywords, k);
+                    let par = clustered.query_batch_opts(
+                        &model,
+                        batch,
+                        keywords,
+                        k,
+                        BatchOptions::new().exec(&exec),
+                    );
                     for (got, &u) in par.iter().zip(batch) {
                         assert_eq!(
                             got,
@@ -1158,7 +1190,14 @@ fn parallel_sweep(args: &[String]) {
                 for ((_, queries), class_batches) in classes.iter().zip(&batches) {
                     for (keywords, batch) in queries.iter().zip(class_batches) {
                         std::hint::black_box(
-                            exact.query_batch_par_with(&exec, &mut pool, batch, keywords, k).len(),
+                            exact
+                                .query_batch_opts(
+                                    batch,
+                                    keywords,
+                                    k,
+                                    BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+                                )
+                                .len(),
                         );
                     }
                 }
@@ -1169,7 +1208,13 @@ fn parallel_sweep(args: &[String]) {
                     for (keywords, batch) in queries.iter().zip(class_batches) {
                         std::hint::black_box(
                             clustered
-                                .query_batch_par_with(&exec, &mut pool, &model, batch, keywords, k)
+                                .query_batch_opts(
+                                    &model,
+                                    batch,
+                                    keywords,
+                                    k,
+                                    BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+                                )
                                 .len(),
                         );
                     }
@@ -1222,6 +1267,215 @@ fn parallel_sweep(args: &[String]) {
         PARALLEL_BATCH_SIZES.map(|b| b.to_string()).join(","),
         build_rows.join(","),
         rows.iter().map(ParallelRow::to_json).collect::<Vec<_>>().join(",")
+    );
+    write_json_out(out.as_deref(), &json);
+}
+
+/// The event-batch sizes E11 sweeps, as fractions of the site's tag
+/// assignment count. The CI-gated headline is the exact index at 1%.
+const UPDATE_FRACTIONS: [f64; 3] = [0.001, 0.01, 0.05];
+
+/// One measured index × event-fraction configuration of E11.
+struct UpdateRow {
+    index: &'static str,
+    fraction: f64,
+    events: usize,
+    changed_entries: usize,
+    wall_ms_apply: f64,
+    wall_ms_rebuild: f64,
+}
+
+impl UpdateRow {
+    /// How many times faster the incremental apply is than rebuilding the
+    /// index from the already-updated site.
+    fn speedup(&self) -> f64 {
+        self.wall_ms_rebuild / self.wall_ms_apply.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"index\":\"{}\",\"fraction\":{},\"events\":{},\"changed_entries\":{},\"wall_ms_apply\":{:.3},\"wall_ms_rebuild\":{:.3},\"speedup\":{:.2}}}",
+            self.index,
+            self.fraction,
+            self.events,
+            self.changed_entries,
+            self.wall_ms_apply,
+            self.wall_ms_rebuild,
+            self.speedup()
+        )
+    }
+}
+
+/// E11 — live index maintenance: for each event-batch size in
+/// [`UPDATE_FRACTIONS`] (fractions of the site's assignment volume), a
+/// deterministic tag-event stream (Zipf-skewed assigns mixed with retracts
+/// of live assignments) is absorbed two ways — `*Index::apply` patching
+/// pre-cloned indexes in place, versus rebuilding the index from scratch.
+/// Both strategies start from the already-updated site model (the
+/// `SiteModel::apply` cost is common to both, so it stays outside the
+/// timed region), and the wall-time ratio is the measured maintenance
+/// gain. Before anything is timed, the
+/// maintained index is asserted identical to the rebuilt one (stats plus a
+/// standard-keyword query sweep over the whole population): the
+/// delta ≡ rebuild contract is checked on the measured workload itself.
+/// Emits a JSON run object (`BENCH_update.json` when `--out` points there).
+fn update_sweep(args: &[String]) {
+    let mut scale = 200usize;
+    let mut reps = 10usize;
+    let mut k = 10usize;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")));
+        match flag.as_str() {
+            "--scale" => scale = parse_num("--scale", value("--scale")),
+            "--reps" => reps = parse_num("--reps", value("--reps")),
+            "--k" => k = parse_num("--k", value("--k")),
+            "--out" => out = Some(value("--out").clone()),
+            other => {
+                fail(&format!("unknown update flag `{other}` (expected --scale/--reps/--k/--out)"))
+            }
+        }
+    }
+    if let Some(path) = &out {
+        validate_out_path(path);
+    }
+
+    heading(&format!("E11 / live index maintenance at scale {scale} (k={k}, {reps} reps)"));
+    let site = site_at_scale(scale);
+    let model = SiteModel::from_graph(&site.graph);
+    let assignments: usize = model.tag_assignments().map(|(_, _, taggers)| taggers.len()).sum();
+    let keywords = standard_keywords();
+
+    let exact = ExactIndex::builder(&model).build();
+    let clustered = ClusteredIndex::builder(&model)
+        .clustering(NetworkBasedClustering.cluster(&model, 0.3))
+        .build();
+
+    let mut rows: Vec<UpdateRow> = Vec::new();
+    println!("{assignments} tag assignments on site");
+    println!(
+        "{:<16} {:>9} {:>8} {:>9} {:>13} {:>14} {:>9}",
+        "index", "fraction", "events", "changed", "apply (ms)", "rebuild (ms)", "speedup"
+    );
+    for &fraction in &UPDATE_FRACTIONS {
+        let wanted = ((assignments as f64) * fraction).round().max(1.0) as usize;
+        let events = generate_events(
+            &model,
+            &EventStreamConfig {
+                events: wanted,
+                retract_fraction: 0.3,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let mut updated = model.clone();
+        let effective = updated.apply(&events);
+        assert!(effective > 0, "event stream must touch the site");
+
+        // Delta ≡ rebuild, asserted on the measured workload before any
+        // timing: stats plus a full-population query sweep per index.
+        let mut maintained_exact = exact.clone();
+        let exact_report = maintained_exact.apply(&updated, &events);
+        let rebuilt_exact = ExactIndex::builder(&updated).build();
+        assert_eq!(maintained_exact.stats(), rebuilt_exact.stats(), "exact delta diverged");
+        let mut maintained_clustered = clustered.clone();
+        let clustered_report = maintained_clustered.apply(&updated, &events);
+        let rebuilt_clustered = ClusteredIndex::builder(&updated)
+            .clustering(NetworkBasedClustering.cluster(&updated, 0.3))
+            .build();
+        assert_eq!(
+            maintained_clustered.stats_with_refinement(),
+            rebuilt_clustered.stats_with_refinement(),
+            "clustered delta diverged"
+        );
+        for &u in &site.users {
+            assert_eq!(
+                maintained_exact.query(u, &keywords, k),
+                rebuilt_exact.query(u, &keywords, k),
+                "exact delta query diverged"
+            );
+            assert_eq!(
+                maintained_clustered.query(&updated, u, &keywords, k),
+                rebuilt_clustered.query(&updated, u, &keywords, k),
+                "clustered delta query diverged"
+            );
+        }
+
+        // Both maintenance strategies start from the already-updated site
+        // model (rebuilding an index needs it just as much as patching
+        // one), so the timed region is the *index* work only. The apply
+        // mutates, so each timed run consumes a pre-built index clone;
+        // best-of-three over `reps` runs needs 3 × reps of them.
+        let mut exact_pool: Vec<ExactIndex> = (0..3 * reps).map(|_| exact.clone()).collect();
+        let wall_ms_apply = best_of_three(reps, || {
+            let mut ix = exact_pool.pop().expect("clone pool sized to 3 × reps");
+            std::hint::black_box(ix.apply(&updated, &events).changed_entries);
+        });
+        let wall_ms_rebuild = best_of_three(reps, || {
+            std::hint::black_box(ExactIndex::builder(&updated).build().stats().entries);
+        });
+        rows.push(UpdateRow {
+            index: "exact",
+            fraction,
+            events: events.len(),
+            changed_entries: exact_report.changed_entries,
+            wall_ms_apply,
+            wall_ms_rebuild,
+        });
+
+        let mut clustered_pool: Vec<ClusteredIndex> =
+            (0..3 * reps).map(|_| clustered.clone()).collect();
+        let wall_ms_apply = best_of_three(reps, || {
+            let mut ix = clustered_pool.pop().expect("clone pool sized to 3 × reps");
+            std::hint::black_box(ix.apply(&updated, &events).changed_entries);
+        });
+        let wall_ms_rebuild = best_of_three(reps, || {
+            let clustering = NetworkBasedClustering.cluster(&updated, 0.3);
+            std::hint::black_box(
+                ClusteredIndex::builder(&updated).clustering(clustering).build().stats().entries,
+            );
+        });
+        rows.push(UpdateRow {
+            index: "clustered",
+            fraction,
+            events: events.len(),
+            changed_entries: clustered_report.changed_entries,
+            wall_ms_apply,
+            wall_ms_rebuild,
+        });
+
+        for row in rows.iter().rev().take(2).rev() {
+            println!(
+                "{:<16} {:>9} {:>8} {:>9} {:>13.3} {:>14.3} {:>8.2}x",
+                row.index,
+                row.fraction,
+                row.events,
+                row.changed_entries,
+                row.wall_ms_apply,
+                row.wall_ms_rebuild,
+                row.speedup()
+            );
+        }
+    }
+
+    // Headline: the exact index at the 1% event batch — the steady-state
+    // maintenance unit the README quotes and CI gates.
+    let headline = rows
+        .iter()
+        .find(|r| r.index == "exact" && r.fraction == 0.01)
+        .map(UpdateRow::speedup)
+        .unwrap_or(0.0);
+    println!(
+        "\nheadline: exact index applies a 1% event batch {headline:.2}x faster than a rebuild"
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"E11_update_sweep\",\"seed\":7,\"scale\":{scale},\"k\":{k},\"repetitions\":{reps},\"site_users\":{},\"tag_assignments\":{assignments},\"retract_fraction\":0.3,\"fractions\":[{}],\"rows\":[{}],\"headline\":{{\"index\":\"exact\",\"fraction\":0.01,\"speedup\":{headline:.2}}}}}\n",
+        site.users.len(),
+        UPDATE_FRACTIONS.map(|f| f.to_string()).join(","),
+        rows.iter().map(UpdateRow::to_json).collect::<Vec<_>>().join(",")
     );
     write_json_out(out.as_deref(), &json);
 }

@@ -15,7 +15,7 @@
 
 use socialscope_bench::{site_at_scale, standard_keywords};
 use socialscope_content::{
-    BatchScratch, BatchScratchPool, ClusteredIndex, ClusteringStrategy, ExactIndex,
+    BatchOptions, BatchScratch, BatchScratchPool, ClusteredIndex, ClusteringStrategy, ExactIndex,
     NetworkBasedClustering, SiteModel,
 };
 use socialscope_exec::Exec;
@@ -109,11 +109,22 @@ fn e8_counters_are_unchanged_under_four_threads() {
     let batch: Vec<NodeId> = (0..256).map(|i| users[i % users.len()]).collect();
     let mut pool = BatchScratchPool::default();
     for &k in &[5usize, 20] {
-        let served = exact.query_batch_par_with(&exec, &mut pool, &batch, &keywords, k);
+        let served = exact.query_batch_opts(
+            &batch,
+            &keywords,
+            k,
+            BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+        );
         for (got, &u) in served.iter().zip(&batch) {
             assert_eq!(got, &exact.query(u, &keywords, k), "exact user {u} k {k}");
         }
-        let served = clustered.query_batch_par_with(&exec, &mut pool, &model, &batch, &keywords, k);
+        let served = clustered.query_batch_opts(
+            &model,
+            &batch,
+            &keywords,
+            k,
+            BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+        );
         for (got, &u) in served.iter().zip(&batch) {
             assert_eq!(got, &clustered.query(&model, u, &keywords, k), "clustered user {u} k {k}");
         }
@@ -139,12 +150,19 @@ fn batch_queries_match_single_queries_at_scale_100() {
 
     let mut scratch = BatchScratch::default();
     for k in [1usize, 5, 20] {
-        let results = exact.query_batch_with(&mut scratch, &batch, &keywords, k);
+        let results =
+            exact.query_batch_opts(&batch, &keywords, k, BatchOptions::new().scratch(&mut scratch));
         assert_eq!(results.len(), batch.len());
         for (got, &u) in results.iter().zip(&batch) {
             assert_eq!(got, &exact.query(u, &keywords, k), "exact user {u} k {k}");
         }
-        let reports = clustered.query_batch_with(&mut scratch, &model, &batch, &keywords, k);
+        let reports = clustered.query_batch_opts(
+            &model,
+            &batch,
+            &keywords,
+            k,
+            BatchOptions::new().scratch(&mut scratch),
+        );
         assert_eq!(reports.len(), batch.len());
         for (got, &u) in reports.iter().zip(&batch) {
             assert_eq!(got, &clustered.query(&model, u, &keywords, k), "clustered user {u} k {k}");
@@ -153,7 +171,13 @@ fn batch_queries_match_single_queries_at_scale_100() {
 
     // Unknown ids are unclustered seekers: the documented empty-with-flag
     // semantic must hold through the batch path at scale too.
-    let reports = clustered.query_batch_with(&mut scratch, &model, &batch, &keywords, 5);
+    let reports = clustered.query_batch_opts(
+        &model,
+        &batch,
+        &keywords,
+        5,
+        BatchOptions::new().scratch(&mut scratch),
+    );
     for (got, &u) in reports.iter().zip(&batch) {
         assert_eq!(got.unclustered, !site.users.contains(&u));
         if got.unclustered {
@@ -166,12 +190,15 @@ fn batch_queries_match_single_queries_at_scale_100() {
     // any counter.
     let empty = socialscope_workload::keywords_of("things to do");
     assert!(empty.is_empty());
-    for res in exact.query_batch_with(&mut scratch, &batch, &empty, 5) {
+    for res in exact.query_batch_opts(&batch, &empty, 5, BatchOptions::new().scratch(&mut scratch))
+    {
         assert!(res.ranked.is_empty());
         assert_eq!((res.sorted_accesses, res.exact_computations), (0, 0));
     }
-    for (got, &u) in
-        clustered.query_batch_with(&mut scratch, &model, &batch, &empty, 5).iter().zip(&batch)
+    for (got, &u) in clustered
+        .query_batch_opts(&model, &batch, &empty, 5, BatchOptions::new().scratch(&mut scratch))
+        .iter()
+        .zip(&batch)
     {
         assert_eq!(got, &clustered.query(&model, u, &empty, 5));
         assert!(got.result.ranked.is_empty());

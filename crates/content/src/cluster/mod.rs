@@ -82,6 +82,57 @@ impl UserClustering {
             self.assignment.len() as f64 / self.members.len() as f64
         }
     }
+
+    /// The cluster's leader: the member the greedy algorithm's pairwise
+    /// predicate is evaluated against. Members are kept in ascending id
+    /// order and the founding user of a cluster is the first user (in id
+    /// order) the greedy scan could not place elsewhere, so the first
+    /// member is the founder for clusterings produced by
+    /// [`ClusteringStrategy::cluster`].
+    pub fn leader(&self, cluster: ClusterId) -> Option<NodeId> {
+        self.members(cluster).first().copied()
+    }
+
+    /// Add a late joiner to an existing cluster, keeping the member list in
+    /// ascending id order. A user already assigned somewhere is left
+    /// untouched (returns `false`); out-of-range clusters panic.
+    pub fn join(&mut self, user: NodeId, cluster: ClusterId) -> bool {
+        if self.assignment.contains_key(&user) {
+            return false;
+        }
+        let members = &mut self.members[cluster.0];
+        let pos = members.binary_search(&user).unwrap_err();
+        members.insert(pos, user);
+        self.assignment.insert(user, cluster);
+        true
+    }
+
+    /// Found a new singleton cluster for a late joiner and return its id.
+    /// A user already assigned somewhere keeps their cluster (which is
+    /// returned instead).
+    pub fn found(&mut self, user: NodeId) -> ClusterId {
+        if let Some(&cluster) = self.assignment.get(&user) {
+            return cluster;
+        }
+        let cluster = ClusterId(self.members.len());
+        self.members.push(vec![user]);
+        self.assignment.insert(user, cluster);
+        cluster
+    }
+}
+
+/// Look up one of the three built-in strategies by the name stored on a
+/// [`UserClustering`] — how the live-maintenance path recovers the greedy
+/// predicate for recluster-on-join long after the strategy object that
+/// built the clustering is gone. Unknown names (including the empty
+/// default) return `None`; joiners then found singleton clusters.
+pub fn strategy_named(name: &str) -> Option<&'static dyn ClusteringStrategy> {
+    match name {
+        "network" => Some(&NetworkBasedClustering),
+        "behavior" => Some(&BehaviorBasedClustering),
+        "hybrid" => Some(&HybridClustering),
+        _ => None,
+    }
 }
 
 /// A user-clustering strategy: a pairwise predicate (evaluated between a

@@ -33,11 +33,12 @@
 //! verbatim. `Exec::sequential()` (or a computed shard count of 1) runs the
 //! exact single-threaded code paths.
 
-use crate::cluster::{ClusterId, UserClustering};
+use crate::cluster::{strategy_named, ClusterId, UserClustering};
+use crate::events::TagEvent;
 use crate::inline::InlineVec;
 use crate::posting::{PostingList, BYTES_PER_ENTRY};
 use crate::refinement::{RefinementIndex, ResolvedRefinement};
-use crate::sitemodel::SiteModel;
+use crate::sitemodel::{count_intersection, SiteModel};
 use crate::tags::{QueryTags, TagId, TagInterner};
 use crate::topk::{top_k_hinted_with, top_k_with, TopKResult, TopKScratch};
 use serde::{Deserialize, Serialize};
@@ -57,10 +58,39 @@ pub struct IndexStats {
     pub bytes: usize,
 }
 
+/// What one [`TagEvent`] batch application changed, returned by
+/// [`ExactIndex::apply`] and [`ClusteredIndex::apply`]. An all-zero report
+/// ([`Self::is_noop`]) means the batch was entirely redundant — duplicate
+/// assigns, retracts of absent assignments — and the index (including the
+/// clustered index's build stamp) is untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplyReport {
+    /// Posting/bound-list entries inserted, updated or removed.
+    pub changed_entries: usize,
+    /// Refinement `(tag, item)` tagger groups replaced, added or dropped
+    /// (always 0 for [`ExactIndex`], which carries no refinement arena).
+    pub changed_groups: usize,
+    /// Late joiners assigned to clusters by recluster-on-join (always 0
+    /// for [`ExactIndex`]).
+    pub cluster_joins: usize,
+}
+
+impl ApplyReport {
+    /// Whether the batch changed nothing at all.
+    pub fn is_noop(&self) -> bool {
+        self.changed_entries == 0 && self.changed_groups == 0 && self.cluster_joins == 0
+    }
+}
+
 /// Minimum tag-assignment groups per build shard: below this, accumulating
 /// a group costs less than spawning a worker for it, so small sites build
 /// on the caller's thread no matter the pool size.
 const BUILD_MIN_GROUPS_PER_SHARD: usize = 32;
+
+/// Minimum affected-score recomputations per delta-application shard:
+/// each unit is one sorted-merge intersection (or one per cluster member),
+/// so small batches recompute on the caller's thread.
+const APPLY_MIN_UNITS_PER_SHARD: usize = 64;
 
 /// Minimum batch members per serving shard: a member's evaluation is
 /// microseconds of work, so a batch fans out only when every worker gets
@@ -212,6 +242,112 @@ fn grow_workers(workers: &mut Vec<BatchScratch>, shards: usize) -> &mut [BatchSc
     &mut workers[..shards]
 }
 
+/// The caller-owned scratch state one batched query call runs through: a
+/// single sequential arena, a per-worker pool, or none (a throwaway pool).
+enum ScratchSlot<'a> {
+    Single(&'a mut BatchScratch),
+    Pool(&'a mut BatchScratchPool),
+}
+
+/// Options for one batched query call — the single entry point that
+/// replaced the `query_batch` / `query_batch_with` / `query_batch_par` /
+/// `query_batch_par_with` method matrix on both indexes.
+///
+/// Build with the fluent setters and pass (by value) to
+/// [`ExactIndex::query_batch_opts`] or
+/// [`ClusteredIndex::query_batch_opts`]; the defaults reproduce the old
+/// `query_batch` exactly. Migration table:
+///
+/// | Old call | New call |
+/// |---|---|
+/// | `query_batch(users, kw, k)` | `query_batch_opts(users, kw, k, BatchOptions::new())` |
+/// | `query_batch_with(&mut scratch, users, kw, k)` | `query_batch_opts(users, kw, k, BatchOptions::new().scratch(&mut scratch))` |
+/// | `query_batch_par(&exec, users, kw, k)` | `query_batch_opts(users, kw, k, BatchOptions::new().exec(&exec))` |
+/// | `query_batch_par_with(&exec, &mut pool, users, kw, k)` | `query_batch_opts(users, kw, k, BatchOptions::new().exec(&exec).scratch_pool(&mut pool))` |
+///
+/// (The clustered index's variants take the site model as their first
+/// argument, before `users`, in both the old and the new shape.)
+///
+/// Every combination is element-wise identical to single
+/// [`ExactIndex::query`] / [`ClusteredIndex::query`] calls — the options
+/// choose *how* the batch is served (threads, scratch reuse), never what
+/// it answers (a proptested invariant).
+#[derive(Default)]
+pub struct BatchOptions<'a> {
+    /// The execution context sharded serving fans out on. `None` means
+    /// [`Exec::auto`].
+    exec: Option<Exec>,
+    /// The scratch state to thread through the call. `None` means a
+    /// throwaway per-call pool.
+    scratch: Option<ScratchSlot<'a>>,
+}
+
+impl<'a> BatchOptions<'a> {
+    /// Options with every default: [`Exec::auto`] threads, throwaway
+    /// scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serve the batch on a caller-chosen [`Exec`] (ignored when a single
+    /// sequential scratch is also set — see [`Self::scratch`]).
+    pub fn exec(mut self, exec: &Exec) -> Self {
+        self.exec = Some(*exec);
+        self
+    }
+
+    /// Thread the batch through one caller-owned sequential arena. This
+    /// **forces the single-threaded path** — the sequential serving loop is
+    /// the exact code each parallel worker runs per shard, so results are
+    /// identical either way; set a [`Self::scratch_pool`] instead to reuse
+    /// arenas *and* fan out.
+    pub fn scratch(mut self, scratch: &'a mut BatchScratch) -> Self {
+        self.scratch = Some(ScratchSlot::Single(scratch));
+        self
+    }
+
+    /// Thread the batch through a caller-owned per-worker arena pool, so a
+    /// serving loop pays each worker's allocations once across batches.
+    pub fn scratch_pool(mut self, pool: &'a mut BatchScratchPool) -> Self {
+        self.scratch = Some(ScratchSlot::Pool(pool));
+        self
+    }
+
+    /// Borrow these options for one call without giving them up: the
+    /// returned options carry the same execution choice and a reborrow of
+    /// the same scratch state. How a wrapper serves *two* batches (e.g.
+    /// the clustered engine's main batch plus its exact-fallback
+    /// sub-batch) through one caller-provided `BatchOptions`.
+    pub fn reborrow(&mut self) -> BatchOptions<'_> {
+        BatchOptions {
+            exec: self.exec,
+            scratch: match &mut self.scratch {
+                Some(ScratchSlot::Single(scratch)) => Some(ScratchSlot::Single(scratch)),
+                Some(ScratchSlot::Pool(pool)) => Some(ScratchSlot::Pool(pool)),
+                None => None,
+            },
+        }
+    }
+}
+
+/// Rebuild the user → slot table after the per-user row vector changed
+/// membership (delta application added or removed rows).
+fn rebuild_slots(users: &[(NodeId, UserLists)]) -> FxHashMap<NodeId, u32> {
+    users
+        .iter()
+        .enumerate()
+        .map(|(slot, (user, _))| {
+            // NO_SLOT (u32::MAX) is reserved for "not indexed", so the
+            // bound excludes it, not just anything past u32.
+            let slot = u32::try_from(slot)
+                .ok()
+                .filter(|&s| s != NO_SLOT)
+                .expect("fewer than 2^32 - 1 indexed users");
+            (*user, slot)
+        })
+        .collect()
+}
+
 /// Layout key marking a batch member with no row in the index (unknown
 /// user / unclustered user): sorts after every real slot.
 const NO_SLOT: u32 = u32::MAX;
@@ -347,20 +483,129 @@ impl ExactIndex {
             })
             .collect();
         users.sort_unstable_by_key(|(user, _)| *user);
-        let slots = users
-            .iter()
-            .enumerate()
-            .map(|(slot, (user, _))| {
-                // NO_SLOT (u32::MAX) is reserved for "not indexed", so the
-                // bound excludes it, not just anything past u32.
-                let slot = u32::try_from(slot)
-                    .ok()
-                    .filter(|&s| s != NO_SLOT)
-                    .expect("fewer than 2^32 - 1 indexed users");
-                (*user, slot)
-            })
-            .collect();
+        let slots = rebuild_slots(&users);
         ExactIndex { tags, slots, users }
+    }
+
+    /// The unified construction surface: configure and build through an
+    /// [`ExactIndexBuilder`]. `ExactIndex::builder(&site).build()` is
+    /// [`Self::build`]; add `.exec(&exec)` for [`Self::build_with`].
+    pub fn builder(site: &SiteModel) -> ExactIndexBuilder<'_> {
+        ExactIndexBuilder { site, exec: None }
+    }
+
+    /// Apply a batch of [`TagEvent`]s to the live index, patching the
+    /// affected posting lists in place. Threads come from [`Exec::auto`];
+    /// see [`Self::apply_with`] for the contract and mechanics.
+    pub fn apply(&mut self, site: &SiteModel, events: &[TagEvent]) -> ApplyReport {
+        self.apply_with(&Exec::auto(), site, events)
+    }
+
+    /// [`Self::apply`] on a caller-chosen [`Exec`].
+    ///
+    /// **Contract:** `site` must already reflect the batch — call
+    /// [`SiteModel::apply`] with the same events first. The index then
+    /// converges to exactly the state [`Self::build`] would produce from
+    /// that site (same stats, same list per `(tag, user)`, same answer to
+    /// every query — a proptested invariant), without the rebuild.
+    ///
+    /// Mechanics: an event on `(tagger, item, tag)` can only move the
+    /// stored score `score_k(item, u)` of users `u` with `tagger ∈
+    /// network(u)` — and networks are stable under tag events — so the
+    /// affected `(user, tag, item)` triples are enumerated and deduplicated
+    /// up front, their new scores recomputed read-only in parallel shards,
+    /// and the lists patched sequentially by binary search
+    /// ([`PostingList::insert`] / [`PostingList::remove`]). Redundant
+    /// events (duplicate assigns, retracts of nothing) recompute to the
+    /// stored score and touch nothing, so replays are free and
+    /// [`ApplyReport::is_noop`] reports them honestly.
+    pub fn apply_with(
+        &mut self,
+        exec: &Exec,
+        site: &SiteModel,
+        events: &[TagEvent],
+    ) -> ApplyReport {
+        // Intern event tags up front (new tags get ids; queries compare by
+        // string, so id numbering never affects answers).
+        let mut triples: Vec<(NodeId, TagId, NodeId)> = Vec::new();
+        for event in events {
+            let tag = self.tags.intern(event.tag());
+            for &user in site.network_of(event.tagger()) {
+                triples.push((user, tag, event.item()));
+            }
+        }
+        triples.sort_unstable();
+        triples.dedup();
+        // Read-only recompute phase, sharded: each triple's new score is
+        // one sorted-merge intersection against the post-event site.
+        let tags = &self.tags;
+        let sharded: Vec<Vec<f64>> =
+            exec.run_sharded(triples.len(), APPLY_MIN_UNITS_PER_SHARD, |_, range| {
+                range
+                    .map(|i| {
+                        let (user, tag, item) = triples[i];
+                        let tag = tags.resolve(tag).expect("event tags interned above");
+                        let taggers = site.taggers_of(item, tag);
+                        count_intersection(site.network_of(user), taggers) as f64
+                    })
+                    .collect()
+            });
+        let scores: Vec<f64> = sharded.into_iter().flatten().collect();
+        // Sequential patch phase. Row membership may change, which shifts
+        // slots — rows are found by binary search (the vector stays
+        // ascending) and the slot table is rebuilt once at the end.
+        let mut changed_entries = 0usize;
+        let mut membership_dirty = false;
+        for (&(user, tag, item), &score) in triples.iter().zip(&scores) {
+            match self.users.binary_search_by_key(&user, |(u, _)| *u) {
+                Ok(pos) => {
+                    let by_tag = &mut self.users[pos].1;
+                    match by_tag.iter_mut().find(|(t, _)| *t == tag) {
+                        Some((_, list)) => {
+                            let stored = list.score_of(item);
+                            if score > 0.0 {
+                                if stored == Some(score) {
+                                    continue;
+                                }
+                                list.remove(item);
+                                list.insert(item, score);
+                                changed_entries += 1;
+                            } else if stored.is_some() {
+                                list.remove(item);
+                                changed_entries += 1;
+                                if list.is_empty() {
+                                    by_tag.retain(|(t, _)| *t != tag);
+                                    if by_tag.is_empty() {
+                                        self.users.remove(pos);
+                                        membership_dirty = true;
+                                    }
+                                }
+                            }
+                        }
+                        None if score > 0.0 => {
+                            let mut list = PostingList::new();
+                            list.insert(item, score);
+                            let at = by_tag.partition_point(|(t, _)| *t < tag);
+                            by_tag.insert(at, (tag, list));
+                            changed_entries += 1;
+                        }
+                        None => {}
+                    }
+                }
+                Err(pos) if score > 0.0 => {
+                    let mut list = PostingList::new();
+                    list.insert(item, score);
+                    self.users.insert(pos, (user, vec![(tag, list)]));
+                    membership_dirty = true;
+                    changed_entries += 1;
+                }
+                Err(_) => {}
+            }
+        }
+        if membership_dirty {
+            self.slots = rebuild_slots(&self.users);
+        }
+        ApplyReport { changed_entries, ..ApplyReport::default() }
     }
 
     /// The tag symbol table the index is keyed on.
@@ -466,16 +711,89 @@ impl ExactIndex {
     /// state is reused across users, and users are visited in index-layout
     /// order so the user-first storage is walked cache-friendly. Results
     /// arrive in input order and each equals the corresponding
-    /// [`Self::query`] call exactly. Threads come from [`Exec::auto`]; see
-    /// [`Self::query_batch_par_with`] for the sharding story.
-    pub fn query_batch(&self, users: &[NodeId], keywords: &[String], k: usize) -> Vec<TopKResult> {
-        self.query_batch_par(&Exec::auto(), users, keywords, k)
+    /// [`Self::query`] call exactly, whatever the options: [`BatchOptions`]
+    /// choose the threads ([`Exec::auto`] by default) and the scratch reuse
+    /// (throwaway by default), never the answers. See [`BatchOptions`] for
+    /// the migration table from the retired `query_batch` method matrix.
+    pub fn query_batch_opts(
+        &self,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        opts: BatchOptions<'_>,
+    ) -> Vec<TopKResult> {
+        let exec = opts.exec.unwrap_or_else(Exec::auto);
+        match opts.scratch {
+            Some(ScratchSlot::Single(scratch)) => self.serve_batch_seq(scratch, users, keywords, k),
+            Some(ScratchSlot::Pool(pool)) => {
+                self.serve_batch_sharded(&exec, pool, users, keywords, k)
+            }
+            None => self.serve_batch_sharded(
+                &exec,
+                &mut BatchScratchPool::default(),
+                users,
+                keywords,
+                k,
+            ),
+        }
     }
 
-    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`] on the
-    /// single-threaded path, so a sequential serving loop pays the arena's
-    /// allocations once, not per batch.
+    /// Batched top-k with every default.
+    #[deprecated(since = "0.1.0", note = "use `query_batch_opts` with `BatchOptions::new()`")]
+    pub fn query_batch(&self, users: &[NodeId], keywords: &[String], k: usize) -> Vec<TopKResult> {
+        self.query_batch_opts(users, keywords, k, BatchOptions::new())
+    }
+
+    /// Batched top-k through a caller-owned sequential arena.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().scratch(..)`"
+    )]
     pub fn query_batch_with(
+        &self,
+        scratch: &mut BatchScratch,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        self.serve_batch_seq(scratch, users, keywords, k)
+    }
+
+    /// Batched top-k on a caller-chosen [`Exec`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().exec(..)`"
+    )]
+    pub fn query_batch_par(
+        &self,
+        exec: &Exec,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        self.query_batch_opts(users, keywords, k, BatchOptions::new().exec(exec))
+    }
+
+    /// Batched top-k on a caller-chosen [`Exec`] through a caller-owned
+    /// arena pool.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().exec(..).scratch_pool(..)`"
+    )]
+    pub fn query_batch_par_with(
+        &self,
+        exec: &Exec,
+        pool: &mut BatchScratchPool,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<TopKResult> {
+        self.serve_batch_sharded(exec, pool, users, keywords, k)
+    }
+
+    /// The single-threaded batch path: one scratch arena, users walked in
+    /// slot order. Also the per-shard code of the sharded path.
+    fn serve_batch_seq(
         &self,
         scratch: &mut BatchScratch,
         users: &[NodeId],
@@ -506,20 +824,8 @@ impl ExactIndex {
         results
     }
 
-    /// [`Self::query_batch`] on a caller-chosen [`Exec`].
-    pub fn query_batch_par(
-        &self,
-        exec: &Exec,
-        users: &[NodeId],
-        keywords: &[String],
-        k: usize,
-    ) -> Vec<TopKResult> {
-        self.query_batch_par_with(exec, &mut BatchScratchPool::default(), users, keywords, k)
-    }
-
-    /// [`Self::query_batch_par`] through a caller-owned
-    /// [`BatchScratchPool`], so a serving loop pays each worker's arena
-    /// allocations once.
+    /// The sharded batch path, through a caller-owned per-worker arena
+    /// pool.
     ///
     /// The batch is resolved and laid out in index order exactly as the
     /// sequential path does, then split into contiguous **slot ranges**,
@@ -530,7 +836,7 @@ impl ExactIndex {
     /// the sequential batch path — for every thread count (a proptested
     /// invariant). Batches too small to amortize worker spawns (fewer than
     /// 2 × 64 members) take the sequential path outright.
-    pub fn query_batch_par_with(
+    fn serve_batch_sharded(
         &self,
         exec: &Exec,
         pool: &mut BatchScratchPool,
@@ -540,7 +846,7 @@ impl ExactIndex {
     ) -> Vec<TopKResult> {
         let shards = exec.shard_count(users.len(), SHARD_MIN_USERS);
         if shards <= 1 {
-            return self.query_batch_with(pool.worker(), users, keywords, k);
+            return self.serve_batch_seq(pool.worker(), users, keywords, k);
         }
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
         let tag_ids = tag_ids.as_slice();
@@ -619,6 +925,63 @@ impl ExactIndex {
         items.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let exact_computations = items.len();
         TopKResult::from_parts(items, sorted_accesses, exact_computations, false)
+    }
+}
+
+/// The unified construction surface of [`ExactIndex`] (see
+/// [`ExactIndex::builder`]): `ExactIndex::builder(&site).build()` builds on
+/// [`Exec::auto`] threads; `.exec(&exec)` pins the execution context. The
+/// built index is identical whatever the thread count (a proptested
+/// invariant), so the builder options are purely about resources.
+pub struct ExactIndexBuilder<'a> {
+    site: &'a SiteModel,
+    exec: Option<Exec>,
+}
+
+impl ExactIndexBuilder<'_> {
+    /// Build on a caller-chosen [`Exec`] instead of [`Exec::auto`].
+    pub fn exec(mut self, exec: &Exec) -> Self {
+        self.exec = Some(*exec);
+        self
+    }
+
+    /// Build the index.
+    pub fn build(self) -> ExactIndex {
+        ExactIndex::build_with(&self.exec.unwrap_or_else(Exec::auto), self.site)
+    }
+}
+
+/// The unified construction surface of [`ClusteredIndex`] (see
+/// [`ClusteredIndex::builder`]): add `.clustering(...)` for the user
+/// clustering the bound lists aggregate over (without it, every user is
+/// unclustered — the default [`UserClustering`] — and the index stores no
+/// bounds at all), and `.exec(&exec)` to pin the execution context.
+pub struct ClusteredIndexBuilder<'a> {
+    site: &'a SiteModel,
+    exec: Option<Exec>,
+    clustering: Option<UserClustering>,
+}
+
+impl ClusteredIndexBuilder<'_> {
+    /// Build on a caller-chosen [`Exec`] instead of [`Exec::auto`].
+    pub fn exec(mut self, exec: &Exec) -> Self {
+        self.exec = Some(*exec);
+        self
+    }
+
+    /// The user clustering the `(tag, cluster)` bound lists aggregate over.
+    pub fn clustering(mut self, clustering: UserClustering) -> Self {
+        self.clustering = Some(clustering);
+        self
+    }
+
+    /// Build the index.
+    pub fn build(self) -> ClusteredIndex {
+        ClusteredIndex::build_with(
+            &self.exec.unwrap_or_else(Exec::auto),
+            self.site,
+            self.clustering.unwrap_or_default(),
+        )
     }
 }
 
@@ -778,6 +1141,225 @@ impl ClusteredIndex {
         }
     }
 
+    /// The unified construction surface: configure and build through a
+    /// [`ClusteredIndexBuilder`].
+    /// `ClusteredIndex::builder(&site).clustering(c).build()` is
+    /// [`Self::build`]; add `.exec(&exec)` for [`Self::build_with`].
+    pub fn builder(site: &SiteModel) -> ClusteredIndexBuilder<'_> {
+        ClusteredIndexBuilder { site, exec: None, clustering: None }
+    }
+
+    /// The index's build identity: a fresh non-zero stamp per build *and
+    /// per effective [`Self::apply`]*, which the scratch-level gather
+    /// caches key on (0 — a default-constructed index — disables caching).
+    /// The stamp moving on every effective apply is what makes stale
+    /// cached pool slots impossible after a delta: a warm scratch keyed on
+    /// the old stamp re-gathers from scratch on its next batch.
+    pub fn build_stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Apply a batch of [`TagEvent`]s to the live index: recluster late
+    /// joiners, splice the refinement arena, and patch the affected
+    /// `(tag, cluster)` bound lists in place. Threads come from
+    /// [`Exec::auto`]; see [`Self::apply_with`] for the contract and
+    /// mechanics.
+    pub fn apply(&mut self, site: &SiteModel, events: &[TagEvent]) -> ApplyReport {
+        self.apply_with(&Exec::auto(), site, events)
+    }
+
+    /// [`Self::apply`] on a caller-chosen [`Exec`].
+    ///
+    /// **Contract:** `site` must already reflect the batch — call
+    /// [`SiteModel::apply`] with the same events first. The index then
+    /// converges to exactly the state [`Self::build`] would produce from
+    /// that site and the post-join clustering (same stats, same bound list
+    /// per `(tag, cluster)`, same refinement groups, same answer to every
+    /// query — a proptested invariant), without the rebuild.
+    ///
+    /// Four phases:
+    ///
+    /// 1. **Recluster-on-join.** Each event tagger without a cluster is
+    ///    assigned by the greedy-leader predicate of the clustering's own
+    ///    strategy ([`crate::cluster::strategy_named`]) against the current
+    ///    cluster leaders — first match joins, no match founds a singleton.
+    ///    Late joiners therefore answer their next query from their
+    ///    cluster's bounds ([`ClusteredQueryReport::unclustered`] clears)
+    ///    with no rebuild; a clustering whose strategy name is unknown
+    ///    (e.g. the empty default) founds singletons.
+    /// 2. **Refinement splice.** Each event's `(tag, item)` tagger group is
+    ///    re-read from the site and spliced into the flat arena
+    ///    (hole-free; unchanged groups keep their layout).
+    /// 3. **Bound patch.** An event moves the bound of `(tag, C, item)`
+    ///    only when `C` holds a network member of the tagger; a join can
+    ///    additionally raise its new cluster's bounds for every item the
+    ///    joiner scores on. Exactly those keys are enumerated,
+    ///    deduplicated, recomputed read-only in parallel shards (max over
+    ///    the cluster's members), and patched sequentially; the pool
+    ///    re-sorts to its canonical ascending key order only when lists
+    ///    appeared or emptied.
+    /// 4. **Stamp bump** — only if anything changed, so a redundant batch
+    ///    is a true no-op and warm gather caches stay valid; any effective
+    ///    change moves [`Self::build_stamp`] and invalidates them.
+    pub fn apply_with(
+        &mut self,
+        exec: &Exec,
+        site: &SiteModel,
+        events: &[TagEvent],
+    ) -> ApplyReport {
+        let event_tags: Vec<TagId> = events.iter().map(|e| self.tags.intern(e.tag())).collect();
+        // Phase 1: recluster-on-join.
+        let mut joins: Vec<(NodeId, ClusterId)> = Vec::new();
+        let strategy = strategy_named(&self.clustering.strategy);
+        for event in events {
+            let user = event.tagger();
+            if self.clustering.cluster_of(user).is_some() {
+                continue;
+            }
+            let theta = self.clustering.theta;
+            let nearest = strategy.and_then(|s| {
+                (0..self.clustering.cluster_count()).map(ClusterId).find(|&c| {
+                    self.clustering
+                        .leader(c)
+                        .is_some_and(|leader| s.same_cluster(site, user, leader, theta))
+                })
+            });
+            let cluster = match nearest {
+                Some(cluster) => {
+                    self.clustering.join(user, cluster);
+                    cluster
+                }
+                None => self.clustering.found(user),
+            };
+            joins.push((user, cluster));
+        }
+        // Phase 2: refinement splice — only groups whose content moved.
+        let mut group_changes: FxHashMap<(TagId, NodeId), Vec<NodeId>> = FxHashMap::default();
+        for (event, &tag) in events.iter().zip(&event_tags) {
+            let key = (tag, event.item());
+            if group_changes.contains_key(&key) {
+                continue;
+            }
+            let new = site.taggers_of(event.item(), event.tag());
+            if self.refinement.taggers(tag, event.item()) != new {
+                group_changes.insert(key, new.to_vec());
+            }
+        }
+        let changed_groups = group_changes.len();
+        if changed_groups > 0 {
+            self.refinement.splice(&group_changes);
+        }
+        // Phase 3: affected bound keys — event effects through the
+        // tagger's network members' clusters, join effects through the
+        // joiner's own non-zero scores.
+        let mut affected: Vec<(TagId, ClusterId, NodeId)> = Vec::new();
+        for (event, &tag) in events.iter().zip(&event_tags) {
+            for &member in site.network_of(event.tagger()) {
+                if let Some(cluster) = self.clustering.cluster_of(member) {
+                    affected.push((tag, cluster, event.item()));
+                }
+            }
+        }
+        for &(user, cluster) in &joins {
+            for &friend in site.network_of(user) {
+                for &item in site.items_of(friend) {
+                    for (tag, taggers) in site.item_tags(item) {
+                        if taggers.binary_search(&friend).is_ok() {
+                            affected.push((self.tags.intern(tag), cluster, item));
+                        }
+                    }
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        // Read-only recompute, sharded: each affected bound is the max of
+        // one sorted-merge intersection per cluster member.
+        let (tags, clustering) = (&self.tags, &self.clustering);
+        let sharded: Vec<Vec<f64>> =
+            exec.run_sharded(affected.len(), APPLY_MIN_UNITS_PER_SHARD, |_, range| {
+                range
+                    .map(|i| {
+                        let (tag, cluster, item) = affected[i];
+                        let tag = tags.resolve(tag).expect("affected tags interned above");
+                        let taggers = site.taggers_of(item, tag);
+                        let mut bound = 0.0f64;
+                        for &member in clustering.members(cluster) {
+                            let score = count_intersection(site.network_of(member), taggers) as f64;
+                            if score > bound {
+                                bound = score;
+                            }
+                        }
+                        bound
+                    })
+                    .collect()
+            });
+        let bounds: Vec<f64> = sharded.into_iter().flatten().collect();
+        // Sequential patch phase.
+        let mut changed_entries = 0usize;
+        let mut layout_dirty = false;
+        for (&(tag, cluster, item), &bound) in affected.iter().zip(&bounds) {
+            match self.list_ids.get(&(tag, cluster)).copied() {
+                Some(slot) => {
+                    let list = &mut self.list_pool[slot as usize];
+                    let stored = list.score_of(item);
+                    if bound > 0.0 {
+                        if stored == Some(bound) {
+                            continue;
+                        }
+                        list.remove(item);
+                        list.insert(item, bound);
+                        changed_entries += 1;
+                    } else if stored.is_some() {
+                        list.remove(item);
+                        changed_entries += 1;
+                        if list.is_empty() {
+                            layout_dirty = true;
+                        }
+                    }
+                }
+                None if bound > 0.0 => {
+                    let slot =
+                        u32::try_from(self.list_pool.len()).expect("fewer than 2^32 bound lists");
+                    let mut list = PostingList::new();
+                    list.insert(item, bound);
+                    self.list_ids.insert((tag, cluster), slot);
+                    self.list_pool.push(list);
+                    changed_entries += 1;
+                    layout_dirty = true;
+                }
+                None => {}
+            }
+        }
+        if layout_dirty {
+            // Restore the canonical pool layout — ascending key order,
+            // no empty lists — so the delta-maintained index is
+            // indistinguishable from a rebuild, list for list.
+            let mut keyed: Vec<((TagId, ClusterId), PostingList)> = self
+                .list_ids
+                .drain()
+                .map(|(key, slot)| (key, std::mem::take(&mut self.list_pool[slot as usize])))
+                .filter(|(_, list)| !list.is_empty())
+                .collect();
+            keyed.sort_unstable_by_key(|&(key, _)| key);
+            self.list_pool = Vec::with_capacity(keyed.len());
+            self.list_ids =
+                FxHashMap::with_capacity_and_hasher(keyed.len(), FxBuildHasher::default());
+            for (key, list) in keyed {
+                let slot =
+                    u32::try_from(self.list_pool.len()).expect("fewer than 2^32 bound lists");
+                self.list_ids.insert(key, slot);
+                self.list_pool.push(list);
+            }
+        }
+        // Phase 4: the stamp moves only when something did.
+        let report = ApplyReport { changed_entries, changed_groups, cluster_joins: joins.len() };
+        if !report.is_noop() {
+            self.stamp = next_build_stamp();
+        }
+        report
+    }
+
     /// The tag symbol table the index is keyed on.
     pub fn tags(&self) -> &TagInterner {
         &self.tags
@@ -907,7 +1489,38 @@ impl ClusteredIndex {
     /// corresponding [`Self::query`] call exactly — unclustered members
     /// included (empty-with-flag, see
     /// [`ClusteredQueryReport::unclustered`]). Threads come from
-    /// [`Exec::auto`]; see [`Self::query_batch_par_with`].
+    /// [`Exec::auto`]; behaviour knobs (execution, scratch reuse) come
+    /// through [`BatchOptions`], which carries the migration table from
+    /// the retired `query_batch` method matrix.
+    pub fn query_batch_opts(
+        &self,
+        site: &SiteModel,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        opts: BatchOptions<'_>,
+    ) -> Vec<ClusteredQueryReport> {
+        let exec = opts.exec.unwrap_or_else(Exec::auto);
+        match opts.scratch {
+            Some(ScratchSlot::Single(scratch)) => {
+                self.serve_batch_seq(scratch, site, users, keywords, k)
+            }
+            Some(ScratchSlot::Pool(pool)) => {
+                self.serve_batch_sharded(&exec, pool, site, users, keywords, k)
+            }
+            None => self.serve_batch_sharded(
+                &exec,
+                &mut BatchScratchPool::default(),
+                site,
+                users,
+                keywords,
+                k,
+            ),
+        }
+    }
+
+    /// Deprecated spelling of the default batch entry point.
+    #[deprecated(since = "0.1.0", note = "use `query_batch_opts` with `BatchOptions::new()`")]
     pub fn query_batch(
         &self,
         site: &SiteModel,
@@ -915,16 +1528,66 @@ impl ClusteredIndex {
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        self.query_batch_par(&Exec::auto(), site, users, keywords, k)
+        self.query_batch_opts(site, users, keywords, k, BatchOptions::new())
     }
 
-    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`] on the
-    /// single-threaded path. Across calls the scratch additionally caches
-    /// each cluster's gathered bound-list spans for the current resolved
-    /// keyword set (the scratch's internal gather cache): a serving loop whose consecutive
-    /// batches share a keyword set — the hot-query pattern — re-gathers
-    /// every cluster with one probe instead of one per tag.
+    /// Deprecated spelling of the sequential scratch-reusing batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().scratch(..)`"
+    )]
     pub fn query_batch_with(
+        &self,
+        scratch: &mut BatchScratch,
+        site: &SiteModel,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        self.serve_batch_seq(scratch, site, users, keywords, k)
+    }
+
+    /// Deprecated spelling of the multi-threaded batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().exec(..)`"
+    )]
+    pub fn query_batch_par(
+        &self,
+        exec: &Exec,
+        site: &SiteModel,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        self.query_batch_opts(site, users, keywords, k, BatchOptions::new().exec(exec))
+    }
+
+    /// Deprecated spelling of the multi-threaded pool-reusing batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().exec(..).scratch_pool(..)`"
+    )]
+    pub fn query_batch_par_with(
+        &self,
+        exec: &Exec,
+        pool: &mut BatchScratchPool,
+        site: &SiteModel,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+    ) -> Vec<ClusteredQueryReport> {
+        self.serve_batch_sharded(exec, pool, site, users, keywords, k)
+    }
+
+    /// The sequential batch path behind [`Self::query_batch_opts`]:
+    /// a caller-owned [`BatchScratch`], no worker threads. Across calls
+    /// the scratch additionally caches each cluster's gathered bound-list
+    /// spans for the current resolved keyword set (the scratch's internal
+    /// gather cache): a serving loop whose consecutive batches share a
+    /// keyword set — the hot-query pattern — re-gathers every cluster with
+    /// one probe instead of one per tag.
+    fn serve_batch_seq(
         &self,
         scratch: &mut BatchScratch,
         site: &SiteModel,
@@ -954,20 +1617,7 @@ impl ClusteredIndex {
         results
     }
 
-    /// [`Self::query_batch`] on a caller-chosen [`Exec`].
-    pub fn query_batch_par(
-        &self,
-        exec: &Exec,
-        site: &SiteModel,
-        users: &[NodeId],
-        keywords: &[String],
-        k: usize,
-    ) -> Vec<ClusteredQueryReport> {
-        self.query_batch_par_with(exec, &mut BatchScratchPool::default(), site, users, keywords, k)
-    }
-
-    /// [`Self::query_batch_par`] through a caller-owned
-    /// [`BatchScratchPool`].
+    /// The sharded batch path behind [`Self::query_batch_opts`].
     ///
     /// The batch is resolved and cluster-grouped exactly as the sequential
     /// path does, then split into contiguous runs of whole **cluster
@@ -979,7 +1629,7 @@ impl ClusteredIndex {
     /// single [`Self::query`] calls — and to the sequential batch path —
     /// for every thread count (a proptested invariant). Batches too small
     /// to amortize worker spawns take the sequential path outright.
-    pub fn query_batch_par_with(
+    fn serve_batch_sharded(
         &self,
         exec: &Exec,
         pool: &mut BatchScratchPool,
@@ -990,7 +1640,7 @@ impl ClusteredIndex {
     ) -> Vec<ClusteredQueryReport> {
         let shards = exec.shard_count(users.len(), SHARD_MIN_USERS);
         if shards <= 1 {
-            return self.query_batch_with(pool.worker(), site, users, keywords, k);
+            return self.serve_batch_seq(pool.worker(), site, users, keywords, k);
         }
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
         let tag_ids = tag_ids.as_slice();
@@ -1371,9 +2021,9 @@ mod tests {
                 assert_eq!(report.result, TopKResult::default());
                 assert!(!report.unclustered, "every site user is clustered");
             }
-            let batch = exact.query_batch(&users, keywords, 3);
+            let batch = exact.query_batch_opts(&users, keywords, 3, BatchOptions::new());
             assert!(batch.iter().all(|r| r == &TopKResult::default()));
-            let batch = clustered.query_batch(&site, &users, keywords, 3);
+            let batch = clustered.query_batch_opts(&site, &users, keywords, 3, BatchOptions::new());
             for (got, &u) in batch.iter().zip(&users) {
                 assert_eq!(got, &clustered.query(&site, u, keywords, 3));
             }
@@ -1403,7 +2053,8 @@ mod tests {
         for round in 0..3 {
             for index in [&by_network, &by_behavior] {
                 for keywords in &queries {
-                    let served = index.query_batch_with(&mut scratch, &site, &users, keywords, 2);
+                    let opts = BatchOptions::new().scratch(&mut scratch);
+                    let served = index.query_batch_opts(&site, &users, keywords, 2, opts);
                     for (got, &u) in served.iter().zip(&users) {
                         assert_eq!(
                             got,
@@ -1464,7 +2115,8 @@ mod tests {
         // Clustered members keep the flag unset, and the batch path agrees
         // element-wise with single queries for both kinds of member.
         let batch = vec![late, users[0], late, users[4]];
-        for (got, &u) in clustered.query_batch(&site, &batch, &keywords, 3).iter().zip(&batch) {
+        let served = clustered.query_batch_opts(&site, &batch, &keywords, 3, BatchOptions::new());
+        for (got, &u) in served.iter().zip(&batch) {
             assert_eq!(got, &clustered.query(&site, u, &keywords, 3));
             assert_eq!(got.unclustered, u == late);
         }

@@ -34,6 +34,7 @@
 pub mod activity;
 pub mod cluster;
 pub mod error;
+pub mod events;
 pub mod index;
 mod inline;
 pub mod integrator;
@@ -46,12 +47,14 @@ pub mod topk;
 
 pub use activity::{ActivityLevel, ActivityManager, RefreshPlan};
 pub use cluster::{
-    BehaviorBasedClustering, ClusterId, ClusteringStrategy, HybridClustering,
+    strategy_named, BehaviorBasedClustering, ClusterId, ClusteringStrategy, HybridClustering,
     NetworkBasedClustering, UserClustering,
 };
 pub use error::ContentError;
+pub use events::TagEvent;
 pub use index::{
-    BatchScratch, BatchScratchPool, ClusteredIndex, ClusteredQueryReport, ExactIndex, IndexStats,
+    ApplyReport, BatchOptions, BatchScratch, BatchScratchPool, ClusteredIndex,
+    ClusteredIndexBuilder, ClusteredQueryReport, ExactIndex, ExactIndexBuilder, IndexStats,
 };
 pub use integrator::{ContentIntegrator, RemoteSite, SimulatedRemoteSite, SyncReport};
 pub use models::{

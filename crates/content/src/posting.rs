@@ -108,6 +108,24 @@ impl PostingList {
         }
     }
 
+    /// Remove an item's entry, keeping the list sorted, and return the
+    /// removed score. Both the score-ordered entries and the item-ordered
+    /// companion are patched by binary search — no re-sort. Lists built by
+    /// the indexes hold each item at most once (the only callers of this
+    /// method); on a hand-built list with duplicate items, the entry whose
+    /// score the companion answers with (the highest) is the one removed.
+    pub fn remove(&mut self, item: NodeId) -> Option<f64> {
+        let slot = self.by_item.binary_search_by_key(&item, |&(i, _)| i).ok()?;
+        let (_, score) = self.by_item.remove(slot);
+        let probe = Posting { item, score };
+        let pos = self
+            .entries
+            .binary_search_by(|p| Self::order(p, &probe))
+            .expect("companion entry exists in the sorted entries");
+        self.entries.remove(pos);
+        Some(score)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -221,6 +239,25 @@ mod tests {
         assert_eq!(list.score_of(NodeId(1)), Some(3.0));
         let dup = PostingList::from_entries([(NodeId(7), 1.0), (NodeId(7), 4.0)]);
         assert_eq!(dup.score_of(NodeId(7)), Some(4.0));
+    }
+
+    #[test]
+    fn remove_undoes_insert_exactly() {
+        let pairs = [(NodeId(5), 0.4), (NodeId(1), 0.9), (NodeId(7), 0.4), (NodeId(2), 0.4)];
+        let baseline = PostingList::from_entries(pairs);
+        let mut list = baseline.clone();
+        list.insert(NodeId(3), 0.6);
+        assert_eq!(list.remove(NodeId(3)), Some(0.6));
+        assert_eq!(list, baseline);
+        // Removing an absent item is a no-op.
+        assert_eq!(list.remove(NodeId(3)), None);
+        assert_eq!(list, baseline);
+        // Removing every item empties the list.
+        for (item, score) in pairs {
+            assert_eq!(list.remove(item), Some(score));
+        }
+        assert!(list.is_empty());
+        assert_eq!(list, PostingList::new());
     }
 
     #[test]

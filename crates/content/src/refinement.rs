@@ -94,6 +94,66 @@ impl RefinementIndex {
         }
     }
 
+    /// Splice a batch of group changes into the index: each `(tag, item)`
+    /// key maps to the group's *new* tagger set (ascending; empty = the
+    /// group disappeared). The arena is rebuilt hole-free in one pass —
+    /// surviving groups keep their relative arena order (changed ones
+    /// replaced in place), emptied groups are dropped, and brand-new groups
+    /// are appended at the end in ascending `(tag, item)` order — so
+    /// [`Self::stats`] stays exact (`entries` is the arena length) and
+    /// every group answers [`Self::taggers`] exactly as a from-scratch
+    /// rebuild of the post-change site would.
+    pub(crate) fn splice(&mut self, changes: &FxHashMap<(TagId, NodeId), Vec<NodeId>>) {
+        // Existing groups in arena order, so survivors keep their layout.
+        let mut groups: Vec<(u32, TagId, NodeId)> = Vec::new();
+        for (slot, by_item) in self.by_tag.iter().enumerate() {
+            for (&item, span) in by_item {
+                groups.push((span.start, TagId(slot as u32), item));
+            }
+        }
+        groups.sort_unstable_by_key(|&(start, ..)| start);
+        let mut arena: Vec<NodeId> = Vec::with_capacity(self.taggers.len());
+        for (_, tag, item) in groups {
+            let slice: &[NodeId] = match changes.get(&(tag, item)) {
+                Some(taggers) => taggers.as_slice(),
+                None => {
+                    let span = self.by_tag[tag.0 as usize][&item];
+                    &self.taggers[span.start as usize..][..span.len as usize]
+                }
+            };
+            if slice.is_empty() {
+                self.by_tag[tag.0 as usize].remove(&item);
+                continue;
+            }
+            let start = u32::try_from(arena.len()).expect("fewer than 2^32 tagger references");
+            let len = u32::try_from(slice.len()).expect("fewer than 2^32 taggers per group");
+            arena.extend_from_slice(slice);
+            self.by_tag[tag.0 as usize].insert(item, Span { start, len });
+        }
+        // Groups the changes introduce (not present even after the walk
+        // re-inserted every survivor) append at the end, deterministically.
+        let mut fresh: Vec<(TagId, NodeId, &[NodeId])> = changes
+            .iter()
+            .filter(|&(&(tag, item), taggers)| {
+                !taggers.is_empty()
+                    && !self.by_tag.get(tag.0 as usize).is_some_and(|m| m.contains_key(&item))
+            })
+            .map(|(&(tag, item), taggers)| (tag, item, taggers.as_slice()))
+            .collect();
+        fresh.sort_unstable_by_key(|&(tag, item, _)| (tag, item));
+        for (tag, item, taggers) in fresh {
+            let start = u32::try_from(arena.len()).expect("fewer than 2^32 tagger references");
+            let len = u32::try_from(taggers.len()).expect("fewer than 2^32 taggers per group");
+            arena.extend_from_slice(taggers);
+            let slot = tag.0 as usize;
+            if self.by_tag.len() <= slot {
+                self.by_tag.resize_with(slot + 1, FxHashMap::default);
+            }
+            self.by_tag[slot].insert(item, Span { start, len });
+        }
+        self.taggers = arena;
+    }
+
     /// `taggers(i, k)` for an interned tag, ascending. Empty for unknown
     /// tags or untagged items.
     pub fn taggers(&self, tag: TagId, item: NodeId) -> &[NodeId] {

@@ -10,6 +10,7 @@
 //! from a social content graph once and serves them to the inverted indexes,
 //! the clustering strategies and the top-k processor.
 
+use crate::events::TagEvent;
 use crate::tags::normalize;
 use serde::{Deserialize, Serialize};
 use socialscope_graph::{FxHashMap, HasAttrs, NodeId, SocialGraph};
@@ -157,6 +158,111 @@ impl SiteModel {
         self.taggers_of.iter().flat_map(|(&item, by_tag)| {
             by_tag.iter().map(move |(tag, taggers)| (item, tag.as_str(), taggers.as_slice()))
         })
+    }
+
+    /// The tags carried by one item together with their tagger groups, in
+    /// arbitrary order. This is the item-first view the clustered index's
+    /// recluster-on-join path enumerates to fold a late joiner's non-zero
+    /// scores into its new cluster's bounds.
+    pub fn item_tags(&self, item: NodeId) -> impl Iterator<Item = (&str, &[NodeId])> {
+        self.taggers_of.get(&item).into_iter().flat_map(|by_tag| {
+            by_tag.iter().map(|(tag, taggers)| (tag.as_str(), taggers.as_slice()))
+        })
+    }
+
+    /// Apply a batch of tagging events in order, mutating the frozen
+    /// primitives in place, and return how many events were *effective*
+    /// (changed the site). Assigning an already-present `(tagger, item,
+    /// tag)` triple and retracting an absent one are no-ops; an assign-only
+    /// history applied here yields exactly the model
+    /// [`Self::from_graph`] builds from the equivalent graph. Networks
+    /// never change under tag events — connection links are a different
+    /// activity — which is what lets the index delta paths treat
+    /// `network(u)` as stable.
+    pub fn apply(&mut self, events: &[TagEvent]) -> usize {
+        let mut effective = 0usize;
+        for event in events {
+            let tag = normalize(event.tag()).into_owned();
+            let (tagger, item) = (event.tagger(), event.item());
+            match event {
+                TagEvent::Assign { .. } => {
+                    let taggers =
+                        self.taggers_of.entry(item).or_default().entry(tag.clone()).or_default();
+                    let Err(pos) = taggers.binary_search(&tagger) else {
+                        // Duplicate assignment: the (possibly just-created)
+                        // group already lists the tagger, so nothing below
+                        // can have changed either.
+                        continue;
+                    };
+                    taggers.insert(pos, tagger);
+                    self.users.insert(tagger);
+                    self.items.insert(item);
+                    let items = self.items_of.entry(tagger).or_default();
+                    if let Err(pos) = items.binary_search(&item) {
+                        items.insert(pos, item);
+                    }
+                    self.tags_of.entry(tagger).or_default().insert(tag.clone());
+                    self.items_with_tag.entry(tag.clone()).or_default().insert(item);
+                    self.tags.insert(tag);
+                    effective += 1;
+                }
+                TagEvent::Retract { .. } => {
+                    let Some(by_tag) = self.taggers_of.get_mut(&item) else { continue };
+                    let Some(taggers) = by_tag.get_mut(&tag) else { continue };
+                    let Ok(pos) = taggers.binary_search(&tagger) else { continue };
+                    taggers.remove(pos);
+                    let group_emptied = taggers.is_empty();
+                    if group_emptied {
+                        by_tag.remove(&tag);
+                        if by_tag.is_empty() {
+                            self.taggers_of.remove(&item);
+                        }
+                        if let Some(items) = self.items_with_tag.get_mut(&tag) {
+                            items.remove(&item);
+                            if items.is_empty() {
+                                self.items_with_tag.remove(&tag);
+                                self.tags.remove(&tag);
+                            }
+                        }
+                    }
+                    // `items(u)` drops the item only once the tagger has no
+                    // remaining tag on it.
+                    let still_tags_item = self.taggers_of.get(&item).is_some_and(|by_tag| {
+                        by_tag.values().any(|t| t.binary_search(&tagger).is_ok())
+                    });
+                    if !still_tags_item {
+                        if let Some(items) = self.items_of.get_mut(&tagger) {
+                            if let Ok(pos) = items.binary_search(&item) {
+                                items.remove(pos);
+                            }
+                            if items.is_empty() {
+                                self.items_of.remove(&tagger);
+                            }
+                        }
+                    }
+                    // `tags(u)` drops the tag only once the tagger uses it
+                    // on no item at all.
+                    let still_uses_tag = self.items_with_tag.get(&tag).is_some_and(|items| {
+                        items.iter().any(|i| {
+                            self.taggers_of
+                                .get(i)
+                                .and_then(|by_tag| by_tag.get(&tag))
+                                .is_some_and(|t| t.binary_search(&tagger).is_ok())
+                        })
+                    });
+                    if !still_uses_tag {
+                        if let Some(tags) = self.tags_of.get_mut(&tagger) {
+                            tags.remove(&tag);
+                            if tags.is_empty() {
+                                self.tags_of.remove(&tagger);
+                            }
+                        }
+                    }
+                    effective += 1;
+                }
+            }
+        }
+        effective
     }
 
     /// Tags used by a user.

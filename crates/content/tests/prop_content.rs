@@ -7,8 +7,9 @@ use proptest::prelude::*;
 use socialscope_content::tags::QueryTags;
 use socialscope_content::topk::top_k_exhaustive;
 use socialscope_content::{
-    BatchScratch, BatchScratchPool, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
-    ExactIndex, HybridClustering, NetworkBasedClustering, PostingList, SiteModel, TopKResult,
+    BatchOptions, BatchScratch, BatchScratchPool, BehaviorBasedClustering, ClusteredIndex,
+    ClusteringStrategy, ExactIndex, HybridClustering, NetworkBasedClustering, PostingList,
+    SiteModel, TopKResult,
 };
 use socialscope_exec::Exec;
 use socialscope_graph::{FxHashSet, GraphBuilder, NodeId, SocialGraph};
@@ -333,16 +334,27 @@ proptest! {
             })
             .collect();
         let mut scratch = BatchScratch::default();
-        let fresh = exact.query_batch(&batch, &keywords, k);
-        let reused = exact.query_batch_with(&mut scratch, &batch, &keywords, k);
+        let fresh = exact.query_batch_opts(&batch, &keywords, k, BatchOptions::new());
+        let reused = exact.query_batch_opts(
+            &batch,
+            &keywords,
+            k,
+            BatchOptions::new().scratch(&mut scratch),
+        );
         prop_assert_eq!(fresh.len(), batch.len());
         for ((got, with), &u) in fresh.iter().zip(&reused).zip(&batch) {
             let single = exact.query(u, &keywords, k);
             prop_assert_eq!(got, &single, "exact batch diverged for user {}", u);
             prop_assert_eq!(with, &single, "exact reused-scratch batch diverged for user {}", u);
         }
-        let fresh = clustered.query_batch(&site, &batch, &keywords, k);
-        let reused = clustered.query_batch_with(&mut scratch, &site, &batch, &keywords, k);
+        let fresh = clustered.query_batch_opts(&site, &batch, &keywords, k, BatchOptions::new());
+        let reused = clustered.query_batch_opts(
+            &site,
+            &batch,
+            &keywords,
+            k,
+            BatchOptions::new().scratch(&mut scratch),
+        );
         prop_assert_eq!(fresh.len(), batch.len());
         for ((got, with), &u) in fresh.iter().zip(&reused).zip(&batch) {
             let single = clustered.query(&site, u, &keywords, k);
@@ -388,12 +400,12 @@ proptest! {
         }
         let batch: Vec<NodeId> = user_ids.clone();
         prop_assert_eq!(
-            exact.query_batch(&batch, &dupped, k),
-            exact.query_batch(&batch, &distinct, k)
+            exact.query_batch_opts(&batch, &dupped, k, BatchOptions::new()),
+            exact.query_batch_opts(&batch, &distinct, k, BatchOptions::new())
         );
         prop_assert_eq!(
-            clustered.query_batch(&site, &batch, &dupped, k),
-            clustered.query_batch(&site, &batch, &distinct, k)
+            clustered.query_batch_opts(&site, &batch, &dupped, k, BatchOptions::new()),
+            clustered.query_batch_opts(&site, &batch, &distinct, k, BatchOptions::new())
         );
     }
 
@@ -519,8 +531,9 @@ proptest! {
             })
             .collect();
         let mut pool = BatchScratchPool::default();
-        let exact_seq = exact.query_batch(&batch, &keywords, k);
-        let clustered_seq = clustered.query_batch(&site, &batch, &keywords, k);
+        let exact_seq = exact.query_batch_opts(&batch, &keywords, k, BatchOptions::new());
+        let clustered_seq =
+            clustered.query_batch_opts(&site, &batch, &keywords, k, BatchOptions::new());
         for ((got, report), &u) in exact_seq.iter().zip(&clustered_seq).zip(&batch) {
             prop_assert_eq!(got, &exact.query(u, &keywords, k), "exact single, user {}", u);
             prop_assert_eq!(
@@ -530,18 +543,100 @@ proptest! {
         }
         for threads in THREAD_COUNTS {
             let exec = Exec::new(threads).unwrap();
-            let par = exact.query_batch_par(&exec, &batch, &keywords, k);
-            let par_pooled =
-                exact.query_batch_par_with(&exec, &mut pool, &batch, &keywords, k);
+            let par = exact.query_batch_opts(
+                &batch, &keywords, k, BatchOptions::new().exec(&exec),
+            );
+            let par_pooled = exact.query_batch_opts(
+                &batch, &keywords, k, BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+            );
             prop_assert_eq!(&par, &exact_seq, "exact at {} threads", threads);
             prop_assert_eq!(&par_pooled, &exact_seq, "exact (pool) at {} threads", threads);
-            let par = clustered.query_batch_par(&exec, &site, &batch, &keywords, k);
-            let par_pooled =
-                clustered.query_batch_par_with(&exec, &mut pool, &site, &batch, &keywords, k);
+            let par = clustered.query_batch_opts(
+                &site, &batch, &keywords, k, BatchOptions::new().exec(&exec),
+            );
+            let par_pooled = clustered.query_batch_opts(
+                &site, &batch, &keywords, k,
+                BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+            );
             prop_assert_eq!(&par, &clustered_seq, "clustered at {} threads", threads);
             prop_assert_eq!(
                 &par_pooled, &clustered_seq,
                 "clustered (pool) at {} threads", threads
+            );
+        }
+    }
+
+    /// Every retired `query_batch*` spelling is a pure alias of
+    /// [`ExactIndex::query_batch_opts`] / [`ClusteredIndex::query_batch_opts`]
+    /// with the corresponding [`BatchOptions`] — element-wise identical
+    /// output (ranking, scores *and* cost counters) at one and four
+    /// threads, with fresh and reused scratches alike. Migrating a caller
+    /// off a deprecated wrapper can never change what it observes.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_query_batch_opts(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        k in 0usize..5,
+        picks in prop::collection::vec(0usize..10, 1..10),
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let exact = ExactIndex::build(&site);
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, theta));
+        let keywords = vec![TAGS[0].to_string(), TAGS[1].to_string()];
+        // Enough seekers to cross the parallel fan-out floor at 4 threads.
+        let batch: Vec<NodeId> = (0..200)
+            .map(|i| {
+                let p = picks[i % picks.len()] + i / picks.len();
+                if p < user_ids.len() {
+                    user_ids[p % user_ids.len()]
+                } else {
+                    NodeId(10_000 + p as u64)
+                }
+            })
+            .collect();
+        let exact_want = exact.query_batch_opts(&batch, &keywords, k, BatchOptions::new());
+        let clustered_want =
+            clustered.query_batch_opts(&site, &batch, &keywords, k, BatchOptions::new());
+        prop_assert_eq!(&exact.query_batch(&batch, &keywords, k), &exact_want);
+        prop_assert_eq!(
+            &clustered.query_batch(&site, &batch, &keywords, k),
+            &clustered_want
+        );
+        let mut scratch = BatchScratch::default();
+        prop_assert_eq!(
+            &exact.query_batch_with(&mut scratch, &batch, &keywords, k),
+            &exact_want
+        );
+        prop_assert_eq!(
+            &clustered.query_batch_with(&mut scratch, &site, &batch, &keywords, k),
+            &clustered_want
+        );
+        let mut pool = BatchScratchPool::default();
+        for threads in [1usize, 4] {
+            let exec = Exec::new(threads).unwrap();
+            prop_assert_eq!(
+                &exact.query_batch_par(&exec, &batch, &keywords, k),
+                &exact.query_batch_opts(&batch, &keywords, k, BatchOptions::new().exec(&exec)),
+                "exact par at {} threads", threads
+            );
+            prop_assert_eq!(
+                &exact.query_batch_par_with(&exec, &mut pool, &batch, &keywords, k),
+                &exact_want,
+                "exact par_with at {} threads", threads
+            );
+            prop_assert_eq!(
+                &clustered.query_batch_par(&exec, &site, &batch, &keywords, k),
+                &clustered.query_batch_opts(
+                    &site, &batch, &keywords, k, BatchOptions::new().exec(&exec),
+                ),
+                "clustered par at {} threads", threads
+            );
+            prop_assert_eq!(
+                &clustered.query_batch_par_with(&exec, &mut pool, &site, &batch, &keywords, k),
+                &clustered_want,
+                "clustered par_with at {} threads", threads
             );
         }
     }

@@ -1,0 +1,411 @@
+//! Property-based tests for live index maintenance: applying a stream of
+//! [`TagEvent`]s to an [`ExactIndex`] / [`ClusteredIndex`] must leave the
+//! index *indistinguishable* from one rebuilt from scratch over the updated
+//! site — same stats, same stored list per key, same refinement groups,
+//! same answer (ranking, scores and cost counters) to every query — for
+//! arbitrary event interleavings, chunkings and thread counts, with
+//! recluster-on-join folding late taggers into the clustering as the
+//! stream arrives.
+
+use proptest::prelude::*;
+use socialscope_content::{
+    BatchOptions, BatchScratch, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
+    ExactIndex, HybridClustering, NetworkBasedClustering, SiteModel, TagEvent,
+};
+use socialscope_exec::Exec;
+use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
+
+/// Thread counts every apply sweeps: sequential identity, smallest real
+/// fan-out, and an odd over-subscription.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+const TAGS: [&str; 4] = ["baseball", "museum", "family", "hiking"];
+
+/// Build twin graphs for the late-joiner scenario: the *base* graph holds
+/// the first `users` users (clusterings are computed from it), the *full*
+/// graph additionally holds `late` users befriended into the base
+/// population — node ids of the shared prefix match exactly. Returned
+/// user ids cover the full graph (late users last).
+#[allow(clippy::type_complexity)]
+fn build_graphs(
+    users: usize,
+    late: usize,
+    items: usize,
+    friendships: &[(usize, usize)],
+    tags: &[(usize, usize, usize)],
+    late_friends: &[usize],
+) -> (SocialGraph, SocialGraph, Vec<NodeId>, Vec<NodeId>) {
+    let populate = |with_late: bool| -> (SocialGraph, Vec<NodeId>, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let mut user_ids: Vec<NodeId> = (0..users).map(|i| b.add_user(&format!("u{i}"))).collect();
+        let item_ids: Vec<NodeId> =
+            (0..items).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        for &(a, c) in friendships {
+            let (a, c) = (a % users, c % users);
+            if a != c {
+                b.befriend(user_ids[a], user_ids[c]);
+            }
+        }
+        for &(u, i, t) in tags {
+            b.tag(user_ids[u % users], item_ids[i % items], &[TAGS[t % TAGS.len()]]);
+        }
+        if with_late {
+            for (l, &f) in (0..late).zip(late_friends.iter().cycle()) {
+                let id = b.add_user(&format!("late{l}"));
+                b.befriend(id, user_ids[f % users]);
+                user_ids.push(id);
+            }
+        }
+        (b.build(), user_ids, item_ids)
+    };
+    let (base, _, _) = populate(false);
+    let (full, user_ids, item_ids) = populate(true);
+    (base, full, user_ids, item_ids)
+}
+
+/// Turn raw proptest picks into a concrete event stream over real ids
+/// (an even kind pick is an assign, odd a retract).
+fn build_events(
+    raw: &[(usize, usize, usize, usize)],
+    user_ids: &[NodeId],
+    item_ids: &[NodeId],
+) -> Vec<TagEvent> {
+    raw.iter()
+        .map(|&(u, i, t, kind)| {
+            let user = user_ids[u % user_ids.len()];
+            let item = item_ids[i % item_ids.len()];
+            let tag = TAGS[t % TAGS.len()];
+            if kind % 2 == 0 {
+                TagEvent::assign(user, item, tag)
+            } else {
+                TagEvent::retract(user, item, tag)
+            }
+        })
+        .collect()
+}
+
+/// (users, items, friendship edges, tag actions) describing a random site.
+type SiteInputs = (usize, usize, Vec<(usize, usize)>, Vec<(usize, usize, usize)>);
+
+fn arb_inputs() -> impl Strategy<Value = SiteInputs> {
+    (
+        3usize..8,
+        3usize..8,
+        prop::collection::vec((0usize..8, 0usize..8), 1..25),
+        prop::collection::vec((0usize..8, 0usize..8, 0usize..4), 1..40),
+    )
+}
+
+/// A random event stream plus how to chunk it into apply batches.
+fn arb_stream() -> impl Strategy<Value = (Vec<(usize, usize, usize, usize)>, usize)> {
+    (prop::collection::vec((0usize..12, 0usize..8, 0usize..4, 0usize..2), 0..32), 1usize..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **Delta ≡ rebuild, exact engine.** Applying an arbitrary event
+    /// stream — in arbitrary chunk sizes, at every thread count — leaves
+    /// the maintained exact index with the same stats, the same posting
+    /// list for every `(tag, user)` pair, and the same single-query and
+    /// batch answers as an index rebuilt from scratch over the final site.
+    #[test]
+    fn exact_apply_matches_rebuild(
+        (users, items, fr, tg) in arb_inputs(),
+        (raw_events, chunk_len) in arb_stream(),
+    ) {
+        let (_, g, user_ids, item_ids) = build_graphs(users, 2, items, &fr, &tg, &[0, 1]);
+        let events = build_events(&raw_events, &user_ids, &item_ids);
+        let keywords: Vec<String> = TAGS[..3].iter().map(|t| t.to_string()).collect();
+        for threads in THREAD_COUNTS {
+            let exec = Exec::new(threads).unwrap();
+            let mut site = SiteModel::from_graph(&g);
+            let mut index = ExactIndex::builder(&site).exec(&exec).build();
+            for chunk in events.chunks(chunk_len) {
+                site.apply(chunk);
+                index.apply_with(&exec, &site, chunk);
+            }
+            let rebuilt = ExactIndex::builder(&site).build();
+            prop_assert_eq!(index.stats(), rebuilt.stats(), "stats at {} threads", threads);
+            for tag in TAGS {
+                for &u in &user_ids {
+                    prop_assert_eq!(
+                        index.list(tag, u), rebuilt.list(tag, u),
+                        "list {} / {} at {} threads", tag, u, threads
+                    );
+                }
+            }
+            for &u in &user_ids {
+                prop_assert_eq!(
+                    index.query(u, &keywords, 3),
+                    rebuilt.query(u, &keywords, 3),
+                    "query sweep, user {} at {} threads", u, threads
+                );
+            }
+            prop_assert_eq!(
+                index.query_batch_opts(&user_ids, &keywords, 3, BatchOptions::new()),
+                rebuilt.query_batch_opts(&user_ids, &keywords, 3, BatchOptions::new()),
+                "batch sweep at {} threads", threads
+            );
+        }
+    }
+
+    /// **Delta ≡ rebuild, clustered engine, with recluster-on-join.** The
+    /// clustering comes from a *base* site missing two late-joining users;
+    /// the stream (which includes their taggings) is applied in chunks at
+    /// every thread count. Afterwards every event tagger is clustered, and
+    /// the maintained index matches — bound list for bound list,
+    /// refinement group for refinement group, query for query — an index
+    /// rebuilt from scratch over the final site and the post-join
+    /// clustering.
+    #[test]
+    fn clustered_apply_matches_rebuild(
+        (users, items, fr, tg) in arb_inputs(),
+        (raw_events, chunk_len) in arb_stream(),
+        theta in 0.1f64..0.9,
+        strategy_pick in 0usize..3,
+    ) {
+        let (base_g, g, user_ids, item_ids) = build_graphs(users, 2, items, &fr, &tg, &[0, 1]);
+        let base_site = SiteModel::from_graph(&base_g);
+        let strategy: &dyn ClusteringStrategy = [
+            &NetworkBasedClustering as &dyn ClusteringStrategy,
+            &BehaviorBasedClustering,
+            &HybridClustering,
+        ][strategy_pick];
+        let clustering = strategy.cluster(&base_site, theta);
+        let events = build_events(&raw_events, &user_ids, &item_ids);
+        let keywords: Vec<String> = TAGS[..3].iter().map(|t| t.to_string()).collect();
+        for threads in THREAD_COUNTS {
+            let exec = Exec::new(threads).unwrap();
+            let mut site = SiteModel::from_graph(&g);
+            let mut index = ClusteredIndex::builder(&site)
+                .exec(&exec)
+                .clustering(clustering.clone())
+                .build();
+            for chunk in events.chunks(chunk_len) {
+                site.apply(chunk);
+                index.apply_with(&exec, &site, chunk);
+            }
+            for event in &events {
+                prop_assert!(
+                    index.clustering.cluster_of(event.tagger()).is_some(),
+                    "tagger {} still unclustered at {} threads", event.tagger(), threads
+                );
+            }
+            let rebuilt = ClusteredIndex::build(&site, index.clustering.clone());
+            prop_assert_eq!(index.stats(), rebuilt.stats(), "stats at {} threads", threads);
+            prop_assert_eq!(
+                index.stats_with_refinement(),
+                rebuilt.stats_with_refinement(),
+                "refinement stats at {} threads", threads
+            );
+            for tag in TAGS {
+                for (cluster, _) in index.clustering.iter() {
+                    prop_assert_eq!(
+                        index.list(tag, cluster), rebuilt.list(tag, cluster),
+                        "bound list {} / {:?} at {} threads", tag, cluster, threads
+                    );
+                }
+            }
+            for (item, tag, taggers) in site.tag_assignments() {
+                let id = index.tags().get(tag).expect("live tag is interned");
+                prop_assert_eq!(
+                    index.refinement().taggers(id, item), taggers,
+                    "refinement group {} / {} at {} threads", tag, item, threads
+                );
+            }
+            prop_assert_eq!(
+                index.refinement().group_count(),
+                site.tag_assignments().count(),
+                "refinement group count at {} threads", threads
+            );
+            for &u in &user_ids {
+                prop_assert_eq!(
+                    index.query(&site, u, &keywords, 3),
+                    rebuilt.query(&site, u, &keywords, 3),
+                    "query sweep, user {} at {} threads", u, threads
+                );
+            }
+            prop_assert_eq!(
+                index.query_batch_opts(&site, &user_ids, &keywords, 3, BatchOptions::new()),
+                rebuilt.query_batch_opts(&site, &user_ids, &keywords, 3, BatchOptions::new()),
+                "batch sweep at {} threads", threads
+            );
+        }
+    }
+
+    /// **Redundant batches are true no-ops.** Re-assigning triples the site
+    /// already holds (taggers all clustered) and retracting triples it
+    /// never held reports a no-op and leaves the build stamp — and with it
+    /// every warm gather cache — untouched. Same for the empty batch.
+    #[test]
+    fn redundant_batches_are_noops(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        picks in prop::collection::vec(0usize..16, 1..6),
+    ) {
+        let (_, g, user_ids, item_ids) = build_graphs(users, 0, items, &fr, &tg, &[]);
+        let mut site = SiteModel::from_graph(&g);
+        // Cluster the *full* site: every possible tagger already belongs
+        // somewhere, so nothing in the batch can be an effective join.
+        let clustering = NetworkBasedClustering.cluster(&site, theta);
+        let mut exact = ExactIndex::builder(&site).build();
+        let mut clustered =
+            ClusteredIndex::builder(&site).clustering(clustering).build();
+        let stamp = clustered.build_stamp();
+        let existing: Vec<(NodeId, NodeId, String)> = site
+            .tag_assignments()
+            .map(|(item, tag, taggers)| (taggers[0], item, tag.to_string()))
+            .collect();
+        let mut events: Vec<TagEvent> = picks
+            .iter()
+            .map(|&p| {
+                let (tagger, item, tag) = existing[p % existing.len()].clone();
+                TagEvent::assign(tagger, item, tag)
+            })
+            .collect();
+        events.push(TagEvent::retract(user_ids[0], item_ids[0], "neverassigned"));
+        let exact_stats = exact.stats();
+        let clustered_stats = clustered.stats_with_refinement();
+        for batch in [&events[..], &[]] {
+            prop_assert_eq!(site.apply(batch), 0, "site treated the batch as effective");
+            prop_assert!(exact.apply(&site, batch).is_noop());
+            let report = clustered.apply(&site, batch);
+            prop_assert!(report.is_noop(), "clustered apply reported {:?}", report);
+            prop_assert_eq!(clustered.build_stamp(), stamp, "stamp moved on a no-op");
+        }
+        prop_assert_eq!(exact.stats(), exact_stats);
+        prop_assert_eq!(clustered.stats_with_refinement(), clustered_stats);
+    }
+}
+
+/// The two-clique fixture the in-crate index tests use, rebuilt here from
+/// the public API: u0-u1-u2 and u3-u4-u5, five items, four tags.
+fn two_cliques() -> (SiteModel, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let users: Vec<NodeId> = (0..6).map(|i| b.add_user(&format!("u{i}"))).collect();
+    let items: Vec<NodeId> =
+        (0..5).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+    b.befriend(users[0], users[1]);
+    b.befriend(users[1], users[2]);
+    b.befriend(users[0], users[2]);
+    b.befriend(users[3], users[4]);
+    b.befriend(users[4], users[5]);
+    b.befriend(users[3], users[5]);
+    b.tag(users[1], items[0], &["baseball"]);
+    b.tag(users[2], items[1], &["baseball", "stadium"]);
+    b.tag(users[1], items[2], &["baseball"]);
+    b.tag(users[4], items[2], &["museum"]);
+    b.tag(users[5], items[3], &["museum"]);
+    b.tag(users[4], items[4], &["museum", "history"]);
+    (SiteModel::from_graph(&b.build()), users, items)
+}
+
+/// Regression: a [`BatchScratch`] warmed on one batch must not serve stale
+/// gathered spans after an apply. The apply introduces a brand-new
+/// `(tag, cluster)` bound list — which re-lays-out the whole list pool, so
+/// a cache replaying pre-apply pool slots would read the *wrong lists*,
+/// not just stale scores. The build stamp moving on every effective apply
+/// is the single invalidation authority that makes the second batch
+/// re-gather.
+#[test]
+fn warm_scratch_reads_fresh_state_after_apply() {
+    let (mut site, users, items) = two_cliques();
+    let mut index = ClusteredIndex::builder(&site)
+        .clustering(NetworkBasedClustering.cluster(&site, 0.3))
+        .build();
+    let keywords = vec!["baseball".to_string(), "museum".to_string()];
+    let mut scratch = BatchScratch::default();
+    let warm = index.query_batch_opts(
+        &site,
+        &users,
+        &keywords,
+        2,
+        BatchOptions::new().scratch(&mut scratch),
+    );
+    for (got, &u) in warm.iter().zip(&users) {
+        assert_eq!(got, &index.query(&site, u, &keywords, 2), "warm-up diverged for {u}");
+    }
+    let stamp = index.build_stamp();
+    // u4 (clique B) tags item 0 with "baseball": clique B's cluster gains
+    // its first baseball bound list — a pool re-layout, the worst case for
+    // a stale gather cache.
+    let events = vec![TagEvent::assign(users[4], items[0], "baseball")];
+    site.apply(&events);
+    let report = index.apply(&site, &events);
+    assert!(!report.is_noop());
+    assert_ne!(index.build_stamp(), stamp, "effective apply must move the stamp");
+    let served = index.query_batch_opts(
+        &site,
+        &users,
+        &keywords,
+        2,
+        BatchOptions::new().scratch(&mut scratch),
+    );
+    for (got, &u) in served.iter().zip(&users) {
+        assert_eq!(got, &index.query(&site, u, &keywords, 2), "stale gather served for {u}");
+    }
+    let rebuilt = ClusteredIndex::build(&site, index.clustering.clone());
+    for &u in &users {
+        assert_eq!(index.query(&site, u, &keywords, 2), rebuilt.query(&site, u, &keywords, 2));
+    }
+}
+
+/// A user who joins the site after the clustering was built starts
+/// unclustered (the documented empty-with-flag semantic); their first tag
+/// event reclusters them in place — the greedy-leader predicate against
+/// current leaders — and their queries immediately answer from the
+/// cluster's bounds, identically to a full rebuild, without one.
+#[test]
+fn late_joiner_is_clustered_by_their_first_event() {
+    // Cluster the six-user site…
+    let (before, users, _) = two_cliques();
+    let clustering = NetworkBasedClustering.cluster(&before, 0.3);
+    // …then regrow the graph with a seventh user befriending u1.
+    let mut b = GraphBuilder::new();
+    let rebuilt_users: Vec<NodeId> = (0..6).map(|i| b.add_user(&format!("u{i}"))).collect();
+    let items: Vec<NodeId> =
+        (0..5).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+    b.befriend(rebuilt_users[0], rebuilt_users[1]);
+    b.befriend(rebuilt_users[1], rebuilt_users[2]);
+    b.befriend(rebuilt_users[0], rebuilt_users[2]);
+    b.befriend(rebuilt_users[3], rebuilt_users[4]);
+    b.befriend(rebuilt_users[4], rebuilt_users[5]);
+    b.befriend(rebuilt_users[3], rebuilt_users[5]);
+    b.tag(rebuilt_users[1], items[0], &["baseball"]);
+    b.tag(rebuilt_users[2], items[1], &["baseball", "stadium"]);
+    b.tag(rebuilt_users[1], items[2], &["baseball"]);
+    b.tag(rebuilt_users[4], items[2], &["museum"]);
+    b.tag(rebuilt_users[5], items[3], &["museum"]);
+    b.tag(rebuilt_users[4], items[4], &["museum", "history"]);
+    let late = b.add_user("late-joiner");
+    b.befriend(late, rebuilt_users[1]);
+    let mut site = SiteModel::from_graph(&b.build());
+    assert_eq!(rebuilt_users, users, "rebuilt ids must match the clustering's");
+    assert!(clustering.cluster_of(late).is_none());
+
+    let mut index = ClusteredIndex::builder(&site).clustering(clustering).build();
+    let keywords = vec!["baseball".to_string()];
+    assert!(index.query(&site, late, &keywords, 3).unclustered);
+
+    let events = vec![TagEvent::assign(late, items[3], "baseball")];
+    site.apply(&events);
+    let report = index.apply(&site, &events);
+    assert_eq!(report.cluster_joins, 1);
+    // The joiner's network {u1} overlaps u0's {u1, u2} at Jaccard 1/2 ≥
+    // 0.3: the greedy predicate folds them into clique A's cluster, not a
+    // singleton.
+    let joined = index.clustering.cluster_of(late).expect("first event clusters the joiner");
+    assert_eq!(index.clustering.cluster_of(users[0]), Some(joined));
+
+    let report = index.query(&site, late, &keywords, 3);
+    assert!(!report.unclustered, "late joiner still answers as unclustered");
+    let rebuilt = ClusteredIndex::build(&site, index.clustering.clone());
+    for &u in users.iter().chain([&late]) {
+        assert_eq!(
+            index.query(&site, u, &keywords, 3),
+            rebuilt.query(&site, u, &keywords, 3),
+            "maintained and rebuilt diverge for {u}"
+        );
+    }
+}

@@ -58,9 +58,10 @@ pub use socialscope_workload as workload;
 pub mod prelude {
     pub use socialscope_algebra::prelude::*;
     pub use socialscope_content::{
-        ActivityManager, BatchScratch, BatchScratchPool, BehaviorBasedClustering, ClusteredIndex,
-        ClusteringStrategy, ContentIntegrator, DeploymentModel, ExactIndex, HybridClustering,
-        NetworkBasedClustering, SiteModel, TagId, TagInterner, UserJourney,
+        ActivityManager, ApplyReport, BatchOptions, BatchScratch, BatchScratchPool,
+        BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ContentIntegrator,
+        DeploymentModel, ExactIndex, HybridClustering, NetworkBasedClustering, SiteModel, TagEvent,
+        TagId, TagInterner, UserJourney,
     };
     pub use socialscope_discovery::{
         recommend_for_user, ClusteredNetworkAwareSearch, ContentAnalyzer, InformationDiscoverer,
@@ -74,6 +75,7 @@ pub mod prelude {
         aggregate_explanation, group_explanation, GroupingStrategy, InformationOrganizer,
     };
     pub use socialscope_workload::{
-        classify_query, generate_site, ClassCounts, QueryLogConfig, QueryLogGenerator, SiteConfig,
+        classify_query, generate_events, generate_site, ClassCounts, EventStreamConfig,
+        QueryLogConfig, QueryLogGenerator, SiteConfig,
     };
 }

@@ -10,6 +10,7 @@ use crate::recommend::{ClusteredNetworkAwareSearch, NetworkAwareSearch, Recommen
 use crate::relevance::{combined_score, RelevanceWeights, SemanticScorer};
 use crate::social::SocialRelevance;
 use socialscope_algebra::prelude::*;
+use socialscope_content::BatchOptions;
 use socialscope_exec::Exec;
 use socialscope_graph::{HasAttrs, NodeId, SocialGraph};
 
@@ -111,7 +112,12 @@ impl InformationDiscoverer {
         seekers: &[NodeId],
         text: &str,
     ) -> Vec<Vec<Recommendation>> {
-        search.recommend_batch_par(exec, seekers, &tokenize(text), self.limit)
+        search.recommend_batch_opts(
+            seekers,
+            &tokenize(text),
+            self.limit,
+            BatchOptions::new().exec(exec),
+        )
     }
 
     /// [`Self::discover_batch`] served from the space-constrained
@@ -125,7 +131,12 @@ impl InformationDiscoverer {
         seekers: &[NodeId],
         text: &str,
     ) -> Vec<Vec<Recommendation>> {
-        search.recommend_batch_par(exec, seekers, &tokenize(text), self.limit)
+        search.recommend_batch_opts(
+            seekers,
+            &tokenize(text),
+            self.limit,
+            BatchOptions::new().exec(exec),
+        )
     }
 
     /// Build the provenance sub-graph of a ranked result set.

@@ -16,8 +16,9 @@
 
 use super::Recommendation;
 use socialscope_content::{
-    BatchScratch, BatchScratchPool, ClusteredIndex, ClusteredQueryReport, ClusteringStrategy,
-    ExactIndex, NetworkBasedClustering, SiteModel, TopKResult,
+    ApplyReport, BatchOptions, BatchScratch, BatchScratchPool, ClusteredIndex,
+    ClusteredQueryReport, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel,
+    TagEvent, TopKResult,
 };
 use socialscope_exec::Exec;
 use socialscope_graph::{NodeId, SocialGraph};
@@ -67,17 +68,64 @@ impl NetworkAwareSearch {
         Self::to_recommendations(self.query(user, keywords, k))
     }
 
+    /// Apply a batch of tagging events to the live engine: the site model
+    /// updates first, then the exact index patches itself to exactly the
+    /// state a from-scratch rebuild over the updated site would produce —
+    /// every subsequent query (single or batch) answers from the fresh
+    /// state. Threads from [`Exec::auto`].
+    pub fn apply(&mut self, events: &[TagEvent]) -> ApplyReport {
+        self.apply_with(&Exec::auto(), events)
+    }
+
+    /// [`Self::apply`] on a caller-chosen [`Exec`].
+    pub fn apply_with(&mut self, exec: &Exec, events: &[TagEvent]) -> ApplyReport {
+        self.site.apply(events);
+        self.index.apply_with(exec, &self.site, events)
+    }
+
     /// Raw top-k for a batch of seekers sharing one keyword set: keywords
     /// resolve through the index's interner once, evaluation state is
     /// reused across the batch, and users are visited in index-layout
     /// order. Results arrive in input order, each identical to the
-    /// corresponding [`Self::query`] call.
-    pub fn query_batch(&self, users: &[NodeId], keywords: &[String], k: usize) -> Vec<TopKResult> {
-        self.index.query_batch(users, keywords, k)
+    /// corresponding [`Self::query`] call; [`BatchOptions`] chooses
+    /// threads and scratch reuse (and carries the migration table from the
+    /// retired `query_batch` method matrix).
+    pub fn query_batch_opts(
+        &self,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        opts: BatchOptions<'_>,
+    ) -> Vec<TopKResult> {
+        self.index.query_batch_opts(users, keywords, k, opts)
     }
 
-    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`], so a
-    /// serving loop pays the arena's allocations once, not per batch.
+    /// Batched [`Self::recommend`]: one recommendation list per seeker, in
+    /// input order, served under the given [`BatchOptions`].
+    pub fn recommend_batch_opts(
+        &self,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        opts: BatchOptions<'_>,
+    ) -> Vec<Vec<Recommendation>> {
+        self.query_batch_opts(users, keywords, k, opts)
+            .into_iter()
+            .map(Self::to_recommendations)
+            .collect()
+    }
+
+    /// Deprecated spelling of the default batch entry point.
+    #[deprecated(since = "0.1.0", note = "use `query_batch_opts` with `BatchOptions::new()`")]
+    pub fn query_batch(&self, users: &[NodeId], keywords: &[String], k: usize) -> Vec<TopKResult> {
+        self.query_batch_opts(users, keywords, k, BatchOptions::new())
+    }
+
+    /// Deprecated spelling of the sequential scratch-reusing batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().scratch(..)`"
+    )]
     pub fn query_batch_with(
         &self,
         scratch: &mut BatchScratch,
@@ -85,12 +133,14 @@ impl NetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<TopKResult> {
-        self.index.query_batch_with(scratch, users, keywords, k)
+        self.query_batch_opts(users, keywords, k, BatchOptions::new().scratch(scratch))
     }
 
-    /// [`Self::query_batch`] on a caller-chosen [`Exec`]: the batch splits
-    /// by slot range across the pool's workers, results element-wise
-    /// identical to the sequential path.
+    /// Deprecated spelling of the multi-threaded batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().exec(..)`"
+    )]
     pub fn query_batch_par(
         &self,
         exec: &Exec,
@@ -98,12 +148,14 @@ impl NetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<TopKResult> {
-        self.index.query_batch_par(exec, users, keywords, k)
+        self.query_batch_opts(users, keywords, k, BatchOptions::new().exec(exec))
     }
 
-    /// [`Self::query_batch_par`] through a caller-owned
-    /// [`BatchScratchPool`], so a serving loop pays each worker's arena
-    /// allocations once.
+    /// Deprecated spelling of the multi-threaded pool-reusing batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().exec(..).scratch_pool(..)`"
+    )]
     pub fn query_batch_par_with(
         &self,
         exec: &Exec,
@@ -112,21 +164,26 @@ impl NetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<TopKResult> {
-        self.index.query_batch_par_with(exec, pool, users, keywords, k)
+        self.query_batch_opts(users, keywords, k, BatchOptions::new().exec(exec).scratch_pool(pool))
     }
 
-    /// Batched [`Self::recommend`]: one recommendation list per seeker, in
-    /// input order.
+    /// Deprecated spelling of the default batched recommendation path.
+    #[deprecated(since = "0.1.0", note = "use `recommend_batch_opts` with `BatchOptions::new()`")]
     pub fn recommend_batch(
         &self,
         users: &[NodeId],
         keywords: &[String],
         k: usize,
     ) -> Vec<Vec<Recommendation>> {
-        self.query_batch(users, keywords, k).into_iter().map(Self::to_recommendations).collect()
+        self.recommend_batch_opts(users, keywords, k, BatchOptions::new())
     }
 
-    /// [`Self::recommend_batch`] on a caller-chosen [`Exec`].
+    /// Deprecated spelling of the multi-threaded batched recommendation
+    /// path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `recommend_batch_opts` with `BatchOptions::new().exec(..)`"
+    )]
     pub fn recommend_batch_par(
         &self,
         exec: &Exec,
@@ -134,10 +191,7 @@ impl NetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<Vec<Recommendation>> {
-        self.query_batch_par(exec, users, keywords, k)
-            .into_iter()
-            .map(Self::to_recommendations)
-            .collect()
+        self.recommend_batch_opts(users, keywords, k, BatchOptions::new().exec(exec))
     }
 
     fn to_recommendations(result: TopKResult) -> Vec<Recommendation> {
@@ -260,26 +314,67 @@ impl ClusteredNetworkAwareSearch {
         Self::to_recommendations(self.query(user, keywords, k))
     }
 
+    /// Apply a batch of tagging events to the live engine: the site model
+    /// updates first, then the clustered index patches its bound lists and
+    /// refinement groups in place — reclustering late-joining taggers onto
+    /// their nearest existing cluster as it goes, so their next query
+    /// answers from real bounds instead of the empty-with-flag semantic —
+    /// and a configured [`Self::with_fallback`] exact index is kept in
+    /// lockstep. The returned report is the clustered index's. Threads
+    /// from [`Exec::auto`].
+    pub fn apply(&mut self, events: &[TagEvent]) -> ApplyReport {
+        self.apply_with(&Exec::auto(), events)
+    }
+
+    /// [`Self::apply`] on a caller-chosen [`Exec`].
+    pub fn apply_with(&mut self, exec: &Exec, events: &[TagEvent]) -> ApplyReport {
+        self.site.apply(events);
+        let report = self.index.apply_with(exec, &self.site, events);
+        if let Some(exact) = &mut self.fallback {
+            exact.apply_with(exec, &self.site, events);
+        }
+        report
+    }
+
     /// Raw clustered top-k for a batch of seekers sharing one keyword set;
     /// results arrive in input order, each identical to the corresponding
-    /// [`Self::query`] call (fallback-served unclustered members included).
+    /// [`Self::query`] call (fallback-served unclustered members
+    /// included). [`BatchOptions`] chooses threads and scratch reuse (and
+    /// carries the migration table from the retired `query_batch` method
+    /// matrix); the fallback sub-batch runs under the *same* options —
+    /// same `Exec`, same scratch or pool — so a sequential entry point
+    /// never spawns threads and a pinned pool is reused, not reallocated.
+    pub fn query_batch_opts(
+        &self,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        mut opts: BatchOptions<'_>,
+    ) -> Vec<ClusteredQueryReport> {
+        let mut reports =
+            self.index.query_batch_opts(&self.site, users, keywords, k, opts.reborrow());
+        self.apply_fallback(&mut reports, users, |exact, seekers| {
+            exact.query_batch_opts(seekers, keywords, k, opts)
+        });
+        reports
+    }
+
+    /// Deprecated spelling of the default batch entry point.
+    #[deprecated(since = "0.1.0", note = "use `query_batch_opts` with `BatchOptions::new()`")]
     pub fn query_batch(
         &self,
         users: &[NodeId],
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        let mut reports = self.index.query_batch(&self.site, users, keywords, k);
-        self.apply_fallback(&mut reports, users, |exact, seekers| {
-            exact.query_batch(seekers, keywords, k)
-        });
-        reports
+        self.query_batch_opts(users, keywords, k, BatchOptions::new())
     }
 
-    /// [`Self::query_batch`] through a caller-owned [`BatchScratch`], so a
-    /// serving loop pays the arena's allocations once, not per batch. Stays
-    /// on the single-threaded path end to end — the fallback sub-batch
-    /// reuses the same scratch against the exact index.
+    /// Deprecated spelling of the sequential scratch-reusing batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().scratch(..)`"
+    )]
     pub fn query_batch_with(
         &self,
         scratch: &mut BatchScratch,
@@ -287,16 +382,14 @@ impl ClusteredNetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        let mut reports = self.index.query_batch_with(scratch, &self.site, users, keywords, k);
-        self.apply_fallback(&mut reports, users, |exact, seekers| {
-            exact.query_batch_with(scratch, seekers, keywords, k)
-        });
-        reports
+        self.query_batch_opts(users, keywords, k, BatchOptions::new().scratch(scratch))
     }
 
-    /// [`Self::query_batch`] on a caller-chosen [`Exec`]: the batch splits
-    /// by cluster group across the pool's workers, results element-wise
-    /// identical to the sequential path.
+    /// Deprecated spelling of the multi-threaded batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().exec(..)`"
+    )]
     pub fn query_batch_par(
         &self,
         exec: &Exec,
@@ -304,16 +397,14 @@ impl ClusteredNetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        let mut reports = self.index.query_batch_par(exec, &self.site, users, keywords, k);
-        self.apply_fallback(&mut reports, users, |exact, seekers| {
-            exact.query_batch_par(exec, seekers, keywords, k)
-        });
-        reports
+        self.query_batch_opts(users, keywords, k, BatchOptions::new().exec(exec))
     }
 
-    /// [`Self::query_batch_par`] through a caller-owned
-    /// [`BatchScratchPool`], so a serving loop pays each worker's arena
-    /// allocations once.
+    /// Deprecated spelling of the multi-threaded pool-reusing batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch_opts` with `BatchOptions::new().exec(..).scratch_pool(..)`"
+    )]
     pub fn query_batch_par_with(
         &self,
         exec: &Exec,
@@ -322,12 +413,7 @@ impl ClusteredNetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        let mut reports =
-            self.index.query_batch_par_with(exec, pool, &self.site, users, keywords, k);
-        self.apply_fallback(&mut reports, users, |exact, seekers| {
-            exact.query_batch_par_with(exec, pool, seekers, keywords, k)
-        });
-        reports
+        self.query_batch_opts(users, keywords, k, BatchOptions::new().exec(exec).scratch_pool(pool))
     }
 
     /// Re-answer every flagged (unclustered) report from the fallback
@@ -364,17 +450,37 @@ impl ClusteredNetworkAwareSearch {
     }
 
     /// Batched [`Self::recommend`]: one recommendation list per seeker, in
-    /// input order.
+    /// input order, served under the given [`BatchOptions`].
+    pub fn recommend_batch_opts(
+        &self,
+        users: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        opts: BatchOptions<'_>,
+    ) -> Vec<Vec<Recommendation>> {
+        self.query_batch_opts(users, keywords, k, opts)
+            .into_iter()
+            .map(Self::to_recommendations)
+            .collect()
+    }
+
+    /// Deprecated spelling of the default batched recommendation path.
+    #[deprecated(since = "0.1.0", note = "use `recommend_batch_opts` with `BatchOptions::new()`")]
     pub fn recommend_batch(
         &self,
         users: &[NodeId],
         keywords: &[String],
         k: usize,
     ) -> Vec<Vec<Recommendation>> {
-        self.query_batch(users, keywords, k).into_iter().map(Self::to_recommendations).collect()
+        self.recommend_batch_opts(users, keywords, k, BatchOptions::new())
     }
 
-    /// [`Self::recommend_batch`] on a caller-chosen [`Exec`].
+    /// Deprecated spelling of the multi-threaded batched recommendation
+    /// path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `recommend_batch_opts` with `BatchOptions::new().exec(..)`"
+    )]
     pub fn recommend_batch_par(
         &self,
         exec: &Exec,
@@ -382,10 +488,7 @@ impl ClusteredNetworkAwareSearch {
         keywords: &[String],
         k: usize,
     ) -> Vec<Vec<Recommendation>> {
-        self.query_batch_par(exec, users, keywords, k)
-            .into_iter()
-            .map(Self::to_recommendations)
-            .collect()
+        self.recommend_batch_opts(users, keywords, k, BatchOptions::new().exec(exec))
     }
 
     fn to_recommendations(report: ClusteredQueryReport) -> Vec<Recommendation> {
@@ -474,8 +577,13 @@ mod tests {
         let batch = vec![users[2], users[0], NodeId(9999), users[0], users[3], users[1]];
         let mut scratch = BatchScratch::default();
         for k in [0usize, 1, 3] {
-            let results = search.query_batch(&batch, &keywords, k);
-            let reused = search.query_batch_with(&mut scratch, &batch, &keywords, k);
+            let results = search.query_batch_opts(&batch, &keywords, k, BatchOptions::new());
+            let reused = search.query_batch_opts(
+                &batch,
+                &keywords,
+                k,
+                BatchOptions::new().scratch(&mut scratch),
+            );
             assert_eq!(results.len(), batch.len());
             for ((res, with), &u) in results.iter().zip(&reused).zip(&batch) {
                 let single = search.query(u, &keywords, k);
@@ -515,8 +623,13 @@ mod tests {
         let batch = vec![users[2], NodeId(9999), users[0], users[0], users[3]];
         let mut scratch = BatchScratch::default();
         for k in [0usize, 1, 3] {
-            let results = search.query_batch(&batch, &keywords, k);
-            let reused = search.query_batch_with(&mut scratch, &batch, &keywords, k);
+            let results = search.query_batch_opts(&batch, &keywords, k, BatchOptions::new());
+            let reused = search.query_batch_opts(
+                &batch,
+                &keywords,
+                k,
+                BatchOptions::new().scratch(&mut scratch),
+            );
             assert_eq!(results.len(), batch.len());
             for ((got, with), &u) in results.iter().zip(&reused).zip(&batch) {
                 let single = search.query(u, &keywords, k);
@@ -524,7 +637,7 @@ mod tests {
                 assert_eq!(with, &single, "user {u} k {k} (reused scratch)");
             }
         }
-        let recs = search.recommend_batch(&batch, &keywords, 3);
+        let recs = search.recommend_batch_opts(&batch, &keywords, 3, BatchOptions::new());
         for (rec, &u) in recs.iter().zip(&batch) {
             assert_eq!(rec, &search.recommend(u, &keywords, 3));
         }
@@ -583,12 +696,23 @@ mod tests {
         let mut scratch = BatchScratch::default();
         let mut pool = BatchScratchPool::default();
         for k in [0usize, 1, 3] {
-            let plain = engine.query_batch(&batch, &keywords, k);
-            let with = engine.query_batch_with(&mut scratch, &batch, &keywords, k);
+            let plain = engine.query_batch_opts(&batch, &keywords, k, BatchOptions::new());
+            let with = engine.query_batch_opts(
+                &batch,
+                &keywords,
+                k,
+                BatchOptions::new().scratch(&mut scratch),
+            );
             for threads in [1usize, 2, 7] {
                 let exec = Exec::new(threads).unwrap();
-                let par = engine.query_batch_par(&exec, &batch, &keywords, k);
-                let par_with = engine.query_batch_par_with(&exec, &mut pool, &batch, &keywords, k);
+                let par =
+                    engine.query_batch_opts(&batch, &keywords, k, BatchOptions::new().exec(&exec));
+                let par_with = engine.query_batch_opts(
+                    &batch,
+                    &keywords,
+                    k,
+                    BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+                );
                 for (((got, w), (p, pw)), &u) in
                     plain.iter().zip(&with).zip(par.iter().zip(&par_with)).zip(&batch)
                 {
@@ -620,19 +744,34 @@ mod tests {
         let mut pool = BatchScratchPool::default();
         for threads in [1usize, 2, 7] {
             let exec = Exec::new(threads).unwrap();
-            let par = exact.query_batch_par(&exec, &batch, &keywords, 3);
-            let par_with = exact.query_batch_par_with(&exec, &mut pool, &batch, &keywords, 3);
-            let sequential = exact.query_batch(&batch, &keywords, 3);
+            let par = exact.query_batch_opts(&batch, &keywords, 3, BatchOptions::new().exec(&exec));
+            let par_with = exact.query_batch_opts(
+                &batch,
+                &keywords,
+                3,
+                BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+            );
+            let sequential = exact.query_batch_opts(&batch, &keywords, 3, BatchOptions::new());
             assert_eq!(par, sequential, "exact threads {threads}");
             assert_eq!(par_with, sequential, "exact threads {threads} (pool)");
-            let recs = exact.recommend_batch_par(&exec, &batch, &keywords, 3);
-            assert_eq!(recs, exact.recommend_batch(&batch, &keywords, 3));
+            let recs =
+                exact.recommend_batch_opts(&batch, &keywords, 3, BatchOptions::new().exec(&exec));
+            assert_eq!(recs, exact.recommend_batch_opts(&batch, &keywords, 3, BatchOptions::new()));
 
-            let par = clustered.query_batch_par(&exec, &batch, &keywords, 3);
-            let sequential = clustered.query_batch(&batch, &keywords, 3);
+            let par =
+                clustered.query_batch_opts(&batch, &keywords, 3, BatchOptions::new().exec(&exec));
+            let sequential = clustered.query_batch_opts(&batch, &keywords, 3, BatchOptions::new());
             assert_eq!(par, sequential, "clustered threads {threads}");
-            let recs = clustered.recommend_batch_par(&exec, &batch, &keywords, 3);
-            assert_eq!(recs, clustered.recommend_batch(&batch, &keywords, 3));
+            let recs = clustered.recommend_batch_opts(
+                &batch,
+                &keywords,
+                3,
+                BatchOptions::new().exec(&exec),
+            );
+            assert_eq!(
+                recs,
+                clustered.recommend_batch_opts(&batch, &keywords, 3, BatchOptions::new())
+            );
         }
     }
 
@@ -642,7 +781,7 @@ mod tests {
         let search = NetworkAwareSearch::build(&graph);
         let keywords = vec!["baseball".to_string(), "museum".to_string()];
         let batch: Vec<NodeId> = users.clone();
-        let recs = search.recommend_batch(&batch, &keywords, 3);
+        let recs = search.recommend_batch_opts(&batch, &keywords, 3, BatchOptions::new());
         assert_eq!(recs.len(), batch.len());
         for (rec, &u) in recs.iter().zip(&batch) {
             let single = search.recommend(u, &keywords, 3);
@@ -651,5 +790,96 @@ mod tests {
                 assert_eq!((a.item, a.score, a.strategy), (b.item, b.score, b.strategy));
             }
         }
+    }
+
+    /// Engines stay live across applies: after interleaved event batches
+    /// the exact and clustered engines (fallback included) answer every
+    /// query — single, batch, recommendation — exactly like engines built
+    /// from scratch over the updated graph state, and a late-joining
+    /// tagger is folded into the clustering on the way.
+    #[test]
+    fn engines_stay_correct_across_applies() {
+        let (engine, users, late) = stale_clustered_engine();
+        let mut clustered = engine.with_exact_fallback();
+        let mut exact = NetworkAwareSearch {
+            site: clustered.site().clone(),
+            index: ExactIndex::build(clustered.site()),
+        };
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        assert!(clustered.query(late, &keywords, 3).unclustered);
+
+        let batches = [
+            vec![
+                TagEvent::assign(late, clustered.site().items().next().unwrap(), "museum"),
+                TagEvent::assign(users[3], clustered.site().items().next().unwrap(), "baseball"),
+            ],
+            vec![TagEvent::retract(users[1], clustered.site().items().nth(1).unwrap(), "museum")],
+        ];
+        for events in &batches {
+            let report = clustered.apply(events);
+            assert!(!report.is_noop());
+            exact.apply(events);
+
+            // Both engines now answer like engines rebuilt from the
+            // current site state.
+            let rebuilt_exact = ExactIndex::build(clustered.site());
+            let rebuilt_clustered =
+                ClusteredIndex::build(clustered.site(), clustered.index().clustering.clone());
+            let batch: Vec<NodeId> = users.iter().copied().chain([late, NodeId(9999)]).collect();
+            for &u in &batch {
+                assert_eq!(
+                    exact.query(u, &keywords, 3),
+                    rebuilt_exact.query(u, &keywords, 3),
+                    "exact engine diverged for {u}"
+                );
+                assert_eq!(
+                    clustered.query(u, &keywords, 3).result.ranked,
+                    rebuilt_clustered.query(clustered.site(), u, &keywords, 3).result.ranked,
+                    "clustered engine diverged for {u}"
+                );
+            }
+            let served = clustered.query_batch_opts(&batch, &keywords, 3, BatchOptions::new());
+            for (got, &u) in served.iter().zip(&batch) {
+                assert_eq!(got, &clustered.query(u, &keywords, 3), "batch diverged for {u}");
+            }
+        }
+        // The late joiner's first event reclustered them: flag cleared,
+        // answers served from real bounds, no rebuild anywhere.
+        assert!(clustered.index().clustering.cluster_of(late).is_some());
+        assert!(!clustered.query(late, &keywords, 3).unclustered);
+    }
+
+    /// The deprecated engine wrappers are pure aliases of the `_opts`
+    /// entry points.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_engine_wrappers_match_opts() {
+        let (graph, users, _) = site();
+        let exact = NetworkAwareSearch::build(&graph);
+        let clustered = ClusteredNetworkAwareSearch::build_default(&graph);
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        let batch = vec![users[2], NodeId(9999), users[0], users[0], users[3]];
+        let exec = Exec::new(2).unwrap();
+        let mut scratch = BatchScratch::default();
+        let mut pool = BatchScratchPool::default();
+        let exact_want = exact.query_batch_opts(&batch, &keywords, 3, BatchOptions::new());
+        assert_eq!(exact.query_batch(&batch, &keywords, 3), exact_want);
+        assert_eq!(exact.query_batch_with(&mut scratch, &batch, &keywords, 3), exact_want);
+        assert_eq!(exact.query_batch_par(&exec, &batch, &keywords, 3), exact_want);
+        assert_eq!(exact.query_batch_par_with(&exec, &mut pool, &batch, &keywords, 3), exact_want);
+        let recs_want = exact.recommend_batch_opts(&batch, &keywords, 3, BatchOptions::new());
+        assert_eq!(exact.recommend_batch(&batch, &keywords, 3), recs_want);
+        assert_eq!(exact.recommend_batch_par(&exec, &batch, &keywords, 3), recs_want);
+        let clustered_want = clustered.query_batch_opts(&batch, &keywords, 3, BatchOptions::new());
+        assert_eq!(clustered.query_batch(&batch, &keywords, 3), clustered_want);
+        assert_eq!(clustered.query_batch_with(&mut scratch, &batch, &keywords, 3), clustered_want);
+        assert_eq!(clustered.query_batch_par(&exec, &batch, &keywords, 3), clustered_want);
+        assert_eq!(
+            clustered.query_batch_par_with(&exec, &mut pool, &batch, &keywords, 3),
+            clustered_want
+        );
+        let recs_want = clustered.recommend_batch_opts(&batch, &keywords, 3, BatchOptions::new());
+        assert_eq!(clustered.recommend_batch(&batch, &keywords, 3), recs_want);
+        assert_eq!(clustered.recommend_batch_par(&exec, &batch, &keywords, 3), recs_want);
     }
 }

@@ -18,13 +18,16 @@
 //!   the general/categorical/specific × with/without-location classifier
 //!   that regenerates **Table 1**;
 //! * [`sizing`] — the analytic index-sizing model behind §6.2's
-//!   back-of-envelope ("≈ 1 TB for a moderate site").
+//!   back-of-envelope ("≈ 1 TB for a moderate site");
+//! * [`events`] — a tag-event stream generator for the live-index
+//!   maintenance experiments (Zipf-skewed assigns mixed with retracts).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod classifier;
 pub mod config;
+pub mod events;
 pub mod generator;
 pub mod queries;
 pub mod sizing;
@@ -32,6 +35,7 @@ pub mod travel;
 
 pub use classifier::{classify_query, ClassCounts, QueryClass};
 pub use config::SiteConfig;
+pub use events::{generate_events, EventStreamConfig};
 pub use generator::{generate_site, GeneratedSite};
 pub use queries::{keywords_of, QueryLogConfig, QueryLogGenerator};
 pub use sizing::{paper_sizing_example, IndexSizingModel, SizingEstimate};

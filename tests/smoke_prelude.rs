@@ -68,12 +68,18 @@ fn prelude_exposes_discovery_and_topk() {
     assert_eq!(recs.len(), 1);
 
     // The execution layer: parallel builds and batch serving are
-    // indistinguishable from sequential ones.
+    // indistinguishable from sequential ones. Builds go through the
+    // unified builder; batches through `BatchOptions`.
     let exec: Exec = Exec::new(2).expect("positive thread count");
-    let parallel = ExactIndex::build_with(&exec, &model);
+    let parallel = ExactIndex::builder(&model).exec(&exec).build();
     assert_eq!(parallel.stats(), index.stats());
     let mut pool = BatchScratchPool::default();
-    let batch = index.query_batch_par_with(&exec, &mut pool, &[john], &["baseball".to_string()], 1);
+    let batch = index.query_batch_opts(
+        &[john],
+        &["baseball".to_string()],
+        1,
+        BatchOptions::new().exec(&exec).scratch_pool(&mut pool),
+    );
     assert_eq!(batch[0], result);
     assert_eq!(recs[0].item, coors);
 }
@@ -89,7 +95,8 @@ fn prelude_exposes_batched_query_serving() {
     let index = ExactIndex::build(&model);
     let batch = vec![john, john, NodeId(4242)];
     let mut scratch: BatchScratch = BatchScratch::default();
-    let results = index.query_batch_with(&mut scratch, &batch, &keywords, 2);
+    let results =
+        index.query_batch_opts(&batch, &keywords, 2, BatchOptions::new().scratch(&mut scratch));
     assert_eq!(results.len(), batch.len());
     for (res, &u) in results.iter().zip(&batch) {
         assert_eq!(res, &index.query(u, &keywords, 2));
@@ -97,10 +104,42 @@ fn prelude_exposes_batched_query_serving() {
 
     // Discovery layer: the same batch surface on the recommender.
     let search = NetworkAwareSearch::build(&graph);
-    let recs = search.recommend_batch(&batch, &keywords, 2);
+    let recs = search.recommend_batch_opts(&batch, &keywords, 2, BatchOptions::new());
     assert_eq!(recs.len(), batch.len());
     assert_eq!(recs[0][0].item, coors);
     assert!(recs[2].is_empty());
+}
+
+#[test]
+fn prelude_exposes_live_index_maintenance() {
+    let (graph, john, coors) = tiny_site();
+    let keywords = vec!["baseball".to_string()];
+
+    // Content layer: a tag event patches the live index in place, and the
+    // patched index answers exactly like one rebuilt from the new site.
+    let mut model = SiteModel::from_graph(&graph);
+    let mut index = ExactIndex::builder(&model).build();
+    let friend = model.network_of(john)[0];
+    let events = vec![TagEvent::retract(friend, coors, "baseball")];
+    model.apply(&events);
+    let report: ApplyReport = index.apply(&model, &events);
+    assert!(!report.is_noop());
+    assert_eq!(index.stats(), ExactIndex::builder(&model).build().stats());
+    assert!(index.query(john, &keywords, 1).ranked.is_empty());
+
+    // Discovery layer: one engine-level apply keeps the site and index in
+    // lockstep.
+    let mut search = NetworkAwareSearch::build(&graph);
+    let assign = vec![TagEvent::assign(friend, coors, "rockies")];
+    search.apply(&assign);
+    assert_eq!(search.recommend(john, &["rockies".to_string()], 1)[0].item, coors);
+
+    // Workload layer: deterministic synthetic event streams for the
+    // maintenance experiments.
+    let site = generate_site(&SiteConfig { users: 10, items: 20, ..SiteConfig::default() });
+    let stream_model = SiteModel::from_graph(&site.graph);
+    let stream = generate_events(&stream_model, &EventStreamConfig::default());
+    assert!(!stream.is_empty());
 }
 
 #[test]
