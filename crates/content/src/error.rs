@@ -23,6 +23,22 @@ pub enum ContentError {
     UnknownTag(String),
     /// A generic invariant violation.
     Invariant(String),
+    /// A build or apply would overflow an internal capacity limit (e.g.
+    /// more than `u32::MAX - 1` indexed users or bound lists). The
+    /// operation is rejected *before* any state changes — the site and
+    /// indexes are untouched — instead of aborting the process.
+    CapacityExceeded {
+        /// What ran out of representable room (e.g. `"indexed users"`).
+        what: &'static str,
+        /// The capacity limit that would have been exceeded.
+        limit: u64,
+    },
+    /// A deterministic fault injected by the `failpoints` test harness
+    /// (only ever constructed with the `failpoints` cargo feature on).
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: String,
+    },
 }
 
 impl fmt::Display for ContentError {
@@ -36,6 +52,12 @@ impl fmt::Display for ContentError {
             }
             ContentError::UnknownTag(t) => write!(f, "tag `{t}` is not indexed"),
             ContentError::Invariant(msg) => write!(f, "content invariant violated: {msg}"),
+            ContentError::CapacityExceeded { what, limit } => {
+                write!(f, "capacity exceeded: more than {limit} {what}")
+            }
+            ContentError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
         }
     }
 }
@@ -55,5 +77,9 @@ mod tests {
             .contains("facebook"));
         let e = ContentError::PermissionDenied { site: "flickr".into(), user: NodeId(2) };
         assert!(e.to_string().contains("flickr"));
+        let e = ContentError::CapacityExceeded { what: "indexed users", limit: 42 };
+        assert_eq!(e.to_string(), "capacity exceeded: more than 42 indexed users");
+        let e = ContentError::FaultInjected { site: "content::site_apply".into() };
+        assert!(e.to_string().contains("content::site_apply"));
     }
 }

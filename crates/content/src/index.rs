@@ -280,6 +280,8 @@ pub struct BatchOptions<'a> {
     /// The scratch state to thread through the call. `None` means a
     /// throwaway per-call pool.
     scratch: Option<ScratchSlot<'a>>,
+    /// Wall-clock budget for the whole batch. `None` means unbounded.
+    deadline: Option<std::time::Duration>,
 }
 
 impl<'a> BatchOptions<'a> {
@@ -313,6 +315,22 @@ impl<'a> BatchOptions<'a> {
         self
     }
 
+    /// Give the batch a wall-clock budget. The serving loops check the
+    /// clock cooperatively — per user on the exact path, per user within
+    /// each cluster group on the clustered path — and once the budget is
+    /// spent, every not-yet-served member gets the *defined degraded
+    /// result*: empty, with [`TopKResult::deadline_expired`] (and, on the
+    /// clustered path, [`ClusteredQueryReport::deadline_expired`]) set.
+    /// Members served before expiry are byte-identical to the unbounded
+    /// answer with the flag clear — a result is either exact or flagged,
+    /// never silently truncated. Under a sequential serve the served
+    /// members form a prefix of the batch in index-layout order; under a
+    /// sharded serve each worker degrades its own suffix independently.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
     /// Borrow these options for one call without giving them up: the
     /// returned options carry the same execution choice and a reborrow of
     /// the same scratch state. How a wrapper serves *two* batches (e.g.
@@ -326,26 +344,94 @@ impl<'a> BatchOptions<'a> {
                 Some(ScratchSlot::Pool(pool)) => Some(ScratchSlot::Pool(pool)),
                 None => None,
             },
+            deadline: self.deadline,
         }
     }
 }
 
+/// Deadline-check granularity, applied at two levels: the serving walks
+/// call [`Deadline::expired`] once per `DEADLINE_CHECK_STRIDE`-member
+/// chunk (exact-index members serve in tens of nanoseconds — even a
+/// per-member branch on an armed budget costs more than the serving it
+/// guards), and an armed [`Deadline`] reads the monotonic clock on its
+/// first check and then every `DEADLINE_CHECK_STRIDE`th. Together the
+/// budget overhead stays under the sub-percent noise floor while
+/// expiry-detection lag stays bounded (at most `STRIDE × STRIDE` members
+/// past the actual instant — and an already-expired budget still degrades
+/// every member, because the first check always reads the clock).
+const DEADLINE_CHECK_STRIDE: usize = 32;
+
+/// The armed (or unarmed) deadline clock of one batch call, built once at
+/// the `query_batch_opts` entry and copied into every serving worker.
+/// Without a budget, [`Self::expired`] is a single branch on a `None` —
+/// the unbounded path stays effectively free. With one, the clock is
+/// armed *lazily*: a worker's first cooperative check reads the monotonic
+/// clock once (so an already-expired budget, e.g. zero, still degrades
+/// every member), then every [`DEADLINE_CHECK_STRIDE`]th check re-reads
+/// it. Batch calls that never reach a serving walk — e.g. keyword sets
+/// that resolve to nothing and take the defined-empty early return —
+/// never read the clock at all. The [`crate::faults::DEADLINE`] failpoint
+/// fires on *every* check — stride or not — so fault-injection tests
+/// count cooperative checks, not clock reads.
+#[derive(Clone, Copy)]
+struct Deadline {
+    /// The armed budget; `None` = unbounded.
+    budget: Option<std::time::Duration>,
+    /// The absolute expiry instant, armed by the first clock read.
+    at: Option<std::time::Instant>,
+    /// Checks remaining before the next clock read; 0 = read now.
+    until_check: u32,
+}
+
+impl Deadline {
+    fn new(budget: Option<std::time::Duration>) -> Self {
+        Deadline { budget, at: None, until_check: 0 }
+    }
+
+    /// The unbounded clock (never expires) — for the deprecated direct
+    /// serving entry points that predate deadlines.
+    fn unbounded() -> Self {
+        Deadline { budget: None, at: None, until_check: 0 }
+    }
+
+    /// One cooperative check. Once true, every later check is also true
+    /// (time is monotonic, the injected-fault clock is sticky, and the
+    /// stride counter only rearms after a *non*-expired clock read).
+    fn expired(&mut self) -> bool {
+        let Some(budget) = self.budget else { return false };
+        if crate::faults::fire(crate::faults::DEADLINE).is_err() {
+            return true;
+        }
+        if self.until_check > 0 {
+            self.until_check -= 1;
+            return false;
+        }
+        let now = std::time::Instant::now();
+        let at = *self.at.get_or_insert(now + budget);
+        let expired = now >= at;
+        if !expired {
+            self.until_check = DEADLINE_CHECK_STRIDE as u32 - 1;
+        }
+        expired
+    }
+}
+
+/// Maximum number of per-user rows in the exact index, and of pooled bound
+/// lists in the clustered index: layout keys are `u32` with
+/// [`NO_SLOT`] (`u32::MAX`) reserved for "not indexed", so at most
+/// `u32::MAX` rows/lists (slots `0 .. len` then stay below `NO_SLOT`).
+/// Builds and applies validate against this bound *before* committing any
+/// state and surface [`crate::ContentError::CapacityExceeded`] past it —
+/// a pathological site degrades to an error, never a process abort.
+const MAX_LAYOUT_SLOTS: u64 = NO_SLOT as u64;
+
 /// Rebuild the user → slot table after the per-user row vector changed
-/// membership (delta application added or removed rows).
+/// membership (delta application added or removed rows). Callers validate
+/// `users.len() <= MAX_LAYOUT_SLOTS` before building the rows, so the cast
+/// cannot truncate or produce `NO_SLOT`.
 fn rebuild_slots(users: &[(NodeId, UserLists)]) -> FxHashMap<NodeId, u32> {
-    users
-        .iter()
-        .enumerate()
-        .map(|(slot, (user, _))| {
-            // NO_SLOT (u32::MAX) is reserved for "not indexed", so the
-            // bound excludes it, not just anything past u32.
-            let slot = u32::try_from(slot)
-                .ok()
-                .filter(|&s| s != NO_SLOT)
-                .expect("fewer than 2^32 - 1 indexed users");
-            (*user, slot)
-        })
-        .collect()
+    debug_assert!(users.len() as u64 <= MAX_LAYOUT_SLOTS);
+    users.iter().enumerate().map(|(slot, (user, _))| (*user, slot as u32)).collect()
 }
 
 /// Layout key marking a batch member with no row in the index (unknown
@@ -410,7 +496,18 @@ impl ExactIndex {
     /// across groups, so the merged accumulator and the final sorted
     /// layout are *identical* to the sequential build's for every thread
     /// count (a proptested invariant).
+    ///
+    /// # Panics
+    ///
+    /// On a site with more than `u32::MAX` distinct scoring users — see
+    /// [`Self::try_build_with`] for the error-returning form.
     pub fn build_with(exec: &Exec, site: &SiteModel) -> Self {
+        Self::try_build_with(exec, site).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`Self::build_with`], surfacing a pathological site as
+    /// [`crate::ContentError::CapacityExceeded`] instead of panicking.
+    pub fn try_build_with(exec: &Exec, site: &SiteModel) -> crate::Result<Self> {
         /// Build-time accumulator: user → tag → item → score.
         type ScoreAcc = FxHashMap<NodeId, FxHashMap<TagId, FxHashMap<NodeId, f64>>>;
         let mut tags = TagInterner::new();
@@ -483,8 +580,14 @@ impl ExactIndex {
             })
             .collect();
         users.sort_unstable_by_key(|(user, _)| *user);
+        if users.len() as u64 > MAX_LAYOUT_SLOTS {
+            return Err(crate::ContentError::CapacityExceeded {
+                what: "indexed users",
+                limit: MAX_LAYOUT_SLOTS,
+            });
+        }
         let slots = rebuild_slots(&users);
-        ExactIndex { tags, slots, users }
+        Ok(ExactIndex { tags, slots, users })
     }
 
     /// The unified construction surface: configure and build through an
@@ -499,6 +602,18 @@ impl ExactIndex {
     /// see [`Self::apply_with`] for the contract and mechanics.
     pub fn apply(&mut self, site: &SiteModel, events: &[TagEvent]) -> ApplyReport {
         self.apply_with(&Exec::auto(), site, events)
+    }
+
+    /// [`Self::apply`] with an error channel: capacity overflows (and
+    /// injected faults) surface as errors, and an `Err` return guarantees
+    /// the index is byte-identical to its pre-call state (see
+    /// [`Self::try_apply_with`]).
+    pub fn try_apply(
+        &mut self,
+        site: &SiteModel,
+        events: &[TagEvent],
+    ) -> crate::Result<ApplyReport> {
+        self.try_apply_with(&Exec::auto(), site, events)
     }
 
     /// [`Self::apply`] on a caller-chosen [`Exec`].
@@ -525,20 +640,42 @@ impl ExactIndex {
         site: &SiteModel,
         events: &[TagEvent],
     ) -> ApplyReport {
-        // Intern event tags up front (new tags get ids; queries compare by
-        // string, so id numbering never affects answers).
+        self.try_apply_with(exec, site, events).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`Self::apply_with`] with an error channel, **all-or-nothing per
+    /// batch**: the apply stages its fallible work (tag interning on a
+    /// cloned symbol table, the sharded score recompute, capacity
+    /// validation) against read-only state, and only then commits — so an
+    /// `Err` return (capacity overflow, or an injected fault at
+    /// [`crate::faults::EXACT_APPLY_STAGE`] /
+    /// [`crate::faults::EXACT_APPLY_COMMIT`]) leaves the index
+    /// byte-identical to its pre-call state: same stats, same list per
+    /// `(tag, user)`, same answer to every query.
+    pub fn try_apply_with(
+        &mut self,
+        exec: &Exec,
+        site: &SiteModel,
+        events: &[TagEvent],
+    ) -> crate::Result<ApplyReport> {
+        // Stage: intern event tags into a *cloned* symbol table (new tags
+        // get ids; queries compare by string, so id numbering never affects
+        // answers) — a fault below must not leave freshly interned tags
+        // behind in the live index.
+        let mut staged_tags = self.tags.clone();
         let mut triples: Vec<(NodeId, TagId, NodeId)> = Vec::new();
         for event in events {
-            let tag = self.tags.intern(event.tag());
+            let tag = staged_tags.intern(event.tag());
             for &user in site.network_of(event.tagger()) {
                 triples.push((user, tag, event.item()));
             }
         }
         triples.sort_unstable();
         triples.dedup();
+        crate::faults::fire(crate::faults::EXACT_APPLY_STAGE)?;
         // Read-only recompute phase, sharded: each triple's new score is
         // one sorted-merge intersection against the post-event site.
-        let tags = &self.tags;
+        let tags = &staged_tags;
         let sharded: Vec<Vec<f64>> =
             exec.run_sharded(triples.len(), APPLY_MIN_UNITS_PER_SHARD, |_, range| {
                 range
@@ -551,6 +688,29 @@ impl ExactIndex {
                     .collect()
             });
         let scores: Vec<f64> = sharded.into_iter().flatten().collect();
+        // Validate: the patch below inserts one row per not-yet-indexed
+        // user that gained a positive score; the layout must stay within
+        // the slot bound. Triples are user-sorted, so new users group.
+        let mut new_rows = 0u64;
+        let mut last_new: Option<NodeId> = None;
+        for (&(user, _, _), &score) in triples.iter().zip(&scores) {
+            if score > 0.0
+                && last_new != Some(user)
+                && self.users.binary_search_by_key(&user, |(u, _)| *u).is_err()
+            {
+                new_rows += 1;
+                last_new = Some(user);
+            }
+        }
+        if self.users.len() as u64 + new_rows > MAX_LAYOUT_SLOTS {
+            return Err(crate::ContentError::CapacityExceeded {
+                what: "indexed users",
+                limit: MAX_LAYOUT_SLOTS,
+            });
+        }
+        crate::faults::fire(crate::faults::EXACT_APPLY_COMMIT)?;
+        // Commit: from here on nothing can fail.
+        self.tags = staged_tags;
         // Sequential patch phase. Row membership may change, which shifts
         // slots — rows are found by binary search (the vector stays
         // ascending) and the slot table is rebuilt once at the end.
@@ -605,7 +765,7 @@ impl ExactIndex {
         if membership_dirty {
             self.slots = rebuild_slots(&self.users);
         }
-        ApplyReport { changed_entries, ..ApplyReport::default() }
+        Ok(ApplyReport { changed_entries, ..ApplyReport::default() })
     }
 
     /// The tag symbol table the index is keyed on.
@@ -723,10 +883,13 @@ impl ExactIndex {
         opts: BatchOptions<'_>,
     ) -> Vec<TopKResult> {
         let exec = opts.exec.unwrap_or_else(Exec::auto);
+        let deadline = Deadline::new(opts.deadline);
         match opts.scratch {
-            Some(ScratchSlot::Single(scratch)) => self.serve_batch_seq(scratch, users, keywords, k),
+            Some(ScratchSlot::Single(scratch)) => {
+                self.serve_batch_seq(scratch, users, keywords, k, deadline)
+            }
             Some(ScratchSlot::Pool(pool)) => {
-                self.serve_batch_sharded(&exec, pool, users, keywords, k)
+                self.serve_batch_sharded(&exec, pool, users, keywords, k, deadline)
             }
             None => self.serve_batch_sharded(
                 &exec,
@@ -734,6 +897,7 @@ impl ExactIndex {
                 users,
                 keywords,
                 k,
+                deadline,
             ),
         }
     }
@@ -756,7 +920,7 @@ impl ExactIndex {
         keywords: &[String],
         k: usize,
     ) -> Vec<TopKResult> {
-        self.serve_batch_seq(scratch, users, keywords, k)
+        self.serve_batch_seq(scratch, users, keywords, k, Deadline::unbounded())
     }
 
     /// Batched top-k on a caller-chosen [`Exec`].
@@ -788,7 +952,7 @@ impl ExactIndex {
         keywords: &[String],
         k: usize,
     ) -> Vec<TopKResult> {
-        self.serve_batch_sharded(exec, pool, users, keywords, k)
+        self.serve_batch_sharded(exec, pool, users, keywords, k, Deadline::unbounded())
     }
 
     /// The single-threaded batch path: one scratch arena, users walked in
@@ -799,6 +963,7 @@ impl ExactIndex {
         users: &[NodeId],
         keywords: &[String],
         k: usize,
+        deadline: Deadline,
     ) -> Vec<TopKResult> {
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
         let tag_ids = tag_ids.as_slice();
@@ -818,7 +983,7 @@ impl ExactIndex {
         }));
         order.sort_unstable();
         results.resize_with(users.len(), TopKResult::default);
-        self.serve_slots(order, tag_ids, k, topk, |position, result| {
+        self.serve_slots(order, tag_ids, k, topk, deadline, |position, result| {
             results[position as usize] = result;
         });
         results
@@ -843,10 +1008,11 @@ impl ExactIndex {
         users: &[NodeId],
         keywords: &[String],
         k: usize,
+        deadline: Deadline,
     ) -> Vec<TopKResult> {
         let shards = exec.shard_count(users.len(), SHARD_MIN_USERS);
         if shards <= 1 {
-            return self.serve_batch_seq(pool.worker(), users, keywords, k);
+            return self.serve_batch_seq(pool.worker(), users, keywords, k, deadline);
         }
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
         let tag_ids = tag_ids.as_slice();
@@ -865,9 +1031,16 @@ impl ExactIndex {
         let sharded: Vec<Vec<(u32, TopKResult)>> =
             exec.run_chunks_with(grow_workers(workers, shards), &ranges, |scratch, _, range| {
                 let mut out: Vec<(u32, TopKResult)> = Vec::with_capacity(range.len());
-                self.serve_slots(&order[range], tag_ids, k, &mut scratch.topk, |pos, result| {
-                    out.push((pos, result));
-                });
+                self.serve_slots(
+                    &order[range],
+                    tag_ids,
+                    k,
+                    &mut scratch.topk,
+                    deadline,
+                    |pos, result| {
+                        out.push((pos, result));
+                    },
+                );
                 out
             });
         results.resize_with(users.len(), TopKResult::default);
@@ -882,18 +1055,34 @@ impl ExactIndex {
     /// Evaluate a layout-ordered run of `(slot, position)` pairs, handing
     /// each result to `sink(position, result)`. The single shared walk of
     /// both batch paths: the sequential path runs it over the whole order,
-    /// each parallel worker over its contiguous slot range.
+    /// each parallel worker over its contiguous slot range. The deadline is
+    /// checked cooperatively before each [`DEADLINE_CHECK_STRIDE`]-member
+    /// chunk — members serve in tens of nanoseconds, so a per-member check
+    /// would cost more than the serving it guards; once it expires, every
+    /// remaining member of this run gets the defined empty-with-flag
+    /// result ([`TopKResult::deadline_expired`]).
     fn serve_slots(
         &self,
         order: &[(u32, u32)],
         tag_ids: &[TagId],
         k: usize,
         topk: &mut TopKScratch,
+        mut deadline: Deadline,
         mut sink: impl FnMut(u32, TopKResult),
     ) {
-        for &(slot, position) in order {
-            let rows = (slot != NO_SLOT).then(|| self.users[slot as usize].1.as_slice());
-            sink(position, self.query_resolved(rows, tag_ids, k, topk));
+        let mut expired = false;
+        for chunk in order.chunks(DEADLINE_CHECK_STRIDE) {
+            expired = expired || deadline.expired();
+            if expired {
+                for &(_, position) in chunk {
+                    sink(position, TopKResult::expired());
+                }
+                continue;
+            }
+            for &(slot, position) in chunk {
+                let rows = (slot != NO_SLOT).then(|| self.users[slot as usize].1.as_slice());
+                sink(position, self.query_resolved(rows, tag_ids, k, topk));
+            }
         }
     }
 
@@ -949,6 +1138,12 @@ impl ExactIndexBuilder<'_> {
     pub fn build(self) -> ExactIndex {
         ExactIndex::build_with(&self.exec.unwrap_or_else(Exec::auto), self.site)
     }
+
+    /// Build the index, surfacing capacity overflow as an error instead of
+    /// panicking ([`ExactIndex::try_build_with`]).
+    pub fn try_build(self) -> crate::Result<ExactIndex> {
+        ExactIndex::try_build_with(&self.exec.unwrap_or_else(Exec::auto), self.site)
+    }
 }
 
 /// The unified construction surface of [`ClusteredIndex`] (see
@@ -978,6 +1173,16 @@ impl ClusteredIndexBuilder<'_> {
     /// Build the index.
     pub fn build(self) -> ClusteredIndex {
         ClusteredIndex::build_with(
+            &self.exec.unwrap_or_else(Exec::auto),
+            self.site,
+            self.clustering.unwrap_or_default(),
+        )
+    }
+
+    /// Build the index, surfacing capacity overflow as an error instead of
+    /// panicking ([`ClusteredIndex::try_build_with`]).
+    pub fn try_build(self) -> crate::Result<ClusteredIndex> {
+        ClusteredIndex::try_build_with(
             &self.exec.unwrap_or_else(Exec::auto),
             self.site,
             self.clustering.unwrap_or_default(),
@@ -1033,6 +1238,13 @@ pub struct ClusteredQueryReport {
     /// index". `network_clusters_spanned` is still reported: the seeker's
     /// *network* may be clustered even when the seeker is not.
     pub unclustered: bool,
+    /// Whether the batch's deadline budget
+    /// ([`BatchOptions::deadline`]) expired before this member was
+    /// served: the same empty-with-flag semantic as `unclustered`, with
+    /// [`TopKResult::deadline_expired`] set on the embedded result too.
+    /// Always `false` on the single-query path, which has no deadline.
+    #[serde(default)]
+    pub deadline_expired: bool,
 }
 
 impl ClusteredIndex {
@@ -1060,7 +1272,23 @@ impl ClusteredIndex {
     /// (`RefinementIndex::append`). The list pool is then laid out in
     /// ascending key order, so the built index is identical for every
     /// thread count (a proptested invariant).
+    ///
+    /// # Panics
+    ///
+    /// On a site/clustering with more than `u32::MAX` non-empty
+    /// `(tag, cluster)` bound lists — see [`Self::try_build_with`] for the
+    /// error-returning form.
     pub fn build_with(exec: &Exec, site: &SiteModel, clustering: UserClustering) -> Self {
+        Self::try_build_with(exec, site, clustering).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`Self::build_with`], surfacing a pathological site as
+    /// [`crate::ContentError::CapacityExceeded`] instead of panicking.
+    pub fn try_build_with(
+        exec: &Exec,
+        site: &SiteModel,
+        clustering: UserClustering,
+    ) -> crate::Result<Self> {
         type BoundAcc = FxHashMap<(TagId, ClusterId), FxHashMap<NodeId, f64>>;
         let mut tags = TagInterner::new();
         let groups: Vec<(NodeId, &str, &[NodeId])> = site.tag_assignments().collect();
@@ -1123,22 +1351,29 @@ impl ClusteredIndex {
         let mut keyed: Vec<((TagId, ClusterId), FxHashMap<NodeId, f64>)> =
             bounds.into_iter().collect();
         keyed.sort_unstable_by_key(|&(key, _)| key);
+        if keyed.len() as u64 > MAX_LAYOUT_SLOTS {
+            return Err(crate::ContentError::CapacityExceeded {
+                what: "bound lists",
+                limit: MAX_LAYOUT_SLOTS,
+            });
+        }
         let mut list_ids: FxHashMap<(TagId, ClusterId), u32> =
             FxHashMap::with_capacity_and_hasher(keyed.len(), FxBuildHasher::default());
         let mut list_pool: Vec<PostingList> = Vec::with_capacity(keyed.len());
         for (key, items) in keyed {
-            let slot = u32::try_from(list_pool.len()).expect("fewer than 2^32 bound lists");
+            // Validated against MAX_LAYOUT_SLOTS above: cannot truncate.
+            let slot = list_pool.len() as u32;
             list_ids.insert(key, slot);
             list_pool.push(PostingList::from_entries(items));
         }
-        ClusteredIndex {
+        Ok(ClusteredIndex {
             tags,
             list_ids,
             list_pool,
             refinement,
             clustering,
             stamp: next_build_stamp(),
-        }
+        })
     }
 
     /// The unified construction surface: configure and build through a
@@ -1166,6 +1401,18 @@ impl ClusteredIndex {
     /// mechanics.
     pub fn apply(&mut self, site: &SiteModel, events: &[TagEvent]) -> ApplyReport {
         self.apply_with(&Exec::auto(), site, events)
+    }
+
+    /// [`Self::apply`] with an error channel: capacity overflows (and
+    /// injected faults) surface as errors, and an `Err` return guarantees
+    /// index, clustering and refinement are byte-identical to their
+    /// pre-call state (see [`Self::try_apply_with`]).
+    pub fn try_apply(
+        &mut self,
+        site: &SiteModel,
+        events: &[TagEvent],
+    ) -> crate::Result<ApplyReport> {
+        self.try_apply_with(&Exec::auto(), site, events)
     }
 
     /// [`Self::apply`] on a caller-chosen [`Exec`].
@@ -1207,33 +1454,62 @@ impl ClusteredIndex {
         site: &SiteModel,
         events: &[TagEvent],
     ) -> ApplyReport {
-        let event_tags: Vec<TagId> = events.iter().map(|e| self.tags.intern(e.tag())).collect();
-        // Phase 1: recluster-on-join.
+        self.try_apply_with(exec, site, events).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`Self::apply_with`] with an error channel, **all-or-nothing per
+    /// batch**: the four phases run in *staged* form — joins against a
+    /// cloned clustering, tag interning against a cloned symbol table,
+    /// refinement changes computed but not spliced, bounds recomputed
+    /// read-only and capacity-validated — and only then does everything
+    /// commit together, after the last fallible step. An `Err` return
+    /// (capacity overflow, or an injected fault at any of
+    /// [`crate::faults::CLUSTERED_APPLY_PHASE1`] /
+    /// [`crate::faults::CLUSTERED_APPLY_PHASE2`] /
+    /// [`crate::faults::CLUSTERED_APPLY_PHASE3`]) therefore leaves the
+    /// index byte-identical to its pre-call state — bound lists,
+    /// refinement groups, clustering, build stamp — so site + index +
+    /// clustering can never be observed torn.
+    pub fn try_apply_with(
+        &mut self,
+        exec: &Exec,
+        site: &SiteModel,
+        events: &[TagEvent],
+    ) -> crate::Result<ApplyReport> {
+        // Stage: all interning goes through a cloned symbol table, all
+        // joins through a cloned clustering — a fault below must not leave
+        // fresh tags or cluster assignments behind in the live index.
+        let mut staged_tags = self.tags.clone();
+        let event_tags: Vec<TagId> = events.iter().map(|e| staged_tags.intern(e.tag())).collect();
+        // Phase 1 (staged): recluster-on-join.
+        let mut staged_clustering = self.clustering.clone();
         let mut joins: Vec<(NodeId, ClusterId)> = Vec::new();
-        let strategy = strategy_named(&self.clustering.strategy);
+        let strategy = strategy_named(&staged_clustering.strategy);
         for event in events {
             let user = event.tagger();
-            if self.clustering.cluster_of(user).is_some() {
+            if staged_clustering.cluster_of(user).is_some() {
                 continue;
             }
-            let theta = self.clustering.theta;
+            let theta = staged_clustering.theta;
             let nearest = strategy.and_then(|s| {
-                (0..self.clustering.cluster_count()).map(ClusterId).find(|&c| {
-                    self.clustering
+                (0..staged_clustering.cluster_count()).map(ClusterId).find(|&c| {
+                    staged_clustering
                         .leader(c)
                         .is_some_and(|leader| s.same_cluster(site, user, leader, theta))
                 })
             });
             let cluster = match nearest {
                 Some(cluster) => {
-                    self.clustering.join(user, cluster);
+                    staged_clustering.join(user, cluster);
                     cluster
                 }
-                None => self.clustering.found(user),
+                None => staged_clustering.found(user),
             };
             joins.push((user, cluster));
         }
-        // Phase 2: refinement splice — only groups whose content moved.
+        crate::faults::fire(crate::faults::CLUSTERED_APPLY_PHASE1)?;
+        // Phase 2 (staged): refinement changes — only groups whose content
+        // moved — computed against the live arena, spliced at commit.
         let mut group_changes: FxHashMap<(TagId, NodeId), Vec<NodeId>> = FxHashMap::default();
         for (event, &tag) in events.iter().zip(&event_tags) {
             let key = (tag, event.item());
@@ -1246,16 +1522,14 @@ impl ClusteredIndex {
             }
         }
         let changed_groups = group_changes.len();
-        if changed_groups > 0 {
-            self.refinement.splice(&group_changes);
-        }
-        // Phase 3: affected bound keys — event effects through the
-        // tagger's network members' clusters, join effects through the
+        crate::faults::fire(crate::faults::CLUSTERED_APPLY_PHASE2)?;
+        // Phase 3 (staged): affected bound keys — event effects through
+        // the tagger's network members' clusters, join effects through the
         // joiner's own non-zero scores.
         let mut affected: Vec<(TagId, ClusterId, NodeId)> = Vec::new();
         for (event, &tag) in events.iter().zip(&event_tags) {
             for &member in site.network_of(event.tagger()) {
-                if let Some(cluster) = self.clustering.cluster_of(member) {
+                if let Some(cluster) = staged_clustering.cluster_of(member) {
                     affected.push((tag, cluster, event.item()));
                 }
             }
@@ -1265,7 +1539,7 @@ impl ClusteredIndex {
                 for &item in site.items_of(friend) {
                     for (tag, taggers) in site.item_tags(item) {
                         if taggers.binary_search(&friend).is_ok() {
-                            affected.push((self.tags.intern(tag), cluster, item));
+                            affected.push((staged_tags.intern(tag), cluster, item));
                         }
                     }
                 }
@@ -1275,7 +1549,7 @@ impl ClusteredIndex {
         affected.dedup();
         // Read-only recompute, sharded: each affected bound is the max of
         // one sorted-merge intersection per cluster member.
-        let (tags, clustering) = (&self.tags, &self.clustering);
+        let (tags, clustering) = (&staged_tags, &staged_clustering);
         let sharded: Vec<Vec<f64>> =
             exec.run_sharded(affected.len(), APPLY_MIN_UNITS_PER_SHARD, |_, range| {
                 range
@@ -1295,6 +1569,36 @@ impl ClusteredIndex {
                     .collect()
             });
         let bounds: Vec<f64> = sharded.into_iter().flatten().collect();
+        // Validate: the patch below pools one new list per absent
+        // `(tag, cluster)` key that gained a positive bound; the layout
+        // must stay within the slot bound. Affected keys are sorted, so
+        // new keys group.
+        let mut new_lists = 0u64;
+        let mut last_new: Option<(TagId, ClusterId)> = None;
+        for (&(tag, cluster, _), &bound) in affected.iter().zip(&bounds) {
+            if bound > 0.0
+                && last_new != Some((tag, cluster))
+                && !self.list_ids.contains_key(&(tag, cluster))
+            {
+                new_lists += 1;
+                last_new = Some((tag, cluster));
+            }
+        }
+        if self.list_pool.len() as u64 + new_lists > MAX_LAYOUT_SLOTS {
+            return Err(crate::ContentError::CapacityExceeded {
+                what: "bound lists",
+                limit: MAX_LAYOUT_SLOTS,
+            });
+        }
+        crate::faults::fire(crate::faults::CLUSTERED_APPLY_PHASE3)?;
+        // Commit: from here on nothing can fail. The staged symbol table
+        // and clustering swap in, the refinement splice lands, and the
+        // patch below only performs pre-validated inserts.
+        self.tags = staged_tags;
+        self.clustering = staged_clustering;
+        if changed_groups > 0 {
+            self.refinement.splice(&group_changes);
+        }
         // Sequential patch phase.
         let mut changed_entries = 0usize;
         let mut layout_dirty = false;
@@ -1319,8 +1623,9 @@ impl ClusteredIndex {
                     }
                 }
                 None if bound > 0.0 => {
-                    let slot =
-                        u32::try_from(self.list_pool.len()).expect("fewer than 2^32 bound lists");
+                    // Validated against MAX_LAYOUT_SLOTS above: cannot
+                    // truncate.
+                    let slot = self.list_pool.len() as u32;
                     let mut list = PostingList::new();
                     list.insert(item, bound);
                     self.list_ids.insert((tag, cluster), slot);
@@ -1346,8 +1651,9 @@ impl ClusteredIndex {
             self.list_ids =
                 FxHashMap::with_capacity_and_hasher(keyed.len(), FxBuildHasher::default());
             for (key, list) in keyed {
-                let slot =
-                    u32::try_from(self.list_pool.len()).expect("fewer than 2^32 bound lists");
+                // The re-layout only drops empty lists, so the validated
+                // bound still holds.
+                let slot = self.list_pool.len() as u32;
                 self.list_ids.insert(key, slot);
                 self.list_pool.push(list);
             }
@@ -1357,7 +1663,7 @@ impl ClusteredIndex {
         if !report.is_noop() {
             self.stamp = next_build_stamp();
         }
-        report
+        Ok(report)
     }
 
     /// The tag symbol table the index is keyed on.
@@ -1477,6 +1783,7 @@ impl ClusteredIndex {
             result,
             network_clusters_spanned: spans.len(),
             unclustered: gathered.unclustered,
+            deadline_expired: false,
         }
     }
 
@@ -1501,12 +1808,13 @@ impl ClusteredIndex {
         opts: BatchOptions<'_>,
     ) -> Vec<ClusteredQueryReport> {
         let exec = opts.exec.unwrap_or_else(Exec::auto);
+        let deadline = Deadline::new(opts.deadline);
         match opts.scratch {
             Some(ScratchSlot::Single(scratch)) => {
-                self.serve_batch_seq(scratch, site, users, keywords, k)
+                self.serve_batch_seq(scratch, site, users, keywords, k, deadline)
             }
             Some(ScratchSlot::Pool(pool)) => {
-                self.serve_batch_sharded(&exec, pool, site, users, keywords, k)
+                self.serve_batch_sharded(&exec, pool, site, users, keywords, k, deadline)
             }
             None => self.serve_batch_sharded(
                 &exec,
@@ -1515,6 +1823,7 @@ impl ClusteredIndex {
                 users,
                 keywords,
                 k,
+                deadline,
             ),
         }
     }
@@ -1544,7 +1853,7 @@ impl ClusteredIndex {
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        self.serve_batch_seq(scratch, site, users, keywords, k)
+        self.serve_batch_seq(scratch, site, users, keywords, k, Deadline::unbounded())
     }
 
     /// Deprecated spelling of the multi-threaded batch path.
@@ -1577,7 +1886,7 @@ impl ClusteredIndex {
         keywords: &[String],
         k: usize,
     ) -> Vec<ClusteredQueryReport> {
-        self.serve_batch_sharded(exec, pool, site, users, keywords, k)
+        self.serve_batch_sharded(exec, pool, site, users, keywords, k, Deadline::unbounded())
     }
 
     /// The sequential batch path behind [`Self::query_batch_opts`]:
@@ -1594,6 +1903,7 @@ impl ClusteredIndex {
         users: &[NodeId],
         keywords: &[String],
         k: usize,
+        deadline: Deadline,
     ) -> Vec<ClusteredQueryReport> {
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
         let resolved = self.refinement.resolve(tag_ids.as_slice());
@@ -1611,6 +1921,7 @@ impl ClusteredIndex {
             &resolved,
             k,
             scratch,
+            deadline,
             |position, report| results[position as usize] = report,
         );
         scratch.order = order;
@@ -1629,6 +1940,7 @@ impl ClusteredIndex {
     /// single [`Self::query`] calls — and to the sequential batch path —
     /// for every thread count (a proptested invariant). Batches too small
     /// to amortize worker spawns take the sequential path outright.
+    #[allow(clippy::too_many_arguments)]
     fn serve_batch_sharded(
         &self,
         exec: &Exec,
@@ -1637,10 +1949,11 @@ impl ClusteredIndex {
         users: &[NodeId],
         keywords: &[String],
         k: usize,
+        deadline: Deadline,
     ) -> Vec<ClusteredQueryReport> {
         let shards = exec.shard_count(users.len(), SHARD_MIN_USERS);
         if shards <= 1 {
-            return self.serve_batch_seq(pool.worker(), site, users, keywords, k);
+            return self.serve_batch_seq(pool.worker(), site, users, keywords, k, deadline);
         }
         let tag_ids = QueryTags::resolve(&self.tags, keywords);
         let tag_ids = tag_ids.as_slice();
@@ -1661,6 +1974,7 @@ impl ClusteredIndex {
                     &resolved,
                     k,
                     scratch,
+                    deadline,
                     |position, report| out.push((position, report)),
                 );
                 out
@@ -1685,14 +1999,12 @@ impl ClusteredIndex {
             let cluster = self
                 .clustering
                 .cluster_of(*user)
-                // NO_SLOT (u32::MAX) is reserved for "unclustered", so the
-                // bound excludes it, not just anything past u32.
-                .map(|c| {
-                    u32::try_from(c.0)
-                        .ok()
-                        .filter(|&s| s != NO_SLOT)
-                        .expect("fewer than 2^32 - 1 clusters")
-                })
+                // NO_SLOT (u32::MAX) is reserved for "unclustered". A
+                // cluster id past that bound cannot be keyed — `clustering`
+                // is a public field, so build-time validation cannot rule
+                // it out — and degrades to the documented unclustered
+                // (empty-with-flag) semantic instead of aborting.
+                .and_then(|c| u32::try_from(c.0).ok().filter(|&s| s != NO_SLOT))
                 .unwrap_or(NO_SLOT);
             (cluster, position as u32)
         }));
@@ -1732,7 +2044,11 @@ impl ClusteredIndex {
     /// each cluster group's extent, gather its bound lists once (through
     /// the scratch's cross-batch cache) and evaluate every member, handing
     /// each report to `sink(position, report)`. The single shared walk of
-    /// both batch paths.
+    /// both batch paths. The deadline is checked cooperatively before each
+    /// [`DEADLINE_CHECK_STRIDE`]-member chunk of a group; once it expires,
+    /// every remaining member of this run gets the defined empty-with-flag
+    /// report ([`ClusteredQueryReport::deadline_expired`]) and remaining
+    /// groups skip their gathers outright.
     #[allow(clippy::too_many_arguments)]
     fn serve_cluster_groups(
         &self,
@@ -1743,14 +2059,23 @@ impl ClusteredIndex {
         resolved: &ResolvedRefinement<'_>,
         k: usize,
         scratch: &mut BatchScratch,
+        mut deadline: Deadline,
         mut sink: impl FnMut(u32, ClusteredQueryReport),
     ) {
         let BatchScratch { topk, spans, gather, .. } = scratch;
         let mut start = 0usize;
+        let mut expired = false;
         while start < order.len() {
             let key = order[start].0;
             let end = start
                 + order[start..].iter().position(|&(c, _)| c != key).unwrap_or(order.len() - start);
+            if expired {
+                for &(_, position) in &order[start..end] {
+                    sink(position, Self::expired_report());
+                }
+                start = end;
+                continue;
+            }
             let cluster = (key != NO_SLOT).then_some(ClusterId(key as usize));
             let lists = match cluster {
                 Some(cluster) => self.gather_cached(gather, cluster, tag_ids),
@@ -1759,12 +2084,30 @@ impl ClusteredIndex {
             };
             let gathered =
                 GatheredQuery { lists: &lists, resolved, unclustered: cluster.is_none() };
-            for &(_, position) in &order[start..end] {
-                let user = users[position as usize];
-                let scratch = ClusterScratch { topk: &mut *topk, spans: &mut *spans };
-                sink(position, self.query_gathered(site, user, &gathered, k, scratch));
+            for chunk in order[start..end].chunks(DEADLINE_CHECK_STRIDE) {
+                expired = expired || deadline.expired();
+                for &(_, position) in chunk {
+                    if expired {
+                        sink(position, Self::expired_report());
+                        continue;
+                    }
+                    let user = users[position as usize];
+                    let scratch = ClusterScratch { topk: &mut *topk, spans: &mut *spans };
+                    sink(position, self.query_gathered(site, user, &gathered, k, scratch));
+                }
             }
             start = end;
+        }
+    }
+
+    /// The defined degraded report of a deadline expiry: empty, with both
+    /// flags set (the embedded [`TopKResult::deadline_expired`] and the
+    /// report-level [`ClusteredQueryReport::deadline_expired`]).
+    fn expired_report() -> ClusteredQueryReport {
+        ClusteredQueryReport {
+            result: TopKResult::expired(),
+            deadline_expired: true,
+            ..ClusteredQueryReport::default()
         }
     }
 }
@@ -2119,6 +2462,70 @@ mod tests {
         for (got, &u) in served.iter().zip(&batch) {
             assert_eq!(got, &clustered.query(&site, u, &keywords, 3));
             assert_eq!(got.unclustered, u == late);
+        }
+    }
+
+    /// An already-expired budget degrades every batch member to the defined
+    /// partial result — empty ranking, `deadline_expired` set — on both
+    /// engines and at both thread counts, without panicking or serving
+    /// garbage.
+    #[test]
+    fn an_expired_deadline_flags_every_batch_member() {
+        let (site, users, _) = site();
+        let exact = ExactIndex::build(&site);
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, 0.3));
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        for threads in [1usize, 4] {
+            let exec = Exec::new(threads).unwrap();
+            let opts = || BatchOptions::new().exec(&exec).deadline(std::time::Duration::ZERO);
+            let served = exact.query_batch_opts(&users, &keywords, 3, opts());
+            assert_eq!(served.len(), users.len());
+            for res in &served {
+                assert!(res.deadline_expired, "threads {threads}");
+                assert!(res.ranked.is_empty());
+                assert_eq!(res.sorted_accesses, 0);
+            }
+            let served = clustered.query_batch_opts(&site, &users, &keywords, 3, opts());
+            assert_eq!(served.len(), users.len());
+            for report in &served {
+                assert!(report.deadline_expired, "threads {threads}");
+                assert!(report.result.deadline_expired);
+                assert!(report.result.ranked.is_empty());
+            }
+        }
+    }
+
+    /// A generous budget must be invisible: results are byte-identical to
+    /// the unbounded batch and no `deadline_expired` flag is set.
+    #[test]
+    fn a_generous_deadline_changes_nothing() {
+        let (site, users, _) = site();
+        let exact = ExactIndex::build(&site);
+        let clustered = ClusteredIndex::build(&site, NetworkBasedClustering.cluster(&site, 0.3));
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        let hour = std::time::Duration::from_secs(3600);
+        for threads in [1usize, 4] {
+            let exec = Exec::new(threads).unwrap();
+            let unbounded = exact.query_batch_opts(&users, &keywords, 3, BatchOptions::new());
+            let bounded = exact.query_batch_opts(
+                &users,
+                &keywords,
+                3,
+                BatchOptions::new().exec(&exec).deadline(hour),
+            );
+            assert_eq!(bounded, unbounded, "threads {threads}");
+            assert!(bounded.iter().all(|r| !r.deadline_expired));
+            let unbounded =
+                clustered.query_batch_opts(&site, &users, &keywords, 3, BatchOptions::new());
+            let bounded = clustered.query_batch_opts(
+                &site,
+                &users,
+                &keywords,
+                3,
+                BatchOptions::new().exec(&exec).deadline(hour),
+            );
+            assert_eq!(bounded, unbounded, "threads {threads}");
+            assert!(bounded.iter().all(|r| !r.deadline_expired));
         }
     }
 }

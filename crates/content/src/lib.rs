@@ -35,6 +35,7 @@ pub mod activity;
 pub mod cluster;
 pub mod error;
 pub mod events;
+pub mod faults;
 pub mod index;
 mod inline;
 pub mod integrator;

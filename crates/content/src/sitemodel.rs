@@ -180,6 +180,16 @@ impl SiteModel {
     /// activity — which is what lets the index delta paths treat
     /// `network(u)` as stable.
     pub fn apply(&mut self, events: &[TagEvent]) -> usize {
+        self.try_apply(events).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`Self::apply`] with an error channel for the fault-injection
+    /// harness. The site model is all-or-nothing by construction: every
+    /// fallible step (here, the [`crate::faults::SITE_APPLY`] failpoint)
+    /// runs *before* the first mutation, so an `Err` return guarantees the
+    /// model is byte-identical to its pre-call state.
+    pub fn try_apply(&mut self, events: &[TagEvent]) -> crate::Result<usize> {
+        crate::faults::fire(crate::faults::SITE_APPLY)?;
         let mut effective = 0usize;
         for event in events {
             let tag = normalize(event.tag()).into_owned();
@@ -262,7 +272,7 @@ impl SiteModel {
                 }
             }
         }
-        effective
+        Ok(effective)
     }
 
     /// Tags used by a user.

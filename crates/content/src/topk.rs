@@ -38,6 +38,13 @@ pub struct TopKResult {
     /// Whether the threshold stop condition fired before the lists were
     /// exhausted (an indicator of pruning effectiveness).
     pub early_terminated: bool,
+    /// Whether this result is the *defined degraded state* of a batch
+    /// deadline expiry ([`crate::index::BatchOptions::deadline`]): the
+    /// budget ran out before this user was served, so the result is empty
+    /// with this flag set. Never set on a served result — a query is either
+    /// answered exactly or flagged, never answered partially.
+    #[serde(default)]
+    pub deadline_expired: bool,
     /// `ranked` re-sorted in ascending item order, built by the top-k
     /// evaluators (for results big enough to bisect) so [`Self::score_of`]
     /// shares [`PostingList::score_of`]'s random-access lookup. Empty —
@@ -54,6 +61,7 @@ impl PartialEq for TopKResult {
             && self.sorted_accesses == other.sorted_accesses
             && self.exact_computations == other.exact_computations
             && self.early_terminated == other.early_terminated
+            && self.deadline_expired == other.deadline_expired
     }
 }
 
@@ -72,9 +80,17 @@ impl TopKResult {
             sorted_accesses,
             exact_computations,
             early_terminated,
+            deadline_expired: false,
             by_item: Vec::new(),
         }
         .reindexed()
+    }
+
+    /// The defined degraded result of a batch deadline expiry: empty
+    /// ranking, zero counters, [`Self::deadline_expired`] set. This is
+    /// exactly what every batch member past the budget receives.
+    pub fn expired() -> Self {
+        TopKResult { deadline_expired: true, ..TopKResult::default() }
     }
 
     /// Rebuild the random-access companion from `ranked`. Small results

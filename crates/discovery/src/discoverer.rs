@@ -112,12 +112,23 @@ impl InformationDiscoverer {
         seekers: &[NodeId],
         text: &str,
     ) -> Vec<Vec<Recommendation>> {
-        search.recommend_batch_opts(
-            seekers,
-            &tokenize(text),
-            self.limit,
-            BatchOptions::new().exec(exec),
-        )
+        self.discover_batch_opts(search, seekers, text, BatchOptions::new().exec(exec))
+    }
+
+    /// [`Self::discover_batch`] under caller-chosen [`BatchOptions`]:
+    /// threads, scratch reuse, and — for latency-bounded serving — a
+    /// [`BatchOptions::deadline`] budget. When the budget expires
+    /// mid-batch the remaining seekers get the defined degraded answer (an
+    /// empty recommendation list), matching the content layer's
+    /// partial-results contract.
+    pub fn discover_batch_opts(
+        &self,
+        search: &NetworkAwareSearch,
+        seekers: &[NodeId],
+        text: &str,
+        opts: BatchOptions<'_>,
+    ) -> Vec<Vec<Recommendation>> {
+        search.recommend_batch_opts(seekers, &tokenize(text), self.limit, opts)
     }
 
     /// [`Self::discover_batch`] served from the space-constrained
@@ -131,12 +142,21 @@ impl InformationDiscoverer {
         seekers: &[NodeId],
         text: &str,
     ) -> Vec<Vec<Recommendation>> {
-        search.recommend_batch_opts(
-            seekers,
-            &tokenize(text),
-            self.limit,
-            BatchOptions::new().exec(exec),
-        )
+        self.discover_batch_clustered_opts(search, seekers, text, BatchOptions::new().exec(exec))
+    }
+
+    /// [`Self::discover_batch_clustered`] under caller-chosen
+    /// [`BatchOptions`], including a [`BatchOptions::deadline`] budget with
+    /// the same partial-results degradation as
+    /// [`Self::discover_batch_opts`].
+    pub fn discover_batch_clustered_opts(
+        &self,
+        search: &ClusteredNetworkAwareSearch,
+        seekers: &[NodeId],
+        text: &str,
+        opts: BatchOptions<'_>,
+    ) -> Vec<Vec<Recommendation>> {
+        search.recommend_batch_opts(seekers, &tokenize(text), self.limit, opts)
     }
 
     /// Build the provenance sub-graph of a ranked result set.

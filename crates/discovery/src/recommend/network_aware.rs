@@ -17,8 +17,8 @@
 use super::Recommendation;
 use socialscope_content::{
     ApplyReport, BatchOptions, BatchScratch, BatchScratchPool, ClusteredIndex,
-    ClusteredQueryReport, ClusteringStrategy, ExactIndex, NetworkBasedClustering, SiteModel,
-    TagEvent, TopKResult,
+    ClusteredQueryReport, ClusteringStrategy, ExactIndex, NetworkBasedClustering,
+    Result as ContentResult, SiteModel, TagEvent, TopKResult,
 };
 use socialscope_exec::Exec;
 use socialscope_graph::{NodeId, SocialGraph};
@@ -73,14 +73,40 @@ impl NetworkAwareSearch {
     /// state a from-scratch rebuild over the updated site would produce —
     /// every subsequent query (single or batch) answers from the fresh
     /// state. Threads from [`Exec::auto`].
+    ///
+    /// Panics on capacity exhaustion; [`Self::try_apply`] surfaces that as
+    /// an error instead.
     pub fn apply(&mut self, events: &[TagEvent]) -> ApplyReport {
         self.apply_with(&Exec::auto(), events)
     }
 
     /// [`Self::apply`] on a caller-chosen [`Exec`].
     pub fn apply_with(&mut self, exec: &Exec, events: &[TagEvent]) -> ApplyReport {
-        self.site.apply(events);
-        self.index.apply_with(exec, &self.site, events)
+        self.try_apply_with(exec, events).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible [`Self::apply`]: the whole engine apply is transactional.
+    /// On any error — capacity exhaustion, or an injected fault under the
+    /// `failpoints` test feature — *both* the site model and the index are
+    /// left byte-identical to their pre-apply state; no query can ever see
+    /// a site/index tear. Threads from [`Exec::auto`].
+    pub fn try_apply(&mut self, events: &[TagEvent]) -> ContentResult<ApplyReport> {
+        self.try_apply_with(&Exec::auto(), events)
+    }
+
+    /// [`Self::try_apply`] on a caller-chosen [`Exec`]. The site update is
+    /// staged on a clone and committed only after the index apply (itself
+    /// transactional) succeeds.
+    pub fn try_apply_with(
+        &mut self,
+        exec: &Exec,
+        events: &[TagEvent],
+    ) -> ContentResult<ApplyReport> {
+        let mut staged_site = self.site.clone();
+        staged_site.try_apply(events)?;
+        let report = self.index.try_apply_with(exec, &staged_site, events)?;
+        self.site = staged_site;
+        Ok(report)
     }
 
     /// Raw top-k for a batch of seekers sharing one keyword set: keywords
@@ -322,18 +348,51 @@ impl ClusteredNetworkAwareSearch {
     /// and a configured [`Self::with_fallback`] exact index is kept in
     /// lockstep. The returned report is the clustered index's. Threads
     /// from [`Exec::auto`].
+    ///
+    /// Panics on capacity exhaustion; [`Self::try_apply`] surfaces that as
+    /// an error instead.
     pub fn apply(&mut self, events: &[TagEvent]) -> ApplyReport {
         self.apply_with(&Exec::auto(), events)
     }
 
     /// [`Self::apply`] on a caller-chosen [`Exec`].
     pub fn apply_with(&mut self, exec: &Exec, events: &[TagEvent]) -> ApplyReport {
-        self.site.apply(events);
-        let report = self.index.apply_with(exec, &self.site, events);
-        if let Some(exact) = &mut self.fallback {
-            exact.apply_with(exec, &self.site, events);
-        }
-        report
+        self.try_apply_with(exec, events).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible [`Self::apply`]: the whole engine apply is transactional.
+    /// On any error — capacity exhaustion, or an injected fault under the
+    /// `failpoints` test feature — the site model, the clustered index
+    /// *and* the fallback exact index are all left byte-identical to their
+    /// pre-apply state; no query can ever see a site/index/fallback tear.
+    /// Threads from [`Exec::auto`].
+    pub fn try_apply(&mut self, events: &[TagEvent]) -> ContentResult<ApplyReport> {
+        self.try_apply_with(&Exec::auto(), events)
+    }
+
+    /// [`Self::try_apply`] on a caller-chosen [`Exec`]. The site update and
+    /// the fallback's patch are staged on clones; the clustered index's
+    /// (itself transactional) apply runs last, and only after it succeeds
+    /// are the staged site and fallback committed.
+    pub fn try_apply_with(
+        &mut self,
+        exec: &Exec,
+        events: &[TagEvent],
+    ) -> ContentResult<ApplyReport> {
+        let mut staged_site = self.site.clone();
+        staged_site.try_apply(events)?;
+        let staged_fallback = match &self.fallback {
+            Some(exact) => {
+                let mut staged = exact.clone();
+                staged.try_apply_with(exec, &staged_site, events)?;
+                Some(staged)
+            }
+            None => None,
+        };
+        let report = self.index.try_apply_with(exec, &staged_site, events)?;
+        self.site = staged_site;
+        self.fallback = staged_fallback;
+        Ok(report)
     }
 
     /// Raw clustered top-k for a batch of seekers sharing one keyword set;

@@ -1,0 +1,225 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A *failpoint* is a named site in the code — a shard boundary, an apply
+//! phase boundary, a deadline check — where a test can deterministically
+//! inject a failure: a panic at a chosen invocation index, or a typed fault
+//! from the n-th hit onward. Production code calls [`fire`] at each site;
+//! tests arm sites through a `FailScenario` guard (a type that only
+//! exists in `failpoints` builds). Nothing here depends
+//! on anything outside `std`, and with the `failpoints` cargo feature
+//! disabled (the default) every call compiles to an inlined no-op — the
+//! hot paths carry zero cost and the registry does not even exist.
+//!
+//! Determinism comes from the actions, not from randomness: a
+//! [`FailAction::Panic`] fires exactly when the caller-supplied index (e.g.
+//! a shard number) matches, and a [`FailAction::Fault`] counts hits and
+//! fails *sticky* from the configured hit onward — so a test can place a
+//! fault at precisely the first, second or n-th time a site is reached,
+//! and replaying the test replays the failure.
+//!
+//! Scenarios serialize on a global lock: failpoint tests in one process
+//! never see each other's armed sites, and dropping the scenario disarms
+//! everything even if the test panics.
+
+/// The failpoint at the start of every shard a [`crate::Exec`] fan-out
+/// runs: arming it with [`FailAction::Panic`]`{ index: s }` panics shard
+/// `s` deterministically, which is how the panic-isolation contract
+/// ([`crate::Exec::try_run_sharded`]) is exercised without racy test
+/// closures.
+pub const EXEC_SHARD_START: &str = "exec::shard_start";
+
+/// A typed fault returned by [`fire`] when the site is armed with
+/// [`FailAction::Fault`] and the hit count has been reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// The site the fault fired at.
+    pub site: String,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.site)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// What an armed failpoint does when [`fire`]d.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic when the caller-supplied fire index equals `index` (e.g. the
+    /// shard number) — other indexes pass through untouched.
+    Panic {
+        /// The fire index to panic at.
+        index: u64,
+    },
+    /// Return a [`Fault`] from the `after`-th hit of the site onward
+    /// (0-based and *sticky*: once faulting, every later hit faults too,
+    /// which is how a forced deadline expiry stays expired).
+    Fault {
+        /// How many hits pass through before the fault starts firing.
+        after: u64,
+    },
+}
+
+#[cfg(feature = "failpoints")]
+mod armed {
+    use super::{FailAction, Fault};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct ArmedPoint {
+        action: FailAction,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, ArmedPoint>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, ArmedPoint>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Lock helper that shrugs off poisoning: a failpoint test that
+    /// panicked on purpose must not wedge every later scenario.
+    fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+        mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn clear() {
+        lock(registry()).clear();
+    }
+
+    /// RAII guard owning the process's failpoint registry for the duration
+    /// of one test scenario. [`FailScenario::setup`] serializes on a global
+    /// lock (concurrent failpoint tests cannot see each other's armed
+    /// sites), clears any leftover state, and clears again on drop — even
+    /// when the test panics.
+    pub struct FailScenario {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    impl FailScenario {
+        /// Begin a scenario: take the global scenario lock and start from
+        /// an empty registry.
+        pub fn setup() -> Self {
+            static SCENARIO: Mutex<()> = Mutex::new(());
+            let guard = SCENARIO.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            clear();
+            FailScenario { _guard: guard }
+        }
+
+        /// Arm a site for the rest of this scenario (replacing any earlier
+        /// arming of the same site, hit count reset).
+        pub fn arm(&self, site: &str, action: FailAction) {
+            lock(registry()).insert(site.to_string(), ArmedPoint { action, hits: 0 });
+        }
+
+        /// Disarm one site (later [`super::fire`] calls pass through).
+        pub fn disarm(&self, site: &str) {
+            lock(registry()).remove(site);
+        }
+    }
+
+    impl Drop for FailScenario {
+        fn drop(&mut self) {
+            clear();
+        }
+    }
+
+    pub fn fire(site: &str, index: u64) -> Result<(), Fault> {
+        let mut reg = lock(registry());
+        let Some(point) = reg.get_mut(site) else {
+            return Ok(());
+        };
+        match point.action {
+            FailAction::Panic { index: at } => {
+                if index == at {
+                    // Release the registry before unwinding: a poisoned
+                    // registry must never outlive the deliberate panic.
+                    drop(reg);
+                    panic!("injected panic at failpoint `{site}` (index {index})");
+                }
+                Ok(())
+            }
+            FailAction::Fault { after } => {
+                let hit = point.hits;
+                point.hits = point.hits.saturating_add(1);
+                if hit >= after {
+                    drop(reg);
+                    Err(Fault { site: site.to_string() })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use armed::FailScenario;
+
+/// Fire a failpoint site with a caller-supplied index (a shard number, a
+/// check counter — whatever identifies *which* invocation this is).
+/// Unarmed sites — and every site when the `failpoints` feature is off —
+/// pass through as `Ok(())` at zero cost. An armed
+/// [`FailAction::Panic`] panics when the index matches; an armed
+/// [`FailAction::Fault`] returns [`Fault`] from its configured hit onward.
+#[cfg(feature = "failpoints")]
+pub fn fire(site: &str, index: u64) -> Result<(), Fault> {
+    armed::fire(site, index)
+}
+
+/// Fire a failpoint site. With the `failpoints` feature disabled this is
+/// the whole implementation: an inlined no-op.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn fire(_site: &str, _index: u64) -> Result<(), Fault> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_pass_through() {
+        let _scenario = FailScenario::setup();
+        assert_eq!(fire("nobody::armed::this", 0), Ok(()));
+    }
+
+    #[test]
+    fn fault_counts_hits_and_stays_sticky() {
+        let scenario = FailScenario::setup();
+        scenario.arm("t::fault", FailAction::Fault { after: 2 });
+        assert_eq!(fire("t::fault", 0), Ok(()));
+        assert_eq!(fire("t::fault", 0), Ok(()));
+        for _ in 0..3 {
+            assert_eq!(fire("t::fault", 0), Err(Fault { site: "t::fault".to_string() }));
+        }
+        scenario.disarm("t::fault");
+        assert_eq!(fire("t::fault", 0), Ok(()));
+    }
+
+    #[test]
+    fn panic_fires_only_at_the_matching_index() {
+        let scenario = FailScenario::setup();
+        scenario.arm("t::panic", FailAction::Panic { index: 3 });
+        assert_eq!(fire("t::panic", 2), Ok(()));
+        assert_eq!(fire("t::panic", 4), Ok(()));
+        let err = std::panic::catch_unwind(|| fire("t::panic", 3)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("t::panic"), "{msg}");
+        // The registry survives the caught panic un-poisoned.
+        assert_eq!(fire("t::panic", 2), Ok(()));
+    }
+
+    #[test]
+    fn dropping_the_scenario_disarms_everything() {
+        {
+            let scenario = FailScenario::setup();
+            scenario.arm("t::leftover", FailAction::Fault { after: 0 });
+            assert!(fire("t::leftover", 0).is_err());
+        }
+        let _next = FailScenario::setup();
+        assert_eq!(fire("t::leftover", 0), Ok(()));
+    }
+}

@@ -31,16 +31,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod failpoints;
+
+use std::any::Any;
 use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 /// Environment variable read by [`Exec::auto`] / [`Exec::from_env`]:
 /// a positive worker count overriding [`std::thread::available_parallelism`].
 pub const THREADS_ENV: &str = "SOCIALSCOPE_THREADS";
 
-/// Errors from thread-count policy: the only invalid configurations are a
-/// zero worker count and an unparsable environment override.
+/// Errors from the execution layer: invalid thread-count configuration, or
+/// a worker panic isolated by one of the `try_run_*` entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// A worker count of zero was requested ([`Exec::new`] rejects it — a
@@ -49,6 +53,21 @@ pub enum ExecError {
     /// A thread-count string (a CLI flag value or the `SOCIALSCOPE_THREADS`
     /// variable) does not parse as a positive integer.
     InvalidThreads(String),
+    /// A shard's work closure panicked. The panic was caught at the shard
+    /// boundary ([`Exec::try_run_sharded`] / [`Exec::try_run_chunks_with`]):
+    /// sibling shards ran to completion and the caller's thread keeps
+    /// running — the fault is localized to `shard` of `workers`, with the
+    /// panic payload rendered for logging. When several shards panic in
+    /// one fan-out, the lowest shard index is reported.
+    ShardPanicked {
+        /// The 0-based index of the (lowest) panicked shard.
+        shard: usize,
+        /// How many shards the fan-out ran in total.
+        workers: usize,
+        /// The panic payload, rendered to a string (`&str` and `String`
+        /// payloads verbatim; anything else as a placeholder).
+        payload: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -58,7 +77,22 @@ impl fmt::Display for ExecError {
             ExecError::InvalidThreads(value) => {
                 write!(f, "`{value}` is not a positive thread count")
             }
+            ExecError::ShardPanicked { shard, workers, payload } => {
+                write!(f, "shard {shard} of {workers} panicked: {payload}")
+            }
         }
+    }
+}
+
+/// Render a caught panic payload for logs: `&str` and `String` payloads
+/// verbatim, anything else as a placeholder.
+fn payload_string(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -165,7 +199,36 @@ impl Exec {
     /// item range)`. A shard count of 1 — always the case for
     /// [`Exec::sequential`] — calls `work(0, 0..items)` inline on the
     /// caller's thread: the exact sequential code path.
+    ///
+    /// # Panics
+    ///
+    /// If any shard's `work` panics: sibling shards still run to
+    /// completion (the panic is caught at the shard boundary), then the
+    /// call panics with the shard index and worker count attached —
+    /// `shard S of N panicked: …` — so a log can localize the fault. Use
+    /// [`Self::try_run_sharded`] to receive the same information as a
+    /// typed [`ExecError::ShardPanicked`] instead of unwinding.
     pub fn run_sharded<T, F>(&self, items: usize, min_per_shard: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        self.try_run_sharded(items, min_per_shard, work).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`Self::run_sharded`] with panic isolation: a panicking shard never
+    /// unwinds the caller. Each shard's work runs under
+    /// [`std::panic::catch_unwind`]; sibling shards always run to
+    /// completion, and a panic anywhere surfaces as
+    /// [`ExecError::ShardPanicked`] carrying the (lowest) panicked shard's
+    /// index, the fan-out's worker count and the rendered payload. On
+    /// success the results are exactly [`Self::run_sharded`]'s.
+    pub fn try_run_sharded<T, F>(
+        &self,
+        items: usize,
+        min_per_shard: usize,
+        work: F,
+    ) -> Result<Vec<T>, ExecError>
     where
         T: Send,
         F: Fn(usize, Range<usize>) -> T + Sync,
@@ -173,7 +236,7 @@ impl Exec {
         let shards = self.shard_count(items, min_per_shard);
         let ranges = Self::shard_ranges(items, shards);
         let mut states = vec![(); ranges.len()];
-        self.run_chunks_with(&mut states, &ranges, |_, shard, range| work(shard, range))
+        self.try_run_chunks_with(&mut states, &ranges, |_, shard, range| work(shard, range))
     }
 
     /// Run caller-partitioned `chunks` — at most one per entry of `states`
@@ -189,12 +252,47 @@ impl Exec {
     /// # Panics
     ///
     /// If `chunks.len() > states.len()` — every chunk needs its own state.
+    /// If any chunk's `work` panics: sibling chunks still run to
+    /// completion, then the call panics with `shard S of N panicked: …`
+    /// (see [`Self::try_run_chunks_with`] for the non-unwinding form).
     pub fn run_chunks_with<S, T, F>(
         &self,
         states: &mut [S],
         chunks: &[Range<usize>],
         work: F,
     ) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
+    {
+        self.try_run_chunks_with(states, chunks, work).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`Self::run_chunks_with`] with panic isolation: every chunk's work
+    /// runs under [`std::panic::catch_unwind`] at the shard boundary, so a
+    /// panicking worker never takes down its siblings (they all run to
+    /// completion and are joined) or the caller. A panic anywhere surfaces
+    /// as [`ExecError::ShardPanicked`] with the (lowest) panicked shard's
+    /// index, the fan-out's worker count and the rendered payload; on
+    /// success the results are exactly [`Self::run_chunks_with`]'s, in
+    /// chunk order.
+    ///
+    /// The shard-start failpoint ([`failpoints::EXEC_SHARD_START`], fired
+    /// with the shard index) lets robustness tests panic a chosen shard
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// If `chunks.len() > states.len()` — every chunk needs its own state
+    /// (a caller bug, not a worker fault, so it is not converted to an
+    /// error).
+    pub fn try_run_chunks_with<S, T, F>(
+        &self,
+        states: &mut [S],
+        chunks: &[Range<usize>],
+        work: F,
+    ) -> Result<Vec<T>, ExecError>
     where
         S: Send,
         T: Send,
@@ -207,32 +305,73 @@ impl Exec {
             chunks.len(),
             states.len()
         );
-        match chunks {
+        let workers = chunks.len();
+        // Every invocation — inline or spawned — runs under catch_unwind at
+        // the shard boundary, so the single-chunk path isolates panics
+        // exactly like the multi-worker path.
+        let guarded = |state: &mut S, shard: usize, chunk: Range<usize>| {
+            catch_unwind(AssertUnwindSafe(|| {
+                shard_start_failpoint(shard);
+                work(state, shard, chunk)
+            }))
+        };
+        let outcomes: Vec<Result<T, Box<dyn Any + Send>>> = match chunks {
             [] => Vec::new(),
-            [only] => vec![work(&mut states[0], 0, only.clone())],
+            [only] => vec![guarded(&mut states[0], 0, only.clone())],
             _ => std::thread::scope(|scope| {
-                let mut workers = states[..chunks.len()].iter_mut().zip(chunks).enumerate();
-                let (_, (first_state, first_chunk)) = workers.next().expect("two or more chunks");
+                let mut shard_workers = states[..chunks.len()].iter_mut().zip(chunks).enumerate();
+                let (_, (first_state, first_chunk)) =
+                    shard_workers.next().expect("two or more chunks");
                 // Spawn shards 1.. first, then run shard 0 on this thread:
                 // one spawn fewer, and the caller's core stays busy.
-                let handles: Vec<_> = workers
+                let handles: Vec<_> = shard_workers
                     .map(|(shard, (state, chunk))| {
                         scope.spawn({
-                            let work = &work;
+                            let guarded = &guarded;
                             let chunk = chunk.clone();
-                            move || work(state, shard, chunk)
+                            move || guarded(state, shard, chunk)
                         })
                     })
                     .collect();
-                let mut results = vec![work(first_state, 0, first_chunk.clone())];
-                results.extend(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic))),
-                );
-                results
+                let mut outcomes = vec![guarded(first_state, 0, first_chunk.clone())];
+                // Every handle is joined before the scope closes: sibling
+                // shards always finish, whatever happened elsewhere. (The
+                // outer join error — the guarded closure itself panicking —
+                // cannot happen, but folds into the same payload channel.)
+                outcomes.extend(handles.into_iter().map(|h| h.join().unwrap_or_else(Err)));
+                outcomes
             }),
+        };
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut first_panic: Option<(usize, Box<dyn Any + Send>)> = None;
+        for (shard, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(result) => results.push(result),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some((shard, payload));
+                    }
+                }
+            }
         }
+        match first_panic {
+            None => Ok(results),
+            Some((shard, payload)) => {
+                Err(ExecError::ShardPanicked { shard, workers, payload: payload_string(payload) })
+            }
+        }
+    }
+}
+
+/// Fire the shard-start failpoint with the shard index. Armed `Panic`
+/// actions panic here (caught at the shard boundary like any worker
+/// panic); armed `Fault` actions have no error channel at a shard start,
+/// so they panic too — either way the fan-out reports
+/// [`ExecError::ShardPanicked`] for the chosen shard. A no-op unless the
+/// `failpoints` feature is enabled and the site armed.
+fn shard_start_failpoint(shard: usize) {
+    if let Err(fault) = failpoints::fire(failpoints::EXEC_SHARD_START, shard as u64) {
+        panic!("{fault}");
     }
 }
 
@@ -372,5 +511,132 @@ mod tests {
             });
             assert_eq!(counter.load(Ordering::Relaxed), 257, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn a_panicking_shard_never_takes_down_its_siblings() {
+        let exec = Exec::new(4).unwrap();
+        let processed = AtomicUsize::new(0);
+        let err = exec
+            .try_run_sharded(100, 1, |shard, range| {
+                if shard == 2 {
+                    panic!("boom in shard 2");
+                }
+                processed.fetch_add(range.len(), Ordering::Relaxed);
+                range.len()
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ShardPanicked {
+                shard: 2,
+                workers: 4,
+                payload: "boom in shard 2".to_string(),
+            }
+        );
+        // The three sibling shards all ran to completion: 100 items minus
+        // shard 2's quarter.
+        assert_eq!(processed.load(Ordering::Relaxed), 75);
+        // The pool stays usable after an isolated panic.
+        let ok = exec.try_run_sharded(100, 1, |_, range| range.len()).unwrap();
+        assert_eq!(ok.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn the_inline_single_shard_path_isolates_panics_too() {
+        let err = Exec::sequential()
+            .try_run_sharded(10, 1, |_, _| -> usize { panic!("inline boom") })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ShardPanicked { shard: 0, workers: 1, payload: "inline boom".to_string() }
+        );
+    }
+
+    #[test]
+    fn the_infallible_wrapper_panics_with_the_shard_attached() {
+        let exec = Exec::new(2).unwrap();
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run_sharded(64, 1, |shard, _| {
+                if shard == 1 {
+                    panic!("worker died");
+                }
+            });
+        }))
+        .unwrap_err();
+        let message = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("shard 1 of 2"), "{message}");
+        assert!(message.contains("worker died"), "{message}");
+    }
+
+    #[test]
+    fn lowest_panicked_shard_wins_when_several_panic() {
+        let err = Exec::new(4)
+            .unwrap()
+            .try_run_sharded(100, 1, |shard, _| {
+                if shard >= 1 {
+                    panic!("boom {shard}");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ShardPanicked { shard: 1, workers: 4, payload: "boom 1".to_string() }
+        );
+    }
+
+    /// The doc contract on [`Exec::auto`]: invalid `SOCIALSCOPE_THREADS`
+    /// values must never panic. One test fn so env mutations cannot race
+    /// across the parallel test harness.
+    #[test]
+    fn invalid_thread_env_values_never_panic() {
+        for bad in ["0", "four", "", " ", "18446744073709551616", "-3"] {
+            std::env::set_var(THREADS_ENV, bad);
+            assert_eq!(
+                Exec::from_env(),
+                Err(ExecError::InvalidThreads(bad.to_string())),
+                "{bad:?}"
+            );
+            // The auto() fallback path: invalid values degrade to 1 thread.
+            let threads = Exec::from_env().map(|e| e.threads()).unwrap_or(1);
+            assert_eq!(threads, 1, "{bad:?}");
+        }
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Exec::from_env(), Ok(Exec::new(3).unwrap()));
+        std::env::remove_var(THREADS_ENV);
+        assert!(Exec::from_env().unwrap().threads() >= 1);
+        // auto() itself must not panic whatever the cache saw first.
+        assert!(Exec::auto().threads() >= 1);
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod failpoint_tests {
+    use super::*;
+    use failpoints::{FailAction, FailScenario, EXEC_SHARD_START};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn an_armed_shard_start_panics_exactly_the_chosen_shard() {
+        let scenario = FailScenario::setup();
+        scenario.arm(EXEC_SHARD_START, FailAction::Panic { index: 1 });
+        let exec = Exec::new(4).unwrap();
+        let processed = AtomicUsize::new(0);
+        let err = exec
+            .try_run_sharded(100, 1, |_, range| {
+                processed.fetch_add(range.len(), Ordering::Relaxed);
+            })
+            .unwrap_err();
+        match err {
+            ExecError::ShardPanicked { shard, workers, payload } => {
+                assert_eq!((shard, workers), (1, 4));
+                assert!(payload.contains(EXEC_SHARD_START), "{payload}");
+            }
+            other => panic!("expected ShardPanicked, got {other:?}"),
+        }
+        // Shard 1 panicked before its work ran; the other three finished.
+        assert_eq!(processed.load(Ordering::Relaxed), 75);
+        scenario.disarm(EXEC_SHARD_START);
+        assert!(exec.try_run_sharded(100, 1, |_, _| ()).is_ok());
     }
 }
