@@ -1,0 +1,321 @@
+//! An open-loop HTTP load generator for the serving front (E13).
+//!
+//! Open-loop means arrivals are *scheduled*: request `i` of a run at rate
+//! `r` is due at `i / r` seconds after the start, whether or not earlier
+//! requests have finished, and its latency is measured **from its
+//! scheduled arrival time** — so time a request spends waiting behind a
+//! slow server counts against the server, not silently against the
+//! offered load. This is the discipline that exposes queueing collapse:
+//! a closed-loop client slows its own arrival rate exactly when the
+//! server saturates, flattering the tail.
+//!
+//! The generator drives a fixed pool of keep-alive connections (one
+//! thread each, requests pre-dealt round-robin), which bounds client-side
+//! concurrency the way a production connection pool would; scheduled
+//! arrivals plus scheduled-time latency keep the open-loop semantics.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One planned request: its target path and its JSON body.
+#[derive(Debug, Clone)]
+pub struct PlannedRequest {
+    /// Request path, e.g. `/query`.
+    pub path: &'static str,
+    /// JSON body to POST.
+    pub body: String,
+}
+
+/// A load-generation plan: offered rate, connection pool size, and the
+/// request sequence (dealt round-robin over the pool in order).
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Offered arrival rate in requests/second; `f64::INFINITY` schedules
+    /// every request at t = 0 (a burst — the capacity probe).
+    pub rate_rps: f64,
+    /// Keep-alive connections (one client thread each).
+    pub conns: usize,
+    /// The request sequence.
+    pub requests: Vec<PlannedRequest>,
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Requests answered with HTTP 200.
+    pub completed: usize,
+    /// Requests that failed (non-200 status, I/O error, or a connection
+    /// that died mid-run; every planned request counts exactly once).
+    pub failed: usize,
+    /// 200s whose body carried `"degraded":true` — the in-band
+    /// deadline-expiry marker.
+    pub degraded: usize,
+    /// Per-completed-request latency in microseconds, **measured from the
+    /// scheduled arrival time**, sorted ascending.
+    pub latencies_us: Vec<u64>,
+    /// Wall clock from run start to the last completion, in seconds.
+    pub wall_s: f64,
+}
+
+impl LoadSummary {
+    /// The `p`-th latency percentile in microseconds (`p` in 0..=100),
+    /// by the nearest-rank method; 0 when nothing completed.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.latencies_us.len() as f64).ceil().max(1.0) as usize;
+        self.latencies_us[rank.min(self.latencies_us.len()) - 1]
+    }
+
+    /// Completions per second over the run's wall clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.wall_s
+    }
+}
+
+/// Run a plan against a serving front and collect the summary. Blocks
+/// until every planned request has been answered or failed.
+pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> LoadSummary {
+    let conns = plan.conns.max(1);
+    // Deal requests round-robin with their scheduled offsets attached.
+    let mut per_conn: Vec<Vec<(Duration, &PlannedRequest)>> = vec![Vec::new(); conns];
+    for (i, request) in plan.requests.iter().enumerate() {
+        let offset = if plan.rate_rps.is_finite() {
+            Duration::from_secs_f64(i as f64 / plan.rate_rps)
+        } else {
+            Duration::ZERO
+        };
+        per_conn[i % conns].push((offset, request));
+    }
+
+    let start = Instant::now();
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_conn
+            .iter()
+            .map(|schedule| scope.spawn(move || drive_connection(addr, start, schedule)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load worker panicked")).collect()
+    });
+
+    let mut summary = LoadSummary {
+        completed: 0,
+        failed: 0,
+        degraded: 0,
+        latencies_us: Vec::with_capacity(plan.requests.len()),
+        wall_s: 0.0,
+    };
+    for result in results {
+        summary.completed += result.completed;
+        summary.failed += result.failed;
+        summary.degraded += result.degraded;
+        summary.latencies_us.extend(result.latencies_us);
+        summary.wall_s = summary.wall_s.max(result.last_completion_s);
+    }
+    summary.latencies_us.sort_unstable();
+    summary
+}
+
+/// One-shot POST for contract checks: open a connection, send the body,
+/// return `(status, body)`. Not for load generation — every call pays a
+/// fresh TCP handshake.
+pub fn post(addr: SocketAddr, path: &'static str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    send_request(&mut stream, &PlannedRequest { path, body: body.to_string() })?;
+    let mut buf = Vec::new();
+    let (status, body) = read_response(&mut stream, &mut buf)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+struct ConnResult {
+    completed: usize,
+    failed: usize,
+    degraded: usize,
+    latencies_us: Vec<u64>,
+    last_completion_s: f64,
+}
+
+/// One client thread: open a keep-alive connection, fire each assigned
+/// request no earlier than its scheduled time, measure from that schedule.
+fn drive_connection(
+    addr: SocketAddr,
+    start: Instant,
+    schedule: &[(Duration, &PlannedRequest)],
+) -> ConnResult {
+    let mut result = ConnResult {
+        completed: 0,
+        failed: 0,
+        degraded: 0,
+        latencies_us: Vec::with_capacity(schedule.len()),
+        last_completion_s: 0.0,
+    };
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(_) => {
+            result.failed = schedule.len();
+            return result;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    for &(offset, request) in schedule {
+        // Wait for the scheduled arrival (never send early; sending late
+        // because the previous response was slow is exactly the queueing
+        // the scheduled-time latency must capture).
+        let due = start + offset;
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let ok = send_request(&mut stream, request)
+            .and_then(|()| read_response(&mut stream, &mut buf))
+            .ok();
+        match ok {
+            Some((200, body)) => {
+                result.completed += 1;
+                result.degraded += usize::from(contains(&body, b"\"degraded\":true"));
+                let done = Instant::now();
+                result.latencies_us.push(done.saturating_duration_since(due).as_micros() as u64);
+                result.last_completion_s = done.duration_since(start).as_secs_f64();
+            }
+            Some(_) | None => result.failed += 1,
+        }
+    }
+    result
+}
+
+fn send_request(stream: &mut TcpStream, request: &PlannedRequest) -> std::io::Result<()> {
+    let head = format!(
+        "POST {} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        request.path,
+        request.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(request.body.as_bytes())
+}
+
+/// Minimal HTTP/1.1 response reader: status line, headers to find
+/// Content-Length, then exactly that many body bytes. Returns the status
+/// code and the body.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<(u16, Vec<u8>)> {
+    // `buf` may already hold (part of) this response, read together with
+    // the previous one off the keep-alive stream — never discard it.
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(buf) {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 head"))?;
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing Content-Length")
+        })?;
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    // Drop the consumed response; keep-alive reuses the buffer.
+    buf.drain(..body_start + content_length);
+    Ok((status, body))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let summary = LoadSummary {
+            completed: 4,
+            failed: 0,
+            degraded: 0,
+            latencies_us: vec![10, 20, 30, 40],
+            wall_s: 2.0,
+        };
+        assert_eq!(summary.percentile_us(50.0), 20);
+        assert_eq!(summary.percentile_us(99.0), 40);
+        assert_eq!(summary.percentile_us(0.0), 10);
+        assert_eq!(summary.throughput_rps(), 2.0);
+        let empty = LoadSummary {
+            completed: 0,
+            failed: 0,
+            degraded: 0,
+            latencies_us: Vec::new(),
+            wall_s: 0.0,
+        };
+        assert_eq!(empty.percentile_us(99.0), 0);
+        assert_eq!(empty.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn response_parsing_handles_keep_alive_and_statuses() {
+        // Serve two canned responses over a real socket pair.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 1024];
+            let _ = sock.read(&mut sink).unwrap();
+            let body1 = "{\"ok\":true,\"degraded\":true}";
+            let body2 = "{\"error\":\"apply_rejected\"}";
+            let reply = format!(
+                "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}HTTP/1.1 409 Conflict\r\nContent-Length: {}\r\n\r\n{}",
+                body1.len(), body1, body2.len(), body2
+            );
+            sock.write_all(reply.as_bytes()).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = PlannedRequest { path: "/query", body: "{}".to_string() };
+        send_request(&mut stream, &request).unwrap();
+        let mut buf = Vec::new();
+        // Both pipelined responses arrive; the reader must consume exactly
+        // one at a time and leave the second intact in the buffer.
+        let (status, body) = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(status, 200);
+        assert!(contains(&body, b"\"degraded\":true"));
+        let (status, body) = read_response(&mut stream, &mut buf).unwrap();
+        assert_eq!(status, 409);
+        assert!(contains(&body, b"apply_rejected"));
+        server.join().unwrap();
+    }
+}

@@ -45,6 +45,7 @@ pub mod refinement;
 pub mod sitemodel;
 pub mod tags;
 pub mod topk;
+pub mod wire;
 
 pub use activity::{ActivityLevel, ActivityManager, RefreshPlan};
 pub use cluster::{
@@ -67,6 +68,10 @@ pub use refinement::{RefinementIndex, ResolvedRefinement};
 pub use sitemodel::{distinct_keywords, SiteModel};
 pub use tags::{QueryTags, TagId, TagInterner};
 pub use topk::{top_k, TopKResult};
+pub use wire::{
+    ApplyRequest, ApplyResponse, ErrorResponse, QueryRequest, QueryResponse, ScoredItem, WireError,
+    WireEvent, WIRE_VERSION,
+};
 
 /// Convenience result alias for content-management operations.
 pub type Result<T> = std::result::Result<T, ContentError>;

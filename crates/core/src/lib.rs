@@ -21,7 +21,10 @@
 //! * [`exec`] — the execution layer: the scoped-thread shard pool behind
 //!   parallel index builds, multi-threaded batch serving and batch-routed
 //!   discovery (deterministic: parallel results are identical to
-//!   sequential ones).
+//!   sequential ones);
+//! * [`server`] — the serving front: a dependency-free HTTP/1.1 layer
+//!   that micro-batches single-seeker queries into the engines'
+//!   deadline-budgeted batch path (see also the [`serve`] prelude).
 //!
 //! ## Quickstart
 //!
@@ -52,7 +55,28 @@ pub use socialscope_discovery as discovery;
 pub use socialscope_exec as exec;
 pub use socialscope_graph as graph;
 pub use socialscope_presentation as presentation;
+pub use socialscope_server as server;
 pub use socialscope_workload as workload;
+
+/// Everything a serving deployment touches, re-exported together: the
+/// server front (boot with [`serve::spawn`], tune with
+/// [`serve::ServerConfig`]), the versioned wire schema every client and
+/// load generator shares, the engines the server hosts, and the batch
+/// controls (`Exec`, `BatchOptions`, deadline budgets) that govern how a
+/// flushed micro-batch runs.
+pub mod serve {
+    pub use socialscope_content::wire::{
+        ApplyRequest, ApplyResponse, ErrorResponse, QueryRequest, QueryResponse, ScoredItem,
+        WireError, WireEvent, WIRE_VERSION,
+    };
+    pub use socialscope_content::{BatchOptions, BatchScratchPool, TagEvent};
+    pub use socialscope_discovery::{
+        BatchRecommender, ClusteredNetworkAwareSearch, NetworkAwareSearch,
+    };
+    pub use socialscope_exec::Exec;
+    pub use socialscope_server::http::HttpLimits;
+    pub use socialscope_server::{spawn, ServerConfig, ServerHandle};
+}
 
 /// The most commonly used items across all layers, re-exported together.
 pub mod prelude {
@@ -64,8 +88,8 @@ pub mod prelude {
         TagId, TagInterner, UserJourney,
     };
     pub use socialscope_discovery::{
-        recommend_for_user, ClusteredNetworkAwareSearch, ContentAnalyzer, InformationDiscoverer,
-        MeaningfulSocialGraph, NetworkAwareSearch, UserQuery,
+        recommend_for_user, BatchRecommender, ClusteredNetworkAwareSearch, ContentAnalyzer,
+        InformationDiscoverer, MeaningfulSocialGraph, NetworkAwareSearch, UserQuery,
     };
     pub use socialscope_exec::Exec;
     pub use socialscope_graph::{

@@ -6,7 +6,9 @@
 
 use crate::msg::{MeaningfulSocialGraph, RankedItem};
 use crate::query::{tokenize, UserQuery};
-use crate::recommend::{ClusteredNetworkAwareSearch, NetworkAwareSearch, Recommendation};
+use crate::recommend::{
+    BatchRecommender, ClusteredNetworkAwareSearch, NetworkAwareSearch, Recommendation,
+};
 use crate::relevance::{combined_score, RelevanceWeights, SemanticScorer};
 use crate::social::SocialRelevance;
 use socialscope_algebra::prelude::*;
@@ -95,16 +97,42 @@ impl InformationDiscoverer {
     /// layer's batch engine instead of walking the graph once per seeker:
     /// the paper's network-aware scoring ranks the *same* keyword text
     /// differently per seeker, so serving the whole seeker set as one
-    /// batch against a prebuilt [`NetworkAwareSearch`] amortizes keyword
-    /// resolution and evaluation state across the set — and, through the
-    /// execution layer, shards the batch across `exec`'s workers. Returns
-    /// one recommendation list per seeker (at most [`Self::limit`] each,
-    /// positive scores only), in input order, element-wise identical to
-    /// per-seeker [`NetworkAwareSearch::recommend`] calls.
+    /// batch against a prebuilt engine amortizes keyword resolution and
+    /// evaluation state across the set — and, through the execution
+    /// layer's [`BatchOptions::exec`], shards the batch across workers.
     ///
-    /// This is the multi-seeker fast path for *keyword-only* requests;
-    /// queries with structural predicates (or callers that need semantic
+    /// This is the *one* batched discovery surface, mirroring the engines'
+    /// `query_batch_opts`: which engine serves it is the
+    /// [`BatchRecommender`] value — [`NetworkAwareSearch`] for the exact
+    /// deployment, [`ClusteredNetworkAwareSearch`] for the
+    /// space-constrained one (flagged unclustered seekers answer empty
+    /// unless the engine carries a
+    /// [`ClusteredNetworkAwareSearch::with_fallback`] index) — and how it
+    /// runs is the [`BatchOptions`]: threads, scratch reuse, and, for
+    /// latency-bounded serving, a [`BatchOptions::deadline`] budget. When
+    /// the budget expires mid-batch the remaining seekers get the defined
+    /// degraded answer (an empty recommendation list), matching the
+    /// content layer's partial-results contract.
+    ///
+    /// Returns one recommendation list per seeker (at most
+    /// [`Self::limit`] each, positive scores only), in input order,
+    /// element-wise identical to per-seeker `recommend` calls on the same
+    /// engine.
+    ///
+    /// Queries with structural predicates (or callers that need semantic
     /// relevance and provenance) still go through [`Self::discover`].
+    pub fn discover_opts(
+        &self,
+        engine: &impl BatchRecommender,
+        seekers: &[NodeId],
+        text: &str,
+        opts: BatchOptions<'_>,
+    ) -> Vec<Vec<Recommendation>> {
+        engine.recommend_batch_opts(seekers, &tokenize(text), self.limit, opts)
+    }
+
+    /// Deprecated spelling of exact-engine batched discovery.
+    #[deprecated(since = "0.1.0", note = "use `discover_opts` with `BatchOptions::new().exec(..)`")]
     pub fn discover_batch(
         &self,
         exec: &Exec,
@@ -112,15 +140,12 @@ impl InformationDiscoverer {
         seekers: &[NodeId],
         text: &str,
     ) -> Vec<Vec<Recommendation>> {
-        self.discover_batch_opts(search, seekers, text, BatchOptions::new().exec(exec))
+        self.discover_opts(search, seekers, text, BatchOptions::new().exec(exec))
     }
 
-    /// [`Self::discover_batch`] under caller-chosen [`BatchOptions`]:
-    /// threads, scratch reuse, and — for latency-bounded serving — a
-    /// [`BatchOptions::deadline`] budget. When the budget expires
-    /// mid-batch the remaining seekers get the defined degraded answer (an
-    /// empty recommendation list), matching the content layer's
-    /// partial-results contract.
+    /// Deprecated spelling of exact-engine batched discovery under
+    /// caller-chosen options.
+    #[deprecated(since = "0.1.0", note = "use `discover_opts`")]
     pub fn discover_batch_opts(
         &self,
         search: &NetworkAwareSearch,
@@ -128,13 +153,11 @@ impl InformationDiscoverer {
         text: &str,
         opts: BatchOptions<'_>,
     ) -> Vec<Vec<Recommendation>> {
-        search.recommend_batch_opts(seekers, &tokenize(text), self.limit, opts)
+        self.discover_opts(search, seekers, text, opts)
     }
 
-    /// [`Self::discover_batch`] served from the space-constrained
-    /// clustered engine (identical rankings; flagged unclustered seekers
-    /// answer empty unless the engine carries a
-    /// [`ClusteredNetworkAwareSearch::with_fallback`] index).
+    /// Deprecated spelling of clustered-engine batched discovery.
+    #[deprecated(since = "0.1.0", note = "use `discover_opts` with `BatchOptions::new().exec(..)`")]
     pub fn discover_batch_clustered(
         &self,
         exec: &Exec,
@@ -142,13 +165,12 @@ impl InformationDiscoverer {
         seekers: &[NodeId],
         text: &str,
     ) -> Vec<Vec<Recommendation>> {
-        self.discover_batch_clustered_opts(search, seekers, text, BatchOptions::new().exec(exec))
+        self.discover_opts(search, seekers, text, BatchOptions::new().exec(exec))
     }
 
-    /// [`Self::discover_batch_clustered`] under caller-chosen
-    /// [`BatchOptions`], including a [`BatchOptions::deadline`] budget with
-    /// the same partial-results degradation as
-    /// [`Self::discover_batch_opts`].
+    /// Deprecated spelling of clustered-engine batched discovery under
+    /// caller-chosen options.
+    #[deprecated(since = "0.1.0", note = "use `discover_opts`")]
     pub fn discover_batch_clustered_opts(
         &self,
         search: &ClusteredNetworkAwareSearch,
@@ -156,7 +178,7 @@ impl InformationDiscoverer {
         text: &str,
         opts: BatchOptions<'_>,
     ) -> Vec<Vec<Recommendation>> {
-        search.recommend_batch_opts(seekers, &tokenize(text), self.limit, opts)
+        self.discover_opts(search, seekers, text, opts)
     }
 
     /// Build the provenance sub-graph of a ranked result set.
@@ -301,13 +323,14 @@ mod tests {
         let text = "Baseball museum";
         for threads in [1usize, 2, 7] {
             let exec = socialscope_exec::Exec::new(threads).unwrap();
-            let batched = discoverer.discover_batch(&exec, &exact, &seekers, text);
+            let opts = || BatchOptions::new().exec(&exec);
+            let batched = discoverer.discover_opts(&exact, &seekers, text, opts());
             assert_eq!(batched.len(), seekers.len());
             for (recs, &u) in batched.iter().zip(&seekers) {
                 assert_eq!(recs, &exact.recommend(u, &crate::query::tokenize(text), 3));
                 assert!(recs.len() <= discoverer.limit);
             }
-            let batched = discoverer.discover_batch_clustered(&exec, &clustered, &seekers, text);
+            let batched = discoverer.discover_opts(&clustered, &seekers, text, opts());
             for (recs, &u) in batched.iter().zip(&seekers) {
                 assert_eq!(recs, &clustered.recommend(u, &crate::query::tokenize(text), 3));
             }
@@ -315,15 +338,50 @@ mod tests {
         // The two engines agree with each other as well.
         let exec = socialscope_exec::Exec::sequential();
         assert_eq!(
-            discoverer.discover_batch(&exec, &exact, &seekers, text),
+            discoverer.discover_opts(&exact, &seekers, text, BatchOptions::new().exec(&exec)),
             discoverer
-                .discover_batch_clustered(&exec, &clustered, &seekers, text)
+                .discover_opts(&clustered, &seekers, text, BatchOptions::new().exec(&exec))
                 .into_iter()
                 .map(|recs| recs
                     .into_iter()
                     .map(|r| Recommendation { strategy: "network-aware", ..r })
                     .collect::<Vec<_>>())
                 .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_batch_wrappers_match_discover_opts() {
+        let mut b = GraphBuilder::new();
+        let users: Vec<NodeId> = (0..4).map(|i| b.add_user(&format!("u{i}"))).collect();
+        let items: Vec<NodeId> =
+            (0..3).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+        b.befriend(users[0], users[1]);
+        b.befriend(users[2], users[3]);
+        b.tag(users[1], items[0], &["baseball"]);
+        b.tag(users[3], items[1], &["museum", "baseball"]);
+        let graph = b.build();
+        let discoverer = InformationDiscoverer { limit: 2, ..InformationDiscoverer::default() };
+        let exact = NetworkAwareSearch::build(&graph);
+        let clustered = ClusteredNetworkAwareSearch::build_default(&graph);
+        let exec = socialscope_exec::Exec::sequential();
+        let text = "baseball museum";
+        assert_eq!(
+            discoverer.discover_batch(&exec, &exact, &users, text),
+            discoverer.discover_opts(&exact, &users, text, BatchOptions::new().exec(&exec)),
+        );
+        assert_eq!(
+            discoverer.discover_batch_opts(&exact, &users, text, BatchOptions::new()),
+            discoverer.discover_opts(&exact, &users, text, BatchOptions::new()),
+        );
+        assert_eq!(
+            discoverer.discover_batch_clustered(&exec, &clustered, &users, text),
+            discoverer.discover_opts(&clustered, &users, text, BatchOptions::new().exec(&exec)),
+        );
+        assert_eq!(
+            discoverer.discover_batch_clustered_opts(&clustered, &users, text, BatchOptions::new()),
+            discoverer.discover_opts(&clustered, &users, text, BatchOptions::new()),
         );
     }
 

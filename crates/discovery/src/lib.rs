@@ -41,7 +41,8 @@ pub use msg::MeaningfulSocialGraph;
 pub use query::UserQuery;
 pub use recommend::{
     collaborative_filtering_plan, expert_recommendations, item_based_recommendations,
-    recommend_for_user, ClusteredNetworkAwareSearch, NetworkAwareSearch, Recommendation,
+    recommend_for_user, BatchRecommender, ClusteredNetworkAwareSearch, NetworkAwareSearch,
+    Recommendation,
 };
 pub use relevance::{combined_score, RelevanceWeights, SemanticScorer};
 pub use social::SocialRelevance;

@@ -25,8 +25,64 @@ pub use expert::expert_recommendations;
 pub use item_cf::item_based_recommendations;
 pub use network_aware::{ClusteredNetworkAwareSearch, NetworkAwareSearch};
 
+#[cfg(test)]
+mod batch_recommender_tests {
+    use super::*;
+    use socialscope_graph::GraphBuilder;
+
+    #[test]
+    fn both_engines_serve_through_the_trait_object_free_surface() {
+        let mut b = GraphBuilder::new();
+        let u0 = b.add_user("u0");
+        let u1 = b.add_user("u1");
+        let item = b.add_item("i0", &["destination"]);
+        b.befriend(u0, u1);
+        b.tag(u1, item, &["baseball"]);
+        let graph = b.build();
+        fn serve(engine: &impl BatchRecommender, seekers: &[NodeId]) -> Vec<Vec<Recommendation>> {
+            engine.recommend_batch_opts(seekers, &["baseball".to_string()], 3, BatchOptions::new())
+        }
+        let exact = serve(&NetworkAwareSearch::build(&graph), &[u0, u1]);
+        let clustered = serve(&ClusteredNetworkAwareSearch::build_default(&graph), &[u0, u1]);
+        assert_eq!(exact[0][0].item, item);
+        assert_eq!(exact.len(), clustered.len());
+        for (e, c) in exact.iter().zip(&clustered) {
+            assert_eq!(
+                e.iter().map(|r| (r.item, r.score)).collect::<Vec<_>>(),
+                c.iter().map(|r| (r.item, r.score)).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
 use serde::{Deserialize, Serialize};
+use socialscope_content::BatchOptions;
 use socialscope_graph::{NodeId, SocialGraph};
+
+/// The one batch-serving surface the discovery layer consumes: any engine
+/// that can answer a multi-seeker keyword request under [`BatchOptions`]
+/// (threads, scratch reuse, deadline budget). Implemented by
+/// [`NetworkAwareSearch`] (exact index) and
+/// [`ClusteredNetworkAwareSearch`] (space-constrained clustered index,
+/// optionally with an exact fallback), which makes the engine choice a
+/// *value* rather than a method name — callers like
+/// [`InformationDiscoverer::discover_opts`] take `&impl BatchRecommender`
+/// and serve either deployment through one code path.
+///
+/// [`InformationDiscoverer::discover_opts`]: crate::discoverer::InformationDiscoverer::discover_opts
+pub trait BatchRecommender {
+    /// One recommendation list per seeker, in input order (positive
+    /// scores only), served under the given [`BatchOptions`]. When the
+    /// options carry an expired [`BatchOptions::deadline`], unserved
+    /// seekers get the defined degraded answer: an empty list.
+    fn recommend_batch_opts(
+        &self,
+        seekers: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        opts: BatchOptions<'_>,
+    ) -> Vec<Vec<Recommendation>>;
+}
 
 /// A scored recommendation of an item to a user.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

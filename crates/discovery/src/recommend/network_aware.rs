@@ -565,6 +565,30 @@ impl ClusteredNetworkAwareSearch {
     }
 }
 
+impl super::BatchRecommender for NetworkAwareSearch {
+    fn recommend_batch_opts(
+        &self,
+        seekers: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        opts: BatchOptions<'_>,
+    ) -> Vec<Vec<Recommendation>> {
+        NetworkAwareSearch::recommend_batch_opts(self, seekers, keywords, k, opts)
+    }
+}
+
+impl super::BatchRecommender for ClusteredNetworkAwareSearch {
+    fn recommend_batch_opts(
+        &self,
+        seekers: &[NodeId],
+        keywords: &[String],
+        k: usize,
+        opts: BatchOptions<'_>,
+    ) -> Vec<Vec<Recommendation>> {
+        ClusteredNetworkAwareSearch::recommend_batch_opts(self, seekers, keywords, k, opts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

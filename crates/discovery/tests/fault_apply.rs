@@ -113,13 +113,13 @@ fn a_deadline_expiry_reaches_the_discoverer_as_empty_recommendations() {
     // 32-member run), so the batch must span more than one chunk for a
     // mid-batch expiry to leave a *strict* subset.
     let users: Vec<NodeId> = users.iter().cycle().take(40).copied().collect();
-    let unbounded = discoverer.discover_batch(&exec, &exact, &users, text);
+    let unbounded = discoverer.discover_opts(&exact, &users, text, BatchOptions::new().exec(&exec));
 
     let scenario = FailScenario::setup();
     // Expiry forced from the very first cooperative check: every seeker
     // gets the defined degraded answer — an empty recommendation list.
     scenario.arm(faults::DEADLINE, FailAction::Fault { after: 0 });
-    let served = discoverer.discover_batch_opts(
+    let served = discoverer.discover_opts(
         &exact,
         &users,
         text,
@@ -127,7 +127,7 @@ fn a_deadline_expiry_reaches_the_discoverer_as_empty_recommendations() {
     );
     assert_eq!(served.len(), users.len());
     assert!(served.iter().all(Vec::is_empty), "starved seekers must answer empty");
-    let served = discoverer.discover_batch_clustered_opts(
+    let served = discoverer.discover_opts(
         &clustered,
         &users,
         text,
@@ -137,7 +137,7 @@ fn a_deadline_expiry_reaches_the_discoverer_as_empty_recommendations() {
     // Expiry forced after the first check: a strict subset survives, and
     // every survivor is byte-identical to its unbounded answer.
     scenario.arm(faults::DEADLINE, FailAction::Fault { after: 1 });
-    let served = discoverer.discover_batch_opts(
+    let served = discoverer.discover_opts(
         &exact,
         &users,
         text,
@@ -150,7 +150,7 @@ fn a_deadline_expiry_reaches_the_discoverer_as_empty_recommendations() {
     }
     scenario.disarm(faults::DEADLINE);
     // Disarmed, the huge budget is invisible.
-    let served = discoverer.discover_batch_opts(
+    let served = discoverer.discover_opts(
         &exact,
         &users,
         text,

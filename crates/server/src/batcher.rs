@@ -1,0 +1,246 @@
+//! The micro-batching queue between connection handlers and the serving
+//! workers: queries are grouped by *resolved keyword set* (plus `k`, since
+//! one engine batch call serves one `k`) and flushed to the batch engine
+//! when the oldest member has waited the configured window — or sooner,
+//! when the batch hits its size cap. A zero window degenerates to
+//! per-request serving through the same machinery, which is what the E13
+//! sweep's baseline arm measures.
+
+use crate::wire::{QueryRequest, QueryResponse};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Condvar as StdCondvar;
+use std::time::{Duration, Instant};
+
+/// The key one micro-batch forms under: the request's keywords, resolved
+/// to a case-normalized sorted set, plus the requested `k`. Two spellings
+/// of the same keyword set land in the same batch; the engines normalize
+/// again internally, so key resolution affects batching efficiency only,
+/// never results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct BatchKey {
+    /// Normalized (trimmed, lowercased), sorted, deduplicated keywords.
+    pub keywords: Vec<String>,
+    /// The requested result count.
+    pub k: usize,
+}
+
+impl BatchKey {
+    pub(crate) fn resolve(request: &QueryRequest) -> Self {
+        let mut keywords: Vec<String> =
+            request.keywords.iter().map(|kw| kw.trim().to_lowercase()).collect();
+        keywords.sort();
+        keywords.dedup();
+        BatchKey { keywords, k: request.k }
+    }
+}
+
+/// One admitted query waiting to be served: the request, its admission
+/// time (the SLO budget counts from here, queue wait included), and the
+/// channel its connection handler blocks on.
+pub(crate) struct Pending {
+    pub request: QueryRequest,
+    pub enqueued: Instant,
+    pub reply: mpsc::Sender<ServeOutcome>,
+}
+
+/// What the serving worker sends back per member.
+pub(crate) enum ServeOutcome {
+    /// A served (possibly degraded) answer.
+    Answer(Box<QueryResponse>),
+    /// The serving worker panicked under this member's batch; the handler
+    /// answers 500 and the worker moves on (panic isolation).
+    Failed,
+}
+
+/// A batch popped by a serving worker: its key, its members, and the
+/// admission time of its oldest member.
+pub(crate) struct ReadyBatch {
+    pub key: BatchKey,
+    pub members: Vec<Pending>,
+    pub oldest: Instant,
+}
+
+struct State {
+    queues: HashMap<BatchKey, Vec<Pending>>,
+    shutdown: bool,
+}
+
+/// The shared micro-batch queue. `parking_lot`'s mutex is poison-free, so
+/// a panicking serving worker (isolated via `catch_unwind`) can never
+/// wedge the queue for every other connection.
+pub(crate) struct Batcher {
+    state: Mutex<State>,
+    // std's Condvar pairs with a raw mutex; we keep a tiny std mutex just
+    // for the wait, re-checking real state under the parking_lot lock.
+    gate: std::sync::Mutex<()>,
+    cv: StdCondvar,
+    window: Duration,
+    max_batch: usize,
+}
+
+impl Batcher {
+    pub(crate) fn new(window: Duration, max_batch: usize) -> Self {
+        Batcher {
+            state: Mutex::new(State { queues: HashMap::new(), shutdown: false }),
+            gate: std::sync::Mutex::new(()),
+            cv: StdCondvar::new(),
+            window,
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Admit one query; its handler then blocks on the reply channel.
+    pub(crate) fn enqueue(&self, pending: Pending) {
+        {
+            let mut state = self.state.lock();
+            if state.shutdown {
+                // Refused at shutdown: dropping the sender unblocks the
+                // handler, which answers 500.
+                return;
+            }
+            let key = BatchKey::resolve(&pending.request);
+            state.queues.entry(key).or_default().push(pending);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block until some batch is ripe (its oldest member aged past the
+    /// window, or it reached the size cap), pop and return it. Returns
+    /// `None` once the batcher is shut down and drained.
+    pub(crate) fn next_batch(&self) -> Option<ReadyBatch> {
+        loop {
+            let wait_for = {
+                let mut state = self.state.lock();
+                let now = Instant::now();
+                // The ripest queue: lowest due time (oldest + window),
+                // with size-capped queues due immediately.
+                let ripest = state
+                    .queues
+                    .iter()
+                    .map(|(key, members)| {
+                        let oldest =
+                            members.iter().map(|m| m.enqueued).min().expect("queues are non-empty");
+                        let due = if members.len() >= self.max_batch || state.shutdown {
+                            now
+                        } else {
+                            oldest + self.window
+                        };
+                        (due, key.clone())
+                    })
+                    .min_by(|(a, _), (b, _)| a.cmp(b));
+                match ripest {
+                    Some((due, key)) if due <= now => {
+                        let members = state.queues.remove(&key).expect("key just observed");
+                        let oldest =
+                            members.iter().map(|m| m.enqueued).min().expect("non-empty batch");
+                        return Some(ReadyBatch { key, members, oldest });
+                    }
+                    Some((due, _)) => Some(due - now),
+                    None if state.shutdown => return None,
+                    None => None,
+                }
+            };
+            // Nothing ripe: sleep until the earliest due time (or an
+            // enqueue/shutdown notification), then re-evaluate.
+            let guard = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            match wait_for {
+                Some(timeout) => drop(self.cv.wait_timeout(guard, timeout)),
+                None => drop(self.cv.wait(guard)),
+            }
+        }
+    }
+
+    /// Stop admitting work and wake every worker; queued members are still
+    /// flushed (as immediately-due batches) before workers see `None`.
+    pub(crate) fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialscope_graph::NodeId;
+    use std::sync::Arc;
+
+    fn request(seeker: u64, keywords: &[&str], k: usize) -> QueryRequest {
+        QueryRequest::new(NodeId(seeker), keywords.iter().map(|s| s.to_string()).collect(), k)
+    }
+
+    #[test]
+    fn keys_resolve_keyword_spelling_and_order() {
+        let a = BatchKey::resolve(&request(1, &["Baseball", " museum ", "baseball"], 5));
+        let b = BatchKey::resolve(&request(2, &["museum", "BASEBALL"], 5));
+        assert_eq!(a, b);
+        assert_eq!(a.keywords, vec!["baseball".to_string(), "museum".to_string()]);
+        // k splits the batch: one engine call serves one k.
+        let c = BatchKey::resolve(&request(2, &["museum", "baseball"], 6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batches_group_by_key_and_flush_by_window() {
+        let batcher = Batcher::new(Duration::from_millis(5), 64);
+        let (tx, _rx) = mpsc::channel();
+        for seeker in 0..3 {
+            batcher.enqueue(Pending {
+                request: request(seeker, &["a"], 3),
+                enqueued: Instant::now(),
+                reply: tx.clone(),
+            });
+        }
+        batcher.enqueue(Pending {
+            request: request(9, &["b"], 3),
+            enqueued: Instant::now(),
+            reply: tx.clone(),
+        });
+        let first = batcher.next_batch().expect("a batch ripens");
+        let second = batcher.next_batch().expect("the other key ripens");
+        let mut sizes = [first.members.len(), second.members.len()];
+        sizes.sort();
+        assert_eq!(sizes, [1, 3]);
+        assert_ne!(first.key, second.key);
+    }
+
+    #[test]
+    fn size_cap_flushes_before_the_window() {
+        let batcher = Batcher::new(Duration::from_secs(3600), 2);
+        let (tx, _rx) = mpsc::channel();
+        let start = Instant::now();
+        for seeker in 0..2 {
+            batcher.enqueue(Pending {
+                request: request(seeker, &["a"], 3),
+                enqueued: Instant::now(),
+                reply: tx.clone(),
+            });
+        }
+        let batch = batcher.next_batch().expect("cap-triggered flush");
+        assert_eq!(batch.members.len(), 2);
+        assert!(start.elapsed() < Duration::from_secs(60), "did not wait for the hour window");
+    }
+
+    #[test]
+    fn shutdown_drains_queues_then_yields_none() {
+        let batcher = Arc::new(Batcher::new(Duration::from_secs(3600), 64));
+        let (tx, _rx) = mpsc::channel();
+        batcher.enqueue(Pending {
+            request: request(1, &["a"], 3),
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        batcher.shutdown();
+        assert_eq!(batcher.next_batch().expect("drain flush").members.len(), 1);
+        assert!(batcher.next_batch().is_none());
+        // Post-shutdown enqueues are refused (sender dropped → handler 500s).
+        let (tx, rx) = mpsc::channel();
+        batcher.enqueue(Pending {
+            request: request(2, &["a"], 3),
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        assert!(rx.recv().is_err(), "refused enqueue must drop the reply sender");
+    }
+}

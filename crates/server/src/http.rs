@@ -1,0 +1,374 @@
+//! A hand-rolled HTTP/1.1 request reader and response writer over any
+//! `Read`/`Write` pair — std only, no async runtime, no registry access.
+//!
+//! The reader is incremental: it tolerates request bytes arriving one at a
+//! time across `read()` calls (slow clients, small MTUs, deliberate
+//! trickling in tests), buffers leftover bytes between requests so
+//! pipelined keep-alive traffic is served in order, and enforces hard size
+//! caps on the header block and the body *before* allocating for them.
+//! Every malformed input maps to a clean typed error — a 4xx/5xx status
+//! for the peer where one can still be written, a silent close where the
+//! peer already vanished — never a panic.
+
+use std::io::{Read, Write};
+
+/// Size caps the reader enforces while parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers (terminator included);
+    /// beyond it the request is rejected with `431`.
+    pub max_head_bytes: usize,
+    /// Maximum declared `Content-Length`; beyond it the request is
+    /// rejected with `413` before any body byte is read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits { max_head_bytes: 8 * 1024, max_body_bytes: 1024 * 1024 }
+    }
+}
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, verbatim (`/query`).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names are
+    /// ASCII-lowercased so lookups are case-insensitive per RFC 9110.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, looked up case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(key, _)| *key == name).map(|(_, value)| value.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// request (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|value| value.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read. [`HttpError::status`] says which ones
+/// still get a response on the wire.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed cleanly between requests — the normal end of a
+    /// keep-alive connection, not an error to report.
+    Closed,
+    /// The peer vanished mid-request; nothing useful can be written back.
+    TruncatedRequest,
+    /// The request violates HTTP/1.1 framing (`400`).
+    Malformed(&'static str),
+    /// The header block exceeds [`HttpLimits::max_head_bytes`] (`431`).
+    HeadersTooLarge,
+    /// The declared body exceeds [`HttpLimits::max_body_bytes`] (`413`).
+    BodyTooLarge,
+    /// Not HTTP/1.x (`505`).
+    UnsupportedVersion,
+    /// Transport failure while reading.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The status line to answer with, or `None` when the connection is
+    /// past answering (closed, truncated, transport dead).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Malformed(detail) => Some((400, detail)),
+            HttpError::HeadersTooLarge => Some((431, "request header fields too large")),
+            HttpError::BodyTooLarge => Some((413, "request body too large")),
+            HttpError::UnsupportedVersion => Some((505, "HTTP version not supported")),
+            HttpError::Closed | HttpError::TruncatedRequest | HttpError::Io(_) => None,
+        }
+    }
+}
+
+/// How many bytes one `read()` call may pull in; small enough that the
+/// head cap is enforced within one chunk of slack.
+const READ_CHUNK: usize = 4096;
+
+/// An incremental request reader owning the connection's receive buffer:
+/// bytes past one request's body (pipelined traffic) carry over to the
+/// next [`Self::read_request`] call instead of being dropped.
+#[derive(Debug)]
+pub struct RequestReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wrap a connection.
+    pub fn new(inner: R) -> Self {
+        RequestReader { inner, buf: Vec::new() }
+    }
+
+    /// Read one full request (head + declared body), blocking until the
+    /// peer has sent it all. Tolerates arbitrarily fragmented reads.
+    pub fn read_request(&mut self, limits: &HttpLimits) -> Result<Request, HttpError> {
+        let head_end = loop {
+            if let Some(pos) = find_terminator(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > limits.max_head_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            if self.fill()? == 0 {
+                return Err(if self.buf.is_empty() {
+                    HttpError::Closed
+                } else {
+                    HttpError::TruncatedRequest
+                });
+            }
+        };
+        if head_end > limits.max_head_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| HttpError::Malformed("header block is not valid UTF-8"))?;
+        let (method, path, headers) = parse_head(head)?;
+
+        let body_len = match headers.iter().find(|(name, _)| name == "content-length") {
+            Some((_, value)) => value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("invalid content-length"))?,
+            None => 0,
+        };
+        if headers.iter().any(|(name, _)| name == "transfer-encoding") {
+            return Err(HttpError::Malformed("transfer-encoding is not supported"));
+        }
+        if body_len > limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge);
+        }
+
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + body_len {
+            if self.fill()? == 0 {
+                return Err(HttpError::TruncatedRequest);
+            }
+        }
+        let body = self.buf[body_start..body_start + body_len].to_vec();
+        // Keep pipelined leftovers for the next request on this connection.
+        self.buf.drain(..body_start + body_len);
+        Ok(Request { method, path, headers, body })
+    }
+
+    fn fill(&mut self) -> Result<usize, HttpError> {
+        let mut chunk = [0u8; READ_CHUNK];
+        match self.inner.read(&mut chunk) {
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => self.fill(),
+            Err(e) => Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Position of the `\r\n\r\n` head terminator, if buffered yet.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse request line + headers out of the head block (terminator
+/// excluded). Header names come back ASCII-lowercased.
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &str) -> Result<(String, String, Vec<(String, String)>), HttpError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(HttpError::Malformed("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::UnsupportedVersion);
+    }
+    if !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(HttpError::Malformed("malformed method token"));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed("request target must be absolute"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) =
+            line.split_once(':').ok_or(HttpError::Malformed("header line without `:`"))?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpError::Malformed("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), path.to_string(), headers))
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write one `application/json` response; `close` adds
+/// `Connection: close` so the peer knows the server will hang up.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}\r\n",
+        status,
+        status_reason(status),
+        body.len(),
+        if close { "Connection: close\r\n" } else { "" }
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader yielding at most `step` bytes per `read()` call: the
+    /// harshest legal fragmentation an OS socket could produce.
+    struct Trickle {
+        bytes: Vec<u8>,
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.step.min(out.len()).min(self.bytes.len() - self.pos);
+            out[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn read_one(raw: &[u8], step: usize) -> Result<Request, HttpError> {
+        let mut reader = RequestReader::new(Trickle { bytes: raw.to_vec(), pos: 0, step });
+        reader.read_request(&HttpLimits::default())
+    }
+
+    #[test]
+    fn requests_survive_one_byte_reads() {
+        let raw = b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        for step in [1usize, 2, 3, 7, 4096] {
+            let request = read_one(raw, step).unwrap();
+            assert_eq!(request.method, "POST");
+            assert_eq!(request.path, "/query");
+            assert_eq!(request.header("host"), Some("x"));
+            assert_eq!(request.header("HOST"), Some("x"));
+            assert_eq!(request.body, b"body");
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_are_served_in_order() {
+        let raw = b"GET /health HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = RequestReader::new(Trickle { bytes: raw.to_vec(), pos: 0, step: 5 });
+        let limits = HttpLimits::default();
+        let first = reader.read_request(&limits).unwrap();
+        assert_eq!(first.path, "/health");
+        assert!(!first.wants_close());
+        let second = reader.read_request(&limits).unwrap();
+        assert_eq!(second.path, "/stats");
+        assert!(second.wants_close());
+        assert!(matches!(reader.read_request(&limits), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_are_rejected() {
+        let raw = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(10_000));
+        assert!(matches!(read_one(raw.as_bytes(), 4096), Err(HttpError::HeadersTooLarge)));
+        // The cap fires even when the terminator never arrives.
+        let raw = format!("GET / HTTP/1.1\r\nx-pad: {}", "a".repeat(10_000));
+        assert!(matches!(read_one(raw.as_bytes(), 512), Err(HttpError::HeadersTooLarge)));
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        let err = read_one(raw, 4096).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge));
+        assert_eq!(err.status(), Some((413, "request body too large")));
+    }
+
+    #[test]
+    fn malformed_requests_map_to_400_class_errors() {
+        let cases: &[&[u8]] = &[
+            b"NOT-A-REQUEST\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"G=T / HTTP/1.1\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: pony\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET / HTTP/1.1\r\n\xff\xfe: x\r\n\r\n",
+        ];
+        for raw in cases {
+            let err = read_one(raw, 3).unwrap_err();
+            assert!(
+                matches!(err, HttpError::Malformed(_)),
+                "expected Malformed for {:?}, got {err:?}",
+                String::from_utf8_lossy(raw)
+            );
+            assert_eq!(err.status().unwrap().0, 400);
+        }
+        let err = read_one(b"GET / HTTP/2\r\n\r\n", 3).unwrap_err();
+        assert!(matches!(err, HttpError::UnsupportedVersion));
+        assert_eq!(err.status(), Some((505, "HTTP version not supported")));
+    }
+
+    #[test]
+    fn connection_close_mid_request_is_a_clean_truncation() {
+        // Mid-head …
+        let err = read_one(b"POST /query HTTP/1.1\r\nContent-Le", 2).unwrap_err();
+        assert!(matches!(err, HttpError::TruncatedRequest));
+        // … and mid-body: the declared length never arrives.
+        let err = read_one(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 2).unwrap_err();
+        assert!(matches!(err, HttpError::TruncatedRequest));
+        assert!(err.status().is_none(), "truncation gets no response, just a close");
+        // A clean pre-request close is not an error at all.
+        assert!(matches!(read_one(b"", 1), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn responses_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, b"{\"ok\":true}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(!text.contains("Connection: close"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 409, b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 409 Conflict\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

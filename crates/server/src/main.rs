@@ -1,0 +1,135 @@
+//! The `socialscope_server` binary: generate a deterministic synthetic
+//! site at the requested scale, build the clustered engine with an exact
+//! fallback, and serve it over HTTP until killed.
+
+use socialscope_content::cluster::NetworkBasedClustering;
+use socialscope_discovery::ClusteredNetworkAwareSearch;
+use socialscope_exec::Exec;
+use socialscope_server::{spawn, ServerConfig};
+use socialscope_workload::{generate_site, SiteConfig};
+use std::process::exit;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: socialscope_server [options]
+
+options:
+  --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --scale USERS      synthetic site size in users (default 200)
+  --window-us MICROS micro-batching window (default 2000; 0 = per-request)
+  --slo-ms MILLIS    per-request latency budget, queue wait included (default 50)
+  --max-batch N      flush a batch early at N members (default 128)
+  --workers N        serving worker threads (default 2)
+  --threads N        engine Exec threads (default 0 = auto)
+  --k-max N          largest honored k per query (default 100)
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn parse_num(flag: &str, value: Option<String>) -> u64 {
+    let Some(value) = value else { fail(&format!("{flag} needs a value")) };
+    match value.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => fail(&format!("{flag} needs an unsigned integer, got `{value}`")),
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut scale = 200usize;
+    let mut window_us = 2_000u64;
+    let mut slo_ms = 50u64;
+    let mut max_batch = 128usize;
+    let mut workers = 2usize;
+    let mut threads = 0usize;
+    let mut k_max = 100usize;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => match it.next() {
+                Some(value) if !value.trim().is_empty() => addr = value,
+                _ => fail("--addr needs a non-empty HOST:PORT value"),
+            },
+            "--scale" => scale = parse_num("--scale", it.next()) as usize,
+            "--window-us" => window_us = parse_num("--window-us", it.next()),
+            "--slo-ms" => slo_ms = parse_num("--slo-ms", it.next()),
+            "--max-batch" => max_batch = parse_num("--max-batch", it.next()) as usize,
+            "--workers" => workers = parse_num("--workers", it.next()) as usize,
+            "--threads" => threads = parse_num("--threads", it.next()) as usize,
+            "--k-max" => k_max = parse_num("--k-max", it.next()) as usize,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    if scale == 0 {
+        fail("--scale must be at least 1");
+    }
+    if max_batch == 0 {
+        fail("--max-batch must be at least 1");
+    }
+    if workers == 0 {
+        fail("--workers must be at least 1");
+    }
+    if k_max == 0 {
+        fail("--k-max must be at least 1");
+    }
+    if slo_ms == 0 {
+        fail("--slo-ms must be at least 1 (a zero budget degrades every query)");
+    }
+
+    let exec = if threads == 0 {
+        Exec::auto()
+    } else {
+        match Exec::new(threads) {
+            Ok(exec) => exec,
+            Err(error) => fail(&format!("--threads {threads} rejected: {error}")),
+        }
+    };
+
+    eprintln!("generating synthetic site at scale {scale} users...");
+    let site = generate_site(&SiteConfig {
+        users: scale,
+        items: scale * 2,
+        cities: 10,
+        avg_friends: 8,
+        tags_per_user: 8,
+        visits_per_user: 10,
+        ..SiteConfig::default()
+    });
+    eprintln!("building clustered engine (+ exact fallback for unclustered seekers)...");
+    let engine =
+        ClusteredNetworkAwareSearch::build_with(&exec, &site.graph, &NetworkBasedClustering, 0.3)
+            .with_exact_fallback();
+
+    let config = ServerConfig {
+        addr,
+        window: Duration::from_micros(window_us),
+        slo: Duration::from_millis(slo_ms),
+        max_batch,
+        workers,
+        k_max,
+        ..ServerConfig::default()
+    };
+    let handle = match spawn(config, engine, exec) {
+        Ok(handle) => handle,
+        Err(error) => {
+            eprintln!("error: could not bind server: {error}");
+            exit(1);
+        }
+    };
+    // The line load generators and CI wait for before opening connections.
+    println!("listening on {}", handle.addr());
+
+    // Serve until the process is killed; the accept loop owns the work.
+    loop {
+        std::thread::park();
+    }
+}

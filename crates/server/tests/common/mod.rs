@@ -1,0 +1,123 @@
+//! Shared fixtures for the server integration tests: a deterministic
+//! little travel site, a server boot helper, and a deliberately naive
+//! HTTP client (fresh connection per call, `Connection: close`) so the
+//! tests exercise the server exactly the way an arbitrary peer would —
+//! not through the server's own parsing code.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use socialscope_discovery::ClusteredNetworkAwareSearch;
+use socialscope_exec::Exec;
+use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
+use socialscope_server::{spawn, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Two friends tag different items; a stranger tags a third. Returns the
+/// graph plus the user and item ids in creation order.
+pub fn site() -> (SocialGraph, Vec<NodeId>, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let users: Vec<NodeId> = (0..4).map(|i| b.add_user(&format!("u{i}"))).collect();
+    let items: Vec<NodeId> =
+        (0..3).map(|i| b.add_item(&format!("i{i}"), &["destination"])).collect();
+    b.befriend(users[0], users[1]);
+    b.befriend(users[0], users[2]);
+    b.tag(users[1], items[0], &["baseball"]);
+    b.tag(users[2], items[0], &["baseball"]);
+    b.tag(users[1], items[1], &["museum"]);
+    b.tag(users[3], items[2], &["baseball", "museum"]);
+    (b.build(), users, items)
+}
+
+/// A server over the fixture site plus a shadow clone of the exact same
+/// engine, so tests can compare wire answers against direct engine calls.
+pub struct Fixture {
+    pub server: ServerHandle,
+    pub shadow: ClusteredNetworkAwareSearch,
+    pub exec: Exec,
+    pub users: Vec<NodeId>,
+    pub items: Vec<NodeId>,
+}
+
+/// Boot a server with the given config over the fixture site.
+pub fn boot(config: ServerConfig) -> Fixture {
+    let (graph, users, items) = site();
+    let exec = Exec::new(2).expect("two worker threads");
+    let engine = ClusteredNetworkAwareSearch::build_default(&graph).with_exact_fallback();
+    let shadow = engine.clone();
+    let server = spawn(config, engine, exec).expect("server boots");
+    Fixture { server, shadow, exec, users, items }
+}
+
+/// Send raw bytes on a fresh connection, half-close, and read everything
+/// the server answers before it hangs up.
+pub fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("send");
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read response");
+    out
+}
+
+/// Split one HTTP response into `(status, body)`.
+pub fn parse_response(raw: &[u8]) -> (u16, String) {
+    let text = String::from_utf8_lossy(raw);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, body)| body.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// One-shot POST with `Connection: close`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    parse_response(&send_raw(addr, request.as_bytes()))
+}
+
+/// One-shot request with an arbitrary method and no body.
+pub fn request(addr: SocketAddr, method: &str, path: &str) -> (u16, String) {
+    let request = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    parse_response(&send_raw(addr, request.as_bytes()))
+}
+
+/// Read exactly one keep-alive response off an open stream (status line,
+/// headers for `Content-Length`, then the body); `buf` carries leftover
+/// bytes between calls.
+pub fn read_one_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> (u16, String) {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let status: u16 = head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap();
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().unwrap())
+        })
+        .expect("Content-Length header");
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    buf.drain(..body_start + content_length);
+    (status, body)
+}

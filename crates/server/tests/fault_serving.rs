@@ -1,0 +1,113 @@
+//! Fault injection against a live server (compiled only with the
+//! `failpoints` cargo feature): an injected fault inside a transactional
+//! apply must surface as the typed `409 apply_rejected` with the engine
+//! rolled back — provably, because post-fault queries answer exactly like
+//! pre-fault ones — and an injected deadline expiry inside the content
+//! layer must travel the whole serving stack as the in-band degraded
+//! HTTP 200, not as an error or a hang.
+
+#![cfg(feature = "failpoints")]
+
+mod common;
+
+use common::{boot, post, Fixture};
+use socialscope_content::{faults, TagEvent};
+use socialscope_exec::failpoints::{FailAction, FailScenario};
+use socialscope_graph::NodeId;
+use socialscope_server::wire::{ApplyRequest, ErrorResponse, QueryRequest, QueryResponse};
+use socialscope_server::ServerConfig;
+
+/// Ask the live server for every user's ranking (one probe vector to
+/// compare across fault states).
+fn served_rankings(fixture: &Fixture, keywords: &[String]) -> Vec<Vec<(NodeId, f64)>> {
+    fixture
+        .users
+        .iter()
+        .map(|&seeker| {
+            let request = QueryRequest::new(seeker, keywords.to_vec(), 3);
+            let (status, body) = post(fixture.server.addr(), "/query", &request.to_json());
+            assert_eq!(status, 200, "{body}");
+            let response = QueryResponse::from_json(&body).unwrap();
+            assert!(!response.degraded, "probe queries must not be degraded");
+            response.results.iter().map(|r| (r.item, r.score)).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn an_injected_apply_fault_answers_409_and_rolls_back() {
+    let scenario = FailScenario::setup();
+    let mut fixture = boot(ServerConfig::default());
+    let keywords = vec!["baseball".to_string(), "museum".to_string(), "newtag".to_string()];
+    let events = vec![
+        TagEvent::assign(fixture.users[0], fixture.items[2], "newtag"),
+        TagEvent::retract(fixture.users[1], fixture.items[1], "museum"),
+    ];
+    let before = served_rankings(&fixture, &keywords);
+
+    scenario.arm(faults::SITE_APPLY, FailAction::Fault { after: 0 });
+    let (status, body) =
+        post(fixture.server.addr(), "/apply", &ApplyRequest::new(&events).to_json());
+    assert_eq!(status, 409, "an injected apply fault must answer 409: {body}");
+    let error = ErrorResponse::from_json(&body).unwrap();
+    assert_eq!(error.error, "apply_rejected");
+    assert!(error.detail.contains("injected fault"), "{}", error.detail);
+
+    // The transaction rolled back: the live engine answers exactly as it
+    // did before the rejected apply.
+    assert_eq!(served_rankings(&fixture, &keywords), before, "a rejected apply left a tear");
+
+    // Disarmed, the identical request succeeds and its effect is visible.
+    scenario.disarm(faults::SITE_APPLY);
+    let (status, body) =
+        post(fixture.server.addr(), "/apply", &ApplyRequest::new(&events).to_json());
+    assert_eq!(status, 200, "{body}");
+    let exec = fixture.exec;
+    fixture.shadow.try_apply_with(&exec, &events).expect("shadow apply");
+    let after = served_rankings(&fixture, &keywords);
+    assert_ne!(after, before, "the retried apply must change the rankings");
+    for (&seeker, served) in fixture.users.iter().zip(&after) {
+        let want: Vec<(NodeId, f64)> = fixture
+            .shadow
+            .query(seeker, &keywords, 3)
+            .result
+            .ranked
+            .into_iter()
+            .filter(|(_, score)| *score > 0.0)
+            .collect();
+        assert_eq!(*served, want, "post-retry ranking for {seeker:?} diverged");
+    }
+}
+
+#[test]
+fn an_injected_deadline_expiry_degrades_in_band() {
+    let scenario = FailScenario::setup();
+    let fixture = boot(ServerConfig::default());
+    let keywords = vec!["baseball".to_string()];
+    let request = QueryRequest::new(fixture.users[0], keywords, 3);
+
+    // Healthy first: a real answer, not degraded.
+    let (status, body) = post(fixture.server.addr(), "/query", &request.to_json());
+    assert_eq!(status, 200);
+    let healthy = QueryResponse::from_json(&body).unwrap();
+    assert!(!healthy.degraded);
+    assert!(!healthy.results.is_empty());
+
+    // Expiry forced at the engine's first cooperative deadline check: the
+    // wire still says 200, with the degraded marker and the defined empty
+    // partial result.
+    scenario.arm(faults::DEADLINE, FailAction::Fault { after: 0 });
+    let (status, body) = post(fixture.server.addr(), "/query", &request.to_json());
+    assert_eq!(status, 200, "degradation must stay in-band: {body}");
+    let degraded = QueryResponse::from_json(&body).unwrap();
+    assert!(degraded.degraded, "forced expiry must set the marker");
+    assert!(degraded.results.is_empty(), "the degraded partial result is the empty ranking");
+
+    // Disarmed, the same server heals with no restart.
+    scenario.disarm(faults::DEADLINE);
+    let (status, body) = post(fixture.server.addr(), "/query", &request.to_json());
+    assert_eq!(status, 200);
+    let healed = QueryResponse::from_json(&body).unwrap();
+    assert!(!healed.degraded);
+    assert_eq!(healed.results, healthy.results);
+}

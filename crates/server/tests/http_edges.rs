@@ -1,0 +1,132 @@
+//! Socket-level robustness: a live server fed trickled bytes, oversized
+//! heads and bodies, malformed framing, wrong HTTP versions, and peers
+//! that vanish mid-request must answer with the right 4xx/5xx (or close
+//! silently where no answer is possible) — and keep serving everyone
+//! else. The unit tests in `socialscope_server::http` prove the parser;
+//! these prove the wiring of that parser into live connections.
+
+mod common;
+
+use common::{boot, parse_response, request, send_raw};
+use socialscope_server::ServerConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// After any abuse, the server must still answer a clean health check.
+fn assert_still_serving(fixture: &common::Fixture) {
+    let (status, body) = request(fixture.server.addr(), "GET", "/health");
+    assert_eq!(status, 200, "server stopped serving: {body}");
+}
+
+#[test]
+fn trickled_requests_are_assembled_and_served() {
+    let fixture = boot(ServerConfig::default());
+    let raw = b"GET /health HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n";
+    let mut stream = TcpStream::connect(fixture.server.addr()).unwrap();
+    // One byte per write: the harshest fragmentation a peer can produce.
+    for byte in raw {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        stream.flush().unwrap();
+    }
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).unwrap();
+    let (status, body) = parse_response(&out);
+    assert_eq!(status, 200, "{body}");
+}
+
+#[test]
+fn oversized_heads_answer_431_and_close() {
+    let fixture = boot(ServerConfig::default());
+    let raw = format!("GET /health HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(64 * 1024));
+    let (status, body) = parse_response(&send_raw(fixture.server.addr(), raw.as_bytes()));
+    assert_eq!(status, 431);
+    assert!(body.contains("bad_request"), "{body}");
+    assert_still_serving(&fixture);
+}
+
+#[test]
+fn oversized_bodies_answer_413_before_reading_them() {
+    let fixture = boot(ServerConfig::default());
+    // Declare a huge body but never send it: the cap must fire on the
+    // declaration alone.
+    let raw = b"POST /query HTTP/1.1\r\nHost: test\r\nContent-Length: 999999999\r\n\r\n";
+    let (status, body) = parse_response(&send_raw(fixture.server.addr(), raw));
+    assert_eq!(status, 413);
+    assert!(body.contains("bad_request"), "{body}");
+    assert_still_serving(&fixture);
+}
+
+#[test]
+fn malformed_framing_answers_400_and_closes() {
+    let fixture = boot(ServerConfig::default());
+    let cases: &[&[u8]] = &[
+        b"NOT-A-REQUEST\r\n\r\n",
+        b"GET nopath HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/1.1\r\nbad header line\r\n\r\n",
+        b"POST /query HTTP/1.1\r\nContent-Length: pony\r\n\r\n",
+        b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    ];
+    for raw in cases {
+        let (status, body) = parse_response(&send_raw(fixture.server.addr(), raw));
+        assert_eq!(status, 400, "for {:?}: {body}", String::from_utf8_lossy(raw));
+        assert!(body.contains("bad_request"), "{body}");
+    }
+    assert_still_serving(&fixture);
+}
+
+#[test]
+fn unsupported_http_versions_answer_505() {
+    let fixture = boot(ServerConfig::default());
+    let raw = b"GET /health HTTP/2\r\nHost: test\r\n\r\n";
+    let (status, body) = parse_response(&send_raw(fixture.server.addr(), raw));
+    assert_eq!(status, 505);
+    assert!(body.contains("bad_request"), "{body}");
+    assert_still_serving(&fixture);
+}
+
+#[test]
+fn a_peer_vanishing_mid_request_is_a_silent_close() {
+    let fixture = boot(ServerConfig::default());
+    // Mid-head: the terminator never arrives.
+    let out = send_raw(fixture.server.addr(), b"POST /query HTTP/1.1\r\nContent-Le");
+    assert!(out.is_empty(), "truncation gets no response: {:?}", String::from_utf8_lossy(&out));
+    // Mid-body: the declared length never arrives.
+    let out = send_raw(
+        fixture.server.addr(),
+        b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\n{\"ver",
+    );
+    assert!(out.is_empty(), "truncation gets no response: {:?}", String::from_utf8_lossy(&out));
+    assert_still_serving(&fixture);
+}
+
+#[test]
+fn abuse_on_one_connection_never_blocks_another() {
+    let fixture = boot(ServerConfig::default());
+    // Park a connection that sent half a request and holds it open …
+    let mut parked = TcpStream::connect(fixture.server.addr()).unwrap();
+    parked.write_all(b"POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 999\r\n\r\n").unwrap();
+    // … while other clients come and go freely.
+    for _ in 0..3 {
+        assert_still_serving(&fixture);
+    }
+    drop(parked);
+}
+
+#[test]
+fn tight_custom_limits_are_honored() {
+    let mut config = ServerConfig::default();
+    config.limits.max_head_bytes = 256;
+    config.limits.max_body_bytes = 64;
+    let fixture = boot(config);
+    let raw = format!("GET /health HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(512));
+    let (status, _) = parse_response(&send_raw(fixture.server.addr(), raw.as_bytes()));
+    assert_eq!(status, 431);
+    let raw = format!(
+        "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\n{}",
+        "x".repeat(100)
+    );
+    let (status, _) = parse_response(&send_raw(fixture.server.addr(), raw.as_bytes()));
+    assert_eq!(status, 413);
+    // A request inside both caps still flows.
+    assert_still_serving(&fixture);
+}
