@@ -335,9 +335,13 @@ fn check_version(doc: &Json) -> Result<(), WireError> {
 }
 
 /// Emit an `f64` so it parses back exactly (integral scores keep a `.0`
-/// so the document stays unambiguous about the field's type).
+/// so the document stays unambiguous about the field's type). Non-finite
+/// values have no JSON spelling — `{value}` would print `inf`/`NaN` and
+/// corrupt the document — so they serialize as `0.0`.
 fn fmt_f64(value: f64) -> String {
-    if value == value.trunc() && value.is_finite() {
+    if !value.is_finite() {
+        "0.0".to_string()
+    } else if value == value.trunc() {
         format!("{value:.1}")
     } else {
         format!("{value}")
@@ -369,7 +373,12 @@ fn json_string(text: &str) -> String {
 enum Json {
     Null,
     Bool(bool),
-    Num(f64),
+    /// A number, kept with its raw token so integral fields parse
+    /// exactly: a `u64` above 2^53 must not round-trip through `f64`.
+    Num {
+        value: f64,
+        raw: String,
+    },
     Str(String),
     Arr(Vec<Json>),
     Obj(Vec<(String, Json)>),
@@ -399,11 +408,17 @@ impl Json {
     }
 
     fn field_u64(&self, name: &str) -> Result<u64, WireError> {
-        let value = self.field(name)?.as_f64()?;
-        if value < 0.0 || value.fract() != 0.0 || value > u64::MAX as f64 {
+        // Parse the original digits, not the f64: values above 2^53 must
+        // arrive exactly, and out-of-range ones must be rejected (not
+        // rounded into range).
+        let raw = match self.field(name)? {
+            Json::Num { raw, .. } => raw,
+            _ => return Err(WireError::new(format!("field `{name}` is not a number"))),
+        };
+        if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
             return Err(WireError::new(format!("field `{name}` is not a non-negative integer")));
         }
-        Ok(value as u64)
+        raw.parse::<u64>().map_err(|_| WireError::new(format!("field `{name}` exceeds u64 range")))
     }
 
     fn field_strings(&self, name: &str) -> Result<Vec<String>, WireError> {
@@ -416,7 +431,7 @@ impl Json {
 
     fn as_f64(&self) -> Result<f64, WireError> {
         match self {
-            Json::Num(value) => Ok(*value),
+            Json::Num { value, .. } => Ok(*value),
             _ => Err(WireError::new("expected number")),
         }
     }
@@ -552,6 +567,22 @@ impl Parser<'_> {
         self.eat(b'"')?;
         let mut out = String::new();
         loop {
+            // Copy the maximal run of unescaped content bytes in one go,
+            // validating its UTF-8 once. Run boundaries (`"`, `\`, control
+            // bytes) are all ASCII, so they never split a multi-byte
+            // scalar; this keeps string parsing linear in the input.
+            let run_start = self.pos;
+            while let Some(&byte) = self.bytes.get(self.pos) {
+                if byte == b'"' || byte == b'\\' || byte < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > run_start {
+                let run = std::str::from_utf8(&self.bytes[run_start..self.pos])
+                    .map_err(|_| WireError::new("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
             match self.peek() {
                 None => return Err(WireError::new("unterminated string")),
                 Some(b'"') => {
@@ -587,17 +618,10 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(c) if c < 0x20 => {
-                    return Err(WireError::new("raw control byte in string"));
-                }
+                // The run scan above stops only at `"`, `\`, or a control
+                // byte, so anything else here is a raw control byte.
                 Some(_) => {
-                    // Copy the full UTF-8 scalar starting here.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| WireError::new("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().expect("non-empty by peek");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    return Err(WireError::new("raw control byte in string"));
                 }
             }
         }
@@ -613,7 +637,7 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
         text.parse::<f64>()
-            .map(Json::Num)
+            .map(|value| Json::Num { value, raw: text.to_string() })
             .map_err(|_| WireError::new(format!("invalid number `{text}`")))
     }
 }
@@ -697,6 +721,58 @@ mod tests {
         // Deep nesting is bounded, not a stack overflow.
         let deep = format!("{}1{}", "[".repeat(1000), "]".repeat(1000));
         assert!(QueryRequest::from_json(&deep).is_err());
+    }
+
+    #[test]
+    fn large_node_ids_round_trip_exactly() {
+        // Above 2^53 an f64 round-trip would silently corrupt the ID;
+        // integral fields must parse from the original digits.
+        for id in [(1u64 << 53) + 1, u64::MAX - 1, u64::MAX] {
+            let request = QueryRequest::new(NodeId(id), vec!["a".to_string()], 1);
+            let parsed = QueryRequest::from_json(&request.to_json()).unwrap();
+            assert_eq!(parsed.seeker, NodeId(id));
+        }
+        // Out-of-range and non-integral spellings are rejected, not rounded.
+        for bad in [
+            "{\"version\":1,\"seeker\":18446744073709551616,\"keywords\":[],\"k\":1}",
+            "{\"version\":1,\"seeker\":5.5,\"keywords\":[],\"k\":1}",
+            "{\"version\":1,\"seeker\":5e2,\"keywords\":[],\"k\":1}",
+        ] {
+            assert!(QueryRequest::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn non_finite_scores_serialize_as_valid_json() {
+        for score in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let response = QueryResponse {
+                version: WIRE_VERSION,
+                seeker: NodeId(1),
+                results: vec![ScoredItem { item: NodeId(2), score }],
+                degraded: false,
+                unclustered: false,
+                batch_size: 1,
+            };
+            let parsed = QueryResponse::from_json(&response.to_json())
+                .expect("non-finite scores must not corrupt the document");
+            assert_eq!(parsed.results[0].score, 0.0);
+        }
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // A ~1MB unescaped string: quadratic re-validation would take
+        // minutes here, the linear parser finishes instantly.
+        let long = "x".repeat(1 << 20);
+        let request = QueryRequest::new(NodeId(1), vec![long.clone()], 1);
+        let start = std::time::Instant::now();
+        let parsed = QueryRequest::from_json(&request.to_json()).unwrap();
+        assert_eq!(parsed.keywords[0], long);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing is super-linear: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

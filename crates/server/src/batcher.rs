@@ -72,9 +72,15 @@ struct State {
 /// wedge the queue for every other connection.
 pub(crate) struct Batcher {
     state: Mutex<State>,
-    // std's Condvar pairs with a raw mutex; we keep a tiny std mutex just
-    // for the wait, re-checking real state under the parking_lot lock.
-    gate: std::sync::Mutex<()>,
+    // std's Condvar pairs with a raw mutex; the gate guards a notification
+    // epoch that enqueue/shutdown bump (under the gate) on every state
+    // change. A worker snapshots the epoch before evaluating state and
+    // re-checks it under the gate before sleeping: a notify can therefore
+    // never land between its state evaluation and its wait — either the
+    // epoch already moved (the worker loops and re-evaluates) or the
+    // notifier is still blocked on the gate until `Condvar::wait`
+    // atomically releases it (the wakeup is delivered).
+    gate: std::sync::Mutex<u64>,
     cv: StdCondvar,
     window: Duration,
     max_batch: usize,
@@ -84,11 +90,21 @@ impl Batcher {
     pub(crate) fn new(window: Duration, max_batch: usize) -> Self {
         Batcher {
             state: Mutex::new(State { queues: HashMap::new(), shutdown: false }),
-            gate: std::sync::Mutex::new(()),
+            gate: std::sync::Mutex::new(0),
             cv: StdCondvar::new(),
             window,
             max_batch: max_batch.max(1),
         }
+    }
+
+    fn lock_gate(&self) -> std::sync::MutexGuard<'_, u64> {
+        self.gate.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a state change and wake every sleeping worker.
+    fn bump_and_notify(&self) {
+        *self.lock_gate() += 1;
+        self.cv.notify_all();
     }
 
     /// Admit one query; its handler then blocks on the reply channel.
@@ -103,7 +119,7 @@ impl Batcher {
             let key = BatchKey::resolve(&pending.request);
             state.queues.entry(key).or_default().push(pending);
         }
-        self.cv.notify_all();
+        self.bump_and_notify();
     }
 
     /// Block until some batch is ripe (its oldest member aged past the
@@ -111,6 +127,10 @@ impl Batcher {
     /// `None` once the batcher is shut down and drained.
     pub(crate) fn next_batch(&self) -> Option<ReadyBatch> {
         loop {
+            // Snapshot the notification epoch *before* evaluating state:
+            // any enqueue/shutdown that lands after the evaluation bumps
+            // it, and the re-check under the gate below catches that.
+            let epoch = *self.lock_gate();
             let wait_for = {
                 let mut state = self.state.lock();
                 let now = Instant::now();
@@ -143,11 +163,20 @@ impl Batcher {
                 }
             };
             // Nothing ripe: sleep until the earliest due time (or an
-            // enqueue/shutdown notification), then re-evaluate.
-            let guard = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            // enqueue/shutdown notification), then re-evaluate — unless
+            // the epoch moved since the evaluation, meaning a notify
+            // already fired that we would otherwise miss.
+            let guard = self.lock_gate();
+            if *guard != epoch {
+                continue;
+            }
             match wait_for {
                 Some(timeout) => drop(self.cv.wait_timeout(guard, timeout)),
-                None => drop(self.cv.wait(guard)),
+                // No queue to ripen: only a notification creates work, and
+                // the epoch check above makes it unlosable; the bounded
+                // wait is belt-and-suspenders so any future regression
+                // degrades to latency, never a wedged worker.
+                None => drop(self.cv.wait_timeout(guard, Duration::from_millis(100))),
             }
         }
     }
@@ -156,7 +185,7 @@ impl Batcher {
     /// flushed (as immediately-due batches) before workers see `None`.
     pub(crate) fn shutdown(&self) {
         self.state.lock().shutdown = true;
-        self.cv.notify_all();
+        self.bump_and_notify();
     }
 }
 
@@ -220,6 +249,27 @@ mod tests {
         let batch = batcher.next_batch().expect("cap-triggered flush");
         assert_eq!(batch.members.len(), 2);
         assert!(start.elapsed() < Duration::from_secs(60), "did not wait for the hour window");
+    }
+
+    #[test]
+    fn enqueue_wakes_a_worker_idling_on_empty_queues() {
+        let batcher = Arc::new(Batcher::new(Duration::from_millis(1), 64));
+        let worker = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || batcher.next_batch())
+        };
+        // Let the worker reach its idle wait on empty queues first; the
+        // enqueue notification (not the bounded fallback wait) must wake
+        // it and ripen the batch promptly.
+        std::thread::sleep(Duration::from_millis(20));
+        let (tx, _rx) = mpsc::channel();
+        batcher.enqueue(Pending {
+            request: request(1, &["a"], 3),
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        let batch = worker.join().unwrap().expect("woken by enqueue");
+        assert_eq!(batch.members.len(), 1);
     }
 
     #[test]

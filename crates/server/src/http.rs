@@ -136,11 +136,23 @@ impl<R: Read> RequestReader<R> {
             .map_err(|_| HttpError::Malformed("header block is not valid UTF-8"))?;
         let (method, path, headers) = parse_head(head)?;
 
-        let body_len = match headers.iter().find(|(name, _)| name == "content-length") {
-            Some((_, value)) => value
-                .trim()
-                .parse::<usize>()
-                .map_err(|_| HttpError::Malformed("invalid content-length"))?,
+        // Exactly one Content-Length, plain ASCII digits only: duplicates
+        // (even when equal) and sign/whitespace spellings are a
+        // request-smuggling hazard behind any proxy that resolves them
+        // differently, so they are rejected outright.
+        let mut content_lengths = headers.iter().filter(|(name, _)| name == "content-length");
+        let body_len = match content_lengths.next() {
+            Some((_, value)) => {
+                if content_lengths.next().is_some() {
+                    return Err(HttpError::Malformed("multiple content-length headers"));
+                }
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(HttpError::Malformed("invalid content-length"));
+                }
+                value
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::Malformed("invalid content-length"))?
+            }
             None => 0,
         };
         if headers.iter().any(|(name, _)| name == "transfer-encoding") {
@@ -325,6 +337,10 @@ mod tests {
             b"GET / HTTP/1.1\r\nbad header line\r\n\r\n",
             b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
             b"POST / HTTP/1.1\r\nContent-Length: pony\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: +4\r\n\r\nbody",
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody",
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\nbody",
+            b"POST / HTTP/1.1\r\nContent-Length: 4, 4\r\n\r\nbody",
             b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
             b"GET / HTTP/1.1\r\n\xff\xfe: x\r\n\r\n",
         ];
