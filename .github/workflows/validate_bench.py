@@ -182,26 +182,40 @@ SERVING_TAIL_MAX_RATIO = 4.0
 SERVING_THROUGHPUT_FLOOR_RPS = 5000.0
 
 
+# The REQUIRED_* / *_CONTRACT sets above are kept in lockstep with the
+# Rust JSON emitters (crates/bench/src/bin/experiments.rs and
+# crates/content/src/wire.rs) by the schema-sync lint; when a key check
+# fails here, the lint says which side drifted and where.
+SCHEMA_SYNC_HINT = (
+    "key sets are synced with the Rust emitters by the schema-sync lint: "
+    "run `cargo run -p socialscope_analysis -- lint` to see which side "
+    "drifted")
+
+
+def require_keys(required, mapping, where, what="document"):
+    missing = required - mapping.keys()
+    assert not missing, (
+        f"{where}: {what} missing {sorted(missing)} ({SCHEMA_SYNC_HINT})")
+
+
 def check_topk_run(run, where):
-    missing = REQUIRED_TOPK_RUN - run.keys()
-    assert not missing, f"{where}: missing {missing}"
+    require_keys(REQUIRED_TOPK_RUN, run, where)
     assert run["experiment"] == "E8_topk_sweep", where
     seen = set()
     for row in run["engines"]:
-        assert not (REQUIRED_TOPK_ROW - row.keys()), f"{where}: bad row {row}"
+        require_keys(REQUIRED_TOPK_ROW, row, where, "engine row")
         seen.add(row["engine"])
     assert seen == TOPK_ENGINES, f"{where}: engines {seen}"
 
 
 def check_batch_doc(doc, where):
-    missing = REQUIRED_BATCH_RUN - doc.keys()
-    assert not missing, f"{where}: missing {missing}"
+    require_keys(REQUIRED_BATCH_RUN, doc, where)
     assert doc["experiment"] == "E9_batch_sweep", where
     assert set(doc["classes"]) == BATCH_CLASSES, f"{where}: classes {doc['classes']}"
     assert set(doc["batch_sizes"]) == BATCH_SIZES, f"{where}: sizes {doc['batch_sizes']}"
     cells = set()
     for row in doc["rows"]:
-        assert not (REQUIRED_BATCH_ROW - row.keys()), f"{where}: bad row {row}"
+        require_keys(REQUIRED_BATCH_ROW, row, where, "batch row")
         cells.add((row["engine"], row["class"], row["batch_size"]))
     expected = {(e, c, b) for e in BATCH_ENGINES for c in BATCH_CLASSES
                 for b in BATCH_SIZES}
@@ -217,8 +231,7 @@ def check_batch_doc(doc, where):
 
 
 def check_parallel_doc(doc, where):
-    missing = REQUIRED_PARALLEL_RUN - doc.keys()
-    assert not missing, f"{where}: missing {missing}"
+    require_keys(REQUIRED_PARALLEL_RUN, doc, where)
     assert doc["experiment"] == "E10_parallel_sweep", where
     assert doc["available_parallelism"] >= 1, where
     threads = doc["threads"]
@@ -230,7 +243,7 @@ def check_parallel_doc(doc, where):
     assert 32 in sizes, f"{where}: batch sizes {sizes} miss the gated 32"
     cells = set()
     for row in doc["rows"]:
-        assert not (REQUIRED_PARALLEL_ROW - row.keys()), f"{where}: bad row {row}"
+        require_keys(REQUIRED_PARALLEL_ROW, row, where, "query row")
         assert row["speedup_vs_loop"] > 0, f"{where}: non-positive speedup {row}"
         cells.add((row["engine"], row["threads"], row["batch_size"]))
     expected = {(e, t, b) for e in PARALLEL_ENGINES for t in threads
@@ -239,8 +252,7 @@ def check_parallel_doc(doc, where):
         f"{where}: rows cover {len(cells)}/{len(expected)} cells")
     builds = set()
     for row in doc["build"]:
-        assert not (REQUIRED_PARALLEL_BUILD_ROW - row.keys()), (
-            f"{where}: bad build row {row}")
+        require_keys(REQUIRED_PARALLEL_BUILD_ROW, row, where, "build row")
         builds.add((row["index"], row["threads"]))
     assert builds == {(i, t) for i in PARALLEL_INDEXES for t in threads}, (
         f"{where}: build rows cover {builds}")
@@ -251,8 +263,7 @@ def check_parallel_doc(doc, where):
 
 
 def check_update_doc(doc, where):
-    missing = REQUIRED_UPDATE_RUN - doc.keys()
-    assert not missing, f"{where}: missing {missing}"
+    require_keys(REQUIRED_UPDATE_RUN, doc, where)
     assert doc["experiment"] == "E11_update_sweep", where
     assert doc["tag_assignments"] >= 1, where
     assert 0.0 <= doc["retract_fraction"] <= 1.0, where
@@ -264,7 +275,7 @@ def check_update_doc(doc, where):
         f"{UPDATE_HEADLINE_FRACTION} fraction, got {fractions}")
     cells = set()
     for row in doc["rows"]:
-        assert not (REQUIRED_UPDATE_ROW - row.keys()), f"{where}: bad row {row}"
+        require_keys(REQUIRED_UPDATE_ROW, row, where, "update row")
         assert row["events"] >= 1, f"{where}: empty event batch {row}"
         assert row["speedup"] > 0, f"{where}: non-positive speedup {row}"
         cells.add((row["index"], row["fraction"]))
@@ -277,8 +288,7 @@ def check_update_doc(doc, where):
 
 
 def check_robustness_doc(doc, where):
-    missing = REQUIRED_ROBUSTNESS_RUN - doc.keys()
-    assert not missing, f"{where}: missing {missing}"
+    require_keys(REQUIRED_ROBUSTNESS_RUN, doc, where)
     assert doc["experiment"] == "E12_robustness_sweep", where
     contract = doc["contract"]
     assert set(contract) == ROBUSTNESS_CONTRACT, f"{where}: contract {contract}"
@@ -292,15 +302,14 @@ def check_robustness_doc(doc, where):
         f"{where}: budget fractions {fractions}")
     engines = set()
     for row in doc["overhead"]:
-        assert not (REQUIRED_ROBUSTNESS_OVERHEAD_ROW - row.keys()), (
-            f"{where}: bad overhead row {row}")
+        require_keys(REQUIRED_ROBUSTNESS_OVERHEAD_ROW, row, where,
+                     "overhead row")
         assert row["wall_ms_unbounded"] > 0, f"{where}: empty timing row {row}"
         engines.add(row["engine"])
     assert engines == ROBUSTNESS_ENGINES, f"{where}: overhead engines {engines}"
     cells = set()
     for row in doc["hit_rates"]:
-        assert not (REQUIRED_ROBUSTNESS_HIT_ROW - row.keys()), (
-            f"{where}: bad hit-rate row {row}")
+        require_keys(REQUIRED_ROBUSTNESS_HIT_ROW, row, where, "hit-rate row")
         assert 0 <= row["served"] <= row["members"], f"{where}: served {row}"
         assert 0.0 <= row["hit_rate"] <= 1.0, f"{where}: hit rate {row}"
         cells.add((row["engine"], row["budget_fraction"]))
@@ -315,8 +324,7 @@ def check_robustness_doc(doc, where):
 
 
 def check_serving_doc(doc, where):
-    missing = REQUIRED_SERVING_RUN - doc.keys()
-    assert not missing, f"{where}: missing {missing}"
+    require_keys(REQUIRED_SERVING_RUN, doc, where)
     assert doc["experiment"] == "E13_serving_sweep", where
     contract = doc["contract"]
     assert set(contract) == SERVING_CONTRACT, f"{where}: contract {contract}"
@@ -335,7 +343,7 @@ def check_serving_doc(doc, where):
         f"capacity (capacity {doc['capacity_rps']}, offered {doc['offered_rps']})")
     seen = []
     for row in doc["rows"]:
-        assert not (REQUIRED_SERVING_ROW - row.keys()), f"{where}: bad row {row}"
+        require_keys(REQUIRED_SERVING_ROW, row, where, "window row")
         assert row["completed"] + row["failed"] == doc["requests"], (
             f"{where}: row {row['window_us']}us accounts for "
             f"{row['completed']}+{row['failed']} of {doc['requests']} requests")
@@ -344,8 +352,7 @@ def check_serving_doc(doc, where):
         seen.append(row["window_us"])
     assert seen == windows, f"{where}: rows cover {seen}, windows are {windows}"
     head = doc["headline"]
-    assert not (REQUIRED_SERVING_HEADLINE - head.keys()), (
-        f"{where}: bad headline {head}")
+    require_keys(REQUIRED_SERVING_HEADLINE, head, where, "headline")
     assert head["window_us"] in windows and head["window_us"] > 0, (
         f"{where}: headline window {head['window_us']} is not a swept "
         "batching window")

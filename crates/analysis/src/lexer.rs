@@ -1,0 +1,428 @@
+//! A hand-rolled token-level Rust lexer — just enough fidelity for
+//! invariant linting: string literals (plain, raw, byte, raw-byte), char
+//! literals vs. lifetimes, nested block comments, line comments (kept as
+//! tokens, since `// lint: allow(...)` pragmas live there), identifiers
+//! (including raw `r#ident`), numbers, and single-character punctuation.
+//!
+//! The point of lexing — rather than substring search — is that `unwrap()`
+//! inside a raw string, a commented-out `thread::spawn`, or a char literal
+//! `'{'` must never confuse the rules. The adversarial cases are pinned in
+//! the unit tests below.
+
+/// What a token is. The linter's rules only ever look at `Ident` and
+/// `Punct` sequences; comments are kept for pragma parsing and everything
+/// else exists so the scanner can *skip* it correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (raw identifiers are normalized: the
+    /// token text of `r#type` is `type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A string literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`. Token text includes the delimiters.
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A numeric literal (lexed loosely; the rules never read numbers).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// A `// …` comment, text includes the `//`.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), text includes delimiters.
+    BlockComment,
+}
+
+/// One token: kind, byte range into the source, and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+/// Tokenize `src`. Never panics on malformed input: an unterminated
+/// string or comment simply extends to end of file (good enough for a
+/// linter that only runs on code rustc already accepted).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1 };
+    let mut tokens = Vec::new();
+    while let Some(token) = lx.next_token() {
+        tokens.push(token);
+    }
+    tokens
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn make(&self, kind: TokKind, start: usize, line: u32) -> Token {
+        Token { kind, start, end: self.pos, line }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        // Skip whitespace.
+        while self.pos < self.bytes.len() && self.peek(0).is_ascii_whitespace() {
+            self.bump();
+        }
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let (start, line) = (self.pos, self.line);
+        let b = self.peek(0);
+
+        // Comments.
+        if b == b'/' && self.peek(1) == b'/' {
+            while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            return Some(self.make(TokKind::LineComment, start, line));
+        }
+        if b == b'/' && self.peek(1) == b'*' {
+            self.bump_n(2);
+            let mut depth = 1usize;
+            while self.pos < self.bytes.len() && depth > 0 {
+                if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                    depth += 1;
+                    self.bump_n(2);
+                } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                    depth -= 1;
+                    self.bump_n(2);
+                } else {
+                    self.bump();
+                }
+            }
+            return Some(self.make(TokKind::BlockComment, start, line));
+        }
+
+        // Raw strings, byte strings, raw identifiers: r" r#" b" br" b' r#id.
+        if b == b'r' || b == b'b' {
+            let (mut ahead, mut saw_r) = (1usize, b == b'r');
+            if b == b'b' && self.peek(1) == b'r' {
+                ahead = 2;
+                saw_r = true;
+            }
+            if saw_r {
+                // Count hashes after the r.
+                let mut hashes = 0usize;
+                while self.peek(ahead + hashes) == b'#' {
+                    hashes += 1;
+                }
+                if self.peek(ahead + hashes) == b'"' {
+                    self.bump_n(ahead + hashes + 1);
+                    return Some(self.raw_string_tail(hashes, start, line));
+                }
+                if hashes > 0 && b == b'r' && is_ident_start(self.peek(ahead + hashes)) {
+                    // Raw identifier r#type: token text normalized below by
+                    // recording only from after `r#`.
+                    self.bump_n(ahead + hashes);
+                    let ident_start = self.pos;
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    return Some(Token {
+                        kind: TokKind::Ident,
+                        start: ident_start,
+                        end: self.pos,
+                        line,
+                    });
+                }
+            }
+            if b == b'b' && self.peek(1) == b'"' {
+                self.bump_n(2);
+                return Some(self.escaped_string_tail(start, line));
+            }
+            if b == b'b' && self.peek(1) == b'\'' {
+                self.bump_n(2);
+                return Some(self.char_tail(start, line));
+            }
+            // Fall through: a plain identifier starting with r/b.
+        }
+
+        if b == b'"' {
+            self.bump();
+            return Some(self.escaped_string_tail(start, line));
+        }
+
+        if b == b'\'' {
+            // Lifetime or char literal. `'\…'` is always a char; `'x'` is a
+            // char; `'ident` with no closing quote right after one ident
+            // char is a lifetime ('a, 'static, '_).
+            if self.peek(1) != b'\\' && is_ident_continue(self.peek(1)) && self.peek(2) != b'\'' {
+                self.bump(); // the quote
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                return Some(self.make(TokKind::Lifetime, start, line));
+            }
+            self.bump();
+            return Some(self.char_tail(start, line));
+        }
+
+        if is_ident_start(b) {
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return Some(self.make(TokKind::Ident, start, line));
+        }
+
+        if b.is_ascii_digit() {
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            // A fractional part: only consume the dot when a digit follows,
+            // so `1.max(2)` and `0..n` lex the dot(s) as punctuation.
+            if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                self.bump();
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+            }
+            return Some(self.make(TokKind::Num, start, line));
+        }
+
+        // Anything else (including non-ASCII) is one punctuation "char";
+        // advance a full UTF-8 sequence so we never split a code point.
+        let char_len = self.src[self.pos..].chars().next().map_or(1, char::len_utf8);
+        self.bump_n(char_len);
+        Some(self.make(TokKind::Punct, start, line))
+    }
+
+    /// After the opening quote of a `"…"` / `b"…"` string.
+    fn escaped_string_tail(&mut self, start: usize, line: u32) -> Token {
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.make(TokKind::Str, start, line)
+    }
+
+    /// After the opening quote of a raw string with `hashes` hashes.
+    fn raw_string_tail(&mut self, hashes: usize, start: usize, line: u32) -> Token {
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == b'#' {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.bump_n(1 + hashes);
+                    return self.make(TokKind::Str, start, line);
+                }
+            }
+            self.bump();
+        }
+        self.make(TokKind::Str, start, line)
+    }
+
+    /// After the opening quote of a char / byte-char literal.
+    fn char_tail(&mut self, start: usize, line: u32) -> Token {
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.make(TokKind::Char, start, line)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Unescape the *content* of a plain string literal token (the text
+/// between the quotes), resolving the escapes that matter for JSON-key
+/// extraction: `\"`, `\\`, `\n`, `\t`. Other escapes pass through with the
+/// backslash dropped — good enough for key scanning, where escaped
+/// exotica never form an identifier anyway.
+pub fn unescape_content(token_text: &str) -> String {
+    // Strip delimiters: r/b prefixes, hashes, quotes.
+    let mut text = token_text;
+    text = text.trim_start_matches(['r', 'b']);
+    let hashes = text.bytes().take_while(|&b| b == b'#').count();
+    text = &text[hashes..];
+    let text = text.strip_prefix('"').unwrap_or(text);
+    let text = text.strip_suffix(&token_text[token_text.len() - hashes..]).unwrap_or(text);
+    let text = text.strip_suffix('"').unwrap_or(text);
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_inside_a_raw_string_is_one_string_token() {
+        let src = r##"let s = r#"please .unwrap() me"#; s.len()"##;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t.contains(".unwrap()")));
+        // No `unwrap` identifier escapes the literal.
+        assert!(!idents(src).iter().any(|i| i == "unwrap"), "{toks:?}");
+    }
+
+    #[test]
+    fn unwrap_inside_plain_and_byte_strings_stays_inside() {
+        for src in [
+            "let s = \"x.unwrap() and thread::spawn\";",
+            "let s = b\"x.unwrap()\";",
+            "let s = br#\"x.unwrap()\"#;",
+        ] {
+            assert!(!idents(src).iter().any(|i| i == "unwrap" || i == "spawn"), "{src}");
+        }
+    }
+
+    #[test]
+    fn commented_out_code_is_a_comment_token() {
+        let src = "// std::thread::spawn(|| ());\nlet x = 1; /* panic!(\"no\") */";
+        assert!(!idents(src).iter().any(|i| i == "spawn" || i == "panic"), "{src}");
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::LineComment && t.contains("spawn")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::BlockComment && t.contains("panic")));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.ends_with("still comment */"));
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str, c: char) { let y = 'y'; let z = '\\n'; let q = '\\''; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, t)| t.clone()).collect();
+        assert_eq!(chars, vec!["'y'", "'\\n'", "'\\''"]);
+    }
+
+    #[test]
+    fn brace_char_literals_do_not_unbalance_scopes() {
+        let src = "let open = '{'; let close = '}'; let quote = '\"';";
+        let braces: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct && matches!(t.text(src), "{" | "}"))
+            .collect();
+        assert!(braces.is_empty(), "brace chars leaked as punctuation");
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        let src = "let r#type = 1; r#fn();";
+        assert_eq!(idents(src), vec!["let", "type", "fn"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_string_suffix_edge() {
+        let src = "static X: &'static str = \"tail \\\" quote\"; 'l: loop { break 'l; }";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("tail")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "let a = 1;\nlet s = \"two\nlines\";\nlet b = 2;";
+        let toks = lex(src);
+        let b_tok = toks.iter().find(|t| t.text(src) == "b").unwrap();
+        assert_eq!(b_tok.line, 4, "multi-line string must advance the line counter");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls_or_ranges() {
+        let src = "let x = 1.max(2); for i in 0..10 {} let f = 1.5e3;";
+        assert!(idents(src).contains(&"max".to_string()));
+        let nums: Vec<_> =
+            kinds(src).into_iter().filter(|(k, _)| *k == TokKind::Num).map(|(_, t)| t).collect();
+        assert!(nums.contains(&"1".to_string()) && nums.contains(&"1.5e3".to_string()), "{nums:?}");
+    }
+
+    #[test]
+    fn unescape_resolves_format_string_keys() {
+        let tok = r#""{{\"engine\":\"{}\",\"k\":{}}}""#;
+        assert_eq!(unescape_content(tok), "{{\"engine\":\"{}\",\"k\":{}}}");
+    }
+}

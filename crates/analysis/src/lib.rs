@@ -1,0 +1,28 @@
+//! `socialscope_analysis` — correctness tooling for the workspace, in two
+//! engines behind one binary:
+//!
+//! - **Invariant linter** ([`lint`], [`schema`]): a hand-rolled
+//!   token-level lexer ([`lexer`]) walks every crate under `crates/*/src`
+//!   and enforces the serving-path invariants (no panics, confined clock
+//!   reads, confined thread creation, confined `process::exit`, the
+//!   batcher's lock order) plus a schema-sync diff between the Rust JSON
+//!   emitters and the CI validator's required-field sets. Escape hatch:
+//!   `// lint: allow(<rule>, reason = "...")` — the reason is mandatory
+//!   and the pragma itself is linted (malformed or unused pragmas fail).
+//! - **Model checker** (`mc`, compiled in by the `model` feature): a loom-lite
+//!   deterministic scheduler — instrumented mutex/condvar shims and a DFS
+//!   over thread interleavings with a bounded-preemption budget — applied
+//!   to extracted models of the server batcher's enqueue/`next_batch`/
+//!   shutdown epoch protocol and the executor's panic propagation. It
+//!   proves (exhaustively, within the bound) no lost wakeup, no deadlock
+//!   and exactly-once delivery, and flags the pre-review-fix batcher
+//!   (epoch snapshot removed) with a concrete lost-wakeup interleaving.
+//!
+//! Zero dependencies by design: the analysis tool must never be the thing
+//! that drags a parser generator or a proc-macro stack into the build.
+
+pub mod lexer;
+pub mod lint;
+#[cfg(feature = "model")]
+pub mod mc;
+pub mod schema;

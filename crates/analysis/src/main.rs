@@ -1,0 +1,102 @@
+//! CLI for the workspace analysis tool.
+//!
+//! ```text
+//! socialscope_analysis lint  [--root PATH]            # invariant linter + schema sync
+//! socialscope_analysis check [--bound N]              # model checker (feature `model`)
+//! socialscope_analysis all   [--root PATH] [--bound N]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations / check failure, 2 usage or internal
+//! error (including `check` without `--features model`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use socialscope_analysis::{lint, schema};
+
+struct Args {
+    command: String,
+    root: PathBuf,
+    #[cfg_attr(not(feature = "model"), allow(dead_code))]
+    bound: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "all".to_string());
+    let mut root = PathBuf::from(".");
+    let mut bound = 3usize;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--root" => {
+                root = PathBuf::from(argv.next().ok_or("--root needs a path")?);
+            }
+            "--bound" => {
+                bound = argv
+                    .next()
+                    .ok_or("--bound needs a number")?
+                    .parse()
+                    .map_err(|_| "--bound needs a number".to_string())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args { command, root, bound })
+}
+
+fn run_lint(args: &Args) -> Result<bool, String> {
+    if !args.root.join("crates").is_dir() {
+        return Err(format!(
+            "{} does not look like the workspace root (no crates/ directory); pass --root",
+            args.root.display()
+        ));
+    }
+    let mut violations = lint::lint_workspace(&args.root)?;
+    violations.extend(schema::check_schema_sync(&args.root)?);
+    for violation in &violations {
+        println!("{violation}");
+    }
+    if violations.is_empty() {
+        println!("lint: clean ({} rules over crates/*/src + schema sync)", lint::RULES.len());
+        Ok(true)
+    } else {
+        println!("lint: {} violation(s)", violations.len());
+        Ok(false)
+    }
+}
+
+#[cfg(feature = "model")]
+fn run_check(args: &Args) -> Result<bool, String> {
+    socialscope_analysis::mc::run_all(args.bound)
+}
+
+#[cfg(not(feature = "model"))]
+fn run_check(_args: &Args) -> Result<bool, String> {
+    Err("the model checker is compiled out; rerun with `cargo run -p socialscope_analysis \
+         --features model -- check`"
+        .to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("socialscope_analysis: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match args.command.as_str() {
+        "lint" => run_lint(&args),
+        "check" => run_check(&args),
+        "all" => run_lint(&args).and_then(|lint_ok| Ok(run_check(&args)? && lint_ok)),
+        other => Err(format!("unknown command `{other}` (expected lint | check | all)")),
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("socialscope_analysis: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Extracted model of the server batcher's epoch protocol
+//! (`crates/server/src/batcher.rs`), checked across every interleaving
+//! within the preemption bound.
+//!
+//! ## Extraction notes (what maps to what)
+//!
+//! The model mirrors the real code's synchronization points one-to-one:
+//!
+//! | real code                                  | model                        |
+//! |--------------------------------------------|------------------------------|
+//! | `state: parking_lot::Mutex<State>`         | [`ModelMutex`] `MUTEX_STATE` |
+//! | `gate: std::sync::Mutex<u64>`              | [`ModelMutex`] `MUTEX_GATE`  |
+//! | `cv: Condvar`                              | [`ModelCondvar`]             |
+//! | `enqueue`: push under state, then bump     | `Producer` per item          |
+//! |   under gate, then `notify_all` *after*    | (mutate, bump, notify are    |
+//! |   the gate unlock                          | three separate steps)        |
+//! | `shutdown`: flag under state, then bump+   | `Producer` tail op           |
+//! |   notify                                   |                              |
+//! | `next_batch`: snapshot epoch → evaluate    | `Worker` with                |
+//! |   state → re-check epoch under gate →      | `mutant: false`              |
+//! |   `cv.wait`                                |                              |
+//! | the pre-review-fix `next_batch` (PR 8):    | `Worker` with                |
+//! |   evaluate state → `cv.wait`, no epoch     | `mutant: true`               |
+//!
+//! Two deliberate simplifications, both *strengthening* the check:
+//!
+//! - **window = 0**: any queued item is immediately ripe. The flush
+//!   window is a timing policy, not a synchronization mechanism; the
+//!   race lives in the empty-queue sleep path, which a zero window
+//!   reaches fastest.
+//! - **waits are untimed**: the real code's [`IDLE_WAIT_FALLBACK`]
+//!   (100ms bounded wait) is *not* modeled, so the checker proves the
+//!   epoch protocol correct on its own — a lost wakeup is a permanent
+//!   deadlock here, not a 100ms latency blip.
+//!
+//! [`IDLE_WAIT_FALLBACK`]: ../../../socialscope_server/index.html
+//!
+//! Checked invariants: no deadlock (scheduler-detected), no lost wakeup
+//! (a lost wakeup strands a sleeping worker → deadlock), and
+//! exactly-once delivery (delivered ⊎ refused = produced, no
+//! double-delivery, no stranded queue members).
+
+use super::{ModelCondvar, ModelMutex, Scenario, Scheduler, Step, Thread, Tid};
+use std::cell::{Cell, RefCell};
+
+pub const MUTEX_STATE: usize = 0;
+pub const MUTEX_GATE: usize = 1;
+const COND_CV: usize = 0;
+
+/// The data under the `state` mutex, as in the real batcher (the per-key
+/// queue map collapses to one queue: batching *keys* are a partitioning
+/// policy, not synchronization).
+struct BState {
+    queue: Vec<u32>,
+    shutdown: bool,
+}
+
+/// Shared world: the two locks, the condvar, and the ledger the finale
+/// invariant audits.
+pub struct Shared {
+    state: ModelMutex<BState>,
+    gate: ModelMutex<u64>,
+    cv: ModelCondvar,
+    /// Items refused because shutdown was already set (real code drops
+    /// the reply sender; the handler answers 500).
+    refused: Cell<u32>,
+    /// Items handed to a worker, in delivery order.
+    delivered: RefCell<Vec<u32>>,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            state: ModelMutex::new(MUTEX_STATE, BState { queue: Vec::new(), shutdown: false }),
+            gate: ModelMutex::new(MUTEX_GATE, 0),
+            cv: ModelCondvar::new(COND_CV),
+            refused: Cell::new(0),
+            delivered: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+/// What a producer does next. Each item is `enqueue`: acquire state →
+/// push (or refuse) + release → acquire gate → bump + release → notify.
+/// The optional tail op is `shutdown` with the same gate choreography.
+#[derive(Clone, Copy)]
+enum PPc {
+    AcquireState,
+    MutateRelease,
+    AcquireGate,
+    BumpRelease,
+    Notify,
+}
+
+struct Producer {
+    items: Vec<u32>,
+    then_shutdown: bool,
+    /// Index into `items`; `items.len()` means the shutdown op.
+    pos: usize,
+    pc: PPc,
+}
+
+impl Producer {
+    fn new(items: Vec<u32>, then_shutdown: bool) -> Self {
+        Producer { items, then_shutdown, pos: 0, pc: PPc::AcquireState }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.pos >= self.items.len()
+    }
+}
+
+impl Thread<Shared> for Producer {
+    fn step(&mut self, tid: Tid, sched: &mut Scheduler, shared: &Shared) -> (Step, &'static str) {
+        match self.pc {
+            PPc::AcquireState => {
+                if shared.state.try_acquire(sched, tid) {
+                    self.pc = PPc::MutateRelease;
+                    (Step::Progress, "p:lock(state)")
+                } else {
+                    (Step::Blocked, "p:block(state)")
+                }
+            }
+            PPc::MutateRelease => {
+                let label = if self.shutting_down() {
+                    shared.state.with(sched, tid, |s| s.shutdown = true);
+                    "p:set-shutdown,unlock(state)"
+                } else {
+                    let item = self.items[self.pos];
+                    shared.state.with(sched, tid, |s| {
+                        if s.shutdown {
+                            shared.refused.set(shared.refused.get() + 1);
+                        } else {
+                            s.queue.push(item);
+                        }
+                    });
+                    "p:push,unlock(state)"
+                };
+                shared.state.release(sched, tid);
+                self.pc = PPc::AcquireGate;
+                (Step::Progress, label)
+            }
+            PPc::AcquireGate => {
+                if shared.gate.try_acquire(sched, tid) {
+                    self.pc = PPc::BumpRelease;
+                    (Step::Progress, "p:lock(gate)")
+                } else {
+                    (Step::Blocked, "p:block(gate)")
+                }
+            }
+            PPc::BumpRelease => {
+                shared.gate.with(sched, tid, |epoch| *epoch += 1);
+                shared.gate.release(sched, tid);
+                self.pc = PPc::Notify;
+                (Step::Progress, "p:bump,unlock(gate)")
+            }
+            PPc::Notify => {
+                // As in the real `bump_and_notify`: the notify fires
+                // *after* the gate unlock, its own scheduling point.
+                shared.cv.notify_all(sched);
+                let was_shutdown = self.shutting_down();
+                self.pos += 1;
+                if was_shutdown || (self.pos >= self.items.len() && !self.then_shutdown) {
+                    (Step::Done, "p:notify,exit")
+                } else {
+                    self.pc = PPc::AcquireState;
+                    (Step::Progress, "p:notify")
+                }
+            }
+        }
+    }
+}
+
+/// Worker program counters; the mutant skips `SnapAcquireGate` /
+/// `SnapReadRelease` and never re-checks the epoch before sleeping.
+#[derive(Clone, Copy)]
+enum WPc {
+    SnapAcquireGate,
+    SnapReadRelease,
+    AcquireState,
+    EvalRelease,
+    WaitAcquireGate,
+    WaitCheckOrSleep,
+    ReacquireGate,
+    PostWaitRelease,
+}
+
+struct Worker {
+    mutant: bool,
+    epoch: u64,
+    pc: WPc,
+}
+
+impl Worker {
+    fn new(mutant: bool) -> Self {
+        let pc = if mutant { WPc::AcquireState } else { WPc::SnapAcquireGate };
+        Worker { mutant, epoch: 0, pc }
+    }
+
+    fn restart(&mut self) {
+        self.pc = if self.mutant { WPc::AcquireState } else { WPc::SnapAcquireGate };
+    }
+}
+
+impl Thread<Shared> for Worker {
+    fn step(&mut self, tid: Tid, sched: &mut Scheduler, shared: &Shared) -> (Step, &'static str) {
+        match self.pc {
+            WPc::SnapAcquireGate => {
+                if shared.gate.try_acquire(sched, tid) {
+                    self.pc = WPc::SnapReadRelease;
+                    (Step::Progress, "w:lock(gate,snapshot)")
+                } else {
+                    (Step::Blocked, "w:block(gate,snapshot)")
+                }
+            }
+            WPc::SnapReadRelease => {
+                self.epoch = shared.gate.with(sched, tid, |epoch| *epoch);
+                shared.gate.release(sched, tid);
+                self.pc = WPc::AcquireState;
+                (Step::Progress, "w:read-epoch,unlock(gate)")
+            }
+            WPc::AcquireState => {
+                if shared.state.try_acquire(sched, tid) {
+                    self.pc = WPc::EvalRelease;
+                    (Step::Progress, "w:lock(state)")
+                } else {
+                    (Step::Blocked, "w:block(state)")
+                }
+            }
+            WPc::EvalRelease => {
+                enum Eval {
+                    Took(u32),
+                    Drained,
+                    Empty,
+                }
+                let eval = shared.state.with(sched, tid, |s| {
+                    if s.queue.is_empty() {
+                        if s.shutdown {
+                            Eval::Drained
+                        } else {
+                            Eval::Empty
+                        }
+                    } else {
+                        Eval::Took(s.queue.remove(0))
+                    }
+                });
+                shared.state.release(sched, tid);
+                match eval {
+                    Eval::Took(item) => {
+                        shared.delivered.borrow_mut().push(item);
+                        self.restart();
+                        (Step::Progress, "w:take,unlock(state)")
+                    }
+                    Eval::Drained => (Step::Done, "w:drained,unlock(state),exit"),
+                    Eval::Empty => {
+                        self.pc = WPc::WaitAcquireGate;
+                        (Step::Progress, "w:empty,unlock(state)")
+                    }
+                }
+            }
+            WPc::WaitAcquireGate => {
+                if shared.gate.try_acquire(sched, tid) {
+                    self.pc = WPc::WaitCheckOrSleep;
+                    (Step::Progress, "w:lock(gate,pre-wait)")
+                } else {
+                    (Step::Blocked, "w:block(gate,pre-wait)")
+                }
+            }
+            WPc::WaitCheckOrSleep => {
+                if !self.mutant {
+                    let current = shared.gate.with(sched, tid, |epoch| *epoch);
+                    if current != self.epoch {
+                        // The epoch moved since the snapshot: a notify
+                        // fired (or will fire against the new epoch);
+                        // loop and re-evaluate instead of sleeping.
+                        shared.gate.release(sched, tid);
+                        self.restart();
+                        return (Step::Progress, "w:epoch-moved,unlock(gate)");
+                    }
+                }
+                // Sleep: atomically release the gate and block (untimed —
+                // the model omits IDLE_WAIT_FALLBACK on purpose).
+                self.pc = WPc::ReacquireGate;
+                shared.cv.wait(sched, tid, &shared.gate);
+                (Step::Blocked, "w:cv-wait(release gate)")
+            }
+            WPc::ReacquireGate => {
+                if shared.gate.try_acquire(sched, tid) {
+                    self.pc = WPc::PostWaitRelease;
+                    (Step::Progress, "w:woken,lock(gate)")
+                } else {
+                    (Step::Blocked, "w:woken,block(gate)")
+                }
+            }
+            WPc::PostWaitRelease => {
+                shared.gate.release(sched, tid);
+                self.restart();
+                (Step::Progress, "w:unlock(gate),loop")
+            }
+        }
+    }
+}
+
+/// A closed batcher system: a set of producers (each with an item list
+/// and optionally the shutdown duty) plus N workers, shipped or mutant.
+pub struct BatcherScenario {
+    name: &'static str,
+    mutant: bool,
+    producers: Vec<(Vec<u32>, bool)>,
+    workers: usize,
+}
+
+impl Scenario for BatcherScenario {
+    type Shared = Shared;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn build(&self) -> (Shared, Vec<Box<dyn Thread<Shared>>>) {
+        let mut threads: Vec<Box<dyn Thread<Shared>>> = Vec::new();
+        for (items, then_shutdown) in &self.producers {
+            threads.push(Box::new(Producer::new(items.clone(), *then_shutdown)));
+        }
+        for _ in 0..self.workers {
+            threads.push(Box::new(Worker::new(self.mutant)));
+        }
+        (Shared::new(), threads)
+    }
+
+    /// Exactly-once delivery: delivered ⊎ refused = produced, no
+    /// duplicates, nothing stranded in the queue.
+    fn finale(&self, shared: &Shared) -> Result<(), String> {
+        let mut produced: Vec<u32> =
+            self.producers.iter().flat_map(|(items, _)| items.iter().copied()).collect();
+        produced.sort_unstable();
+        let mut delivered = shared.delivered.borrow().clone();
+        delivered.sort_unstable();
+        if delivered.windows(2).any(|w| w[0] == w[1]) {
+            return Err(format!("double delivery: {delivered:?}"));
+        }
+        let refused = shared.refused.get() as usize;
+        if delivered.len() + refused != produced.len() {
+            return Err(format!(
+                "lost or conjured items: produced {produced:?}, delivered {delivered:?}, \
+                 refused {refused}"
+            ));
+        }
+        if !delivered.iter().all(|item| produced.binary_search(item).is_ok()) {
+            return Err(format!("delivered unknown items: {delivered:?} vs {produced:?}"));
+        }
+        let stranded = shared.state.peek(|s| s.queue.len());
+        if stranded != 0 {
+            return Err(format!("{stranded} member(s) stranded in the queue after shutdown"));
+        }
+        Ok(())
+    }
+}
+
+impl<T> ModelMutex<T> {
+    /// Finale-only peek at the data, after every thread has terminated
+    /// (no scheduler, no ownership to assert).
+    pub fn peek<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.data.borrow())
+    }
+}
+
+/// The shipped protocol under its two standing scenarios:
+///
+/// - **A**: one producer (2 items, then shutdown), two workers — worker
+///   contention on the queue plus the delivery/shutdown race.
+/// - **B**: two single-item producers racing a dedicated shutdowner, one
+///   worker — the refused-at-shutdown path and notify storms.
+pub fn shipped_scenarios() -> Vec<BatcherScenario> {
+    vec![
+        BatcherScenario {
+            name: "batcher[1 producer x2 items+shutdown, 2 workers]",
+            mutant: false,
+            producers: vec![(vec![1, 2], true)],
+            workers: 2,
+        },
+        BatcherScenario {
+            name: "batcher[2 producers x1 item vs shutdowner, 1 worker]",
+            mutant: false,
+            producers: vec![(vec![1], false), (vec![2], false), (vec![], true)],
+            workers: 1,
+        },
+    ]
+}
+
+/// The pre-review-fix batcher (PR 8 as first shipped): the worker
+/// evaluates state and then sleeps with no epoch snapshot or re-check.
+/// One preemption between "w:empty,unlock(state)" and the wait lets the
+/// producer's enqueue+shutdown notifies land on an empty waiter list —
+/// the worker then sleeps forever holding an undelivered item: the
+/// checker must flag this as a deadlock.
+pub fn mutant_scenario() -> BatcherScenario {
+    BatcherScenario {
+        name: "batcher-mutant[no epoch snapshot; 1 producer x1 item+shutdown, 1 worker]",
+        mutant: true,
+        producers: vec![(vec![1], true)],
+        workers: 1,
+    }
+}

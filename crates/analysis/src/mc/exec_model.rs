@@ -1,0 +1,162 @@
+//! Extracted model of `Exec::try_run_chunks_with`'s panic propagation
+//! (`crates/exec/src/lib.rs`): every shard runs under `catch_unwind`, so
+//! a panicking shard terminates like any other and its panic becomes a
+//! value; siblings run to completion regardless; the caller joins shards
+//! **in shard order** and reports the panic of the **lowest-indexed**
+//! panicked shard.
+//!
+//! The model: K shard threads (each either completes — bumping the
+//! instrumented atomic `processed` counter and writing its own result
+//! slot — or "panics", writing a panic marker into its slot), plus one
+//! joiner thread that blocks on each shard in order and then resolves
+//! the winning panic. Checked across all interleavings within the
+//! preemption bound:
+//!
+//! - no deadlock (joins always resolve),
+//! - siblings-run-to-completion: `processed` ends at K − panicked,
+//! - deterministic blame: the reported shard is the lowest panicked
+//!   index on *every* schedule, no matter the completion order.
+
+use super::{ModelAtomicU32, Scenario, Scheduler, Step, Thread, Tid};
+use std::cell::{Cell, RefCell};
+
+/// Per-shard outcome slot — disjoint writes, as in the real scoped-spawn
+/// fan-out where each worker owns its result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Outcome {
+    Completed,
+    Panicked,
+}
+
+pub struct Shared {
+    results: RefCell<Vec<Option<Outcome>>>,
+    processed: ModelAtomicU32,
+    /// The joiner's verdict: the lowest panicked shard, if any.
+    reported: Cell<Option<usize>>,
+    joiner_done: Cell<bool>,
+}
+
+enum SPc {
+    Start,
+    Finish,
+}
+
+/// One shard: a start step (the failpoint decision) and a finish step
+/// (complete or panic-as-value under catch_unwind).
+struct Shard {
+    index: usize,
+    panics: bool,
+    pc: SPc,
+}
+
+impl Thread<Shared> for Shard {
+    fn step(&mut self, _tid: Tid, _sched: &mut Scheduler, shared: &Shared) -> (Step, &'static str) {
+        match self.pc {
+            SPc::Start => {
+                self.pc = SPc::Finish;
+                (Step::Progress, "s:start")
+            }
+            SPc::Finish => {
+                if self.panics {
+                    shared.results.borrow_mut()[self.index] = Some(Outcome::Panicked);
+                    (Step::Done, "s:panic(caught)")
+                } else {
+                    shared.processed.fetch_add(1);
+                    shared.results.borrow_mut()[self.index] = Some(Outcome::Completed);
+                    (Step::Done, "s:complete")
+                }
+            }
+        }
+    }
+}
+
+/// The caller: joins shard threads in shard order, then reports the
+/// lowest panicked shard (as `try_run_chunks_with` does when building
+/// `ExecError::ShardPanicked`).
+struct Joiner {
+    shard_tids: Vec<Tid>,
+    next: usize,
+}
+
+impl Thread<Shared> for Joiner {
+    fn step(&mut self, tid: Tid, sched: &mut Scheduler, shared: &Shared) -> (Step, &'static str) {
+        if self.next < self.shard_tids.len() {
+            if sched.join(tid, self.shard_tids[self.next]) {
+                self.next += 1;
+                (Step::Progress, "j:join")
+            } else {
+                (Step::Blocked, "j:block(join)")
+            }
+        } else {
+            let results = shared.results.borrow();
+            let lowest_panicked = results
+                .iter()
+                .enumerate()
+                .find(|(_, r)| **r == Some(Outcome::Panicked))
+                .map(|(i, _)| i);
+            shared.reported.set(lowest_panicked);
+            shared.joiner_done.set(true);
+            (Step::Done, "j:report")
+        }
+    }
+}
+
+/// K shards with a chosen panic pattern + the joiner.
+pub struct ExecScenario {
+    panics: Vec<bool>,
+}
+
+impl Default for ExecScenario {
+    /// Three shards, the middle and last panicking: blame must land on
+    /// shard 1 on every schedule.
+    fn default() -> Self {
+        ExecScenario { panics: vec![false, true, true] }
+    }
+}
+
+impl Scenario for ExecScenario {
+    type Shared = Shared;
+
+    fn name(&self) -> &'static str {
+        "exec[3 shards, shards 1+2 panic, ordered join]"
+    }
+
+    fn build(&self) -> (Shared, Vec<Box<dyn Thread<Shared>>>) {
+        let k = self.panics.len();
+        let shared = Shared {
+            results: RefCell::new(vec![None; k]),
+            processed: ModelAtomicU32::default(),
+            reported: Cell::new(None),
+            joiner_done: Cell::new(false),
+        };
+        let mut threads: Vec<Box<dyn Thread<Shared>>> = Vec::new();
+        for (index, &panics) in self.panics.iter().enumerate() {
+            threads.push(Box::new(Shard { index, panics, pc: SPc::Start }));
+        }
+        threads.push(Box::new(Joiner { shard_tids: (0..k).collect(), next: 0 }));
+        (shared, threads)
+    }
+
+    fn finale(&self, shared: &Shared) -> Result<(), String> {
+        if !shared.joiner_done.get() {
+            return Err("joiner never finished".to_string());
+        }
+        let panicked: Vec<usize> = (0..self.panics.len()).filter(|&i| self.panics[i]).collect();
+        let completed = (self.panics.len() - panicked.len()) as u32;
+        if shared.processed.load() != completed {
+            return Err(format!(
+                "siblings did not run to completion: processed {} of {completed}",
+                shared.processed.load()
+            ));
+        }
+        let expected = panicked.first().copied();
+        if shared.reported.get() != expected {
+            return Err(format!(
+                "blame drifted: reported {:?}, expected lowest panicked shard {:?}",
+                shared.reported.get(),
+                expected
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,638 @@
+//! A loom-lite model checker: deterministic DFS over thread interleavings
+//! with a bounded-preemption budget, over *extracted models* of the
+//! concurrency core (state machines whose steps mirror the real code's
+//! synchronization points — see [`batcher`] and [`exec_model`] for the
+//! extraction notes).
+//!
+//! ## How it works
+//!
+//! Threads are explicit state machines ([`Thread::step`]) driven by a
+//! single-threaded explorer — no OS threads, so every run is
+//! deterministic and replayable. Synchronization goes through
+//! instrumented shims ([`ModelMutex`], [`ModelCondvar`],
+//! [`ModelAtomicU32`]) that enforce real blocking semantics:
+//!
+//! - a mutex acquire on a held lock blocks the thread until release;
+//! - data behind a [`ModelMutex`] is only reachable while owning it
+//!   (asserted — unsynchronized access is a checker-reported bug, which
+//!   is the race detection);
+//! - condvar wait atomically releases the mutex and blocks; a notify
+//!   makes waiters runnable, and they *contend to reacquire* the mutex
+//!   like real waiters (the model's post-wait program counter is
+//!   "reacquire", never "proceed");
+//! - `join` blocks until the target thread is done.
+//!
+//! One **step** is one synchronization action plus the shared-memory
+//! effects inseparable from it under mutual exclusion (e.g. "mutate
+//! under the lock and release" is a single step: no other thread can
+//! observe intermediate states of a held critical section, so splitting
+//! it adds schedules without adding behaviors).
+//!
+//! ## Exploration
+//!
+//! Depth-first over scheduling choices with a persistent choice stack:
+//! each run replays the stack's prefix, then takes the first untried
+//! branch; exhausted suffixes pop. Switching away from a thread that is
+//! still runnable costs one **preemption**; schedules beyond the
+//! preemption bound are not explored (the classic CHESS result: almost
+//! all real concurrency bugs need very few preemptions — the batcher's
+//! lost-wakeup mutant needs one). Within the bound the exploration is
+//! exhaustive: [`Explorer::explore`] *fails* (rather than silently
+//! truncating) if `max_runs` or `max_steps` would be exceeded, so a
+//! "passed" report is a claim about *every* schedule, not a sample.
+
+pub mod batcher;
+pub mod exec_model;
+
+use std::cell::{Cell, RefCell};
+
+/// Thread index within a scenario.
+pub type Tid = usize;
+
+/// Result of one thread step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Made progress; schedule freely.
+    Progress,
+    /// Could not act (lock held, condvar wait, join pending); the thread
+    /// registered itself with the scheduler and must not be rescheduled
+    /// until woken.
+    Blocked,
+    /// Terminated.
+    Done,
+}
+
+/// One model thread: a state machine advanced one synchronization action
+/// at a time. Returns the step outcome and a label for the trace.
+pub trait Thread<S> {
+    fn step(&mut self, tid: Tid, sched: &mut Scheduler, shared: &S) -> (Step, &'static str);
+}
+
+/// A closed system to check: shared state + threads + an end-of-run
+/// invariant over the final shared state.
+pub trait Scenario {
+    type Shared;
+    fn name(&self) -> &'static str;
+    #[allow(clippy::type_complexity)]
+    fn build(&self) -> (Self::Shared, Vec<Box<dyn Thread<Self::Shared>>>);
+    /// Checked after every run in which all threads terminated.
+    fn finale(&self, shared: &Self::Shared) -> Result<(), String>;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCond(usize),
+    BlockedJoin(Tid),
+    Done,
+}
+
+/// The per-run synchronization state: thread statuses, mutex owners,
+/// condvar wait queues.
+pub struct Scheduler {
+    status: Vec<Status>,
+    mutex_owner: Vec<Option<Tid>>,
+    cond_waiters: Vec<Vec<Tid>>,
+}
+
+impl Scheduler {
+    fn new(threads: usize, mutexes: usize, condvars: usize) -> Self {
+        Scheduler {
+            status: vec![Status::Runnable; threads],
+            mutex_owner: vec![None; mutexes],
+            cond_waiters: vec![Vec::new(); condvars],
+        }
+    }
+
+    fn runnable(&self) -> Vec<Tid> {
+        (0..self.status.len()).filter(|&t| self.status[t] == Status::Runnable).collect()
+    }
+
+    fn is_runnable(&self, tid: Tid) -> bool {
+        self.status[tid] == Status::Runnable
+    }
+
+    /// Has `target` terminated? (Join support.)
+    pub fn is_done(&self, target: Tid) -> bool {
+        self.status[target] == Status::Done
+    }
+
+    /// Block `tid` until `target` terminates. Returns `false` (and blocks)
+    /// if the target is still live, `true` if the join completes now.
+    pub fn join(&mut self, tid: Tid, target: Tid) -> bool {
+        if self.is_done(target) {
+            true
+        } else {
+            self.status[tid] = Status::BlockedJoin(target);
+            false
+        }
+    }
+
+    fn set_done(&mut self, tid: Tid) {
+        self.status[tid] = Status::Done;
+        for t in 0..self.status.len() {
+            if self.status[t] == Status::BlockedJoin(tid) {
+                self.status[t] = Status::Runnable;
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.status
+            .iter()
+            .enumerate()
+            .map(|(t, s)| format!("t{t}:{s:?}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// An instrumented mutex: ownership lives in the scheduler, data in a
+/// `RefCell` that is only reachable while owning the lock.
+pub struct ModelMutex<T> {
+    id: usize,
+    data: RefCell<T>,
+}
+
+impl<T> ModelMutex<T> {
+    /// `id` must be unique per scenario and `< mutexes` passed to the
+    /// explorer.
+    pub fn new(id: usize, value: T) -> Self {
+        ModelMutex { id, data: RefCell::new(value) }
+    }
+
+    /// One acquire attempt: takes the lock (true) or blocks the thread
+    /// (false — the thread must return [`Step::Blocked`] and retry this
+    /// same program counter when rescheduled).
+    pub fn try_acquire(&self, sched: &mut Scheduler, tid: Tid) -> bool {
+        match sched.mutex_owner[self.id] {
+            None => {
+                sched.mutex_owner[self.id] = Some(tid);
+                true
+            }
+            Some(owner) => {
+                assert_ne!(owner, tid, "model bug: t{tid} re-acquiring mutex {}", self.id);
+                sched.status[tid] = Status::BlockedMutex(self.id);
+                false
+            }
+        }
+    }
+
+    /// Access the protected data. Asserts ownership — touching data
+    /// without holding the lock is a modeled data race.
+    pub fn with<R>(&self, sched: &Scheduler, tid: Tid, f: impl FnOnce(&mut T) -> R) -> R {
+        assert_eq!(
+            sched.mutex_owner[self.id],
+            Some(tid),
+            "modeled data race: t{tid} accessed mutex {} data without holding it",
+            self.id
+        );
+        f(&mut self.data.borrow_mut())
+    }
+
+    /// Release and wake every thread blocked on this mutex (they contend
+    /// again, like real mutex waiters).
+    pub fn release(&self, sched: &mut Scheduler, tid: Tid) {
+        assert_eq!(
+            sched.mutex_owner[self.id],
+            Some(tid),
+            "model bug: t{tid} releasing mutex {} it does not own",
+            self.id
+        );
+        sched.mutex_owner[self.id] = None;
+        for t in 0..sched.status.len() {
+            if sched.status[t] == Status::BlockedMutex(self.id) {
+                sched.status[t] = Status::Runnable;
+            }
+        }
+    }
+}
+
+/// An instrumented condvar. `id` must be unique per scenario and
+/// `< condvars` passed to the explorer.
+pub struct ModelCondvar {
+    id: usize,
+}
+
+impl ModelCondvar {
+    pub fn new(id: usize) -> Self {
+        ModelCondvar { id }
+    }
+
+    /// Atomically release `mutex` and block — the indivisibility is what
+    /// a real `Condvar::wait` guarantees and what the gate protocol
+    /// leans on. The calling thread must set its program counter to a
+    /// "reacquire the mutex" state before returning [`Step::Blocked`].
+    pub fn wait<T>(&self, sched: &mut Scheduler, tid: Tid, mutex: &ModelMutex<T>) {
+        mutex.release(sched, tid);
+        sched.status[tid] = Status::BlockedCond(self.id);
+        sched.cond_waiters[self.id].push(tid);
+    }
+
+    /// Wake every waiter; they become runnable at their reacquire state.
+    /// A notify with no waiters is lost — exactly the real semantics the
+    /// epoch protocol exists to paper over.
+    pub fn notify_all(&self, sched: &mut Scheduler) {
+        for tid in std::mem::take(&mut sched.cond_waiters[self.id]) {
+            debug_assert_eq!(sched.status[tid], Status::BlockedCond(self.id));
+            sched.status[tid] = Status::Runnable;
+        }
+    }
+}
+
+/// An instrumented atomic counter: every access is its own scheduling
+/// point, so the explorer interleaves around it like a real relaxed
+/// atomic (single-cell operations are indivisible, as on hardware).
+#[derive(Default)]
+pub struct ModelAtomicU32 {
+    value: Cell<u32>,
+}
+
+impl ModelAtomicU32 {
+    pub fn load(&self) -> u32 {
+        self.value.get()
+    }
+
+    pub fn fetch_add(&self, add: u32) -> u32 {
+        let prev = self.value.get();
+        self.value.set(prev + add);
+        prev
+    }
+}
+
+/// A schedule that violated an invariant, with the full interleaving
+/// that produced it.
+#[derive(Debug)]
+pub struct Failure {
+    pub kind: String,
+    /// `(thread, action label)` per step, in schedule order.
+    pub trace: Vec<(Tid, &'static str)>,
+}
+
+impl Failure {
+    /// Render the counterexample for humans.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n  schedule ({} steps):\n", self.kind, self.trace.len());
+        for (tid, label) in &self.trace {
+            out.push_str(&format!("    t{tid} {label}\n"));
+        }
+        out
+    }
+}
+
+/// Outcome of an exhaustive exploration: how many complete schedules ran
+/// and the first failure found (if any).
+#[derive(Debug)]
+pub struct Report {
+    pub runs: u64,
+    pub failure: Option<Failure>,
+}
+
+struct Choice {
+    options: Vec<Tid>,
+    next: usize,
+}
+
+/// The bounded-preemption DFS explorer.
+pub struct Explorer {
+    /// Maximum number of preemptions (switches away from a runnable
+    /// thread) per schedule.
+    pub bound: usize,
+    /// Hard ceiling on complete schedules; exceeding it is an *error*
+    /// (the exhaustiveness claim would be false), not a truncation.
+    pub max_runs: u64,
+    /// Hard ceiling on steps within one schedule (livelock guard), same
+    /// failure semantics.
+    pub max_steps: u64,
+}
+
+impl Explorer {
+    pub fn with_bound(bound: usize) -> Self {
+        Explorer { bound, max_runs: 5_000_000, max_steps: 10_000 }
+    }
+
+    /// Explore every schedule of `scenario` within the preemption bound.
+    /// `mutexes` / `condvars` are the shim-id universes the scenario's
+    /// shared state uses.
+    pub fn explore<Sc: Scenario>(
+        &self,
+        scenario: &Sc,
+        mutexes: usize,
+        condvars: usize,
+    ) -> Result<Report, String> {
+        let mut stack: Vec<Choice> = Vec::new();
+        let mut runs: u64 = 0;
+        loop {
+            runs += 1;
+            if runs > self.max_runs {
+                return Err(format!(
+                    "{}: exceeded max_runs={} — exploration is not exhaustive; raise the \
+                     ceiling or shrink the scenario",
+                    scenario.name(),
+                    self.max_runs
+                ));
+            }
+            let (shared, mut threads) = scenario.build();
+            let mut sched = Scheduler::new(threads.len(), mutexes, condvars);
+            let mut trace: Vec<(Tid, &'static str)> = Vec::new();
+            let mut depth = 0usize;
+            let mut preemptions = 0usize;
+            let mut last: Option<Tid> = None;
+            let mut steps: u64 = 0;
+            let mut failure: Option<Failure> = loop {
+                let runnable = sched.runnable();
+                if runnable.is_empty() {
+                    if sched.status.iter().all(|s| *s == Status::Done) {
+                        break None;
+                    }
+                    break Some(Failure {
+                        kind: format!(
+                            "deadlock: no runnable thread, not all done [{}]",
+                            sched.describe()
+                        ),
+                        trace: trace.clone(),
+                    });
+                }
+                // Options under the preemption budget: continuing the
+                // last-run thread is free; anything else, while it is
+                // still runnable, costs a preemption.
+                let options: Vec<Tid> = match last {
+                    Some(l) if runnable.contains(&l) => {
+                        if preemptions >= self.bound {
+                            vec![l]
+                        } else {
+                            let mut v = vec![l];
+                            v.extend(runnable.iter().copied().filter(|&t| t != l));
+                            v
+                        }
+                    }
+                    _ => runnable,
+                };
+                let tid = if depth < stack.len() {
+                    let choice = &stack[depth];
+                    debug_assert_eq!(
+                        choice.options, options,
+                        "nondeterministic scenario: replay diverged"
+                    );
+                    choice.options[choice.next]
+                } else {
+                    stack.push(Choice { options: options.clone(), next: 0 });
+                    options[0]
+                };
+                depth += 1;
+                if let Some(l) = last {
+                    if l != tid && sched.is_runnable(l) {
+                        preemptions += 1;
+                    }
+                }
+                steps += 1;
+                if steps > self.max_steps {
+                    return Err(format!(
+                        "{}: exceeded max_steps={} in one schedule — livelock in the model?",
+                        scenario.name(),
+                        self.max_steps
+                    ));
+                }
+                let (step, label) = threads[tid].step(tid, &mut sched, &shared);
+                trace.push((tid, label));
+                if step == Step::Done {
+                    sched.set_done(tid);
+                }
+                last = Some(tid);
+            };
+            if failure.is_none() {
+                failure = scenario
+                    .finale(&shared)
+                    .err()
+                    .map(|kind| Failure { kind: format!("invariant violated: {kind}"), trace });
+            }
+            if failure.is_some() {
+                return Ok(Report { runs, failure });
+            }
+            // Backtrack to the deepest unexhausted choice.
+            while let Some(top) = stack.last_mut() {
+                top.next += 1;
+                if top.next < top.options.len() {
+                    break;
+                }
+                stack.pop();
+            }
+            if stack.is_empty() {
+                return Ok(Report { runs, failure: None });
+            }
+        }
+    }
+}
+
+/// The `check` subcommand: run every scenario the checker knows about.
+/// The shipped batcher and executor models must pass exhaustively at
+/// preemption bounds 2 and `bound`; the pre-review-fix batcher mutant
+/// must be flagged. Returns Ok(false) if any expectation fails.
+pub fn run_all(bound: usize) -> Result<bool, String> {
+    let bound = bound.max(3);
+    let mut ok = true;
+    let bounds = [2usize, bound];
+
+    for b in bounds {
+        for scenario in &batcher::shipped_scenarios() {
+            let report = Explorer::with_bound(b).explore(scenario, 2, 1)?;
+            match report.failure {
+                None => println!(
+                    "check: {} PASSED exhaustively (bound {b}, {} schedules)",
+                    scenario.name(),
+                    report.runs
+                ),
+                Some(failure) => {
+                    println!("check: {} FAILED (bound {b})\n{}", scenario.name(), failure.render());
+                    ok = false;
+                }
+            }
+        }
+        let exec = exec_model::ExecScenario::default();
+        let report = Explorer::with_bound(b).explore(&exec, 0, 0)?;
+        match report.failure {
+            None => println!(
+                "check: {} PASSED exhaustively (bound {b}, {} schedules)",
+                exec.name(),
+                report.runs
+            ),
+            Some(failure) => {
+                println!("check: {} FAILED (bound {b})\n{}", exec.name(), failure.render());
+                ok = false;
+            }
+        }
+    }
+
+    // The kill-the-mutant half: the pre-review-fix batcher (epoch
+    // snapshot removed) must produce a lost-wakeup counterexample, or the
+    // checker has lost its teeth.
+    let mutant = batcher::mutant_scenario();
+    let report = Explorer::with_bound(2).explore(&mutant, 2, 1)?;
+    report_mutant(&mutant, report, &mut ok);
+    Ok(ok)
+}
+
+fn report_mutant(mutant: &batcher::BatcherScenario, report: Report, ok: &mut bool) {
+    match report.failure {
+        Some(failure) => println!(
+            "check: {} FLAGGED as expected after {} schedule(s) — lost-wakeup counterexample:\n{}",
+            mutant.name(),
+            report.runs,
+            failure.render()
+        ),
+        None => {
+            println!(
+                "check: {} PASSED but must fail — the checker can no longer see the PR 8 race",
+                mutant.name()
+            );
+            *ok = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn explore_batcher(scenario: &batcher::BatcherScenario, bound: usize) -> Report {
+        Explorer::with_bound(bound).explore(scenario, 2, 1).expect("exploration within budget")
+    }
+
+    #[test]
+    fn shipped_batcher_passes_exhaustively_at_bound_2() {
+        for scenario in &batcher::shipped_scenarios() {
+            let report = explore_batcher(scenario, 2);
+            assert!(
+                report.failure.is_none(),
+                "{}: {}",
+                scenario.name(),
+                report.failure.unwrap().render()
+            );
+            assert!(report.runs > 1_000, "suspiciously small schedule space: {}", report.runs);
+        }
+    }
+
+    #[test]
+    fn shipped_batcher_passes_exhaustively_at_bound_3() {
+        for scenario in &batcher::shipped_scenarios() {
+            let report = explore_batcher(scenario, 3);
+            assert!(
+                report.failure.is_none(),
+                "{}: {}",
+                scenario.name(),
+                report.failure.unwrap().render()
+            );
+        }
+    }
+
+    #[test]
+    fn mutant_batcher_is_flagged_at_bound_2() {
+        let report = explore_batcher(&batcher::mutant_scenario(), 2);
+        let failure = report.failure.expect("the PR 8 lost-wakeup race must be found");
+        assert!(failure.kind.contains("deadlock"), "unexpected failure kind: {}", failure.kind);
+        // The counterexample must be the lost wakeup: the worker parked
+        // on the condvar while every producer already exited.
+        assert!(
+            failure.trace.iter().any(|(_, label)| label.contains("cv-wait")),
+            "counterexample does not reach the condvar wait:\n{}",
+            failure.render()
+        );
+    }
+
+    #[test]
+    fn mutant_batcher_is_flagged_at_bound_3() {
+        let report = explore_batcher(&batcher::mutant_scenario(), 3);
+        assert!(report.failure.is_some(), "the PR 8 lost-wakeup race must be found at bound 3");
+    }
+
+    #[test]
+    fn exec_blame_is_deterministic_across_all_schedules() {
+        let scenario = exec_model::ExecScenario::default();
+        let report =
+            Explorer::with_bound(3).explore(&scenario, 0, 0).expect("exploration within budget");
+        assert!(report.failure.is_none(), "{}", report.failure.unwrap().render());
+    }
+
+    // -- explorer self-tests: the machinery must see classic bugs --------
+
+    struct AbBaScenario;
+
+    struct AbBaThread {
+        first: usize,
+        second: usize,
+        pc: Cell<u8>,
+    }
+
+    impl Thread<(ModelMutex<()>, ModelMutex<()>)> for AbBaThread {
+        fn step(
+            &mut self,
+            tid: Tid,
+            sched: &mut Scheduler,
+            shared: &(ModelMutex<()>, ModelMutex<()>),
+        ) -> (Step, &'static str) {
+            let lock = |id: usize| if id == 0 { &shared.0 } else { &shared.1 };
+            match self.pc.get() {
+                0 => {
+                    if lock(self.first).try_acquire(sched, tid) {
+                        self.pc.set(1);
+                        (Step::Progress, "acq-first")
+                    } else {
+                        (Step::Blocked, "block-first")
+                    }
+                }
+                1 => {
+                    if lock(self.second).try_acquire(sched, tid) {
+                        self.pc.set(2);
+                        (Step::Progress, "acq-second")
+                    } else {
+                        (Step::Blocked, "block-second")
+                    }
+                }
+                _ => {
+                    lock(self.second).release(sched, tid);
+                    lock(self.first).release(sched, tid);
+                    (Step::Done, "release-both")
+                }
+            }
+        }
+    }
+
+    impl Scenario for AbBaScenario {
+        type Shared = (ModelMutex<()>, ModelMutex<()>);
+
+        fn name(&self) -> &'static str {
+            "self-test[AB/BA lock order]"
+        }
+
+        fn build(&self) -> (Self::Shared, Vec<Box<dyn Thread<Self::Shared>>>) {
+            (
+                (ModelMutex::new(0, ()), ModelMutex::new(1, ())),
+                vec![
+                    Box::new(AbBaThread { first: 0, second: 1, pc: Cell::new(0) }),
+                    Box::new(AbBaThread { first: 1, second: 0, pc: Cell::new(0) }),
+                ],
+            )
+        }
+
+        fn finale(&self, _shared: &Self::Shared) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn explorer_finds_the_classic_ab_ba_deadlock() {
+        let report = Explorer::with_bound(2).explore(&AbBaScenario, 2, 0).expect("within budget");
+        let failure = report.failure.expect("AB/BA must deadlock under some schedule");
+        assert!(failure.kind.contains("deadlock"), "{}", failure.kind);
+    }
+
+    #[test]
+    fn budget_overrun_is_an_error_not_a_truncation() {
+        let scenario = &batcher::shipped_scenarios()[0];
+        let tiny = Explorer { bound: 3, max_runs: 10, max_steps: 10_000 };
+        let error = tiny.explore(scenario, 2, 1).expect_err("must refuse to claim exhaustiveness");
+        assert!(error.contains("max_runs"), "{error}");
+    }
+}

@@ -1,0 +1,388 @@
+//! The `schema_sync` rule: the JSON the Rust side *emits* and the schema
+//! the CI validator *requires* are written down twice — field lists in
+//! `crates/bench/src/bin/experiments.rs` format strings and
+//! `crates/content/src/wire.rs` emitters on one side, `REQUIRED_*` /
+//! `*_CONTRACT` set literals in `.github/workflows/validate_bench.py` on
+//! the other. This check diffs them so a rename on either side fails in
+//! `cargo run -p socialscope_analysis -- lint` (and the `analysis` CI
+//! job) with a message naming both files, instead of surfacing as a
+//! confusing assertion deep in a bench validation run.
+//!
+//! Three checks:
+//!
+//! 1. Every string the Python validator requires (in a `REQUIRED_*` or
+//!    `*_CONTRACT` set) appears as a quoted literal in some Rust emitter.
+//! 2. Every field of a `pub struct` in `wire.rs` appears as a quoted
+//!    *key* (`"field":`) in `wire.rs` itself — the wire structs and their
+//!    hand-rolled serializers cannot drift apart.
+//! 3. Extraction sanity floors: if any side yields suspiciously few
+//!    entries, the extraction itself broke and the check fails loudly
+//!    rather than silently passing on empty sets.
+
+use crate::lexer::{lex, unescape_content, TokKind, Token};
+use crate::lint::Violation;
+use std::fs;
+use std::path::Path;
+
+const EXPERIMENTS_RS: &str = "crates/bench/src/bin/experiments.rs";
+const WIRE_RS: &str = "crates/content/src/wire.rs";
+const VALIDATOR_PY: &str = ".github/workflows/validate_bench.py";
+
+/// Floors under which extraction is considered broken (the real counts
+/// sit comfortably above; see the unit test pinning them).
+const MIN_EXPERIMENT_KEYS: usize = 40;
+const MIN_WIRE_KEYS: usize = 10;
+const MIN_WIRE_FIELDS: usize = 10;
+const MIN_PYTHON_FIELDS: usize = 50;
+
+/// Run the schema-sync check for the workspace at `root`.
+pub fn check_schema_sync(root: &Path) -> Result<Vec<Violation>, String> {
+    let read = |rel: &str| {
+        fs::read_to_string(root.join(rel)).map_err(|error| format!("read {rel}: {error}"))
+    };
+    let experiments = rust_strings(&read(EXPERIMENTS_RS)?);
+    let wire_src = read(WIRE_RS)?;
+    let wire = rust_strings(&wire_src);
+    let wire_fields = pub_struct_fields(&wire_src);
+    let python_sets = python_required_sets(&read(VALIDATOR_PY)?);
+
+    let mut violations = Vec::new();
+    let floor = |file: &str, what: &str, got: usize, min: usize, out: &mut Vec<Violation>| {
+        if got < min {
+            out.push(violation(
+                file,
+                1,
+                format!(
+                    "extraction sanity floor failed: found {got} {what} (expected >= {min}) — \
+                     the schema_sync extractor no longer understands this file"
+                ),
+            ));
+        }
+    };
+    floor(
+        EXPERIMENTS_RS,
+        "JSON keys",
+        experiments.keys.len(),
+        MIN_EXPERIMENT_KEYS,
+        &mut violations,
+    );
+    floor(WIRE_RS, "JSON keys", wire.keys.len(), MIN_WIRE_KEYS, &mut violations);
+    floor(WIRE_RS, "pub struct fields", wire_fields.len(), MIN_WIRE_FIELDS, &mut violations);
+    let python_total: usize = python_sets.iter().map(|s| s.members.len()).sum();
+    floor(VALIDATOR_PY, "required fields", python_total, MIN_PYTHON_FIELDS, &mut violations);
+
+    // 1. Python-required strings must exist in a Rust emitter.
+    for set in &python_sets {
+        for member in &set.members {
+            let emitted = experiments.quoted.iter().any(|q| q == member)
+                || wire.quoted.iter().any(|q| q == member);
+            if !emitted {
+                violations.push(violation(
+                    VALIDATOR_PY,
+                    set.line,
+                    format!(
+                        "`{}` requires \"{member}\" but no Rust emitter ({EXPERIMENTS_RS}, \
+                         {WIRE_RS}) contains that quoted literal — rename drifted; update \
+                         whichever side is wrong",
+                        set.name
+                    ),
+                ));
+            }
+        }
+    }
+    // 2. Wire struct fields must be emitted as keys by wire.rs.
+    for field in &wire_fields {
+        if !wire.keys.iter().any(|k| k == &field.name) {
+            violations.push(violation(
+                WIRE_RS,
+                field.line,
+                format!(
+                    "pub struct `{}` field `{}` never appears as a JSON key (\"{}\":) in a \
+                     wire.rs emitter — struct and serializer drifted",
+                    field.strukt, field.name, field.name
+                ),
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+fn violation(file: &str, line: u32, message: String) -> Violation {
+    Violation { rule: "schema_sync", file: file.to_string(), line, message }
+}
+
+// ---------------------------------------------------------------------------
+// Rust side
+// ---------------------------------------------------------------------------
+
+struct RustStrings {
+    /// Quoted identifiers in *key position* (`"ident"` followed by `:`)
+    /// inside any non-test string literal, after unescaping.
+    keys: Vec<String>,
+    /// Every quoted identifier inside a non-test string literal (keys and
+    /// plain values, e.g. contract names).
+    quoted: Vec<String>,
+}
+
+/// Scan every non-test string literal of a Rust source for quoted
+/// identifiers, classifying key position by a following `:`.
+fn rust_strings(src: &str) -> RustStrings {
+    let tokens = lex(src);
+    let mask = crate::lint::test_mask_for(&tokens, src);
+    let mut keys = Vec::new();
+    let mut quoted = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokKind::Str || mask[i] {
+            continue;
+        }
+        let content = unescape_content(token.text(src));
+        scan_quoted(&content, &mut keys, &mut quoted);
+    }
+    keys.sort();
+    keys.dedup();
+    quoted.sort();
+    quoted.dedup();
+    RustStrings { keys, quoted }
+}
+
+/// Find `"ident"` occurrences in `text`; those followed (modulo spaces)
+/// by `:` are keys. Non-identifier quoted content (format holes, JSON
+/// punctuation) is ignored.
+fn scan_quoted(text: &str, keys: &mut Vec<String>, quoted: &mut Vec<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let start = i + 1;
+        let mut end = start;
+        while end < bytes.len() && bytes[end] != b'"' {
+            end += 1;
+        }
+        if end >= bytes.len() {
+            break;
+        }
+        let inner = &text[start..end];
+        let is_ident = !inner.is_empty()
+            && inner.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+            && !inner.as_bytes()[0].is_ascii_digit();
+        if is_ident {
+            quoted.push(inner.to_string());
+            let mut after = end + 1;
+            while after < bytes.len() && bytes[after] == b' ' {
+                after += 1;
+            }
+            if after < bytes.len() && bytes[after] == b':' {
+                keys.push(inner.to_string());
+            }
+        }
+        i = end + 1;
+    }
+}
+
+struct WireField {
+    strukt: String,
+    name: String,
+    line: u32,
+}
+
+/// Field names of every non-test `pub struct Name { ... }` (tuple and
+/// unit structs skipped; private structs — parser internals — skipped).
+fn pub_struct_fields(src: &str) -> Vec<WireField> {
+    let tokens = lex(src);
+    let mask = crate::lint::test_mask_for(&tokens, src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            !mask[*i] && !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+        })
+        .map(|(_, t)| t)
+        .collect();
+    let text = |i: usize| code.get(i).map(|t| t.text(src)).unwrap_or("");
+    let ident = |i: usize| {
+        code.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text(src)).unwrap_or("")
+    };
+
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(ident(i) == "pub" && ident(i + 1) == "struct") {
+            i += 1;
+            continue;
+        }
+        let strukt = ident(i + 2).to_string();
+        let mut j = i + 3;
+        // Skip to the body opener; `(` / `;` mean tuple / unit — skip.
+        while j < code.len() && !matches!(text(j), "{" | "(" | ";") {
+            j += 1;
+        }
+        if text(j) != "{" {
+            i = j + 1;
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut k = j + 1;
+        // A field name: an identifier followed by a single `:` at body
+        // depth 1, preceded by `{`, `,`, or `)` (visibility like
+        // `pub(crate)`). Generic-argument commas never precede an
+        // `ident:` pair, so nested types do not confuse this.
+        while k < code.len() && depth > 0 {
+            match text(k) {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {
+                    let prev = text(k.wrapping_sub(1));
+                    if depth == 1
+                        && code[k].kind == TokKind::Ident
+                        && text(k + 1) == ":"
+                        && text(k + 2) != ":"
+                        && matches!(prev, "{" | "," | ")" | "pub")
+                    {
+                        fields.push(WireField {
+                            strukt: strukt.clone(),
+                            name: text(k).to_string(),
+                            line: code[k].line,
+                        });
+                    }
+                }
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    fields
+}
+
+// ---------------------------------------------------------------------------
+// Python side
+// ---------------------------------------------------------------------------
+
+struct PythonSet {
+    name: String,
+    line: u32,
+    members: Vec<String>,
+}
+
+/// Extract `REQUIRED_* = {...}` and `*_CONTRACT = {...}` string-set
+/// literals from the validator source. Handles multi-line sets and `#`
+/// comments; non-string members (numbers in e.g. `BATCH_SIZES`) are
+/// outside the matched names anyway.
+fn python_required_sets(src: &str) -> Vec<PythonSet> {
+    let mut sets = Vec::new();
+    let mut line_no = 0u32;
+    let mut rest = src;
+    while let Some(newline) = rest.find('\n').map(|p| p + 1).or(Some(rest.len())) {
+        if rest.is_empty() {
+            break;
+        }
+        line_no += 1;
+        let line = &rest[..newline.min(rest.len())];
+        let trimmed = line.trim_end();
+        if let Some((name, tail)) = trimmed.split_once('=') {
+            let name = name.trim();
+            let wanted = (name.starts_with("REQUIRED_") || name.ends_with("_CONTRACT"))
+                && name.bytes().all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_');
+            if wanted && tail.trim_start().starts_with('{') {
+                // The literal starts on this line and may span several;
+                // scan from the `{` in the remaining source.
+                let tail_start = trimmed.len() - tail.len();
+                let offset = tail_start + (tail.len() - tail.trim_start().len());
+                let members = python_set_members(&rest[offset..]);
+                sets.push(PythonSet { name: name.to_string(), line: line_no, members });
+            }
+        }
+        rest = &rest[newline..];
+    }
+    sets
+}
+
+/// Collect double-quoted strings inside a `{...}` literal starting at
+/// `text[0] == '{'`, respecting nesting, strings, and `#` comments.
+fn python_set_members(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut members = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'"' {
+                    end += 1;
+                }
+                members.push(text[start..end.min(text.len())].to_string());
+                i = end;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoted_key_scan_separates_keys_from_values() {
+        let mut keys = Vec::new();
+        let mut quoted = Vec::new();
+        scan_quoted(
+            "{{\"engine\":\"{}\",\"contract\":[\"roundtrip_identical\"],\"k\":{}}}",
+            &mut keys,
+            &mut quoted,
+        );
+        assert_eq!(keys, vec!["engine", "contract", "k"]);
+        assert!(quoted.contains(&"roundtrip_identical".to_string()));
+    }
+
+    #[test]
+    fn pub_struct_fields_skip_private_tuple_and_test_structs() {
+        let src = "
+pub struct Wire { pub version: u32, pub(crate) detail: String }
+pub struct Tuple(u32);
+struct Parser { pos: usize }
+#[cfg(test)]
+pub struct TestOnly { helper: u32 }
+pub struct Generic { map: std::collections::HashMap<String, Vec<u32>> }
+";
+        let fields = pub_struct_fields(src);
+        let names: Vec<_> = fields.iter().map(|f| format!("{}.{}", f.strukt, f.name)).collect();
+        assert_eq!(names, vec!["Wire.version", "Wire.detail", "Generic.map"]);
+    }
+
+    #[test]
+    fn python_sets_parse_multiline_with_comments() {
+        let src = "
+IGNORED = {\"a\"}
+REQUIRED_TOPK_RUN = {\"experiment\", \"seed\",  # trailing comment
+                     \"scale\"}
+SERVING_CONTRACT = {\"roundtrip_identical\",
+                    \"apply_visible\"}
+THRESHOLD = 2.0
+";
+        let sets = python_required_sets(src);
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].name, "REQUIRED_TOPK_RUN");
+        assert_eq!(sets[0].members, vec!["experiment", "seed", "scale"]);
+        assert_eq!(sets[1].name, "SERVING_CONTRACT");
+        assert_eq!(sets[1].members.len(), 2);
+    }
+}

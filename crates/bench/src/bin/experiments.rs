@@ -146,6 +146,7 @@ fn main() {
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("usage: experiments <{USAGE}> [flags]");
+    // lint: allow(exit_confined, reason = "experiments.rs is a src/bin crate root, a main.rs in all but name; exit codes are its CLI contract with run_bench.sh")
     std::process::exit(2);
 }
 
@@ -153,6 +154,7 @@ fn fail(msg: &str) -> ! {
 /// errors so scripts can tell a typo from a filesystem problem).
 fn fail_io(msg: &str) -> ! {
     eprintln!("error: {msg}");
+    // lint: allow(exit_confined, reason = "experiments.rs is a src/bin crate root, a main.rs in all but name; exit codes are its CLI contract with run_bench.sh")
     std::process::exit(1);
 }
 

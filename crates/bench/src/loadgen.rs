@@ -94,6 +94,7 @@ pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> LoadSummary {
     }
 
     let start = Instant::now();
+    // lint: allow(thread_confined, reason = "the load generator is the open-loop client itself: per-connection threads are its measurement model, not servable work for the executor")
     let results: Vec<ConnResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = per_conn
             .iter()

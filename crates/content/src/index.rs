@@ -34,6 +34,7 @@
 //! exact single-threaded code paths.
 
 use crate::cluster::{strategy_named, ClusterId, UserClustering};
+use crate::deadline::{Deadline, DEADLINE_CHECK_STRIDE};
 use crate::events::TagEvent;
 use crate::inline::InlineVec;
 use crate::posting::{PostingList, BYTES_PER_ENTRY};
@@ -349,73 +350,6 @@ impl<'a> BatchOptions<'a> {
     }
 }
 
-/// Deadline-check granularity, applied at two levels: the serving walks
-/// call [`Deadline::expired`] once per `DEADLINE_CHECK_STRIDE`-member
-/// chunk (exact-index members serve in tens of nanoseconds — even a
-/// per-member branch on an armed budget costs more than the serving it
-/// guards), and an armed [`Deadline`] reads the monotonic clock on its
-/// first check and then every `DEADLINE_CHECK_STRIDE`th. Together the
-/// budget overhead stays under the sub-percent noise floor while
-/// expiry-detection lag stays bounded (at most `STRIDE × STRIDE` members
-/// past the actual instant — and an already-expired budget still degrades
-/// every member, because the first check always reads the clock).
-const DEADLINE_CHECK_STRIDE: usize = 32;
-
-/// The armed (or unarmed) deadline clock of one batch call, built once at
-/// the `query_batch_opts` entry and copied into every serving worker.
-/// Without a budget, [`Self::expired`] is a single branch on a `None` —
-/// the unbounded path stays effectively free. With one, the clock is
-/// armed *lazily*: a worker's first cooperative check reads the monotonic
-/// clock once (so an already-expired budget, e.g. zero, still degrades
-/// every member), then every [`DEADLINE_CHECK_STRIDE`]th check re-reads
-/// it. Batch calls that never reach a serving walk — e.g. keyword sets
-/// that resolve to nothing and take the defined-empty early return —
-/// never read the clock at all. The [`crate::faults::DEADLINE`] failpoint
-/// fires on *every* check — stride or not — so fault-injection tests
-/// count cooperative checks, not clock reads.
-#[derive(Clone, Copy)]
-struct Deadline {
-    /// The armed budget; `None` = unbounded.
-    budget: Option<std::time::Duration>,
-    /// The absolute expiry instant, armed by the first clock read.
-    at: Option<std::time::Instant>,
-    /// Checks remaining before the next clock read; 0 = read now.
-    until_check: u32,
-}
-
-impl Deadline {
-    fn new(budget: Option<std::time::Duration>) -> Self {
-        Deadline { budget, at: None, until_check: 0 }
-    }
-
-    /// The unbounded clock (never expires) — for the deprecated direct
-    /// serving entry points that predate deadlines.
-    fn unbounded() -> Self {
-        Deadline { budget: None, at: None, until_check: 0 }
-    }
-
-    /// One cooperative check. Once true, every later check is also true
-    /// (time is monotonic, the injected-fault clock is sticky, and the
-    /// stride counter only rearms after a *non*-expired clock read).
-    fn expired(&mut self) -> bool {
-        let Some(budget) = self.budget else { return false };
-        if crate::faults::fire(crate::faults::DEADLINE).is_err() {
-            return true;
-        }
-        if self.until_check > 0 {
-            self.until_check -= 1;
-            return false;
-        }
-        let now = std::time::Instant::now();
-        let at = *self.at.get_or_insert(now + budget);
-        let expired = now >= at;
-        if !expired {
-            self.until_check = DEADLINE_CHECK_STRIDE as u32 - 1;
-        }
-        expired
-    }
-}
-
 /// Maximum number of per-user rows in the exact index, and of pooled bound
 /// lists in the clustered index: layout keys are `u32` with
 /// [`NO_SLOT`] (`u32::MAX`) reserved for "not indexed", so at most
@@ -502,6 +436,7 @@ impl ExactIndex {
     /// On a site with more than `u32::MAX` distinct scoring users — see
     /// [`Self::try_build_with`] for the error-returning form.
     pub fn build_with(exec: &Exec, site: &SiteModel) -> Self {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         Self::try_build_with(exec, site).unwrap_or_else(|error| panic!("{error}"))
     }
 
@@ -548,6 +483,7 @@ impl ExactIndex {
         // `(user, tag, item)` belongs to exactly one assignment group and
         // thus one shard, so the merge is a disjoint union.
         let mut shards = shards.into_iter();
+        // lint: allow(no_panic, reason = "true invariant: try_run_sharded returns one result per chunk and chunking always yields at least one chunk")
         let mut lists = shards.next().expect("run_sharded yields at least one shard");
         for shard in shards {
             for (user, by_tag) in shard {
@@ -640,6 +576,7 @@ impl ExactIndex {
         site: &SiteModel,
         events: &[TagEvent],
     ) -> ApplyReport {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         self.try_apply_with(exec, site, events).unwrap_or_else(|error| panic!("{error}"))
     }
 
@@ -681,6 +618,7 @@ impl ExactIndex {
                 range
                     .map(|i| {
                         let (user, tag, item) = triples[i];
+                        // lint: allow(no_panic, reason = "true invariant: the pre-shard walk interned every event tag into this table")
                         let tag = tags.resolve(tag).expect("event tags interned above");
                         let taggers = site.taggers_of(item, tag);
                         count_intersection(site.network_of(user), taggers) as f64
@@ -1279,6 +1217,7 @@ impl ClusteredIndex {
     /// `(tag, cluster)` bound lists — see [`Self::try_build_with`] for the
     /// error-returning form.
     pub fn build_with(exec: &Exec, site: &SiteModel, clustering: UserClustering) -> Self {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         Self::try_build_with(exec, site, clustering).unwrap_or_else(|error| panic!("{error}"))
     }
 
@@ -1333,6 +1272,7 @@ impl ClusteredIndex {
         // Merge in shard order: bound leaves are a disjoint union, and the
         // refinement arenas concatenate into the sequential build's arena.
         let mut shards = shards.into_iter();
+        // lint: allow(no_panic, reason = "true invariant: try_run_sharded returns one result per chunk and chunking always yields at least one chunk")
         let (mut bounds, mut refinement) =
             shards.next().expect("run_sharded yields at least one shard");
         for (shard_bounds, shard_refinement) in shards {
@@ -1454,6 +1394,7 @@ impl ClusteredIndex {
         site: &SiteModel,
         events: &[TagEvent],
     ) -> ApplyReport {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         self.try_apply_with(exec, site, events).unwrap_or_else(|error| panic!("{error}"))
     }
 
@@ -1555,6 +1496,7 @@ impl ClusteredIndex {
                 range
                     .map(|i| {
                         let (tag, cluster, item) = affected[i];
+                        // lint: allow(no_panic, reason = "true invariant: the pre-shard walk interned every affected tag into this table")
                         let tag = tags.resolve(tag).expect("affected tags interned above");
                         let taggers = site.taggers_of(item, tag);
                         let mut bound = 0.0f64;

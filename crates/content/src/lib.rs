@@ -33,6 +33,7 @@
 
 pub mod activity;
 pub mod cluster;
+mod deadline;
 pub mod error;
 pub mod events;
 pub mod faults;

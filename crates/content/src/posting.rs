@@ -118,6 +118,7 @@ impl PostingList {
         let slot = self.by_item.binary_search_by_key(&item, |&(i, _)| i).ok()?;
         let (_, score) = self.by_item.remove(slot);
         let probe = Posting { item, score };
+        // lint: allow(no_panic, reason = "true invariant: by_item and entries are dual views of the same postings, so the companion entry exists")
         let pos = self
             .entries
             .binary_search_by(|p| Self::order(p, &probe))

@@ -61,7 +61,9 @@ impl RefinementIndex {
     /// inserted at most once — both hold for
     /// [`crate::sitemodel::SiteModel::tag_assignments`], the only feed.
     pub(crate) fn insert(&mut self, tag: TagId, item: NodeId, taggers: &[NodeId]) {
+        // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
         let start = u32::try_from(self.taggers.len()).expect("fewer than 2^32 tagger references");
+        // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
         let len = u32::try_from(taggers.len()).expect("fewer than 2^32 taggers per group");
         self.taggers.extend_from_slice(taggers);
         let slot = tag.0 as usize;
@@ -80,6 +82,7 @@ impl RefinementIndex {
     /// byte for byte — the `(tag, item)` disjointness contract of
     /// [`Self::insert`] extends across the appended indexes.
     pub(crate) fn append(&mut self, other: RefinementIndex) {
+        // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
         let base = u32::try_from(self.taggers.len()).expect("fewer than 2^32 tagger references");
         self.taggers.extend_from_slice(&other.taggers);
         if self.by_tag.len() < other.by_tag.len() {
@@ -87,6 +90,7 @@ impl RefinementIndex {
         }
         for (slot, by_item) in other.by_tag.into_iter().enumerate() {
             for (item, span) in by_item {
+                // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
                 let start =
                     base.checked_add(span.start).expect("fewer than 2^32 tagger references");
                 self.by_tag[slot].insert(item, Span { start, len: span.len });
@@ -125,7 +129,9 @@ impl RefinementIndex {
                 self.by_tag[tag.0 as usize].remove(&item);
                 continue;
             }
+            // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
             let start = u32::try_from(arena.len()).expect("fewer than 2^32 tagger references");
+            // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
             let len = u32::try_from(slice.len()).expect("fewer than 2^32 taggers per group");
             arena.extend_from_slice(slice);
             self.by_tag[tag.0 as usize].insert(item, Span { start, len });
@@ -142,7 +148,9 @@ impl RefinementIndex {
             .collect();
         fresh.sort_unstable_by_key(|&(tag, item, _)| (tag, item));
         for (tag, item, taggers) in fresh {
+            // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
             let start = u32::try_from(arena.len()).expect("fewer than 2^32 tagger references");
+            // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
             let len = u32::try_from(taggers.len()).expect("fewer than 2^32 taggers per group");
             arena.extend_from_slice(taggers);
             let slot = tag.0 as usize;

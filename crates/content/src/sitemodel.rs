@@ -180,6 +180,7 @@ impl SiteModel {
     /// activity — which is what lets the index delta paths treat
     /// `network(u)` as stable.
     pub fn apply(&mut self, events: &[TagEvent]) -> usize {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         self.try_apply(events).unwrap_or_else(|error| panic!("{error}"))
     }
 

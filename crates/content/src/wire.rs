@@ -635,6 +635,7 @@ impl Parser<'_> {
         while let Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') = self.peek() {
             self.pos += 1;
         }
+        // lint: allow(no_panic, reason = "true invariant: every byte scanned matched the ASCII digit/sign/exponent set above, so the slice is valid UTF-8")
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
         text.parse::<f64>()
             .map(|value| Json::Num { value, raw: text.to_string() })

@@ -82,6 +82,7 @@ impl NetworkAwareSearch {
 
     /// [`Self::apply`] on a caller-chosen [`Exec`].
     pub fn apply_with(&mut self, exec: &Exec, events: &[TagEvent]) -> ApplyReport {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         self.try_apply_with(exec, events).unwrap_or_else(|error| panic!("{error}"))
     }
 
@@ -357,6 +358,7 @@ impl ClusteredNetworkAwareSearch {
 
     /// [`Self::apply`] on a caller-chosen [`Exec`].
     pub fn apply_with(&mut self, exec: &Exec, events: &[TagEvent]) -> ApplyReport {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         self.try_apply_with(exec, events).unwrap_or_else(|error| panic!("{error}"))
     }
 

@@ -136,6 +136,7 @@ mod armed {
                     // Release the registry before unwinding: a poisoned
                     // registry must never outlive the deliberate panic.
                     drop(reg);
+                    // lint: allow(no_panic, reason = "deliberately injected fault: panicking here under a test-armed failpoint is this module's entire purpose")
                     panic!("injected panic at failpoint `{site}` (index {index})");
                 }
                 Ok(())

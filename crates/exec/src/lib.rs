@@ -213,6 +213,7 @@ impl Exec {
         T: Send,
         F: Fn(usize, Range<usize>) -> T + Sync,
     {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         self.try_run_sharded(items, min_per_shard, work).unwrap_or_else(|error| panic!("{error}"))
     }
 
@@ -266,6 +267,7 @@ impl Exec {
         T: Send,
         F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
     {
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
         self.try_run_chunks_with(states, chunks, work).unwrap_or_else(|error| panic!("{error}"))
     }
 
@@ -320,6 +322,7 @@ impl Exec {
             [only] => vec![guarded(&mut states[0], 0, only.clone())],
             _ => std::thread::scope(|scope| {
                 let mut shard_workers = states[..chunks.len()].iter_mut().zip(chunks).enumerate();
+                // lint: allow(no_panic, reason = "true invariant: this match arm is the two-or-more-chunks case, so the iterator yields a first element")
                 let (_, (first_state, first_chunk)) =
                     shard_workers.next().expect("two or more chunks");
                 // Spawn shards 1.. first, then run shard 0 on this thread:
@@ -371,6 +374,7 @@ impl Exec {
 /// `failpoints` feature is enabled and the site armed.
 fn shard_start_failpoint(shard: usize) {
     if let Err(fault) = failpoints::fire(failpoints::EXEC_SHARD_START, shard as u64) {
+        // lint: allow(no_panic, reason = "deliberately injected fault: an armed failpoint propagates as a shard panic so catch_unwind isolation can be exercised")
         panic!("{fault}");
     }
 }

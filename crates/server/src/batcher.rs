@@ -5,6 +5,50 @@
 //! when the batch hits its size cap. A zero window degenerates to
 //! per-request serving through the same machinery, which is what the E13
 //! sweep's baseline arm measures.
+//!
+//! ## Concurrency invariants (enforced by `socialscope_analysis`)
+//!
+//! The batcher is a **dual-lock** design, and its safety rests on three
+//! invariants. They are model-checked across every thread interleaving
+//! (bounded preemption) by the extracted model in
+//! `socialscope_analysis::mc::batcher`, and the lock-order rule is
+//! additionally linted lexically; see the README's "Failure semantics"
+//! and "Static analysis & model checking" sections.
+//!
+//! 1. **Why two locks.** Queue *data* ([`State`]: the per-key queues and
+//!    the shutdown flag) lives under a `parking_lot::Mutex`, which is
+//!    poison-free — a serving worker that panics mid-batch (isolated via
+//!    `catch_unwind`) must never wedge the queue for every other
+//!    connection. Worker *sleeping* needs a `std::sync::Condvar`, which
+//!    only pairs with a `std::sync::Mutex`; that second mutex (the
+//!    `gate`) guards exactly one `u64` — the notification epoch — and
+//!    nothing else.
+//!
+//! 2. **What the gate epoch protects.** The classic condvar lost-wakeup
+//!    window: a worker evaluates state (under `state`), finds nothing
+//!    ripe, releases `state`, and *then* goes to sleep on the condvar. A
+//!    notify landing between the release and the sleep would be lost —
+//!    this shipped as a real race in PR 8 and was caught in review.
+//!    Every state change (enqueue, shutdown) bumps the epoch **under the
+//!    gate** before notifying; [`Batcher::next_batch`] snapshots the
+//!    epoch *before* evaluating state and re-checks it under the gate
+//!    before sleeping. Either the epoch already moved (the worker loops
+//!    and re-evaluates) or the notifier is still blocked on the gate
+//!    until `Condvar::wait` atomically releases it — the wakeup cannot
+//!    be lost. The model checker proves this without relying on the
+//!    [`IDLE_WAIT_FALLBACK`] bound, and flags the pre-review-fix mutant
+//!    (snapshot removed) with a lost-wakeup counterexample.
+//!
+//! 3. **Lock order.** The `state` mutex must **never** be held while
+//!    acquiring the `gate` mutex. A worker inside `Condvar::wait` holds
+//!    the gate (it is reacquired on wakeup, and held between the epoch
+//!    re-check and the wait); if a notifier could block on `gate` while
+//!    holding `state`, a woken worker reacquiring `state` to re-evaluate
+//!    would complete the cycle and deadlock. Acquiring `state` while
+//!    holding `gate` is equally forbidden to keep both critical sections
+//!    leaf-level. The `lock_order` lint checks this lexically per
+//!    function body; every method below takes the two locks strictly in
+//!    sequence, never nested.
 
 use crate::wire::{QueryRequest, QueryResponse};
 use parking_lot::Mutex;
@@ -61,6 +105,13 @@ pub(crate) struct ReadyBatch {
     pub members: Vec<Pending>,
     pub oldest: Instant,
 }
+
+/// Bound on the idle wait when no queue exists to ripen. The epoch
+/// protocol makes enqueue/shutdown notifications unlosable on their own
+/// (model-checked — see the module docs), so this is belt-and-suspenders:
+/// any future regression degrades to at most this much added latency,
+/// never a wedged worker.
+const IDLE_WAIT_FALLBACK: Duration = Duration::from_millis(100);
 
 struct State {
     queues: HashMap<BatchKey, Vec<Pending>>,
@@ -133,6 +184,7 @@ impl Batcher {
             let epoch = *self.lock_gate();
             let wait_for = {
                 let mut state = self.state.lock();
+                // lint: allow(clock_confined, reason = "window-ripeness decision: the batcher compares queue age against the flush window; per-query serving budgets still go through content's strided Deadline clock")
                 let now = Instant::now();
                 // The ripest queue: lowest due time (oldest + window),
                 // with size-capped queues due immediately.
@@ -140,6 +192,7 @@ impl Batcher {
                     .queues
                     .iter()
                     .map(|(key, members)| {
+                        // lint: allow(no_panic, reason = "true invariant: enqueue pushes >= 1 member and next_batch removes whole entries, so a mapped queue is never empty")
                         let oldest =
                             members.iter().map(|m| m.enqueued).min().expect("queues are non-empty");
                         let due = if members.len() >= self.max_batch || state.shutdown {
@@ -152,7 +205,9 @@ impl Batcher {
                     .min_by(|(a, _), (b, _)| a.cmp(b));
                 match ripest {
                     Some((due, key)) if due <= now => {
+                        // lint: allow(no_panic, reason = "true invariant: the key was observed in the map in this same critical section, and `state` is still held")
                         let members = state.queues.remove(&key).expect("key just observed");
+                        // lint: allow(no_panic, reason = "true invariant: the removed queue is the one observed non-empty above")
                         let oldest =
                             members.iter().map(|m| m.enqueued).min().expect("non-empty batch");
                         return Some(ReadyBatch { key, members, oldest });
@@ -173,10 +228,9 @@ impl Batcher {
             match wait_for {
                 Some(timeout) => drop(self.cv.wait_timeout(guard, timeout)),
                 // No queue to ripen: only a notification creates work, and
-                // the epoch check above makes it unlosable; the bounded
-                // wait is belt-and-suspenders so any future regression
-                // degrades to latency, never a wedged worker.
-                None => drop(self.cv.wait_timeout(guard, Duration::from_millis(100))),
+                // the epoch check above makes it unlosable (model-checked
+                // without this bound — see the module docs).
+                None => drop(self.cv.wait_timeout(guard, IDLE_WAIT_FALLBACK)),
             }
         }
     }

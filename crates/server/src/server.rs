@@ -161,21 +161,45 @@ pub fn spawn(
         shutdown: AtomicBool::new(false),
     });
 
-    let worker_threads = (0..shared.config.workers.max(1))
-        .map(|index| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("serve-worker-{index}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn serving worker")
-        })
-        .collect();
+    // Thread spawning can genuinely fail (thread-count rlimits, memory
+    // pressure), and `spawn` already returns `io::Result`: a failed boot
+    // surfaces as a typed error, never a panic. A partial boot is rolled
+    // back first — the workers that did spawn are woken via batcher
+    // shutdown and joined, so no thread outlives the error.
+    let worker_count = shared.config.workers.max(1);
+    let mut worker_threads = Vec::with_capacity(worker_count);
+    for index in 0..worker_count {
+        let worker_shared = Arc::clone(&shared);
+        match std::thread::Builder::new()
+            .name(format!("serve-worker-{index}"))
+            .spawn(move || worker_loop(&worker_shared))
+        {
+            Ok(handle) => worker_threads.push(handle),
+            Err(error) => {
+                shared.batcher.shutdown();
+                for handle in worker_threads {
+                    let _ = handle.join();
+                }
+                return Err(error);
+            }
+        }
+    }
 
     let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
+    let accept_thread = match std::thread::Builder::new()
         .name("serve-accept".to_string())
         .spawn(move || accept_loop(listener, &accept_shared))
-        .expect("spawn accept loop");
+    {
+        Ok(handle) => handle,
+        Err(error) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.batcher.shutdown();
+            for handle in worker_threads {
+                let _ = handle.join();
+            }
+            return Err(error);
+        }
+    };
 
     Ok(ServerHandle { addr, shared, accept_thread: Some(accept_thread), worker_threads })
 }
@@ -379,6 +403,7 @@ fn serve_query(shared: &Arc<Shared>, body: &[u8]) -> (u16, String) {
     };
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
     let (reply, answer) = mpsc::channel();
+    // lint: allow(clock_confined, reason = "admission timestamp: the SLO budget counts from here and is later handed to the engine as a Deadline; this is bookkeeping for the strided clock, not a bypass of it")
     shared.batcher.enqueue(Pending { request, enqueued: Instant::now(), reply });
     // The worker owns the deadline; the handler just waits generously
     // longer than any serving path could take (window + SLO + engine
