@@ -71,6 +71,16 @@ their JSON files under ci-artifacts/. Six duties:
    SERVING_THROUGHPUT_FLOOR_RPS sanity floor. Duty 9 runs alone when the
    script is invoked as ``validate_bench.py serving`` (the serving-smoke
    job produces only the E13 smoke artifact).
+10. Schema-validate the E14 scale documents (smoke and committed
+    ``BENCH_scale.json``) and gate the committed headline: at the largest
+    committed scale the Compressed layout must keep a
+    >= SCALE_SAVING_MIN bytes/user reduction over Raw while staying
+    within SCALE_REGRESSION_MAX_PCT on single-query latency and at or
+    above SCALE_BATCH_RATIO_MIN of Raw batch throughput. The committed
+    document must also record ``identity_checked`` true — the sweep
+    asserts Raw and Compressed return byte-identical rankings before
+    anything is timed, so a false flag means a single-layout run was
+    committed as the baseline.
 """
 
 import json
@@ -83,12 +93,14 @@ PARALLEL_SMOKE = "ci-artifacts/bench_parallel_smoke.json"
 UPDATE_SMOKE = "ci-artifacts/bench_update_smoke.json"
 ROBUSTNESS_SMOKE = "ci-artifacts/bench_robustness_smoke.json"
 SERVING_SMOKE = "ci-artifacts/bench_serving_smoke.json"
+SCALE_SMOKE = "ci-artifacts/bench_scale_smoke.json"
 TOPK_COMMITTED = "BENCH_topk.json"
 BATCH_COMMITTED = "BENCH_batch.json"
 PARALLEL_COMMITTED = "BENCH_parallel.json"
 UPDATE_COMMITTED = "BENCH_update.json"
 ROBUSTNESS_COMMITTED = "BENCH_robustness.json"
 SERVING_COMMITTED = "BENCH_serving.json"
+SCALE_COMMITTED = "BENCH_scale.json"
 
 REQUIRED_TOPK_RUN = {"experiment", "seed", "scale", "probe_users",
                      "repetitions", "keywords", "engines"}
@@ -180,6 +192,28 @@ SERVING_TAIL_MAX_RATIO = 4.0
 # run serves ~26k req/s on the measurement box; an artifact below the
 # floor was produced by a misconfigured (or broken) serving path.
 SERVING_THROUGHPUT_FLOOR_RPS = 5000.0
+
+REQUIRED_SCALE_RUN = {"experiment", "seed", "k", "repetitions",
+                      "probe_users", "scales", "layouts",
+                      "identity_checked", "rows", "headline"}
+REQUIRED_SCALE_ROW = {"scale", "layout", "entries", "exact_build_ms",
+                      "clustered_build_ms", "exact_heap_bytes",
+                      "clustered_heap_bytes", "heap_bytes", "bytes_per_user",
+                      "exact_query_us", "clustered_query_us",
+                      "single_query_us", "batch_qps"}
+REQUIRED_SCALE_HEADLINE = {"scale", "raw_bytes_per_user",
+                           "compressed_bytes_per_user",
+                           "bytes_per_user_saving",
+                           "single_query_regression_pct",
+                           "batch_throughput_ratio"}
+SCALE_LAYOUTS = {"raw", "compressed"}
+# Gates on the committed headline (duty 10). The delta-varint layouts were
+# committed at ~2.6x bytes/user over Raw with single-query well inside the
+# budget and batch throughput at parity; a baseline below these lines
+# means the compressed read path (skip directory, block decode) regressed.
+SCALE_SAVING_MIN = 2.5
+SCALE_REGRESSION_MAX_PCT = 15.0
+SCALE_BATCH_RATIO_MIN = 0.95
 
 
 # The REQUIRED_* / *_CONTRACT sets above are kept in lockstep with the
@@ -358,6 +392,29 @@ def check_serving_doc(doc, where):
         "batching window")
 
 
+def check_scale_doc(doc, where):
+    require_keys(REQUIRED_SCALE_RUN, doc, where)
+    assert doc["experiment"] == "E14_scale_sweep", where
+    scales = doc["scales"]
+    assert scales and all(isinstance(s, int) and 1 <= s <= 10**6
+                          for s in scales), f"{where}: scales {scales}"
+    layouts = set(doc["layouts"])
+    assert layouts <= SCALE_LAYOUTS and layouts, f"{where}: layouts {layouts}"
+    cells = set()
+    for row in doc["rows"]:
+        require_keys(REQUIRED_SCALE_ROW, row, where, "scale row")
+        assert row["entries"] >= 1, f"{where}: empty site row {row}"
+        assert row["heap_bytes"] == (
+            row["exact_heap_bytes"] + row["clustered_heap_bytes"]), (
+            f"{where}: heap components do not sum in row {row}")
+        assert row["bytes_per_user"] > 0 and row["batch_qps"] > 0, (
+            f"{where}: degenerate measurements in row {row}")
+        cells.add((row["scale"], row["layout"]))
+    expected = {(s, l) for s in scales for l in doc["layouts"]}
+    assert cells == expected, (
+        f"{where}: rows cover {len(cells)}/{len(expected)} cells")
+
+
 def counters_of(run):
     return {(row["engine"], row["k"]): (row["sorted_accesses"],
                                         row["exact_computations"])
@@ -521,6 +578,40 @@ def main():
         "BENCH_robustness.json` on a quiet machine if this is measurement "
         "noise")
 
+    # 8. E14 schemas, the identity flag, and the committed memory headline.
+    check_scale_doc(json.load(open(SCALE_SMOKE)), SCALE_SMOKE)
+    scale = json.load(open(SCALE_COMMITTED))
+    check_scale_doc(scale, SCALE_COMMITTED)
+    assert scale["identity_checked"] is True, (
+        f"{SCALE_COMMITTED}: identity_checked is false — the committed "
+        "baseline must come from a both-layouts run, where the sweep "
+        "asserts Raw and Compressed return byte-identical rankings before "
+        "timing anything")
+    scale_head = scale["headline"]
+    assert scale_head, f"{SCALE_COMMITTED}: no Raw-vs-Compressed headline"
+    require_keys(REQUIRED_SCALE_HEADLINE, scale_head, SCALE_COMMITTED,
+                 "headline")
+    saving = scale_head["bytes_per_user_saving"]
+    assert saving >= SCALE_SAVING_MIN, (
+        f"{SCALE_COMMITTED}: committed bytes/user saving {saving}x at scale "
+        f"{scale_head['scale']} fell below {SCALE_SAVING_MIN}x; the "
+        "delta-varint layouts stopped paying for themselves — regenerate "
+        "with `experiments scale --scale 10000,100000 --out "
+        "BENCH_scale.json` on a quiet machine or fix the layout regression")
+    regression = scale_head["single_query_regression_pct"]
+    assert regression <= SCALE_REGRESSION_MAX_PCT, (
+        f"{SCALE_COMMITTED}: committed compressed single-query regression "
+        f"{regression}% exceeds {SCALE_REGRESSION_MAX_PCT}%; the skip "
+        "directory bounds each probe to one decoded block precisely so "
+        "point reads stay near Raw — profile score_of on the packed layout "
+        "or regenerate on a quiet machine")
+    batch_ratio = scale_head["batch_throughput_ratio"]
+    assert batch_ratio >= SCALE_BATCH_RATIO_MIN, (
+        f"{SCALE_COMMITTED}: committed compressed batch throughput is "
+        f"x{batch_ratio} of Raw, below the {SCALE_BATCH_RATIO_MIN} floor; "
+        "sequential block decode must keep merge-heavy batches at parity — "
+        "profile the packed iteration path or regenerate on a quiet machine")
+
     print("bench JSON schemas OK; counters within the committed baseline; "
           f"batch headline {headline}x >= {HEADLINE_MIN_SPEEDUP}x; "
           f"clustered k=20 {clustered_k20}x >= {CLUSTERED_K20_MIN_SPEEDUP}x; "
@@ -528,7 +619,10 @@ def main():
           f"{PARALLEL_HEADLINE_MIN}x; "
           f"update 1%-batch apply {update_headline}x >= {UPDATE_HEADLINE_MIN}x; "
           f"robustness overhead {overhead_pct}% <= "
-          f"{ROBUSTNESS_OVERHEAD_MAX_PCT}%")
+          f"{ROBUSTNESS_OVERHEAD_MAX_PCT}%; "
+          f"scale bytes/user saving {saving}x >= {SCALE_SAVING_MIN}x at "
+          f"single-query {regression}% <= {SCALE_REGRESSION_MAX_PCT}% and "
+          f"batch x{batch_ratio} >= {SCALE_BATCH_RATIO_MIN}")
 
 
 if __name__ == "__main__":

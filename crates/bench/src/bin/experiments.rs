@@ -36,7 +36,14 @@
 //!   scheduled-time latency and throughput per window, with the wire
 //!   contract (HTTP round-trip ≡ direct engine calls, transactional-apply
 //!   rollback, in-band degradation) asserted before anything is timed;
-//!   emits `BENCH_serving.json`.
+//!   emits `BENCH_serving.json`;
+//! * `scale` — the E14 memory-scaling sweep: sites from the
+//!   [`SiteConfig::at_scale`] presets (Zipf-skewed tags, bursty per-class
+//!   query mixes) built at each requested user scale under the `Raw` and
+//!   `Compressed` posting layouts, reporting measured heap bytes/user,
+//!   build-time curves, single-query latency and batch throughput per
+//!   layout — with compressed results asserted identical to raw before
+//!   anything is timed — emitting `BENCH_scale.json`.
 //!
 //! ```text
 //! cargo run -p socialscope_bench --release --bin experiments -- topk \
@@ -51,11 +58,15 @@
 //!     --scale 200 --out BENCH_robustness.json
 //! cargo run -p socialscope_bench --release --bin experiments -- serving \
 //!     --scale 200 --out BENCH_serving.json
+//! cargo run -p socialscope_bench --release --bin experiments -- scale \
+//!     --scale 10000,100000 --layout both --out BENCH_scale.json
 //! ```
 //!
 //! Unknown subcommands or flags, malformed numeric values (`--threads`
-//! rejects zero and non-integers upfront) and unwritable `--out`
-//! destinations all fail fast with a non-zero exit.
+//! rejects zero and non-integers upfront; `scale`'s `--scale` list rejects
+//! zero, garbage and anything past 10^6; `--layout` rejects anything but
+//! `raw`/`compressed`/`both`) and unwritable `--out` destinations all fail
+//! fast with a non-zero exit.
 
 use socialscope_algebra::prelude::*;
 use socialscope_bench::loadgen::{post, run_load, LoadPlan, PlannedRequest};
@@ -65,7 +76,7 @@ use socialscope_content::wire::{ApplyRequest, QueryRequest, QueryResponse};
 use socialscope_content::TagEvent;
 use socialscope_content::{
     BatchOptions, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy, ExactIndex,
-    HybridClustering, NetworkBasedClustering, SiteModel, UserJourney,
+    HybridClustering, Layout, NetworkBasedClustering, SiteModel, UserJourney,
 };
 use socialscope_discovery::recommend::algebra_cf::{example5_pipeline, CfConfig};
 use socialscope_discovery::ClusteredNetworkAwareSearch;
@@ -74,13 +85,13 @@ use socialscope_presentation::{GroupingStrategy, InformationOrganizer};
 use socialscope_server::ServerConfig;
 use socialscope_workload::queries::expected_fraction;
 use socialscope_workload::{
-    generate_events, keywords_of, paper_sizing_example, ClassCounts, EventStreamConfig, QueryClass,
-    QueryLogConfig, QueryLogGenerator,
+    generate_events, generate_site, keywords_of, paper_sizing_example, ClassCounts,
+    EventStreamConfig, QueryClass, QueryLogConfig, QueryLogGenerator, SiteConfig,
 };
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "table1 | table2 | fig2 | sizing | clustering | algebra | presentation | \
-                     topk | batch | parallel | update | robustness | serving | all";
+                     topk | batch | parallel | update | robustness | serving | scale | all";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -128,6 +139,7 @@ fn main() {
         "update" => update_sweep(rest),
         "robustness" => robustness_sweep(rest),
         "serving" => serving_sweep(rest),
+        "scale" => scale_sweep(rest),
         "all" => {
             no_flags("all");
             table1();
@@ -2263,6 +2275,379 @@ fn serving_sweep(args: &[String]) {
         beats
     );
     write_json_out(out.as_deref(), &json);
+}
+
+/// The largest user scale `scale` accepts: past 10^6 the raw layout alone
+/// would not fit a development machine, so anything bigger is a typo.
+const SCALE_MAX_USERS: usize = 1_000_000;
+
+/// Parse `scale`'s `--scale` comma list with upfront bounds checks:
+/// `Err(reason)` on an empty list, a non-integer, a zero, or a scale past
+/// [`SCALE_MAX_USERS`].
+fn scale_list_error(value: &str) -> Result<Vec<usize>, String> {
+    let mut scales = Vec::new();
+    for part in value.split(',') {
+        let scale: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--scale takes comma-separated user counts, got `{part}`"))?;
+        if scale == 0 {
+            return Err("--scale user counts must be at least 1".to_string());
+        }
+        if scale > SCALE_MAX_USERS {
+            return Err(format!(
+                "--scale {scale} exceeds the supported maximum of {SCALE_MAX_USERS} users"
+            ));
+        }
+        scales.push(scale);
+    }
+    if scales.is_empty() {
+        return Err("--scale needs at least one user count".to_string());
+    }
+    Ok(scales)
+}
+
+/// Parse `scale`'s `--layout` value: `raw`, `compressed` or `both`.
+fn layout_list_error(value: &str) -> Result<Vec<Layout>, String> {
+    match value {
+        "raw" => Ok(vec![Layout::Raw]),
+        "compressed" => Ok(vec![Layout::Compressed]),
+        "both" => Ok(vec![Layout::Raw, Layout::Compressed]),
+        other => Err(format!("--layout takes raw|compressed|both, got `{other}`")),
+    }
+}
+
+/// One measured scale × layout configuration of the E14 sweep.
+struct ScaleRow {
+    scale: usize,
+    layout: &'static str,
+    entries: usize,
+    exact_build_ms: f64,
+    clustered_build_ms: f64,
+    exact_heap_bytes: usize,
+    clustered_heap_bytes: usize,
+    bytes_per_user: f64,
+    exact_query_us: f64,
+    clustered_query_us: f64,
+    batch_qps: f64,
+}
+
+impl ScaleRow {
+    /// Mean single-query latency across both engines — the gated metric.
+    fn single_query_us(&self) -> f64 {
+        (self.exact_query_us + self.clustered_query_us) / 2.0
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"scale\":{},\"layout\":\"{}\",\"entries\":{},\"exact_build_ms\":{:.1},\"clustered_build_ms\":{:.1},\"exact_heap_bytes\":{},\"clustered_heap_bytes\":{},\"heap_bytes\":{},\"bytes_per_user\":{:.1},\"exact_query_us\":{:.2},\"clustered_query_us\":{:.2},\"single_query_us\":{:.2},\"batch_qps\":{:.0}}}",
+            self.scale,
+            self.layout,
+            self.entries,
+            self.exact_build_ms,
+            self.clustered_build_ms,
+            self.exact_heap_bytes,
+            self.clustered_heap_bytes,
+            self.exact_heap_bytes + self.clustered_heap_bytes,
+            self.bytes_per_user,
+            self.exact_query_us,
+            self.clustered_query_us,
+            self.single_query_us(),
+            self.batch_qps
+        )
+    }
+}
+
+/// The display name of a layout in E14 output.
+const fn layout_name(layout: Layout) -> &'static str {
+    match layout {
+        Layout::Raw => "raw",
+        Layout::Compressed => "compressed",
+    }
+}
+
+/// E14 — the memory-scaling sweep: for each user scale (sites from the
+/// `SiteConfig::at_scale` presets — Zipf-skewed tag popularity, tapered
+/// per-user activity) and each requested posting layout, build the exact
+/// and clustered indexes, record measured heap bytes per user and build
+/// wall time, then serve a bursty per-class query mix through the
+/// single-query and batched paths. When both layouts run, compressed
+/// results are asserted identical to raw (single and batched) before
+/// anything is timed, and the headline compares bytes/user, single-query
+/// latency and batch throughput at the largest scale.
+fn scale_sweep(args: &[String]) {
+    let mut scales: Vec<usize> = vec![10_000, 100_000];
+    let mut layouts: Vec<Layout> = vec![Layout::Raw, Layout::Compressed];
+    let mut k = 10usize;
+    let mut reps = 3usize;
+    let mut probe_users = 64usize;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")));
+        match flag.as_str() {
+            "--scale" => {
+                scales = scale_list_error(value("--scale")).unwrap_or_else(|e| fail(&e));
+            }
+            "--layout" => {
+                layouts = layout_list_error(value("--layout")).unwrap_or_else(|e| fail(&e));
+            }
+            "--k" => k = parse_num("--k", value("--k")),
+            "--reps" => reps = parse_num("--reps", value("--reps")),
+            "--users" => probe_users = parse_num("--users", value("--users")),
+            "--out" => out = Some(value("--out").clone()),
+            other => fail(&format!(
+                "unknown scale flag `{other}` (expected --scale/--layout/--k/--reps/--users/--out)"
+            )),
+        }
+    }
+    if let Some(path) = &out {
+        validate_out_path(path);
+    }
+
+    heading(&format!(
+        "E14 / §6.2 — Memory scaling at {} users ({} probes × {reps} reps, k={k})",
+        scales.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("/"),
+        probe_users
+    ));
+
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    println!(
+        "{:<9} {:<11} {:>11} {:>12} {:>14} {:>13} {:>9} {:>9} {:>10}",
+        "scale",
+        "layout",
+        "entries",
+        "build (ms)",
+        "heap (MiB)",
+        "bytes/user",
+        "exact us",
+        "clust us",
+        "batch qps"
+    );
+    for &scale in &scales {
+        let site = generate_site(&SiteConfig::at_scale(scale));
+        let model = SiteModel::from_graph(&site.graph);
+        let clustering = NetworkBasedClustering.cluster(&model, 0.3);
+
+        // The E14 workload: a bursty per-class query mix (40-query runs of
+        // one class, the correlated traffic shape of a live site), probed
+        // from users spread across the whole population.
+        let mut gen = QueryLogGenerator::new(QueryLogConfig {
+            queries: 512,
+            burst_length: 40,
+            seed: 7,
+            ..Default::default()
+        });
+        // Keep only keyword sets that touch at least one tag the site
+        // knows: all-miss queries terminate at dispatch and would let the
+        // latency ratio measure function-call overhead instead of the
+        // layouts' decode paths.
+        let known: std::collections::HashSet<&str> = model.tags().collect();
+        let queries: Vec<Vec<String>> = gen
+            .generate_bursty()
+            .iter()
+            .map(|q| keywords_of(q))
+            .filter(|kw| kw.iter().any(|w| known.contains(w.as_str())))
+            .take(24)
+            .collect();
+        assert!(!queries.is_empty(), "E14 needs at least one index-hitting keyword set");
+        let stride = (site.users.len() / probe_users).max(1);
+        let probes: Vec<socialscope_graph::NodeId> =
+            site.users.iter().copied().step_by(stride).take(probe_users).collect();
+        let batch_size = 32.min(probes.len().max(1));
+
+        // Build once per layout; identity across layouts is asserted below
+        // before any timing, so every measured number is for an index that
+        // provably answers like the raw one.
+        let mut built: Vec<(Layout, ExactIndex, ClusteredIndex, f64, f64)> = Vec::new();
+        for &layout in &layouts {
+            let t = Instant::now();
+            let exact = ExactIndex::builder(&model).layout(layout).build();
+            let exact_build_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let clustered = ClusteredIndex::builder(&model)
+                .clustering(clustering.clone())
+                .layout(layout)
+                .build();
+            let clustered_build_ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(exact.layout(), layout);
+            assert_eq!(clustered.layout(), layout);
+            built.push((layout, exact, clustered, exact_build_ms, clustered_build_ms));
+        }
+        if let [(_, raw_exact, raw_clustered, ..), (_, packed_exact, packed_clustered, ..)] =
+            &built[..]
+        {
+            for kw in &queries {
+                for &u in &probes {
+                    assert_eq!(
+                        raw_exact.query(u, kw, k),
+                        packed_exact.query(u, kw, k),
+                        "compressed exact diverged from raw"
+                    );
+                    assert_eq!(
+                        raw_clustered.query(&model, u, kw, k),
+                        packed_clustered.query(&model, u, kw, k),
+                        "compressed clustered diverged from raw"
+                    );
+                }
+                let batch = &probes[..batch_size];
+                assert_eq!(
+                    raw_exact.query_batch_opts(batch, kw, k, BatchOptions::new()),
+                    packed_exact.query_batch_opts(batch, kw, k, BatchOptions::new()),
+                    "compressed exact batch diverged from raw"
+                );
+            }
+        }
+
+        // Interleave the timing rounds across layouts: the gated numbers
+        // are Raw-vs-Compressed *ratios*, and timing one layout's full
+        // sweep before the other lets a background hiccup (shared vCPU,
+        // frequency drift) land entirely on one side of the ratio. One
+        // round per rep touches every layout back to back; each layout
+        // keeps its best (minimum) round.
+        let mut best_ms = vec![[f64::INFINITY; 3]; built.len()];
+        let mut scratch = socialscope_content::BatchScratch::default();
+        for _ in 0..reps.max(1) {
+            for (bi, (_, exact, clustered, ..)) in built.iter().enumerate() {
+                let t = Instant::now();
+                for kw in &queries {
+                    for &u in &probes {
+                        std::hint::black_box(exact.query(u, kw, k).ranked.len());
+                    }
+                }
+                best_ms[bi][0] = best_ms[bi][0].min(t.elapsed().as_secs_f64() * 1e3);
+                let t = Instant::now();
+                for kw in &queries {
+                    for &u in &probes {
+                        std::hint::black_box(clustered.query(&model, u, kw, k).result.ranked.len());
+                    }
+                }
+                best_ms[bi][1] = best_ms[bi][1].min(t.elapsed().as_secs_f64() * 1e3);
+                let t = Instant::now();
+                for kw in &queries {
+                    std::hint::black_box(
+                        exact
+                            .query_batch_opts(
+                                &probes[..batch_size],
+                                kw,
+                                k,
+                                BatchOptions::new().scratch(&mut scratch),
+                            )
+                            .len(),
+                    );
+                }
+                best_ms[bi][2] = best_ms[bi][2].min(t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+
+        for (bi, (layout, exact, clustered, exact_build_ms, clustered_build_ms)) in
+            built.into_iter().enumerate()
+        {
+            let exact_heap_bytes = exact.memory_profile().total();
+            let clustered_heap_bytes = clustered.memory_profile().total();
+            let entries = exact.stats().entries;
+            let bytes_per_user =
+                (exact_heap_bytes + clustered_heap_bytes) as f64 / site.users.len() as f64;
+
+            let per_query = 1e3 / (queries.len() * probes.len()) as f64;
+            let exact_query_us = per_query * best_ms[bi][0];
+            let clustered_query_us = per_query * best_ms[bi][1];
+            let batch_qps = (queries.len() * batch_size) as f64 / (best_ms[bi][2] / 1e3);
+
+            let row = ScaleRow {
+                scale,
+                layout: layout_name(layout),
+                entries,
+                exact_build_ms,
+                clustered_build_ms,
+                exact_heap_bytes,
+                clustered_heap_bytes,
+                bytes_per_user,
+                exact_query_us,
+                clustered_query_us,
+                batch_qps,
+            };
+            println!(
+                "{:<9} {:<11} {:>11} {:>12.1} {:>14.1} {:>13.1} {:>9.2} {:>9.2} {:>10.0}",
+                row.scale,
+                row.layout,
+                row.entries,
+                row.exact_build_ms + row.clustered_build_ms,
+                (row.exact_heap_bytes + row.clustered_heap_bytes) as f64 / (1 << 20) as f64,
+                row.bytes_per_user,
+                row.exact_query_us,
+                row.clustered_query_us,
+                row.batch_qps
+            );
+            rows.push(row);
+        }
+    }
+
+    // Headline: Raw vs Compressed at the largest scale that ran both.
+    let headline = scales
+        .iter()
+        .rev()
+        .find_map(|&scale| {
+            let raw = rows.iter().find(|r| r.scale == scale && r.layout == "raw")?;
+            let packed = rows.iter().find(|r| r.scale == scale && r.layout == "compressed")?;
+            let saving = raw.bytes_per_user / packed.bytes_per_user;
+            let regression_pct =
+                (packed.single_query_us() / raw.single_query_us() - 1.0) * 100.0;
+            let batch_ratio = packed.batch_qps / raw.batch_qps;
+            println!(
+                "\nheadline: scale {scale} — {:.2}x bytes/user saving ({:.1} -> {:.1}), single-query {:+.1}%, batch throughput x{:.3}",
+                saving, raw.bytes_per_user, packed.bytes_per_user, regression_pct, batch_ratio
+            );
+            Some(format!(
+                "{{\"scale\":{scale},\"raw_bytes_per_user\":{:.1},\"compressed_bytes_per_user\":{:.1},\"bytes_per_user_saving\":{:.2},\"single_query_regression_pct\":{:.1},\"batch_throughput_ratio\":{:.3}}}",
+                raw.bytes_per_user, packed.bytes_per_user, saving, regression_pct, batch_ratio
+            ))
+        })
+        .unwrap_or_else(|| "null".to_string());
+
+    let json = format!(
+        "{{\"experiment\":\"E14_scale_sweep\",\"seed\":7,\"k\":{k},\"repetitions\":{reps},\"probe_users\":{probe_users},\"scales\":[{}],\"layouts\":[{}],\"identity_checked\":{},\"rows\":[{}],\"headline\":{headline}}}\n",
+        scales.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(","),
+        layouts.iter().map(|&l| format!("\"{}\"", layout_name(l))).collect::<Vec<_>>().join(","),
+        layouts.len() == 2,
+        rows.iter().map(ScaleRow::to_json).collect::<Vec<_>>().join(",")
+    );
+    write_json_out(out.as_deref(), &json);
+}
+
+#[cfg(test)]
+mod scale_flag_tests {
+    use super::{layout_list_error, scale_list_error, Layout};
+
+    #[test]
+    fn scale_lists_parse_and_enforce_bounds() {
+        assert_eq!(scale_list_error("1000").unwrap(), vec![1000]);
+        assert_eq!(scale_list_error("10000,100000").unwrap(), vec![10_000, 100_000]);
+        assert_eq!(scale_list_error(" 200 , 400 ").unwrap(), vec![200, 400]);
+        assert_eq!(scale_list_error("1000000").unwrap(), vec![1_000_000]);
+    }
+
+    #[test]
+    fn zero_garbage_and_oversized_scales_are_rejected() {
+        assert!(scale_list_error("0").is_err(), "zero users is not a site");
+        assert!(scale_list_error("100,0").is_err(), "zero hidden in a list");
+        assert!(scale_list_error("ten").is_err(), "garbage must be rejected");
+        assert!(scale_list_error("100,,200").is_err(), "empty list slot");
+        assert!(scale_list_error("").is_err(), "empty value");
+        assert!(scale_list_error("-5").is_err(), "negative values");
+        assert!(scale_list_error("1000001").is_err(), "past the 10^6 ceiling");
+    }
+
+    #[test]
+    fn layout_values_parse_and_reject_garbage() {
+        assert_eq!(layout_list_error("raw").unwrap(), vec![Layout::Raw]);
+        assert_eq!(layout_list_error("compressed").unwrap(), vec![Layout::Compressed]);
+        assert_eq!(layout_list_error("both").unwrap(), vec![Layout::Raw, Layout::Compressed]);
+        assert!(layout_list_error("packed").is_err());
+        assert!(layout_list_error("").is_err());
+        assert!(layout_list_error("RAW").is_err(), "values are case-sensitive like every flag");
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ use crate::cluster::{strategy_named, ClusterId, UserClustering};
 use crate::deadline::{Deadline, DEADLINE_CHECK_STRIDE};
 use crate::events::TagEvent;
 use crate::inline::InlineVec;
-use crate::posting::{PostingList, BYTES_PER_ENTRY};
+use crate::posting::{find_score_by_item, Layout, PostingList, BYTES_PER_ENTRY};
 use crate::refinement::{RefinementIndex, ResolvedRefinement};
 use crate::sitemodel::{count_intersection, SiteModel};
 use crate::tags::{QueryTags, TagId, TagInterner};
@@ -57,6 +57,63 @@ pub struct IndexStats {
     pub entries: usize,
     /// Estimated size in bytes (10 bytes per entry, as in the paper).
     pub bytes: usize,
+    /// *Measured* heap bytes of every component behind those entries —
+    /// posting lists in both access orders, the refinement arena and its
+    /// span maps, the slot tables — under the current [`Layout`]. Unlike
+    /// the paper-model `bytes`, this is what the process actually holds;
+    /// it is computed from lengths and encoded byte counts (never vector
+    /// capacities), so delta-maintained and rebuilt indexes report
+    /// identical footprints.
+    pub heap_bytes: usize,
+}
+
+/// Real heap footprint of an index, broken down by component — the
+/// counters behind E14's bytes/user reporting and the server's `/stats`
+/// memory block. All length-based (see [`IndexStats::heap_bytes`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// The exact index's per-`(tag, user)` posting lists, both access
+    /// orders (zero for a clustered index).
+    pub postings_bytes: usize,
+    /// The clustered index's dense bound-list pool, both access orders
+    /// (zero for an exact index).
+    pub pool_bytes: usize,
+    /// The refinement tagger arena plus its per-tag span maps (zero for an
+    /// exact index, which carries no refinement arena).
+    pub refinement_bytes: usize,
+    /// The slot/key tables: user → slot, `(tag, cluster)` → slot, and the
+    /// row/pool vectors' own element storage.
+    pub tables_bytes: usize,
+}
+
+impl MemoryProfile {
+    /// Total heap bytes across all components.
+    pub fn total(&self) -> usize {
+        self.postings_bytes + self.pool_bytes + self.refinement_bytes + self.tables_bytes
+    }
+}
+
+/// Entry count at or above which the builders' automatic layout choice
+/// compresses ([`Layout::Compressed`]): small sites stay raw — decode cost
+/// without memory pressure buys nothing — while production-scale indexes
+/// compress. Either choice answers every query identically; override it
+/// with the builders' `layout(..)` knob.
+pub const COMPRESS_AUTO_MIN_ENTRIES: usize = 1 << 18;
+
+/// The automatic layout choice for an index holding `entries` entries.
+fn auto_layout(entries: usize) -> Layout {
+    if entries >= COMPRESS_AUTO_MIN_ENTRIES {
+        Layout::Compressed
+    } else {
+        Layout::Raw
+    }
+}
+
+/// Per-slot overhead modeled for a hash table: key + value plus one control
+/// byte, times *len* (never capacity — insertion history must not leak
+/// into the reported footprint).
+fn table_bytes<K, V>(len: usize) -> usize {
+    len * (std::mem::size_of::<(K, V)>() + 1)
 }
 
 /// What one [`TagEvent`] batch application changed, returned by
@@ -404,6 +461,9 @@ pub struct ExactIndex {
     slots: FxHashMap<NodeId, u32>,
     /// Per-user rows, ascending by user id (the batch walk order).
     users: Vec<(NodeId, UserLists)>,
+    /// The physical layout every posting list is kept in (new lists created
+    /// by `apply` follow it).
+    layout: Layout,
 }
 
 impl ExactIndex {
@@ -442,7 +502,21 @@ impl ExactIndex {
 
     /// [`Self::build_with`], surfacing a pathological site as
     /// [`crate::ContentError::CapacityExceeded`] instead of panicking.
+    /// The layout is chosen automatically by size (`auto_layout`); pin it
+    /// with [`ExactIndexBuilder::layout`].
     pub fn try_build_with(exec: &Exec, site: &SiteModel) -> crate::Result<Self> {
+        Self::try_build_with_layout(exec, site, None)
+    }
+
+    /// The build proper; `layout` pins the physical layout, `None` chooses
+    /// by size. The layout conversion is a single deterministic pass over
+    /// the merged lists, so sharded builds stay identical to sequential
+    /// ones whatever the choice.
+    fn try_build_with_layout(
+        exec: &Exec,
+        site: &SiteModel,
+        layout: Option<Layout>,
+    ) -> crate::Result<Self> {
         /// Build-time accumulator: user → tag → item → score.
         type ScoreAcc = FxHashMap<NodeId, FxHashMap<TagId, FxHashMap<NodeId, f64>>>;
         let mut tags = TagInterner::new();
@@ -523,14 +597,35 @@ impl ExactIndex {
             });
         }
         let slots = rebuild_slots(&users);
-        Ok(ExactIndex { tags, slots, users })
+        let mut index = ExactIndex { tags, slots, users, layout: Layout::Raw };
+        let entries: usize =
+            index.users.iter().flat_map(|(_, row)| row.iter()).map(|(_, l)| l.len()).sum();
+        index.set_layout(layout.unwrap_or_else(|| auto_layout(entries)));
+        Ok(index)
+    }
+
+    /// The physical layout the index's posting lists are kept in.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Convert every posting list to `layout` in place. Lossless and
+    /// canonical — queries, counters and [`Self::stats`] entry counts are
+    /// unchanged; only [`IndexStats::heap_bytes`] moves.
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.layout = layout;
+        for (_, row) in &mut self.users {
+            for (_, list) in row {
+                list.set_layout(layout);
+            }
+        }
     }
 
     /// The unified construction surface: configure and build through an
     /// [`ExactIndexBuilder`]. `ExactIndex::builder(&site).build()` is
     /// [`Self::build`]; add `.exec(&exec)` for [`Self::build_with`].
     pub fn builder(site: &SiteModel) -> ExactIndexBuilder<'_> {
-        ExactIndexBuilder { site, exec: None }
+        ExactIndexBuilder { site, exec: None, layout: None }
     }
 
     /// Apply a batch of [`TagEvent`]s to the live index, patching the
@@ -667,6 +762,11 @@ impl ExactIndex {
                                 }
                                 list.remove(item);
                                 list.insert(item, score);
+                                // Draining a one-entry packed list lands on
+                                // the canonical Empty, so the re-insert
+                                // grows back raw; re-assert the index
+                                // layout (no-op in every other case).
+                                list.set_layout(self.layout);
                                 changed_entries += 1;
                             } else if stored.is_some() {
                                 list.remove(item);
@@ -683,6 +783,7 @@ impl ExactIndex {
                         None if score > 0.0 => {
                             let mut list = PostingList::new();
                             list.insert(item, score);
+                            list.set_layout(self.layout);
                             let at = by_tag.partition_point(|(t, _)| *t < tag);
                             by_tag.insert(at, (tag, list));
                             changed_entries += 1;
@@ -693,6 +794,7 @@ impl ExactIndex {
                 Err(pos) if score > 0.0 => {
                     let mut list = PostingList::new();
                     list.insert(item, score);
+                    list.set_layout(self.layout);
                     self.users.insert(pos, (user, vec![(tag, list)]));
                     membership_dirty = true;
                     changed_entries += 1;
@@ -727,12 +829,34 @@ impl ExactIndex {
         self.slots.get(&user).map(|&slot| self.users[slot as usize].1.as_slice())
     }
 
+    /// Real heap footprint by component: the posting lists (both access
+    /// orders, under the current [`Layout`]) and the slot tables. See
+    /// [`MemoryProfile`].
+    pub fn memory_profile(&self) -> MemoryProfile {
+        let mut postings = 0usize;
+        let mut tables = table_bytes::<NodeId, u32>(self.slots.len())
+            + self.users.len() * std::mem::size_of::<(NodeId, UserLists)>();
+        for (_, row) in &self.users {
+            tables += row.len() * std::mem::size_of::<(TagId, PostingList)>();
+            for (_, list) in row {
+                let (sorted, companion) = list.heap_bytes();
+                postings += sorted + companion;
+            }
+        }
+        MemoryProfile { postings_bytes: postings, tables_bytes: tables, ..MemoryProfile::default() }
+    }
+
     /// Space statistics.
     pub fn stats(&self) -> IndexStats {
         let entries: usize =
             self.users.iter().flat_map(|(_, row)| row.iter()).map(|(_, l)| l.len()).sum();
         let lists: usize = self.users.iter().map(|(_, row)| row.len()).sum();
-        IndexStats { lists, entries, bytes: entries * BYTES_PER_ENTRY }
+        IndexStats {
+            lists,
+            entries,
+            bytes: entries * BYTES_PER_ENTRY,
+            heap_bytes: self.memory_profile().total(),
+        }
     }
 
     /// Top-k query for a user: merge the user's per-keyword lists; the
@@ -775,6 +899,16 @@ impl ExactIndex {
         if total < k {
             return Self::merge_scan(lists, total);
         }
+        // The threshold algorithm probes every list other than the
+        // discovering one once per distinct candidate; decode each short
+        // compressed companion once up front so those probes binary-search
+        // decoded pairs instead of re-walking the varint stream per
+        // candidate (bit-identical scores either way). Taken out of the
+        // scratch for the closure's lifetime, put back below.
+        let mut views = std::mem::take(&mut scratch.unpacked);
+        if lists.len() > 1 {
+            views.fill(lists);
+        }
         // Stored scores are exact, so a candidate's total is the sum of its
         // stored scores; the score in the discovering list arrives as the
         // sorted-access hint, leaving one random access per *other* list.
@@ -784,12 +918,15 @@ impl ExactIndex {
             let mut total = stored;
             for (li, list) in lists.iter().enumerate() {
                 if li != found_in {
-                    let entries = list.entries();
-                    if entries.len() <= SCAN_ENTRIES_MAX {
-                        // Short list: scan the entries the sorted accesses
-                        // just pulled through the cache, with no early exit
-                        // to mispredict.
-                        for p in entries {
+                    if let Some(view) = views.view(li) {
+                        if let Some(s) = find_score_by_item(view, item) {
+                            total += s;
+                        }
+                    } else if list.layout() == Layout::Raw && list.len() <= SCAN_ENTRIES_MAX {
+                        // Short raw list: scan the entries the sorted
+                        // accesses just pulled through the cache, with no
+                        // early exit to mispredict.
+                        for p in list.iter() {
                             total += if p.item == item { p.score } else { 0.0 };
                         }
                     } else if let Some(s) = list.score_of(item) {
@@ -799,7 +936,9 @@ impl ExactIndex {
             }
             total
         };
-        top_k_hinted_with(scratch, lists, k, exact)
+        let result = top_k_hinted_with(scratch, lists, k, exact);
+        scratch.unpacked = views;
+        result
     }
 
     /// Top-k for a whole batch of users sharing one keyword set — the
@@ -1035,10 +1174,10 @@ impl ExactIndex {
         let mut sorted_accesses = 0usize;
         if let Some((first, rest)) = lists.split_first() {
             // Items within one list are distinct: the first list bulk-loads.
-            items.extend(first.entries().iter().map(|p| (p.item, p.score)));
+            items.extend(first.iter().map(|p| (p.item, p.score)));
             sorted_accesses += first.len();
             for list in rest {
-                for p in list.entries() {
+                for p in list.iter() {
                     sorted_accesses += 1;
                     // Contributions arrive in list order, matching the
                     // order the per-candidate summation would add them in.
@@ -1063,6 +1202,7 @@ impl ExactIndex {
 pub struct ExactIndexBuilder<'a> {
     site: &'a SiteModel,
     exec: Option<Exec>,
+    layout: Option<Layout>,
 }
 
 impl ExactIndexBuilder<'_> {
@@ -1072,15 +1212,29 @@ impl ExactIndexBuilder<'_> {
         self
     }
 
+    /// Pin the physical [`Layout`] instead of the automatic size choice
+    /// (compress at [`COMPRESS_AUTO_MIN_ENTRIES`] entries and beyond).
+    /// Purely physical: queries, counters and entry counts are identical
+    /// either way.
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+
     /// Build the index.
     pub fn build(self) -> ExactIndex {
-        ExactIndex::build_with(&self.exec.unwrap_or_else(Exec::auto), self.site)
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
+        self.try_build().unwrap_or_else(|error| panic!("{error}"))
     }
 
     /// Build the index, surfacing capacity overflow as an error instead of
     /// panicking ([`ExactIndex::try_build_with`]).
     pub fn try_build(self) -> crate::Result<ExactIndex> {
-        ExactIndex::try_build_with(&self.exec.unwrap_or_else(Exec::auto), self.site)
+        ExactIndex::try_build_with_layout(
+            &self.exec.unwrap_or_else(Exec::auto),
+            self.site,
+            self.layout,
+        )
     }
 }
 
@@ -1093,6 +1247,7 @@ pub struct ClusteredIndexBuilder<'a> {
     site: &'a SiteModel,
     exec: Option<Exec>,
     clustering: Option<UserClustering>,
+    layout: Option<Layout>,
 }
 
 impl ClusteredIndexBuilder<'_> {
@@ -1108,22 +1263,29 @@ impl ClusteredIndexBuilder<'_> {
         self
     }
 
+    /// Pin the physical [`Layout`] of the bound-list pool and refinement
+    /// arena instead of the automatic size choice (compress at
+    /// [`COMPRESS_AUTO_MIN_ENTRIES`] entries and beyond). Purely physical:
+    /// queries, counters and entry counts are identical either way.
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+
     /// Build the index.
     pub fn build(self) -> ClusteredIndex {
-        ClusteredIndex::build_with(
-            &self.exec.unwrap_or_else(Exec::auto),
-            self.site,
-            self.clustering.unwrap_or_default(),
-        )
+        // lint: allow(no_panic, reason = "documented panicking convenience wrapper; serving paths use the adjacent try_ form and get a typed error")
+        self.try_build().unwrap_or_else(|error| panic!("{error}"))
     }
 
     /// Build the index, surfacing capacity overflow as an error instead of
     /// panicking ([`ClusteredIndex::try_build_with`]).
     pub fn try_build(self) -> crate::Result<ClusteredIndex> {
-        ClusteredIndex::try_build_with(
+        ClusteredIndex::try_build_with_layout(
             &self.exec.unwrap_or_else(Exec::auto),
             self.site,
             self.clustering.unwrap_or_default(),
+            self.layout,
         )
     }
 }
@@ -1143,6 +1305,9 @@ pub struct ClusteredIndex {
     /// The upper-bound lists, ascending by `(TagId, ClusterId)` key.
     list_pool: Vec<PostingList>,
     refinement: RefinementIndex,
+    /// The physical layout of the bound-list pool and refinement arena
+    /// (new lists created by `apply` follow it).
+    layout: Layout,
     /// The clustering the index was built for.
     pub clustering: UserClustering,
     /// Build identity the scratch-level gather caches key on (see
@@ -1223,10 +1388,25 @@ impl ClusteredIndex {
 
     /// [`Self::build_with`], surfacing a pathological site as
     /// [`crate::ContentError::CapacityExceeded`] instead of panicking.
+    /// The layout is chosen automatically by size (`auto_layout`); pin it
+    /// with [`ClusteredIndexBuilder::layout`].
     pub fn try_build_with(
         exec: &Exec,
         site: &SiteModel,
         clustering: UserClustering,
+    ) -> crate::Result<Self> {
+        Self::try_build_with_layout(exec, site, clustering, None)
+    }
+
+    /// The build proper; `layout` pins the physical layout, `None` chooses
+    /// by size (over bound entries + refinement entries together). The
+    /// conversion is a single deterministic pass over the merged pool and
+    /// arena, so sharded builds stay identical to sequential ones.
+    fn try_build_with_layout(
+        exec: &Exec,
+        site: &SiteModel,
+        clustering: UserClustering,
+        layout: Option<Layout>,
     ) -> crate::Result<Self> {
         type BoundAcc = FxHashMap<(TagId, ClusterId), FxHashMap<NodeId, f64>>;
         let mut tags = TagInterner::new();
@@ -1306,14 +1486,38 @@ impl ClusteredIndex {
             list_ids.insert(key, slot);
             list_pool.push(PostingList::from_entries(items));
         }
-        Ok(ClusteredIndex {
+        let mut index = ClusteredIndex {
             tags,
             list_ids,
             list_pool,
             refinement,
+            layout: Layout::Raw,
             clustering,
             stamp: next_build_stamp(),
-        })
+        };
+        let entries: usize = index.list_pool.iter().map(PostingList::len).sum();
+        index.set_layout(
+            layout.unwrap_or_else(|| auto_layout(entries + index.refinement.stats().entries)),
+        );
+        Ok(index)
+    }
+
+    /// The physical layout the bound-list pool and refinement arena are
+    /// kept in.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Convert the bound-list pool and refinement arena to `layout` in
+    /// place. Lossless and canonical — queries, counters and
+    /// [`Self::stats`] entry counts are unchanged; only
+    /// [`IndexStats::heap_bytes`] moves.
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.layout = layout;
+        for list in &mut self.list_pool {
+            list.set_layout(layout);
+        }
+        self.refinement.set_layout(layout);
     }
 
     /// The unified construction surface: configure and build through a
@@ -1321,7 +1525,7 @@ impl ClusteredIndex {
     /// `ClusteredIndex::builder(&site).clustering(c).build()` is
     /// [`Self::build`]; add `.exec(&exec)` for [`Self::build_with`].
     pub fn builder(site: &SiteModel) -> ClusteredIndexBuilder<'_> {
-        ClusteredIndexBuilder { site, exec: None, clustering: None }
+        ClusteredIndexBuilder { site, exec: None, clustering: None, layout: None }
     }
 
     /// The index's build identity: a fresh non-zero stamp per build *and
@@ -1555,6 +1759,10 @@ impl ClusteredIndex {
                         }
                         list.remove(item);
                         list.insert(item, bound);
+                        // As in the exact patch phase: a drained one-entry
+                        // packed list regrows raw via Empty; re-assert the
+                        // pool layout (no-op otherwise).
+                        list.set_layout(self.layout);
                         changed_entries += 1;
                     } else if stored.is_some() {
                         list.remove(item);
@@ -1570,6 +1778,7 @@ impl ClusteredIndex {
                     let slot = self.list_pool.len() as u32;
                     let mut list = PostingList::new();
                     list.insert(item, bound);
+                    list.set_layout(self.layout);
                     self.list_ids.insert((tag, cluster), slot);
                     self.list_pool.push(list);
                     changed_entries += 1;
@@ -1637,7 +1846,32 @@ impl ClusteredIndex {
     /// see [`Self::stats_with_refinement`].
     pub fn stats(&self) -> IndexStats {
         let entries: usize = self.list_pool.iter().map(PostingList::len).sum();
-        IndexStats { lists: self.list_pool.len(), entries, bytes: entries * BYTES_PER_ENTRY }
+        let profile = self.memory_profile();
+        IndexStats {
+            lists: self.list_pool.len(),
+            entries,
+            bytes: entries * BYTES_PER_ENTRY,
+            heap_bytes: profile.pool_bytes + profile.tables_bytes,
+        }
+    }
+
+    /// Real heap footprint by component: the bound-list pool (both access
+    /// orders, under the current [`Layout`]), the refinement arena with
+    /// its span maps, and the key tables. See [`MemoryProfile`].
+    pub fn memory_profile(&self) -> MemoryProfile {
+        let mut pool = 0usize;
+        for list in &self.list_pool {
+            let (sorted, companion) = list.heap_bytes();
+            pool += sorted + companion;
+        }
+        let tables = table_bytes::<(TagId, ClusterId), u32>(self.list_ids.len())
+            + self.list_pool.len() * std::mem::size_of::<PostingList>();
+        MemoryProfile {
+            pool_bytes: pool,
+            refinement_bytes: self.refinement.heap_bytes(),
+            tables_bytes: tables,
+            ..MemoryProfile::default()
+        }
     }
 
     /// Space statistics of the full clustered deployment: the upper-bound
@@ -1654,6 +1888,7 @@ impl ClusteredIndex {
             lists: bounds.lists + refinement.lists,
             entries: bounds.entries + refinement.entries,
             bytes: bounds.bytes + refinement.bytes,
+            heap_bytes: bounds.heap_bytes + refinement.heap_bytes,
         }
     }
 
@@ -2242,6 +2477,55 @@ mod tests {
         assert!(s.entries > 0);
         assert_eq!(s.bytes, s.entries * BYTES_PER_ENTRY);
         assert!(s.lists > 0);
+        // The measured footprint covers *every* heap component: the raw
+        // layout stores each entry twice (16 B sorted access + 16 B
+        // companion) plus slot tables, so it must exceed the paper model's
+        // 10 B/entry, and it must equal the per-component profile exactly.
+        let profile = index.memory_profile();
+        assert_eq!(s.heap_bytes, profile.total());
+        assert!(s.heap_bytes > s.bytes, "heap {} vs model {}", s.heap_bytes, s.bytes);
+        assert!(profile.postings_bytes >= s.entries * 32);
+        assert!(profile.tables_bytes > 0);
+        assert_eq!(profile.pool_bytes, 0);
+        assert_eq!(profile.refinement_bytes, 0);
+    }
+
+    /// The layout knob is purely physical: identical answers and counters
+    /// on every query, strictly fewer heap bytes.
+    #[test]
+    fn compressed_indexes_answer_identically_and_shrink() {
+        let (site, users, _) = site();
+        let raw_exact = ExactIndex::builder(&site).layout(Layout::Raw).build();
+        let packed_exact = ExactIndex::builder(&site).layout(Layout::Compressed).build();
+        assert_eq!(raw_exact.layout(), Layout::Raw);
+        assert_eq!(packed_exact.layout(), Layout::Compressed);
+        let clustering = NetworkBasedClustering.cluster(&site, 0.3);
+        let raw_clustered = ClusteredIndex::builder(&site)
+            .clustering(clustering.clone())
+            .layout(Layout::Raw)
+            .build();
+        let packed_clustered = ClusteredIndex::builder(&site)
+            .clustering(clustering)
+            .layout(Layout::Compressed)
+            .build();
+        let keywords = vec!["baseball".to_string(), "museum".to_string()];
+        for &u in &users {
+            for k in [1, 3, 10] {
+                assert_eq!(raw_exact.query(u, &keywords, k), packed_exact.query(u, &keywords, k));
+                assert_eq!(
+                    raw_clustered.query(&site, u, &keywords, k),
+                    packed_clustered.query(&site, u, &keywords, k)
+                );
+            }
+        }
+        // Same logical stats, smaller measured footprint.
+        let (r, p) = (raw_exact.stats(), packed_exact.stats());
+        assert_eq!((r.lists, r.entries, r.bytes), (p.lists, p.entries, p.bytes));
+        assert!(p.heap_bytes < r.heap_bytes, "packed {} vs raw {}", p.heap_bytes, r.heap_bytes);
+        let (rc, pc) =
+            (raw_clustered.stats_with_refinement(), packed_clustered.stats_with_refinement());
+        assert_eq!((rc.lists, rc.entries, rc.bytes), (pc.lists, pc.entries, pc.bytes));
+        assert!(pc.heap_bytes < rc.heap_bytes);
     }
 
     #[test]

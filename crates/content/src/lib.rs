@@ -46,6 +46,7 @@ pub mod refinement;
 pub mod sitemodel;
 pub mod tags;
 pub mod topk;
+mod varint;
 pub mod wire;
 
 pub use activity::{ActivityLevel, ActivityManager, RefreshPlan};
@@ -58,20 +59,21 @@ pub use events::TagEvent;
 pub use index::{
     ApplyReport, BatchOptions, BatchScratch, BatchScratchPool, ClusteredIndex,
     ClusteredIndexBuilder, ClusteredQueryReport, ExactIndex, ExactIndexBuilder, IndexStats,
+    MemoryProfile, COMPRESS_AUTO_MIN_ENTRIES,
 };
 pub use integrator::{ContentIntegrator, RemoteSite, SimulatedRemoteSite, SyncReport};
 pub use models::{
     ClosedCartelModel, ControlLevel, ControlMatrix, DecentralizedModel, DeploymentModel,
     JourneyMetrics, OpenCartelModel, UserJourney,
 };
-pub use posting::{Posting, PostingList};
+pub use posting::{Layout, Posting, PostingList, PostingScan};
 pub use refinement::{RefinementIndex, ResolvedRefinement};
 pub use sitemodel::{distinct_keywords, SiteModel};
 pub use tags::{QueryTags, TagId, TagInterner};
 pub use topk::{top_k, TopKResult};
 pub use wire::{
-    ApplyRequest, ApplyResponse, ErrorResponse, QueryRequest, QueryResponse, ScoredItem, WireError,
-    WireEvent, WIRE_VERSION,
+    ApplyRequest, ApplyResponse, ErrorResponse, QueryRequest, QueryResponse, ScoredItem,
+    StatsResponse, WireError, WireEvent, WIRE_VERSION,
 };
 
 /// Convenience result alias for content-management operations.

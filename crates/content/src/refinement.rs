@@ -10,37 +10,207 @@
 //! [`TagId`]s: a query resolves its tags to per-tag item maps **once**
 //! ([`RefinementIndex::resolve`]), and each candidate's exact score is then
 //! a handful of integer-keyed probes plus merge intersections of sorted id
-//! slices — zero string hashing and zero allocation per candidate.
+//! runs — zero string hashing and zero allocation per candidate.
 //!
 //! This is the cheap random access the threshold-algorithm lineage (Fagin
 //! et al.) assumes; clustering violated it, and this orientation restores
 //! it without giving up the clustered index's space savings.
+//!
+//! The arena itself has two physical layouts ([`crate::posting::Layout`]):
+//! raw (`Vec<NodeId>`, zero decode cost) and compressed (each group's
+//! ascending tagger run varint delta-encoded independently — first id
+//! absolute, the rest gaps — so the hot merge-intersection of
+//! [`ResolvedRefinement::score`] stays a sequential decode and every
+//! group's byte size is a pure function of its contents, independent of
+//! arena order: delta-maintained and rebuilt compressed arenas occupy
+//! identical bytes). Groups longer than `SKIP_EVERY` carry a per-block
+//! skip header (the block's last tagger plus its payload byte length), so
+//! an intersection against a small seeker network hops over blocks that
+//! cannot match without decoding them — the Zipf-head `(tag, item)` groups
+//! of a large site are exactly the ones a query's refinement probes most.
 
 use crate::index::IndexStats;
 use crate::inline::InlineVec;
-use crate::posting::BYTES_PER_ENTRY;
+use crate::posting::{Layout, BYTES_PER_ENTRY, SKIP_EVERY};
 use crate::sitemodel::count_intersection;
 use crate::tags::TagId;
+use crate::varint::{get_u64, put_u64};
 use serde::{Deserialize, Serialize};
 use socialscope_graph::{FxHashMap, NodeId};
+use std::borrow::Cow;
 use std::sync::OnceLock;
 
-/// Location of one `(tag, item)` tagger group inside the shared arena.
+/// Location of one `(tag, item)` tagger group inside the shared arena:
+/// `start` is an element index into the raw arena or a byte offset into the
+/// compressed one; `len` is always the tagger *count*.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Span {
     start: u32,
     len: u32,
 }
 
+/// The arena's physical form (see [`Layout`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ArenaRepr {
+    /// Flat tagger ids; each group a contiguous ascending run.
+    Raw(Vec<NodeId>),
+    /// Per-group varint delta encodings, concatenated; `len` is the total
+    /// logical tagger-reference count (what [`ArenaRepr::Raw`] would hold).
+    Packed {
+        /// The concatenated group encodings.
+        bytes: Vec<u8>,
+        /// Total tagger references across all groups.
+        len: usize,
+    },
+}
+
+impl Default for ArenaRepr {
+    fn default() -> Self {
+        ArenaRepr::Raw(Vec::new())
+    }
+}
+
+/// Append one group's ascending tagger run. Canonical — a pure function of
+/// the run. Two forms, selected by the group's *length* (part of the span,
+/// so decoders know which to expect):
+///
+/// * `len <= SKIP_EVERY`: a flat gap stream — first id absolute, the rest
+///   gaps from the previous id;
+/// * `len > SKIP_EVERY`: blocks of up to `SKIP_EVERY` ids, each prefixed
+///   by a skip header — `varint(block_last - prev_block_last)` then
+///   `varint(payload_byte_len)` — over the same continuous gap stream, so a
+///   sequential decode just steps past the headers while an intersection
+///   can hop over whole blocks whose last id falls below its next probe.
+fn encode_group(out: &mut Vec<u8>, taggers: &[NodeId]) {
+    let mut prev = 0u64;
+    if taggers.len() <= SKIP_EVERY {
+        for (idx, &tagger) in taggers.iter().enumerate() {
+            put_u64(out, if idx == 0 { tagger.0 } else { tagger.0 - prev });
+            prev = tagger.0;
+        }
+        return;
+    }
+    let mut first = true;
+    let mut prev_last = 0u64;
+    let mut payload = Vec::new();
+    for block in taggers.chunks(SKIP_EVERY) {
+        payload.clear();
+        for &tagger in block {
+            put_u64(&mut payload, if first { tagger.0 } else { tagger.0 - prev });
+            first = false;
+            prev = tagger.0;
+        }
+        // `prev` is now the block's last id; ascending runs keep the header
+        // delta non-negative.
+        put_u64(out, prev - prev_last);
+        put_u64(out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        prev_last = prev;
+    }
+}
+
+/// Decode one group encoded by [`encode_group`].
+fn decode_group(bytes: &[u8], span: Span) -> Vec<NodeId> {
+    let len = span.len as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut pos = span.start as usize;
+    let mut prev = 0u64;
+    if len <= SKIP_EVERY {
+        for idx in 0..len {
+            let raw = get_u64(bytes, &mut pos);
+            prev = if idx == 0 { raw } else { prev + raw };
+            out.push(NodeId(prev));
+        }
+        return out;
+    }
+    let mut first = true;
+    let mut remaining = len;
+    while remaining > 0 {
+        let _block_last = get_u64(bytes, &mut pos);
+        let _payload_len = get_u64(bytes, &mut pos);
+        for _ in 0..remaining.min(SKIP_EVERY) {
+            let raw = get_u64(bytes, &mut pos);
+            prev = if first { raw } else { prev + raw };
+            first = false;
+            out.push(NodeId(prev));
+        }
+        remaining -= remaining.min(SKIP_EVERY);
+    }
+    out
+}
+
+/// `|network ∩ group|` with the group decoded on the fly — the compressed
+/// counterpart of [`count_intersection`], zero allocation. On long groups
+/// the skip headers let the scan jump whole blocks whose last id is below
+/// the next undecided network member; a seeker's network is typically tiny
+/// next to a Zipf-head tagger group, so most blocks are never decoded.
+fn count_packed_intersection(network: &[NodeId], bytes: &[u8], span: Span) -> usize {
+    let len = span.len as usize;
+    let mut pos = span.start as usize;
+    let mut prev = 0u64;
+    let mut ni = 0usize;
+    let mut count = 0usize;
+    if len <= SKIP_EVERY {
+        for idx in 0..len {
+            let raw = get_u64(bytes, &mut pos);
+            prev = if idx == 0 { raw } else { prev + raw };
+            while ni < network.len() && network[ni].0 < prev {
+                ni += 1;
+            }
+            if ni == network.len() {
+                break;
+            }
+            if network[ni].0 == prev {
+                count += 1;
+                ni += 1;
+            }
+        }
+        return count;
+    }
+    let mut first = true;
+    let mut prev_last = 0u64;
+    let mut remaining = len;
+    while remaining > 0 && ni < network.len() {
+        let block_last = prev_last + get_u64(bytes, &mut pos);
+        let payload_len = get_u64(bytes, &mut pos) as usize;
+        let in_block = remaining.min(SKIP_EVERY);
+        if network[ni].0 > block_last {
+            // Nothing in this block can match: hop the payload, and let the
+            // next block's first gap resolve against this block's last id.
+            pos += payload_len;
+            prev = block_last;
+            first = false;
+        } else {
+            for _ in 0..in_block {
+                let raw = get_u64(bytes, &mut pos);
+                prev = if first { raw } else { prev + raw };
+                first = false;
+                while ni < network.len() && network[ni].0 < prev {
+                    ni += 1;
+                }
+                if ni == network.len() {
+                    break;
+                }
+                if network[ni].0 == prev {
+                    count += 1;
+                    ni += 1;
+                }
+            }
+        }
+        prev_last = block_last;
+        remaining -= in_block;
+    }
+    count
+}
+
 /// The keyword-first `tag → item → taggers` orientation of a site's tag
-/// assignments. Tagger groups live in one flat arena (each group a
-/// contiguous ascending run), with a per-tag integer-keyed map from item to
-/// its group's span.
+/// assignments. Tagger groups live in one flat arena (raw or compressed,
+/// see [`Layout`]), with a per-tag integer-keyed map from item to its
+/// group's span.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RefinementIndex {
-    /// Flat arena of tagger ids; each `(tag, item)` group is one contiguous
-    /// ascending run.
-    taggers: Vec<NodeId>,
+    /// The arena of tagger ids, in one of the two physical layouts.
+    arena: ArenaRepr,
     /// `tag → (item → span)`, indexed densely by [`TagId`].
     by_tag: Vec<FxHashMap<NodeId, Span>>,
 }
@@ -56,16 +226,73 @@ fn empty_map() -> &'static FxHashMap<NodeId, Span> {
 const INLINE_RESOLVED: usize = 8;
 
 impl RefinementIndex {
+    /// The arena's current physical layout.
+    pub fn layout(&self) -> Layout {
+        match &self.arena {
+            ArenaRepr::Raw(_) => Layout::Raw,
+            ArenaRepr::Packed { .. } => Layout::Compressed,
+        }
+    }
+
+    /// Convert the arena to `layout` in place (no-op when already there).
+    /// Groups keep their relative arena order; spans are rewritten between
+    /// element-index and byte-offset forms. Lossless and canonical per
+    /// group, so conversion commutes with [`Self::splice`] byte-for-byte.
+    pub(crate) fn set_layout(&mut self, layout: Layout) {
+        if self.layout() == layout {
+            return;
+        }
+        // Groups in arena order, so the relative layout survives the trip.
+        let mut groups: Vec<(u32, TagId, NodeId, u32)> = Vec::new();
+        for (slot, by_item) in self.by_tag.iter().enumerate() {
+            for (&item, span) in by_item {
+                groups.push((span.start, TagId(slot as u32), item, span.len));
+            }
+        }
+        groups.sort_unstable_by_key(|&(start, ..)| start);
+        match std::mem::take(&mut self.arena) {
+            ArenaRepr::Raw(taggers) => {
+                let mut bytes = Vec::new();
+                for (start, tag, item, len) in groups {
+                    // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
+                    let new_start =
+                        u32::try_from(bytes.len()).expect("fewer than 2^32 arena bytes");
+                    encode_group(&mut bytes, &taggers[start as usize..][..len as usize]);
+                    self.by_tag[tag.0 as usize].insert(item, Span { start: new_start, len });
+                }
+                self.arena = ArenaRepr::Packed { bytes, len: taggers.len() };
+            }
+            ArenaRepr::Packed { bytes, len } => {
+                let mut taggers: Vec<NodeId> = Vec::with_capacity(len);
+                for (start, tag, item, count) in groups {
+                    // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
+                    let new_start =
+                        u32::try_from(taggers.len()).expect("fewer than 2^32 tagger references");
+                    taggers.extend(decode_group(&bytes, Span { start, len: count }));
+                    self.by_tag[tag.0 as usize].insert(item, Span { start: new_start, len: count });
+                }
+                self.arena = ArenaRepr::Raw(taggers);
+            }
+        }
+    }
+
     /// Record one `(tag, item)` tagger group. `taggers` must be ascending
     /// (the site model's frozen order) and each `(tag, item)` pair must be
     /// inserted at most once — both hold for
     /// [`crate::sitemodel::SiteModel::tag_assignments`], the only feed.
+    /// Mutations patch the raw form (a compressed arena converts first and
+    /// the caller re-compresses once at the end of the build; the codec is
+    /// canonical, so the round trip is exact).
     pub(crate) fn insert(&mut self, tag: TagId, item: NodeId, taggers: &[NodeId]) {
+        self.set_layout(Layout::Raw);
+        let ArenaRepr::Raw(arena) = &mut self.arena else {
+            return;
+        };
         // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
-        let start = u32::try_from(self.taggers.len()).expect("fewer than 2^32 tagger references");
+        let start = u32::try_from(arena.len()).expect("fewer than 2^32 tagger references");
         // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
         let len = u32::try_from(taggers.len()).expect("fewer than 2^32 taggers per group");
-        self.taggers.extend_from_slice(taggers);
+        arena.extend_from_slice(taggers);
         let slot = tag.0 as usize;
         if self.by_tag.len() <= slot {
             self.by_tag.resize_with(slot + 1, FxHashMap::default);
@@ -81,10 +308,18 @@ impl RefinementIndex {
     /// **in shard order**, which reproduces the sequential build's arena
     /// byte for byte — the `(tag, item)` disjointness contract of
     /// [`Self::insert`] extends across the appended indexes.
-    pub(crate) fn append(&mut self, other: RefinementIndex) {
+    pub(crate) fn append(&mut self, mut other: RefinementIndex) {
+        other.set_layout(Layout::Raw);
+        let ArenaRepr::Raw(other_taggers) = other.arena else {
+            return;
+        };
+        self.set_layout(Layout::Raw);
+        let ArenaRepr::Raw(arena) = &mut self.arena else {
+            return;
+        };
         // lint: allow(no_panic, reason = "true invariant: u32 arena spans are the documented design envelope; a site with 2^32 tagger references cannot be built at all")
-        let base = u32::try_from(self.taggers.len()).expect("fewer than 2^32 tagger references");
-        self.taggers.extend_from_slice(&other.taggers);
+        let base = u32::try_from(arena.len()).expect("fewer than 2^32 tagger references");
+        arena.extend_from_slice(&other_taggers);
         if self.by_tag.len() < other.by_tag.len() {
             self.by_tag.resize_with(other.by_tag.len(), FxHashMap::default);
         }
@@ -106,8 +341,17 @@ impl RefinementIndex {
     /// are appended at the end in ascending `(tag, item)` order — so
     /// [`Self::stats`] stays exact (`entries` is the arena length) and
     /// every group answers [`Self::taggers`] exactly as a from-scratch
-    /// rebuild of the post-change site would.
+    /// rebuild of the post-change site would. A compressed arena is
+    /// re-encoded after the splice (the whole arena is the touched run —
+    /// the raw splice already rewrites it end to end), and because every
+    /// group encodes independently, the re-encoded arena occupies exactly
+    /// the bytes a from-scratch compressed rebuild would.
     pub(crate) fn splice(&mut self, changes: &FxHashMap<(TagId, NodeId), Vec<NodeId>>) {
+        let restore = self.layout();
+        self.set_layout(Layout::Raw);
+        let ArenaRepr::Raw(old) = std::mem::take(&mut self.arena) else {
+            return;
+        };
         // Existing groups in arena order, so survivors keep their layout.
         let mut groups: Vec<(u32, TagId, NodeId)> = Vec::new();
         for (slot, by_item) in self.by_tag.iter().enumerate() {
@@ -116,13 +360,13 @@ impl RefinementIndex {
             }
         }
         groups.sort_unstable_by_key(|&(start, ..)| start);
-        let mut arena: Vec<NodeId> = Vec::with_capacity(self.taggers.len());
+        let mut arena: Vec<NodeId> = Vec::with_capacity(old.len());
         for (_, tag, item) in groups {
             let slice: &[NodeId] = match changes.get(&(tag, item)) {
                 Some(taggers) => taggers.as_slice(),
                 None => {
                     let span = self.by_tag[tag.0 as usize][&item];
-                    &self.taggers[span.start as usize..][..span.len as usize]
+                    &old[span.start as usize..][..span.len as usize]
                 }
             };
             if slice.is_empty() {
@@ -159,22 +403,56 @@ impl RefinementIndex {
             }
             self.by_tag[slot].insert(item, Span { start, len });
         }
-        self.taggers = arena;
+        self.arena = ArenaRepr::Raw(arena);
+        self.set_layout(restore);
     }
 
     /// `taggers(i, k)` for an interned tag, ascending. Empty for unknown
-    /// tags or untagged items.
-    pub fn taggers(&self, tag: TagId, item: NodeId) -> &[NodeId] {
-        self.by_tag
-            .get(tag.0 as usize)
-            .and_then(|by_item| by_item.get(&item))
-            .map(|span| &self.taggers[span.start as usize..][..span.len as usize])
-            .unwrap_or(&[])
+    /// tags or untagged items. Borrowed straight out of a raw arena;
+    /// decoded (one short allocation) out of a compressed one — the hot
+    /// query path never calls this, it streams through
+    /// [`ResolvedRefinement::score`] instead.
+    pub fn taggers(&self, tag: TagId, item: NodeId) -> Cow<'_, [NodeId]> {
+        let Some(span) =
+            self.by_tag.get(tag.0 as usize).and_then(|by_item| by_item.get(&item)).copied()
+        else {
+            return Cow::Borrowed(&[]);
+        };
+        match &self.arena {
+            ArenaRepr::Raw(taggers) => {
+                Cow::Borrowed(&taggers[span.start as usize..][..span.len as usize])
+            }
+            ArenaRepr::Packed { bytes, .. } => Cow::Owned(decode_group(bytes, span)),
+        }
     }
 
     /// Number of `(tag, item)` groups stored.
     pub fn group_count(&self) -> usize {
         self.by_tag.iter().map(FxHashMap::len).sum()
+    }
+
+    /// Total tagger references across all groups (the logical arena
+    /// length, whatever the layout).
+    fn entry_count(&self) -> usize {
+        match &self.arena {
+            ArenaRepr::Raw(taggers) => taggers.len(),
+            ArenaRepr::Packed { len, .. } => *len,
+        }
+    }
+
+    /// Actual heap bytes of the arena and its span maps — the refinement
+    /// component of [`crate::index::MemoryProfile`]. Length-based (never
+    /// capacity-based), so maintained and rebuilt indexes report identical
+    /// footprints; and per-group compressed encodings are order-
+    /// independent, so the compressed byte count is too.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        let arena = match &self.arena {
+            ArenaRepr::Raw(taggers) => taggers.len() * std::mem::size_of::<NodeId>(),
+            ArenaRepr::Packed { bytes, .. } => bytes.len(),
+        };
+        let maps: usize =
+            self.by_tag.iter().map(|m| m.len() * (std::mem::size_of::<(NodeId, Span)>() + 1)).sum();
+        arena + maps + self.by_tag.len() * std::mem::size_of::<FxHashMap<NodeId, Span>>()
     }
 
     /// Space statistics under the paper's 10-bytes-per-entry model: one
@@ -184,10 +462,12 @@ impl RefinementIndex {
     /// honest space accounting reports it next to the bound lists (see
     /// [`crate::index::ClusteredIndex::stats_with_refinement`]).
     pub fn stats(&self) -> IndexStats {
+        let entries = self.entry_count();
         IndexStats {
             lists: self.group_count(),
-            entries: self.taggers.len(),
-            bytes: self.taggers.len() * BYTES_PER_ENTRY,
+            entries,
+            bytes: entries * BYTES_PER_ENTRY,
+            heap_bytes: self.heap_bytes(),
         }
     }
 
@@ -199,7 +479,7 @@ impl RefinementIndex {
     /// unknown keyword in [`crate::sitemodel::SiteModel::query_score`].
     pub fn resolve(&self, tags: &[TagId]) -> ResolvedRefinement<'_> {
         let mut resolved =
-            ResolvedRefinement { arena: &self.taggers, maps: InlineVec::new(empty_map()) };
+            ResolvedRefinement { arena: &self.arena, maps: InlineVec::new(empty_map()) };
         for &tag in tags {
             if let Some(by_item) = self.by_tag.get(tag.0 as usize) {
                 resolved.maps.push(by_item);
@@ -214,7 +494,7 @@ impl RefinementIndex {
 /// eight tags.
 #[derive(Debug)]
 pub struct ResolvedRefinement<'a> {
-    arena: &'a [NodeId],
+    arena: &'a ArenaRepr,
     maps: InlineVec<&'a FxHashMap<NodeId, Span>, INLINE_RESOLVED>,
 }
 
@@ -234,13 +514,21 @@ impl ResolvedRefinement<'_> {
     /// exposition choice `f = count`, `g = sum`, element-wise equal to
     /// [`crate::sitemodel::SiteModel::query_score`] on the site the index
     /// was built from. Per candidate: one integer-keyed probe and one merge
-    /// intersection per query tag; no strings, no allocation.
+    /// intersection per query tag — streamed straight off the compressed
+    /// arena when packed; no strings, no allocation, either layout.
     pub fn score(&self, network: &[NodeId], item: NodeId) -> f64 {
         let mut total = 0usize;
         for by_item in self.maps() {
-            if let Some(span) = by_item.get(&item) {
-                let taggers = &self.arena[span.start as usize..][..span.len as usize];
-                total += count_intersection(network, taggers);
+            if let Some(&span) = by_item.get(&item) {
+                total += match self.arena {
+                    ArenaRepr::Raw(taggers) => count_intersection(
+                        network,
+                        &taggers[span.start as usize..][..span.len as usize],
+                    ),
+                    ArenaRepr::Packed { bytes, .. } => {
+                        count_packed_intersection(network, bytes, span)
+                    }
+                };
             }
         }
         total as f64
@@ -331,7 +619,10 @@ mod tests {
         assert_eq!(merged.stats(), sequential.stats());
         for (tag, item, taggers) in &groups {
             assert_eq!(merged.taggers(*tag, *item), taggers.as_slice());
-            assert_eq!(merged.taggers(*tag, *item), sequential.taggers(*tag, *item));
+            assert_eq!(
+                merged.taggers(*tag, *item).as_ref(),
+                sequential.taggers(*tag, *item).as_ref()
+            );
         }
     }
 
@@ -350,5 +641,156 @@ mod tests {
         // The seeker knows every tagger, so each tag contributes exactly 1.
         let network: Vec<NodeId> = (0..2 * INLINE_RESOLVED as u64).map(NodeId).collect();
         assert_eq!(resolved.score(&network, NodeId(500)), (2 * INLINE_RESOLVED) as f64);
+    }
+
+    /// The compressed arena answers every access identically and survives
+    /// the round trip.
+    #[test]
+    fn compressed_arena_round_trips_every_access_path() {
+        let (mut index, baseball, museum) = index();
+        let raw = index.clone();
+        index.set_layout(Layout::Compressed);
+        assert_eq!(index.layout(), Layout::Compressed);
+        assert_eq!(index.group_count(), raw.group_count());
+        assert_eq!(index.stats().entries, raw.stats().entries);
+        for &(tag, item) in
+            &[(baseball, NodeId(100)), (museum, NodeId(100)), (baseball, NodeId(101))]
+        {
+            assert_eq!(index.taggers(tag, item).as_ref(), raw.taggers(tag, item).as_ref());
+        }
+        let resolved = index.resolve(&[baseball, museum]);
+        let raw_resolved = raw.resolve(&[baseball, museum]);
+        for network in [ids(&[2, 5]), ids(&[1]), ids(&[]), ids(&[1, 2, 3, 4, 5, 9])] {
+            for item in [NodeId(100), NodeId(101), NodeId(999)] {
+                assert_eq!(
+                    resolved.score(&network, item),
+                    raw_resolved.score(&network, item),
+                    "network {network:?} item {item}"
+                );
+            }
+        }
+        index.set_layout(Layout::Raw);
+        assert_eq!(index.taggers(baseball, NodeId(100)).as_ref(), ids(&[1, 2, 5]).as_slice());
+    }
+
+    /// Splicing a compressed arena re-encodes canonically: the bytes match
+    /// a from-scratch compressed build of the post-change state.
+    #[test]
+    fn compressed_splice_is_canonical() {
+        let (mut maintained, baseball, museum) = index();
+        maintained.set_layout(Layout::Compressed);
+        let mut changes: FxHashMap<(TagId, NodeId), Vec<NodeId>> = FxHashMap::default();
+        changes.insert((baseball, NodeId(100)), ids(&[1, 2, 5, 9]));
+        changes.insert((museum, NodeId(100)), Vec::new());
+        changes.insert((museum, NodeId(102)), ids(&[4, 7]));
+        maintained.splice(&changes);
+        assert_eq!(maintained.layout(), Layout::Compressed);
+
+        let mut tags = TagInterner::new();
+        let b2 = tags.intern("baseball");
+        let m2 = tags.intern("museum");
+        assert_eq!((b2, m2), (baseball, museum));
+        let mut rebuilt = RefinementIndex::default();
+        rebuilt.insert(baseball, NodeId(100), &ids(&[1, 2, 5, 9]));
+        rebuilt.insert(baseball, NodeId(101), &ids(&[3]));
+        rebuilt.insert(museum, NodeId(102), &ids(&[4, 7]));
+        rebuilt.set_layout(Layout::Compressed);
+
+        assert_eq!(maintained.group_count(), rebuilt.group_count());
+        assert_eq!(maintained.stats(), rebuilt.stats(), "entries and heap bytes must agree");
+        for &(tag, item) in &[
+            (baseball, NodeId(100)),
+            (baseball, NodeId(101)),
+            (museum, NodeId(100)),
+            (museum, NodeId(102)),
+        ] {
+            assert_eq!(
+                maintained.taggers(tag, item).as_ref(),
+                rebuilt.taggers(tag, item).as_ref(),
+                "group ({tag:?}, {item})"
+            );
+        }
+    }
+
+    /// Groups longer than `SKIP_EVERY` take the block-skip form: they
+    /// must round-trip, answer intersections identically to raw for
+    /// networks that land in any block (or none), and splice canonically.
+    #[test]
+    fn block_skip_groups_match_raw_on_every_network() {
+        let mut tags = TagInterner::new();
+        let tag = tags.intern("popular");
+        let other = tags.intern("niche");
+        // One huge group (several blocks, irregular gaps), one exactly at
+        // the flat/blocked boundary, one just past it, and a tiny one.
+        // Strictly ascending with irregular gaps (steps of 3/6/6 repeating).
+        let huge: Vec<NodeId> = (0..200u64).map(|t| NodeId(t * 5 + (t % 3))).collect();
+        let edge: Vec<NodeId> = (0..SKIP_EVERY as u64).map(|t| NodeId(t * 7)).collect();
+        let past: Vec<NodeId> = (0..SKIP_EVERY as u64 + 1).map(|t| NodeId(t * 7)).collect();
+        let mut raw = RefinementIndex::default();
+        raw.insert(tag, NodeId(1_000), &huge);
+        raw.insert(tag, NodeId(1_001), &edge);
+        raw.insert(other, NodeId(1_002), &past);
+        raw.insert(other, NodeId(1_003), &ids(&[5]));
+        let mut packed = raw.clone();
+        packed.set_layout(Layout::Compressed);
+
+        for (tag, item, expected) in [
+            (tag, NodeId(1_000), &huge),
+            (tag, NodeId(1_001), &edge),
+            (other, NodeId(1_002), &past),
+        ] {
+            assert_eq!(packed.taggers(tag, item).as_ref(), expected.as_slice());
+        }
+
+        let raw_resolved = raw.resolve(&[tag, other]);
+        let packed_resolved = packed.resolve(&[tag, other]);
+        let networks: Vec<Vec<NodeId>> = vec![
+            Vec::new(),
+            ids(&[0]),                                     // first block only
+            ids(&[995, 996, 997, 998]),                    // last block only (996 = max)
+            ids(&[9_999]),                                 // beyond every block
+            vec![huge[1], huge[60], huge[120], huge[199]], // sparse across blocks
+            ids(&[2, 4, 8]),                               // misses between entries
+            huge.clone(),                                  // every tagger
+        ];
+        for network in &networks {
+            for item in [NodeId(1_000), NodeId(1_001), NodeId(1_002), NodeId(1_003)] {
+                assert_eq!(
+                    packed_resolved.score(network, item),
+                    raw_resolved.score(network, item),
+                    "network {network:?} item {item}"
+                );
+            }
+        }
+
+        // Splicing a blocked group re-encodes canonically.
+        let mut grown = huge.clone();
+        grown.push(NodeId(10_000));
+        let mut changes: FxHashMap<(TagId, NodeId), Vec<NodeId>> = FxHashMap::default();
+        changes.insert((tag, NodeId(1_000)), grown.clone());
+        packed.splice(&changes);
+        let mut rebuilt = raw.clone();
+        let mut rebuild_changes: FxHashMap<(TagId, NodeId), Vec<NodeId>> = FxHashMap::default();
+        rebuild_changes.insert((tag, NodeId(1_000)), grown.clone());
+        rebuilt.splice(&rebuild_changes);
+        rebuilt.set_layout(Layout::Compressed);
+        assert_eq!(packed.stats(), rebuilt.stats(), "splice must stay canonical");
+        assert_eq!(packed.taggers(tag, NodeId(1_000)).as_ref(), grown.as_slice());
+    }
+
+    /// The compressed arena is actually smaller on dense ascending runs.
+    #[test]
+    fn compressed_arena_shrinks() {
+        let mut tags = TagInterner::new();
+        let tag = tags.intern("popular");
+        let mut index = RefinementIndex::default();
+        for item in 0..50u64 {
+            let taggers: Vec<NodeId> = (0..40).map(|t| NodeId(item * 100 + t)).collect();
+            index.insert(tag, NodeId(10_000 + item), &taggers);
+        }
+        let raw_bytes = index.heap_bytes();
+        index.set_layout(Layout::Compressed);
+        let packed_bytes = index.heap_bytes();
+        assert!(packed_bytes * 2 < raw_bytes, "compressed {packed_bytes} vs raw {raw_bytes}");
     }
 }

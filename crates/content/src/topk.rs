@@ -19,7 +19,7 @@
 //! last-read score, so processing stops no later (and usually earlier) than
 //! the classic formulation while returning the same top k.
 
-use crate::posting::{build_item_companion, find_score_by_item, Posting, PostingList};
+use crate::posting::{build_item_companion, find_score_by_item, PostingList, PostingScan};
 use serde::{Deserialize, Serialize};
 use socialscope_graph::{FxHashSet, NodeId};
 use std::collections::BinaryHeap;
@@ -324,6 +324,10 @@ impl Default for Seen {
 pub(crate) struct TopKScratch {
     seen: Seen,
     best: Best,
+    /// Decoded compressed companions of the current query's lists (see
+    /// [`UnpackedViews`]); owned here so the arena rides the same scratch
+    /// reuse as the heap and seen-set.
+    pub(crate) unpacked: crate::posting::UnpackedViews,
 }
 
 impl Seen {
@@ -408,7 +412,7 @@ pub(crate) fn top_k_hinted_with(
     if k == 0 || lists.is_empty() {
         return result;
     }
-    let TopKScratch { seen, best } = scratch;
+    let TopKScratch { seen, best, .. } = scratch;
     seen.reset();
     // When the lists hold fewer than k entries altogether, no candidate can
     // ever be evicted and the threshold stop cannot fire before exhaustion
@@ -432,16 +436,19 @@ pub(crate) fn top_k_hinted_with(
         scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         return TopKResult { ranked: scored, ..result }.reindexed();
     }
-    // One cursor per list: the list's entries slice, the next sorted-access
-    // position and the score last seen there (this list's contribution to
-    // the threshold). Queries rarely carry more than a handful of keywords,
-    // so the cursors live on the stack unless the query is unusually wide.
+    // One cursor per list: a sequential scan of the list (layout-neutral —
+    // a slice walk on raw lists, a streaming decode on compressed ones),
+    // the one-ahead entry it will yield next, and that entry's score (this
+    // list's contribution to the threshold). Queries rarely carry more than
+    // a handful of keywords, so the cursors live on the stack unless the
+    // query is unusually wide.
     struct Cursor<'a> {
-        entries: &'a [Posting],
-        pos: usize,
+        scan: PostingScan<'a>,
+        next: Option<crate::posting::Posting>,
         frontier: f64,
     }
-    const EMPTY_CURSOR: Cursor<'static> = Cursor { entries: &[], pos: 0, frontier: 0.0 };
+    const EMPTY_CURSOR: Cursor<'static> =
+        Cursor { scan: PostingScan::empty(), next: None, frontier: 0.0 };
     const INLINE_CURSORS: usize = 8;
     let mut cursor_buf = [EMPTY_CURSOR; INLINE_CURSORS];
     let mut cursor_spill: Vec<Cursor<'_>> = Vec::new();
@@ -458,8 +465,9 @@ pub(crate) fn top_k_hinted_with(
     // score, a looser bound: this threshold is pointwise ≤ the seed's, so
     // the stop fires no later and the access counters never exceed it.
     for (cursor, list) in cursors.iter_mut().zip(lists) {
-        cursor.entries = list.entries();
-        cursor.frontier = cursor.entries.first().map(|p| p.score).unwrap_or(0.0);
+        cursor.scan = list.iter();
+        cursor.next = cursor.scan.next();
+        cursor.frontier = cursor.next.map(|p| p.score).unwrap_or(0.0);
     }
     let mut threshold: f64 = cursors.iter().map(|c| c.frontier).sum();
     best.reset(k);
@@ -469,15 +477,14 @@ pub(crate) fn top_k_hinted_with(
     loop {
         let mut advanced = false;
         for (li, cur) in cursors.iter_mut().enumerate() {
-            if cur.pos >= cur.entries.len() {
+            let Some(post) = cur.next else {
                 threshold -= cur.frontier;
                 cur.frontier = 0.0;
                 continue;
-            }
-            let post = cur.entries[cur.pos];
-            cur.pos += 1;
+            };
+            cur.next = cur.scan.next();
             sorted_accesses += 1;
-            let next = if cur.pos < cur.entries.len() { cur.entries[cur.pos].score } else { 0.0 };
+            let next = cur.next.map(|p| p.score).unwrap_or(0.0);
             threshold += next - cur.frontier;
             cur.frontier = next;
             advanced = true;

@@ -1,0 +1,168 @@
+//! LEB128 varint primitives and the score codec shared by the compressed
+//! (`Layout::Compressed`) posting-list and refinement-arena layouts.
+//!
+//! The compressed layouts store ascending id runs as *gap* varints (the
+//! flat arenas were designed "one step from varint deltas" — this is the
+//! step) and scores through [`put_score`]: network-aware scores are
+//! overwhelmingly small non-negative integers (intersection counts), which
+//! encode in one or two bytes; anything else falls back to a tagged raw
+//! `f64` so the codec is lossless for arbitrary scores. Every encoder here
+//! is *canonical* — the byte stream is a pure function of the logical
+//! values — which is what lets delta-maintained and rebuilt compressed
+//! indexes stay byte-identical.
+
+/// Append `v` as an LEB128 varint (7 payload bits per byte, little-endian,
+/// high bit = continuation).
+#[inline]
+pub(crate) fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode the LEB128 varint at `*pos`, advancing `*pos` past it. The
+/// buffers this reads are produced by [`put_u64`] in this build — decoding
+/// is only ever applied to canonical self-produced bytes, never to wire
+/// input.
+#[inline]
+pub(crate) fn get_u64(bytes: &[u8], pos: &mut usize) -> u64 {
+    // One-byte fast path: dense gap streams and small integral scores are
+    // overwhelmingly single-byte, and peeling the first iteration keeps the
+    // hot decode loop branch-predictable.
+    let byte = bytes[*pos];
+    *pos += 1;
+    if byte & 0x80 == 0 {
+        return u64::from(byte);
+    }
+    let mut v = u64::from(byte & 0x7f);
+    let mut shift = 7u32;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Append a score. Non-negative integral scores that round-trip exactly
+/// through `u64` (the intersection counts every index path stores) encode
+/// as `varint(score << 1)`; everything else as the odd tag `1` followed by
+/// the 8 raw little-endian bytes of the `f64`. The two forms are
+/// distinguished by the low bit of the leading varint, and the integral
+/// check compares *bit patterns*, so `-0.0`, `NaN` and huge magnitudes all
+/// take the lossless raw path.
+#[inline]
+pub(crate) fn put_score(out: &mut Vec<u8>, score: f64) {
+    // The cast saturates, so the round-trip bit comparison below is safe
+    // for any input including NaN and infinities.
+    let i = score as u64;
+    if i < (1u64 << 62) && (i as f64).to_bits() == score.to_bits() {
+        put_u64(out, i << 1);
+    } else {
+        put_u64(out, 1);
+        out.extend_from_slice(&score.to_bits().to_le_bytes());
+    }
+}
+
+/// Decode a score written by [`put_score`], advancing `*pos` past it.
+#[inline]
+pub(crate) fn get_score(bytes: &[u8], pos: &mut usize) -> f64 {
+    let v = get_u64(bytes, pos);
+    if v & 1 == 0 {
+        (v >> 1) as f64
+    } else {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[*pos..*pos + 8]);
+        *pos += 8;
+        f64::from_bits(u64::from_le_bytes(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_across_the_u64_range() {
+        let mut buf = Vec::new();
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            (1 << 53) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &values {
+            put_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_u64(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn small_varints_take_one_byte() {
+        for v in 0u64..128 {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn scores_round_trip_bit_exactly() {
+        let values = [
+            0.0,
+            1.0,
+            3.0,
+            127.0,
+            1e15,
+            -0.0,
+            -1.0,
+            0.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            (1u64 << 63) as f64,
+        ];
+        for &s in &values {
+            let mut buf = Vec::new();
+            put_score(&mut buf, s);
+            let mut pos = 0;
+            let back = get_score(&buf, &mut pos);
+            assert_eq!(back.to_bits(), s.to_bits(), "score {s}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn integral_counts_encode_compactly() {
+        for s in [0.0f64, 1.0, 5.0, 42.0, 63.0] {
+            let mut buf = Vec::new();
+            put_score(&mut buf, s);
+            assert_eq!(buf.len(), 1, "count {s} should take one byte");
+        }
+        let mut buf = Vec::new();
+        put_score(&mut buf, 0.25);
+        assert_eq!(buf.len(), 9, "non-integral scores pay the raw fallback");
+    }
+}

@@ -284,6 +284,79 @@ impl ApplyResponse {
     }
 }
 
+/// The `GET /stats` document: monotonic serving counters plus the
+/// engine's measured memory footprint. The memory block (`layout` through
+/// `tables_bytes`) is an *additive* extension of the original
+/// counters-only document — same [`WIRE_VERSION`], so old clients keep
+/// parsing the fields they know and new clients get the
+/// [`crate::MemoryProfile`] breakdown behind E14's bytes/user reporting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Schema version; always [`WIRE_VERSION`].
+    pub version: u64,
+    /// Queries served since start.
+    pub queries: u64,
+    /// Apply batches accepted since start.
+    pub applies: u64,
+    /// Deadline-degraded answers since start.
+    pub degraded: u64,
+    /// Micro-batches executed since start.
+    pub batches: u64,
+    /// The serving index's posting layout: `"raw"` or `"compressed"`.
+    pub layout: String,
+    /// Total measured heap bytes across every index component.
+    pub heap_bytes: u64,
+    /// Exact posting lists, both access orders (fallback index included).
+    pub postings_bytes: u64,
+    /// The clustered bound-list pool, both access orders.
+    pub pool_bytes: u64,
+    /// The refinement tagger arena plus its span maps.
+    pub refinement_bytes: u64,
+    /// Slot/key tables and row storage.
+    pub tables_bytes: u64,
+}
+
+impl StatsResponse {
+    /// Serialize to the canonical JSON spelling.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"version\":{},\"queries\":{},\"applies\":{},\"degraded\":{},\"batches\":{},\
+             \"layout\":{},\"heap_bytes\":{},\"postings_bytes\":{},\"pool_bytes\":{},\
+             \"refinement_bytes\":{},\"tables_bytes\":{}}}",
+            self.version,
+            self.queries,
+            self.applies,
+            self.degraded,
+            self.batches,
+            json_string(&self.layout),
+            self.heap_bytes,
+            self.postings_bytes,
+            self.pool_bytes,
+            self.refinement_bytes,
+            self.tables_bytes
+        )
+    }
+
+    /// Parse and version-check a stats document.
+    pub fn from_json(text: &str) -> Result<Self, WireError> {
+        let doc = Json::parse(text)?;
+        check_version(&doc)?;
+        Ok(StatsResponse {
+            version: WIRE_VERSION,
+            queries: doc.field_u64("queries")?,
+            applies: doc.field_u64("applies")?,
+            degraded: doc.field_u64("degraded")?,
+            batches: doc.field_u64("batches")?,
+            layout: doc.field("layout")?.as_str()?.to_string(),
+            heap_bytes: doc.field_u64("heap_bytes")?,
+            postings_bytes: doc.field_u64("postings_bytes")?,
+            pool_bytes: doc.field_u64("pool_bytes")?,
+            refinement_bytes: doc.field_u64("refinement_bytes")?,
+            tables_bytes: doc.field_u64("tables_bytes")?,
+        })
+    }
+}
+
 /// A typed error body (every non-200 status carries one).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ErrorResponse {

@@ -8,7 +8,7 @@ use socialscope_content::tags::QueryTags;
 use socialscope_content::topk::top_k_exhaustive;
 use socialscope_content::{
     BatchOptions, BatchScratch, BatchScratchPool, BehaviorBasedClustering, ClusteredIndex,
-    ClusteringStrategy, ExactIndex, HybridClustering, NetworkBasedClustering, PostingList,
+    ClusteringStrategy, ExactIndex, HybridClustering, Layout, NetworkBasedClustering, PostingList,
     SiteModel, TopKResult,
 };
 use socialscope_exec::Exec;
@@ -637,6 +637,123 @@ proptest! {
                 &clustered.query_batch_par_with(&exec, &mut pool, &site, &batch, &keywords, k),
                 &clustered_want,
                 "clustered par_with at {} threads", threads
+            );
+        }
+    }
+
+    /// **Varint layout round trip.** For arbitrary posting entries —
+    /// duplicate items, fractional / negative / huge scores, empty lists —
+    /// flipping a list to [`Layout::Compressed`] preserves every
+    /// observation (scan order, positional `get`, random-access
+    /// `score_of`, length) bit-exactly, and flipping back to
+    /// [`Layout::Raw`] restores a list equal to the original.
+    #[test]
+    fn posting_list_layout_round_trips(
+        raw_entries in prop::collection::vec((0u64..500, 0u64..100, 0usize..4), 0..120),
+    ) {
+        // Score shapes sweep the codec's branches: small integral counts
+        // (the one-byte fast path), fractional, negative, and huge values
+        // (the tagged raw-f64 fallback).
+        let entries: Vec<(u64, f64)> = raw_entries
+            .iter()
+            .map(|&(item, base, kind)| {
+                let score = match kind {
+                    0 => base as f64,
+                    1 => base as f64 + 0.5,
+                    2 => -(base as f64),
+                    _ => base as f64 * 1e18,
+                };
+                (item, score)
+            })
+            .collect();
+        let raw = PostingList::from_entries(entries.iter().map(|&(i, s)| (NodeId(i), s)));
+        let mut packed = raw.clone();
+        packed.set_layout(Layout::Compressed);
+        prop_assert_eq!(packed.len(), raw.len());
+        let raw_scan: Vec<_> = raw.iter().collect();
+        let packed_scan: Vec<_> = packed.iter().collect();
+        prop_assert_eq!(&packed_scan, &raw_scan, "sorted-access stream diverged");
+        for (posting, score) in raw_scan.iter().zip(packed_scan.iter().map(|p| p.score)) {
+            prop_assert_eq!(posting.score.to_bits(), score.to_bits(), "score lost bits");
+        }
+        for pos in 0..raw.len() {
+            prop_assert_eq!(packed.get(pos), raw.get(pos), "positional access at {}", pos);
+        }
+        for probe in (0u64..500).step_by(7).chain(entries.iter().map(|&(i, _)| i)) {
+            prop_assert_eq!(
+                packed.score_of(NodeId(probe)),
+                raw.score_of(NodeId(probe)),
+                "score_of({})", probe
+            );
+        }
+        packed.set_layout(Layout::Raw);
+        prop_assert_eq!(&packed, &raw, "round trip back to raw diverged");
+    }
+
+    /// **Compressed ≡ raw, full sweep.** Raw- and compressed-layout builds
+    /// of both engines answer every query identically — every user, single
+    /// and batched, at 1 and 4 threads — and report the same logical stats
+    /// while the compressed build claims no more heap.
+    #[test]
+    fn compressed_indexes_answer_identically_across_threads(
+        (users, items, fr, tg) in arb_inputs(),
+        theta in 0.1f64..0.9,
+        k in 1usize..6,
+    ) {
+        let (g, user_ids) = build_site(users, items, &fr, &tg);
+        let site = SiteModel::from_graph(&g);
+        let clustering = NetworkBasedClustering.cluster(&site, theta);
+        let raw_exact = ExactIndex::builder(&site).layout(Layout::Raw).build();
+        let raw_clustered = ClusteredIndex::builder(&site)
+            .clustering(clustering.clone())
+            .layout(Layout::Raw)
+            .build();
+        let packed_exact = ExactIndex::builder(&site).layout(Layout::Compressed).build();
+        let packed_clustered = ClusteredIndex::builder(&site)
+            .clustering(clustering)
+            .layout(Layout::Compressed)
+            .build();
+        prop_assert_eq!(packed_exact.layout(), Layout::Compressed);
+        prop_assert_eq!(packed_clustered.layout(), Layout::Compressed);
+        prop_assert_eq!(packed_exact.stats().entries, raw_exact.stats().entries);
+        prop_assert!(
+            packed_exact.memory_profile().total() <= raw_exact.memory_profile().total(),
+            "compressed exact grew: {} > {}",
+            packed_exact.memory_profile().total(),
+            raw_exact.memory_profile().total()
+        );
+        let keywords = vec![TAGS[0].to_string(), TAGS[1].to_string(), TAGS[2].to_string()];
+        for &u in &user_ids {
+            prop_assert_eq!(
+                packed_exact.query(u, &keywords, k),
+                raw_exact.query(u, &keywords, k),
+                "exact single diverged for user {}", u
+            );
+            prop_assert_eq!(
+                packed_clustered.query(&site, u, &keywords, k),
+                raw_clustered.query(&site, u, &keywords, k),
+                "clustered single diverged for user {}", u
+            );
+        }
+        for threads in [1usize, 4] {
+            let exec = Exec::new(threads).unwrap();
+            prop_assert_eq!(
+                packed_exact.query_batch_opts(
+                    &user_ids, &keywords, k, BatchOptions::new().exec(&exec),
+                ),
+                raw_exact.query_batch_opts(
+                    &user_ids, &keywords, k, BatchOptions::new().exec(&exec),
+                ),
+                "exact batch diverged at {} threads", threads
+            );
+            prop_assert_eq!(
+                packed_clustered.query_batch_opts(
+                    &site, &user_ids, &keywords, k, BatchOptions::new().exec(&exec),
+                ),
+                raw_clustered.query_batch_opts(
+                    &site, &user_ids, &keywords, k, BatchOptions::new().exec(&exec),
+                ),
+                "clustered batch diverged at {} threads", threads
             );
         }
     }

@@ -23,7 +23,7 @@
 use proptest::prelude::*;
 use socialscope_content::{
     faults, BatchOptions, BatchScratch, ClusteredIndex, ClusteringStrategy, ContentError,
-    ExactIndex, NetworkBasedClustering, SiteModel, TagEvent, TopKResult,
+    ExactIndex, Layout, NetworkBasedClustering, SiteModel, TagEvent, TopKResult,
 };
 use socialscope_exec::failpoints::{FailAction, FailScenario};
 use socialscope_exec::Exec;
@@ -140,6 +140,69 @@ fn a_fault_at_every_registered_site_rolls_back_cleanly() {
             assert_eq!(
                 clustered.query(&site, u, &keywords, 3),
                 rebuilt_clustered.query(&site, u, &keywords, 3)
+            );
+        }
+    }
+}
+
+/// Rollback on compressed layouts: a fault at any registered apply site
+/// leaves the *packed* arenas byte-identical to their pre-apply state (the
+/// `Debug` rendering covers the encoded bytes), the layout stays
+/// [`Layout::Compressed`] through fault and retry, and the disarmed retry
+/// converges to a compressed rebuild — stats, heap bytes and answers.
+#[test]
+fn a_fault_at_every_site_keeps_compressed_arenas_byte_identical() {
+    let (site0, users, items) = two_cliques();
+    let exec = Exec::new(2).unwrap();
+    let exact0 = ExactIndex::builder(&site0).layout(Layout::Compressed).build();
+    let clustered0 = ClusteredIndex::builder(&site0)
+        .clustering(NetworkBasedClustering.cluster(&site0, 0.3))
+        .layout(Layout::Compressed)
+        .build();
+    let events = vec![
+        TagEvent::assign(users[4], items[0], "baseball"),
+        TagEvent::assign(users[0], items[3], "newtag"),
+        TagEvent::retract(users[1], items[0], "baseball"),
+        TagEvent::assign(users[1], items[2], "baseball"),
+    ];
+    let mut updated_site = site0.clone();
+    updated_site.apply(&events);
+    let keywords: Vec<String> = TAGS[..2].iter().map(|t| t.to_string()).collect();
+
+    let scenario = FailScenario::setup();
+    for &fp in faults::APPLY_SITES {
+        scenario.arm(fp, FailAction::Fault { after: 0 });
+        let mut exact = exact0.clone();
+        check_rollback(&mut exact, is_exact_site(fp), fp, |e| {
+            e.try_apply_with(&exec, &updated_site, &events).map(drop)
+        });
+        let mut clustered = clustered0.clone();
+        check_rollback(&mut clustered, is_clustered_site(fp), fp, |c| {
+            c.try_apply_with(&exec, &updated_site, &events).map(drop)
+        });
+        assert_eq!(exact.layout(), Layout::Compressed, "fault at `{fp}` dropped the layout");
+        assert_eq!(clustered.layout(), Layout::Compressed, "fault at `{fp}` dropped the layout");
+
+        scenario.disarm(fp);
+        exact.try_apply_with(&exec, &updated_site, &events).unwrap();
+        clustered.try_apply_with(&exec, &updated_site, &events).unwrap();
+        let rebuilt_exact = ExactIndex::builder(&updated_site).layout(Layout::Compressed).build();
+        let rebuilt_clustered = ClusteredIndex::builder(&updated_site)
+            .clustering(clustered.clustering.clone())
+            .layout(Layout::Compressed)
+            .build();
+        // Stats carry the measured heap bytes: canonical-encoding identity.
+        assert_eq!(exact.stats(), rebuilt_exact.stats(), "after retry past `{fp}`");
+        assert_eq!(
+            clustered.stats_with_refinement(),
+            rebuilt_clustered.stats_with_refinement(),
+            "after retry past `{fp}`"
+        );
+        for &u in &users {
+            assert_eq!(exact.query(u, &keywords, 3), rebuilt_exact.query(u, &keywords, 3));
+            assert_eq!(
+                clustered.query(&updated_site, u, &keywords, 3),
+                rebuilt_clustered.query(&updated_site, u, &keywords, 3)
             );
         }
     }

@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 use socialscope_content::{
     BatchOptions, BatchScratch, BehaviorBasedClustering, ClusteredIndex, ClusteringStrategy,
-    ExactIndex, HybridClustering, NetworkBasedClustering, SiteModel, TagEvent,
+    ExactIndex, HybridClustering, Layout, NetworkBasedClustering, SiteModel, TagEvent,
 };
 use socialscope_exec::Exec;
 use socialscope_graph::{GraphBuilder, NodeId, SocialGraph};
@@ -232,6 +232,83 @@ proptest! {
                 "batch sweep at {} threads", threads
             );
         }
+    }
+
+    /// **Delta ≡ rebuild on compressed layouts.** The same contract as the
+    /// raw properties with both engines built `Layout::Compressed`: chunked
+    /// applies splice re-encoded runs into the packed arenas, and because
+    /// every encoder is canonical the maintained index ends *byte-identical*
+    /// — stats with heap bytes, posting list for posting list, refinement
+    /// group for refinement group — to a compressed rebuild over the final
+    /// site, and answers every query the same.
+    #[test]
+    fn compressed_apply_matches_compressed_rebuild(
+        (users, items, fr, tg) in arb_inputs(),
+        (raw_events, chunk_len) in arb_stream(),
+        theta in 0.1f64..0.9,
+    ) {
+        let (base_g, g, user_ids, item_ids) = build_graphs(users, 2, items, &fr, &tg, &[0, 1]);
+        let base_site = SiteModel::from_graph(&base_g);
+        let clustering = NetworkBasedClustering.cluster(&base_site, theta);
+        let events = build_events(&raw_events, &user_ids, &item_ids);
+        let keywords: Vec<String> = TAGS[..3].iter().map(|t| t.to_string()).collect();
+        let mut site = SiteModel::from_graph(&g);
+        let mut exact = ExactIndex::builder(&site).layout(Layout::Compressed).build();
+        let mut clustered = ClusteredIndex::builder(&site)
+            .clustering(clustering)
+            .layout(Layout::Compressed)
+            .build();
+        for chunk in events.chunks(chunk_len) {
+            site.apply(chunk);
+            exact.apply(&site, chunk);
+            clustered.apply(&site, chunk);
+        }
+        prop_assert_eq!(exact.layout(), Layout::Compressed, "apply abandoned the layout");
+        prop_assert_eq!(clustered.layout(), Layout::Compressed, "apply abandoned the layout");
+        let exact_rebuilt = ExactIndex::builder(&site).layout(Layout::Compressed).build();
+        let clustered_rebuilt = ClusteredIndex::builder(&site)
+            .clustering(clustered.clustering.clone())
+            .layout(Layout::Compressed)
+            .build();
+        // `stats()` includes the measured heap bytes, so equality here is
+        // the canonical-bytes check, not just a logical-entry count.
+        prop_assert_eq!(exact.stats(), exact_rebuilt.stats(), "exact bytes diverged");
+        prop_assert_eq!(
+            clustered.stats_with_refinement(),
+            clustered_rebuilt.stats_with_refinement(),
+            "clustered bytes diverged"
+        );
+        for tag in TAGS {
+            for &u in &user_ids {
+                prop_assert_eq!(
+                    exact.list(tag, u), exact_rebuilt.list(tag, u),
+                    "packed list {} / {}", tag, u
+                );
+            }
+            for (cluster, _) in clustered.clustering.iter() {
+                prop_assert_eq!(
+                    clustered.list(tag, cluster), clustered_rebuilt.list(tag, cluster),
+                    "packed bound list {} / {:?}", tag, cluster
+                );
+            }
+        }
+        for &u in &user_ids {
+            prop_assert_eq!(
+                exact.query(u, &keywords, 3),
+                exact_rebuilt.query(u, &keywords, 3),
+                "exact query sweep, user {}", u
+            );
+            prop_assert_eq!(
+                clustered.query(&site, u, &keywords, 3),
+                clustered_rebuilt.query(&site, u, &keywords, 3),
+                "clustered query sweep, user {}", u
+            );
+        }
+        prop_assert_eq!(
+            exact.query_batch_opts(&user_ids, &keywords, 3, BatchOptions::new()),
+            exact_rebuilt.query_batch_opts(&user_ids, &keywords, 3, BatchOptions::new()),
+            "exact batch sweep"
+        );
     }
 
     /// **Redundant batches are true no-ops.** Re-assigning triples the site

@@ -17,7 +17,7 @@
 use super::Recommendation;
 use socialscope_content::{
     ApplyReport, BatchOptions, BatchScratch, BatchScratchPool, ClusteredIndex,
-    ClusteredQueryReport, ClusteringStrategy, ExactIndex, NetworkBasedClustering,
+    ClusteredQueryReport, ClusteringStrategy, ExactIndex, MemoryProfile, NetworkBasedClustering,
     Result as ContentResult, SiteModel, TagEvent, TopKResult,
 };
 use socialscope_exec::Exec;
@@ -320,6 +320,20 @@ impl ClusteredNetworkAwareSearch {
     /// The opt-in exact fallback index, if configured.
     pub fn fallback(&self) -> Option<&ExactIndex> {
         self.fallback.as_ref()
+    }
+
+    /// The engine's measured heap footprint: the clustered index's profile
+    /// plus — when configured — the exact fallback's, summed component by
+    /// component. This is what the server's `/stats` memory block reports.
+    pub fn memory_profile(&self) -> MemoryProfile {
+        let index = self.index.memory_profile();
+        let fallback = self.fallback.as_ref().map(|f| f.memory_profile()).unwrap_or_default();
+        MemoryProfile {
+            postings_bytes: index.postings_bytes + fallback.postings_bytes,
+            pool_bytes: index.pool_bytes + fallback.pool_bytes,
+            refinement_bytes: index.refinement_bytes + fallback.refinement_bytes,
+            tables_bytes: index.tables_bytes + fallback.tables_bytes,
+        }
     }
 
     /// Raw clustered top-k evaluation with cost counters and the

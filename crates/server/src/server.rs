@@ -28,10 +28,10 @@ use crate::batcher::{Batcher, Pending, ReadyBatch, ServeOutcome};
 use crate::http::{write_response, HttpLimits, Request, RequestReader};
 use crate::wire::{
     ApplyRequest, ApplyResponse, ErrorResponse, QueryRequest, QueryResponse, ScoredItem,
-    WIRE_VERSION,
+    StatsResponse, WIRE_VERSION,
 };
 use parking_lot::RwLock;
-use socialscope_content::{BatchOptions, BatchScratchPool};
+use socialscope_content::{BatchOptions, BatchScratchPool, Layout};
 use socialscope_discovery::ClusteredNetworkAwareSearch;
 use socialscope_exec::Exec;
 use socialscope_graph::NodeId;
@@ -363,19 +363,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
         ("POST", "/query") => serve_query(shared, &request.body),
         ("POST", "/apply") => serve_apply(shared, &request.body),
         ("GET", "/health") => (200, format!("{{\"status\":\"ok\",\"version\":{WIRE_VERSION}}}")),
-        ("GET", "/stats") => {
-            let counters = &shared.counters;
-            (
-                200,
-                format!(
-                    "{{\"version\":{WIRE_VERSION},\"queries\":{},\"applies\":{},\"degraded\":{},\"batches\":{}}}",
-                    counters.queries.load(Ordering::Relaxed),
-                    counters.applies.load(Ordering::Relaxed),
-                    counters.degraded.load(Ordering::Relaxed),
-                    counters.batches.load(Ordering::Relaxed)
-                ),
-            )
-        }
+        ("GET", "/stats") => (200, serve_stats(shared).to_json()),
         (_, "/query" | "/apply" | "/health" | "/stats") => (
             405,
             ErrorResponse::new(
@@ -387,6 +375,33 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
         (_, path) => {
             (404, ErrorResponse::new("not_found", format!("no such endpoint `{path}`")).to_json())
         }
+    }
+}
+
+/// `GET /stats`: serving counters plus a live memory profile of the engine.
+///
+/// The memory block is read under the engine read lock, so the bytes always
+/// describe the index generation queries are currently served from — a
+/// concurrent `/apply` republishes both together.
+fn serve_stats(shared: &Arc<Shared>) -> StatsResponse {
+    let counters = &shared.counters;
+    let engine = shared.engine.read();
+    let profile = engine.memory_profile();
+    StatsResponse {
+        version: WIRE_VERSION,
+        queries: counters.queries.load(Ordering::Relaxed),
+        applies: counters.applies.load(Ordering::Relaxed),
+        degraded: counters.degraded.load(Ordering::Relaxed),
+        batches: counters.batches.load(Ordering::Relaxed),
+        layout: match engine.index().layout() {
+            Layout::Raw => "raw".to_owned(),
+            Layout::Compressed => "compressed".to_owned(),
+        },
+        heap_bytes: profile.total() as u64,
+        postings_bytes: profile.postings_bytes as u64,
+        pool_bytes: profile.pool_bytes as u64,
+        refinement_bytes: profile.refinement_bytes as u64,
+        tables_bytes: profile.tables_bytes as u64,
     }
 }
 

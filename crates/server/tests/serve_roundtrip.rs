@@ -11,7 +11,8 @@ use common::{boot, post, read_one_response, request, Fixture};
 use socialscope_content::TagEvent;
 use socialscope_graph::NodeId;
 use socialscope_server::wire::{
-    ApplyRequest, ApplyResponse, ErrorResponse, QueryRequest, QueryResponse, WIRE_VERSION,
+    ApplyRequest, ApplyResponse, ErrorResponse, QueryRequest, QueryResponse, StatsResponse,
+    WIRE_VERSION,
 };
 use socialscope_server::ServerConfig;
 use std::io::Write;
@@ -185,6 +186,21 @@ fn health_and_stats_expose_the_serving_state() {
     assert!(body.contains("\"queries\":3"), "{body}");
     assert!(body.contains("\"applies\":1"), "{body}");
     assert!(body.contains("\"batches\":"), "{body}");
+
+    // The body is a well-formed StatsResponse carrying a live memory
+    // profile: the layout names a real variant and the component bytes sum
+    // to the heap total (a loaded engine is never zero-sized).
+    let stats = StatsResponse::from_json(&body).unwrap();
+    assert_eq!(stats.version, WIRE_VERSION);
+    assert_eq!(stats.queries, 3);
+    assert_eq!(stats.applies, 1);
+    assert!(stats.layout == "raw" || stats.layout == "compressed", "{}", stats.layout);
+    assert!(stats.heap_bytes > 0, "a built engine owns heap");
+    assert_eq!(
+        stats.heap_bytes,
+        stats.postings_bytes + stats.pool_bytes + stats.refinement_bytes + stats.tables_bytes,
+        "components must sum to the total: {body}"
+    );
 }
 
 #[test]

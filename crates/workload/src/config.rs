@@ -23,6 +23,13 @@ pub struct SiteConfig {
     pub rating_fraction: f64,
     /// Zipf exponent governing item popularity (higher = more skew).
     pub zipf_exponent: f64,
+    /// Zipf exponent governing *tag* popularity. `0.0` (the default) keeps
+    /// the historical uniform tag draw — byte-identical generation for a
+    /// fixed seed, which the pinned-counter regressions rely on; anything
+    /// positive skews tag choice toward the head of the vocabulary, the
+    /// shape real folksonomies show and the one the large-scale presets
+    /// use so a few huge `(tag, user)` lists dominate the index.
+    pub tag_zipf_exponent: f64,
     /// RNG seed (generation is deterministic for a fixed seed).
     pub seed: u64,
 }
@@ -39,6 +46,7 @@ impl Default for SiteConfig {
             visits_per_user: 15,
             rating_fraction: 0.3,
             zipf_exponent: 1.0,
+            tag_zipf_exponent: 0.0,
             seed: 7,
         }
     }
@@ -64,6 +72,30 @@ impl SiteConfig {
         self.items = ((self.items as f64) * factor).max(4.0) as usize;
         self
     }
+
+    /// The preset used by the scale experiments (E14), valid from test-sized
+    /// sites up through 10^6 users. Items grow at half the user rate (a site
+    /// accretes catalog slower than membership), cities grow with the
+    /// catalog, and per-user activity *shrinks* slightly past 10^5 users —
+    /// at a million users most accounts are casual, and without the taper a
+    /// 10^6-user site would not build on a laptop-class machine. Tag choice
+    /// is Zipf-skewed (exponent 0.9): the defining property of large
+    /// folksonomies, and the regime where delta-compressed posting layouts
+    /// pay off because the head tags own very dense lists.
+    pub fn at_scale(users: usize) -> Self {
+        let users = users.max(4);
+        let casual = users > 100_000;
+        SiteConfig {
+            users,
+            items: (users / 2).max(16),
+            cities: (users / 2_000).clamp(5, 64),
+            avg_friends: 8,
+            tags_per_user: if casual { 6 } else { 10 },
+            visits_per_user: if casual { 8 } else { 12 },
+            tag_zipf_exponent: 0.9,
+            ..SiteConfig::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +118,22 @@ mod tests {
         assert_eq!(c.items, 120);
         let small = SiteConfig::tiny().scaled(0.01);
         assert!(small.users >= 4);
+    }
+
+    #[test]
+    fn scale_presets_cover_a_million_users_and_taper_activity() {
+        let small = SiteConfig::at_scale(10_000);
+        let large = SiteConfig::at_scale(1_000_000);
+        assert_eq!(small.users, 10_000);
+        assert_eq!(large.users, 1_000_000);
+        assert_eq!(large.items, 500_000);
+        // Per-user activity shrinks at scale; tag skew is always on.
+        assert!(large.tags_per_user < small.tags_per_user);
+        assert!(large.visits_per_user < small.visits_per_user);
+        assert!(small.tag_zipf_exponent > 0.0 && large.tag_zipf_exponent > 0.0);
+        // The default config stays on the historical uniform draw, which
+        // keeps fixed-seed generation (and the pinned E8 counters) stable.
+        assert_eq!(SiteConfig::default().tag_zipf_exponent, 0.0);
+        assert!(SiteConfig::at_scale(0).users >= 4);
     }
 }

@@ -115,13 +115,23 @@ pub fn generate_site(config: &SiteConfig) -> GeneratedSite {
         }
     }
 
-    // Zipf-skewed activity.
+    // Zipf-skewed activity. Tag popularity is skewed only when the config
+    // asks for it: with the exponent at 0.0 the draw below is the
+    // historical uniform `choose`, preserving the exact RNG call sequence
+    // (and therefore byte-identical fixed-seed sites) the pinned-counter
+    // regressions depend on.
     let popularity = ZipfSampler::new(items.len().max(1), config.zipf_exponent);
+    let tag_popularity = (config.tag_zipf_exponent > 0.0)
+        .then(|| ZipfSampler::new(ACTIVITY_TAGS.len(), config.tag_zipf_exponent));
+    let pick_tag = |rng: &mut StdRng| match &tag_popularity {
+        Some(sampler) => ACTIVITY_TAGS[sampler.sample(rng)],
+        None => *ACTIVITY_TAGS.choose(rng).expect("non-empty tags"),
+    };
     for &user in &users {
         for _ in 0..config.tags_per_user {
             let item = items[popularity.sample(&mut rng)];
-            let tag_a = ACTIVITY_TAGS.choose(&mut rng).expect("non-empty tags");
-            let tag_b = ACTIVITY_TAGS.choose(&mut rng).expect("non-empty tags");
+            let tag_a = pick_tag(&mut rng);
+            let tag_b = pick_tag(&mut rng);
             b.tag(user, item, &[tag_a, tag_b]);
         }
         for _ in 0..config.visits_per_user {
@@ -193,6 +203,44 @@ mod tests {
         // The top 10% of items should attract a disproportionate share of
         // the activity (well above 10%).
         assert!(top_decile as f64 > 0.2 * total as f64);
+    }
+
+    #[test]
+    fn tag_popularity_skew_is_opt_in() {
+        use std::collections::HashMap;
+        let count_tags = |cfg: &SiteConfig| -> Vec<usize> {
+            let site = generate_site(cfg);
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            for &user in &site.users {
+                for link in site.graph.out_links(user) {
+                    let tags =
+                        link.attrs.get("tags").map(|v| v.string_tokens()).unwrap_or_default();
+                    for k in tags {
+                        *counts.entry(k).or_default() += 1;
+                    }
+                }
+            }
+            let mut sorted: Vec<usize> = counts.into_values().collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted
+        };
+        let skewed =
+            count_tags(&SiteConfig { users: 300, tag_zipf_exponent: 1.2, ..SiteConfig::tiny() });
+        let uniform = count_tags(&SiteConfig { users: 300, ..SiteConfig::tiny() });
+        let share = |c: &[usize]| c[0] as f64 / c.iter().sum::<usize>() as f64;
+        // The head tag of the skewed site owns a far larger share of all
+        // tagging than under the uniform draw.
+        assert!(
+            share(&skewed) > 1.8 * share(&uniform),
+            "skewed head share {:.3} vs uniform {:.3}",
+            share(&skewed),
+            share(&uniform)
+        );
+        // Opt-in only: the default exponent still generates the same site
+        // as an explicit 0.0 (the historical uniform path).
+        let a = generate_site(&SiteConfig::tiny());
+        let b = generate_site(&SiteConfig { tag_zipf_exponent: 0.0, ..SiteConfig::tiny() });
+        assert_eq!(a.graph, b.graph);
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod travel;
 pub use classifier::{classify_query, ClassCounts, QueryClass};
 pub use config::SiteConfig;
 pub use events::{generate_events, EventStreamConfig};
-pub use generator::{generate_site, GeneratedSite};
+pub use generator::{generate_site, GeneratedSite, ZipfSampler};
 pub use queries::{keywords_of, QueryLogConfig, QueryLogGenerator};
-pub use sizing::{paper_sizing_example, IndexSizingModel, SizingEstimate};
+pub use sizing::{
+    paper_sizing_example, IndexSizingModel, SizingEstimate, COMPRESSED_BYTES_PER_ENTRY,
+};
 pub use travel::TravelVocabulary;

@@ -62,13 +62,23 @@ pub struct QueryLogConfig {
     pub queries: usize,
     /// Target class mixture.
     pub mixture: QueryMixture,
+    /// Burst length for [`QueryLogGenerator::generate_bursty`]: consecutive
+    /// queries sharing one class × location draw, modelling the temporally
+    /// correlated traffic a live site sees (an event puts everyone on the
+    /// same kind of query at once). `1` degenerates to the i.i.d. log.
+    pub burst_length: usize,
     /// RNG seed.
     pub seed: u64,
 }
 
 impl Default for QueryLogConfig {
     fn default() -> Self {
-        QueryLogConfig { queries: 100_000, mixture: QueryMixture::default(), seed: 17 }
+        QueryLogConfig {
+            queries: 100_000,
+            mixture: QueryMixture::default(),
+            burst_length: 1,
+            seed: 17,
+        }
     }
 }
 
@@ -107,29 +117,53 @@ impl QueryLogGenerator {
 
     /// Generate one query string, drawing the class from the mixture.
     pub fn next_query(&mut self) -> String {
+        let (class, with_location) = self.draw_class();
+        self.next_query_of(class, with_location)
+    }
+
+    /// Generate a bursty log of `queries` strings: one class × location
+    /// draw per run of `burst_length` queries, so the log shows the
+    /// correlated per-class runs of live traffic while the *overall*
+    /// mixture still converges to the configured one (the burst class is
+    /// drawn from it). `burst_length ≤ 1` degenerates to [`Self::generate`].
+    pub fn generate_bursty(&mut self) -> Vec<String> {
+        let total = self.config.queries;
+        let burst = self.config.burst_length.max(1);
+        let mut log = Vec::with_capacity(total);
+        while log.len() < total {
+            let (class, with_location) = self.draw_class();
+            for _ in 0..burst.min(total - log.len()) {
+                log.push(self.next_query_of(class, with_location));
+            }
+        }
+        log
+    }
+
+    /// Draw a class × with-location cell from the configured mixture.
+    fn draw_class(&mut self) -> (QueryClass, bool) {
         let m = self.config.mixture;
         let x: f64 = self.rng.gen_range(0.0..1.0);
         let mut threshold = m.general_with_location;
         if x < threshold {
-            return self.next_query_of(QueryClass::General, true);
+            return (QueryClass::General, true);
         }
         threshold += m.general_without_location;
         if x < threshold {
-            return self.next_query_of(QueryClass::General, false);
+            return (QueryClass::General, false);
         }
         threshold += m.categorical_with_location;
         if x < threshold {
-            return self.next_query_of(QueryClass::Categorical, true);
+            return (QueryClass::Categorical, true);
         }
         threshold += m.categorical_without_location;
         if x < threshold {
-            return self.next_query_of(QueryClass::Categorical, false);
+            return (QueryClass::Categorical, false);
         }
         threshold += m.specific;
         if x < threshold {
-            return self.next_query_of(QueryClass::Specific, true);
+            return (QueryClass::Specific, true);
         }
-        self.next_query_of(QueryClass::Unclassified, false)
+        (QueryClass::Unclassified, false)
     }
 
     /// Compose one query of a forced class, bypassing the mixture — the
@@ -267,6 +301,43 @@ mod tests {
         assert_eq!(keywords_of("sightseeing in paris"), vec!["sightseeing", "paris"]);
         assert!(keywords_of("things to do").is_empty());
         assert!(keywords_of("").is_empty());
+    }
+
+    #[test]
+    fn bursty_logs_run_in_same_class_streaks_but_keep_the_mixture() {
+        use crate::classifier::classify_query;
+        let mut gen = QueryLogGenerator::new(QueryLogConfig {
+            queries: 20_000,
+            burst_length: 40,
+            ..QueryLogConfig::default()
+        });
+        let log = gen.generate_bursty();
+        assert_eq!(log.len(), 20_000);
+        // Consecutive queries agree on class far more often than an i.i.d.
+        // draw from the Table 1 mixture would (~25% agreement): inside a
+        // 40-query burst, every neighbour pair matches.
+        let classes: Vec<QueryClass> = log.iter().map(|q| classify_query(q).class).collect();
+        let agree = classes.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(
+            agree as f64 > 0.9 * (classes.len() - 1) as f64,
+            "only {agree} of {} neighbour pairs agree",
+            classes.len() - 1
+        );
+        // ...while the long-run class mixture still converges to Table 1.
+        let counts = ClassCounts::from_queries(log.iter().map(String::as_str));
+        let m = QueryMixture::default();
+        let general = m.general_with_location + m.general_without_location;
+        assert!((counts.class_fraction(QueryClass::General) - general).abs() < 0.08);
+        assert!((counts.class_fraction(QueryClass::Specific) - m.specific).abs() < 0.05);
+        // A burst length of 1 is exactly the i.i.d. generator.
+        let mut a = QueryLogGenerator::new(QueryLogConfig {
+            queries: 500,
+            burst_length: 1,
+            ..QueryLogConfig::default()
+        });
+        let mut b =
+            QueryLogGenerator::new(QueryLogConfig { queries: 500, ..QueryLogConfig::default() });
+        assert_eq!(a.generate_bursty(), b.generate());
     }
 
     #[test]

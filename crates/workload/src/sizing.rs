@@ -27,6 +27,14 @@ pub struct IndexSizingModel {
     pub bytes_per_entry: u64,
 }
 
+/// Modeled bytes per entry of the delta-compressed (`Layout::Compressed`)
+/// posting layout: a gap varint for the item id (1–2 bytes on dense lists)
+/// plus a one-byte integral score, doubled for the ascending-item
+/// companion. The measured E14 numbers replace this constant with reality;
+/// it exists so the analytic model can be extended to the compressed
+/// variant the same way the paper extends it to clustering.
+pub const COMPRESSED_BYTES_PER_ENTRY: f64 = 4.0;
+
 impl IndexSizingModel {
     /// The paper's "moderately sized" example site.
     pub fn paper_example() -> Self {
@@ -39,6 +47,14 @@ impl IndexSizingModel {
             bytes_per_entry: 10,
         }
     }
+
+    /// The paper example re-anchored to a different user population, with
+    /// the catalog growing at the paper's 10-items-per-user ratio — the
+    /// analytic companion of [`crate::SiteConfig::at_scale`], covering the
+    /// 10^5 (the paper's own point) through 10^6-user range of E14.
+    pub fn at_scale(users: u64) -> Self {
+        IndexSizingModel { users, items: users * 10, ..IndexSizingModel::paper_example() }
+    }
 }
 
 /// The estimate produced by the model.
@@ -50,6 +66,21 @@ pub struct SizingEstimate {
     pub exact_bytes: f64,
     /// Estimated size in terabytes of the exact index.
     pub exact_terabytes: f64,
+    /// Estimated size in bytes under the delta-compressed posting layout
+    /// (same entries at [`COMPRESSED_BYTES_PER_ENTRY`]).
+    pub compressed_bytes: f64,
+    /// Modeled saving of the compressed layout (`exact / compressed`).
+    pub compression_saving: f64,
+}
+
+impl SizingEstimate {
+    /// Bytes per user of the exact index — the E14 headline unit.
+    pub fn bytes_per_user(&self, users: u64) -> f64 {
+        if users == 0 {
+            return 0.0;
+        }
+        self.exact_bytes / users as f64
+    }
 }
 
 impl IndexSizingModel {
@@ -60,7 +91,18 @@ impl IndexSizingModel {
         let exact_entries =
             self.items as f64 * self.avg_tags_per_item * self.users as f64 * self.tagger_fraction;
         let exact_bytes = exact_entries * self.bytes_per_entry as f64;
-        SizingEstimate { exact_entries, exact_bytes, exact_terabytes: exact_bytes / 1e12 }
+        let compressed_bytes = exact_entries * COMPRESSED_BYTES_PER_ENTRY;
+        SizingEstimate {
+            exact_entries,
+            exact_bytes,
+            exact_terabytes: exact_bytes / 1e12,
+            compressed_bytes,
+            compression_saving: if compressed_bytes > 0.0 {
+                exact_bytes / compressed_bytes
+            } else {
+                1.0
+            },
+        }
     }
 
     /// Estimated entries when users are grouped into `clusters` clusters
@@ -106,6 +148,25 @@ mod tests {
         assert!((clustered - exact / 100.0).abs() < 1.0);
         assert!((model.clustering_saving(1_000) - 100.0).abs() < 1e-9);
         assert_eq!(model.clustering_saving(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn compressed_model_and_scale_presets_extend_the_paper_example() {
+        let est = paper_sizing_example();
+        // 10 B/entry raw vs the 4 B/entry compressed model: 2.5× saving.
+        assert!((est.compression_saving - 2.5).abs() < 1e-9);
+        assert!((est.compressed_bytes - est.exact_bytes / 2.5).abs() < 1.0);
+        // The paper example *is* the 10^5-user scale point.
+        assert_eq!(IndexSizingModel::at_scale(100_000), IndexSizingModel::paper_example());
+        // Total bytes grow quadratically in users (the catalog grows with
+        // the population), so bytes *per user* still grow linearly — the
+        // scaling wall the compressed layout attacks.
+        let m5 = IndexSizingModel::at_scale(100_000);
+        let m6 = IndexSizingModel::at_scale(1_000_000);
+        let per_user5 = m5.estimate().bytes_per_user(m5.users);
+        let per_user6 = m6.estimate().bytes_per_user(m6.users);
+        assert!((per_user6 / per_user5 - 10.0).abs() < 1e-6);
+        assert_eq!(m5.estimate().bytes_per_user(0), 0.0);
     }
 
     #[test]
